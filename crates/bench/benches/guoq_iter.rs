@@ -1,0 +1,29 @@
+//! End-to-end iteration rate of Algorithm 1 on a realistic workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use guoq::cost::TwoQubitCount;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{rebase::rebase, GateSet};
+use std::hint::black_box;
+
+fn bench_guoq(c: &mut Criterion) {
+    let set = GateSet::IbmEagle;
+    let circuit = rebase(&workloads::generators::qaoa_maxcut(12, 2, 7), set).expect("rebase");
+    let mut group = c.benchmark_group("guoq");
+    group.sample_size(10);
+    group.bench_function("guoq_200_iters_qaoa12", |b| {
+        b.iter(|| {
+            let opts = GuoqOpts {
+                budget: Budget::Iterations(200),
+                eps_total: 1e-6,
+                ..Default::default()
+            };
+            let g = Guoq::rewrite_only(set, opts);
+            black_box(g.optimize(&circuit, &TwoQubitCount))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_guoq);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the numerical kernels underlying both optimizers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qmath::random::{random_state, random_unitary};
+use qmath::statevec::apply_gate;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a8 = random_unitary(8, &mut rng);
+    let b8 = random_unitary(8, &mut rng);
+    c.bench_function("matmul_8x8", |b| {
+        b.iter(|| black_box(a8.matmul(&b8)));
+    });
+
+    let a64 = random_unitary(64, &mut rng);
+    let b64 = random_unitary(64, &mut rng);
+    c.bench_function("matmul_64x64", |b| {
+        b.iter(|| black_box(a64.matmul(&b64)));
+    });
+
+    c.bench_function("hs_distance_64", |b| {
+        b.iter(|| black_box(qmath::hs_distance(&a64, &b64)));
+    });
+
+    let g2 = random_unitary(4, &mut rng);
+    let mut state = random_state(1 << 16, &mut rng);
+    c.bench_function("statevec_apply_2q_16q", |b| {
+        b.iter(|| {
+            apply_gate(&mut state, 16, &[3, 11], &g2);
+            black_box(state[0])
+        });
+    });
+
+    let u2 = random_unitary(2, &mut rng);
+    c.bench_function("zyz_decompose", |b| {
+        b.iter(|| black_box(qmath::decompose::zyz_decompose(&u2)));
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

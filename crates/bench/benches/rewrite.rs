@@ -1,0 +1,29 @@
+//! Throughput of the fast path: rule matching and full rewrite passes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcir::{rebase::rebase, GateSet};
+use std::hint::black_box;
+
+fn bench_rewrite(c: &mut Criterion) {
+    let set = GateSet::IbmEagle;
+    let circuit = rebase(&workloads::generators::qft(16), set).expect("rebase");
+    let rules = qrewrite::rules_for(set);
+    let merge = rules.iter().find(|r| r.name() == "rz-merge").unwrap();
+    let cancel = rules.iter().find(|r| r.name() == "cx-cancel").unwrap();
+
+    c.bench_function("rule_pass_rz_merge_qft16", |b| {
+        b.iter(|| black_box(qrewrite::apply_rule_pass(&circuit, merge, 0)));
+    });
+    c.bench_function("rule_pass_cx_cancel_qft16", |b| {
+        b.iter(|| black_box(qrewrite::apply_rule_pass(&circuit, cancel, 0)));
+    });
+    c.bench_function("fuse_1q_runs_qft16", |b| {
+        b.iter(|| black_box(qrewrite::fusion::fuse_1q_runs(&circuit, set)));
+    });
+    c.bench_function("fold_rotations_qft16", |b| {
+        b.iter(|| black_box(qfold::fold_rotations(&circuit, qfold::EmitStyle::Rz)));
+    });
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Cost of the slow path: unitary synthesis at 1, 2 and 3 qubits.
+//! (These numbers substantiate the measured Table 1.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcir::GateSet;
+use qmath::random::random_unitary;
+use qsynth::continuous::{synthesize_1q, synthesize_2q, SynthOpts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_synth(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let u1 = random_unitary(2, &mut rng);
+    c.bench_function("synthesize_1q_analytic", |b| {
+        b.iter(|| black_box(synthesize_1q(&u1, GateSet::IbmEagle)));
+    });
+
+    let u2 = random_unitary(4, &mut rng);
+    let mut group = c.benchmark_group("slow");
+    group.sample_size(10);
+    group.bench_function("synthesize_2q_random", |b| {
+        let mut r = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(synthesize_2q(&u2, &SynthOpts::default(), &mut r)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synth);
+criterion_main!(benches);

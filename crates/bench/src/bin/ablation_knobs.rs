@@ -1,0 +1,64 @@
+//! Ablation of GUOQ's two key hyperparameters (DESIGN.md §6):
+//!
+//! * the resynthesis weight (paper §5.3 fixes it at 1.5%), and
+//! * the acceptance temperature `t` (paper §6: sweep 0 → 10, chose 10).
+
+use guoq_bench::HarnessOpts;
+use guoq::cost::TwoQubitCount;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{rebase::rebase, GateSet};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let set = GateSet::Ibmq20;
+    let circuit = rebase(&workloads::generators::barenco_tof(8), set).expect("rebase");
+    println!(
+        "== Knob ablation on barenco_tof_8 / ibmq20 ({} gates, {} two-qubit) ==",
+        circuit.len(),
+        circuit.two_qubit_count()
+    );
+
+    println!("-- resynthesis probability (paper: 0.015) --");
+    for p in [0.0, 0.005, 0.015, 0.05, 0.25, 1.0] {
+        let g = Guoq::for_gate_set(
+            set,
+            GuoqOpts {
+                budget: Budget::Time(opts.budget),
+                eps_total: 1e-6,
+                resynth_probability: p,
+                seed: opts.seed,
+                ..Default::default()
+            },
+        );
+        let r = g.optimize(&circuit, &TwoQubitCount);
+        println!(
+            "   p = {p:<6} → 2q {} → {}   ({} iters, {} resynth hits)",
+            circuit.two_qubit_count(),
+            r.circuit.two_qubit_count(),
+            r.iterations,
+            r.resynth_hits
+        );
+    }
+
+    println!("-- acceptance temperature t (paper sweep: 0..10, chose 10) --");
+    for t in [0.0, 1.0, 3.0, 10.0, 30.0] {
+        let g = Guoq::for_gate_set(
+            set,
+            GuoqOpts {
+                budget: Budget::Time(opts.budget),
+                eps_total: 1e-6,
+                temperature: t,
+                seed: opts.seed,
+                ..Default::default()
+            },
+        );
+        let r = g.optimize(&circuit, &TwoQubitCount);
+        println!(
+            "   t = {t:<5} → 2q {} → {}   ({} accepted / {} iters)",
+            circuit.two_qubit_count(),
+            r.circuit.two_qubit_count(),
+            r.accepted,
+            r.iterations
+        );
+    }
+}

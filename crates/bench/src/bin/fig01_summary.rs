@@ -1,0 +1,35 @@
+//! Figure 1: GUOQ vs. state-of-the-art on 2-qubit-gate reduction for the
+//! ibmq20 gate set (ε = 1e-8-scale approximation allowed).
+//!
+//! Paper shape: GUOQ better-or-match on 80–97% of benchmarks per tool.
+
+use guoq_bench::*;
+use guoq::cost::TwoQubitCount;
+use qcir::GateSet;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let set = GateSet::Ibmq20;
+    let suite = workloads::suite(set, opts.scale);
+    let eps = 1e-6;
+    let cost = TwoQubitCount;
+
+    let guoq_tool = GuoqTool::new(set, GuoqMode::Full, eps, opts.seed);
+    let baselines = nisq_baselines(set, eps, opts.seed);
+    let mut tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> =
+        vec![(&guoq_tool, &cost)];
+    for b in &baselines {
+        tools.push((b.as_ref(), &cost));
+    }
+
+    let cmp = run_comparison(
+        &suite,
+        &tools,
+        &[("2q-reduction", two_qubit_reduction)],
+        opts.budget,
+    );
+    print_figure(&cmp, 0, "Fig. 1 — GUOQ vs. state-of-the-art (ibmq20, 2q reduction)");
+    println!();
+    println!("paper reference: GUOQ better/match vs Qiskit 94.3%, TKET 87.9%, VOQC 88.3%,");
+    println!("                 BQSKit 87.0%, QUESO 97.2%, Quartz 96.0%, Quarl* 80.2%");
+}

@@ -1,0 +1,73 @@
+//! Figure 6: the complementary strengths of rewriting and resynthesis.
+//!
+//! 6a: a QFT-like CX ladder followed by its own inverse — trivial for two
+//! rewrite rules, intractable for blind 3-qubit resynthesis rounds.
+//! 6b: a deep 2-qubit Rz/CX comb — one resynthesis call collapses it; the
+//! rewrite path needs a long, specific rule sequence.
+
+use guoq_bench::HarnessOpts;
+use guoq::cost::TwoQubitCount;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{rebase::rebase, Circuit, Gate, GateSet};
+
+fn ladder_with_inverse(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in 0..n - 1 {
+        c.push(Gate::Cx, &[i as u32, (i + 1) as u32]);
+    }
+    for i in (0..n - 1).rev() {
+        c.push(Gate::Cx, &[i as u32, (i + 1) as u32]);
+    }
+    c
+}
+
+fn deep_rz_comb(len: usize) -> Circuit {
+    let mut c = Circuit::new(3);
+    for k in 0..len {
+        c.push(Gate::Rz(std::f64::consts::PI / 4.0), &[(k % 3) as u32]);
+        c.push(Gate::Cx, &[(k % 3) as u32, ((k + 1) % 3) as u32]);
+        c.push(Gate::Cx, &[(k % 3) as u32, ((k + 1) % 3) as u32]);
+    }
+    c
+}
+
+fn run(label: &str, circuit: &Circuit, opts: &HarnessOpts) {
+    let set = GateSet::Nam;
+    let native = rebase(circuit, set).expect("rebase");
+    println!(
+        "-- {label}: {} gates, {} two-qubit --",
+        native.len(),
+        native.two_qubit_count()
+    );
+    for (mode, g) in [
+        ("rewrite-only", Guoq::rewrite_only(set, mk(opts))),
+        ("resynth-only", Guoq::resynth_only(set, mk(opts))),
+        ("combined", Guoq::for_gate_set(set, mk(opts))),
+    ] {
+        let r = g.optimize(&native, &TwoQubitCount);
+        println!(
+            "   {mode:<14} 2q: {} → {}   ({} iterations)",
+            native.two_qubit_count(),
+            r.circuit.two_qubit_count(),
+            r.iterations
+        );
+    }
+}
+
+fn mk(opts: &HarnessOpts) -> GuoqOpts {
+    GuoqOpts {
+        budget: Budget::Time(opts.budget),
+        eps_total: 1e-6,
+        seed: opts.seed,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("== Fig. 6a — wide CX ladder + inverse (rewrites win) ==");
+    run("ladder_12", &ladder_with_inverse(12), &opts);
+    println!();
+    println!("== Fig. 6b — deep Rz/CX comb on 3 qubits (resynthesis wins) ==");
+    run("comb_24", &deep_rz_comb(24), &opts);
+}

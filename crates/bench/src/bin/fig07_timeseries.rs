@@ -1,0 +1,68 @@
+//! Figure 7: best-so-far 2q count over time for `barenco_tof_10` and
+//! `qft_20` under (1) rewrites only, (2) resynthesis only, (3) combined.
+//!
+//! Paper shape: rewrites plateau early; resynthesis alone moves slowly;
+//! the combination escapes the plateau and wins.
+
+use guoq_bench::HarnessOpts;
+use guoq::cost::TwoQubitCount;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{rebase::rebase, GateSet};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let set = GateSet::Ibmq20;
+    let budget = Budget::Time(opts.budget.max(std::time::Duration::from_millis(500)));
+
+    let cases = [
+        ("barenco_tof_10", workloads::generators::barenco_tof(10)),
+        ("qft_20", workloads::generators::qft(20)),
+    ];
+    for (name, raw) in cases {
+        let circuit = rebase(&raw, set).expect("rebase");
+        println!(
+            "== Fig. 7 — {name} ({} gates, {} two-qubit) ==",
+            circuit.len(),
+            circuit.two_qubit_count()
+        );
+        for (label, guoq) in [
+            (
+                "combined",
+                Guoq::for_gate_set(set, series_opts(budget, opts.seed)),
+            ),
+            (
+                "rewrite-only",
+                Guoq::rewrite_only(set, series_opts(budget, opts.seed)),
+            ),
+            (
+                "resynth-only",
+                Guoq::resynth_only(set, series_opts(budget, opts.seed)),
+            ),
+        ] {
+            let r = guoq.optimize(&circuit, &TwoQubitCount);
+            print!("  {label:<14} series(t[s]→2q):");
+            for p in &r.history {
+                print!(" {:.2}→{}", p.seconds, p.best_two_qubit);
+            }
+            println!();
+            println!(
+                "  {label:<14} final 2q = {} (from {}), {} iterations",
+                r.circuit.two_qubit_count(),
+                circuit.two_qubit_count(),
+                r.iterations
+            );
+        }
+        println!();
+    }
+    println!("paper reference: combined < resynth-only < rewrite-only (lower 2q is better)");
+}
+
+fn series_opts(budget: Budget, seed: u64) -> GuoqOpts {
+    GuoqOpts {
+        budget,
+        eps_total: 1e-6,
+        seed,
+        record_history: true,
+        ..Default::default()
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 10: the Q2 ablation — full GUOQ vs. rewrite-only vs.
+//! resynthesis-only on the ibmq20 gate set.
+//!
+//! Paper shape: both ablations lose; resynthesis carries most of the
+//! reduction, rewrites push it further.
+
+use guoq_bench::*;
+use guoq::cost::TwoQubitCount;
+use qcir::GateSet;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let set = GateSet::Ibmq20;
+    let suite = workloads::suite(set, opts.scale);
+    let eps = 1e-6;
+    let cost = TwoQubitCount;
+
+    let full = GuoqTool::new(set, GuoqMode::Full, eps, opts.seed);
+    let rewrite = GuoqTool::new(set, GuoqMode::RewriteOnly, eps, opts.seed);
+    let resynth = GuoqTool::new(set, GuoqMode::ResynthOnly, eps, opts.seed);
+    let tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> = vec![
+        (&full, &cost),
+        (&rewrite, &cost),
+        (&resynth, &cost),
+    ];
+
+    let cmp = run_comparison(
+        &suite,
+        &tools,
+        &[("2q-reduction", two_qubit_reduction)],
+        opts.budget,
+    );
+    print_figure(&cmp, 0, "Fig. 10 — unifying rewrites & resynthesis (ibmq20)");
+    println!();
+    println!("paper reference: GUOQ better/match vs GUOQ-REWRITE 226/247, vs GUOQ-RESYNTH 224/247");
+}

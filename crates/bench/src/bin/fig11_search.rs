@@ -1,0 +1,40 @@
+//! Figure 11: how to combine rewriting and resynthesis (Q3) — GUOQ vs.
+//! the coarse sequential phase splits and vs. MaxBeam over the same
+//! transformation set.
+//!
+//! Paper shape: tight random interleaving beats both sequential orders
+//! and the beam instantiation.
+
+use guoq_bench::*;
+use guoq::baselines::*;
+use guoq::cost::TwoQubitCount;
+use qcir::GateSet;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let set = GateSet::Ibmq20;
+    let suite = workloads::suite(set, opts.scale);
+    let eps = 1e-6;
+    let cost = TwoQubitCount;
+
+    let full = GuoqTool::new(set, GuoqMode::Full, eps, opts.seed);
+    let seq_rw = GuoqTool::new(set, GuoqMode::SeqRewriteResynth, eps, opts.seed);
+    let seq_rs = GuoqTool::new(set, GuoqMode::SeqResynthRewrite, eps, opts.seed);
+    let beam = BeamSearch::new(set, 8, opts.seed).with_resynthesis(set, eps);
+    let tools: Vec<(&dyn Optimizer, &dyn guoq::cost::CostFn)> = vec![
+        (&full, &cost),
+        (&seq_rw, &cost),
+        (&seq_rs, &cost),
+        (&beam, &cost),
+    ];
+
+    let cmp = run_comparison(
+        &suite,
+        &tools,
+        &[("2q-reduction", two_qubit_reduction)],
+        opts.budget,
+    );
+    print_figure(&cmp, 0, "Fig. 11 — search-strategy comparison (ibmq20)");
+    println!();
+    println!("paper reference: GUOQ better/match vs SEQ-RW-RS 196/247, SEQ-RS-RW 203/247, BEAM 168/247");
+}

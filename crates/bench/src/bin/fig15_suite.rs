@@ -1,0 +1,38 @@
+//! Figure 15 (Appendix B): histogram of total gate counts of the
+//! benchmark suite, per gate set (log-scale bins).
+
+use guoq_bench::*;
+use qcir::GateSet;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    for set in GateSet::ALL {
+        let suite = workloads::suite(set, opts.scale);
+        println!("== Fig. 15 — suite gate counts for {set} ({} circuits) ==", suite.len());
+        // Log10 bins: [10^k, 10^(k+1)).
+        let mut bins = [0usize; 8];
+        let (mut min_g, mut max_g, mut min_q, mut max_q) = (usize::MAX, 0, usize::MAX, 0);
+        for b in &suite {
+            let g = b.circuit.len().max(1);
+            let k = (g as f64).log10().floor() as usize;
+            bins[k.min(7)] += 1;
+            min_g = min_g.min(g);
+            max_g = max_g.max(g);
+            min_q = min_q.min(b.circuit.num_qubits());
+            max_q = max_q.max(b.circuit.num_qubits());
+        }
+        for (k, count) in bins.iter().enumerate() {
+            if *count > 0 {
+                println!(
+                    "  10^{k}–10^{}: {:<4} {}",
+                    k + 1,
+                    count,
+                    "#".repeat(*count)
+                );
+            }
+        }
+        println!("  gates ∈ [{min_g}, {max_g}], qubits ∈ [{min_q}, {max_q}]");
+        println!();
+    }
+    println!("paper reference: 247 circuits, 4–36 qubits, gate counts ~10^2 to >10^4");
+}

@@ -1,0 +1,36 @@
+//! Runs every figure/table harness in sequence at the given scale,
+//! mirroring the paper's full evaluation. Pass-through flags:
+//! `--budget-ms`, `--suite`, `--seed`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1_characteristics",
+        "table2_gatesets",
+        "fig01_summary",
+        "fig06_complementary",
+        "fig07_timeseries",
+        "fig08_eagle",
+        "fig09_ionq",
+        "fig10_ablation",
+        "fig11_search",
+        "fig12_cliffordt",
+        "fig13_ablation_ft",
+        "fig14_fold_then_guoq",
+        "fig15_suite",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Table 2: summary of the evaluation gate sets.
+
+use qcir::GateSet;
+
+fn main() {
+    println!("== Table 2 — gate sets ==");
+    println!("  {:<12} {:<34} {:<15}", "Gate set", "Gates", "Architecture");
+    for set in GateSet::ALL {
+        println!(
+            "  {:<12} {:<34} {:<15}",
+            set.name(),
+            set.gate_names().join(", "),
+            set.architecture()
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! `guoq-bench` — the evaluation harness.
+//!
+//! One binary per paper figure/table (see DESIGN.md §4); this library
+//! holds the shared plumbing: CLI options, the benchmark runner, and the
+//! better/match/worse comparison tables the paper reports.
+
+#![warn(missing_docs)]
+
+use guoq::baselines::Optimizer;
+use guoq::cost::CostFn;
+use guoq::{Budget, CalibrationModel};
+use qcir::{Circuit, GateSet};
+use std::time::Duration;
+use workloads::{Benchmark, SuiteScale};
+
+/// Common command-line options for every harness binary.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Per-(tool, benchmark) time budget.
+    pub budget: Duration,
+    /// Suite scale.
+    pub scale: SuiteScale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Trials per benchmark for the stochastic tools (paper: 10).
+    pub trials: usize,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            budget: Duration::from_millis(400),
+            scale: SuiteScale::Default,
+            seed: 0xA5A5,
+            trials: 1,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--budget-ms N`, `--suite smoke|default|full`, `--seed N`,
+    /// `--trials N` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need = |i: usize| -> &str {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("missing value for {}", args[i]))
+            };
+            match args[i].as_str() {
+                "--budget-ms" => {
+                    opts.budget = Duration::from_millis(need(i).parse().expect("budget-ms"));
+                    i += 2;
+                }
+                "--suite" => {
+                    opts.scale = match need(i) {
+                        "smoke" => SuiteScale::Smoke,
+                        "default" => SuiteScale::Default,
+                        "full" => SuiteScale::Full,
+                        other => panic!("unknown suite `{other}`"),
+                    };
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = need(i).parse().expect("seed");
+                    i += 2;
+                }
+                "--trials" => {
+                    opts.trials = need(i).parse().expect("trials");
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown flag `{other}`; expected --budget-ms / --suite / --seed / --trials"
+                ),
+            }
+        }
+        opts
+    }
+}
+
+/// A metric extracted from an optimized circuit, relative to the input.
+pub type Metric = fn(original: &Circuit, optimized: &Circuit, set: GateSet) -> f64;
+
+/// Two-qubit gate reduction `1 − opt/orig` (higher is better).
+pub fn two_qubit_reduction(original: &Circuit, optimized: &Circuit, _set: GateSet) -> f64 {
+    let orig = original.two_qubit_count();
+    if orig == 0 {
+        return 0.0;
+    }
+    1.0 - optimized.two_qubit_count() as f64 / orig as f64
+}
+
+/// T-gate reduction (higher is better).
+pub fn t_reduction(original: &Circuit, optimized: &Circuit, _set: GateSet) -> f64 {
+    let orig = original.t_count();
+    if orig == 0 {
+        return 0.0;
+    }
+    1.0 - optimized.t_count() as f64 / orig as f64
+}
+
+/// Total gate-count reduction.
+pub fn gate_reduction(original: &Circuit, optimized: &Circuit, _set: GateSet) -> f64 {
+    if original.is_empty() {
+        return 0.0;
+    }
+    1.0 - optimized.len() as f64 / original.len() as f64
+}
+
+/// Circuit fidelity under the set's calibration model.
+pub fn fidelity(_original: &Circuit, optimized: &Circuit, set: GateSet) -> f64 {
+    CalibrationModel::for_gate_set(set).fidelity(optimized)
+}
+
+/// Result of one tool on one benchmark.
+#[derive(Debug, Clone)]
+pub struct ToolRun {
+    /// Metric values, one per requested metric.
+    pub metrics: Vec<f64>,
+    /// Optimized circuit size (total gates).
+    pub gates: usize,
+}
+
+/// A full comparison: per-benchmark metric values for every tool.
+pub struct Comparison {
+    /// Tool names; `tools[0]` is the reference (GUOQ).
+    pub tools: Vec<String>,
+    /// Metric names.
+    pub metric_names: Vec<&'static str>,
+    /// Benchmark names.
+    pub benchmarks: Vec<String>,
+    /// `results[tool][bench]`.
+    pub results: Vec<Vec<ToolRun>>,
+}
+
+/// Runs every tool on every benchmark and collects the metrics.
+pub fn run_comparison(
+    suite: &[Benchmark],
+    tools: &[(&dyn Optimizer, &dyn CostFn)],
+    metrics: &[(&'static str, Metric)],
+    budget: Duration,
+) -> Comparison {
+    let mut results = Vec::new();
+    for (tool, cost) in tools {
+        let mut per_bench = Vec::new();
+        for b in suite {
+            let out = tool.optimize(&b.circuit, *cost, Budget::Time(budget));
+            let vals = metrics
+                .iter()
+                .map(|(_, m)| m(&b.circuit, &out, b.set))
+                .collect();
+            per_bench.push(ToolRun {
+                metrics: vals,
+                gates: out.len(),
+            });
+        }
+        results.push(per_bench);
+    }
+    Comparison {
+        tools: tools.iter().map(|(t, _)| t.name()).collect(),
+        metric_names: metrics.iter().map(|(n, _)| *n).collect(),
+        benchmarks: suite.iter().map(|b| b.name.clone()).collect(),
+        results,
+    }
+}
+
+/// Counts (better, match, worse) of the reference tool (index 0) against
+/// `tool` on metric `m`, with the paper's matching tolerance.
+pub fn better_match_worse(cmp: &Comparison, tool: usize, m: usize) -> (usize, usize, usize) {
+    let tol = 1e-9;
+    let mut counts = (0usize, 0usize, 0usize);
+    for b in 0..cmp.benchmarks.len() {
+        let ours = cmp.results[0][b].metrics[m];
+        let theirs = cmp.results[tool][b].metrics[m];
+        if ours > theirs + tol {
+            counts.0 += 1;
+        } else if (ours - theirs).abs() <= tol {
+            counts.1 += 1;
+        } else {
+            counts.2 += 1;
+        }
+    }
+    counts
+}
+
+/// Mean of a metric over all benchmarks for one tool.
+pub fn mean_metric(cmp: &Comparison, tool: usize, m: usize) -> f64 {
+    let n = cmp.benchmarks.len().max(1);
+    cmp.results[tool].iter().map(|r| r.metrics[m]).sum::<f64>() / n as f64
+}
+
+/// Prints the paper-style comparison block for one metric: a per-tool
+/// summary ("GUOQ better/match/worse") plus mean values.
+pub fn print_figure(cmp: &Comparison, m: usize, title: &str) {
+    let total = cmp.benchmarks.len();
+    println!(
+        "== {title} ({total} benchmarks, metric: {}) ==",
+        cmp.metric_names[m]
+    );
+    println!(
+        "  {:<34} {:>8}   vs {}: better / match / worse",
+        "tool", "mean", cmp.tools[0]
+    );
+    for t in 0..cmp.tools.len() {
+        let mean = mean_metric(cmp, t, m);
+        if t == 0 {
+            println!("  {:<34} {mean:>8.4}   (reference)", cmp.tools[t]);
+        } else {
+            let (b, eq, w) = better_match_worse(cmp, t, m);
+            println!(
+                "  {:<34} {mean:>8.4}   {b:>4} / {eq:>4} / {w:>4}   ({:.1}% better-or-match)",
+                cmp.tools[t],
+                100.0 * (b + eq) as f64 / total.max(1) as f64
+            );
+        }
+    }
+}
+
+/// Prints a per-benchmark detail table for one metric.
+pub fn print_detail(cmp: &Comparison, m: usize) {
+    print!("  {:<20}", "benchmark");
+    for t in &cmp.tools {
+        print!(" {:>22}", truncate(t, 22));
+    }
+    println!();
+    for b in 0..cmp.benchmarks.len() {
+        print!("  {:<20}", truncate(&cmp.benchmarks[b], 20));
+        for t in 0..cmp.tools.len() {
+            print!(" {:>22.4}", cmp.results[t][b].metrics[m]);
+        }
+        println!();
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s[..n].to_string()
+    }
+}
+
+/// Which GUOQ configuration a [`GuoqTool`] runs (the paper's ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuoqMode {
+    /// Full GUOQ (rewrites + resynthesis, tightly interleaved).
+    Full,
+    /// `GUOQ-REWRITE` (Fig. 10/13).
+    RewriteOnly,
+    /// `GUOQ-RESYNTH` (Fig. 10/13).
+    ResynthOnly,
+    /// `GUOQ-SEQ-REWRITE-RESYNTH` (Fig. 11).
+    SeqRewriteResynth,
+    /// `GUOQ-SEQ-RESYNTH-REWRITE` (Fig. 11).
+    SeqResynthRewrite,
+}
+
+/// GUOQ (or one of its ablations) behind the harness [`Optimizer`] trait.
+pub struct GuoqTool {
+    set: GateSet,
+    mode: GuoqMode,
+    /// Global error tolerance ε_f (paper: 1e-8; scaled per DESIGN.md).
+    pub eps_total: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GuoqTool {
+    /// Creates a GUOQ harness tool.
+    pub fn new(set: GateSet, mode: GuoqMode, eps_total: f64, seed: u64) -> Self {
+        GuoqTool {
+            set,
+            mode,
+            eps_total,
+            seed,
+        }
+    }
+
+    fn opts(&self, budget: Budget) -> guoq::GuoqOpts {
+        guoq::GuoqOpts {
+            budget,
+            eps_total: self.eps_total,
+            seed: self.seed,
+            // Budget scaling (EXPERIMENTS.md): the paper runs 1 h per
+            // circuit with resynthesis sampled 1.5% of the time (~40k
+            // slow calls per run). At sub-second harness budgets the same
+            // ratio yields single-digit resynthesis calls, so the harness
+            // raises the share to keep the fast/slow *work* mix, not the
+            // draw mix, comparable.
+            resynth_probability: 0.08,
+            ..Default::default()
+        }
+    }
+}
+
+impl Optimizer for GuoqTool {
+    fn name(&self) -> String {
+        match self.mode {
+            GuoqMode::Full => "guoq".into(),
+            GuoqMode::RewriteOnly => "guoq-rewrite".into(),
+            GuoqMode::ResynthOnly => "guoq-resynth".into(),
+            GuoqMode::SeqRewriteResynth => "guoq-seq-rewrite-resynth".into(),
+            GuoqMode::SeqResynthRewrite => "guoq-seq-resynth-rewrite".into(),
+        }
+    }
+
+    fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn, budget: Budget) -> Circuit {
+        use guoq::baselines::{sequential_guoq, SeqOrder};
+        use guoq::Guoq;
+        let opts = self.opts(budget);
+        match self.mode {
+            GuoqMode::Full => Guoq::for_gate_set(self.set, opts)
+                .optimize(circuit, cost)
+                .circuit,
+            GuoqMode::RewriteOnly => Guoq::rewrite_only(self.set, opts)
+                .optimize(circuit, cost)
+                .circuit,
+            GuoqMode::ResynthOnly => Guoq::resynth_only(self.set, opts)
+                .optimize(circuit, cost)
+                .circuit,
+            GuoqMode::SeqRewriteResynth => {
+                sequential_guoq(circuit, self.set, cost, SeqOrder::RewriteThenResynth, opts)
+                    .circuit
+            }
+            GuoqMode::SeqResynthRewrite => {
+                sequential_guoq(circuit, self.set, cost, SeqOrder::ResynthThenRewrite, opts)
+                    .circuit
+            }
+        }
+    }
+}
+
+/// The standard set of baseline tools for a NISQ gate-set comparison
+/// (Figs. 1, 8, 9): returns boxed optimizers labelled by archetype.
+pub fn nisq_baselines(set: GateSet, eps_total: f64, seed: u64) -> Vec<Box<dyn Optimizer>> {
+    use guoq::baselines::*;
+    vec![
+        Box::new(PipelineOptimizer::new(set, PipelinePreset::Heavy)),
+        Box::new(PipelineOptimizer::new(set, PipelinePreset::Light)),
+        Box::new(PipelineOptimizer::new(set, PipelinePreset::Medium)),
+        Box::new(PartitionResynth::new(set, eps_total, seed)),
+        Box::new(BeamSearch::new(set, 8, seed)),
+        Box::new(BanditRewriter::new(set, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guoq::baselines::{PipelineOptimizer, PipelinePreset};
+    use guoq::cost::TwoQubitCount;
+
+    #[test]
+    fn comparison_counts_consistent() {
+        let suite = workloads::suite(GateSet::Nam, SuiteScale::Smoke);
+        let p1 = PipelineOptimizer::new(GateSet::Nam, PipelinePreset::Heavy);
+        let p2 = PipelineOptimizer::new(GateSet::Nam, PipelinePreset::Light);
+        let cost = TwoQubitCount;
+        let tools: Vec<(&dyn Optimizer, &dyn CostFn)> = vec![(&p1, &cost), (&p2, &cost)];
+        let cmp = run_comparison(
+            &suite,
+            &tools,
+            &[("2q-red", two_qubit_reduction)],
+            Duration::from_millis(50),
+        );
+        let (b, m, w) = better_match_worse(&cmp, 1, 0);
+        assert_eq!(b + m + w, suite.len());
+    }
+
+    #[test]
+    fn metrics_behave() {
+        let mut orig = Circuit::new(2);
+        orig.push(qcir::Gate::Cx, &[0, 1]);
+        orig.push(qcir::Gate::Cx, &[0, 1]);
+        let opt = Circuit::new(2);
+        assert_eq!(two_qubit_reduction(&orig, &opt, GateSet::Nam), 1.0);
+        assert_eq!(gate_reduction(&orig, &opt, GateSet::Nam), 1.0);
+        assert!(fidelity(&orig, &opt, GateSet::Nam) > fidelity(&orig, &orig, GateSet::Nam));
+    }
+}

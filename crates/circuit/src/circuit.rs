@@ -1,0 +1,466 @@
+//! The circuit IR: a sequence of gate applications.
+//!
+//! A [`Circuit`] is an ordered list of [`Instruction`]s over `n` qubits.
+//! The order is one valid topological order of the circuit DAG; the DAG
+//! structure itself is materialized on demand by [`crate::dag::WireDag`].
+
+use crate::gate::Gate;
+use qmath::statevec::{apply_gate, zero_state};
+use qmath::{C64, Mat};
+use std::fmt;
+
+/// A qubit index within a circuit.
+pub type Qubit = u32;
+
+/// A single gate application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// The gate being applied.
+    pub gate: Gate,
+    qs: [Qubit; 3],
+}
+
+impl Instruction {
+    /// Creates an instruction from a gate and its operand qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits.len()` differs from the gate arity or if a qubit
+    /// repeats.
+    pub fn new(gate: Gate, qubits: &[Qubit]) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "gate {gate} expects {} operands, got {}",
+            gate.arity(),
+            qubits.len()
+        );
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(
+                !qubits[..i].contains(&q),
+                "repeated operand qubit {q} for gate {gate}"
+            );
+        }
+        let mut qs = [0; 3];
+        qs[..qubits.len()].copy_from_slice(qubits);
+        Instruction { gate, qs }
+    }
+
+    /// The operand qubits, in gate order (controls first for `CX`/`CCX`).
+    #[inline]
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.qs[..self.gate.arity()]
+    }
+
+    /// True if the instruction acts on qubit `q`.
+    #[inline]
+    pub fn acts_on(&self, q: Qubit) -> bool {
+        self.qubits().contains(&q)
+    }
+
+    /// True if the instruction shares at least one qubit with `other`.
+    pub fn overlaps(&self, other: &Instruction) -> bool {
+        self.qubits().iter().any(|q| other.acts_on(*q))
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qs: Vec<String> = self.qubits().iter().map(|q| format!("q{q}")).collect();
+        write!(f, "{} {}", self.gate, qs.join(","))
+    }
+}
+
+/// A quantum circuit: `n` qubits and an ordered gate list.
+///
+/// ```
+/// use qcir::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::Cx, &[0, 1]);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    instrs: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Creates a circuit from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction references a qubit `≥ n_qubits`.
+    pub fn from_instructions(n_qubits: usize, instrs: Vec<Instruction>) -> Self {
+        for ins in &instrs {
+            for &q in ins.qubits() {
+                assert!(
+                    (q as usize) < n_qubits,
+                    "instruction {ins} out of range for {n_qubits} qubits"
+                );
+            }
+        }
+        Circuit { n_qubits, instrs }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of instructions (total gate count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the circuit contains no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends a gate application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range or operands repeat.
+    pub fn push(&mut self, gate: Gate, qubits: &[Qubit]) {
+        for &q in qubits {
+            assert!(
+                (q as usize) < self.n_qubits,
+                "qubit {q} out of range for {} qubits",
+                self.n_qubits
+            );
+        }
+        self.instrs.push(Instruction::new(gate, qubits));
+    }
+
+    /// Appends an already-built instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range.
+    pub fn push_instruction(&mut self, ins: Instruction) {
+        for &q in ins.qubits() {
+            assert!(
+                (q as usize) < self.n_qubits,
+                "qubit {q} out of range for {} qubits",
+                self.n_qubits
+            );
+        }
+        self.instrs.push(ins);
+    }
+
+    /// Appends every instruction of `other` (same qubit indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses qubits out of range for `self`.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        for ins in other.iter() {
+            self.push_instruction(*ins);
+        }
+    }
+
+    /// Appends `other` with its local qubit `i` mapped to `mapping[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is too short or maps out of range.
+    pub fn extend_mapped(&mut self, other: &Circuit, mapping: &[Qubit]) {
+        assert!(
+            mapping.len() >= other.num_qubits(),
+            "mapping covers {} qubits but circuit has {}",
+            mapping.len(),
+            other.num_qubits()
+        );
+        for ins in other.iter() {
+            let qs: Vec<Qubit> = ins.qubits().iter().map(|&q| mapping[q as usize]).collect();
+            self.push(ins.gate, &qs);
+        }
+    }
+
+    /// The instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// The instructions as a slice.
+    #[inline]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// The adjoint circuit (gates reversed and inverted).
+    pub fn inverse(&self) -> Circuit {
+        let instrs = self
+            .instrs
+            .iter()
+            .rev()
+            .map(|ins| Instruction::new(ins.gate.adjoint(), ins.qubits()))
+            .collect();
+        Circuit {
+            n_qubits: self.n_qubits,
+            instrs,
+        }
+    }
+
+    // ---- metrics ------------------------------------------------------
+
+    /// Number of gates acting on two or more qubits.
+    pub fn two_qubit_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.gate.arity() >= 2).count()
+    }
+
+    /// Number of `T`/`T†` gates (the FTQC cost driver of §6 Q4).
+    pub fn t_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i.gate, Gate::T | Gate::Tdg))
+            .count()
+    }
+
+    /// Number of gates satisfying a predicate.
+    pub fn count_where<F: Fn(&Instruction) -> bool>(&self, pred: F) -> usize {
+        self.instrs.iter().filter(|i| pred(i)).count()
+    }
+
+    /// Circuit depth: length of the longest wire-ordered chain.
+    pub fn depth(&self) -> usize {
+        let mut wire_depth = vec![0usize; self.n_qubits];
+        let mut max = 0;
+        for ins in &self.instrs {
+            let d = ins
+                .qubits()
+                .iter()
+                .map(|&q| wire_depth[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for &q in ins.qubits() {
+                wire_depth[q as usize] = d;
+            }
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Set of qubits that at least one gate acts on.
+    pub fn used_qubits(&self) -> Vec<Qubit> {
+        let mut used = vec![false; self.n_qubits];
+        for ins in &self.instrs {
+            for &q in ins.qubits() {
+                used[q as usize] = true;
+            }
+        }
+        (0..self.n_qubits as Qubit)
+            .filter(|&q| used[q as usize])
+            .collect()
+    }
+
+    // ---- semantics ----------------------------------------------------
+
+    /// Maximum qubit count for dense unitary construction.
+    pub const MAX_UNITARY_QUBITS: usize = 11;
+
+    /// Computes the dense `2^n × 2^n` unitary of the circuit.
+    ///
+    /// Built column-by-column with statevector kernels, which is far
+    /// cheaper than chained matrix products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than [`Self::MAX_UNITARY_QUBITS`]
+    /// qubits (the dense representation would not fit in memory).
+    pub fn unitary(&self) -> Mat {
+        assert!(
+            self.n_qubits <= Self::MAX_UNITARY_QUBITS,
+            "dense unitary limited to {} qubits, circuit has {}",
+            Self::MAX_UNITARY_QUBITS,
+            self.n_qubits
+        );
+        let dim = 1usize << self.n_qubits;
+        let mut m = Mat::zeros(dim, dim);
+        let mut col = vec![C64::ZERO; dim];
+        for j in 0..dim {
+            for z in col.iter_mut() {
+                *z = C64::ZERO;
+            }
+            col[j] = C64::ONE;
+            self.apply_to_state(&mut col);
+            for i in 0..dim {
+                m[(i, j)] = col[i];
+            }
+        }
+        m
+    }
+
+    /// Applies the circuit to a statevector in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != 2^n`.
+    pub fn apply_to_state(&self, state: &mut [C64]) {
+        assert_eq!(state.len(), 1usize << self.n_qubits, "state length");
+        for ins in &self.instrs {
+            let qs: Vec<usize> = ins.qubits().iter().map(|&q| q as usize).collect();
+            apply_gate(state, self.n_qubits, &qs, &ins.gate.matrix());
+        }
+    }
+
+    /// Runs the circuit on `|0…0⟩` and returns the final state.
+    pub fn run_on_zero(&self) -> Vec<C64> {
+        let mut s = zero_state(self.n_qubits);
+        self.apply_to_state(&mut s);
+        s
+    }
+
+    /// Histogram of gate mnemonics to counts, sorted by name.
+    pub fn gate_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for ins in &self.instrs {
+            *counts.entry(ins.gate.name()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit[{} qubits, {} gates]", self.n_qubits, self.len())?;
+        for ins in &self.instrs {
+            writeln!(f, "  {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::hs_distance;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn fig4_circuit() -> Circuit {
+        // The running example from the paper's Fig. 4/5:
+        // Rz(π/2) q0; CX q0,q1; H q1; Rz(π/2) q0
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        c
+    }
+
+    #[test]
+    fn paper_fig5_resynthesis_target() {
+        // Fig. 5: the circuit is equivalent to Rz(π) q0; CX; H q1.
+        let lhs = fig4_circuit();
+        let mut rhs = Circuit::new(2);
+        rhs.push(Gate::Rz(PI), &[0]);
+        rhs.push(Gate::Cx, &[0, 1]);
+        rhs.push(Gate::H, &[1]);
+        assert!(hs_distance(&lhs.unitary(), &rhs.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn metrics() {
+        let c = fig4_circuit();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.t_count(), 0);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.used_qubits(), vec![0, 1]);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let c = fig4_circuit();
+        let mut both = c.clone();
+        both.extend_from(&c.inverse());
+        let u = both.unitary();
+        assert!(hs_distance(&u, &Mat::identity(4)) < 1e-7);
+    }
+
+    #[test]
+    fn unitary_matches_embedding_chain() {
+        use qmath::{embed, gates};
+        let c = fig4_circuit();
+        let expect = embed(&gates::rz(FRAC_PI_2), 2, &[0])
+            .matmul(&embed(&gates::h(), 2, &[1]))
+            .matmul(&gates::cx())
+            .matmul(&embed(&gates::rz(FRAC_PI_2), 2, &[0]));
+        assert!(c.unitary().approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn extend_mapped_remaps() {
+        let mut small = Circuit::new(2);
+        small.push(Gate::Cx, &[0, 1]);
+        let mut big = Circuit::new(4);
+        big.extend_mapped(&small, &[3, 1]);
+        assert_eq!(big.instructions()[0].qubits(), &[3, 1]);
+    }
+
+    #[test]
+    fn depth_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::H, &[2]);
+        assert_eq!(c.depth(), 1);
+        c.push(Gate::Cx, &[0, 1]);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn run_on_zero_bell() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let s = c.run_on_zero();
+        assert!((s[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((s[3].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_histogram_sorted() {
+        let c = fig4_circuit();
+        let h = c.gate_histogram();
+        assert_eq!(h, vec![("cx", 1), ("h", 1), ("rz", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Cx, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated operand")]
+    fn repeated_operand_panics() {
+        let _ = Instruction::new(Gate::Cx, &[0, 0]);
+    }
+}

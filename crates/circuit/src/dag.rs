@@ -1,0 +1,163 @@
+//! Wire-DAG view of a circuit.
+//!
+//! The instruction list of a [`Circuit`] is one topological order of the
+//! circuit DAG (paper §3): nodes are gates, and each qubit wire threads
+//! through the gates acting on it. [`WireDag`] materializes the
+//! predecessor/successor links per wire so pattern matching and subcircuit
+//! growth can walk the DAG in O(1) per step.
+
+use crate::circuit::{Circuit, Qubit};
+
+/// Per-wire predecessor/successor links for every instruction of a circuit.
+#[derive(Debug, Clone)]
+pub struct WireDag {
+    /// `next[i][s]`: the index of the next instruction on the wire used by
+    /// operand slot `s` of instruction `i`.
+    next: Vec<[Option<usize>; 3]>,
+    /// `prev[i][s]`: same, for the previous instruction on that wire.
+    prev: Vec<[Option<usize>; 3]>,
+    /// First instruction on each qubit wire.
+    first: Vec<Option<usize>>,
+    /// Last instruction on each qubit wire.
+    last: Vec<Option<usize>>,
+}
+
+impl WireDag {
+    /// Builds the DAG links for `circuit` in a single pass.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut next = vec![[None; 3]; n];
+        let mut prev = vec![[None; 3]; n];
+        let mut first = vec![None; circuit.num_qubits()];
+        let mut last: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, ins) in circuit.iter().enumerate() {
+            for (slot, &q) in ins.qubits().iter().enumerate() {
+                let q = q as usize;
+                if let Some(p) = last[q] {
+                    prev[i][slot] = Some(p);
+                    // Find the slot of q in instruction p.
+                    let pslot = circuit.instructions()[p]
+                        .qubits()
+                        .iter()
+                        .position(|&pq| pq as usize == q)
+                        .expect("wire bookkeeping out of sync");
+                    next[p][pslot] = Some(i);
+                } else {
+                    first[q] = Some(i);
+                }
+                last[q] = Some(i);
+            }
+        }
+        WireDag {
+            next,
+            prev,
+            first,
+            last,
+        }
+    }
+
+    /// Index of the next instruction after `i` on wire `q`.
+    ///
+    /// Returns `None` if `i` is the last instruction on that wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instruction `i` does not act on `q`.
+    pub fn next_on_wire(&self, circuit: &Circuit, i: usize, q: Qubit) -> Option<usize> {
+        let slot = circuit.instructions()[i]
+            .qubits()
+            .iter()
+            .position(|&x| x == q)
+            .unwrap_or_else(|| panic!("instruction {i} does not act on qubit {q}"));
+        self.next[i][slot]
+    }
+
+    /// Index of the previous instruction before `i` on wire `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instruction `i` does not act on `q`.
+    pub fn prev_on_wire(&self, circuit: &Circuit, i: usize, q: Qubit) -> Option<usize> {
+        let slot = circuit.instructions()[i]
+            .qubits()
+            .iter()
+            .position(|&x| x == q)
+            .unwrap_or_else(|| panic!("instruction {i} does not act on qubit {q}"));
+        self.prev[i][slot]
+    }
+
+    /// First instruction on wire `q`, if any gate acts on it.
+    pub fn first_on_wire(&self, q: Qubit) -> Option<usize> {
+        self.first[q as usize]
+    }
+
+    /// Last instruction on wire `q`, if any gate acts on it.
+    pub fn last_on_wire(&self, q: Qubit) -> Option<usize> {
+        self.last[q as usize]
+    }
+
+    /// All DAG successors of instruction `i` (one per wire, deduplicated).
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut seen: Vec<usize> = self.next[i].iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+
+    /// All DAG predecessors of instruction `i` (one per wire, deduplicated).
+    pub fn predecessors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let mut seen: Vec<usize> = self.prev[i].iter().flatten().copied().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]); // 0
+        c.push(Gate::Cx, &[0, 1]); // 1
+        c.push(Gate::T, &[2]); // 2
+        c.push(Gate::Cx, &[1, 2]); // 3
+        c.push(Gate::H, &[0]); // 4
+        c
+    }
+
+    #[test]
+    fn wire_links() {
+        let c = sample();
+        let d = WireDag::build(&c);
+        assert_eq!(d.first_on_wire(0), Some(0));
+        assert_eq!(d.next_on_wire(&c, 0, 0), Some(1));
+        assert_eq!(d.next_on_wire(&c, 1, 0), Some(4));
+        assert_eq!(d.next_on_wire(&c, 1, 1), Some(3));
+        assert_eq!(d.prev_on_wire(&c, 3, 2), Some(2));
+        assert_eq!(d.next_on_wire(&c, 4, 0), None);
+        assert_eq!(d.last_on_wire(2), Some(3));
+        assert_eq!(d.last_on_wire(0), Some(4));
+    }
+
+    #[test]
+    fn successors_dedup() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]); // 0
+        c.push(Gate::Cx, &[0, 1]); // 1 — successor on both wires
+        let d = WireDag::build(&c);
+        let succ: Vec<usize> = d.successors(0).collect();
+        assert_eq!(succ, vec![1]);
+        let pred: Vec<usize> = d.predecessors(1).collect();
+        assert_eq!(pred, vec![0]);
+    }
+
+    #[test]
+    fn empty_wires() {
+        let c = Circuit::new(4);
+        let d = WireDag::build(&c);
+        assert_eq!(d.first_on_wire(3), None);
+    }
+}

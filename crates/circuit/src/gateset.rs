@@ -1,0 +1,125 @@
+//! The five evaluation gate sets (paper Table 2).
+
+use crate::gate::Gate;
+use std::fmt;
+
+/// A target gate set from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateSet {
+    /// `U1, U2, U3, CX` — superconducting (IBM Q20 Tokyo-era).
+    Ibmq20,
+    /// `Rz, SX, X, CX` — superconducting (IBM Eagle).
+    IbmEagle,
+    /// `Rx, Ry, Rz, Rxx` — trapped ion (IonQ).
+    Ionq,
+    /// `Rz, H, X, CX` — the Nam et al. benchmark set.
+    Nam,
+    /// `T, T†, S, S†, H, X, CX` — fault-tolerant Clifford+T.
+    CliffordT,
+}
+
+impl GateSet {
+    /// All five gate sets, in the paper's Table 2 order.
+    pub const ALL: [GateSet; 5] = [
+        GateSet::Ibmq20,
+        GateSet::IbmEagle,
+        GateSet::Ionq,
+        GateSet::Nam,
+        GateSet::CliffordT,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateSet::Ibmq20 => "ibmq20",
+            GateSet::IbmEagle => "ibm-eagle",
+            GateSet::Ionq => "ionq",
+            GateSet::Nam => "nam",
+            GateSet::CliffordT => "clifford+t",
+        }
+    }
+
+    /// Architecture column of Table 2.
+    pub fn architecture(self) -> &'static str {
+        match self {
+            GateSet::Ibmq20 | GateSet::IbmEagle => "Supercond.",
+            GateSet::Ionq => "Ion Trap",
+            GateSet::Nam => "None",
+            GateSet::CliffordT => "Fault Tolerant",
+        }
+    }
+
+    /// Human-readable list of the member gates.
+    pub fn gate_names(self) -> &'static [&'static str] {
+        match self {
+            GateSet::Ibmq20 => &["u1", "u2", "u3", "cx"],
+            GateSet::IbmEagle => &["rz", "sx", "x", "cx"],
+            GateSet::Ionq => &["rx", "ry", "rz", "rxx"],
+            GateSet::Nam => &["rz", "h", "x", "cx"],
+            GateSet::CliffordT => &["t", "tdg", "s", "sdg", "h", "x", "cx"],
+        }
+    }
+
+    /// True when the set has continuously-parameterized gates.
+    pub fn is_continuous(self) -> bool {
+        !matches!(self, GateSet::CliffordT)
+    }
+
+    /// Membership test for a concrete gate.
+    pub fn contains(self, gate: Gate) -> bool {
+        use Gate::*;
+        match self {
+            GateSet::Ibmq20 => matches!(gate, P(_) | U2(..) | U3(..) | Cx),
+            GateSet::IbmEagle => matches!(gate, Rz(_) | Sx | X | Cx),
+            GateSet::Ionq => matches!(gate, Rx(_) | Ry(_) | Rz(_) | Rxx(_)),
+            GateSet::Nam => matches!(gate, Rz(_) | H | X | Cx),
+            GateSet::CliffordT => matches!(gate, T | Tdg | S | Sdg | H | X | Cx),
+        }
+    }
+
+    /// The entangling (multi-qubit) gate of the set.
+    pub fn entangler(self) -> &'static str {
+        match self {
+            GateSet::Ionq => "rxx",
+            _ => "cx",
+        }
+    }
+}
+
+impl fmt::Display for GateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_spot_checks() {
+        assert!(GateSet::Ibmq20.contains(Gate::U3(0.1, 0.2, 0.3)));
+        assert!(!GateSet::Ibmq20.contains(Gate::H));
+        assert!(GateSet::IbmEagle.contains(Gate::Sx));
+        assert!(!GateSet::IbmEagle.contains(Gate::Ry(0.5)));
+        assert!(GateSet::Ionq.contains(Gate::Rxx(0.5)));
+        assert!(!GateSet::Ionq.contains(Gate::Cx));
+        assert!(GateSet::Nam.contains(Gate::H));
+        assert!(GateSet::CliffordT.contains(Gate::Tdg));
+        assert!(!GateSet::CliffordT.contains(Gate::Rz(0.3)));
+    }
+
+    #[test]
+    fn continuous_flag() {
+        assert!(GateSet::Ibmq20.is_continuous());
+        assert!(!GateSet::CliffordT.is_continuous());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = GateSet::ALL.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

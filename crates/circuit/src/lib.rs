@@ -1,0 +1,41 @@
+//! `qcir` — quantum circuit IR for the GUOQ reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`Gate`]: the gate alphabet covering all five evaluation gate sets
+//! * [`Circuit`] / [`Instruction`]: the ordered-list IR with metrics and
+//!   dense-unitary semantics
+//! * [`dag::WireDag`]: per-wire DAG links for pattern matching
+//! * [`region::Region`]: convex subcircuits — extraction and sound
+//!   replacement (the substrate for both rewrite application and
+//!   resynthesis)
+//! * [`gateset::GateSet`] and [`rebase::rebase`]: the paper's Table 2 gate
+//!   sets and verified decompositions into them
+//! * [`qasm`]: OpenQASM 2.0 subset I/O
+//!
+//! # Example
+//!
+//! ```
+//! use qcir::{Circuit, Gate, gateset::GateSet, rebase::rebase};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::Ccx, &[0, 1, 2]);
+//! let native = rebase(&c, GateSet::IbmEagle)?;
+//! assert!(native.iter().all(|i| GateSet::IbmEagle.contains(i.gate)));
+//! # Ok::<(), qcir::rebase::RebaseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod gateset;
+pub mod qasm;
+pub mod rebase;
+pub mod region;
+
+pub use circuit::{Circuit, Instruction, Qubit};
+pub use gate::{Gate, GateKind};
+pub use gateset::GateSet;
+pub use region::Region;

@@ -1,0 +1,487 @@
+//! OpenQASM 2.0 subset reader and writer.
+//!
+//! Supports the fragment needed to interchange benchmark circuits:
+//! `OPENQASM 2.0`, one `qreg`, and applications of the gates in
+//! [`crate::gate::Gate`]. Parameter expressions may use `pi`, numeric
+//! literals, unary minus, `+ - * /`, and parentheses.
+
+use crate::circuit::{Circuit, Qubit};
+use crate::gate::Gate;
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Error from parsing a QASM document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for QasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> QasmError {
+    QasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serializes a circuit as OpenQASM 2.0.
+///
+/// ```
+/// use qcir::{Circuit, Gate, qasm};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::Cx, &[0, 1]);
+/// let text = qasm::to_qasm(&c);
+/// let back = qasm::from_qasm(&text).unwrap();
+/// assert_eq!(back.len(), 2);
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut s = String::new();
+    s.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(s, "qreg q[{}];", circuit.num_qubits());
+    for ins in circuit.iter() {
+        let params = ins.gate.params();
+        if params.is_empty() {
+            let _ = write!(s, "{}", ins.gate.name());
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
+            let _ = write!(s, "{}({})", ins.gate.name(), rendered.join(","));
+        }
+        let qs: Vec<String> = ins.qubits().iter().map(|q| format!("q[{q}]")).collect();
+        let _ = writeln!(s, " {};", qs.join(","));
+    }
+    s
+}
+
+/// Parses an OpenQASM 2.0 document into a circuit.
+///
+/// # Errors
+///
+/// Returns [`QasmError`] on unsupported statements, unknown gates, malformed
+/// expressions, or qubit indices out of range.
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = match raw.find("//") {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        for part in stmt.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if part.starts_with("OPENQASM") || part.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = part.strip_prefix("qreg") {
+                let rest = rest.trim();
+                let open = rest.find('[').ok_or_else(|| err(line, "malformed qreg"))?;
+                let close = rest.find(']').ok_or_else(|| err(line, "malformed qreg"))?;
+                let n: usize = rest[open + 1..close]
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(line, "bad qreg size"))?;
+                if circuit.is_some() {
+                    return Err(err(line, "multiple qreg declarations unsupported"));
+                }
+                circuit = Some(Circuit::new(n));
+                continue;
+            }
+            if part.starts_with("creg") || part.starts_with("barrier") || part.starts_with("measure")
+            {
+                continue; // ignored: classical bookkeeping
+            }
+            let c = circuit
+                .as_mut()
+                .ok_or_else(|| err(line, "gate before qreg declaration"))?;
+            parse_gate_application(part, line, c)?;
+        }
+    }
+    circuit.ok_or_else(|| err(0, "no qreg declaration found"))
+}
+
+fn parse_gate_application(stmt: &str, line: usize, c: &mut Circuit) -> Result<(), QasmError> {
+    // Split off "name(params)" from operand list.
+    let (head, operands) = match stmt.find(|ch: char| ch.is_whitespace()) {
+        Some(i) if !stmt[..i].contains('(') || stmt[..i].contains(')') => {
+            (stmt[..i].trim(), stmt[i..].trim())
+        }
+        _ => {
+            // Parameterized with possible space inside parens: find the
+            // closing paren.
+            match stmt.find(')') {
+                Some(i) => (stmt[..=i].trim(), stmt[i + 1..].trim()),
+                None => {
+                    let i = stmt
+                        .find(|ch: char| ch.is_whitespace())
+                        .ok_or_else(|| err(line, "malformed gate application"))?;
+                    (stmt[..i].trim(), stmt[i..].trim())
+                }
+            }
+        }
+    };
+    let (name, params) = match head.find('(') {
+        Some(i) => {
+            let close = head.rfind(')').ok_or_else(|| err(line, "unclosed parameter list"))?;
+            let plist = &head[i + 1..close];
+            let mut vals = Vec::new();
+            for e in plist.split(',') {
+                vals.push(parse_expr(e).map_err(|m| err(line, m))?);
+            }
+            (&head[..i], vals)
+        }
+        None => (head, Vec::new()),
+    };
+
+    let mut qubits: Vec<Qubit> = Vec::new();
+    for op in operands.split(',') {
+        let op = op.trim();
+        let open = op
+            .find('[')
+            .ok_or_else(|| err(line, format!("expected q[i] operand, got `{op}`")))?;
+        let close = op
+            .find(']')
+            .ok_or_else(|| err(line, format!("expected q[i] operand, got `{op}`")))?;
+        let idx: Qubit = op[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| err(line, "bad qubit index"))?;
+        if idx as usize >= c.num_qubits() {
+            return Err(err(line, format!("qubit {idx} out of range")));
+        }
+        qubits.push(idx);
+    }
+
+    let need = |n: usize| -> Result<(), QasmError> {
+        if params.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("gate {name} expects {n} parameters, got {}", params.len()),
+            ))
+        }
+    };
+    let gate = match name {
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::Sx,
+        "sxdg" => Gate::Sxdg,
+        "id" => return Ok(()), // explicit identity: drop
+        "rx" => {
+            need(1)?;
+            Gate::Rx(params[0])
+        }
+        "ry" => {
+            need(1)?;
+            Gate::Ry(params[0])
+        }
+        "rz" => {
+            need(1)?;
+            Gate::Rz(params[0])
+        }
+        "p" | "u1" => {
+            need(1)?;
+            Gate::P(params[0])
+        }
+        "u2" => {
+            need(2)?;
+            Gate::U2(params[0], params[1])
+        }
+        "u3" | "u" => {
+            need(3)?;
+            Gate::U3(params[0], params[1], params[2])
+        }
+        "cx" | "CX" => Gate::Cx,
+        "cz" => Gate::Cz,
+        "cp" | "cu1" => {
+            need(1)?;
+            Gate::Cp(params[0])
+        }
+        "crz" => {
+            need(1)?;
+            Gate::Crz(params[0])
+        }
+        "swap" => Gate::Swap,
+        "rxx" => {
+            need(1)?;
+            Gate::Rxx(params[0])
+        }
+        "ryy" => {
+            need(1)?;
+            Gate::Ryy(params[0])
+        }
+        "rzz" => {
+            need(1)?;
+            Gate::Rzz(params[0])
+        }
+        "ccx" => Gate::Ccx,
+        "ccz" => Gate::Ccz,
+        other => return Err(err(line, format!("unknown gate `{other}`"))),
+    };
+    if qubits.len() != gate.arity() {
+        return Err(err(
+            line,
+            format!(
+                "gate {name} expects {} operands, got {}",
+                gate.arity(),
+                qubits.len()
+            ),
+        ));
+    }
+    c.push(gate, &qubits);
+    Ok(())
+}
+
+// ---- tiny expression parser: numbers, pi, + - * /, parens, unary minus ----
+
+fn parse_expr(src: &str) -> Result<f64, String> {
+    let tokens = tokenize(src)?;
+    let mut pos = 0usize;
+    let v = parse_sum(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens in expression `{src}`"));
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            'p' | 'P' => {
+                if src[i..].to_ascii_lowercase().starts_with("pi") {
+                    toks.push(Tok::Num(std::f64::consts::PI));
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected character `{c}` in `{src}`"));
+                }
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' {
+                        i += 1;
+                    } else if (d == '+' || d == '-')
+                        && i > start
+                        && matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let v: f64 = src[start..i]
+                    .parse()
+                    .map_err(|_| format!("bad number in `{src}`"))?;
+                toks.push(Tok::Num(v));
+            }
+            _ => return Err(format!("unexpected character `{c}` in `{src}`")),
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_sum(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_product(toks, pos)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Plus => {
+                *pos += 1;
+                acc += parse_product(toks, pos)?;
+            }
+            Tok::Minus => {
+                *pos += 1;
+                acc -= parse_product(toks, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_product(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    let mut acc = parse_atom(toks, pos)?;
+    while *pos < toks.len() {
+        match toks[*pos] {
+            Tok::Star => {
+                *pos += 1;
+                acc *= parse_atom(toks, pos)?;
+            }
+            Tok::Slash => {
+                *pos += 1;
+                acc /= parse_atom(toks, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_atom(toks: &[Tok], pos: &mut usize) -> Result<f64, String> {
+    match toks.get(*pos) {
+        Some(Tok::Num(v)) => {
+            *pos += 1;
+            Ok(*v)
+        }
+        Some(Tok::Minus) => {
+            *pos += 1;
+            Ok(-parse_atom(toks, pos)?)
+        }
+        Some(Tok::Plus) => {
+            *pos += 1;
+            parse_atom(toks, pos)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let v = parse_sum(toks, pos)?;
+            if toks.get(*pos) != Some(&Tok::RParen) {
+                return Err("missing closing paren".into());
+            }
+            *pos += 1;
+            Ok(v)
+        }
+        _ => Err("expected a value".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::hs_distance;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn roundtrip() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(PI / 3.0), &[1]);
+        c.push(Gate::Cx, &[0, 2]);
+        c.push(Gate::U3(0.1, -0.2, 0.3), &[2]);
+        c.push(Gate::Ccx, &[0, 1, 2]);
+        let text = to_qasm(&c);
+        let back = from_qasm(&text).unwrap();
+        assert_eq!(back.len(), c.len());
+        assert!(hs_distance(&back.unitary(), &c.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            rz(pi/4) q[0];
+            rz(-pi/2) q[1];
+            rz(3*pi/4) q[0];
+            cp(pi/8 + pi/8) q[0],q[1];
+            u3(0.5, -0.25e1, pi) q[1];
+        "#;
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 5);
+        match c.instructions()[0].gate {
+            Gate::Rz(a) => assert!((a - PI / 4.0).abs() < 1e-12),
+            other => panic!("expected rz, got {other}"),
+        }
+        match c.instructions()[3].gate {
+            Gate::Cp(a) => assert!((a - PI / 4.0).abs() < 1e-12),
+            other => panic!("expected cp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let src = "qreg q[1];\nfoo q[0];\n";
+        let e = from_qasm(src).unwrap_err();
+        assert!(e.to_string().contains("unknown gate"));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let src = "qreg q[1];\nh q[3];\n";
+        assert!(from_qasm(src).is_err());
+    }
+
+    #[test]
+    fn ignores_comments_and_measure() {
+        let src = r#"
+            OPENQASM 2.0;
+            qreg q[2]; creg c[2];
+            h q[0]; // a comment
+            measure q[0] -> c[0];
+            barrier q[0], q[1];
+        "#;
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn multiple_statements_one_line() {
+        let src = "qreg q[2]; h q[0]; cx q[0],q[1];";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,160 @@
+//! Optimization objectives (paper §5.1).
+//!
+//! A cost function maps a circuit to a real number to *minimize*. The
+//! paper's examples are all expressible here: two-qubit-gate count for
+//! NISQ, `2·#T + #CX` for FTQC (Example 5.1), and negative log-fidelity
+//! under a device calibration model (§6 metrics).
+
+use crate::fidelity::CalibrationModel;
+use qcir::{Circuit, Gate};
+
+/// An optimization objective: smaller is better.
+pub trait CostFn: Send + Sync {
+    /// The cost of a circuit.
+    fn cost(&self, circuit: &Circuit) -> f64;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Minimize the number of multi-qubit gates (the NISQ objective).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoQubitCount;
+
+impl CostFn for TwoQubitCount {
+    fn cost(&self, circuit: &Circuit) -> f64 {
+        circuit.two_qubit_count() as f64
+    }
+    fn name(&self) -> &'static str {
+        "2q-count"
+    }
+}
+
+/// Minimize total gate count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GateCount;
+
+impl CostFn for GateCount {
+    fn cost(&self, circuit: &Circuit) -> f64 {
+        circuit.len() as f64
+    }
+    fn name(&self) -> &'static str {
+        "gate-count"
+    }
+}
+
+/// The FTQC objective of Example 5.1: `t_weight·#T + cx_weight·#CX`.
+#[derive(Debug, Clone, Copy)]
+pub struct TWeighted {
+    /// Weight on `T`/`T†` gates.
+    pub t_weight: f64,
+    /// Weight on multi-qubit gates.
+    pub cx_weight: f64,
+}
+
+impl Default for TWeighted {
+    fn default() -> Self {
+        // The paper's Example 5.1: cost = 2·#T + #CX.
+        TWeighted {
+            t_weight: 2.0,
+            cx_weight: 1.0,
+        }
+    }
+}
+
+impl CostFn for TWeighted {
+    fn cost(&self, circuit: &Circuit) -> f64 {
+        self.t_weight * circuit.t_count() as f64
+            + self.cx_weight * circuit.two_qubit_count() as f64
+    }
+    fn name(&self) -> &'static str {
+        "t-weighted"
+    }
+}
+
+/// Lexicographic `(T count, CX count)` objective used when running GUOQ on
+/// folded output (Fig. 14): reduce CX without ever increasing T.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TThenCx;
+
+impl CostFn for TThenCx {
+    fn cost(&self, circuit: &Circuit) -> f64 {
+        // A large multiplier makes T strictly dominate (circuits in the
+        // suite stay far below 1e6 CX).
+        1e6 * circuit.t_count() as f64 + circuit.two_qubit_count() as f64
+    }
+    fn name(&self) -> &'static str {
+        "t-then-cx"
+    }
+}
+
+/// Negative log-fidelity under a calibration model (maximizing fidelity).
+#[derive(Debug, Clone, Copy)]
+pub struct NegLogFidelity {
+    /// The device error model.
+    pub model: CalibrationModel,
+}
+
+impl CostFn for NegLogFidelity {
+    fn cost(&self, circuit: &Circuit) -> f64 {
+        self.model.neg_log_fidelity(circuit)
+    }
+    fn name(&self) -> &'static str {
+        "neg-log-fidelity"
+    }
+}
+
+/// Counts gates of a specific mnemonic (helper for analyses and tests).
+pub fn count_gate(circuit: &Circuit, name: &str) -> usize {
+    circuit.count_where(|i| i.gate.name() == name)
+}
+
+/// True when `gate` is a `T`-family gate.
+pub fn is_t_gate(gate: Gate) -> bool {
+    matches!(gate, Gate::T | Gate::Tdg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Tdg, &[1]);
+        c.push(Gate::H, &[0]);
+        c
+    }
+
+    #[test]
+    fn objectives_disagree_as_designed() {
+        let c = sample();
+        assert_eq!(TwoQubitCount.cost(&c), 1.0);
+        assert_eq!(GateCount.cost(&c), 4.0);
+        assert_eq!(TWeighted::default().cost(&c), 2.0 * 2.0 + 1.0);
+        assert_eq!(TThenCx.cost(&c), 2e6 + 1.0);
+    }
+
+    #[test]
+    fn t_then_cx_lexicographic() {
+        let mut fewer_t = Circuit::new(2);
+        for _ in 0..100 {
+            fewer_t.push(Gate::Cx, &[0, 1]);
+        }
+        fewer_t.push(Gate::T, &[0]);
+        let mut fewer_cx = Circuit::new(2);
+        fewer_cx.push(Gate::T, &[0]);
+        fewer_cx.push(Gate::T, &[1]);
+        // One T beats two T's regardless of CX overhead.
+        assert!(TThenCx.cost(&fewer_t) < TThenCx.cost(&fewer_cx));
+    }
+
+    #[test]
+    fn count_gate_by_name() {
+        let c = sample();
+        assert_eq!(count_gate(&c, "cx"), 1);
+        assert_eq!(count_gate(&c, "t"), 1);
+        assert_eq!(count_gate(&c, "tdg"), 1);
+    }
+}

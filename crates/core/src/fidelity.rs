@@ -1,0 +1,108 @@
+//! Device calibration models and circuit fidelity (paper §6, Metrics).
+//!
+//! "The fidelity of a gate is 1 − its error rate and the fidelity of a
+//! circuit is the product of its gate fidelities." The paper uses IBM
+//! Washington calibration data for the superconducting sets and IonQ
+//! Forte data for the ion-trap set; we substitute the published median
+//! error rates (see DESIGN.md §3) — orderings between optimizers are
+//! insensitive to the absolute values.
+
+use qcir::{Circuit, GateSet};
+
+/// Per-gate-class error rates of a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationModel {
+    /// Error rate of a single-qubit gate.
+    pub single_qubit_error: f64,
+    /// Error rate of a two-qubit (or wider) gate.
+    pub two_qubit_error: f64,
+}
+
+impl CalibrationModel {
+    /// Published-median model for a gate set's reference device.
+    pub fn for_gate_set(set: GateSet) -> Self {
+        match set {
+            // IBM Washington (Eagle r1): median CX ≈ 7.5e-3, 1q ≈ 2.5e-4.
+            GateSet::Ibmq20 | GateSet::IbmEagle | GateSet::Nam => CalibrationModel {
+                single_qubit_error: 2.5e-4,
+                two_qubit_error: 7.5e-3,
+            },
+            // IonQ Forte: 2q ≈ 4e-3, 1q ≈ 2e-4.
+            GateSet::Ionq => CalibrationModel {
+                single_qubit_error: 2.0e-4,
+                two_qubit_error: 4.0e-3,
+            },
+            // FTQC logical gates: tiny logical error per cycle; T gates
+            // (magic states) dominate.
+            GateSet::CliffordT => CalibrationModel {
+                single_qubit_error: 1.0e-6,
+                two_qubit_error: 1.0e-5,
+            },
+        }
+    }
+
+    /// The success probability of running `circuit` once.
+    pub fn fidelity(&self, circuit: &Circuit) -> f64 {
+        let one_q = circuit.len() - circuit.two_qubit_count();
+        let two_q = circuit.two_qubit_count();
+        (1.0 - self.single_qubit_error).powi(one_q as i32)
+            * (1.0 - self.two_qubit_error).powi(two_q as i32)
+    }
+
+    /// Negative log-fidelity: an additive, minimizable form of the same
+    /// objective (`-ln Π(1-e) = Σ -ln(1-e)`).
+    pub fn neg_log_fidelity(&self, circuit: &Circuit) -> f64 {
+        let one_q = (circuit.len() - circuit.two_qubit_count()) as f64;
+        let two_q = circuit.two_qubit_count() as f64;
+        -(one_q * (1.0 - self.single_qubit_error).ln()
+            + two_q * (1.0 - self.two_qubit_error).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+
+    #[test]
+    fn two_qubit_gates_dominate() {
+        let model = CalibrationModel::for_gate_set(GateSet::IbmEagle);
+        let mut many_1q = Circuit::new(2);
+        for _ in 0..20 {
+            many_1q.push(Gate::Sx, &[0]);
+        }
+        let mut one_2q = Circuit::new(2);
+        one_2q.push(Gate::Cx, &[0, 1]);
+        // 20 single-qubit gates still beat one CX.
+        assert!(model.fidelity(&many_1q) > model.fidelity(&one_2q));
+    }
+
+    #[test]
+    fn neg_log_consistent_with_fidelity() {
+        let model = CalibrationModel::for_gate_set(GateSet::Ionq);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(0.1), &[0]);
+        c.push(Gate::Rxx(0.2), &[0, 1]);
+        let f = model.fidelity(&c);
+        let nl = model.neg_log_fidelity(&c);
+        assert!((f.ln() + nl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_perfect() {
+        let model = CalibrationModel::for_gate_set(GateSet::Ibmq20);
+        assert_eq!(model.fidelity(&Circuit::new(3)), 1.0);
+        assert_eq!(model.neg_log_fidelity(&Circuit::new(3)), 0.0);
+    }
+
+    #[test]
+    fn fewer_gates_higher_fidelity() {
+        let model = CalibrationModel::for_gate_set(GateSet::IbmEagle);
+        let mut a = Circuit::new(2);
+        a.push(Gate::Cx, &[0, 1]);
+        a.push(Gate::Cx, &[0, 1]);
+        let mut b = Circuit::new(2);
+        b.push(Gate::Cx, &[0, 1]);
+        assert!(model.fidelity(&b) > model.fidelity(&a));
+    }
+}

@@ -1,0 +1,501 @@
+//! The GUOQ algorithm (paper §5, Algorithm 1).
+//!
+//! A single-candidate stochastic search inspired by simulated annealing:
+//! each iteration randomly picks a transformation (resynthesis with small
+//! probability, otherwise a uniformly random rewrite rule), applies it to
+//! a random subcircuit, and accepts cost-non-increasing moves always and
+//! worsening moves with probability `exp(−t·cost'/cost)`. The sum of the
+//! measured per-application errors never exceeds the global tolerance
+//! `ε_f` (Thm. 4.2 / Thm. 5.3).
+
+use crate::cost::CostFn;
+use crate::transform::{
+    Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
+};
+use qcir::{Circuit, GateSet};
+use qsynth::{resynth::ResynthOpts, Resynthesizer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Search budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Wall-clock limit (the paper's mode; GUOQ is an anytime algorithm).
+    Time(Duration),
+    /// Iteration-count limit (deterministic; used by tests).
+    Iterations(u64),
+}
+
+impl Budget {
+    fn exhausted(&self, started: Instant, iterations: u64) -> bool {
+        match *self {
+            Budget::Time(limit) => started.elapsed() >= limit,
+            Budget::Iterations(n) => iterations >= n,
+        }
+    }
+}
+
+/// Options for [`Guoq`].
+#[derive(Debug, Clone)]
+pub struct GuoqOpts {
+    /// Search budget.
+    pub budget: Budget,
+    /// Global error tolerance `ε_f` (hard constraint, Def. 5.2).
+    pub eps_total: f64,
+    /// Acceptance temperature `t` (paper: 10 — near-greedy).
+    pub temperature: f64,
+    /// Probability of choosing resynthesis per iteration (paper: 1.5%).
+    pub resynth_probability: f64,
+    /// Maximum random-subcircuit width for resynthesis (paper: 3).
+    pub max_subcircuit_qubits: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Record a best-cost-over-time trace (Fig. 7).
+    pub record_history: bool,
+    /// Run resynthesis on a worker thread, interleaving rewrites while it
+    /// runs, and discard interim edits when a result is accepted (§5.3).
+    pub async_resynth: bool,
+}
+
+impl Default for GuoqOpts {
+    fn default() -> Self {
+        GuoqOpts {
+            budget: Budget::Time(Duration::from_secs(10)),
+            eps_total: 1e-8,
+            temperature: 10.0,
+            resynth_probability: 0.015,
+            max_subcircuit_qubits: 3,
+            seed: 0xCAFE,
+            record_history: false,
+            async_resynth: false,
+        }
+    }
+}
+
+/// One sample of the best-so-far trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryPoint {
+    /// Seconds since the search started.
+    pub seconds: f64,
+    /// Iteration index.
+    pub iteration: u64,
+    /// Best cost so far.
+    pub best_cost: f64,
+    /// Two-qubit gate count of the best circuit so far.
+    pub best_two_qubit: usize,
+}
+
+/// The result of a GUOQ run.
+#[derive(Debug, Clone)]
+pub struct GuoqResult {
+    /// Best circuit found.
+    pub circuit: Circuit,
+    /// Its cost under the objective.
+    pub cost: f64,
+    /// Accumulated error bound of the best circuit (≤ `ε_f`).
+    pub epsilon: f64,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Resynthesis calls that returned a replacement.
+    pub resynth_hits: u64,
+    /// Best-so-far trace (empty unless `record_history`).
+    pub history: Vec<HistoryPoint>,
+}
+
+/// The GUOQ optimizer: an instantiation of the transformation framework
+/// plus the Algorithm-1 search loop.
+pub struct Guoq {
+    fast: Vec<Box<dyn Transformation>>,
+    slow: Vec<ResynthPass>,
+    opts: GuoqOpts,
+}
+
+impl Guoq {
+    /// The paper's full instantiation for a gate set: the QUESO-style rule
+    /// corpus, the exact built-in passes, and resynthesis.
+    pub fn for_gate_set(set: GateSet, opts: GuoqOpts) -> Self {
+        let mut g = Self::rewrite_only(set, opts);
+        let eps = (g.opts.eps_total / 8.0).max(1e-12);
+        let rs = Resynthesizer::with_opts(set, ResynthOpts::fast());
+        g.slow.push(ResynthPass::new(
+            rs,
+            g.opts.max_subcircuit_qubits,
+            eps,
+        ));
+        g
+    }
+
+    /// Ablation: rewrite rules (and exact passes) only — `GUOQ-REWRITE`.
+    pub fn rewrite_only(set: GateSet, opts: GuoqOpts) -> Self {
+        let mut fast: Vec<Box<dyn Transformation>> = Vec::new();
+        for rule in qrewrite::rules_for(set) {
+            fast.push(Box::new(RulePass::new(rule)));
+        }
+        fast.push(Box::new(FusionPass::new(set)));
+        fast.push(Box::new(CommutationPass));
+        fast.push(Box::new(CleanupPass));
+        Guoq {
+            fast,
+            slow: Vec::new(),
+            opts,
+        }
+    }
+
+    /// Ablation: resynthesis only — `GUOQ-RESYNTH`.
+    pub fn resynth_only(set: GateSet, opts: GuoqOpts) -> Self {
+        let eps = (opts.eps_total / 8.0).max(1e-12);
+        let rs = Resynthesizer::with_opts(set, ResynthOpts::fast());
+        let slow = vec![ResynthPass::new(rs, opts.max_subcircuit_qubits, eps)];
+        Guoq {
+            fast: Vec::new(), // every iteration is a resynthesis attempt
+            slow,
+            opts,
+        }
+    }
+
+    /// A custom instantiation from explicit transformation pools.
+    pub fn new(
+        fast: Vec<Box<dyn Transformation>>,
+        slow: Vec<ResynthPass>,
+        opts: GuoqOpts,
+    ) -> Self {
+        Guoq { fast, slow, opts }
+    }
+
+    /// The configured options.
+    pub fn opts(&self) -> &GuoqOpts {
+        &self.opts
+    }
+
+    /// Runs Algorithm 1 on `circuit` under `cost`.
+    pub fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        if self.opts.async_resynth && !self.slow.is_empty() {
+            self.optimize_async(circuit, cost)
+        } else {
+            self.optimize_sync(circuit, cost)
+        }
+    }
+
+    fn optimize_sync(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
+        let started = Instant::now();
+        let mut state = SearchState::new(circuit, cost, started, &self.opts);
+
+        while !self.opts.budget.exhausted(started, state.iterations) {
+            state.iterations += 1;
+            // Line 5: randomly select a transformation.
+            let use_slow = !self.slow.is_empty()
+                && !self.fast.is_empty()
+                && rng.random::<f64>() < self.opts.resynth_probability
+                || self.fast.is_empty();
+            if use_slow && !self.slow.is_empty() {
+                let t = &self.slow[rng.random_range(0..self.slow.len())];
+                // Line 6: the declared ε must fit in the remaining budget.
+                if state.err_curr + t.epsilon() > self.opts.eps_total {
+                    continue;
+                }
+                if let Some(applied) = t.apply(&state.curr, &mut rng) {
+                    state.resynth_hits += 1;
+                    state.consider(applied, cost, &mut rng, &self.opts, started);
+                }
+            } else if !self.fast.is_empty() {
+                let t = &self.fast[rng.random_range(0..self.fast.len())];
+                if let Some(applied) = t.apply(&state.curr, &mut rng) {
+                    state.consider(applied, cost, &mut rng, &self.opts, started);
+                }
+            } else {
+                break; // no transformations at all
+            }
+        }
+        state.into_result()
+    }
+
+    /// §5.3 "Applying resynthesis asynchronously": the resynthesis call
+    /// runs on a worker thread while the main loop keeps rewriting; when
+    /// an accepted result arrives, the interim rewrite edits are
+    /// discarded in favour of the snapshot-based replacement.
+    fn optimize_async(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        use crossbeam_channel::{bounded, TryRecvError};
+
+        type Req = (u64, Circuit, qcir::Region, u64);
+        type Resp = (u64, Circuit, Option<Applied>);
+
+        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
+        let started = Instant::now();
+        let mut state = SearchState::new(circuit, cost, started, &self.opts);
+
+        let (req_tx, req_rx) = bounded::<Req>(1);
+        let (resp_tx, resp_rx) = bounded::<Resp>(1);
+        let worker_pass = self.slow[0].clone();
+        let worker = std::thread::spawn(move || {
+            while let Ok((id, snapshot, region, seed)) = req_rx.recv() {
+                let mut wrng = SmallRng::seed_from_u64(seed);
+                let applied = worker_pass.resynthesize_region(&snapshot, &region, &mut wrng);
+                if resp_tx.send((id, snapshot, applied)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut in_flight = false;
+        let mut next_id = 0u64;
+        while !self.opts.budget.exhausted(started, state.iterations) {
+            state.iterations += 1;
+            // Drain any finished resynthesis first.
+            match resp_rx.try_recv() {
+                Ok((_id, snapshot, applied)) => {
+                    in_flight = false;
+                    if let Some(applied) = applied {
+                        state.resynth_hits += 1;
+                        // The candidate replaces the snapshot; accepting it
+                        // discards every interim rewrite (§5.3).
+                        let _ = snapshot;
+                        state.consider(applied, cost, &mut rng, &self.opts, started);
+                    }
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => break,
+            }
+            let want_slow =
+                !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
+            if want_slow {
+                if state.err_curr + self.slow[0].epsilon() > self.opts.eps_total {
+                    continue;
+                }
+                if let Some(region) = self.slow[0].pick_region(&state.curr, &mut rng) {
+                    next_id += 1;
+                    let seed = rng.random::<u64>();
+                    if req_tx
+                        .send((next_id, state.curr.clone(), region, seed))
+                        .is_ok()
+                    {
+                        in_flight = true;
+                    }
+                }
+            } else if !self.fast.is_empty() {
+                let t = &self.fast[rng.random_range(0..self.fast.len())];
+                if let Some(applied) = t.apply(&state.curr, &mut rng) {
+                    state.consider(applied, cost, &mut rng, &self.opts, started);
+                }
+            }
+        }
+        drop(req_tx);
+        // Drain a possibly in-flight result so the worker can exit.
+        if in_flight {
+            if let Ok((_id, _snap, Some(applied))) = resp_rx.recv() {
+                state.resynth_hits += 1;
+                state.consider(applied, cost, &mut rng, &self.opts, started);
+            }
+        }
+        drop(resp_rx);
+        let _ = worker.join();
+        state.into_result()
+    }
+}
+
+/// Mutable search state shared by the sync and async drivers.
+struct SearchState {
+    curr: Circuit,
+    cost_curr: f64,
+    err_curr: f64,
+    best: Circuit,
+    cost_best: f64,
+    err_best: f64,
+    iterations: u64,
+    accepted: u64,
+    resynth_hits: u64,
+    history: Vec<HistoryPoint>,
+    started: Instant,
+}
+
+impl SearchState {
+    fn new(circuit: &Circuit, cost: &dyn CostFn, started: Instant, opts: &GuoqOpts) -> Self {
+        let c0 = cost.cost(circuit);
+        let mut history = Vec::new();
+        if opts.record_history {
+            history.push(HistoryPoint {
+                seconds: 0.0,
+                iteration: 0,
+                best_cost: c0,
+                best_two_qubit: circuit.two_qubit_count(),
+            });
+        }
+        SearchState {
+            curr: circuit.clone(),
+            cost_curr: c0,
+            err_curr: 0.0,
+            best: circuit.clone(),
+            cost_best: c0,
+            err_best: 0.0,
+            iterations: 0,
+            accepted: 0,
+            resynth_hits: 0,
+            history,
+            started,
+        }
+    }
+
+    /// Lines 10–18 of Algorithm 1.
+    fn consider(
+        &mut self,
+        applied: Applied,
+        cost: &dyn CostFn,
+        rng: &mut SmallRng,
+        opts: &GuoqOpts,
+        started: Instant,
+    ) {
+        let cost_new = cost.cost(&applied.circuit);
+        let accept = if cost_new <= self.cost_curr {
+            true
+        } else if self.cost_curr > 0.0 {
+            let p = (-opts.temperature * cost_new / self.cost_curr).exp();
+            rng.random::<f64>() < p
+        } else {
+            false
+        };
+        if !accept {
+            return;
+        }
+        self.accepted += 1;
+        self.curr = applied.circuit;
+        self.cost_curr = cost_new;
+        self.err_curr += applied.epsilon;
+        if self.cost_curr < self.cost_best {
+            self.best = self.curr.clone();
+            self.cost_best = self.cost_curr;
+            self.err_best = self.err_curr;
+            if opts.record_history {
+                self.history.push(HistoryPoint {
+                    seconds: started.elapsed().as_secs_f64(),
+                    iteration: self.iterations,
+                    best_cost: self.cost_best,
+                    best_two_qubit: self.best.two_qubit_count(),
+                });
+            }
+        }
+    }
+
+    fn into_result(self) -> GuoqResult {
+        let _ = self.started;
+        GuoqResult {
+            circuit: self.best,
+            cost: self.cost_best,
+            epsilon: self.err_best,
+            iterations: self.iterations,
+            accepted: self.accepted,
+            resynth_hits: self.resynth_hits,
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{GateCount, TwoQubitCount};
+    use qcir::Gate;
+
+    fn opts(iters: u64) -> GuoqOpts {
+        GuoqOpts {
+            budget: Budget::Iterations(iters),
+            eps_total: 1e-6,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    fn redundant_circuit() -> Circuit {
+        // CX pairs and mergeable rotations sprinkled over 3 qubits.
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.4), &[2]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.3), &[2]);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::Cx, &[1, 2]);
+        c.push(Gate::Cx, &[1, 2]);
+        c
+    }
+
+    #[test]
+    fn shrinks_redundant_circuit() {
+        let c = redundant_circuit();
+        let g = Guoq::rewrite_only(GateSet::Nam, opts(400));
+        let r = g.optimize(&c, &GateCount);
+        assert!(r.cost <= 2.0, "cost {}", r.cost);
+        assert_eq!(r.epsilon, 0.0);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
+    }
+
+    #[test]
+    fn full_guoq_uses_resynthesis() {
+        let c = redundant_circuit();
+        let mut o = opts(300);
+        o.resynth_probability = 0.25; // force frequent slow moves in test
+        let g = Guoq::for_gate_set(GateSet::Nam, o);
+        let r = g.optimize(&c, &TwoQubitCount);
+        assert!(r.cost <= 1.0, "2q count {}", r.cost);
+        assert!(r.epsilon <= 1e-6);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-4));
+    }
+
+    #[test]
+    fn error_budget_respected() {
+        let c = redundant_circuit();
+        let mut o = opts(200);
+        o.eps_total = 0.0; // only exact moves allowed
+        o.resynth_probability = 0.5;
+        let g = Guoq::for_gate_set(GateSet::Nam, o);
+        let r = g.optimize(&c, &TwoQubitCount);
+        assert_eq!(r.epsilon, 0.0);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-7));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let c = redundant_circuit();
+        let g1 = Guoq::rewrite_only(GateSet::Nam, opts(150));
+        let g2 = Guoq::rewrite_only(GateSet::Nam, opts(150));
+        let r1 = g1.optimize(&c, &GateCount);
+        let r2 = g2.optimize(&c, &GateCount);
+        assert_eq!(r1.cost, r2.cost);
+        assert_eq!(r1.accepted, r2.accepted);
+    }
+
+    #[test]
+    fn history_is_monotone() {
+        let c = redundant_circuit();
+        let mut o = opts(300);
+        o.record_history = true;
+        let g = Guoq::rewrite_only(GateSet::Nam, o);
+        let r = g.optimize(&c, &GateCount);
+        assert!(!r.history.is_empty());
+        for w in r.history.windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+    }
+
+    #[test]
+    fn async_mode_matches_semantics() {
+        let c = redundant_circuit();
+        let mut o = opts(400);
+        o.async_resynth = true;
+        o.resynth_probability = 0.3;
+        let g = Guoq::for_gate_set(GateSet::Nam, o);
+        let r = g.optimize(&c, &TwoQubitCount);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-4));
+        assert!(r.cost <= TwoQubitCount.cost(&c));
+    }
+
+    #[test]
+    fn empty_circuit_survives() {
+        let c = Circuit::new(2);
+        let g = Guoq::for_gate_set(GateSet::Nam, opts(50));
+        let r = g.optimize(&c, &GateCount);
+        assert!(r.circuit.is_empty());
+    }
+}

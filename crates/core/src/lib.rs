@@ -1,0 +1,38 @@
+//! `guoq` — the GUOQ quantum-circuit optimizer (ASPLOS 2025 reproduction).
+//!
+//! GUOQ ("Good Unified Optimizations for Quantum") unifies *fast* rewrite
+//! rules and *slow* unitary resynthesis behind a single closed-box
+//! transformation abstraction (`τ_ε`), then drives them with a
+//! lightweight simulated-annealing-style loop (Algorithm 1).
+//!
+//! * [`transform`]: the `τ_ε` abstraction and its instantiations
+//! * [`cost`] / [`fidelity`]: optimization objectives (§5.1, §6)
+//! * [`guoq`]: Algorithm 1 with exact ε-budget accounting (Thm. 4.2/5.3)
+//!   and the §5.3 async-resynthesis driver
+//! * [`baselines`]: re-implemented archetypes of the comparison tools
+//!   (fixed pipelines, partition+resynth, beam search, bandit scheduler)
+//!
+//! ```
+//! use guoq::{Guoq, GuoqOpts, Budget, cost::TwoQubitCount};
+//! use qcir::{Circuit, Gate, GateSet};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::Cx, &[0, 1]);
+//! c.push(Gate::Cx, &[0, 1]);
+//! let opts = GuoqOpts { budget: Budget::Iterations(100), ..Default::default() };
+//! let result = Guoq::for_gate_set(GateSet::Nam, opts).optimize(&c, &TwoQubitCount);
+//! assert_eq!(result.circuit.two_qubit_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cost;
+pub mod fidelity;
+pub mod guoq;
+pub mod transform;
+
+pub use cost::CostFn;
+pub use fidelity::CalibrationModel;
+pub use guoq::{Budget, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
+pub use transform::{Applied, Transformation};

@@ -1,0 +1,267 @@
+//! The unified transformation abstraction (paper §4).
+//!
+//! A [`Transformation`] is a closed-box function `τ_ε : C → C` returning a
+//! circuit `ε`-equivalent to its input (Def. 4.1). Rewrite-rule passes and
+//! built-in exact passes carry `ε = 0`; resynthesis declares a per-call
+//! bound and reports the *measured* distance, which the optimizer charges
+//! against the global budget (Thm. 4.2: errors add up).
+
+use qcir::{Circuit, GateSet, Region};
+use qrewrite::{apply_rule_pass, fusion, Rule};
+use qsynth::Resynthesizer;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The result of a successful transformation application.
+#[derive(Debug, Clone)]
+pub struct Applied {
+    /// The transformed circuit.
+    pub circuit: Circuit,
+    /// Measured approximation error introduced by this application
+    /// (0 for exact transformations; never exceeds the declared bound).
+    pub epsilon: f64,
+}
+
+/// A closed-box `ε`-bounded circuit transformation.
+pub trait Transformation: Send + Sync {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Declared worst-case error per application (`ε` of `τ_ε`).
+    fn epsilon(&self) -> f64;
+
+    /// Attempts to apply the transformation at a random location.
+    ///
+    /// Returns `None` when the transformation does not fire (no match, or
+    /// synthesis failed within its bound).
+    fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied>;
+}
+
+/// A full rewrite pass of one rule from a random anchor (paper §5.3).
+#[derive(Debug, Clone)]
+pub struct RulePass {
+    rule: Rule,
+}
+
+impl RulePass {
+    /// Wraps a rewrite rule as a transformation.
+    pub fn new(rule: Rule) -> Self {
+        RulePass { rule }
+    }
+
+    /// The underlying rule.
+    pub fn rule(&self) -> &Rule {
+        &self.rule
+    }
+}
+
+impl Transformation for RulePass {
+    fn name(&self) -> &str {
+        self.rule.name()
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied> {
+        if circuit.is_empty() {
+            return None;
+        }
+        let start = rng.random_range(0..circuit.len());
+        let (out, _count) = apply_rule_pass(circuit, &self.rule, start)?;
+        Some(Applied {
+            circuit: out,
+            epsilon: 0.0,
+        })
+    }
+}
+
+/// The exact 1q-run fusion pass as a transformation.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionPass {
+    set: GateSet,
+}
+
+impl FusionPass {
+    /// Creates the pass for a target gate set.
+    pub fn new(set: GateSet) -> Self {
+        FusionPass { set }
+    }
+}
+
+impl Transformation for FusionPass {
+    fn name(&self) -> &str {
+        "1q-fusion"
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
+        let out = fusion::fuse_1q_runs(circuit, self.set)?;
+        Some(Applied {
+            circuit: out,
+            epsilon: 0.0,
+        })
+    }
+}
+
+/// Identity-gate elimination as a transformation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanupPass;
+
+impl Transformation for CleanupPass {
+    fn name(&self) -> &str {
+        "cleanup"
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
+        let out = fusion::remove_identities(circuit, 1e-9)?;
+        Some(Applied {
+            circuit: out,
+            epsilon: 0.0,
+        })
+    }
+}
+
+/// Commutation-aware cancellation as a transformation (one sweep).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommutationPass;
+
+impl Transformation for CommutationPass {
+    fn name(&self) -> &str {
+        "commutative-cancellation"
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+
+    fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
+        let out = qrewrite::commutation::commutative_cancellation(circuit)?;
+        Some(Applied {
+            circuit: out,
+            epsilon: 0.0,
+        })
+    }
+}
+
+/// Resynthesis of a random ≤`max_qubits` subcircuit (paper §5.3: grow a
+/// region greedily from a random anchor, resynthesize its unitary).
+#[derive(Debug, Clone)]
+pub struct ResynthPass {
+    rs: Resynthesizer,
+    max_qubits: usize,
+    eps: f64,
+}
+
+impl ResynthPass {
+    /// Creates a resynthesis transformation with a per-call error bound.
+    pub fn new(rs: Resynthesizer, max_qubits: usize, eps: f64) -> Self {
+        ResynthPass {
+            rs,
+            max_qubits: max_qubits.min(qsynth::MAX_RESYNTH_QUBITS),
+            eps,
+        }
+    }
+
+    /// Chooses the random region this pass would act on (exposed for the
+    /// async driver, which needs the region and snapshot separately).
+    pub fn pick_region(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Region> {
+        if circuit.is_empty() {
+            return None;
+        }
+        let anchor = rng.random_range(0..circuit.len());
+        let region = Region::grow(circuit, anchor, self.max_qubits)?;
+        // A region with fewer than 2 member gates cannot shrink.
+        if region.member_indices(circuit).len() < 2 {
+            return None;
+        }
+        Some(region)
+    }
+
+    /// Resynthesizes the region's subcircuit; returns the replacement.
+    pub fn resynthesize_region(
+        &self,
+        circuit: &Circuit,
+        region: &Region,
+        rng: &mut SmallRng,
+    ) -> Option<Applied> {
+        let sub = region.extract(circuit);
+        let out = self.rs.resynthesize(&sub, self.eps, rng)?;
+        Some(Applied {
+            circuit: region.replace(circuit, &out.circuit),
+            epsilon: out.epsilon,
+        })
+    }
+}
+
+impl Transformation for ResynthPass {
+    fn name(&self) -> &str {
+        "resynthesis"
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied> {
+        let region = self.pick_region(circuit, rng)?;
+        self.resynthesize_region(circuit, &region, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rule_pass_fires_and_is_exact() {
+        let rules = qrewrite::rules_for(GateSet::Nam);
+        let cancel = rules
+            .iter()
+            .find(|r| r.name() == "cx-cancel")
+            .unwrap()
+            .clone();
+        let t = RulePass::new(cancel);
+        assert_eq!(t.epsilon(), 0.0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = t.apply(&c, &mut rng).unwrap();
+        assert!(out.circuit.is_empty());
+        assert_eq!(out.epsilon, 0.0);
+    }
+
+    #[test]
+    fn resynth_pass_shrinks_mergeable_rotations() {
+        let rs = Resynthesizer::new(GateSet::IbmEagle);
+        let t = ResynthPass::new(rs, 3, 1e-6);
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0.3), &[0]);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Rz(0.5), &[0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = t.apply(&c, &mut rng).unwrap();
+        assert!(out.circuit.len() < c.len());
+        assert!(out.epsilon <= 1e-6);
+        assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-5));
+    }
+
+    #[test]
+    fn cleanup_pass_noop_on_clean_circuit() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H, &[0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(CleanupPass.apply(&c, &mut rng).is_none());
+    }
+}

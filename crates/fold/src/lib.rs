@@ -1,0 +1,402 @@
+//! `qfold` — phase-polynomial rotation folding.
+//!
+//! This crate is the workspace's stand-in for PyZX in the paper's Q4
+//! evaluation (see DESIGN.md §3). It implements the rotation-merging
+//! optimization of Nam et al.: within `{CX, X, Swap, phase}` regions the
+//! circuit acts as an affine permutation of basis states, every wire
+//! carries an affine Boolean function of the region's inputs, and two
+//! diagonal rotations applied to wires carrying the *same* function merge
+//! into one. Hadamards (and any other unhandled gate) start a fresh
+//! region on the wires they touch.
+//!
+//! Like PyZX, the pass sharply reduces phase-gate (`T`) count and leaves
+//! the CX count untouched.
+//!
+//! ```
+//! use qcir::{Circuit, Gate};
+//! use qfold::{fold_rotations, EmitStyle};
+//!
+//! // T; CX; CX; T on the same wire: the parities match, so the two T
+//! // gates merge into one S.
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::T, &[0]);
+//! c.push(Gate::Cx, &[0, 1]);
+//! c.push(Gate::Cx, &[0, 1]);
+//! c.push(Gate::T, &[0]);
+//! let out = fold_rotations(&c, EmitStyle::CliffordT);
+//! assert_eq!(out.t_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use qcir::{Circuit, Gate, Instruction, Qubit};
+use qmath::angle::{is_zero_mod_2pi, pi4_multiple_of};
+use std::collections::HashMap;
+
+/// How merged rotations are re-emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitStyle {
+    /// As a single `Rz(θ)` gate (continuous gate sets).
+    Rz,
+    /// As a minimal `{S, S†, T, T†}` sequence — requires every merged
+    /// angle to be a multiple of π/4 (guaranteed when the input is
+    /// Clifford+T).
+    CliffordT,
+}
+
+/// An affine Boolean function: a parity of region variables plus an
+/// optional negation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Parity {
+    bits: Vec<u64>,
+    neg: bool,
+}
+
+impl Parity {
+    fn var(i: usize) -> Parity {
+        let mut bits = vec![0u64; i / 64 + 1];
+        bits[i / 64] |= 1 << (i % 64);
+        Parity { bits, neg: false }
+    }
+
+    fn xor_assign(&mut self, other: &Parity) {
+        if self.bits.len() < other.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a ^= b;
+        }
+        self.neg ^= other.neg;
+    }
+
+    fn key(&self) -> Vec<u64> {
+        // Trim trailing zero words so equal parities hash equally even if
+        // allocated at different variable counts.
+        let mut k = self.bits.clone();
+        while k.last() == Some(&0) {
+            k.pop();
+        }
+        k
+    }
+}
+
+/// A pending merged rotation.
+#[derive(Debug, Clone)]
+struct Slot {
+    wire: Qubit,
+    /// Angle in the parity frame (wire value = parity ⊕ `neg_at_slot`).
+    angle: f64,
+    /// Negation of the wire relative to the parity at the slot position.
+    neg_at_slot: bool,
+}
+
+/// Merge statistics from a fold pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FoldStats {
+    /// Number of rotations merged into earlier slots.
+    pub merged: usize,
+    /// Number of slots dropped because their merged angle was ≡ 0.
+    pub eliminated: usize,
+}
+
+/// Runs rotation folding, returning the optimized circuit.
+///
+/// The output is semantically equivalent to the input (up to global
+/// phase); CX count and all non-phase gates are preserved verbatim.
+///
+/// # Panics
+///
+/// Panics if `style` is [`EmitStyle::CliffordT`] and a merged angle is not
+/// a multiple of π/4 (cannot happen for Clifford+T-native inputs).
+pub fn fold_rotations(circuit: &Circuit, style: EmitStyle) -> Circuit {
+    fold_rotations_with_stats(circuit, style).0
+}
+
+/// [`fold_rotations`] with merge statistics.
+pub fn fold_rotations_with_stats(circuit: &Circuit, style: EmitStyle) -> (Circuit, FoldStats) {
+    let n = circuit.num_qubits();
+    let mut stats = FoldStats::default();
+    let mut var_count = n;
+
+    let mut parity: Vec<Parity> = (0..n).map(Parity::var).collect();
+    enum Out {
+        Verbatim(Instruction),
+        Rotation(usize),
+    }
+    let mut out: Vec<Out> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::new();
+    // parity key -> slot id.
+    let mut by_parity: HashMap<Vec<u64>, usize> = HashMap::new();
+
+    for ins in circuit.iter() {
+        match phase_angle(ins.gate) {
+            Some(theta) => {
+                let w = ins.qubits()[0];
+                let p = &parity[w as usize];
+                let eff = if p.neg { -theta } else { theta };
+                match by_parity.get(&p.key()) {
+                    Some(&sid) => {
+                        slots[sid].angle += eff;
+                        stats.merged += 1;
+                    }
+                    None => {
+                        let sid = slots.len();
+                        slots.push(Slot {
+                            wire: w,
+                            angle: eff,
+                            neg_at_slot: p.neg,
+                        });
+                        by_parity.insert(p.key(), sid);
+                        out.push(Out::Rotation(sid));
+                    }
+                }
+            }
+            None => match ins.gate {
+                Gate::Cx => {
+                    let (c, t) = (ins.qubits()[0] as usize, ins.qubits()[1] as usize);
+                    let src = parity[c].clone();
+                    parity[t].xor_assign(&src);
+                    out.push(Out::Verbatim(*ins));
+                }
+                Gate::X => {
+                    parity[ins.qubits()[0] as usize].neg ^= true;
+                    out.push(Out::Verbatim(*ins));
+                }
+                Gate::Swap => {
+                    let (a, b) = (ins.qubits()[0] as usize, ins.qubits()[1] as usize);
+                    parity.swap(a, b);
+                    out.push(Out::Verbatim(*ins));
+                }
+                _ => {
+                    // Region boundary: fresh variables for touched wires.
+                    for &q in ins.qubits() {
+                        parity[q as usize] = Parity::var(var_count);
+                        var_count += 1;
+                    }
+                    out.push(Out::Verbatim(*ins));
+                }
+            },
+        }
+    }
+
+    // Emit.
+    let mut result = Circuit::new(n);
+    for o in out {
+        match o {
+            Out::Verbatim(ins) => result.push_instruction(ins),
+            Out::Rotation(sid) => {
+                let slot = &slots[sid];
+                let angle = if slot.neg_at_slot {
+                    -slot.angle
+                } else {
+                    slot.angle
+                };
+                if is_zero_mod_2pi(angle) {
+                    stats.eliminated += 1;
+                    continue;
+                }
+                match style {
+                    EmitStyle::Rz => result.push(Gate::Rz(angle), &[slot.wire]),
+                    EmitStyle::CliffordT => {
+                        let k = pi4_multiple_of(angle, 1e-7).unwrap_or_else(|| {
+                            panic!("merged angle {angle} is not a multiple of pi/4")
+                        });
+                        for g in phase_sequence(k) {
+                            result.push(g, &[slot.wire]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (result, stats)
+}
+
+/// The diagonal-rotation angle of a gate, if it is a 1q phase gate.
+fn phase_angle(g: Gate) -> Option<f64> {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    match g {
+        Gate::Rz(a) | Gate::P(a) => Some(a),
+        Gate::T => Some(FRAC_PI_4),
+        Gate::Tdg => Some(-FRAC_PI_4),
+        Gate::S => Some(FRAC_PI_2),
+        Gate::Sdg => Some(-FRAC_PI_2),
+        Gate::Z => Some(PI),
+        _ => None,
+    }
+}
+
+/// Minimal `{S, S†, T, T†}` sequence for `Rz(kπ/4)` up to phase.
+fn phase_sequence(k: u8) -> Vec<Gate> {
+    match k % 8 {
+        0 => vec![],
+        1 => vec![Gate::T],
+        2 => vec![Gate::S],
+        3 => vec![Gate::S, Gate::T],
+        4 => vec![Gate::S, Gate::S],
+        5 => vec![Gate::Sdg, Gate::Tdg],
+        6 => vec![Gate::Sdg],
+        7 => vec![Gate::Tdg],
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::circuits_equivalent;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn merges_through_cx_pair() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::T, &[0]);
+        let (out, stats) = fold_rotations_with_stats(&c, EmitStyle::CliffordT);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(out.t_count(), 0);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn merges_parity_exposed_on_other_wire() {
+        // CX exposes x0⊕x1 on wire 1; two T's there merge to S.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::T, &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::T, &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.t_count(), 0);
+        assert_eq!(out.two_qubit_count(), 4, "CX count preserved");
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn t_tdg_annihilate() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Tdg, &[0]);
+        let (out, stats) = fold_rotations_with_stats(&c, EmitStyle::CliffordT);
+        assert!(out.is_empty());
+        assert_eq!(stats.eliminated, 1);
+    }
+
+    #[test]
+    fn x_negation_flips_angle() {
+        // T; X; T; X: the second T sees the negated wire, so it merges
+        // with opposite sign — net zero rotation (up to global phase).
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::X, &[0]);
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.t_count(), 0);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn h_breaks_region() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::T, &[0]);
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.t_count(), 2, "H must prevent merging");
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn swap_tracks_parities() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Swap, &[0, 1]);
+        c.push(Gate::Tdg, &[1]); // same logical function x0 — cancels
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.t_count(), 0);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn continuous_style_emits_rz() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.3), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.4), &[0]);
+        let out = fold_rotations(&c, EmitStyle::Rz);
+        assert_eq!(out.count_where(|i| matches!(i.gate, Gate::Rz(_))), 1);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn toffoli_pair_t_reduction() {
+        // Two back-to-back Toffolis (decomposed to Clifford+T) carry 14 T
+        // gates; rotation folding must reduce that.
+        let mut ccx2 = Circuit::new(3);
+        ccx2.push(Gate::Ccx, &[0, 1, 2]);
+        ccx2.push(Gate::Ccx, &[0, 1, 2]);
+        let native = qcir::rebase::rebase(&ccx2, qcir::GateSet::CliffordT).unwrap();
+        assert_eq!(native.t_count(), 14);
+        let out = fold_rotations(&native, EmitStyle::CliffordT);
+        assert!(out.t_count() < 14, "t_count {}", out.t_count());
+        assert!(circuits_equivalent(&native, &out, 1e-6));
+    }
+
+    #[test]
+    fn cx_count_always_preserved() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[2]);
+        c.push(Gate::Cx, &[1, 2]);
+        c.push(Gate::Tdg, &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.two_qubit_count(), c.two_qubit_count());
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn random_clifford_t_circuits_preserved() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(404);
+        let pool = [Gate::T, Gate::Tdg, Gate::S, Gate::Sdg, Gate::H, Gate::X];
+        for trial in 0..20 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..40 {
+                if rng.random::<f64>() < 0.3 {
+                    let a = rng.random_range(0..n as u32);
+                    let b = (a + 1 + rng.random_range(0..(n as u32 - 1))) % n as u32;
+                    c.push(Gate::Cx, &[a, b]);
+                } else {
+                    let g = pool[rng.random_range(0..pool.len())];
+                    c.push(g, &[rng.random_range(0..n as u32)]);
+                }
+            }
+            let out = fold_rotations(&c, EmitStyle::CliffordT);
+            assert!(
+                circuits_equivalent(&c, &out, 1e-6),
+                "trial {trial} broke equivalence"
+            );
+            assert!(out.t_count() <= c.t_count());
+        }
+    }
+
+    #[test]
+    fn angle_pi4_merge_to_clifford() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(FRAC_PI_4), &[0]);
+        c.push(Gate::Rz(FRAC_PI_4), &[0]);
+        let out = fold_rotations(&c, EmitStyle::CliffordT);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.instructions()[0].gate, Gate::S);
+    }
+}

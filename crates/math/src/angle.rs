@@ -1,0 +1,101 @@
+//! Angle arithmetic helpers.
+//!
+//! Rotation angles throughout the workspace are plain `f64` radians; these
+//! helpers keep them canonical (normalized into `(-π, π]`) and provide the
+//! approximate comparisons that rewrite-rule matching and dead-rotation
+//! elimination rely on.
+
+use std::f64::consts::PI;
+
+/// Default tolerance for treating two angles as equal.
+pub const ANGLE_TOL: f64 = 1e-9;
+
+/// Normalizes an angle into the half-open interval `(-π, π]`.
+///
+/// ```
+/// use qmath::angle::normalize;
+/// use std::f64::consts::PI;
+/// assert!((normalize(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((normalize(-3.0 * PI) - PI).abs() < 1e-12);
+/// ```
+pub fn normalize(theta: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut t = theta % two_pi;
+    if t <= -PI {
+        t += two_pi;
+    } else if t > PI {
+        t -= two_pi;
+    }
+    t
+}
+
+/// True when `a ≡ b (mod 2π)` within `tol`.
+pub fn approx_eq_mod_2pi(a: f64, b: f64, tol: f64) -> bool {
+    let d = normalize(a - b).abs();
+    d <= tol || (2.0 * PI - d) <= tol
+}
+
+/// True when `theta ≡ 0 (mod 2π)` within [`ANGLE_TOL`].
+pub fn is_zero_mod_2pi(theta: f64) -> bool {
+    approx_eq_mod_2pi(theta, 0.0, ANGLE_TOL)
+}
+
+/// True when `theta` is (close to) an integer multiple of `π/4`, the
+/// Clifford+T-expressible angles.
+pub fn is_pi4_multiple(theta: f64, tol: f64) -> bool {
+    let q = normalize(theta) / (PI / 4.0);
+    (q - q.round()).abs() * (PI / 4.0) <= tol
+}
+
+/// Rounds `theta` to the nearest multiple of `π/4` and returns the
+/// multiplier in `0..8` (i.e. `theta ≈ k·π/4 (mod 2π)`).
+///
+/// Returns `None` if `theta` is not within `tol` of such a multiple.
+pub fn pi4_multiple_of(theta: f64, tol: f64) -> Option<u8> {
+    if !is_pi4_multiple(theta, tol) {
+        return None;
+    }
+    let q = (normalize(theta) / (PI / 4.0)).round() as i64;
+    Some(q.rem_euclid(8) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_in_range() {
+        for k in -20..=20 {
+            let t = k as f64 * 0.7;
+            let n = normalize(t);
+            assert!(n > -PI - 1e-12 && n <= PI + 1e-12);
+            assert!(approx_eq_mod_2pi(t, n, 1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(is_zero_mod_2pi(0.0));
+        assert!(is_zero_mod_2pi(2.0 * PI));
+        assert!(is_zero_mod_2pi(-4.0 * PI + 1e-12));
+        assert!(!is_zero_mod_2pi(0.1));
+        assert!(!is_zero_mod_2pi(PI));
+    }
+
+    #[test]
+    fn pi4_multiples() {
+        assert_eq!(pi4_multiple_of(0.0, 1e-9), Some(0));
+        assert_eq!(pi4_multiple_of(PI / 4.0, 1e-9), Some(1));
+        assert_eq!(pi4_multiple_of(PI / 2.0, 1e-9), Some(2));
+        assert_eq!(pi4_multiple_of(PI, 1e-9), Some(4));
+        assert_eq!(pi4_multiple_of(-PI / 4.0, 1e-9), Some(7));
+        assert_eq!(pi4_multiple_of(2.0 * PI + PI / 4.0, 1e-9), Some(1));
+        assert_eq!(pi4_multiple_of(0.3, 1e-9), None);
+    }
+
+    #[test]
+    fn mod_2pi_wraparound_edges() {
+        assert!(approx_eq_mod_2pi(PI, -PI, 1e-9));
+        assert!(approx_eq_mod_2pi(PI - 1e-12, -PI + 1e-12, 1e-9));
+    }
+}

@@ -1,0 +1,266 @@
+//! A minimal complex-number type.
+//!
+//! The workspace deliberately avoids external linear-algebra crates, so the
+//! complex arithmetic used throughout lives here. [`C64`] is a plain
+//! `f64`-pair value type with the usual field operations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use qmath::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`C64`].
+///
+/// ```
+/// use qmath::{c64, C64};
+/// assert_eq!(c64(1.0, 2.0), C64::new(1.0, 2.0));
+/// ```
+#[inline]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    /// The multiplicative identity.
+    pub const ONE: C64 = c64(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: C64 = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a real-valued complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Returns `e^{iθ}` (a point on the unit circle).
+    ///
+    /// ```
+    /// use qmath::C64;
+    /// let u = C64::cis(std::f64::consts::PI);
+    /// assert!((u.re + 1.0).abs() < 1e-15 && u.im.abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; dividing by zero yields non-finite components, as for
+    /// `f64` division.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        c64(self.re * k, self.im * k)
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within `tol` (per component distance).
+    #[inline]
+    pub fn approx_eq(self, other: Self, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops() {
+        let a = c64(1.0, 2.0);
+        let b = c64(-3.0, 0.5);
+        assert_eq!(a + b, c64(-2.0, 2.5));
+        assert_eq!(a - b, c64(4.0, 1.5));
+        assert_eq!(a * b, c64(1.0 * -3.0 - 2.0 * 0.5, 1.0 * 0.5 + 2.0 * -3.0));
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-12));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = c64(3.0, -4.0);
+        assert_eq!(a.conj(), c64(3.0, 4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..32 {
+            let t = k as f64 * 0.3;
+            assert!((C64::cis(t).abs() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn arg_roundtrip() {
+        for k in -10..=10 {
+            let t = k as f64 * 0.31;
+            let z = C64::cis(t).scale(2.5);
+            let diff = (z.arg() - t).rem_euclid(2.0 * std::f64::consts::PI);
+            assert!(diff < 1e-12 || (2.0 * std::f64::consts::PI - diff) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inv_inverts() {
+        let a = c64(0.7, -1.3);
+        assert!((a * a.inv()).approx_eq(C64::ONE, 1e-14));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", C64::ZERO).is_empty());
+        assert!(format!("{}", c64(1.0, -1.0)).contains('-'));
+    }
+}

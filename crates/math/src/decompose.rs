@@ -1,0 +1,191 @@
+//! Analytic single-qubit decompositions.
+//!
+//! Any 2×2 unitary factors as `U = e^{iα} Rz(φ) Ry(θ) Rz(λ)` (ZYZ Euler
+//! angles). This is the workhorse for one-qubit resynthesis: merge a run of
+//! one-qubit gates into a single matrix, then re-emit the minimal sequence
+//! for the target gate set.
+
+use crate::complex::C64;
+use crate::gates;
+use crate::matrix::Mat;
+
+/// ZYZ Euler decomposition of a 2×2 unitary:
+/// `U = e^{iα} · Rz(φ) · Ry(θ) · Rz(λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zyz {
+    /// Global phase `α`.
+    pub alpha: f64,
+    /// Leftmost Z angle `φ`.
+    pub phi: f64,
+    /// Middle Y angle `θ`, in `[0, π]`.
+    pub theta: f64,
+    /// Rightmost Z angle `λ`.
+    pub lambda: f64,
+}
+
+impl Zyz {
+    /// Reconstructs the unitary `e^{iα} Rz(φ) Ry(θ) Rz(λ)`.
+    pub fn to_matrix(self) -> Mat {
+        gates::rz(self.phi)
+            .matmul(&gates::ry(self.theta))
+            .matmul(&gates::rz(self.lambda))
+            .scaled(C64::cis(self.alpha))
+    }
+}
+
+/// Computes the ZYZ Euler decomposition of a 2×2 unitary.
+///
+/// The returned angles reconstruct `u` exactly (including global phase)
+/// within numerical tolerance.
+///
+/// # Panics
+///
+/// Panics if `u` is not 2×2. Behaviour is unspecified (but non-panicking)
+/// for matrices that are far from unitary.
+///
+/// ```
+/// use qmath::{gates, decompose::zyz_decompose, dist::hs_distance};
+/// let u = gates::u3(0.7, -1.1, 2.2);
+/// let d = zyz_decompose(&u);
+/// assert!(hs_distance(&d.to_matrix(), &u) < 1e-7);
+/// ```
+pub fn zyz_decompose(u: &Mat) -> Zyz {
+    assert_eq!(u.rows(), 2, "zyz_decompose requires a 2x2 matrix");
+    assert_eq!(u.cols(), 2, "zyz_decompose requires a 2x2 matrix");
+    // Pull out the phase that makes det = 1 (SU(2) projection).
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let alpha0 = det.arg() / 2.0;
+    let inv_phase = C64::cis(-alpha0);
+    let v00 = u[(0, 0)] * inv_phase;
+    let v10 = u[(1, 0)] * inv_phase;
+    let v11 = u[(1, 1)] * inv_phase;
+
+    let theta = 2.0 * v10.abs().atan2(v00.abs());
+    let (phi, lambda) = if v10.abs() < 1e-12 {
+        // θ ≈ 0: only φ+λ is fixed; put it all in φ.
+        (2.0 * v11.arg(), 0.0)
+    } else if v00.abs() < 1e-12 {
+        // θ ≈ π: only φ−λ is fixed; put it all in φ.
+        (2.0 * v10.arg(), 0.0)
+    } else {
+        let sum = 2.0 * v11.arg(); // φ + λ
+        let diff = 2.0 * v10.arg(); // φ − λ
+        ((sum + diff) / 2.0, (sum - diff) / 2.0)
+    };
+    let zyz = Zyz {
+        alpha: alpha0,
+        phi,
+        theta,
+        lambda,
+    };
+    // Fix the residual π ambiguity from the sqrt of the determinant by
+    // comparing against the input including phase.
+    let rec = zyz.to_matrix();
+    let diff = (&rec - u).frobenius_norm();
+    if diff > 1e-8 {
+        Zyz {
+            alpha: alpha0 + std::f64::consts::PI,
+            ..zyz
+        }
+    } else {
+        zyz
+    }
+}
+
+/// Parameters of `U3(θ, φ, λ)` plus global phase reproducing a 2×2
+/// unitary: `U = e^{iγ} · U3(θ, φ, λ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct U3Params {
+    /// Global phase `γ`.
+    pub gamma: f64,
+    /// `θ` parameter.
+    pub theta: f64,
+    /// `φ` parameter.
+    pub phi: f64,
+    /// `λ` parameter.
+    pub lambda: f64,
+}
+
+/// Expresses a 2×2 unitary as a single `U3` gate with a global phase.
+///
+/// Uses the identity `U3(θ,φ,λ) = e^{i(φ+λ)/2} Rz(φ) Ry(θ) Rz(λ)`.
+pub fn u3_params(u: &Mat) -> U3Params {
+    let z = zyz_decompose(u);
+    U3Params {
+        gamma: z.alpha - (z.phi + z.lambda) / 2.0,
+        theta: z.theta,
+        phi: z.phi,
+        lambda: z.lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::hs_distance;
+    use crate::random::random_unitary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn zyz_roundtrip_random() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let u = random_unitary(2, &mut rng);
+            let d = zyz_decompose(&u);
+            let rec = d.to_matrix();
+            assert!(
+                (&rec - &u).frobenius_norm() < 1e-9,
+                "reconstruction failed: {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_on_named_gates() {
+        for (name, g) in [
+            ("x", gates::x()),
+            ("y", gates::y()),
+            ("z", gates::z()),
+            ("h", gates::h()),
+            ("s", gates::s()),
+            ("t", gates::t()),
+            ("sx", gates::sx()),
+        ] {
+            let d = zyz_decompose(&g);
+            assert!(
+                (&d.to_matrix() - &g).frobenius_norm() < 1e-12,
+                "gate {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn zyz_identity_has_zero_theta() {
+        let d = zyz_decompose(&Mat::identity(2));
+        assert!(d.theta.abs() < 1e-12);
+    }
+
+    #[test]
+    fn u3_params_match_gate() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let u = random_unitary(2, &mut rng);
+            let p = u3_params(&u);
+            let rec = gates::u3(p.theta, p.phi, p.lambda).scaled(C64::cis(p.gamma));
+            assert!((&rec - &u).frobenius_norm() < 1e-9);
+            assert!(hs_distance(&gates::u3(p.theta, p.phi, p.lambda), &u) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn theta_in_principal_range() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let u = random_unitary(2, &mut rng);
+            let d = zyz_decompose(&u);
+            assert!(d.theta >= -1e-12 && d.theta <= PI + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Eigen decomposition of small real symmetric matrices.
+//!
+//! A classic cyclic Jacobi rotation scheme: more than accurate enough for
+//! the ≤8×8 matrices that appear in this workspace (e.g. analysing
+//! Hermitian observables in the workload generators and tests).
+
+/// Eigenvalues and eigenvectors of a real symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Row-major orthogonal matrix whose *columns* are the eigenvectors,
+    /// ordered to match `values`.
+    pub vectors: Vec<f64>,
+    /// Dimension of the problem.
+    pub n: usize,
+}
+
+impl SymEigen {
+    /// Returns eigenvector `k` as a `Vec`.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        (0..self.n).map(|i| self.vectors[i * self.n + k]).collect()
+    }
+}
+
+/// Computes the eigendecomposition of a real symmetric matrix given in
+/// row-major order.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n`.
+pub fn jacobi_eigen(a: &[f64], n: usize) -> SymEigen {
+    assert_eq!(a.len(), n * n, "matrix data must be n*n");
+    let mut m = a.to_vec();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let idx = |i: usize, j: usize| i * n + j;
+    for _sweep in 0..100 {
+        // Off-diagonal Frobenius mass.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[idx(i, j)] * m[idx(i, j)];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[idx(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[idx(p, p)];
+                let aqq = m[idx(q, q)];
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p, q.
+                for k in 0..n {
+                    let mkp = m[idx(k, p)];
+                    let mkq = m[idx(k, q)];
+                    m[idx(k, p)] = c * mkp - s * mkq;
+                    m[idx(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[idx(p, k)];
+                    let mqk = m[idx(q, k)];
+                    m[idx(p, k)] = c * mpk - s * mqk;
+                    m[idx(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[idx(k, p)];
+                    let vkq = v[idx(k, q)];
+                    v[idx(k, p)] = c * vkp - s * vkq;
+                    v[idx(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[idx(i, i)].partial_cmp(&m[idx(j, j)]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[idx(i, i)]).collect();
+    let mut vectors = vec![0.0; n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[idx(i, new_col)] = v[idx(i, old_col)];
+        }
+    }
+    SymEigen {
+        values,
+        vectors,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symmetric(n: usize, rng: &mut SmallRng) -> Vec<f64> {
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let x: f64 = rng.random::<f64>() * 2.0 - 1.0;
+                a[i * n + j] = x;
+                a[j * n + i] = x;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let mut rng = SmallRng::seed_from_u64(101);
+        for n in [2usize, 3, 4, 6, 8] {
+            let a = random_symmetric(n, &mut rng);
+            let e = jacobi_eigen(&a, n);
+            // A v_k = λ_k v_k for each k.
+            for k in 0..n {
+                let vk = e.vector(k);
+                for i in 0..n {
+                    let mut av = 0.0;
+                    for j in 0..n {
+                        av += a[i * n + j] * vk[j];
+                    }
+                    assert!(
+                        (av - e.values[k] * vk[i]).abs() < 1e-8,
+                        "n={n} k={k} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let mut rng = SmallRng::seed_from_u64(103);
+        let n = 5;
+        let a = random_symmetric(n, &mut rng);
+        let e = jacobi_eigen(&a, n);
+        for p in 0..n {
+            for q in 0..n {
+                let dot: f64 = (0..n)
+                    .map(|i| e.vectors[i * n + p] * e.vectors[i * n + q])
+                    .sum();
+                let expect = if p == q { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_trivial() {
+        let a = vec![3.0, 0.0, 0.0, -1.0];
+        let e = jacobi_eigen(&a, 2);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_sorted() {
+        let mut rng = SmallRng::seed_from_u64(107);
+        let a = random_symmetric(6, &mut rng);
+        let e = jacobi_eigen(&a, 6);
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Standard gate unitaries.
+//!
+//! These free functions return the conventional matrices used throughout
+//! the workspace. Conventions follow OpenQASM 2/3 and the paper:
+//! `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`, `U3(θ,φ,λ)` as in OpenQASM, and
+//! `CX` with the control on the first (most significant) qubit.
+
+use crate::complex::{c64, C64};
+use crate::matrix::Mat;
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
+
+/// Pauli X.
+pub fn x() -> Mat {
+    Mat::mat2(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO)
+}
+
+/// Pauli Y.
+pub fn y() -> Mat {
+    Mat::mat2(C64::ZERO, -C64::I, C64::I, C64::ZERO)
+}
+
+/// Pauli Z.
+pub fn z() -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE)
+}
+
+/// Hadamard.
+pub fn h() -> Mat {
+    let s = c64(FRAC_1_SQRT_2, 0.0);
+    Mat::mat2(s, s, s, -s)
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s() -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::I)
+}
+
+/// Inverse phase gate `S† = diag(1, -i)`.
+pub fn sdg() -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, -C64::I)
+}
+
+/// T gate `diag(1, e^{iπ/4})`.
+pub fn t() -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(FRAC_PI_4))
+}
+
+/// Inverse T gate.
+pub fn tdg() -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(-FRAC_PI_4))
+}
+
+/// Square root of X: `SX = e^{iπ/4} Rx(π/2)`.
+pub fn sx() -> Mat {
+    let a = c64(0.5, 0.5);
+    let b = c64(0.5, -0.5);
+    Mat::mat2(a, b, b, a)
+}
+
+/// Inverse square root of X.
+pub fn sxdg() -> Mat {
+    sx().dagger()
+}
+
+/// X rotation `Rx(θ) = exp(-iθX/2)`.
+pub fn rx(theta: f64) -> Mat {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = c64(0.0, -(theta / 2.0).sin());
+    Mat::mat2(c, s, s, c)
+}
+
+/// Y rotation `Ry(θ) = exp(-iθY/2)`.
+pub fn ry(theta: f64) -> Mat {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = (theta / 2.0).sin();
+    Mat::mat2(c, c64(-s, 0.0), c64(s, 0.0), c)
+}
+
+/// Z rotation `Rz(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> Mat {
+    Mat::mat2(
+        C64::cis(-theta / 2.0),
+        C64::ZERO,
+        C64::ZERO,
+        C64::cis(theta / 2.0),
+    )
+}
+
+/// Phase gate `P(λ) = diag(1, e^{iλ})` (a.k.a. `U1`).
+pub fn p(lambda: f64) -> Mat {
+    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(lambda))
+}
+
+/// OpenQASM `U3(θ, φ, λ)`.
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Mat::mat2(
+        c64(ct, 0.0),
+        C64::cis(lambda).scale(-st),
+        C64::cis(phi).scale(st),
+        C64::cis(phi + lambda).scale(ct),
+    )
+}
+
+/// OpenQASM `U2(φ, λ) = U3(π/2, φ, λ)`.
+pub fn u2(phi: f64, lambda: f64) -> Mat {
+    u3(FRAC_PI_2, phi, lambda)
+}
+
+/// Controlled-X with control on the first (most significant) qubit.
+pub fn cx() -> Mat {
+    let mut m = Mat::identity(4);
+    m[(2, 2)] = C64::ZERO;
+    m[(3, 3)] = C64::ZERO;
+    m[(2, 3)] = C64::ONE;
+    m[(3, 2)] = C64::ONE;
+    m
+}
+
+/// Controlled-Z.
+pub fn cz() -> Mat {
+    let mut m = Mat::identity(4);
+    m[(3, 3)] = -C64::ONE;
+    m
+}
+
+/// Controlled-phase `CP(λ) = diag(1,1,1,e^{iλ})`.
+pub fn cp(lambda: f64) -> Mat {
+    let mut m = Mat::identity(4);
+    m[(3, 3)] = C64::cis(lambda);
+    m
+}
+
+/// Controlled-`Rz(θ)` (control on first qubit).
+pub fn crz(theta: f64) -> Mat {
+    let mut m = Mat::identity(4);
+    m[(2, 2)] = C64::cis(-theta / 2.0);
+    m[(3, 3)] = C64::cis(theta / 2.0);
+    m
+}
+
+/// SWAP gate.
+pub fn swap() -> Mat {
+    let mut m = Mat::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(1, 2)] = C64::ONE;
+    m[(2, 1)] = C64::ONE;
+    m[(3, 3)] = C64::ONE;
+    m
+}
+
+/// Two-qubit XX rotation `Rxx(θ) = exp(-iθ XX/2)`.
+pub fn rxx(theta: f64) -> Mat {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = c64(0.0, -(theta / 2.0).sin());
+    let mut m = Mat::zeros(4, 4);
+    for i in 0..4 {
+        m[(i, i)] = c;
+        m[(i, 3 - i)] = s;
+    }
+    m
+}
+
+/// Two-qubit YY rotation `Ryy(θ) = exp(-iθ YY/2)`.
+pub fn ryy(theta: f64) -> Mat {
+    let c = c64((theta / 2.0).cos(), 0.0);
+    let s = c64(0.0, (theta / 2.0).sin());
+    let ms = c64(0.0, -(theta / 2.0).sin());
+    let mut m = Mat::zeros(4, 4);
+    m[(0, 0)] = c;
+    m[(1, 1)] = c;
+    m[(2, 2)] = c;
+    m[(3, 3)] = c;
+    m[(0, 3)] = s;
+    m[(3, 0)] = s;
+    m[(1, 2)] = ms;
+    m[(2, 1)] = ms;
+    m
+}
+
+/// Two-qubit ZZ rotation `Rzz(θ) = exp(-iθ ZZ/2)`.
+pub fn rzz(theta: f64) -> Mat {
+    let e = C64::cis(-theta / 2.0);
+    let f = C64::cis(theta / 2.0);
+    Mat::diag(&[e, f, f, e])
+}
+
+/// Toffoli (CCX) with controls on the first two qubits.
+pub fn ccx() -> Mat {
+    let mut m = Mat::identity(8);
+    m[(6, 6)] = C64::ZERO;
+    m[(7, 7)] = C64::ZERO;
+    m[(6, 7)] = C64::ONE;
+    m[(7, 6)] = C64::ONE;
+    m
+}
+
+/// CCZ with phases on `|111⟩`.
+pub fn ccz() -> Mat {
+    let mut m = Mat::identity(8);
+    m[(7, 7)] = -C64::ONE;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::hs_distance;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn all_gates_unitary() {
+        let gates: Vec<Mat> = vec![
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            sdg(),
+            t(),
+            tdg(),
+            sx(),
+            sxdg(),
+            rx(0.7),
+            ry(-1.3),
+            rz(2.2),
+            p(0.4),
+            u2(0.1, 0.2),
+            u3(1.0, 2.0, 3.0),
+            cx(),
+            cz(),
+            cp(0.9),
+            crz(1.1),
+            swap(),
+            rxx(0.5),
+            ryy(0.5),
+            rzz(0.5),
+            ccx(),
+            ccz(),
+        ];
+        for g in gates {
+            assert!(g.is_unitary(1e-12), "not unitary: {g:?}");
+        }
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        assert!(t().matmul(&t()).approx_eq(&s(), 1e-15));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        assert!(s().matmul(&s()).approx_eq(&z(), 1e-15));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        assert!(sx().matmul(&sx()).approx_eq(&x(), 1e-15));
+    }
+
+    #[test]
+    fn h_conjugates_x_to_z() {
+        let hxh = h().matmul(&x()).matmul(&h());
+        assert!(hxh.approx_eq(&z(), 1e-15));
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        assert!(hs_distance(&rz(PI), &z()) < 1e-7);
+    }
+
+    #[test]
+    fn rx_is_h_rz_h() {
+        let theta = 0.83;
+        let lhs = rx(theta);
+        let rhs = h().matmul(&rz(theta)).matmul(&h());
+        assert!(hs_distance(&lhs, &rhs) < 1e-7);
+    }
+
+    #[test]
+    fn u3_is_rz_ry_rz_up_to_phase() {
+        let (theta, phi, lambda) = (0.3, 1.4, -0.9);
+        let lhs = u3(theta, phi, lambda);
+        let rhs = rz(phi).matmul(&ry(theta)).matmul(&rz(lambda));
+        assert!(hs_distance(&lhs, &rhs) < 1e-7);
+    }
+
+    #[test]
+    fn p_equals_rz_up_to_phase() {
+        assert!(hs_distance(&p(0.77), &rz(0.77)) < 1e-7);
+    }
+
+    #[test]
+    fn cz_symmetric() {
+        assert!(cz().approx_eq(&cz().transpose(), 0.0));
+    }
+
+    #[test]
+    fn swap_conjugates_cx() {
+        // SWAP · CX(0,1) · SWAP = CX(1,0)
+        let lhs = swap().matmul(&cx()).matmul(&swap());
+        let cx10 = crate::matrix::embed(&cx(), 2, &[1, 0]);
+        assert!(lhs.approx_eq(&cx10, 1e-15));
+    }
+
+    #[test]
+    fn rzz_is_cx_rz_cx() {
+        let theta = 0.9;
+        let rz1 = crate::matrix::embed(&rz(theta), 2, &[1]);
+        let rhs = cx().matmul(&rz1).matmul(&cx());
+        assert!(hs_distance(&rzz(theta), &rhs) < 1e-7);
+    }
+
+    #[test]
+    fn ccz_is_h_ccx_h() {
+        let h2 = crate::matrix::embed(&h(), 3, &[2]);
+        let rhs = h2.matmul(&ccx()).matmul(&h2);
+        assert!(rhs.approx_eq(&ccz(), 1e-12));
+    }
+}

@@ -1,0 +1,52 @@
+//! `qmath` — dense complex linear algebra for quantum circuit optimization.
+//!
+//! This crate is the numerical foundation of the GUOQ reproduction. It is
+//! deliberately dependency-free (apart from `rand`) and provides:
+//!
+//! * [`C64`]: complex numbers ([`complex`])
+//! * [`Mat`]: dense complex matrices, Kronecker products, embeddings
+//!   ([`matrix`])
+//! * standard gate unitaries ([`gates`])
+//! * the Hilbert–Schmidt distance of the paper's Definition 3.2 ([`dist`])
+//! * angle canonicalization utilities ([`angle`])
+//! * analytic single-qubit ZYZ/U3 decomposition ([`decompose`])
+//! * Haar-random unitaries and states ([`random`])
+//! * statevector kernels shared by the simulator ([`statevec`])
+//! * a Jacobi eigensolver for small symmetric systems ([`eigen`])
+//!
+//! # Example
+//!
+//! Verifying the paper's Figure 5 resynthesis example — the circuit
+//! `Rz(π/2) q0; CX q0 q1; H q1; Rz(π/2) q0` is equivalent (up to global
+//! phase) to `Rz(π) q0; CX q0 q1; H q1`:
+//!
+//! ```
+//! use qmath::{gates, matrix::embed, dist::hs_distance};
+//!
+//! let rz0 = |t: f64| embed(&gates::rz(t), 2, &[0]);
+//! let h1 = embed(&gates::h(), 2, &[1]);
+//! let cx = gates::cx();
+//!
+//! // Circuits compose right-to-left: first gate is rightmost.
+//! let lhs = rz0(std::f64::consts::FRAC_PI_2)
+//!     .matmul(&h1).matmul(&cx)
+//!     .matmul(&rz0(std::f64::consts::FRAC_PI_2));
+//! let rhs = h1.matmul(&cx).matmul(&rz0(std::f64::consts::PI));
+//! assert!(hs_distance(&lhs, &rhs) < 1e-7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod complex;
+pub mod decompose;
+pub mod dist;
+pub mod eigen;
+pub mod gates;
+pub mod matrix;
+pub mod random;
+pub mod statevec;
+
+pub use complex::{c64, C64};
+pub use dist::hs_distance;
+pub use matrix::{embed, Mat};

@@ -1,0 +1,530 @@
+//! Dense complex matrices.
+//!
+//! [`Mat`] is a row-major dense matrix of [`C64`]. Sizes in this workspace
+//! are small (unitaries on at most ~8 qubits, i.e. 256×256), so the simple
+//! cache-friendly `ikj` multiplication is plenty fast and keeps the code
+//! auditable.
+
+use crate::complex::C64;
+#[cfg(test)]
+use crate::complex::c64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// ```
+/// use qmath::Mat;
+/// let id = Mat::identity(4);
+/// assert!(id.clone().matmul(&id).approx_eq(&id, 1e-15));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a square matrix from rows of `(re, im)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are not all the same length.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Mat::from_rows");
+            data.extend_from_slice(row);
+        }
+        Mat::from_vec(r, c, data)
+    }
+
+    /// Creates a 2×2 matrix from four entries in row-major order.
+    pub fn mat2(a: C64, b: C64, c: C64, d: C64) -> Self {
+        Mat::from_vec(2, 2, vec![a, b, c, d])
+    }
+
+    /// Creates a diagonal square matrix from the given diagonal entries.
+    pub fn diag(d: &[C64]) -> Self {
+        let n = d.len();
+        let mut m = Mat::zeros(n, n);
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik.re == 0.0 && aik.im == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for j in 0..rhs.cols {
+                    orow[j] += aik * rrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose `self†`.
+    pub fn dagger(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose (without conjugation).
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Mat) -> Mat {
+        let mut out = Mat::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.re == 0.0 && a.im == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    for q in 0..rhs.cols {
+                        out[(i * rhs.rows + p, j * rhs.cols + q)] = a * rhs[(p, q)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace (sum of diagonal entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        let mut t = C64::ZERO;
+        for i in 0..self.rows {
+            t += self[(i, i)];
+        }
+        t
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scaled(&self, k: C64) -> Mat {
+        let mut out = self.clone();
+        for z in &mut out.data {
+            *z = *z * k;
+        }
+        out
+    }
+
+    /// Entrywise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// True when `self† · self ≈ I` within `tol` (Frobenius distance).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let p = self.dagger().matmul(self);
+        let id = Mat::identity(self.rows);
+        (&p - &id).frobenius_norm() <= tol
+    }
+
+    /// Largest-magnitude entry of the matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Multiplies `self` by the global phase that best aligns it with
+    /// `target` (least-squares over `Tr(target† self)`), returning the
+    /// aligned copy. Useful for comparing unitaries modulo global phase.
+    pub fn phase_aligned_to(&self, target: &Mat) -> Mat {
+        let t = target.dagger().matmul(self).trace();
+        if t.abs() < 1e-300 {
+            return self.clone();
+        }
+        let phase = C64::cis(-t.arg());
+        self.scaled(phase)
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a + *b)
+            .collect();
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Sub for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| *a - *b)
+            .collect();
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Mul for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        self.matmul(rhs)
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Embeds a `2^k × 2^k` gate matrix acting on the given qubits into the
+/// full `2^n × 2^n` space.
+///
+/// Qubit 0 is the most significant bit of the state index (big-endian), so
+/// `embed(&CX, 2, &[0, 1])` reproduces the `U_CX` matrix from the paper's
+/// Example 3.1.
+///
+/// # Panics
+///
+/// Panics if `gate` is not `2^k × 2^k` for `k = qubits.len()`, if any qubit
+/// index is out of range, or if qubit indices repeat.
+pub fn embed(gate: &Mat, n: usize, qubits: &[usize]) -> Mat {
+    let k = qubits.len();
+    let dk = 1usize << k;
+    assert_eq!(gate.rows(), dk, "gate size does not match qubit count");
+    assert_eq!(gate.cols(), dk, "gate size does not match qubit count");
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n, "qubit {q} out of range for {n} qubits");
+        assert!(
+            !qubits[..i].contains(&q),
+            "repeated qubit {q} in embedding"
+        );
+    }
+    let dn = 1usize << n;
+    // Bit position (from LSB) of each target qubit in the state index.
+    let bits: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+    let target_mask: usize = bits.iter().map(|&b| 1usize << b).sum();
+
+    let mut out = Mat::zeros(dn, dn);
+    for col in 0..dn {
+        // Decompose the column index into (rest bits, gate-subspace index).
+        let rest = col & !target_mask;
+        let mut gcol = 0usize;
+        for (pos, &b) in bits.iter().enumerate() {
+            if (col >> b) & 1 == 1 {
+                gcol |= 1 << (k - 1 - pos);
+            }
+        }
+        for grow in 0..dk {
+            let v = gate[(grow, gcol)];
+            if v.re == 0.0 && v.im == 0.0 {
+                continue;
+            }
+            let mut row = rest;
+            for (pos, &b) in bits.iter().enumerate() {
+                if (grow >> (k - 1 - pos)) & 1 == 1 {
+                    row |= 1 << b;
+                }
+            }
+            out[(row, col)] = v;
+        }
+    }
+    out
+}
+
+/// Convenience: `c64` re-export used by matrix literals in tests.
+pub use crate::complex::c64 as centry;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn x() -> Mat {
+        Mat::mat2(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO)
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(Mat::identity(8).is_unitary(1e-15));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Mat::from_vec(
+            2,
+            2,
+            vec![c64(1.0, 2.0), c64(3.0, -1.0), c64(0.0, 1.0), c64(2.0, 2.0)],
+        );
+        assert!(m.matmul(&Mat::identity(2)).approx_eq(&m, 0.0));
+        assert!(Mat::identity(2).matmul(&m).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let m = Mat::from_vec(
+            2,
+            3,
+            vec![
+                c64(1.0, 2.0),
+                c64(3.0, -1.0),
+                c64(0.5, 0.0),
+                c64(0.0, 1.0),
+                c64(2.0, 2.0),
+                c64(-1.0, 0.25),
+            ],
+        );
+        assert!(m.dagger().dagger().approx_eq(&m, 0.0));
+        assert_eq!(m.dagger().rows(), 3);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = Mat::diag(&[c64(1.0, 0.0), c64(2.0, 0.0)]);
+        let b = x();
+        let k = a.kron(&b);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k[(0, 1)], C64::ONE);
+        assert_eq!(k[(2, 3)], c64(2.0, 0.0));
+        assert_eq!(k[(0, 2)], C64::ZERO);
+    }
+
+    #[test]
+    fn trace_of_identity() {
+        assert_eq!(Mat::identity(4).trace(), c64(4.0, 0.0));
+    }
+
+    #[test]
+    fn embed_x_on_second_of_two() {
+        // X on qubit 1 of 2 should be I ⊗ X in big-endian convention.
+        let e = embed(&x(), 2, &[1]);
+        let expect = Mat::identity(2).kron(&x());
+        assert!(e.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn embed_x_on_first_of_two() {
+        let e = embed(&x(), 2, &[0]);
+        let expect = x().kron(&Mat::identity(2));
+        assert!(e.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn embed_cx_matches_paper_example() {
+        // CX with control qubit 0, target qubit 1 (paper Example 3.1).
+        let cx = Mat::from_vec(
+            4,
+            4,
+            vec![
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+            ],
+        );
+        let e = embed(&cx, 2, &[0, 1]);
+        assert!(e.approx_eq(&cx, 0.0));
+        // Reversed qubit order swaps control and target.
+        let e2 = embed(&cx, 2, &[1, 0]);
+        let expect = Mat::from_vec(
+            4,
+            4,
+            vec![
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+                C64::ONE,
+                C64::ZERO,
+                C64::ZERO,
+            ],
+        );
+        assert!(e2.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn embed_preserves_unitarity() {
+        let g = x();
+        for n in 1..=4 {
+            for q in 0..n {
+                assert!(embed(&g, n, &[q]).is_unitary(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_alignment() {
+        let m = Mat::identity(4);
+        let rotated = m.scaled(C64::cis(1.234));
+        let aligned = rotated.phase_aligned_to(&m);
+        assert!(aligned.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

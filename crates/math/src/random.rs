@@ -1,0 +1,130 @@
+//! Random sampling of unitaries and states.
+//!
+//! Haar-ish random unitaries are produced by Gram–Schmidt orthonormalizing
+//! a complex Gaussian matrix; random states by normalizing a Gaussian
+//! vector. These are used by the synthesis tests, the rule-synthesis
+//! fingerprinting, and the statevector equivalence checker.
+
+use crate::complex::{c64, C64};
+use crate::matrix::Mat;
+use rand::Rng;
+
+/// Draws a standard complex Gaussian (both components `N(0, 1)`).
+pub fn gaussian_c64<R: Rng + ?Sized>(rng: &mut R) -> C64 {
+    // Box–Muller transform.
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let t = 2.0 * std::f64::consts::PI * u2;
+    c64(r * t.cos(), r * t.sin())
+}
+
+/// Samples an `n × n` unitary approximately from the Haar measure.
+///
+/// Generates a complex Gaussian matrix and orthonormalizes its columns via
+/// modified Gram–Schmidt.
+///
+/// ```
+/// use qmath::random::random_unitary;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let u = random_unitary(4, &mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Mat {
+    loop {
+        let mut cols: Vec<Vec<C64>> = (0..n)
+            .map(|_| (0..n).map(|_| gaussian_c64(rng)).collect())
+            .collect();
+        let mut ok = true;
+        for j in 0..n {
+            // Remove projections onto previous columns (twice, for stability).
+            for _pass in 0..2 {
+                for k in 0..j {
+                    let mut dot = C64::ZERO;
+                    for i in 0..n {
+                        dot += cols[k][i].conj() * cols[j][i];
+                    }
+                    for i in 0..n {
+                        let sub = dot * cols[k][i];
+                        cols[j][i] -= sub;
+                    }
+                }
+            }
+            let norm: f64 = cols[j].iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if norm < 1e-8 {
+                ok = false;
+                break;
+            }
+            for z in &mut cols[j] {
+                *z = z.scale(1.0 / norm);
+            }
+        }
+        if !ok {
+            continue; // astronomically unlikely degenerate draw; resample
+        }
+        let mut m = Mat::zeros(n, n);
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..n {
+                m[(i, j)] = col[i];
+            }
+        }
+        return m;
+    }
+}
+
+/// Samples a normalized random state vector of dimension `dim`.
+pub fn random_state<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Vec<C64> {
+    let mut v: Vec<C64> = (0..dim).map(|_| gaussian_c64(rng)).collect();
+    let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    for z in &mut v {
+        *z = z.scale(1.0 / norm);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_unitaries_are_unitary() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [2usize, 4, 8] {
+            for _ in 0..10 {
+                let u = random_unitary(n, &mut rng);
+                assert!(u.is_unitary(1e-9), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_states_normalized() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let s = random_state(16, &mut rng);
+            let n: f64 = s.iter().map(|z| z.norm_sqr()).sum();
+            assert!((n - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let ua = random_unitary(4, &mut a);
+        let ub = random_unitary(4, &mut b);
+        assert!(ua.approx_eq(&ub, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let ua = random_unitary(4, &mut a);
+        let ub = random_unitary(4, &mut b);
+        assert!(!ua.approx_eq(&ub, 1e-3));
+    }
+}

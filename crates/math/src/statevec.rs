@@ -1,0 +1,232 @@
+//! Raw statevector kernels.
+//!
+//! These functions apply small gate matrices to a `2^n` amplitude vector
+//! in place. The higher-level simulator in the `qsim` crate wraps them with
+//! circuit awareness; they live here so both the simulator and the
+//! equivalence fingerprinting in `qrewrite` can share them.
+//!
+//! Convention: qubit 0 is the most significant bit of the state index
+//! (matching [`crate::matrix::embed`]).
+
+use crate::complex::C64;
+use crate::matrix::Mat;
+
+/// Applies a 2×2 gate to qubit `q` of an `n`-qubit state, in place.
+///
+/// # Panics
+///
+/// Panics if `state.len() != 2^n`, `q >= n`, or the gate is not 2×2.
+pub fn apply_1q(state: &mut [C64], n: usize, q: usize, gate: &Mat) {
+    assert_eq!(state.len(), 1 << n, "state length must be 2^n");
+    assert!(q < n, "qubit index out of range");
+    assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
+    let bit = n - 1 - q;
+    let stride = 1usize << bit;
+    let g = gate.as_slice();
+    let (g00, g01, g10, g11) = (g[0], g[1], g[2], g[3]);
+    let mut base = 0usize;
+    while base < state.len() {
+        for i in base..base + stride {
+            let a = state[i];
+            let b = state[i + stride];
+            state[i] = g00 * a + g01 * b;
+            state[i + stride] = g10 * a + g11 * b;
+        }
+        base += stride << 1;
+    }
+}
+
+/// Applies a `2^k × 2^k` gate to the given qubits of an `n`-qubit state,
+/// in place. Works for any `k ≤ n`; specialized paths exist for `k = 1`.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or qubits repeat / are out of range.
+pub fn apply_gate(state: &mut [C64], n: usize, qubits: &[usize], gate: &Mat) {
+    let k = qubits.len();
+    if k == 1 {
+        apply_1q(state, n, qubits[0], gate);
+        return;
+    }
+    assert_eq!(state.len(), 1 << n, "state length must be 2^n");
+    let dk = 1usize << k;
+    assert_eq!((gate.rows(), gate.cols()), (dk, dk), "gate size mismatch");
+    for (i, &q) in qubits.iter().enumerate() {
+        assert!(q < n, "qubit index out of range");
+        assert!(!qubits[..i].contains(&q), "repeated qubit in apply_gate");
+    }
+    let bits: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+    let target_mask: usize = bits.iter().map(|&b| 1usize << b).sum();
+
+    // Offsets of each of the 2^k basis combinations within a group.
+    let mut offsets = vec![0usize; dk];
+    for (g, off) in offsets.iter_mut().enumerate() {
+        for (pos, &b) in bits.iter().enumerate() {
+            if (g >> (k - 1 - pos)) & 1 == 1 {
+                *off |= 1 << b;
+            }
+        }
+    }
+
+    let gm = gate.as_slice();
+    let mut buf = vec![C64::ZERO; dk];
+    for base in 0..state.len() {
+        if base & target_mask != 0 {
+            continue;
+        }
+        for (g, &off) in offsets.iter().enumerate() {
+            buf[g] = state[base | off];
+        }
+        for (r, &off) in offsets.iter().enumerate() {
+            let mut acc = C64::ZERO;
+            let row = &gm[r * dk..(r + 1) * dk];
+            for (c, &b) in buf.iter().enumerate() {
+                acc += row[c] * b;
+            }
+            state[base | off] = acc;
+        }
+    }
+}
+
+/// Overlap `⟨a|b⟩` of two state vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "state length mismatch");
+    let mut acc = C64::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Phase-invariant distance between normalized states:
+/// `sqrt(max(0, 1 − |⟨a|b⟩|²))`.
+pub fn state_distance(a: &[C64], b: &[C64]) -> f64 {
+    let o = inner(a, b).abs().min(1.0);
+    (1.0 - o * o).max(0.0).sqrt()
+}
+
+/// Returns the all-zeros basis state `|0…0⟩` on `n` qubits.
+pub fn zero_state(n: usize) -> Vec<C64> {
+    let mut v = vec![C64::ZERO; 1 << n];
+    v[0] = C64::ONE;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::matrix::embed;
+    use crate::random::{random_state, random_unitary};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn apply_via_embed(state: &[C64], n: usize, qubits: &[usize], gate: &Mat) -> Vec<C64> {
+        let big = embed(gate, n, qubits);
+        let mut out = vec![C64::ZERO; state.len()];
+        for r in 0..state.len() {
+            let mut acc = C64::ZERO;
+            for c in 0..state.len() {
+                acc += big[(r, c)] * state[c];
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    #[test]
+    fn apply_1q_matches_embedding() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for n in 1..=4 {
+            for q in 0..n {
+                let g = random_unitary(2, &mut rng);
+                let s0 = random_state(1 << n, &mut rng);
+                let expect = apply_via_embed(&s0, n, &[q], &g);
+                let mut got = s0.clone();
+                apply_1q(&mut got, n, q, &g);
+                for (a, b) in got.iter().zip(&expect) {
+                    assert!(a.approx_eq(*b, 1e-10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_2q_matches_embedding() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        for n in 2..=4 {
+            for q0 in 0..n {
+                for q1 in 0..n {
+                    if q0 == q1 {
+                        continue;
+                    }
+                    let g = random_unitary(4, &mut rng);
+                    let s0 = random_state(1 << n, &mut rng);
+                    let expect = apply_via_embed(&s0, n, &[q0, q1], &g);
+                    let mut got = s0.clone();
+                    apply_gate(&mut got, n, &[q0, q1], &g);
+                    for (a, b) in got.iter().zip(&expect) {
+                        assert!(a.approx_eq(*b, 1e-10), "n={n} q0={q0} q1={q1}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_3q_matches_embedding() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = 4;
+        let g = random_unitary(8, &mut rng);
+        let s0 = random_state(1 << n, &mut rng);
+        let expect = apply_via_embed(&s0, n, &[2, 0, 3], &g);
+        let mut got = s0.clone();
+        apply_gate(&mut got, n, &[2, 0, 3], &g);
+        for (a, b) in got.iter().zip(&expect) {
+            assert!(a.approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn norm_preserved() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut s = random_state(8, &mut rng);
+        apply_gate(&mut s, 3, &[0, 2], &gates::cx());
+        apply_1q(&mut s, 3, 1, &gates::h());
+        let n: f64 = s.iter().map(|z| z.norm_sqr()).sum();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_distance_zero_and_phase_invariant() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let s = random_state(8, &mut rng);
+        let mut t = s.clone();
+        for z in &mut t {
+            *z = *z * C64::cis(0.9);
+        }
+        assert!(state_distance(&s, &t) < 1e-10);
+    }
+
+    #[test]
+    fn cx_on_zero_state_stays_zero() {
+        let mut s = zero_state(2);
+        apply_gate(&mut s, 2, &[0, 1], &gates::cx());
+        assert!(s[0].approx_eq(C64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut s = zero_state(2);
+        apply_1q(&mut s, 2, 0, &gates::h());
+        apply_gate(&mut s, 2, &[0, 1], &gates::cx());
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(s[0].approx_eq(C64::real(r), 1e-12));
+        assert!(s[3].approx_eq(C64::real(r), 1e-12));
+        assert!(s[1].abs() < 1e-12 && s[2].abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Commutation-aware cancellation (the `CommutativeCancellation` pass of
+//! industrial pipelines).
+//!
+//! Plain rule matching only cancels *adjacent* inverse pairs; this pass
+//! cancels or merges gate pairs separated by arbitrary gates that
+//! *commute* with them (checked numerically on the dense unitaries of the
+//! gates' joint support). It is an exact (`ε = 0`) transformation and is
+//! part of both the pipeline baselines and GUOQ's fast pool.
+
+use qcir::{Circuit, Gate, Instruction};
+use qmath::{embed, Mat};
+
+/// Maximum number of instructions to look ahead for a partner.
+const WINDOW: usize = 32;
+
+/// Maximum joint support (qubits) for the numeric commutation check;
+/// pairs with wider support are conservatively treated as non-commuting.
+const MAX_SUPPORT: usize = 4;
+
+/// Checks numerically whether two instructions commute, by embedding both
+/// into their joint qubit support and comparing the two products.
+///
+/// Returns `false` (conservative) when the joint support exceeds
+/// [`MAX_SUPPORT`] qubits.
+pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
+    if !a.overlaps(b) {
+        return true; // disjoint supports always commute
+    }
+    let mut support: Vec<u32> = a.qubits().to_vec();
+    for &q in b.qubits() {
+        if !support.contains(&q) {
+            support.push(q);
+        }
+    }
+    if support.len() > MAX_SUPPORT {
+        return false;
+    }
+    support.sort_unstable();
+    let n = support.len();
+    let pos = |q: u32| support.iter().position(|&s| s == q).expect("in support");
+    let ea = embed(
+        &a.gate.matrix(),
+        n,
+        &a.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
+    );
+    let eb = embed(
+        &b.gate.matrix(),
+        n,
+        &b.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
+    );
+    let ab = ea.matmul(&eb);
+    let ba = eb.matmul(&ea);
+    (&ab - &ba).frobenius_norm() < 1e-9
+}
+
+/// True when applying `b` directly after `a` is the identity up to global
+/// phase (inverse pair on identical operands).
+fn inverse_pair(a: &Instruction, b: &Instruction) -> bool {
+    if a.qubits() != b.qubits() {
+        // Symmetric gates cancel under permuted operands too.
+        if !(a.gate.is_symmetric()
+            && b.gate.kind() == a.gate.kind()
+            && {
+                let mut x: Vec<u32> = a.qubits().to_vec();
+                let mut y: Vec<u32> = b.qubits().to_vec();
+                x.sort_unstable();
+                y.sort_unstable();
+                x == y
+            })
+        {
+            return false;
+        }
+    }
+    let prod = b.gate.matrix().matmul(&a.gate.matrix());
+    qmath::hs_distance(&prod, &Mat::identity(prod.rows())) < 1e-9
+}
+
+/// Merges two rotation-family gates on identical operands, if possible.
+fn merge_pair(a: &Instruction, b: &Instruction) -> Option<Gate> {
+    if a.qubits() != b.qubits() {
+        return None;
+    }
+    use Gate::*;
+    let merged = match (a.gate, b.gate) {
+        (Rx(x), Rx(y)) => Rx(x + y),
+        (Ry(x), Ry(y)) => Ry(x + y),
+        (Rz(x), Rz(y)) => Rz(x + y),
+        (P(x), P(y)) => P(x + y),
+        (Cp(x), Cp(y)) => Cp(x + y),
+        (Crz(x), Crz(y)) => Crz(x + y),
+        (Rxx(x), Rxx(y)) => Rxx(x + y),
+        (Ryy(x), Ryy(y)) => Ryy(x + y),
+        (Rzz(x), Rzz(y)) => Rzz(x + y),
+        (T, T) => S,
+        (Tdg, Tdg) => Sdg,
+        (S, T) | (T, S) => Rz(3.0 * std::f64::consts::FRAC_PI_4),
+        _ => return None,
+    };
+    Some(merged.normalized())
+}
+
+/// Runs one sweep of commutation-aware cancellation/merging.
+///
+/// Returns `None` if nothing changed; otherwise the new circuit, which is
+/// exactly equivalent (up to global phase) and strictly smaller.
+pub fn commutative_cancellation(circuit: &Circuit) -> Option<Circuit> {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    let mut removed = vec![false; n];
+    let mut replaced: Vec<Option<Gate>> = vec![None; n];
+    let mut changed = false;
+
+    'outer: for i in 0..n {
+        if removed[i] || replaced[i].is_some() {
+            continue;
+        }
+        let a = instrs[i];
+        // Walk forward looking for a partner; every interposed gate that
+        // shares a qubit with `a` must commute with it.
+        for j in (i + 1)..n.min(i + 1 + WINDOW) {
+            if removed[j] || replaced[j].is_some() {
+                continue;
+            }
+            let b = instrs[j];
+            if !a.overlaps(&b) {
+                continue;
+            }
+            // Candidate partner?
+            if inverse_pair(&a, &b) {
+                removed[i] = true;
+                removed[j] = true;
+                changed = true;
+                continue 'outer;
+            }
+            if let Some(m) = merge_pair(&a, &b) {
+                removed[i] = true;
+                if m.is_identity(1e-9) {
+                    removed[j] = true;
+                } else {
+                    replaced[j] = Some(m);
+                }
+                changed = true;
+                continue 'outer;
+            }
+            // Not a partner: it must commute with `a` for the walk to
+            // continue past it.
+            if !instructions_commute(&a, &b) {
+                continue 'outer;
+            }
+        }
+    }
+
+    if !changed {
+        return None;
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for (i, ins) in instrs.iter().enumerate() {
+        if removed[i] {
+            continue;
+        }
+        match replaced[i] {
+            Some(g) => out.push(g, ins.qubits()),
+            None => out.push_instruction(*ins),
+        }
+    }
+    Some(out)
+}
+
+/// Iterates [`commutative_cancellation`] to a fixpoint.
+pub fn commutative_cancellation_fixpoint(circuit: &Circuit) -> Circuit {
+    let mut c = circuit.clone();
+    while let Some(next) = commutative_cancellation(&c) {
+        c = next;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::circuits_equivalent;
+
+    #[test]
+    fn cancels_cx_through_commuting_diagonal() {
+        // CX(0,1); Rz(0); CX(0,1): Rz on the control commutes → cancel.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.7), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let out = commutative_cancellation(&c).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn does_not_cancel_through_noncommuting() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[0]); // H on control does NOT commute
+        c.push(Gate::Cx, &[0, 1]);
+        assert!(commutative_cancellation(&c).is_none());
+    }
+
+    #[test]
+    fn merges_rotations_across_cx_control() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.25), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.5), &[0]);
+        let out = commutative_cancellation(&c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+        let merged = out
+            .iter()
+            .find_map(|i| match i.gate {
+                Gate::Rz(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        assert!((merged - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merges_x_axis_rotation_across_cx_target() {
+        // Rx on the target commutes with CX.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(0.2), &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rx(0.3), &[1]);
+        let out = commutative_cancellation(&c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn t_pair_merges_to_s_through_commuting_context() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::S, &[0]);
+        c.push(Gate::T, &[0]);
+        let out = commutative_cancellation_fixpoint(&c);
+        assert!(out.len() < c.len());
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn symmetric_gate_cancels_under_swapped_operands() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cz, &[1, 0]);
+        let out = commutative_cancellation(&c).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn swap_conjugated_pair_not_cancelled() {
+        // CX(0,1) … CX(1,0) must NOT cancel.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        assert!(commutative_cancellation(&c).is_none());
+    }
+
+    #[test]
+    fn zero_sum_rotations_vanish() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(-0.4), &[0]);
+        let out = commutative_cancellation(&c).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn commute_check_is_sound_numerically() {
+        let a = Instruction::new(Gate::Rz(0.3), &[0]);
+        let cx = Instruction::new(Gate::Cx, &[0, 1]);
+        let cx_rev = Instruction::new(Gate::Cx, &[1, 0]);
+        assert!(instructions_commute(&a, &cx)); // Rz on control
+        assert!(!instructions_commute(&a, &cx_rev)); // Rz on target
+        let h = Instruction::new(Gate::H, &[2]);
+        assert!(instructions_commute(&a, &h)); // disjoint
+    }
+
+    #[test]
+    fn fixpoint_on_random_circuits_is_sound() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        let pool = [Gate::H, Gate::T, Gate::Tdg, Gate::S, Gate::X, Gate::Rz(0.5)];
+        for trial in 0..15 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..30 {
+                if rng.random::<f64>() < 0.3 {
+                    let a = rng.random_range(0..n as u32);
+                    let b = (a + 1 + rng.random_range(0..(n as u32 - 1))) % n as u32;
+                    c.push(Gate::Cx, &[a, b]);
+                } else {
+                    c.push(pool[rng.random_range(0..pool.len())], &[rng.random_range(0..n as u32)]);
+                }
+            }
+            let out = commutative_cancellation_fixpoint(&c);
+            assert!(
+                circuits_equivalent(&c, &out, 1e-6),
+                "trial {trial} broke equivalence"
+            );
+            assert!(out.len() <= c.len());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Built-in exact passes: single-qubit run fusion and identity cleanup.
+//!
+//! Rewrite rules handle pairwise gate algebra; fusing a whole *run* of
+//! adjacent one-qubit gates into the minimal native decomposition is done
+//! here with a matrix product plus [`qcir::rebase::decompose_1q`]. Both
+//! passes are `ε = 0` transformations.
+
+use qcir::rebase::decompose_1q;
+use qcir::{Circuit, Gate, GateSet};
+use qmath::angle::pi4_multiple_of;
+use qmath::Mat;
+
+/// Removes gates that are the identity up to global phase (e.g. `Rz(0)`,
+/// `U3(0, λ, −λ)`), returning `None` when nothing was removed.
+pub fn remove_identities(circuit: &Circuit, tol: f64) -> Option<Circuit> {
+    let kept: Vec<_> = circuit
+        .iter()
+        .filter(|i| !i.gate.is_identity(tol))
+        .copied()
+        .collect();
+    if kept.len() == circuit.len() {
+        return None;
+    }
+    Some(Circuit::from_instructions(circuit.num_qubits(), kept))
+}
+
+/// Canonicalizes every rotation angle into `(-π, π]` (global-phase-safe).
+pub fn normalize_angles(circuit: &Circuit) -> Circuit {
+    let instrs = circuit
+        .iter()
+        .map(|i| qcir::Instruction::new(i.gate.normalized(), i.qubits()))
+        .collect();
+    Circuit::from_instructions(circuit.num_qubits(), instrs)
+}
+
+/// Fuses maximal runs of adjacent one-qubit gates on each wire into the
+/// minimal decomposition for `set`. Returns `None` if no run shrank.
+///
+/// For finite gate sets only *diagonal* runs (products of `S/S†/T/T†`) are
+/// fused, since a general 2×2 product need not be expressible.
+pub fn fuse_1q_runs(circuit: &Circuit, set: GateSet) -> Option<Circuit> {
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    // Identify runs: consecutive-on-wire 1q gates with no interposed
+    // multi-qubit gate. Because a 1q run is positionally contiguous *on
+    // its wire*, we can walk the instruction list per qubit.
+    let mut replaced: Vec<Option<Vec<Gate>>> = vec![None; n]; // run head -> new gates
+    let mut dropped = vec![false; n];
+    let mut changed = false;
+
+    for q in 0..circuit.num_qubits() as u32 {
+        let mut run: Vec<usize> = Vec::new();
+        let process_run = |run: &mut Vec<usize>,
+                               replaced: &mut Vec<Option<Vec<Gate>>>,
+                               dropped: &mut Vec<bool>,
+                               changed: &mut bool| {
+            if run.len() >= 2 {
+                if let Some(gates) = fuse_gates(instrs, run, set) {
+                    if gates.len() < run.len() {
+                        *changed = true;
+                        for &i in run.iter() {
+                            dropped[i] = true;
+                        }
+                        replaced[run[0]] = Some(gates);
+                    }
+                }
+            }
+            run.clear();
+        };
+        for (i, ins) in instrs.iter().enumerate() {
+            if !ins.acts_on(q) {
+                continue;
+            }
+            if ins.gate.arity() == 1 {
+                run.push(i);
+            } else {
+                process_run(&mut run, &mut replaced, &mut dropped, &mut changed);
+            }
+        }
+        process_run(&mut run, &mut replaced, &mut dropped, &mut changed);
+    }
+
+    if !changed {
+        return None;
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for (i, ins) in instrs.iter().enumerate() {
+        if let Some(gates) = &replaced[i] {
+            let q = ins.qubits()[0];
+            for &g in gates {
+                out.push(g, &[q]);
+            }
+        } else if !dropped[i] {
+            out.push_instruction(*ins);
+        }
+    }
+    Some(out)
+}
+
+/// Fuses the gates of a run into a minimal gate list for `set`, or `None`
+/// when fusion is not applicable.
+fn fuse_gates(instrs: &[qcir::Instruction], run: &[usize], set: GateSet) -> Option<Vec<Gate>> {
+    if set.is_continuous() {
+        // Product in application order: later gates multiply on the left.
+        let mut m = Mat::identity(2);
+        for &i in run {
+            m = instrs[i].gate.matrix().matmul(&m);
+        }
+        let dec = decompose_1q(&m, set).ok()?;
+        Some(dec.iter().map(|i| i.gate).collect())
+    } else {
+        // Clifford+T: fuse only diagonal phase runs.
+        let mut k: i64 = 0;
+        for &i in run {
+            k += match instrs[i].gate {
+                Gate::T => 1,
+                Gate::Tdg => -1,
+                Gate::S => 2,
+                Gate::Sdg => -2,
+                Gate::Z => 4,
+                Gate::Rz(a) | Gate::P(a) => pi4_multiple_of(a, 1e-9)? as i64,
+                _ => return None,
+            };
+        }
+        let k = k.rem_euclid(8) as u8;
+        let gates: Vec<Gate> = match k {
+            0 => vec![],
+            1 => vec![Gate::T],
+            2 => vec![Gate::S],
+            3 => vec![Gate::S, Gate::T],
+            4 => vec![Gate::S, Gate::S],
+            5 => vec![Gate::Sdg, Gate::Tdg],
+            6 => vec![Gate::Sdg],
+            7 => vec![Gate::Tdg],
+            _ => unreachable!(),
+        };
+        Some(gates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::circuits_equivalent;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn removes_zero_rotations() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0.0), &[0]);
+        c.push(Gate::H, &[0]);
+        let out = remove_identities(&c, 1e-9).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(remove_identities(&out, 1e-9).is_none());
+    }
+
+    #[test]
+    fn fuses_long_eagle_run() {
+        // Five Rz/SX gates on one wire fuse to ≤ 5 gates; a crafted
+        // run that multiplies out to a single Rz must shrink.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.3), &[0]);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Rz(-0.7), &[0]);
+        c.push(Gate::Rz(0.9), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let out = fuse_1q_runs(&c, GateSet::IbmEagle).unwrap();
+        assert!(out.len() < c.len());
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn fuses_u3_pair_on_ibmq20() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::U3(0.3, 0.1, -0.4), &[0]);
+        c.push(Gate::U3(1.1, -0.2, 0.8), &[0]);
+        let out = fuse_1q_runs(&c, GateSet::Ibmq20).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn run_interrupted_by_cx_not_fused_across() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::U3(0.3, 0.1, -0.4), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::U3(1.1, -0.2, 0.8), &[0]);
+        assert!(fuse_1q_runs(&c, GateSet::Ibmq20).is_none());
+    }
+
+    #[test]
+    fn clifford_t_diagonal_fusion() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::S, &[0]);
+        c.push(Gate::Tdg, &[0]);
+        // total: 3 + 2 − 1 = 4 eighth-turns = Z = S·S
+        let out = fuse_1q_runs(&c, GateSet::CliffordT).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+
+    #[test]
+    fn clifford_t_nondiagonal_run_untouched() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::T, &[0]);
+        assert!(fuse_1q_runs(&c, GateSet::CliffordT).is_none());
+    }
+
+    #[test]
+    fn normalize_angles_preserves_semantics() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(7.0 * FRAC_PI_2), &[0]);
+        c.push(Gate::Rx(9.0 * FRAC_PI_4), &[0]);
+        let out = normalize_angles(&c);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+        for ins in out.iter() {
+            for p in ins.gate.params() {
+                assert!(p > -std::f64::consts::PI - 1e-9 && p <= std::f64::consts::PI + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_on_two_wires_simultaneously() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.1), &[0]);
+        c.push(Gate::Rz(0.2), &[1]);
+        c.push(Gate::Rz(0.3), &[0]);
+        c.push(Gate::Rz(0.4), &[1]);
+        let out = fuse_1q_runs(&c, GateSet::IbmEagle).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(circuits_equivalent(&c, &out, 1e-6));
+    }
+}

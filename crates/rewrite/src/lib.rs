@@ -1,0 +1,36 @@
+//! `qrewrite` — the rewrite-rule engine (the paper's "fast" System 1).
+//!
+//! * [`pattern`]: symbolic-angle circuit patterns with affine RHS angles
+//! * [`rule`]: verified rewrite rules + builder DSL
+//! * [`matcher`]: sound DAG matching and full-pass application (§5.3)
+//! * [`rules`]: the shipped per-gate-set corpus (QUESO-style rules)
+//! * [`fusion`]: exact built-in passes (1q-run fusion, identity cleanup)
+//! * [`commutation`]: commutation-aware cancellation (Qiskit-style)
+//! * [`synthesis`]: QUESO-style automatic rule synthesis
+//!
+//! ```
+//! use qcir::{Circuit, Gate, GateSet};
+//! use qrewrite::{rules::rules_for, matcher::apply_rule_pass};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::Cx, &[0, 1]);
+//! c.push(Gate::Cx, &[0, 1]);
+//! let corpus = rules_for(GateSet::Nam);
+//! let cancel = corpus.iter().find(|r| r.name() == "cx-cancel").unwrap();
+//! let (out, fired) = apply_rule_pass(&c, cancel, 0).unwrap();
+//! assert_eq!((out.len(), fired), (0, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod commutation;
+pub mod fusion;
+pub mod matcher;
+pub mod pattern;
+pub mod rule;
+pub mod rules;
+pub mod synthesis;
+
+pub use matcher::{apply_rule_pass, find_first_match, Match};
+pub use rule::Rule;
+pub use rules::rules_for;

@@ -1,0 +1,326 @@
+//! Symbolic-angle circuit patterns.
+//!
+//! A rewrite rule is a pair of patterns (paper §2.1, Fig. 3). Patterns use
+//! *pattern qubits* `p0, p1, …` and *angle variables* `v0, v1, …`; the
+//! right-hand side may use affine combinations of the captured angles
+//! (e.g. the `Rz` merge rule of Fig. 3d rewrites to `Rz(v0 + v1)`).
+
+use qcir::{Circuit, Gate, GateKind, Instruction, Qubit};
+use std::fmt;
+
+/// An affine expression over angle variables: `Σ coeff·v_i + constant`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AngleExpr {
+    terms: Vec<(u8, f64)>,
+    constant: f64,
+}
+
+impl AngleExpr {
+    /// The variable `v_i`.
+    pub fn var(i: u8) -> Self {
+        AngleExpr {
+            terms: vec![(i, 1.0)],
+            constant: 0.0,
+        }
+    }
+
+    /// A constant angle.
+    pub fn constant(c: f64) -> Self {
+        AngleExpr {
+            terms: vec![],
+            constant: c,
+        }
+    }
+
+    /// The sum `self + other`.
+    pub fn plus(mut self, other: &AngleExpr) -> Self {
+        for &(v, k) in &other.terms {
+            self.add_term(v, k);
+        }
+        self.constant += other.constant;
+        self
+    }
+
+    /// The negation `−self`.
+    pub fn negated(mut self) -> Self {
+        for t in &mut self.terms {
+            t.1 = -t.1;
+        }
+        self.constant = -self.constant;
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn offset(mut self, c: f64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    fn add_term(&mut self, v: u8, k: f64) {
+        if let Some(t) = self.terms.iter_mut().find(|t| t.0 == v) {
+            t.1 += k;
+        } else {
+            self.terms.push((v, k));
+        }
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<u8> {
+        self.terms.iter().map(|t| t.0).max()
+    }
+
+    /// Evaluates under a variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is missing from `bindings`.
+    pub fn eval(&self, bindings: &[f64]) -> f64 {
+        let mut acc = self.constant;
+        for &(v, k) in &self.terms {
+            acc += k * bindings[v as usize];
+        }
+        acc
+    }
+}
+
+impl fmt::Display for AngleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, k) in &self.terms {
+            if first {
+                if (k - 1.0).abs() < 1e-12 {
+                    write!(f, "v{v}")?;
+                } else {
+                    write!(f, "{k}*v{v}")?;
+                }
+                first = false;
+            } else if k >= 0.0 {
+                write!(f, "+{k}*v{v}")?;
+            } else {
+                write!(f, "{k}*v{v}")?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else if self.constant >= 0.0 {
+                write!(f, "+{}", self.constant)?;
+            } else {
+                write!(f, "{}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An angle slot in a pattern gate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AngleParam {
+    /// LHS: capture any angle into variable `v_i` (first occurrence binds;
+    /// later occurrences must agree within tolerance).
+    Bind(u8),
+    /// LHS: match only this constant angle (mod 2π). RHS: emit it.
+    Const(f64),
+    /// RHS only: emit the value of an affine expression.
+    Expr(AngleExpr),
+}
+
+impl AngleParam {
+    /// Evaluates the parameter under a binding (RHS use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is unbound.
+    pub fn eval(&self, bindings: &[f64]) -> f64 {
+        match self {
+            AngleParam::Bind(v) => bindings[*v as usize],
+            AngleParam::Const(c) => *c,
+            AngleParam::Expr(e) => e.eval(bindings),
+        }
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var(&self) -> Option<u8> {
+        match self {
+            AngleParam::Bind(v) => Some(*v),
+            AngleParam::Const(_) => None,
+            AngleParam::Expr(e) => e.max_var(),
+        }
+    }
+}
+
+/// One gate application inside a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternInst {
+    /// Which gate kind to match / emit.
+    pub kind: GateKind,
+    /// Angle slots (`kind.num_params()` of them).
+    pub params: Vec<AngleParam>,
+    /// Pattern qubits (`kind.arity()` of them).
+    pub qubits: Vec<u8>,
+}
+
+impl PatternInst {
+    /// Creates a pattern instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameter or qubit counts do not match the kind.
+    pub fn new(kind: GateKind, params: Vec<AngleParam>, qubits: Vec<u8>) -> Self {
+        assert_eq!(params.len(), kind.num_params(), "param count for {kind:?}");
+        assert_eq!(qubits.len(), kind.arity(), "qubit count for {kind:?}");
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(!qubits[..i].contains(q), "repeated pattern qubit {q}");
+        }
+        PatternInst {
+            kind,
+            params,
+            qubits,
+        }
+    }
+
+    /// Instantiates into a concrete instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bindings or the qubit map are incomplete.
+    pub fn instantiate(&self, bindings: &[f64], qubit_map: &[Qubit]) -> Instruction {
+        let params: Vec<f64> = self.params.iter().map(|p| p.eval(bindings)).collect();
+        let gate: Gate = self
+            .kind
+            .with_params(&params)
+            .expect("parameter count checked at construction");
+        let qs: Vec<Qubit> = self.qubits.iter().map(|&p| qubit_map[p as usize]).collect();
+        Instruction::new(gate, &qs)
+    }
+}
+
+/// A sequence of pattern instructions over shared pattern qubits/vars.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pattern {
+    insts: Vec<PatternInst>,
+}
+
+impl Pattern {
+    /// Creates a pattern from instructions.
+    pub fn new(insts: Vec<PatternInst>) -> Self {
+        Pattern { insts }
+    }
+
+    /// The instructions.
+    pub fn insts(&self) -> &[PatternInst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the pattern is empty (an erasing RHS).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Number of pattern qubits (max index + 1).
+    pub fn num_qubits(&self) -> usize {
+        self.insts
+            .iter()
+            .flat_map(|i| i.qubits.iter())
+            .map(|&q| q as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of angle variables (max index + 1).
+    pub fn num_vars(&self) -> usize {
+        self.insts
+            .iter()
+            .flat_map(|i| i.params.iter())
+            .filter_map(|p| p.max_var())
+            .map(|v| v as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of gates acting on ≥2 qubits.
+    pub fn two_qubit_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.kind.arity() >= 2).count()
+    }
+
+    /// Instantiates into a concrete circuit on `num_qubits()` qubits with
+    /// the identity qubit map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bindings` has fewer than [`Self::num_vars`] entries.
+    pub fn instantiate(&self, bindings: &[f64]) -> Circuit {
+        let n = self.num_qubits().max(1);
+        let map: Vec<Qubit> = (0..n as Qubit).collect();
+        let mut c = Circuit::new(n);
+        for pi in &self.insts {
+            c.push_instruction(pi.instantiate(bindings, &map));
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_eval() {
+        let e = AngleExpr::var(0).plus(&AngleExpr::var(1)).offset(0.5);
+        assert!((e.eval(&[1.0, 2.0]) - 3.5).abs() < 1e-12);
+        let n = e.negated();
+        assert!((n.eval(&[1.0, 2.0]) + 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expr_merges_duplicate_vars() {
+        let e = AngleExpr::var(0).plus(&AngleExpr::var(0));
+        assert!((e.eval(&[1.5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_counts() {
+        use AngleParam::*;
+        let p = Pattern::new(vec![
+            PatternInst::new(GateKind::Rz, vec![Bind(0)], vec![0]),
+            PatternInst::new(GateKind::Cx, vec![], vec![0, 1]),
+            PatternInst::new(GateKind::Rz, vec![Bind(1)], vec![0]),
+        ]);
+        assert_eq!(p.num_qubits(), 2);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.two_qubit_count(), 1);
+    }
+
+    #[test]
+    fn instantiation() {
+        use AngleParam::*;
+        let p = Pattern::new(vec![PatternInst::new(
+            GateKind::Rz,
+            vec![Expr(AngleExpr::var(0).plus(&AngleExpr::var(1)))],
+            vec![0],
+        )]);
+        let c = p.instantiate(&[0.25, 0.5]);
+        match c.instructions()[0].gate {
+            Gate::Rz(a) => assert!((a - 0.75).abs() < 1e-12),
+            g => panic!("unexpected {g}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "param count")]
+    fn wrong_param_count_panics() {
+        let _ = PatternInst::new(GateKind::Rz, vec![], vec![0]);
+    }
+
+    #[test]
+    fn display_expr() {
+        let e = AngleExpr::var(0).plus(&AngleExpr::var(1).negated());
+        let s = format!("{e}");
+        assert!(s.contains("v0"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Rewrite rules and a builder DSL.
+//!
+//! A [`Rule`] pairs an LHS pattern with an RHS pattern (paper §2.1). Every
+//! rule in the shipped corpus is verified numerically by instantiating both
+//! sides at random angle assignments and comparing unitaries — see
+//! [`Rule::verify`].
+
+use crate::pattern::{AngleExpr, AngleParam, Pattern, PatternInst};
+use qcir::GateKind;
+use qmath::hs_distance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A rewrite rule `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    name: String,
+    lhs: Pattern,
+    rhs: Pattern,
+}
+
+impl Rule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RHS mentions qubits or variables the LHS does not
+    /// bind, or if the LHS is not wire-connected in sequence (each gate
+    /// after the first must share a qubit with an earlier gate — required
+    /// by the matcher).
+    pub fn new(name: impl Into<String>, lhs: Pattern, rhs: Pattern) -> Self {
+        let name = name.into();
+        assert!(!lhs.is_empty(), "rule {name}: empty LHS");
+        assert!(
+            rhs.num_qubits() <= lhs.num_qubits(),
+            "rule {name}: RHS uses unbound qubits"
+        );
+        assert!(
+            rhs.num_vars() <= lhs.num_vars(),
+            "rule {name}: RHS uses unbound variables"
+        );
+        // Wire-connectivity of the LHS.
+        let mut seen: Vec<u8> = lhs.insts()[0].qubits.clone();
+        for pi in &lhs.insts()[1..] {
+            assert!(
+                pi.qubits.iter().any(|q| seen.contains(q)),
+                "rule {name}: LHS gate disconnected from earlier gates"
+            );
+            for &q in &pi.qubits {
+                if !seen.contains(&q) {
+                    seen.push(q);
+                }
+            }
+        }
+        // LHS params must be Bind or Const (no expressions to solve).
+        for pi in lhs.insts() {
+            for p in &pi.params {
+                assert!(
+                    !matches!(p, AngleParam::Expr(_)),
+                    "rule {name}: LHS angle expressions unsupported"
+                );
+            }
+        }
+        Rule { name, lhs, rhs }
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Left-hand side (the pattern to match).
+    pub fn lhs(&self) -> &Pattern {
+        &self.lhs
+    }
+
+    /// Right-hand side (the replacement).
+    pub fn rhs(&self) -> &Pattern {
+        &self.rhs
+    }
+
+    /// Change in total gate count when the rule fires.
+    pub fn gate_delta(&self) -> isize {
+        self.rhs.len() as isize - self.lhs.len() as isize
+    }
+
+    /// Change in multi-qubit gate count when the rule fires.
+    pub fn two_qubit_delta(&self) -> isize {
+        self.rhs.two_qubit_count() as isize - self.lhs.two_qubit_count() as isize
+    }
+
+    /// Numerically verifies `lhs ≡ rhs` (up to global phase) at `samples`
+    /// random angle assignments.
+    ///
+    /// Returns the worst Hilbert–Schmidt distance observed.
+    pub fn verify(&self, samples: usize, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nv = self.lhs.num_vars();
+        let nq = self.lhs.num_qubits().max(1);
+        let mut worst: f64 = 0.0;
+        let runs = if nv == 0 { 1 } else { samples };
+        for _ in 0..runs {
+            let bindings: Vec<f64> = (0..nv)
+                .map(|_| (rng.random::<f64>() - 0.5) * 4.0 * std::f64::consts::PI)
+                .collect();
+            let mut lc = self.lhs.instantiate(&bindings);
+            let mut rc = self.rhs.instantiate(&bindings);
+            // Instantiate on the same width (RHS may touch fewer qubits).
+            if lc.num_qubits() < nq {
+                lc = widen(&lc, nq);
+            }
+            if rc.num_qubits() < nq {
+                rc = widen(&rc, nq);
+            }
+            worst = worst.max(hs_distance(&lc.unitary(), &rc.unitary()));
+        }
+        worst
+    }
+}
+
+fn widen(c: &qcir::Circuit, n: usize) -> qcir::Circuit {
+    let mut out = qcir::Circuit::new(n);
+    out.extend_from(c);
+    out
+}
+
+// ---- builder DSL ------------------------------------------------------
+
+/// Shorthand constructors for pattern instructions, used by the rule
+/// corpus. Each function takes pattern-qubit indices and angle parameters.
+pub mod dsl {
+    use super::*;
+
+    /// Binds angle variable `i` (LHS capture).
+    pub fn v(i: u8) -> AngleParam {
+        AngleParam::Bind(i)
+    }
+
+    /// A constant angle parameter.
+    pub fn konst(c: f64) -> AngleParam {
+        AngleParam::Const(c)
+    }
+
+    /// The RHS expression `v_i + v_j`.
+    pub fn vsum(i: u8, j: u8) -> AngleParam {
+        AngleParam::Expr(AngleExpr::var(i).plus(&AngleExpr::var(j)))
+    }
+
+    /// The RHS expression `−v_i`.
+    pub fn vneg(i: u8) -> AngleParam {
+        AngleParam::Expr(AngleExpr::var(i).negated())
+    }
+
+    /// The RHS expression `v_i − v_j`.
+    pub fn vdiff(i: u8, j: u8) -> AngleParam {
+        AngleParam::Expr(AngleExpr::var(i).plus(&AngleExpr::var(j).negated()))
+    }
+
+    /// A parameter-less 1q gate application.
+    pub fn g1(kind: GateKind, q: u8) -> PatternInst {
+        PatternInst::new(kind, vec![], vec![q])
+    }
+
+    /// A 1-parameter 1q gate application.
+    pub fn g1p(kind: GateKind, p: AngleParam, q: u8) -> PatternInst {
+        PatternInst::new(kind, vec![p], vec![q])
+    }
+
+    /// A parameter-less 2q gate application.
+    pub fn g2(kind: GateKind, a: u8, b: u8) -> PatternInst {
+        PatternInst::new(kind, vec![], vec![a, b])
+    }
+
+    /// A 1-parameter 2q gate application.
+    pub fn g2p(kind: GateKind, p: AngleParam, a: u8, b: u8) -> PatternInst {
+        PatternInst::new(kind, vec![p], vec![a, b])
+    }
+
+    /// Builds a rule from instruction lists.
+    pub fn rule(name: &str, lhs: Vec<PatternInst>, rhs: Vec<PatternInst>) -> Rule {
+        Rule::new(name, Pattern::new(lhs), Pattern::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+    use qcir::GateKind::*;
+
+    #[test]
+    fn cx_cancel_verifies() {
+        let r = rule("cx-cancel", vec![g2(Cx, 0, 1), g2(Cx, 0, 1)], vec![]);
+        assert!(r.verify(4, 1) < 1e-7);
+        assert_eq!(r.gate_delta(), -2);
+        assert_eq!(r.two_qubit_delta(), -2);
+    }
+
+    #[test]
+    fn rz_merge_verifies() {
+        let r = rule(
+            "rz-merge",
+            vec![g1p(Rz, v(0), 0), g1p(Rz, v(1), 0)],
+            vec![g1p(Rz, vsum(0, 1), 0)],
+        );
+        assert!(r.verify(8, 2) < 1e-7);
+        assert_eq!(r.gate_delta(), -1);
+    }
+
+    #[test]
+    fn broken_rule_fails_verification() {
+        let r = rule("bogus", vec![g1(H, 0), g1(H, 0)], vec![g1(X, 0)]);
+        assert!(r.verify(1, 3) > 0.1);
+    }
+
+    #[test]
+    fn rz_commute_through_control_verifies() {
+        // Paper Fig. 3c.
+        let r = rule(
+            "rz-cx-commute",
+            vec![g1p(Rz, v(0), 0), g2(Cx, 0, 1)],
+            vec![g2(Cx, 0, 1), g1p(Rz, v(0), 0)],
+        );
+        assert!(r.verify(8, 4) < 1e-7);
+        assert_eq!(r.gate_delta(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variables")]
+    fn rhs_unbound_var_panics() {
+        let _ = rule("bad", vec![g1(H, 0)], vec![g1p(Rz, v(0), 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_lhs_panics() {
+        let _ = rule("bad", vec![g1(H, 0), g1(H, 1)], vec![]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Circuit equivalence checking.
+//!
+//! Two regimes, switched on circuit width:
+//!
+//! * **Dense** (≤ [`qcir::Circuit::MAX_UNITARY_QUBITS`] qubits): build both
+//!   unitaries and compute the exact Hilbert–Schmidt distance (paper
+//!   Def. 3.2).
+//! * **Stochastic** (wider circuits): run both circuits on shared
+//!   Haar-random input states and take the worst phase-invariant output
+//!   distance. This is a sound *refuter* (a large distance proves
+//!   inequivalence) and a high-confidence verifier: for a fixed unitary
+//!   gap, a handful of Haar states expose it with overwhelming
+//!   probability.
+
+use qcir::Circuit;
+use qmath::random::random_state;
+use qmath::statevec::state_distance;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Exact Hilbert–Schmidt distance (dense check).
+    Exact(f64),
+    /// Worst observed random-state distance over the given trial count.
+    Sampled {
+        /// Largest phase-invariant output distance observed.
+        worst: f64,
+        /// Number of random input states tried.
+        trials: usize,
+    },
+}
+
+impl Verdict {
+    /// The distance value carried by the verdict.
+    pub fn distance(self) -> f64 {
+        match self {
+            Verdict::Exact(d) => d,
+            Verdict::Sampled { worst, .. } => worst,
+        }
+    }
+
+    /// True when the measured distance is within `tol`.
+    pub fn holds_within(self, tol: f64) -> bool {
+        self.distance() <= tol
+    }
+}
+
+/// Default number of random-state trials for wide circuits.
+pub const DEFAULT_TRIALS: usize = 4;
+
+/// Checks semantic equivalence of two circuits up to global phase.
+///
+/// # Panics
+///
+/// Panics if the circuits have different qubit counts.
+pub fn check_equivalence(a: &Circuit, b: &Circuit, seed: u64) -> Verdict {
+    assert_eq!(
+        a.num_qubits(),
+        b.num_qubits(),
+        "circuits must have the same width"
+    );
+    let n = a.num_qubits();
+    if n <= Circuit::MAX_UNITARY_QUBITS.min(8) {
+        Verdict::Exact(qmath::hs_distance(&a.unitary(), &b.unitary()))
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut worst: f64 = 0.0;
+        for _ in 0..DEFAULT_TRIALS {
+            let input = random_state(1 << n, &mut rng);
+            let mut sa = input.clone();
+            let mut sb = input;
+            a.apply_to_state(&mut sa);
+            b.apply_to_state(&mut sb);
+            worst = worst.max(state_distance(&sa, &sb));
+        }
+        Verdict::Sampled {
+            worst,
+            trials: DEFAULT_TRIALS,
+        }
+    }
+}
+
+/// Convenience: true when the circuits are equivalent within `tol`.
+///
+/// For small circuits `tol` bounds the exact HS distance; for large ones it
+/// bounds the worst sampled state distance (state distance ≤ HS-style
+/// operator distance, so this never rejects a truly equivalent pair).
+///
+/// # Panics
+///
+/// Panics if the circuits have different qubit counts.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    check_equivalence(a, b, 0xC1AC_5EED).holds_within(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dense_equivalence_of_paper_example() {
+        // Fig. 4: Rz(π/2);CX;H;Rz(π/2) ≡ Rz(π);CX;H (both on 2 qubits).
+        let mut a = Circuit::new(2);
+        a.push(Gate::Rz(FRAC_PI_2), &[0]);
+        a.push(Gate::Cx, &[0, 1]);
+        a.push(Gate::H, &[1]);
+        a.push(Gate::Rz(FRAC_PI_2), &[0]);
+        let mut b = Circuit::new(2);
+        b.push(Gate::Rz(PI), &[0]);
+        b.push(Gate::Cx, &[0, 1]);
+        b.push(Gate::H, &[1]);
+        assert!(circuits_equivalent(&a, &b, 1e-7));
+    }
+
+    #[test]
+    fn dense_detects_inequivalence() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::T, &[0]);
+        let mut b = Circuit::new(1);
+        b.push(Gate::S, &[0]);
+        assert!(!circuits_equivalent(&a, &b, 1e-7));
+    }
+
+    #[test]
+    fn sampled_equivalence_wide_circuit() {
+        // 12 qubits: beyond the dense threshold used in check_equivalence.
+        let n = 12;
+        let mut a = Circuit::new(n);
+        let mut b = Circuit::new(n);
+        for q in 0..n as u32 {
+            a.push(Gate::H, &[q]);
+            b.push(Gate::H, &[q]);
+        }
+        for q in 0..(n as u32 - 1) {
+            a.push(Gate::Cx, &[q, q + 1]);
+            b.push(Gate::Cx, &[q, q + 1]);
+        }
+        // a gets Rz(θ); Rz(−θ) — net identity.
+        a.push(Gate::Rz(0.7), &[3]);
+        a.push(Gate::Rz(-0.7), &[3]);
+        let v = check_equivalence(&a, &b, 42);
+        assert!(matches!(v, Verdict::Sampled { .. }));
+        assert!(v.holds_within(1e-7));
+    }
+
+    #[test]
+    fn sampled_detects_inequivalence() {
+        let n = 12;
+        let mut a = Circuit::new(n);
+        let mut b = Circuit::new(n);
+        for q in 0..n as u32 {
+            a.push(Gate::H, &[q]);
+            b.push(Gate::H, &[q]);
+        }
+        b.push(Gate::X, &[5]);
+        let v = check_equivalence(&a, &b, 43);
+        assert!(v.distance() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn width_mismatch_panics() {
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        let _ = circuits_equivalent(&a, &b, 1e-7);
+    }
+}

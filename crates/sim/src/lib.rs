@@ -1,0 +1,24 @@
+//! `qsim` — statevector simulation and circuit equivalence checking.
+//!
+//! Used throughout the workspace to *verify* that optimizers preserve
+//! semantics: dense Hilbert–Schmidt checks for narrow circuits,
+//! random-state sampling for wide ones.
+//!
+//! ```
+//! use qcir::{Circuit, Gate};
+//! use qsim::circuits_equivalent;
+//!
+//! let mut a = Circuit::new(2);
+//! a.push(Gate::Cx, &[0, 1]);
+//! a.push(Gate::Cx, &[0, 1]);
+//! let b = Circuit::new(2); // empty: CX cancels itself
+//! assert!(circuits_equivalent(&a, &b, 1e-7));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod equiv;
+pub mod statevector;
+
+pub use equiv::{check_equivalence, circuits_equivalent, Verdict};
+pub use statevector::StateVec;

@@ -1,0 +1,188 @@
+//! A statevector simulator with a circuit-level API.
+
+use qcir::{Circuit, Qubit};
+use qmath::statevec::{apply_gate, inner, zero_state};
+use qmath::C64;
+use rand::Rng;
+
+/// Maximum number of qubits the simulator will allocate for
+/// (`2^24` amplitudes ≈ 256 MiB).
+pub const MAX_SIM_QUBITS: usize = 24;
+
+/// An `n`-qubit pure state under simulation.
+///
+/// ```
+/// use qsim::StateVec;
+/// use qcir::{Circuit, Gate};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::Cx, &[0, 1]);
+/// let sv = StateVec::from_circuit(&c);
+/// let p = sv.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12 && (p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVec {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVec {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_SIM_QUBITS`.
+    pub fn zero(n: usize) -> Self {
+        assert!(
+            n <= MAX_SIM_QUBITS,
+            "statevector simulation limited to {MAX_SIM_QUBITS} qubits"
+        );
+        StateVec {
+            n,
+            amps: zero_state(n),
+        }
+    }
+
+    /// Runs `circuit` on `|0…0⟩`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut s = StateVec::zero(circuit.num_qubits());
+        s.apply_circuit(circuit);
+        s
+    }
+
+    /// Wraps an existing normalized amplitude vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let n = amps.len().trailing_zeros() as usize;
+        assert_eq!(1usize << n, amps.len(), "length must be a power of two");
+        StateVec { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes in computational-basis order (qubit 0 = MSB).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a whole circuit in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit qubit count differs from the state's.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "qubit count mismatch");
+        for ins in circuit.iter() {
+            let qs: Vec<usize> = ins.qubits().iter().map(|&q| q as usize).collect();
+            apply_gate(&mut self.amps, self.n, &qs, &ins.gate.matrix());
+        }
+    }
+
+    /// Measurement probability of each basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` measures as `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        assert!((q as usize) < self.n, "qubit out of range");
+        let bit = self.n - 1 - q as usize;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (i >> bit) & 1 == 1)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Samples one measurement outcome (a basis-state index).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if x < acc {
+                return i;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// Overlap `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn overlap(&self, other: &StateVec) -> C64 {
+        inner(&self.amps, &other.amps)
+    }
+
+    /// Phase-invariant distance to another state.
+    pub fn distance(&self, other: &StateVec) -> f64 {
+        qmath::statevec::state_distance(&self.amps, &other.amps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ghz_probabilities() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]);
+        let sv = StateVec::from_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+        assert!((sv.prob_one(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_flips_probability() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[1]);
+        let sv = StateVec::from_circuit(&c);
+        assert!((sv.prob_one(1) - 1.0).abs() < 1e-12);
+        assert!(sv.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::X, &[0]);
+        let sv = StateVec::from_circuit(&c);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..16 {
+            assert_eq!(sv.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn distance_detects_difference() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::H, &[0]);
+        let mut b = Circuit::new(1);
+        b.push(Gate::X, &[0]);
+        let sa = StateVec::from_circuit(&a);
+        let sb = StateVec::from_circuit(&b);
+        assert!(sa.distance(&sb) > 0.5);
+        assert!(sa.distance(&sa) < 1e-12);
+    }
+}

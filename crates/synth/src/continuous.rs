@@ -1,0 +1,337 @@
+//! Synthesis for continuous gate sets (1, 2 and 3 qubits).
+//!
+//! * 1 qubit: analytic ZYZ via [`qcir::rebase::decompose_1q`].
+//! * 2 qubits: CX-count escalation — try templates with 0, 1, 2, 3 CX
+//!   gates in order and return the first that instantiates within
+//!   tolerance (3 CX is universal for two qubits, so this terminates).
+//! * 3 qubits: QSearch-style A* over CX placement sequences, each node
+//!   scored by its instantiated distance (BQSKit's bottom-up search).
+
+use crate::instantiate::{
+    accurate_hs_distance, instantiate, snap_params, InstantiateOpts, Template,
+};
+use qcir::{rebase, Circuit, GateSet};
+use qmath::Mat;
+use rand::Rng;
+
+/// Options for the continuous synthesizers.
+#[derive(Debug, Clone)]
+pub struct SynthOpts {
+    /// Success threshold on the (accurate) Hilbert–Schmidt distance.
+    pub tol: f64,
+    /// Instantiation options used during structure search.
+    pub search: InstantiateOpts,
+    /// Instantiation options used to polish the accepted structure.
+    pub polish: InstantiateOpts,
+    /// 3-qubit search: maximum number of CX placements.
+    pub max_cx: usize,
+    /// 3-qubit search: maximum number of structure nodes to instantiate.
+    pub max_nodes: usize,
+}
+
+impl Default for SynthOpts {
+    fn default() -> Self {
+        SynthOpts {
+            tol: 1e-8,
+            search: InstantiateOpts {
+                restarts: 2,
+                iters: 250,
+                lr: 0.15,
+                target: 1e-10,
+                init: None,
+            },
+            polish: InstantiateOpts {
+                restarts: 4,
+                iters: 700,
+                lr: 0.1,
+                target: 1e-12,
+                init: None,
+            },
+            max_cx: 8,
+            max_nodes: 48,
+        }
+    }
+}
+
+/// A synthesized circuit together with its measured distance.
+#[derive(Debug, Clone)]
+pub struct Synthesized {
+    /// The circuit, in `U3`/`CX` form (rebase to a target set afterwards).
+    pub circuit: Circuit,
+    /// Accurate Hilbert–Schmidt distance to the requested unitary.
+    pub distance: f64,
+}
+
+/// Synthesizes a 1-qubit unitary directly (analytic, exact).
+pub fn synthesize_1q(target: &Mat, set: GateSet) -> Option<Synthesized> {
+    let circuit = rebase::decompose_1q(target, set).ok()?;
+    let distance = if circuit.is_empty() {
+        accurate_hs_distance(target, &Mat::identity(2))
+    } else {
+        accurate_hs_distance(target, &circuit.unitary())
+    };
+    Some(Synthesized { circuit, distance })
+}
+
+/// Synthesizes a 2-qubit unitary by CX-count escalation.
+///
+/// Returns the first structure whose instantiation reaches `opts.tol`;
+/// guaranteed to succeed at 3 CX for any 2-qubit unitary (up to numerical
+/// convergence — restarts mitigate local minima).
+pub fn synthesize_2q<R: Rng + ?Sized>(
+    target: &Mat,
+    opts: &SynthOpts,
+    rng: &mut R,
+) -> Option<Synthesized> {
+    assert_eq!(target.rows(), 4, "synthesize_2q expects a 4x4 unitary");
+    let structures: [&[(usize, usize)]; 4] = [
+        &[],
+        &[(0, 1)],
+        &[(0, 1), (1, 0)],
+        &[(0, 1), (1, 0), (0, 1)],
+    ];
+    for cx in structures {
+        let tpl = Template::with_cx_sequence(2, cx);
+        let probe = instantiate(&tpl, target, &opts.search, rng);
+        if probe.distance <= opts.tol * 10.0 {
+            // Polish (warm-started from the probe) and snap.
+            let polished = instantiate(
+                &tpl,
+                target,
+                &InstantiateOpts {
+                    restarts: 1,
+                    init: Some(probe.params.clone()),
+                    ..opts.polish.clone()
+                },
+                rng,
+            );
+            let mut params = if polished.distance < probe.distance {
+                polished.params
+            } else {
+                probe.params
+            };
+            snap_params(&tpl, target, &mut params, opts.tol);
+            let d = accurate_hs_distance(target, &tpl.unitary(&params));
+            if d <= opts.tol {
+                return Some(Synthesized {
+                    circuit: tpl.to_circuit(&params),
+                    distance: d,
+                });
+            }
+        }
+    }
+    // Last resort: heavy multistart on the full 3-CX template.
+    let tpl = Template::with_cx_sequence(2, &[(0, 1), (1, 0), (0, 1)]);
+    let r = instantiate(&tpl, target, &opts.polish, rng);
+    if r.distance <= opts.tol {
+        let mut params = r.params;
+        snap_params(&tpl, target, &mut params, opts.tol);
+        let d = accurate_hs_distance(target, &tpl.unitary(&params));
+        return Some(Synthesized {
+            circuit: tpl.to_circuit(&params),
+            distance: d,
+        });
+    }
+    None
+}
+
+/// QSearch-style A* synthesis of a 3-qubit unitary.
+///
+/// Frontier nodes are CX placement sequences; each is scored by its
+/// instantiated distance plus a depth penalty, and the best node is
+/// expanded by appending one of the six directed pairs. Returns `None`
+/// if the search exhausts its node budget without reaching `opts.tol`.
+pub fn synthesize_3q<R: Rng + ?Sized>(
+    target: &Mat,
+    opts: &SynthOpts,
+    rng: &mut R,
+) -> Option<Synthesized> {
+    assert_eq!(target.rows(), 8, "synthesize_3q expects an 8x8 unitary");
+    // Undirected pairs suffice: the surrounding U3s absorb direction.
+    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+
+    #[derive(Clone)]
+    struct Node {
+        cx: Vec<(usize, usize)>,
+        score: f64,
+        dist: f64,
+        params: Vec<f64>,
+    }
+
+    let eval = |cx: &[(usize, usize)], rng: &mut R| -> (f64, Vec<f64>) {
+        let tpl = Template::with_cx_sequence(3, cx);
+        let r = instantiate(&tpl, target, &opts.search, rng);
+        (r.distance, r.params)
+    };
+
+    let mut frontier: Vec<Node> = Vec::new();
+    let (d0, p0) = eval(&[], rng);
+    frontier.push(Node {
+        cx: vec![],
+        score: d0,
+        dist: d0,
+        params: p0,
+    });
+    let mut evaluated = 1usize;
+    let depth_penalty = 1e-3;
+
+    let mut best: Option<Node> = None;
+    while evaluated < opts.max_nodes {
+        // Pop the lowest-score node.
+        let idx = frontier
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.score.partial_cmp(&b.1.score).expect("no NaN scores"))
+            .map(|(i, _)| i)?;
+        let node = frontier.swap_remove(idx);
+        if node.dist <= opts.tol * 10.0 {
+            best = Some(node);
+            break;
+        }
+        if node.cx.len() >= opts.max_cx {
+            continue;
+        }
+        for &pair in &PAIRS {
+            if node.cx.last() == Some(&pair) && node.cx.len() >= 2 {
+                // Three identical pairs in a row never help; two can.
+                let l = node.cx.len();
+                if l >= 2 && node.cx[l - 1] == pair && node.cx[l - 2] == pair {
+                    continue;
+                }
+            }
+            let mut cx = node.cx.clone();
+            cx.push(pair);
+            let (d, p) = eval(&cx, rng);
+            evaluated += 1;
+            frontier.push(Node {
+                score: d + depth_penalty * cx.len() as f64,
+                dist: d,
+                cx,
+                params: p,
+            });
+            if evaluated >= opts.max_nodes {
+                break;
+            }
+        }
+    }
+    // Fall back to the best frontier node if the budget ran out.
+    let node = match best {
+        Some(n) => n,
+        None => frontier
+            .into_iter()
+            .min_by(|a, b| a.dist.partial_cmp(&b.dist).expect("no NaN"))?,
+    };
+
+    // Polish, warm-started from the node's parameters.
+    let tpl = Template::with_cx_sequence(3, &node.cx);
+    let polished = instantiate(
+        &tpl,
+        target,
+        &InstantiateOpts {
+            init: Some(node.params.clone()),
+            ..opts.polish.clone()
+        },
+        rng,
+    );
+    let (mut params, dist) = if polished.distance < node.dist {
+        (polished.params, polished.distance)
+    } else {
+        (node.params, node.dist)
+    };
+    if dist > opts.tol {
+        return None;
+    }
+    snap_params(&tpl, target, &mut params, opts.tol);
+    let d = accurate_hs_distance(target, &tpl.unitary(&params));
+    Some(Synthesized {
+        circuit: tpl.to_circuit(&params),
+        distance: d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+    use qmath::random::random_unitary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synth_1q_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for set in [GateSet::Ibmq20, GateSet::IbmEagle, GateSet::Ionq, GateSet::Nam] {
+            let u = random_unitary(2, &mut rng);
+            let s = synthesize_1q(&u, set).unwrap();
+            assert!(s.distance < 1e-7, "{set}: {}", s.distance);
+        }
+    }
+
+    #[test]
+    fn escalation_finds_zero_cx_for_local_unitary() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let u0 = random_unitary(2, &mut rng);
+        let u1 = random_unitary(2, &mut rng);
+        let target = u0.kron(&u1);
+        let s = synthesize_2q(&target, &SynthOpts::default(), &mut rng).unwrap();
+        assert_eq!(s.circuit.two_qubit_count(), 0);
+        assert!(s.distance < 1e-8);
+    }
+
+    #[test]
+    fn escalation_finds_one_cx_for_cx() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let s = synthesize_2q(&qmath::gates::cx(), &SynthOpts::default(), &mut rng).unwrap();
+        assert!(s.circuit.two_qubit_count() <= 1);
+        assert!(s.distance < 1e-8);
+    }
+
+    #[test]
+    fn random_2q_unitary_synthesizes_with_three_cx() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let target = random_unitary(4, &mut rng);
+        let s = synthesize_2q(&target, &SynthOpts::default(), &mut rng).unwrap();
+        assert!(s.circuit.two_qubit_count() <= 3);
+        assert!(s.distance < 1e-8, "distance {}", s.distance);
+        // And the produced circuit really implements the unitary.
+        let d = accurate_hs_distance(&target, &s.circuit.unitary());
+        assert!(d < 1e-7);
+    }
+
+    #[test]
+    fn swap_needs_three_cx() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let s = synthesize_2q(&qmath::gates::swap(), &SynthOpts::default(), &mut rng).unwrap();
+        assert_eq!(s.circuit.two_qubit_count(), 3);
+        assert!(s.distance < 1e-8);
+    }
+
+    #[test]
+    fn three_qubit_search_compresses_redundant_circuit() {
+        // A circuit that is secretly only one CX deep: CX(0,1) with junk
+        // 1q gates — the search should find a ≤1-CX structure quickly.
+        let mut rng = SmallRng::seed_from_u64(16);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rx(-0.3), &[1]);
+        c.push(Gate::Rz(0.9), &[2]);
+        let target = c.unitary();
+        let s = synthesize_3q(&target, &SynthOpts::default(), &mut rng).unwrap();
+        assert!(s.circuit.two_qubit_count() <= 1);
+        assert!(s.distance < 1e-8, "distance {}", s.distance);
+    }
+
+    #[test]
+    fn three_qubit_search_handles_two_cx_targets() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.7), &[1]);
+        c.push(Gate::Cx, &[1, 2]);
+        let target = c.unitary();
+        let s = synthesize_3q(&target, &SynthOpts::default(), &mut rng).unwrap();
+        assert!(s.circuit.two_qubit_count() <= 2, "got {}", s.circuit.two_qubit_count());
+        assert!(s.distance < 1e-8);
+    }
+}

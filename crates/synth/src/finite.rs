@@ -1,0 +1,336 @@
+//! Synthetiq-style synthesis for finite gate sets (Clifford+T).
+//!
+//! Two components, mirroring the paper's Q4 instantiation:
+//!
+//! * a BFS **database** of minimal 1-qubit Clifford+T circuits up to a
+//!   bounded depth, keyed by a phase-normalized unitary fingerprint;
+//! * a simulated-annealing **MCMC search** over fixed-length gate
+//!   sequences (Synthetiq's core loop [43]): random single-gate mutations
+//!   accepted by a Metropolis rule on the Hilbert–Schmidt distance.
+//!
+//! Finite-set synthesis is much harder than continuous synthesis — the
+//! paper leans on this fact to explain why rewrite rules carry more weight
+//! in the FTQC regime (Fig. 13); our implementation reproduces exactly
+//! that asymmetry.
+
+use crate::instantiate::accurate_hs_distance;
+use qcir::{Circuit, Gate, Qubit};
+use qmath::Mat;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The 1-qubit Clifford+T alphabet.
+const GATES_1Q: [Gate; 6] = [Gate::H, Gate::S, Gate::Sdg, Gate::T, Gate::Tdg, Gate::X];
+
+/// Phase-normalized fingerprint of a unitary, robust to 1e-6 wobble.
+fn fingerprint(u: &Mat) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut best = qmath::C64::ZERO;
+    for z in u.as_slice() {
+        if z.abs() > best.abs() + 1e-9 {
+            best = *z;
+        }
+    }
+    let phase = if best.abs() > 1e-9 {
+        qmath::C64::cis(-best.arg())
+    } else {
+        qmath::C64::ONE
+    };
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for z in u.as_slice() {
+        let w = *z * phase;
+        ((w.re * 1e5).round() as i64).hash(&mut h);
+        ((w.im * 1e5).round() as i64).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A BFS database of minimal 1-qubit Clifford+T sequences.
+#[derive(Debug, Clone)]
+pub struct Database1q {
+    map: HashMap<u64, Vec<Gate>>,
+}
+
+impl Database1q {
+    /// Builds the database by breadth-first enumeration up to `max_len`
+    /// gates (deduplicated by fingerprint, so only minimal sequences are
+    /// stored) with at most `cap` entries.
+    pub fn build(max_len: usize, cap: usize) -> Self {
+        let mut map: HashMap<u64, Vec<Gate>> = HashMap::new();
+        let mut frontier: Vec<(Mat, Vec<Gate>)> = vec![(Mat::identity(2), vec![])];
+        map.insert(fingerprint(&Mat::identity(2)), vec![]);
+        for _depth in 0..max_len {
+            let mut next = Vec::new();
+            for (u, seq) in &frontier {
+                for &g in &GATES_1Q {
+                    let nu = g.matrix().matmul(u);
+                    let fp = fingerprint(&nu);
+                    if map.len() >= cap {
+                        return Database1q { map };
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = map.entry(fp) {
+                        let mut nseq = seq.clone();
+                        nseq.push(g);
+                        e.insert(nseq.clone());
+                        next.push((nu, nseq));
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        Database1q { map }
+    }
+
+    /// Number of distinct unitaries stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a minimal sequence for `target` (up to global phase).
+    pub fn lookup(&self, target: &Mat) -> Option<Circuit> {
+        let seq = self.map.get(&fingerprint(target))?;
+        let mut c = Circuit::new(1);
+        for &g in seq {
+            c.push(g, &[0]);
+        }
+        // Defend against fingerprint collisions.
+        let d = if c.is_empty() {
+            accurate_hs_distance(target, &Mat::identity(2))
+        } else {
+            accurate_hs_distance(target, &c.unitary())
+        };
+        if d < 1e-6 {
+            Some(c)
+        } else {
+            None
+        }
+    }
+}
+
+/// Options for the MCMC search.
+#[derive(Debug, Clone)]
+pub struct FiniteSynthOpts {
+    /// Success threshold (Clifford+T targets match exactly; this absorbs
+    /// floating-point noise only).
+    pub tol: f64,
+    /// Maximum circuit length to try.
+    pub max_len: usize,
+    /// Annealing iterations per length per restart.
+    pub iters: usize,
+    /// Restarts per length.
+    pub restarts: usize,
+    /// Initial Metropolis temperature (geometric decay to ~1% of this).
+    pub temp: f64,
+}
+
+impl Default for FiniteSynthOpts {
+    fn default() -> Self {
+        FiniteSynthOpts {
+            tol: 1e-7,
+            max_len: 12,
+            iters: 4000,
+            restarts: 3,
+            temp: 0.3,
+        }
+    }
+}
+
+/// The gate pool for an `n`-qubit Clifford+T MCMC search: every 1q gate on
+/// every qubit plus every directed CX, plus `None` (an identity slot, so
+/// the effective length can shrink below the nominal one).
+fn gate_pool(n: usize) -> Vec<Option<(Gate, Vec<Qubit>)>> {
+    let mut pool: Vec<Option<(Gate, Vec<Qubit>)>> = vec![None];
+    for q in 0..n as Qubit {
+        for &g in &GATES_1Q {
+            pool.push(Some((g, vec![q])));
+        }
+    }
+    for c in 0..n as Qubit {
+        for t in 0..n as Qubit {
+            if c != t {
+                pool.push(Some((Gate::Cx, vec![c, t])));
+            }
+        }
+    }
+    pool
+}
+
+/// Synthesizes a Clifford+T circuit for `target` on `n_qubits` with at
+/// most `opts.max_len` gates, via simulated annealing over fixed-length
+/// sequences (Synthetiq-style). Lengths are tried in increasing order, so
+/// the result is as short as the search can certify.
+pub fn synthesize_finite<R: Rng + ?Sized>(
+    target: &Mat,
+    n_qubits: usize,
+    opts: &FiniteSynthOpts,
+    rng: &mut R,
+) -> Option<Circuit> {
+    assert_eq!(target.rows(), 1 << n_qubits, "target dimension mismatch");
+    let pool = gate_pool(n_qubits);
+    let dim = 1usize << n_qubits;
+
+    // Quick exits: identity.
+    if accurate_hs_distance(target, &Mat::identity(dim)) <= opts.tol {
+        return Some(Circuit::new(n_qubits));
+    }
+
+    for len in 1..=opts.max_len {
+        for _restart in 0..opts.restarts {
+            // Random initial sequence.
+            let mut slots: Vec<Option<(Gate, Vec<Qubit>)>> = (0..len)
+                .map(|_| pool[rng.random_range(0..pool.len())].clone())
+                .collect();
+            let mut cost = sequence_distance(&slots, n_qubits, target);
+            let mut temp = opts.temp;
+            let decay = (0.01f64).powf(1.0 / opts.iters as f64);
+            for _it in 0..opts.iters {
+                if cost <= opts.tol {
+                    break;
+                }
+                let pos = rng.random_range(0..len);
+                let old = slots[pos].clone();
+                slots[pos] = pool[rng.random_range(0..pool.len())].clone();
+                let new_cost = sequence_distance(&slots, n_qubits, target);
+                let accept = new_cost <= cost
+                    || rng.random::<f64>() < ((cost - new_cost) / temp).exp();
+                if accept {
+                    cost = new_cost;
+                } else {
+                    slots[pos] = old;
+                }
+                temp *= decay;
+            }
+            if cost <= opts.tol {
+                let mut c = Circuit::new(n_qubits);
+                for slot in slots.into_iter().flatten() {
+                    c.push(slot.0, &slot.1);
+                }
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+fn sequence_distance(
+    slots: &[Option<(Gate, Vec<Qubit>)>],
+    n_qubits: usize,
+    target: &Mat,
+) -> f64 {
+    let mut c = Circuit::new(n_qubits);
+    for slot in slots.iter().flatten() {
+        c.push(slot.0, &slot.1);
+    }
+    if c.is_empty() {
+        accurate_hs_distance(target, &Mat::identity(1 << n_qubits))
+    } else {
+        accurate_hs_distance(target, &c.unitary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn database_contains_cliffords() {
+        let db = Database1q::build(6, 4096);
+        assert!(db.len() > 50);
+        // S·S = Z must be found as a 2-gate (or shorter) sequence.
+        let z = db.lookup(&qmath::gates::z()).unwrap();
+        assert!(z.len() <= 2);
+        // T itself.
+        let t = db.lookup(&qmath::gates::t()).unwrap();
+        assert_eq!(t.len(), 1);
+        // H S H needs 3 gates or fewer.
+        let hsh = qmath::gates::h()
+            .matmul(&qmath::gates::s())
+            .matmul(&qmath::gates::h());
+        let c = db.lookup(&hsh).unwrap();
+        assert!(c.len() <= 3);
+        assert!(accurate_hs_distance(&hsh, &c.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn database_rejects_non_clifford_t() {
+        let db = Database1q::build(6, 4096);
+        assert!(db.lookup(&qmath::gates::rz(0.123)).is_none());
+    }
+
+    #[test]
+    fn mcmc_finds_single_gate() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let c = synthesize_finite(
+            &qmath::gates::s(),
+            1,
+            &FiniteSynthOpts {
+                max_len: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(c.len() <= 2);
+        assert!(accurate_hs_distance(&qmath::gates::s(), &c.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn mcmc_compresses_tt_to_s() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let target = qmath::gates::t().matmul(&qmath::gates::t());
+        let c = synthesize_finite(
+            &target,
+            1,
+            &FiniteSynthOpts {
+                max_len: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(c.len(), 1, "T·T should compress to a single S");
+    }
+
+    #[test]
+    fn mcmc_synthesizes_cz_from_clifford_t() {
+        // CZ = H(t) CX H(t): 3 gates.
+        let mut rng = SmallRng::seed_from_u64(23);
+        let c = synthesize_finite(
+            &qmath::gates::cz(),
+            2,
+            &FiniteSynthOpts {
+                max_len: 4,
+                iters: 6000,
+                restarts: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(accurate_hs_distance(&qmath::gates::cz(), &c.unitary()) < 1e-7);
+        assert!(c.len() <= 4);
+    }
+
+    #[test]
+    fn identity_synthesizes_to_empty() {
+        let mut rng = SmallRng::seed_from_u64(24);
+        let c = synthesize_finite(
+            &Mat::identity(4),
+            2,
+            &FiniteSynthOpts::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(c.is_empty());
+    }
+}

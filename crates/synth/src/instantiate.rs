@@ -1,0 +1,631 @@
+//! Template circuits and numerical parameter instantiation.
+//!
+//! This is the numerical core of continuous-gate-set synthesis, mirroring
+//! BQSKit's QSearch instantiation step: a *template* is a fixed circuit
+//! structure (CX placements interleaved with parameterized `U3` gates);
+//! *instantiation* finds angles minimizing the distance to a target
+//! unitary with Adam over analytic gradients.
+
+use qmath::{c64, embed, Mat, C64};
+use rand::Rng;
+
+/// One operation in a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TOp {
+    /// A parameterized `U3` gate; its three angles live at
+    /// `params[pidx..pidx+3]`.
+    U3 {
+        /// Target qubit.
+        qubit: usize,
+        /// Offset of (θ, φ, λ) in the parameter vector.
+        pidx: usize,
+    },
+    /// A fixed CX gate.
+    Cx {
+        /// Control qubit.
+        c: usize,
+        /// Target qubit.
+        t: usize,
+    },
+}
+
+/// A parameterized circuit structure.
+#[derive(Debug, Clone)]
+pub struct Template {
+    n_qubits: usize,
+    ops: Vec<TOp>,
+    n_params: usize,
+}
+
+impl Template {
+    /// Builds the standard QSearch-style template: a `U3` on every qubit,
+    /// then for each CX placement a CX followed by `U3`s on both involved
+    /// qubits.
+    pub fn with_cx_sequence(n_qubits: usize, cx: &[(usize, usize)]) -> Self {
+        let mut ops = Vec::new();
+        let mut pidx = 0;
+        for q in 0..n_qubits {
+            ops.push(TOp::U3 { qubit: q, pidx });
+            pidx += 3;
+        }
+        for &(c, t) in cx {
+            assert!(c < n_qubits && t < n_qubits && c != t, "bad CX placement");
+            ops.push(TOp::Cx { c, t });
+            for q in [c, t] {
+                ops.push(TOp::U3 { qubit: q, pidx });
+                pidx += 3;
+            }
+        }
+        Template {
+            n_qubits,
+            ops,
+            n_params: pidx,
+        }
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of CX gates in the structure.
+    pub fn cx_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, TOp::Cx { .. })).count()
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[TOp] {
+        &self.ops
+    }
+
+    /// Evaluates the unitary at the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != n_params`.
+    pub fn unitary(&self, params: &[f64]) -> Mat {
+        assert_eq!(params.len(), self.n_params, "parameter count");
+        let dim = 1usize << self.n_qubits;
+        let mut v = Mat::identity(dim);
+        for op in &self.ops {
+            let m = self.op_matrix(op, params);
+            v = m.matmul(&v);
+        }
+        v
+    }
+
+    fn op_matrix(&self, op: &TOp, params: &[f64]) -> Mat {
+        match *op {
+            TOp::U3 { qubit, pidx } => embed(
+                &qmath::gates::u3(params[pidx], params[pidx + 1], params[pidx + 2]),
+                self.n_qubits,
+                &[qubit],
+            ),
+            TOp::Cx { c, t } => embed(&qmath::gates::cx(), self.n_qubits, &[c, t]),
+        }
+    }
+
+    /// Converts instantiated parameters into a `qcir` circuit of
+    /// `U3` + `CX` gates.
+    pub fn to_circuit(&self, params: &[f64]) -> qcir::Circuit {
+        let mut c = qcir::Circuit::new(self.n_qubits);
+        for op in &self.ops {
+            match *op {
+                TOp::U3 { qubit, pidx } => c.push(
+                    qcir::Gate::U3(params[pidx], params[pidx + 1], params[pidx + 2]),
+                    &[qubit as qcir::Qubit],
+                ),
+                TOp::Cx { c: cc, t } => c.push(qcir::Gate::Cx, &[cc as qcir::Qubit, t as qcir::Qubit]),
+            }
+        }
+        c
+    }
+}
+
+/// Partial derivatives of the `U3` matrix with respect to (θ, φ, λ).
+fn u3_grads(theta: f64, phi: f64, lambda: f64) -> [Mat; 3] {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    let (ep, el, epl) = (C64::cis(phi), C64::cis(lambda), C64::cis(phi + lambda));
+    let dtheta = Mat::mat2(
+        c64(-st / 2.0, 0.0),
+        el.scale(-ct / 2.0),
+        ep.scale(ct / 2.0),
+        epl.scale(-st / 2.0),
+    );
+    let i = C64::I;
+    let dphi = Mat::mat2(C64::ZERO, C64::ZERO, i * ep.scale(st), i * epl.scale(ct));
+    let dlambda = Mat::mat2(C64::ZERO, i * el.scale(-st), C64::ZERO, i * epl.scale(ct));
+    [dtheta, dphi, dlambda]
+}
+
+/// Result of an instantiation run.
+#[derive(Debug, Clone)]
+pub struct Instantiation {
+    /// Optimized parameters.
+    pub params: Vec<f64>,
+    /// Accurate Hilbert–Schmidt distance to the target at `params`.
+    pub distance: f64,
+}
+
+/// Accurate Hilbert–Schmidt distance, immune to the `1 − |w|/N`
+/// cancellation: align the global phase first, then use the Frobenius
+/// norm of the difference.
+pub fn accurate_hs_distance(u: &Mat, v: &Mat) -> f64 {
+    let n = u.rows() as f64;
+    let mut w = C64::ZERO;
+    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
+        w += a.conj() * *b;
+    }
+    if w.abs() < 1e-12 {
+        return 1.0;
+    }
+    let phase = C64::cis(-w.arg());
+    let mut d2 = 0.0;
+    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
+        d2 += (*b * phase - *a).norm_sqr();
+    }
+    // 1 − |w|/N = d2 / (2N); Δ = sqrt(x·(2−x)) with x = 1 − |w|/N.
+    let x = (d2 / (2.0 * n)).min(1.0);
+    (x * (2.0 - x)).max(0.0).sqrt()
+}
+
+/// Options for [`instantiate`].
+#[derive(Debug, Clone)]
+pub struct InstantiateOpts {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Adam iterations per restart.
+    pub iters: usize,
+    /// Initial learning rate.
+    pub lr: f64,
+    /// Stop early once the accurate distance falls below this.
+    pub target: f64,
+    /// Warm start for the first restart (zeros when `None`).
+    pub init: Option<Vec<f64>>,
+}
+
+impl Default for InstantiateOpts {
+    fn default() -> Self {
+        InstantiateOpts {
+            restarts: 4,
+            iters: 400,
+            lr: 0.15,
+            target: 1e-10,
+            init: None,
+        }
+    }
+}
+
+/// Optimizes template parameters to approximate `target` (up to global
+/// phase), returning the best instantiation found.
+///
+/// # Panics
+///
+/// Panics if the target dimension does not match the template.
+pub fn instantiate<R: Rng + ?Sized>(
+    template: &Template,
+    target: &Mat,
+    opts: &InstantiateOpts,
+    rng: &mut R,
+) -> Instantiation {
+    let dim = 1usize << template.n_qubits();
+    assert_eq!(target.rows(), dim, "target dimension mismatch");
+    let np = template.n_params();
+    let mut best = Instantiation {
+        params: vec![0.0; np],
+        distance: f64::INFINITY,
+    };
+    if np == 0 {
+        let d = accurate_hs_distance(target, &template.unitary(&[]));
+        return Instantiation {
+            params: vec![],
+            distance: d,
+        };
+    }
+
+    for restart in 0..opts.restarts {
+        let mut params: Vec<f64> = if restart == 0 {
+            match &opts.init {
+                Some(init) if init.len() == np => init.clone(),
+                _ => vec![0.0; np],
+            }
+        } else {
+            (0..np)
+                .map(|_| (rng.random::<f64>() - 0.5) * 2.0 * std::f64::consts::PI)
+                .collect()
+        };
+        let mut m = vec![0.0; np];
+        let mut vv = vec![0.0; np];
+        let (b1, b2, eps) = (0.9, 0.999, 1e-9);
+        let mut lr = opts.lr;
+        for it in 0..opts.iters {
+            let grad = cost_gradient(template, target, &params);
+            for k in 0..np {
+                m[k] = b1 * m[k] + (1.0 - b1) * grad[k];
+                vv[k] = b2 * vv[k] + (1.0 - b2) * grad[k] * grad[k];
+                let mh = m[k] / (1.0 - b1.powi(it as i32 + 1));
+                let vh = vv[k] / (1.0 - b2.powi(it as i32 + 1));
+                params[k] -= lr * mh / (vh.sqrt() + eps);
+            }
+            lr *= 0.995;
+            if it % 25 == 24 || it + 1 == opts.iters {
+                let d = accurate_hs_distance(target, &template.unitary(&params));
+                if d < best.distance {
+                    best = Instantiation {
+                        params: params.clone(),
+                        distance: d,
+                    };
+                }
+                if d <= opts.target {
+                    return best;
+                }
+                // Once Adam is inside the basin, Levenberg–Marquardt
+                // closes the remaining gap quadratically.
+                if d < 1e-2 {
+                    let mut polished = params.clone();
+                    let pd = gauss_newton_polish(template, target, &mut polished, 25);
+                    if pd < best.distance {
+                        best = Instantiation {
+                            params: polished,
+                            distance: pd,
+                        };
+                    }
+                    if best.distance <= opts.target {
+                        return best;
+                    }
+                    break; // LM stalled: continue with the next restart
+                }
+            }
+        }
+    }
+    // Final LM attempt from the overall best point.
+    if best.distance.is_finite() && best.distance > opts.target {
+        let mut polished = best.params.clone();
+        let pd = gauss_newton_polish(template, target, &mut polished, 40);
+        if pd < best.distance {
+            best = Instantiation {
+                params: polished,
+                distance: pd,
+            };
+        }
+    }
+    best
+}
+
+/// Evaluates the template unitary and the partial derivative `∂V/∂θ_k`
+/// for every parameter (via prefix/suffix products).
+fn value_and_grads(template: &Template, params: &[f64]) -> (Mat, Vec<Mat>) {
+    let dim = 1usize << template.n_qubits();
+    let ops = template.ops();
+    let g = ops.len();
+    // Prefix products: pre[i] = M_{i-1} … M_0 (pre[0] = I).
+    let mut pre = Vec::with_capacity(g + 1);
+    pre.push(Mat::identity(dim));
+    for op in ops {
+        let m = template.op_matrix(op, params);
+        let last = pre.last().expect("non-empty prefix");
+        pre.push(m.matmul(last));
+    }
+    // Suffix products: suf[i] = M_{g-1} … M_{i+1} (suf[g-1] = I).
+    let mut suf = vec![Mat::identity(dim); g];
+    for i in (0..g.saturating_sub(1)).rev() {
+        let m = template.op_matrix(&ops[i + 1], params);
+        suf[i] = suf[i + 1].matmul(&m);
+    }
+    let v = pre.last().expect("non-empty prefix").clone();
+    let mut grads = vec![Mat::zeros(dim, dim); params.len()];
+    for (i, op) in ops.iter().enumerate() {
+        if let TOp::U3 { qubit, pidx } = *op {
+            let partials = u3_grads(params[pidx], params[pidx + 1], params[pidx + 2]);
+            for (k, dm2) in partials.iter().enumerate() {
+                let dm = embed(dm2, template.n_qubits(), &[qubit]);
+                grads[pidx + k] = suf[i].matmul(&dm).matmul(&pre[i]);
+            }
+        }
+    }
+    (v, grads)
+}
+
+/// Gradient of `C(θ) = 1 − |Tr(U†V(θ))| / N`.
+fn cost_gradient(template: &Template, target: &Mat, params: &[f64]) -> Vec<f64> {
+    let dim = 1usize << template.n_qubits();
+    let (v, dvs) = value_and_grads(template, params);
+    let mut w = C64::ZERO;
+    for (a, b) in target.as_slice().iter().zip(v.as_slice()) {
+        w += a.conj() * *b;
+    }
+    let n = dim as f64;
+    let wabs = w.abs().max(1e-30);
+    let wdir = c64(w.re / wabs, w.im / wabs);
+    let mut grad = vec![0.0; params.len()];
+    for (k, dv) in dvs.iter().enumerate() {
+        let mut dw = C64::ZERO;
+        for (a, b) in target.as_slice().iter().zip(dv.as_slice()) {
+            dw += a.conj() * *b;
+        }
+        // d(1 − |w|/N) = −Re(conj(wdir)·dw)/N
+        grad[k] = -(wdir.conj() * dw).re / n;
+    }
+    grad
+}
+
+/// Levenberg–Marquardt polish on the phase-aligned residuals
+/// `vec(e^{-iφ}V(θ) − U)` — converges quadratically once inside the
+/// basin, which Adam alone cannot do at 1e-10 scales.
+fn gauss_newton_polish(
+    template: &Template,
+    target: &Mat,
+    params: &mut [f64],
+    iters: usize,
+) -> f64 {
+    let np = params.len();
+    if np == 0 {
+        return accurate_hs_distance(target, &template.unitary(params));
+    }
+    let mut best_d = accurate_hs_distance(target, &template.unitary(params));
+    let mut lambda = 1e-9;
+    for _ in 0..iters {
+        let (v, dvs) = value_and_grads(template, params);
+        let mut w = C64::ZERO;
+        for (a, b) in target.as_slice().iter().zip(v.as_slice()) {
+            w += a.conj() * *b;
+        }
+        if w.abs() < 1e-12 {
+            break;
+        }
+        let phase = C64::cis(-w.arg());
+        // Residual r and Jacobian J (real view, 2N² rows).
+        let nn = v.as_slice().len();
+        let mut r = vec![0.0; 2 * nn];
+        for (i, (a, b)) in target.as_slice().iter().zip(v.as_slice()).enumerate() {
+            let e = *b * phase - *a;
+            r[2 * i] = e.re;
+            r[2 * i + 1] = e.im;
+        }
+        // Normal equations JᵀJ δ = −Jᵀr, built column-by-column. The
+        // global phase is a nuisance parameter: include its derivative
+        // column (−i·e^{-iφ}V) so the solve is exact Gauss–Newton on the
+        // quotient space (its δ component is simply discarded — the next
+        // realignment absorbs it).
+        let nv = np + 1;
+        let mut jtj = vec![0.0; nv * nv];
+        let mut jtr = vec![0.0; nv];
+        let mut cols: Vec<Vec<f64>> = dvs
+            .iter()
+            .map(|dv| {
+                let mut col = vec![0.0; 2 * nn];
+                for (i, z) in dv.as_slice().iter().enumerate() {
+                    let e = *z * phase;
+                    col[2 * i] = e.re;
+                    col[2 * i + 1] = e.im;
+                }
+                col
+            })
+            .collect();
+        let mut phase_col = vec![0.0; 2 * nn];
+        for (i, z) in v.as_slice().iter().enumerate() {
+            let e = (-C64::I) * (*z * phase);
+            phase_col[2 * i] = e.re;
+            phase_col[2 * i + 1] = e.im;
+        }
+        cols.push(phase_col);
+        for a in 0..nv {
+            for b in a..nv {
+                let dot: f64 = cols[a].iter().zip(&cols[b]).map(|(x, y)| x * y).sum();
+                jtj[a * nv + b] = dot;
+                jtj[b * nv + a] = dot;
+            }
+            jtr[a] = cols[a].iter().zip(&r).map(|(x, y)| x * y).sum();
+        }
+        // Damped solve with step-halving fallback.
+        let mut improved = false;
+        for _attempt in 0..6 {
+            let mut m = jtj.clone();
+            for a in 0..nv {
+                m[a * nv + a] += lambda * (1.0 + jtj[a * nv + a]);
+            }
+            if let Some(delta) = solve_dense(&m, &jtr, nv) {
+                let cand: Vec<f64> = params
+                    .iter()
+                    .zip(&delta)
+                    .map(|(p, d)| p - d)
+                    .collect();
+                let d = accurate_hs_distance(target, &template.unitary(&cand));
+                if d < best_d {
+                    params.copy_from_slice(&cand);
+                    best_d = d;
+                    lambda = (lambda * 0.3).max(1e-14);
+                    improved = true;
+                    break;
+                }
+            }
+            lambda *= 10.0;
+        }
+        if !improved || best_d < 1e-14 {
+            break;
+        }
+    }
+    best_d
+}
+
+/// Gaussian elimination with partial pivoting for small dense systems.
+fn solve_dense(m: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let mut a = m.to_vec();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[piv * n + col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv * n + col].abs() < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            x.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for row in col + 1..n {
+            let f = a[row * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for k in col + 1..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Snaps parameters to nearby multiples of π/4 when doing so does not
+/// worsen the distance to `target` (keeps synthesized circuits clean and
+/// helps downstream rebasing drop trivial rotations).
+pub fn snap_params(template: &Template, target: &Mat, params: &mut [f64], tol: f64) {
+    let quarter = std::f64::consts::FRAC_PI_4;
+    let mut current = accurate_hs_distance(target, &template.unitary(params));
+    for k in 0..params.len() {
+        let snapped = (params[k] / quarter).round() * quarter;
+        if (snapped - params[k]).abs() < 1e-4 && snapped != params[k] {
+            let old = params[k];
+            params[k] = snapped;
+            let d = accurate_hs_distance(target, &template.unitary(params));
+            if d <= current.max(tol) {
+                current = d.min(current);
+            } else {
+                params[k] = old;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::random::random_unitary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tpl = Template::with_cx_sequence(2, &[(0, 1)]);
+        let target = random_unitary(4, &mut rng);
+        let params: Vec<f64> = (0..tpl.n_params()).map(|k| 0.3 * k as f64 - 1.0).collect();
+        let grad = cost_gradient(&tpl, &target, &params);
+        let cost = |p: &[f64]| {
+            let v = tpl.unitary(p);
+            let mut w = C64::ZERO;
+            for (a, b) in target.as_slice().iter().zip(v.as_slice()) {
+                w += a.conj() * *b;
+            }
+            1.0 - w.abs() / 4.0
+        };
+        let h = 1e-6;
+        for k in 0..params.len() {
+            let mut up = params.clone();
+            up[k] += h;
+            let mut dn = params.clone();
+            dn[k] -= h;
+            let fd = (cost(&up) - cost(&dn)) / (2.0 * h);
+            assert!(
+                (fd - grad[k]).abs() < 1e-5,
+                "param {k}: fd {fd} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn instantiates_identity_with_zero_cx() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tpl = Template::with_cx_sequence(2, &[]);
+        let target = Mat::identity(4);
+        let r = instantiate(&tpl, &target, &InstantiateOpts::default(), &mut rng);
+        assert!(r.distance < 1e-8, "distance {}", r.distance);
+    }
+
+    #[test]
+    fn instantiates_product_of_1q_gates() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let u0 = random_unitary(2, &mut rng);
+        let u1 = random_unitary(2, &mut rng);
+        let target = u0.kron(&u1);
+        let tpl = Template::with_cx_sequence(2, &[]);
+        let r = instantiate(&tpl, &target, &InstantiateOpts::default(), &mut rng);
+        assert!(r.distance < 1e-8, "distance {}", r.distance);
+    }
+
+    #[test]
+    fn instantiates_cx_itself() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let tpl = Template::with_cx_sequence(2, &[(0, 1)]);
+        let target = qmath::gates::cx();
+        let r = instantiate(&tpl, &target, &InstantiateOpts::default(), &mut rng);
+        assert!(r.distance < 1e-8, "distance {}", r.distance);
+    }
+
+    #[test]
+    fn three_cx_reaches_random_two_qubit_unitary() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let target = random_unitary(4, &mut rng);
+        let tpl = Template::with_cx_sequence(2, &[(0, 1), (1, 0), (0, 1)]);
+        let opts = InstantiateOpts {
+            restarts: 8,
+            iters: 800,
+            ..InstantiateOpts::default()
+        };
+        let r = instantiate(&tpl, &target, &opts, &mut rng);
+        assert!(r.distance < 1e-6, "distance {}", r.distance);
+    }
+
+    #[test]
+    fn to_circuit_matches_template_unitary() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let tpl = Template::with_cx_sequence(2, &[(0, 1)]);
+        let params: Vec<f64> = (0..tpl.n_params())
+            .map(|_| rng.random::<f64>() * 2.0 - 1.0)
+            .collect();
+        let c = tpl.to_circuit(&params);
+        let d = accurate_hs_distance(&tpl.unitary(&params), &c.unitary());
+        assert!(d < 1e-10);
+    }
+
+    #[test]
+    fn accurate_distance_handles_tiny_gaps() {
+        let u = qmath::gates::rz(1.0);
+        let v = qmath::gates::rz(1.0 + 1e-9);
+        let d = accurate_hs_distance(&u, &v);
+        // sin-like scaling: Δ ≈ θerr/2 · sqrt(…): must be ~5e-10, not 0 or 1e-8 noise.
+        assert!(d > 1e-11 && d < 1e-8, "d = {d}");
+    }
+
+    #[test]
+    fn snapping_cleans_near_zero_angles() {
+        let tpl = Template::with_cx_sequence(1, &[]);
+        let target = qmath::gates::u3(std::f64::consts::FRAC_PI_2, 0.0, 0.0);
+        let mut params = vec![std::f64::consts::FRAC_PI_2 + 1e-9, 1e-9, -1e-9];
+        snap_params(&tpl, &target, &mut params, 1e-8);
+        assert_eq!(params[1], 0.0);
+        assert_eq!(params[2], 0.0);
+        assert!((params[0] - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+}

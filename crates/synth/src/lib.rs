@@ -1,0 +1,34 @@
+//! `qsynth` — unitary synthesis (the paper's "slow" System 2).
+//!
+//! * [`instantiate`]: template circuits + Adam over analytic gradients
+//!   (the numerical core, mirroring BQSKit's instantiation)
+//! * [`continuous`]: 1q analytic / 2q CX-escalation / 3q QSearch-style A*
+//! * [`finite`]: Synthetiq-style simulated annealing for Clifford+T,
+//!   plus a BFS database of minimal 1-qubit sequences
+//! * [`resynth`]: the paper's `resynth(C, ε)` wrapper with measured-ε
+//!   reporting for exact Thm-4.2 budget accounting
+//!
+//! ```
+//! use qcir::{Circuit, Gate, GateSet};
+//! use qsynth::Resynthesizer;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! // Two mergeable rotations: resynthesis finds the 1-gate form.
+//! let mut c = Circuit::new(1);
+//! c.push(Gate::Rz(0.2), &[0]);
+//! c.push(Gate::Rz(0.3), &[0]);
+//! let rs = Resynthesizer::new(GateSet::IbmEagle);
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let out = rs.resynthesize(&c, 1e-8, &mut rng).unwrap();
+//! assert!(out.circuit.len() <= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod finite;
+pub mod instantiate;
+pub mod resynth;
+
+pub use instantiate::accurate_hs_distance;
+pub use resynth::{Resynthesized, Resynthesizer, MAX_RESYNTH_QUBITS};

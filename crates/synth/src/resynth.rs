@@ -1,0 +1,259 @@
+//! The resynthesis transformation: subcircuit → unitary → new circuit.
+//!
+//! This is the `resynth : (C × ℝ) → C` function of the paper's §4.1 — a
+//! thin wrapper that computes the subcircuit's unitary, invokes the
+//! appropriate synthesizer for the gate set and width, rebases the result,
+//! and reports the *measured* Hilbert–Schmidt distance so the caller can
+//! charge the ε-budget exactly (Thm. 4.2 accounting).
+
+use crate::continuous::{synthesize_1q, synthesize_2q, synthesize_3q, SynthOpts};
+use crate::finite::{synthesize_finite, Database1q, FiniteSynthOpts};
+use crate::instantiate::accurate_hs_distance;
+use qcir::{rebase, Circuit, GateSet};
+use rand::Rng;
+
+/// Maximum subcircuit width resynthesis accepts (the paper limits random
+/// subcircuits to 3 qubits; unitary size is exponential in width).
+pub const MAX_RESYNTH_QUBITS: usize = 3;
+
+/// A resynthesis outcome.
+#[derive(Debug, Clone)]
+pub struct Resynthesized {
+    /// The replacement subcircuit, native to the target gate set.
+    pub circuit: Circuit,
+    /// Measured Hilbert–Schmidt distance to the original subcircuit.
+    pub epsilon: f64,
+}
+
+/// Configuration for a [`Resynthesizer`].
+#[derive(Debug, Clone)]
+pub struct ResynthOpts {
+    /// Options for continuous synthesis.
+    pub continuous: SynthOpts,
+    /// Options for finite-set synthesis.
+    pub finite: FiniteSynthOpts,
+}
+
+impl Default for ResynthOpts {
+    fn default() -> Self {
+        ResynthOpts {
+            continuous: SynthOpts::default(),
+            finite: FiniteSynthOpts::default(),
+        }
+    }
+}
+
+impl ResynthOpts {
+    /// A cheap profile for *in-loop* resynthesis (GUOQ calls resynthesis
+    /// thousands of times per run; each call must stay in the tens of
+    /// milliseconds). Single-sweep optimizers (the BQSKit-style baseline)
+    /// keep the thorough default profile instead.
+    pub fn fast() -> Self {
+        let mut o = ResynthOpts::default();
+        o.continuous.search.restarts = 1;
+        o.continuous.search.iters = 120;
+        o.continuous.polish.restarts = 1;
+        o.continuous.polish.iters = 250;
+        o.continuous.max_nodes = 12;
+        o.continuous.max_cx = 6;
+        o.finite.iters = 1200;
+        o.finite.restarts = 2;
+        o.finite.max_len = 8;
+        o
+    }
+}
+
+/// Resynthesizes subcircuits for a fixed gate set.
+///
+/// Construction is cheap for continuous sets; for Clifford+T it builds the
+/// 1-qubit BFS database once.
+#[derive(Debug, Clone)]
+pub struct Resynthesizer {
+    set: GateSet,
+    opts: ResynthOpts,
+    db_1q: Option<Database1q>,
+}
+
+impl Resynthesizer {
+    /// Creates a resynthesizer for `set` with default options.
+    pub fn new(set: GateSet) -> Self {
+        Self::with_opts(set, ResynthOpts::default())
+    }
+
+    /// Creates a resynthesizer with explicit options.
+    pub fn with_opts(set: GateSet, opts: ResynthOpts) -> Self {
+        let db_1q = if set.is_continuous() {
+            None
+        } else {
+            Some(Database1q::build(9, 16384))
+        };
+        Resynthesizer { set, opts, db_1q }
+    }
+
+    /// The target gate set.
+    pub fn gate_set(&self) -> GateSet {
+        self.set
+    }
+
+    /// Resynthesizes `sub` (≤ 3 qubits) with error tolerance `eps`.
+    ///
+    /// Returns a native replacement whose measured distance to `sub` is at
+    /// most `eps`, or `None` when synthesis fails, exceeds the tolerance,
+    /// or the input is too wide. No gate-count judgement is made here —
+    /// accepting or rejecting the replacement is the optimizer's decision.
+    pub fn resynthesize<R: Rng + ?Sized>(
+        &self,
+        sub: &Circuit,
+        eps: f64,
+        rng: &mut R,
+    ) -> Option<Resynthesized> {
+        let n = sub.num_qubits();
+        if n == 0 || n > MAX_RESYNTH_QUBITS || sub.is_empty() {
+            return None;
+        }
+        let target = sub.unitary();
+        let mut opts = self.opts.clone();
+        opts.continuous.tol = opts.continuous.tol.min(eps.max(1e-12));
+
+        let raw = if self.set.is_continuous() {
+            match n {
+                1 => synthesize_1q(&target, self.set).map(|s| s.circuit),
+                2 => synthesize_2q(&target, &opts.continuous, rng).map(|s| s.circuit),
+                _ => synthesize_3q(&target, &opts.continuous, rng).map(|s| s.circuit),
+            }
+        } else {
+            match n {
+                1 => self
+                    .db_1q
+                    .as_ref()
+                    .and_then(|db| db.lookup(&target))
+                    .or_else(|| synthesize_finite(&target, 1, &opts.finite, rng)),
+                _ => {
+                    // Cap the length at one less than the input so MCMC
+                    // only returns strictly smaller circuits; wider
+                    // budgets just waste time.
+                    let mut fo = opts.finite.clone();
+                    fo.max_len = fo.max_len.min(sub.len().saturating_sub(1)).max(1);
+                    synthesize_finite(&target, n, &fo, rng)
+                }
+            }
+        }?;
+
+        let native = rebase::rebase(&raw, self.set).ok()?;
+        let native = qcir::circuit::Circuit::from_instructions(
+            native.num_qubits(),
+            native
+                .iter()
+                .filter(|i| !i.gate.is_identity(1e-9))
+                .copied()
+                .collect(),
+        );
+        let measured = if native.is_empty() {
+            accurate_hs_distance(&target, &qmath::Mat::identity(1 << n))
+        } else {
+            accurate_hs_distance(&target, &native.unitary())
+        };
+        if measured > eps {
+            return None;
+        }
+        Some(Resynthesized {
+            circuit: native,
+            epsilon: measured,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcir::Gate;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn paper_fig5_example() {
+        // Resynthesizing Rz(π/2);CX;H;Rz(π/2) (2 qubits) must produce an
+        // equivalent circuit — and a good synthesizer finds the 3-gate
+        // form of Fig. 5.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        let rs = Resynthesizer::new(GateSet::Nam);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let out = rs.resynthesize(&c, 1e-8, &mut rng).unwrap();
+        assert!(out.epsilon < 1e-8);
+        assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-6));
+        assert!(out.circuit.two_qubit_count() <= 1);
+    }
+
+    #[test]
+    fn deep_rz_comb_collapses() {
+        // Fig. 6b: a deep alternation of Rz and CX on 2 qubits should
+        // resynthesize to something drastically smaller.
+        let mut c = Circuit::new(2);
+        for k in 0..8 {
+            c.push(Gate::Rz(FRAC_PI_2 / 2.0), &[0]);
+            if k % 2 == 0 {
+                c.push(Gate::Cx, &[0, 1]);
+                c.push(Gate::Cx, &[0, 1]);
+            }
+        }
+        let rs = Resynthesizer::new(GateSet::Nam);
+        let mut rng = SmallRng::seed_from_u64(32);
+        let out = rs.resynthesize(&c, 1e-8, &mut rng).unwrap();
+        assert!(out.circuit.len() < c.len() / 2);
+        assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-6));
+    }
+
+    #[test]
+    fn respects_eps_budget_zero() {
+        // With eps = 0 only numerically-exact replacements pass; the
+        // 1-qubit analytic path qualifies (distance ~1e-16).
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Rz(0.5), &[0]);
+        let rs = Resynthesizer::new(GateSet::IbmEagle);
+        let mut rng = SmallRng::seed_from_u64(33);
+        let out = rs.resynthesize(&c, 1e-12, &mut rng).unwrap();
+        assert!(out.epsilon <= 1e-12);
+        assert!(out.circuit.len() <= 1);
+    }
+
+    #[test]
+    fn clifford_t_pair_compresses() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::T, &[0]);
+        let rs = Resynthesizer::new(GateSet::CliffordT);
+        let mut rng = SmallRng::seed_from_u64(34);
+        let out = rs.resynthesize(&c, 1e-7, &mut rng).unwrap();
+        assert_eq!(out.circuit.len(), 1);
+        assert_eq!(out.circuit.t_count(), 0); // S, not T
+    }
+
+    #[test]
+    fn too_wide_input_refused() {
+        let c = Circuit::new(4);
+        let rs = Resynthesizer::new(GateSet::Nam);
+        let mut rng = SmallRng::seed_from_u64(35);
+        assert!(rs.resynthesize(&c, 1e-8, &mut rng).is_none());
+    }
+
+    #[test]
+    fn ionq_resynthesis_native() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rx(0.3), &[0]);
+        c.push(Gate::Rxx(0.7), &[0, 1]);
+        c.push(Gate::Ry(-0.4), &[1]);
+        let rs = Resynthesizer::new(GateSet::Ionq);
+        let mut rng = SmallRng::seed_from_u64(36);
+        let out = rs.resynthesize(&c, 1e-6, &mut rng).unwrap();
+        for ins in out.circuit.iter() {
+            assert!(GateSet::Ionq.contains(ins.gate), "leaked {}", ins.gate);
+        }
+        assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-5));
+    }
+}

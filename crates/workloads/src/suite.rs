@@ -1,0 +1,262 @@
+//! Benchmark suite assembly (paper §6: 247 circuits, 4–36 qubits).
+//!
+//! Circuits are generated per family, then rebased into the requested
+//! gate set — matching the paper's setup where "the input circuit … is
+//! always already decomposed into the target gate set".
+
+use crate::generators as gen;
+use qcir::{rebase::rebase, Circuit, GateSet};
+
+/// A named benchmark circuit, already native to its gate set.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Unique name, e.g. `qft_08`.
+    pub name: String,
+    /// Algorithm family, e.g. `qft`.
+    pub family: &'static str,
+    /// The circuit, decomposed into `set`.
+    pub circuit: Circuit,
+    /// The gate set the circuit is native to.
+    pub set: GateSet,
+}
+
+/// Suite size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// A handful of tiny circuits (CI tests).
+    Smoke,
+    /// ~50 circuits up to ~16 qubits (default harness scale).
+    Default,
+    /// The full spread: ~240 circuits, 4–36 qubits (paper scale).
+    Full,
+}
+
+fn push(
+    out: &mut Vec<Benchmark>,
+    set: GateSet,
+    family: &'static str,
+    tag: String,
+    circuit: Circuit,
+) {
+    match rebase(&circuit, set) {
+        Ok(native) => out.push(Benchmark {
+            name: tag,
+            family,
+            circuit: native,
+            set,
+        }),
+        Err(e) => panic!("suite generator bug: {family}: {e}"),
+    }
+}
+
+/// Builds the benchmark suite for a gate set.
+///
+/// Families follow the paper: QAOA, VQE, QPE, QFT, Grover, adders,
+/// multi-control Toffolis, GHZ/BV structure circuits, Hamiltonian
+/// simulation, and quantum-volume-style random circuits for the
+/// continuous sets; reversible arithmetic and random Clifford+T circuits
+/// for the FTQC set.
+pub fn suite(set: GateSet, scale: SuiteScale) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    let (sizes, layers): (Vec<usize>, usize) = match scale {
+        SuiteScale::Smoke => (vec![4], 1),
+        SuiteScale::Default => (vec![4, 6, 8, 12, 16], 2),
+        SuiteScale::Full => (vec![4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 36], 3),
+    };
+
+    if set.is_continuous() {
+        for &n in &sizes {
+            push(&mut out, set, "qft", format!("qft_{n:02}"), gen::qft(n));
+            push(&mut out, set, "ghz", format!("ghz_{n:02}"), gen::ghz(n));
+            for l in 1..=layers {
+                push(
+                    &mut out,
+                    set,
+                    "qaoa",
+                    format!("qaoa_{n:02}_p{l}"),
+                    gen::qaoa_maxcut(n, l, 1000 + n as u64 + l as u64),
+                );
+                push(
+                    &mut out,
+                    set,
+                    "vqe",
+                    format!("vqe_{n:02}_l{l}"),
+                    gen::vqe_ansatz(n, l, 2000 + n as u64 + l as u64),
+                );
+            }
+            push(
+                &mut out,
+                set,
+                "qpe",
+                format!("qpe_{n:02}"),
+                gen::qpe(n, 3000 + n as u64),
+            );
+            push(
+                &mut out,
+                set,
+                "bv",
+                format!("bv_{n:02}"),
+                gen::bernstein_vazirani(n, 4000 + n as u64),
+            );
+            push(
+                &mut out,
+                set,
+                "ising",
+                format!("ising_{n:02}"),
+                gen::ising_trotter(n, layers + 1, 5000 + n as u64),
+            );
+            if n >= 4 {
+                push(
+                    &mut out,
+                    set,
+                    "heisenberg",
+                    format!("heisenberg_{n:02}"),
+                    gen::heisenberg_trotter(n, layers, 6000 + n as u64),
+                );
+                push(
+                    &mut out,
+                    set,
+                    "qv",
+                    format!("qv_{n:02}"),
+                    gen::quantum_volume(n, layers + 1, 7000 + n as u64),
+                );
+            }
+            if n >= 4 && n <= 16 {
+                push(
+                    &mut out,
+                    set,
+                    "grover",
+                    format!("grover_{n:02}"),
+                    gen::grover(n.min(8), 1 + n / 8, 8000 + n as u64),
+                );
+                push(
+                    &mut out,
+                    set,
+                    "adder",
+                    format!("adder_{n:02}"),
+                    gen::cuccaro_adder(n / 2),
+                );
+                push(
+                    &mut out,
+                    set,
+                    "tof",
+                    format!("tof_{n:02}"),
+                    gen::tof_chain(n.max(3)),
+                );
+                push(
+                    &mut out,
+                    set,
+                    "barenco_tof",
+                    format!("barenco_tof_{n:02}"),
+                    gen::barenco_tof((n / 2).max(2)),
+                );
+            }
+        }
+    } else {
+        // Clifford+T: only exactly-representable families.
+        for &n in &sizes {
+            push(
+                &mut out,
+                set,
+                "tof",
+                format!("tof_{n:02}"),
+                gen::tof_chain(n.max(3)),
+            );
+            push(
+                &mut out,
+                set,
+                "barenco_tof",
+                format!("barenco_tof_{n:02}"),
+                gen::barenco_tof((n / 2).max(2)),
+            );
+            push(
+                &mut out,
+                set,
+                "adder",
+                format!("adder_{n:02}"),
+                gen::cuccaro_adder((n / 2).max(1)),
+            );
+            push(&mut out, set, "ghz", format!("ghz_{n:02}"), gen::ghz(n));
+            push(
+                &mut out,
+                set,
+                "bv",
+                format!("bv_{n:02}"),
+                gen::bernstein_vazirani(n, 4100 + n as u64),
+            );
+            if n <= 16 {
+                push(
+                    &mut out,
+                    set,
+                    "grover",
+                    format!("grover_{n:02}"),
+                    gen::grover(n.min(6), 1, 8100 + n as u64),
+                );
+            }
+            for (i, g) in [(1usize, 20 * n), (2, 40 * n)] {
+                push(
+                    &mut out,
+                    set,
+                    "random",
+                    format!("random_ct_{n:02}_{i}"),
+                    gen::random_clifford_t(n, g, 9000 + (n * i) as u64),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_native_and_unique() {
+        for set in GateSet::ALL {
+            let s = suite(set, SuiteScale::Smoke);
+            assert!(!s.is_empty());
+            let mut names: Vec<&str> = s.iter().map(|b| b.name.as_str()).collect();
+            let n = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), n, "{set}: duplicate benchmark names");
+            for b in &s {
+                for ins in b.circuit.iter() {
+                    assert!(
+                        set.contains(ins.gate),
+                        "{set}/{}: non-native {}",
+                        b.name,
+                        ins.gate
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_scale_has_dozens() {
+        let s = suite(GateSet::IbmEagle, SuiteScale::Default);
+        assert!(s.len() >= 40, "got {}", s.len());
+        assert!(s.iter().any(|b| b.family == "qaoa"));
+        assert!(s.iter().any(|b| b.family == "qft"));
+        assert!(s.iter().any(|b| b.family == "grover"));
+    }
+
+    #[test]
+    fn full_scale_matches_paper_spread() {
+        let s = suite(GateSet::Ibmq20, SuiteScale::Full);
+        assert!(s.len() >= 100, "got {}", s.len());
+        let max_q = s.iter().map(|b| b.circuit.num_qubits()).max().unwrap();
+        assert!(max_q >= 36, "max qubits {max_q}");
+        let clifford = suite(GateSet::CliffordT, SuiteScale::Full);
+        assert!(clifford.len() >= 50, "got {}", clifford.len());
+    }
+
+    #[test]
+    fn rebased_circuits_nonempty() {
+        for b in suite(GateSet::Ionq, SuiteScale::Smoke) {
+            assert!(!b.circuit.is_empty(), "{} is empty", b.name);
+        }
+    }
+}

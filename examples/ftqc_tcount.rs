@@ -1,0 +1,59 @@
+//! FTQC scenario: reduce T count (then CX) of a Clifford+T adder — the
+//! paper's Q4 pipeline: phase-polynomial folding first (the PyZX-style
+//! pass), then GUOQ with the lexicographic (T, CX) objective (Fig. 14).
+//!
+//! Run with: `cargo run --release --example ftqc_tcount -- [budget_ms]`
+
+use guoq::cost::TThenCx;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{rebase::rebase, GateSet};
+use qfold::{fold_rotations, EmitStyle};
+use qsim::check_equivalence;
+use std::time::Duration;
+
+fn main() {
+    let budget_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let set = GateSet::CliffordT;
+
+    let raw = workloads::generators::cuccaro_adder(4);
+    let circuit = rebase(&raw, set).expect("adder is Clifford+T");
+    println!(
+        "adder_4 in Clifford+T: {} gates, T count {}, CX count {}",
+        circuit.len(),
+        circuit.t_count(),
+        circuit.two_qubit_count()
+    );
+
+    // Stage 1: rotation folding (PyZX-style) slashes T, leaves CX alone.
+    let folded = fold_rotations(&circuit, EmitStyle::CliffordT);
+    println!(
+        "after folding:  {} gates, T count {}, CX count {}",
+        folded.len(),
+        folded.t_count(),
+        folded.two_qubit_count()
+    );
+    assert_eq!(folded.two_qubit_count(), circuit.two_qubit_count());
+
+    // Stage 2: GUOQ reduces CX without increasing T (lexicographic cost).
+    let opts = GuoqOpts {
+        budget: Budget::Time(Duration::from_millis(budget_ms)),
+        eps_total: 1e-7,
+        seed: 3,
+        ..Default::default()
+    };
+    let result = Guoq::for_gate_set(set, opts).optimize(&folded, &TThenCx);
+    println!(
+        "after GUOQ:     {} gates, T count {}, CX count {}",
+        result.circuit.len(),
+        result.circuit.t_count(),
+        result.circuit.two_qubit_count()
+    );
+    assert!(result.circuit.t_count() <= folded.t_count(), "T must not grow");
+
+    let verdict = check_equivalence(&circuit, &result.circuit, 0);
+    println!("equivalence: Δ = {:.2e}", verdict.distance());
+    assert!(verdict.holds_within(1e-5));
+}

@@ -1,0 +1,46 @@
+//! Quickstart: optimize a small circuit with GUOQ.
+//!
+//! Builds the paper's running example (Fig. 4/5), runs GUOQ for a fraction
+//! of a second, and prints the before/after circuits plus the verified
+//! equivalence.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use guoq::cost::GateCount;
+use guoq::{Budget, Guoq, GuoqOpts};
+use qcir::{Circuit, Gate, GateSet};
+use qsim::check_equivalence;
+use std::f64::consts::FRAC_PI_2;
+
+fn main() {
+    // The paper's Fig. 4 circuit: Rz(π/2) q0; CX q0,q1; H q1; Rz(π/2) q0.
+    let mut circuit = Circuit::new(2);
+    circuit.push(Gate::Rz(FRAC_PI_2), &[0]);
+    circuit.push(Gate::Cx, &[0, 1]);
+    circuit.push(Gate::H, &[1]);
+    circuit.push(Gate::Rz(FRAC_PI_2), &[0]);
+
+    println!("input ({} gates):\n{circuit}", circuit.len());
+
+    let opts = GuoqOpts {
+        budget: Budget::Time(std::time::Duration::from_millis(300)),
+        eps_total: 1e-8,
+        seed: 1,
+        ..Default::default()
+    };
+    let result = Guoq::for_gate_set(GateSet::Nam, opts).optimize(&circuit, &GateCount);
+
+    println!(
+        "optimized ({} gates, ε ≤ {:.1e}, {} iterations):\n{}",
+        result.circuit.len(),
+        result.epsilon,
+        result.iterations,
+        result.circuit
+    );
+
+    let verdict = check_equivalence(&circuit, &result.circuit, 0);
+    println!("equivalence check: Δ = {:.2e}", verdict.distance());
+    assert!(verdict.holds_within(1e-6), "optimizer must preserve semantics");
+    assert!(result.circuit.len() <= 3, "Fig. 4/5 shape: 4 gates become 3");
+    println!("ok: reproduced the paper's Fig. 4/5 example");
+}

@@ -1,0 +1,74 @@
+//! Direct unitary synthesis: the "slow" System 2 on its own.
+//!
+//! Demonstrates 2-qubit CX-count escalation (finds the minimal CX count
+//! for SWAP and CX targets), 3-qubit QSearch-style structure search, and
+//! finite-set (Clifford+T) synthesis.
+//!
+//! Run with: `cargo run --release --example resynthesis`
+
+use qcir::{Circuit, Gate, GateSet};
+use qmath::random::random_unitary;
+use qsynth::continuous::{synthesize_2q, synthesize_3q, SynthOpts};
+use qsynth::finite::{synthesize_finite, FiniteSynthOpts};
+use qsynth::Resynthesizer;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let opts = SynthOpts::default();
+
+    println!("-- 2-qubit CX-count escalation --");
+    for (name, target) in [
+        ("identity-like (U⊗V)", {
+            let u = random_unitary(2, &mut rng);
+            let v = random_unitary(2, &mut rng);
+            u.kron(&v)
+        }),
+        ("CX", qmath::gates::cx()),
+        ("SWAP", qmath::gates::swap()),
+        ("random SU(4)", random_unitary(4, &mut rng)),
+    ] {
+        let s = synthesize_2q(&target, &opts, &mut rng).expect("2q synthesis");
+        println!(
+            "  {name:<22} → {} CX, {} gates, Δ = {:.1e}",
+            s.circuit.two_qubit_count(),
+            s.circuit.len(),
+            s.distance
+        );
+    }
+
+    println!("-- 3-qubit QSearch-style search --");
+    let mut c = Circuit::new(3);
+    c.push(Gate::Cx, &[0, 1]);
+    c.push(Gate::Rz(0.6), &[1]);
+    c.push(Gate::Cx, &[1, 2]);
+    c.push(Gate::Rx(0.3), &[2]);
+    let s = synthesize_3q(&c.unitary(), &opts, &mut rng).expect("3q synthesis");
+    println!(
+        "  hidden 2-CX target      → {} CX, Δ = {:.1e}",
+        s.circuit.two_qubit_count(),
+        s.distance
+    );
+
+    println!("-- finite-set (Clifford+T) synthesis --");
+    let target = qmath::gates::cz();
+    let s = synthesize_finite(&target, 2, &FiniteSynthOpts::default(), &mut rng)
+        .expect("CZ is Clifford");
+    println!("  CZ from {{H,S,T,X,CX}}   → {} gates: {s}", s.len());
+
+    println!("-- end-to-end resynthesis of a subcircuit (paper Fig. 5) --");
+    let mut fig4 = Circuit::new(2);
+    fig4.push(Gate::Rz(std::f64::consts::FRAC_PI_2), &[0]);
+    fig4.push(Gate::Cx, &[0, 1]);
+    fig4.push(Gate::H, &[1]);
+    fig4.push(Gate::Rz(std::f64::consts::FRAC_PI_2), &[0]);
+    let rs = Resynthesizer::new(GateSet::Nam);
+    let out = rs.resynthesize(&fig4, 1e-8, &mut rng).expect("resynthesis");
+    println!(
+        "  4 gates → {} gates (ε = {:.1e}):\n{}",
+        out.circuit.len(),
+        out.epsilon,
+        out.circuit
+    );
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the GUOQ reproduction workspace.
+//!
+//! Re-exports the public crates so the examples and integration tests can
+//! use a single dependency. See the individual crates for the actual APIs:
+//!
+//! * [`qmath`] — complex linear algebra and distance metrics
+//! * [`qcir`] — circuit IR, gate sets, rebasing, QASM I/O
+//! * [`qsim`] — statevector simulation and equivalence checking
+//! * [`qrewrite`] — rewrite rules: matching, application, synthesis
+//! * [`qsynth`] — unitary synthesis (continuous and finite gate sets)
+//! * [`qfold`] — phase-polynomial rotation folding (PyZX stand-in)
+//! * [`guoq`] — the GUOQ optimizer and all baseline optimizers
+//! * [`workloads`] — benchmark circuit generators
+
+pub use guoq;
+pub use qcir;
+pub use qfold;
+pub use qmath;
+pub use qrewrite;
+pub use qsim;
+pub use qsynth;
+pub use workloads;

@@ -1,0 +1,148 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use qcir::{Circuit, Gate, GateSet, Region};
+use qsim::circuits_equivalent;
+
+/// Strategy: a random circuit over the Nam gate set on `n` qubits.
+fn nam_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..n).prop_map(|q| (Gate::H, vec![q])),
+        (0..n).prop_map(|q| (Gate::X, vec![q])),
+        ((0..n), -3.0f64..3.0).prop_map(|(q, a)| (Gate::Rz(a), vec![q])),
+        ((0..n), (0..n)).prop_filter_map("distinct", move |(a, b)| {
+            if a == b {
+                None
+            } else {
+                Some((Gate::Cx, vec![a, b]))
+            }
+        }),
+    ];
+    proptest::collection::vec(gate, 1..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n as usize);
+        for (g, qs) in gates {
+            c.push(g, &qs);
+        }
+        c
+    })
+}
+
+/// Strategy: a random Clifford+T circuit.
+fn clifford_t_circuit(n: u32, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..n).prop_map(|q| (Gate::H, vec![q])),
+        (0..n).prop_map(|q| (Gate::X, vec![q])),
+        (0..n).prop_map(|q| (Gate::T, vec![q])),
+        (0..n).prop_map(|q| (Gate::Tdg, vec![q])),
+        (0..n).prop_map(|q| (Gate::S, vec![q])),
+        (0..n).prop_map(|q| (Gate::Sdg, vec![q])),
+        ((0..n), (0..n)).prop_filter_map("distinct", move |(a, b)| {
+            if a == b {
+                None
+            } else {
+                Some((Gate::Cx, vec![a, b]))
+            }
+        }),
+    ];
+    proptest::collection::vec(gate, 1..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n as usize);
+        for (g, qs) in gates {
+            c.push(g, &qs);
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every rule pass preserves semantics on arbitrary circuits.
+    #[test]
+    fn rule_passes_preserve_semantics(c in nam_circuit(3, 24), start in 0usize..24) {
+        let rules = qrewrite::rules_for(GateSet::Nam);
+        for rule in rules.iter().take(12) {
+            if let Some((out, _)) = qrewrite::apply_rule_pass(&c, rule, start % c.len().max(1)) {
+                prop_assert!(
+                    circuits_equivalent(&c, &out, 1e-6),
+                    "rule {} broke equivalence", rule.name()
+                );
+            }
+        }
+    }
+
+    /// Region extraction/replacement round-trips exactly.
+    #[test]
+    fn region_roundtrip(c in nam_circuit(4, 30), anchor in 0usize..30, maxq in 1usize..4) {
+        let anchor = anchor % c.len();
+        if let Some(region) = Region::grow(&c, anchor, maxq) {
+            let local = region.extract(&c);
+            let replaced = region.replace(&c, &local);
+            prop_assert!(circuits_equivalent(&c, &replaced, 1e-7));
+            prop_assert_eq!(replaced.len(), c.len());
+        }
+    }
+
+    /// Rotation folding preserves semantics and never increases T.
+    #[test]
+    fn folding_sound_on_clifford_t(c in clifford_t_circuit(3, 40)) {
+        let out = qfold::fold_rotations(&c, qfold::EmitStyle::CliffordT);
+        prop_assert!(circuits_equivalent(&c, &out, 1e-6));
+        prop_assert!(out.t_count() <= c.t_count());
+        prop_assert_eq!(out.two_qubit_count(), c.two_qubit_count());
+    }
+
+    /// 1q-fusion preserves semantics on any circuit.
+    #[test]
+    fn fusion_sound(c in nam_circuit(3, 24)) {
+        if let Some(out) = qrewrite::fusion::fuse_1q_runs(&c, GateSet::Nam) {
+            prop_assert!(circuits_equivalent(&c, &out, 1e-6));
+            prop_assert!(out.len() < c.len());
+        }
+    }
+
+    /// The QASM writer/parser round-trips arbitrary circuits.
+    #[test]
+    fn qasm_roundtrip(c in nam_circuit(4, 20)) {
+        let text = qcir::qasm::to_qasm(&c);
+        let back = qcir::qasm::from_qasm(&text).unwrap();
+        prop_assert_eq!(back.len(), c.len());
+        prop_assert!(circuits_equivalent(&c, &back, 1e-6));
+    }
+
+    /// Rebasing into every continuous set preserves semantics.
+    #[test]
+    fn rebase_sound(c in nam_circuit(3, 16)) {
+        for set in [GateSet::Ibmq20, GateSet::IbmEagle, GateSet::Ionq] {
+            let r = qcir::rebase::rebase(&c, set).unwrap();
+            prop_assert!(circuits_equivalent(&c, &r, 1e-5), "{}", set);
+        }
+    }
+
+    /// GUOQ never worsens the objective and stays within the ε budget.
+    #[test]
+    fn guoq_monotone_and_bounded(c in nam_circuit(3, 20), seed in 0u64..1000) {
+        use guoq::{Guoq, GuoqOpts, Budget};
+        use guoq::cost::GateCount;
+        let opts = GuoqOpts {
+            budget: Budget::Iterations(60),
+            eps_total: 1e-6,
+            seed,
+            ..Default::default()
+        };
+        let r = Guoq::for_gate_set(GateSet::Nam, opts).optimize(&c, &GateCount);
+        prop_assert!(r.cost <= c.len() as f64);
+        prop_assert!(r.epsilon <= 1e-6);
+        prop_assert!(circuits_equivalent(&c, &r.circuit, 1e-4));
+    }
+
+    /// The statevector simulator agrees with dense unitaries.
+    #[test]
+    fn simulator_matches_unitary(c in nam_circuit(3, 16)) {
+        let u = c.unitary();
+        let sv = qsim::StateVec::from_circuit(&c);
+        // Column 0 of the unitary is the state reached from |0…0⟩.
+        for (i, amp) in sv.amplitudes().iter().enumerate() {
+            prop_assert!(amp.approx_eq(u[(i, 0)], 1e-9));
+        }
+    }
+}
