@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_knobs-f10c58eed74f4809.d: crates/bench/src/bin/ablation_knobs.rs
+
+/root/repo/target/release/deps/ablation_knobs-f10c58eed74f4809: crates/bench/src/bin/ablation_knobs.rs
+
+crates/bench/src/bin/ablation_knobs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam_channel-389a4df35561cd8d.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam_channel-389a4df35561cd8d: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

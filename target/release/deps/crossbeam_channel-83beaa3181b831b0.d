@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-83beaa3181b831b0.d: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-83beaa3181b831b0.rlib: vendor/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-83beaa3181b831b0.rmeta: vendor/crossbeam-channel/src/lib.rs
+
+vendor/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-d24fbbc20bb6e5ce.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-d24fbbc20bb6e5ce: tests/end_to_end.rs
+
+tests/end_to_end.rs:

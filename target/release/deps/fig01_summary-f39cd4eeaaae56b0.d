@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_summary-f39cd4eeaaae56b0.d: crates/bench/src/bin/fig01_summary.rs
+
+/root/repo/target/release/deps/fig01_summary-f39cd4eeaaae56b0: crates/bench/src/bin/fig01_summary.rs
+
+crates/bench/src/bin/fig01_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_complementary-e4712de4ccf79bd4.d: crates/bench/src/bin/fig06_complementary.rs
+
+/root/repo/target/release/deps/fig06_complementary-e4712de4ccf79bd4: crates/bench/src/bin/fig06_complementary.rs
+
+crates/bench/src/bin/fig06_complementary.rs:

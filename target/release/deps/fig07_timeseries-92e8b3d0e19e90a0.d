@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_timeseries-92e8b3d0e19e90a0.d: crates/bench/src/bin/fig07_timeseries.rs
+
+/root/repo/target/release/deps/fig07_timeseries-92e8b3d0e19e90a0: crates/bench/src/bin/fig07_timeseries.rs
+
+crates/bench/src/bin/fig07_timeseries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_eagle-840bb7fda772c7a1.d: crates/bench/src/bin/fig08_eagle.rs
+
+/root/repo/target/release/deps/fig08_eagle-840bb7fda772c7a1: crates/bench/src/bin/fig08_eagle.rs
+
+crates/bench/src/bin/fig08_eagle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_ionq-342f9bf197101fbc.d: crates/bench/src/bin/fig09_ionq.rs
+
+/root/repo/target/release/deps/fig09_ionq-342f9bf197101fbc: crates/bench/src/bin/fig09_ionq.rs
+
+crates/bench/src/bin/fig09_ionq.rs:

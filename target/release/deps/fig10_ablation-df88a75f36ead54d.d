@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_ablation-df88a75f36ead54d.d: crates/bench/src/bin/fig10_ablation.rs
+
+/root/repo/target/release/deps/fig10_ablation-df88a75f36ead54d: crates/bench/src/bin/fig10_ablation.rs
+
+crates/bench/src/bin/fig10_ablation.rs:

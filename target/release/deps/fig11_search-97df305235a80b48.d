@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_search-97df305235a80b48.d: crates/bench/src/bin/fig11_search.rs
+
+/root/repo/target/release/deps/fig11_search-97df305235a80b48: crates/bench/src/bin/fig11_search.rs
+
+crates/bench/src/bin/fig11_search.rs:

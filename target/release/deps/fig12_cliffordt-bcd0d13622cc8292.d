@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_cliffordt-bcd0d13622cc8292.d: crates/bench/src/bin/fig12_cliffordt.rs
+
+/root/repo/target/release/deps/fig12_cliffordt-bcd0d13622cc8292: crates/bench/src/bin/fig12_cliffordt.rs
+
+crates/bench/src/bin/fig12_cliffordt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ablation_ft-a0643024a194ce76.d: crates/bench/src/bin/fig13_ablation_ft.rs
+
+/root/repo/target/release/deps/fig13_ablation_ft-a0643024a194ce76: crates/bench/src/bin/fig13_ablation_ft.rs
+
+crates/bench/src/bin/fig13_ablation_ft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_fold_then_guoq-33bb5e87093edb28.d: crates/bench/src/bin/fig14_fold_then_guoq.rs
+
+/root/repo/target/release/deps/fig14_fold_then_guoq-33bb5e87093edb28: crates/bench/src/bin/fig14_fold_then_guoq.rs
+
+crates/bench/src/bin/fig14_fold_then_guoq.rs:

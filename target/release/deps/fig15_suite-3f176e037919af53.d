@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_suite-3f176e037919af53.d: crates/bench/src/bin/fig15_suite.rs
+
+/root/repo/target/release/deps/fig15_suite-3f176e037919af53: crates/bench/src/bin/fig15_suite.rs
+
+crates/bench/src/bin/fig15_suite.rs:

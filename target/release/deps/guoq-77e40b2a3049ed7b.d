@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/guoq-77e40b2a3049ed7b.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cost.rs crates/core/src/fidelity.rs crates/core/src/guoq.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libguoq-77e40b2a3049ed7b.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cost.rs crates/core/src/fidelity.rs crates/core/src/guoq.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/libguoq-77e40b2a3049ed7b.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cost.rs crates/core/src/fidelity.rs crates/core/src/guoq.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cost.rs:
+crates/core/src/fidelity.rs:
+crates/core/src/guoq.rs:
+crates/core/src/transform.rs:

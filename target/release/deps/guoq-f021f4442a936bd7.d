@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/guoq-f021f4442a936bd7.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cost.rs crates/core/src/fidelity.rs crates/core/src/guoq.rs crates/core/src/transform.rs
+
+/root/repo/target/release/deps/guoq-f021f4442a936bd7: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/cost.rs crates/core/src/fidelity.rs crates/core/src/guoq.rs crates/core/src/transform.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/cost.rs:
+crates/core/src/fidelity.rs:
+crates/core/src/guoq.rs:
+crates/core/src/transform.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/guoq_bench-d1f912174b966260.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libguoq_bench-d1f912174b966260.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libguoq_bench-d1f912174b966260.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guoq_bench-d82ad3b11ad8bb35.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/guoq_bench-d82ad3b11ad8bb35: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guoq_repro-4cf6338ae9092a39.d: src/lib.rs
+
+/root/repo/target/release/deps/guoq_repro-4cf6338ae9092a39: src/lib.rs
+
+src/lib.rs:

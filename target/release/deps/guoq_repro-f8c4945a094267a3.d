@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/guoq_repro-f8c4945a094267a3.d: src/lib.rs
+
+/root/repo/target/release/deps/libguoq_repro-f8c4945a094267a3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libguoq_repro-f8c4945a094267a3.rmeta: src/lib.rs
+
+src/lib.rs:

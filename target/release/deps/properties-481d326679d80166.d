@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-481d326679d80166.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-481d326679d80166: tests/properties.rs
+
+tests/properties.rs:

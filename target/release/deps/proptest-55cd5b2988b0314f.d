@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-55cd5b2988b0314f.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-55cd5b2988b0314f.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-55cd5b2988b0314f.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-c7a61ac3f1988894.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-c7a61ac3f1988894: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qcir-19669064be665288.d: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/gateset.rs crates/circuit/src/qasm.rs crates/circuit/src/rebase.rs crates/circuit/src/region.rs
+
+/root/repo/target/release/deps/libqcir-19669064be665288.rlib: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/gateset.rs crates/circuit/src/qasm.rs crates/circuit/src/rebase.rs crates/circuit/src/region.rs
+
+/root/repo/target/release/deps/libqcir-19669064be665288.rmeta: crates/circuit/src/lib.rs crates/circuit/src/circuit.rs crates/circuit/src/dag.rs crates/circuit/src/gate.rs crates/circuit/src/gateset.rs crates/circuit/src/qasm.rs crates/circuit/src/rebase.rs crates/circuit/src/region.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/circuit.rs:
+crates/circuit/src/dag.rs:
+crates/circuit/src/gate.rs:
+crates/circuit/src/gateset.rs:
+crates/circuit/src/qasm.rs:
+crates/circuit/src/rebase.rs:
+crates/circuit/src/region.rs:

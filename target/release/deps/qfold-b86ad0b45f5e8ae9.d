@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qfold-b86ad0b45f5e8ae9.d: crates/fold/src/lib.rs
+
+/root/repo/target/release/deps/libqfold-b86ad0b45f5e8ae9.rlib: crates/fold/src/lib.rs
+
+/root/repo/target/release/deps/libqfold-b86ad0b45f5e8ae9.rmeta: crates/fold/src/lib.rs
+
+crates/fold/src/lib.rs:

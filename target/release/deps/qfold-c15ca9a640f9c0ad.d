@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qfold-c15ca9a640f9c0ad.d: crates/fold/src/lib.rs
+
+/root/repo/target/release/deps/qfold-c15ca9a640f9c0ad: crates/fold/src/lib.rs
+
+crates/fold/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qmath-9d685a0d72d1e1e2.d: crates/math/src/lib.rs crates/math/src/angle.rs crates/math/src/complex.rs crates/math/src/decompose.rs crates/math/src/dist.rs crates/math/src/eigen.rs crates/math/src/gates.rs crates/math/src/matrix.rs crates/math/src/random.rs crates/math/src/statevec.rs
+
+/root/repo/target/release/deps/qmath-9d685a0d72d1e1e2: crates/math/src/lib.rs crates/math/src/angle.rs crates/math/src/complex.rs crates/math/src/decompose.rs crates/math/src/dist.rs crates/math/src/eigen.rs crates/math/src/gates.rs crates/math/src/matrix.rs crates/math/src/random.rs crates/math/src/statevec.rs
+
+crates/math/src/lib.rs:
+crates/math/src/angle.rs:
+crates/math/src/complex.rs:
+crates/math/src/decompose.rs:
+crates/math/src/dist.rs:
+crates/math/src/eigen.rs:
+crates/math/src/gates.rs:
+crates/math/src/matrix.rs:
+crates/math/src/random.rs:
+crates/math/src/statevec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qrewrite-0a970b73e0932c5f.d: crates/rewrite/src/lib.rs crates/rewrite/src/commutation.rs crates/rewrite/src/fusion.rs crates/rewrite/src/matcher.rs crates/rewrite/src/pattern.rs crates/rewrite/src/rule.rs crates/rewrite/src/rules.rs crates/rewrite/src/synthesis.rs
+
+/root/repo/target/release/deps/qrewrite-0a970b73e0932c5f: crates/rewrite/src/lib.rs crates/rewrite/src/commutation.rs crates/rewrite/src/fusion.rs crates/rewrite/src/matcher.rs crates/rewrite/src/pattern.rs crates/rewrite/src/rule.rs crates/rewrite/src/rules.rs crates/rewrite/src/synthesis.rs
+
+crates/rewrite/src/lib.rs:
+crates/rewrite/src/commutation.rs:
+crates/rewrite/src/fusion.rs:
+crates/rewrite/src/matcher.rs:
+crates/rewrite/src/pattern.rs:
+crates/rewrite/src/rule.rs:
+crates/rewrite/src/rules.rs:
+crates/rewrite/src/synthesis.rs:

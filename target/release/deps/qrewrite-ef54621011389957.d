@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qrewrite-ef54621011389957.d: crates/rewrite/src/lib.rs crates/rewrite/src/commutation.rs crates/rewrite/src/fusion.rs crates/rewrite/src/matcher.rs crates/rewrite/src/pattern.rs crates/rewrite/src/rule.rs crates/rewrite/src/rules.rs crates/rewrite/src/synthesis.rs
+
+/root/repo/target/release/deps/libqrewrite-ef54621011389957.rlib: crates/rewrite/src/lib.rs crates/rewrite/src/commutation.rs crates/rewrite/src/fusion.rs crates/rewrite/src/matcher.rs crates/rewrite/src/pattern.rs crates/rewrite/src/rule.rs crates/rewrite/src/rules.rs crates/rewrite/src/synthesis.rs
+
+/root/repo/target/release/deps/libqrewrite-ef54621011389957.rmeta: crates/rewrite/src/lib.rs crates/rewrite/src/commutation.rs crates/rewrite/src/fusion.rs crates/rewrite/src/matcher.rs crates/rewrite/src/pattern.rs crates/rewrite/src/rule.rs crates/rewrite/src/rules.rs crates/rewrite/src/synthesis.rs
+
+crates/rewrite/src/lib.rs:
+crates/rewrite/src/commutation.rs:
+crates/rewrite/src/fusion.rs:
+crates/rewrite/src/matcher.rs:
+crates/rewrite/src/pattern.rs:
+crates/rewrite/src/rule.rs:
+crates/rewrite/src/rules.rs:
+crates/rewrite/src/synthesis.rs:

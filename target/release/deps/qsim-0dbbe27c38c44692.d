@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qsim-0dbbe27c38c44692.d: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/statevector.rs
+
+/root/repo/target/release/deps/libqsim-0dbbe27c38c44692.rlib: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/statevector.rs
+
+/root/repo/target/release/deps/libqsim-0dbbe27c38c44692.rmeta: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/statevector.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/statevector.rs:

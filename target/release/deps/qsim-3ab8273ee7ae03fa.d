@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qsim-3ab8273ee7ae03fa.d: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/statevector.rs
+
+/root/repo/target/release/deps/qsim-3ab8273ee7ae03fa: crates/sim/src/lib.rs crates/sim/src/equiv.rs crates/sim/src/statevector.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/equiv.rs:
+crates/sim/src/statevector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qsynth-0d50c271f56f969b.d: crates/synth/src/lib.rs crates/synth/src/continuous.rs crates/synth/src/finite.rs crates/synth/src/instantiate.rs crates/synth/src/resynth.rs
+
+/root/repo/target/release/deps/libqsynth-0d50c271f56f969b.rlib: crates/synth/src/lib.rs crates/synth/src/continuous.rs crates/synth/src/finite.rs crates/synth/src/instantiate.rs crates/synth/src/resynth.rs
+
+/root/repo/target/release/deps/libqsynth-0d50c271f56f969b.rmeta: crates/synth/src/lib.rs crates/synth/src/continuous.rs crates/synth/src/finite.rs crates/synth/src/instantiate.rs crates/synth/src/resynth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/continuous.rs:
+crates/synth/src/finite.rs:
+crates/synth/src/instantiate.rs:
+crates/synth/src/resynth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qsynth-e76cad5e65e09bc8.d: crates/synth/src/lib.rs crates/synth/src/continuous.rs crates/synth/src/finite.rs crates/synth/src/instantiate.rs crates/synth/src/resynth.rs
+
+/root/repo/target/release/deps/qsynth-e76cad5e65e09bc8: crates/synth/src/lib.rs crates/synth/src/continuous.rs crates/synth/src/finite.rs crates/synth/src/instantiate.rs crates/synth/src/resynth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/continuous.rs:
+crates/synth/src/finite.rs:
+crates/synth/src/instantiate.rs:
+crates/synth/src/resynth.rs:

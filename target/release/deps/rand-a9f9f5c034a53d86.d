@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-a9f9f5c034a53d86.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-a9f9f5c034a53d86: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

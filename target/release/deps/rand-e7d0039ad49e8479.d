@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e7d0039ad49e8479.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e7d0039ad49e8479.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e7d0039ad49e8479.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

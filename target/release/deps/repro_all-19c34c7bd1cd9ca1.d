@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-19c34c7bd1cd9ca1.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-19c34c7bd1cd9ca1: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

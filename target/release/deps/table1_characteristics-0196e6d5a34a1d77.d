@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_characteristics-0196e6d5a34a1d77.d: crates/bench/src/bin/table1_characteristics.rs
+
+/root/repo/target/release/deps/table1_characteristics-0196e6d5a34a1d77: crates/bench/src/bin/table1_characteristics.rs
+
+crates/bench/src/bin/table1_characteristics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_gatesets-7cb44416d4f2e8ca.d: crates/bench/src/bin/table2_gatesets.rs
+
+/root/repo/target/release/deps/table2_gatesets-7cb44416d4f2e8ca: crates/bench/src/bin/table2_gatesets.rs
+
+crates/bench/src/bin/table2_gatesets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/workloads-7c850c1abb994b32.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libworkloads-7c850c1abb994b32.rlib: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libworkloads-7c850c1abb994b32.rmeta: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/suite.rs:

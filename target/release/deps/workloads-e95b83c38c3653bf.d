@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/workloads-e95b83c38c3653bf.d: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/workloads-e95b83c38c3653bf: crates/workloads/src/lib.rs crates/workloads/src/generators.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/generators.rs:
+crates/workloads/src/suite.rs:

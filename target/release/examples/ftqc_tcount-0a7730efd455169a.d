@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ftqc_tcount-0a7730efd455169a.d: examples/ftqc_tcount.rs
+
+/root/repo/target/release/examples/ftqc_tcount-0a7730efd455169a: examples/ftqc_tcount.rs
+
+examples/ftqc_tcount.rs:

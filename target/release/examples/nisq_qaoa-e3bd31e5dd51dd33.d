@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nisq_qaoa-e3bd31e5dd51dd33.d: examples/nisq_qaoa.rs
+
+/root/repo/target/release/examples/nisq_qaoa-e3bd31e5dd51dd33: examples/nisq_qaoa.rs
+
+examples/nisq_qaoa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9969aa37896c25cc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9969aa37896c25cc: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resynthesis-93335f48de38b7a7.d: examples/resynthesis.rs
+
+/root/repo/target/release/examples/resynthesis-93335f48de38b7a7: examples/resynthesis.rs
+
+examples/resynthesis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rule_synthesis-e368ae853e6fc352.d: examples/rule_synthesis.rs
+
+/root/repo/target/release/examples/rule_synthesis-e368ae853e6fc352: examples/rule_synthesis.rs
+
+examples/rule_synthesis.rs:

@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a simple median-of-samples timer instead of criterion's
+//! full statistical machinery. Output is one line per benchmark:
+//! `bench <name> ... <median> ns/iter`.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample count.
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.effective_samples(), f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.effective_samples(),
+            _parent: self,
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; calls the measured routine.
+pub struct Bencher {
+    samples: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration time over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: aim for ~2 ms per sample.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((2e-3 / once) as usize).clamp(1, 1_000_000);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / iters as f64;
+            self.results_ns.push(per_iter * 1e9);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        results_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.results_ns.is_empty() {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    b.results_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = b.results_ns[b.results_ns.len() / 2];
+    println!("bench {name:<40} {median:>14.1} ns/iter");
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam-channel`, backed by
+//! `std::sync::mpsc::sync_channel`.
+//!
+//! Only the subset the workspace uses is provided: [`bounded`] channels
+//! with blocking [`Sender::send`]/[`Receiver::recv`] and non-blocking
+//! [`Receiver::try_recv`].
+
+use std::sync::mpsc;
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+/// The sending half of a bounded channel.
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+/// The receiving half of a bounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued; errors when disconnected.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; errors when disconnected and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    /// Returns immediately with a message, `Empty`, or `Disconnected`.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+}
+
+/// Creates a bounded channel with capacity `cap`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = bounded::<u64>(1);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        while let Ok(v) = rx.recv() {
+            sum += v;
+        }
+        h.join().unwrap();
+        assert_eq!(sum, 45);
+    }
+}
