@@ -3,9 +3,9 @@
 //! * the resynthesis weight (paper §5.3 fixes it at 1.5%), and
 //! * the acceptance temperature `t` (paper §6: sweep 0 → 10, chose 10).
 
-use guoq_bench::HarnessOpts;
 use guoq::cost::TwoQubitCount;
 use guoq::{Budget, Guoq, GuoqOpts};
+use guoq_bench::HarnessOpts;
 use qcir::{rebase::rebase, GateSet};
 
 fn main() {

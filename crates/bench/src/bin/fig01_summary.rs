@@ -3,8 +3,8 @@
 //!
 //! Paper shape: GUOQ better-or-match on 80–97% of benchmarks per tool.
 
-use guoq_bench::*;
 use guoq::cost::TwoQubitCount;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {
@@ -28,7 +28,11 @@ fn main() {
         &[("2q-reduction", two_qubit_reduction)],
         opts.budget,
     );
-    print_figure(&cmp, 0, "Fig. 1 — GUOQ vs. state-of-the-art (ibmq20, 2q reduction)");
+    print_figure(
+        &cmp,
+        0,
+        "Fig. 1 — GUOQ vs. state-of-the-art (ibmq20, 2q reduction)",
+    );
     println!();
     println!("paper reference: GUOQ better/match vs Qiskit 94.3%, TKET 87.9%, VOQC 88.3%,");
     println!("                 BQSKit 87.0%, QUESO 97.2%, Quartz 96.0%, Quarl* 80.2%");

@@ -5,9 +5,9 @@
 //! 6b: a deep 2-qubit Rz/CX comb — one resynthesis call collapses it; the
 //! rewrite path needs a long, specific rule sequence.
 
-use guoq_bench::HarnessOpts;
 use guoq::cost::TwoQubitCount;
 use guoq::{Budget, Guoq, GuoqOpts};
+use guoq_bench::HarnessOpts;
 use qcir::{rebase::rebase, Circuit, Gate, GateSet};
 
 fn ladder_with_inverse(n: usize) -> Circuit {

@@ -4,9 +4,9 @@
 //! Paper shape: rewrites plateau early; resynthesis alone moves slowly;
 //! the combination escapes the plateau and wins.
 
-use guoq_bench::HarnessOpts;
 use guoq::cost::TwoQubitCount;
 use guoq::{Budget, Guoq, GuoqOpts};
+use guoq_bench::HarnessOpts;
 use qcir::{rebase::rebase, GateSet};
 
 fn main() {

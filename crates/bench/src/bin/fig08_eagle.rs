@@ -4,9 +4,9 @@
 //! Paper shape: GUOQ outperforms every tool on ≥ 80% (2q) / 74% (fidelity)
 //! of benchmarks; mean 2q reduction 28% vs next-best 18%.
 
-use guoq_bench::*;
 use guoq::cost::NegLogFidelity;
 use guoq::CalibrationModel;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {

@@ -5,9 +5,9 @@
 //! resynthesis-capable tools shine; GUOQ beats QUESO on ~98% of
 //! benchmarks.
 
-use guoq_bench::*;
 use guoq::baselines::*;
 use guoq::cost::TwoQubitCount;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {

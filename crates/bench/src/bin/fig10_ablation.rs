@@ -4,8 +4,8 @@
 //! Paper shape: both ablations lose; resynthesis carries most of the
 //! reduction, rewrites push it further.
 
-use guoq_bench::*;
 use guoq::cost::TwoQubitCount;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {
@@ -18,11 +18,8 @@ fn main() {
     let full = GuoqTool::new(set, GuoqMode::Full, eps, opts.seed);
     let rewrite = GuoqTool::new(set, GuoqMode::RewriteOnly, eps, opts.seed);
     let resynth = GuoqTool::new(set, GuoqMode::ResynthOnly, eps, opts.seed);
-    let tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> = vec![
-        (&full, &cost),
-        (&rewrite, &cost),
-        (&resynth, &cost),
-    ];
+    let tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> =
+        vec![(&full, &cost), (&rewrite, &cost), (&resynth, &cost)];
 
     let cmp = run_comparison(
         &suite,
@@ -30,7 +27,11 @@ fn main() {
         &[("2q-reduction", two_qubit_reduction)],
         opts.budget,
     );
-    print_figure(&cmp, 0, "Fig. 10 — unifying rewrites & resynthesis (ibmq20)");
+    print_figure(
+        &cmp,
+        0,
+        "Fig. 10 — unifying rewrites & resynthesis (ibmq20)",
+    );
     println!();
     println!("paper reference: GUOQ better/match vs GUOQ-REWRITE 226/247, vs GUOQ-RESYNTH 224/247");
 }

@@ -5,9 +5,9 @@
 //! Paper shape: tight random interleaving beats both sequential orders
 //! and the beam instantiation.
 
-use guoq_bench::*;
 use guoq::baselines::*;
 use guoq::cost::TwoQubitCount;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {
@@ -36,5 +36,7 @@ fn main() {
     );
     print_figure(&cmp, 0, "Fig. 11 — search-strategy comparison (ibmq20)");
     println!();
-    println!("paper reference: GUOQ better/match vs SEQ-RW-RS 196/247, SEQ-RS-RW 203/247, BEAM 168/247");
+    println!(
+        "paper reference: GUOQ better/match vs SEQ-RW-RS 196/247, SEQ-RS-RW 203/247, BEAM 168/247"
+    );
 }

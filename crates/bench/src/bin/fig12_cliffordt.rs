@@ -5,10 +5,10 @@
 //! Paper shape: GUOQ beats everything on CX reduction; on T reduction it
 //! beats everything except the ZX-style rotation folder (our `qfold`).
 
-use guoq_bench::*;
 use guoq::baselines::*;
 use guoq::cost::{CostFn, TWeighted};
 use guoq::Budget;
+use guoq_bench::*;
 use qcir::{Circuit, GateSet};
 
 /// PyZX stand-in: one rotation-folding pass (see DESIGN.md §3).

@@ -2,8 +2,8 @@
 //! regime rewrite rules contribute MORE than (finite-set) resynthesis,
 //! inverting the continuous-set picture of Fig. 10.
 
-use guoq_bench::*;
 use guoq::cost::TWeighted;
+use guoq_bench::*;
 use qcir::GateSet;
 
 fn main() {
@@ -16,18 +16,10 @@ fn main() {
     let full = GuoqTool::new(set, GuoqMode::Full, eps, opts.seed);
     let rewrite = GuoqTool::new(set, GuoqMode::RewriteOnly, eps, opts.seed);
     let resynth = GuoqTool::new(set, GuoqMode::ResynthOnly, eps, opts.seed);
-    let tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> = vec![
-        (&full, &cost),
-        (&rewrite, &cost),
-        (&resynth, &cost),
-    ];
+    let tools: Vec<(&dyn guoq::baselines::Optimizer, &dyn guoq::cost::CostFn)> =
+        vec![(&full, &cost), (&rewrite, &cost), (&resynth, &cost)];
 
-    let cmp = run_comparison(
-        &suite,
-        &tools,
-        &[("t-reduction", t_reduction)],
-        opts.budget,
-    );
+    let cmp = run_comparison(&suite, &tools, &[("t-reduction", t_reduction)], opts.budget);
     print_figure(&cmp, 0, "Fig. 13 — Clifford+T ablation (T reduction)");
     println!();
     println!("paper reference: vs GUOQ-REWRITE 102 better / 95 match / 50 worse;");

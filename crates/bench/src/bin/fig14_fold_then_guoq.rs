@@ -3,10 +3,10 @@
 //!
 //! Paper shape: 32% mean CX reduction on PyZX output, T preserved.
 
-use guoq_bench::*;
 use guoq::baselines::Optimizer;
 use guoq::cost::TThenCx;
 use guoq::Budget;
+use guoq_bench::*;
 use qcir::GateSet;
 use qfold::{fold_rotations, EmitStyle};
 

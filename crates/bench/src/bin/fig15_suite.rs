@@ -8,7 +8,10 @@ fn main() {
     let opts = HarnessOpts::from_args();
     for set in GateSet::ALL {
         let suite = workloads::suite(set, opts.scale);
-        println!("== Fig. 15 — suite gate counts for {set} ({} circuits) ==", suite.len());
+        println!(
+            "== Fig. 15 — suite gate counts for {set} ({} circuits) ==",
+            suite.len()
+        );
         // Log10 bins: [10^k, 10^(k+1)).
         let mut bins = [0usize; 8];
         let (mut min_g, mut max_g, mut min_q, mut max_q) = (usize::MAX, 0, usize::MAX, 0);
@@ -23,12 +26,7 @@ fn main() {
         }
         for (k, count) in bins.iter().enumerate() {
             if *count > 0 {
-                println!(
-                    "  10^{k}–10^{}: {:<4} {}",
-                    k + 1,
-                    count,
-                    "#".repeat(*count)
-                );
+                println!("  10^{k}–10^{}: {:<4} {}", k + 1, count, "#".repeat(*count));
             }
         }
         println!("  gates ∈ [{min_g}, {max_g}], qubits ∈ [{min_q}, {max_q}]");

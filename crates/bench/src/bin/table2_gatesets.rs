@@ -4,7 +4,10 @@ use qcir::GateSet;
 
 fn main() {
     println!("== Table 2 — gate sets ==");
-    println!("  {:<12} {:<34} {:<15}", "Gate set", "Gates", "Architecture");
+    println!(
+        "  {:<12} {:<34} {:<15}",
+        "Gate set", "Gates", "Architecture"
+    );
     for set in GateSet::ALL {
         println!(
             "  {:<12} {:<34} {:<15}",

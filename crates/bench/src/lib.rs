@@ -315,22 +315,26 @@ impl Optimizer for GuoqTool {
         use guoq::Guoq;
         let opts = self.opts(budget);
         match self.mode {
-            GuoqMode::Full => Guoq::for_gate_set(self.set, opts)
-                .optimize(circuit, cost)
-                .circuit,
-            GuoqMode::RewriteOnly => Guoq::rewrite_only(self.set, opts)
-                .optimize(circuit, cost)
-                .circuit,
-            GuoqMode::ResynthOnly => Guoq::resynth_only(self.set, opts)
-                .optimize(circuit, cost)
-                .circuit,
-            GuoqMode::SeqRewriteResynth => {
-                sequential_guoq(circuit, self.set, cost, SeqOrder::RewriteThenResynth, opts)
+            GuoqMode::Full => {
+                Guoq::for_gate_set(self.set, opts)
+                    .optimize(circuit, cost)
                     .circuit
             }
-            GuoqMode::SeqResynthRewrite => {
-                sequential_guoq(circuit, self.set, cost, SeqOrder::ResynthThenRewrite, opts)
+            GuoqMode::RewriteOnly => {
+                Guoq::rewrite_only(self.set, opts)
+                    .optimize(circuit, cost)
                     .circuit
+            }
+            GuoqMode::ResynthOnly => {
+                Guoq::resynth_only(self.set, opts)
+                    .optimize(circuit, cost)
+                    .circuit
+            }
+            GuoqMode::SeqRewriteResynth => {
+                sequential_guoq(circuit, self.set, cost, SeqOrder::RewriteThenResynth, opts).circuit
+            }
+            GuoqMode::SeqResynthRewrite => {
+                sequential_guoq(circuit, self.set, cost, SeqOrder::ResynthThenRewrite, opts).circuit
             }
         }
     }

@@ -4,10 +4,11 @@
 //! The order is one valid topological order of the circuit DAG; the DAG
 //! structure itself is materialized on demand by [`crate::dag::WireDag`].
 
-use crate::gate::Gate;
+use crate::gate::{Gate, GateKind};
 use qmath::statevec::{apply_gate, zero_state};
-use qmath::{C64, Mat};
+use qmath::{Mat, C64};
 use std::fmt;
+use std::ops::Range;
 
 /// A qubit index within a circuit.
 pub type Qubit = u32;
@@ -71,6 +72,61 @@ impl fmt::Display for Instruction {
     }
 }
 
+/// Cached gate statistics of a circuit, maintained incrementally.
+///
+/// Every mutation of a [`Circuit`] (push, patch, revert) updates these
+/// counters, so the hot-loop metrics ([`Circuit::two_qubit_count`],
+/// [`Circuit::t_count`], [`Circuit::kind_count`]) are O(1) instead of a
+/// scan over the instruction list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GateCounts {
+    by_kind: [u32; GateKind::COUNT],
+    multi_qubit: u32,
+    t_family: u32,
+}
+
+impl GateCounts {
+    #[inline]
+    pub(crate) fn add(&mut self, ins: &Instruction) {
+        self.by_kind[ins.gate.kind() as usize] += 1;
+        if ins.gate.arity() >= 2 {
+            self.multi_qubit += 1;
+        }
+        if matches!(ins.gate, Gate::T | Gate::Tdg) {
+            self.t_family += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, ins: &Instruction) {
+        self.by_kind[ins.gate.kind() as usize] -= 1;
+        if ins.gate.arity() >= 2 {
+            self.multi_qubit -= 1;
+        }
+        if matches!(ins.gate, Gate::T | Gate::Tdg) {
+            self.t_family -= 1;
+        }
+    }
+
+    /// Number of gates of `kind`.
+    #[inline]
+    pub fn of_kind(&self, kind: GateKind) -> usize {
+        self.by_kind[kind as usize] as usize
+    }
+
+    /// Number of gates acting on two or more qubits.
+    #[inline]
+    pub fn multi_qubit(&self) -> usize {
+        self.multi_qubit as usize
+    }
+
+    /// Number of `T`/`T†` gates.
+    #[inline]
+    pub fn t_family(&self) -> usize {
+        self.t_family as usize
+    }
+}
+
 /// A quantum circuit: `n` qubits and an ordered gate list.
 ///
 /// ```
@@ -81,10 +137,19 @@ impl fmt::Display for Instruction {
 /// assert_eq!(c.len(), 2);
 /// assert_eq!(c.two_qubit_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Circuit {
     n_qubits: usize,
     instrs: Vec<Instruction>,
+    counts: GateCounts,
+}
+
+/// Equality is structural: same qubit count, same instruction list (the
+/// cached counts are a pure function of the instructions).
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_qubits == other.n_qubits && self.instrs == other.instrs
+    }
 }
 
 impl Circuit {
@@ -93,6 +158,7 @@ impl Circuit {
         Circuit {
             n_qubits,
             instrs: Vec::new(),
+            counts: GateCounts::default(),
         }
     }
 
@@ -102,6 +168,7 @@ impl Circuit {
     ///
     /// Panics if any instruction references a qubit `≥ n_qubits`.
     pub fn from_instructions(n_qubits: usize, instrs: Vec<Instruction>) -> Self {
+        let mut counts = GateCounts::default();
         for ins in &instrs {
             for &q in ins.qubits() {
                 assert!(
@@ -109,8 +176,38 @@ impl Circuit {
                     "instruction {ins} out of range for {n_qubits} qubits"
                 );
             }
+            counts.add(ins);
         }
-        Circuit { n_qubits, instrs }
+        Circuit {
+            n_qubits,
+            instrs,
+            counts,
+        }
+    }
+
+    /// Mutable access to the cached counts (patch machinery only).
+    #[inline]
+    pub(crate) fn counts_mut(&mut self) -> &mut GateCounts {
+        &mut self.counts
+    }
+
+    /// Replaces an index range of the instruction list without touching
+    /// the cached counts (the caller has already accounted for them).
+    #[inline]
+    pub(crate) fn splice_raw(&mut self, range: Range<usize>, replacement: Vec<Instruction>) {
+        self.instrs.splice(range, replacement);
+    }
+
+    /// The cached gate statistics.
+    #[inline]
+    pub fn counts(&self) -> &GateCounts {
+        &self.counts
+    }
+
+    /// Number of gates of the given kind — O(1) from the cached counts.
+    #[inline]
+    pub fn kind_count(&self, kind: GateKind) -> usize {
+        self.counts.of_kind(kind)
     }
 
     /// Number of qubits.
@@ -144,7 +241,9 @@ impl Circuit {
                 self.n_qubits
             );
         }
-        self.instrs.push(Instruction::new(gate, qubits));
+        let ins = Instruction::new(gate, qubits);
+        self.counts.add(&ins);
+        self.instrs.push(ins);
     }
 
     /// Appends an already-built instruction.
@@ -160,6 +259,7 @@ impl Circuit {
                 self.n_qubits
             );
         }
+        self.counts.add(&ins);
         self.instrs.push(ins);
     }
 
@@ -211,25 +311,22 @@ impl Circuit {
             .rev()
             .map(|ins| Instruction::new(ins.gate.adjoint(), ins.qubits()))
             .collect();
-        Circuit {
-            n_qubits: self.n_qubits,
-            instrs,
-        }
+        Circuit::from_instructions(self.n_qubits, instrs)
     }
 
     // ---- metrics ------------------------------------------------------
 
-    /// Number of gates acting on two or more qubits.
+    /// Number of gates acting on two or more qubits — O(1), cached.
+    #[inline]
     pub fn two_qubit_count(&self) -> usize {
-        self.instrs.iter().filter(|i| i.gate.arity() >= 2).count()
+        self.counts.multi_qubit()
     }
 
-    /// Number of `T`/`T†` gates (the FTQC cost driver of §6 Q4).
+    /// Number of `T`/`T†` gates (the FTQC cost driver of §6 Q4) — O(1),
+    /// cached.
+    #[inline]
     pub fn t_count(&self) -> usize {
-        self.instrs
-            .iter()
-            .filter(|i| matches!(i.gate, Gate::T | Gate::Tdg))
-            .count()
+        self.counts.t_family()
     }
 
     /// Number of gates satisfying a predicate.

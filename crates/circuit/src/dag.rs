@@ -5,47 +5,71 @@
 //! through the gates acting on it. [`WireDag`] materializes the
 //! predecessor/successor links per wire so pattern matching and subcircuit
 //! growth can walk the DAG in O(1) per step.
+//!
+//! The DAG supports **incremental maintenance**: after computing a local
+//! edit as a [`Patch`], [`WireDag::splice`] relinks only the wires
+//! crossing the edit window instead of rebuilding all links from scratch.
+//! This is what lets the GUOQ search loop keep a single cached DAG alive
+//! across thousands of iterations.
 
 use crate::circuit::{Circuit, Qubit};
+use crate::edit::Patch;
+
+/// Sentinel for "no link" in the packed index arrays.
+const NONE: u32 = u32::MAX;
+
+#[inline]
+fn unpack(v: u32) -> Option<usize> {
+    if v == NONE {
+        None
+    } else {
+        Some(v as usize)
+    }
+}
 
 /// Per-wire predecessor/successor links for every instruction of a circuit.
-#[derive(Debug, Clone)]
+///
+/// Links are stored as packed `u32` indices (`u32::MAX` = none), keeping
+/// the arrays small enough that the index-shift pass of [`Self::splice`]
+/// is a tight linear scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireDag {
-    /// `next[i][s]`: the index of the next instruction on the wire used by
+    /// `next[i][s]`: index of the next instruction on the wire used by
     /// operand slot `s` of instruction `i`.
-    next: Vec<[Option<usize>; 3]>,
+    next: Vec<[u32; 3]>,
     /// `prev[i][s]`: same, for the previous instruction on that wire.
-    prev: Vec<[Option<usize>; 3]>,
+    prev: Vec<[u32; 3]>,
     /// First instruction on each qubit wire.
-    first: Vec<Option<usize>>,
+    first: Vec<u32>,
     /// Last instruction on each qubit wire.
-    last: Vec<Option<usize>>,
+    last: Vec<u32>,
 }
 
 impl WireDag {
     /// Builds the DAG links for `circuit` in a single pass.
+    ///
+    /// Tracks `(instruction, slot)` per wire while scanning, so each link
+    /// is set in O(1) — no re-scan of the predecessor's operand list.
     pub fn build(circuit: &Circuit) -> Self {
         let n = circuit.len();
-        let mut next = vec![[None; 3]; n];
-        let mut prev = vec![[None; 3]; n];
-        let mut first = vec![None; circuit.num_qubits()];
-        let mut last: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        let nq = circuit.num_qubits();
+        let mut next = vec![[NONE; 3]; n];
+        let mut prev = vec![[NONE; 3]; n];
+        let mut first = vec![NONE; nq];
+        let mut last = vec![NONE; nq];
+        let mut last_slot = vec![0u8; nq];
         for (i, ins) in circuit.iter().enumerate() {
             for (slot, &q) in ins.qubits().iter().enumerate() {
                 let q = q as usize;
-                if let Some(p) = last[q] {
-                    prev[i][slot] = Some(p);
-                    // Find the slot of q in instruction p.
-                    let pslot = circuit.instructions()[p]
-                        .qubits()
-                        .iter()
-                        .position(|&pq| pq as usize == q)
-                        .expect("wire bookkeeping out of sync");
-                    next[p][pslot] = Some(i);
+                let p = last[q];
+                if p != NONE {
+                    prev[i][slot] = p;
+                    next[p as usize][last_slot[q] as usize] = i as u32;
                 } else {
-                    first[q] = Some(i);
+                    first[q] = i as u32;
                 }
-                last[q] = Some(i);
+                last[q] = i as u32;
+                last_slot[q] = slot as u8;
             }
         }
         WireDag {
@@ -54,6 +78,18 @@ impl WireDag {
             first,
             last,
         }
+    }
+
+    /// Number of instructions the DAG currently covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// True when the DAG covers no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
     }
 
     /// Index of the next instruction after `i` on wire `q`.
@@ -69,7 +105,7 @@ impl WireDag {
             .iter()
             .position(|&x| x == q)
             .unwrap_or_else(|| panic!("instruction {i} does not act on qubit {q}"));
-        self.next[i][slot]
+        unpack(self.next[i][slot])
     }
 
     /// Index of the previous instruction before `i` on wire `q`.
@@ -83,22 +119,22 @@ impl WireDag {
             .iter()
             .position(|&x| x == q)
             .unwrap_or_else(|| panic!("instruction {i} does not act on qubit {q}"));
-        self.prev[i][slot]
+        unpack(self.prev[i][slot])
     }
 
     /// First instruction on wire `q`, if any gate acts on it.
     pub fn first_on_wire(&self, q: Qubit) -> Option<usize> {
-        self.first[q as usize]
+        unpack(self.first[q as usize])
     }
 
     /// Last instruction on wire `q`, if any gate acts on it.
     pub fn last_on_wire(&self, q: Qubit) -> Option<usize> {
-        self.last[q as usize]
+        unpack(self.last[q as usize])
     }
 
     /// All DAG successors of instruction `i` (one per wire, deduplicated).
     pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        let mut seen: Vec<usize> = self.next[i].iter().flatten().copied().collect();
+        let mut seen: Vec<usize> = self.next[i].iter().filter_map(|&v| unpack(v)).collect();
         seen.sort_unstable();
         seen.dedup();
         seen.into_iter()
@@ -106,16 +142,178 @@ impl WireDag {
 
     /// All DAG predecessors of instruction `i` (one per wire, deduplicated).
     pub fn predecessors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        let mut seen: Vec<usize> = self.prev[i].iter().flatten().copied().collect();
+        let mut seen: Vec<usize> = self.prev[i].iter().filter_map(|&v| unpack(v)).collect();
         seen.sort_unstable();
         seen.dedup();
         seen.into_iter()
+    }
+
+    /// Incrementally updates the DAG for a patch **about to be applied**
+    /// to `circuit` (which must still be in its pre-patch state, matching
+    /// this DAG).
+    ///
+    /// Only the wires crossing the patch window are relinked — O(window)
+    /// link work, plus a tight linear index-shift scan when the patch
+    /// changes the instruction count. After this call the DAG matches
+    /// `circuit.apply_patch(&patch)`.
+    ///
+    /// Returns `false` (leaving the DAG **unchanged**) when a replacement
+    /// instruction acts on a wire untouched by the edit window. No patch
+    /// producer in this workspace does that — replacements stay within
+    /// the wires of the gates they replace — but callers must then apply
+    /// the patch and [`Self::build`] from scratch.
+    #[must_use]
+    pub fn splice(&mut self, circuit: &Circuit, patch: &Patch) -> bool {
+        debug_assert_eq!(self.len(), circuit.len(), "DAG out of sync with circuit");
+        let (wlo, whi) = patch.window();
+        let delta = patch.len_delta();
+        let instrs = circuit.instructions();
+
+        // Per-wire boundary bookkeeping for wires touched by the window.
+        #[derive(Clone, Copy)]
+        struct WireState {
+            /// First instruction after the window (pre-patch index).
+            after: u32,
+            /// Rewiring cursor: the most recent instruction on this wire.
+            /// Starts at the last instruction before the window (whose
+            /// post-index equals its pre-index, since it is < wlo) and
+            /// advances over the new window contents (post indices).
+            cursor: u32,
+            cursor_slot: u8,
+        }
+        // Edits are local: a handful of wires — linear scan over a small
+        // vec beats a hash map here.
+        let mut wires: Vec<(Qubit, WireState)> = Vec::new();
+
+        for (i, ins) in instrs.iter().enumerate().take(whi).skip(wlo) {
+            for (slot, &q) in ins.qubits().iter().enumerate() {
+                match wires.iter_mut().find(|(w, _)| *w == q) {
+                    None => {
+                        let before = self.prev[i][slot];
+                        debug_assert!(before == NONE || (before as usize) < wlo);
+                        let before_slot = if before == NONE {
+                            0
+                        } else {
+                            instrs[before as usize]
+                                .qubits()
+                                .iter()
+                                .position(|&x| x == q)
+                                .expect("wire bookkeeping out of sync")
+                                as u8
+                        };
+                        wires.push((
+                            q,
+                            WireState {
+                                after: self.next[i][slot],
+                                cursor: before,
+                                cursor_slot: before_slot,
+                            },
+                        ));
+                    }
+                    Some((_, st)) => {
+                        // Later occurrence: its next-link is the freshest
+                        // candidate for the after-boundary.
+                        st.after = self.next[i][slot];
+                    }
+                }
+            }
+        }
+        debug_assert!(wires
+            .iter()
+            .all(|(_, st)| st.after == NONE || st.after as usize >= whi));
+
+        // Replacement wires must be covered by the window's wires.
+        for ins in patch.replacement() {
+            for &q in ins.qubits() {
+                if !wires.iter().any(|(w, _)| *w == q) {
+                    return false;
+                }
+            }
+        }
+
+        // Resize the link arrays: clear the window, keep everything else.
+        let new_window_len = (whi - wlo) + patch.replacement().len() - patch.removed().len();
+        self.next
+            .splice(wlo..whi, std::iter::repeat_n([NONE; 3], new_window_len));
+        self.prev
+            .splice(wlo..whi, std::iter::repeat_n([NONE; 3], new_window_len));
+
+        // Index-shift pass: links and endpoints at/after the old window
+        // end move by `delta`. Values inside the window were either
+        // cleared above or belong to boundary nodes and are rewritten in
+        // the stitching pass below.
+        if delta != 0 {
+            let whi32 = whi as u32;
+            let shift = |v: &mut u32| {
+                if *v != NONE && *v >= whi32 {
+                    *v = (*v as i64 + delta as i64) as u32;
+                }
+            };
+            for row in self.next.iter_mut().chain(self.prev.iter_mut()) {
+                row.iter_mut().for_each(&shift);
+            }
+            self.first.iter_mut().for_each(&shift);
+            self.last.iter_mut().for_each(&shift);
+        }
+
+        // Rewire the new window contents. `Patch::visit_window` is the
+        // single definition of the emission order, shared with
+        // `Circuit::apply_patch`, so the DAG and the instruction list
+        // cannot disagree about where the replacement lands.
+        let mut j = wlo; // next post-patch index to assign
+        patch.visit_window(circuit, |ins| {
+            for (slot, &q) in ins.qubits().iter().enumerate() {
+                let (_, st) = wires
+                    .iter_mut()
+                    .find(|(w, _)| *w == q)
+                    .expect("window wire not collected");
+                if st.cursor != NONE {
+                    self.prev[j][slot] = st.cursor;
+                    self.next[st.cursor as usize][st.cursor_slot as usize] = j as u32;
+                } else {
+                    self.first[q as usize] = j as u32;
+                }
+                st.cursor = j as u32;
+                st.cursor_slot = slot as u8;
+            }
+            j += 1;
+        });
+        debug_assert_eq!(j, wlo + new_window_len);
+
+        // Stitch each wire's tail to its after-boundary (or terminate it).
+        for (q, st) in &wires {
+            if st.after != NONE {
+                // Post-patch index of the after-boundary instruction.
+                let a_new = (st.after as i64 + delta as i64) as usize;
+                let a_slot = instrs[st.after as usize]
+                    .qubits()
+                    .iter()
+                    .position(|&x| x == *q)
+                    .expect("wire bookkeeping out of sync");
+                if st.cursor != NONE {
+                    self.next[st.cursor as usize][st.cursor_slot as usize] = a_new as u32;
+                    self.prev[a_new][a_slot] = st.cursor;
+                } else {
+                    self.prev[a_new][a_slot] = NONE;
+                    self.first[*q as usize] = a_new as u32;
+                }
+            } else if st.cursor != NONE {
+                self.next[st.cursor as usize][st.cursor_slot as usize] = NONE;
+                self.last[*q as usize] = st.cursor;
+            } else {
+                // The wire lost all of its gates.
+                self.first[*q as usize] = NONE;
+                self.last[*q as usize] = NONE;
+            }
+        }
+        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::circuit::Instruction;
     use crate::gate::Gate;
 
     fn sample() -> Circuit {
@@ -159,5 +357,79 @@ mod tests {
         let c = Circuit::new(4);
         let d = WireDag::build(&c);
         assert_eq!(d.first_on_wire(3), None);
+    }
+
+    fn check_splice(c: &Circuit, patch: &Patch) {
+        let mut dag = WireDag::build(c);
+        let mut after = c.clone();
+        assert!(dag.splice(&after, patch), "replacement wires not covered");
+        after.apply_patch(patch);
+        assert_eq!(
+            dag,
+            WireDag::build(&after),
+            "incremental splice diverged from rebuild for {patch:?}"
+        );
+    }
+
+    #[test]
+    fn splice_matches_rebuild_remove_middle() {
+        let c = sample();
+        check_splice(&c, &Patch::new(vec![1, 3], Vec::new(), 1));
+    }
+
+    #[test]
+    fn splice_matches_rebuild_replace() {
+        let c = sample();
+        check_splice(
+            &c,
+            &Patch::new(
+                vec![1],
+                vec![
+                    Instruction::new(Gate::Rz(0.3), &[0]),
+                    Instruction::new(Gate::Cz, &[0, 1]),
+                ],
+                1,
+            ),
+        );
+    }
+
+    #[test]
+    fn splice_matches_rebuild_remove_all_on_wire() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]); // 0
+        c.push(Gate::X, &[1]); // 1
+        c.push(Gate::H, &[0]); // 2
+        check_splice(&c, &Patch::new(vec![1], Vec::new(), 1));
+    }
+
+    #[test]
+    fn splice_matches_rebuild_at_edges() {
+        let c = sample();
+        check_splice(&c, &Patch::new(vec![0], Vec::new(), 0));
+        check_splice(&c, &Patch::new(vec![4], Vec::new(), 4));
+        check_splice(
+            &c,
+            &Patch::new(vec![0, 4], vec![Instruction::new(Gate::S, &[0])], 0),
+        );
+    }
+
+    #[test]
+    fn splice_same_size_patch() {
+        let c = sample();
+        check_splice(
+            &c,
+            &Patch::new(vec![3], vec![Instruction::new(Gate::Cz, &[1, 2])], 3),
+        );
+    }
+
+    #[test]
+    fn splice_rejects_uncovered_replacement_wire() {
+        let c = sample();
+        let mut dag = WireDag::build(&c);
+        // Replacement touches wire 2 but the window only covers wire 0.
+        let patch = Patch::new(vec![0], vec![Instruction::new(Gate::X, &[2])], 0);
+        let snapshot = dag.clone();
+        assert!(!dag.splice(&c, &patch));
+        assert_eq!(dag, snapshot, "failed splice must leave the DAG unchanged");
     }
 }

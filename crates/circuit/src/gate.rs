@@ -178,11 +178,7 @@ impl Gate {
             Ry(a) => Ry(-a),
             Rz(a) => Rz(-a),
             P(a) => P(-a),
-            U2(a, b) => U3(
-                -std::f64::consts::FRAC_PI_2,
-                -b,
-                -a,
-            ),
+            U2(a, b) => U3(-std::f64::consts::FRAC_PI_2, -b, -a),
             U3(a, b, c) => U3(-a, -c, -b),
             Cp(a) => Cp(-a),
             Crz(a) => Crz(-a),
@@ -319,7 +315,14 @@ impl Gate {
     }
 }
 
+// Compile-time guard: adding a GateKind variant must bump COUNT, or every
+// dense per-kind table (e.g. `GateCounts`) would index out of bounds.
+const _: () = assert!(GateKind::Ccz as usize + 1 == GateKind::COUNT);
+
 impl GateKind {
+    /// Number of distinct gate kinds (for dense per-kind tables).
+    pub const COUNT: usize = 26;
+
     /// Number of qubits gates of this kind act on.
     pub fn arity(self) -> usize {
         self.with_params(&vec![0.0; self.num_params()])

@@ -3,9 +3,13 @@
 //! The crate provides:
 //!
 //! * [`Gate`]: the gate alphabet covering all five evaluation gate sets
-//! * [`Circuit`] / [`Instruction`]: the ordered-list IR with metrics and
-//!   dense-unitary semantics
-//! * [`dag::WireDag`]: per-wire DAG links for pattern matching
+//! * [`Circuit`] / [`Instruction`]: the ordered-list IR with O(1) cached
+//!   gate-count metrics and dense-unitary semantics
+//! * [`edit::Patch`]: local edits with in-place
+//!   [`Circuit::apply_patch`]/[`Circuit::revert_patch`] — the substrate
+//!   of the incremental optimizer loop
+//! * [`dag::WireDag`]: per-wire DAG links for pattern matching, with
+//!   incremental [`dag::WireDag::splice`] maintenance under patches
 //! * [`region::Region`]: convex subcircuits — extraction and sound
 //!   replacement (the substrate for both rewrite application and
 //!   resynthesis)
@@ -29,13 +33,15 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod edit;
 pub mod gate;
 pub mod gateset;
 pub mod qasm;
 pub mod rebase;
 pub mod region;
 
-pub use circuit::{Circuit, Instruction, Qubit};
+pub use circuit::{Circuit, GateCounts, Instruction, Qubit};
+pub use edit::{Patch, PatchUndo};
 pub use gate::{Gate, GateKind};
 pub use gateset::GateSet;
 pub use region::Region;

@@ -12,8 +12,8 @@ use qmath::angle::{normalize, pi4_multiple_of, ANGLE_TOL};
 use qmath::decompose::u3_params;
 use qmath::Mat;
 use std::error::Error;
-use std::fmt;
 use std::f64::consts::{FRAC_PI_2, PI};
+use std::fmt;
 
 /// Error produced when a gate cannot be expressed in the target set.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,11 +91,7 @@ fn structural_lowering(g: Gate, q: &[Qubit]) -> Option<Vec<Instruction>> {
     use Gate::*;
     let i = |gate: Gate, qs: &[Qubit]| Instruction::new(gate, qs);
     let seq = match g {
-        Cz => vec![
-            i(H, &[q[1]]),
-            i(Cx, &[q[0], q[1]]),
-            i(H, &[q[1]]),
-        ],
+        Cz => vec![i(H, &[q[1]]), i(Cx, &[q[0], q[1]]), i(H, &[q[1]])],
         Cp(l) => vec![
             i(P(l / 2.0), &[q[0]]),
             i(Cx, &[q[0], q[1]]),
@@ -212,10 +208,7 @@ fn emit_1q(u: &Mat, qubit: Qubit, set: GateSet, out: &mut Circuit) -> Result<(),
             } else if (theta - FRAC_PI_2).abs() < ANGLE_TOL {
                 out.push(Gate::U2(normalize(phi), normalize(lambda)), &[qubit]);
             } else {
-                out.push(
-                    Gate::U3(theta, normalize(phi), normalize(lambda)),
-                    &[qubit],
-                );
+                out.push(Gate::U3(theta, normalize(phi), normalize(lambda)), &[qubit]);
             }
             Ok(())
         }
@@ -383,10 +376,7 @@ mod tests {
                 c.push(g, &[0]);
             }
             let target = qmath::gates::rz(k as f64 * FRAC_PI_4);
-            assert!(
-                hs_distance(&c.unitary(), &target) < 1e-7,
-                "k = {k}"
-            );
+            assert!(hs_distance(&c.unitary(), &target) < 1e-7, "k = {k}");
         }
     }
 

@@ -137,8 +137,7 @@ impl Region {
 
         // Shrink the window so it starts and ends with member gates (the
         // disjoint padding at the edges carries no information).
-        let is_member =
-            |j: usize| classify(instrs[j].qubits(), &qubits) == Overlap::Inside;
+        let is_member = |j: usize| classify(instrs[j].qubits(), &qubits) == Overlap::Inside;
         while lo < hi && !is_member(lo) {
             lo += 1;
         }
@@ -237,9 +236,8 @@ impl Region {
             }
         }
         // Shrink so the window ends on a member gate.
-        let is_member = |k: usize| {
-            !excluded[k] && classify(instrs[k].qubits(), &qubits) == Overlap::Inside
-        };
+        let is_member =
+            |k: usize| !excluded[k] && classify(instrs[k].qubits(), &qubits) == Overlap::Inside;
         while hi > lo && !is_member(hi) {
             hi -= 1;
         }
@@ -250,7 +248,12 @@ impl Region {
     ///
     /// Returns `None` if some instruction in the window acts on the qubit
     /// set only partially.
-    pub fn from_window(circuit: &Circuit, qubits: Vec<Qubit>, lo: usize, hi: usize) -> Option<Region> {
+    pub fn from_window(
+        circuit: &Circuit,
+        qubits: Vec<Qubit>,
+        lo: usize,
+        hi: usize,
+    ) -> Option<Region> {
         if hi >= circuit.len() || lo > hi {
             return None;
         }
@@ -425,10 +428,7 @@ mod tests {
         let replaced = r.replace(&c, &local);
         assert!(hs_distance(&replaced.unitary(), &c.unitary()) < 1e-7);
         // The spectator T on qubit 3 must survive.
-        assert_eq!(
-            replaced.count_where(|i| matches!(i.gate, Gate::T)),
-            1
-        );
+        assert_eq!(replaced.count_where(|i| matches!(i.gate, Gate::T)), 1);
     }
 
     #[test]

@@ -323,8 +323,7 @@ impl Optimizer for BeamSearch {
         let started = Instant::now();
         let mut rng = SmallRng::seed_from_u64(self.seed);
         // Candidates carry their accumulated ε (Thm. 4.2 accounting).
-        let mut beam: Vec<(f64, Circuit, f64)> =
-            vec![(cost.cost(circuit), circuit.clone(), 0.0)];
+        let mut beam: Vec<(f64, Circuit, f64)> = vec![(cost.cost(circuit), circuit.clone(), 0.0)];
         let mut best = beam[0].clone();
         let mut iterations = 0u64;
         loop {
@@ -430,7 +429,7 @@ impl Optimizer for BanditRewriter {
                 break;
             }
             // Periodic rotation folding (Quarl runs with rotation merging).
-            if iterations % 64 == 0 && self.set.is_continuous() {
+            if iterations.is_multiple_of(64) && self.set.is_continuous() {
                 let folded = fold_rotations(&curr, EmitStyle::Rz);
                 if cost.cost(&folded) <= cost_curr && self.set != GateSet::Ibmq20 {
                     cost_curr = cost.cost(&folded);
@@ -598,7 +597,11 @@ mod tests {
         ] {
             let p = PipelineOptimizer::new(GateSet::Nam, preset);
             let c = messy();
-            let out = p.optimize(&c, &GateCount, Budget::Time(std::time::Duration::from_secs(5)));
+            let out = p.optimize(
+                &c,
+                &GateCount,
+                Budget::Time(std::time::Duration::from_secs(5)),
+            );
             assert!(out.len() < c.len(), "{preset:?}");
             assert!(qsim::circuits_equivalent(&c, &out, 1e-6), "{preset:?}");
         }
@@ -622,7 +625,11 @@ mod tests {
     fn partition_resynth_improves() {
         let p = PartitionResynth::new(GateSet::Nam, 1e-6, 3);
         let c = messy();
-        let out = p.optimize(&c, &TwoQubitCount, Budget::Time(std::time::Duration::from_secs(20)));
+        let out = p.optimize(
+            &c,
+            &TwoQubitCount,
+            Budget::Time(std::time::Duration::from_secs(20)),
+        );
         assert!(out.two_qubit_count() <= c.two_qubit_count());
         assert!(qsim::circuits_equivalent(&c, &out, 1e-4));
     }

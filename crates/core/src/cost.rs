@@ -6,7 +6,38 @@
 //! under a device calibration model (§6 metrics).
 
 use crate::fidelity::CalibrationModel;
+use qcir::edit::Patch;
 use qcir::{Circuit, Gate};
+
+/// Gate-statistic changes a patch would cause: `(Δ gate count,
+/// Δ multi-qubit count, Δ T-family count)`.
+///
+/// O(edit span): only the removed and replacement instructions are
+/// inspected, never the rest of the circuit.
+pub fn patch_count_deltas(circuit: &Circuit, patch: &Patch) -> (isize, isize, isize) {
+    let instrs = circuit.instructions();
+    let d_len = patch.replacement().len() as isize - patch.removed().len() as isize;
+    let mut d_multi = 0isize;
+    let mut d_t = 0isize;
+    for &i in patch.removed() {
+        let g = instrs[i].gate;
+        if g.arity() >= 2 {
+            d_multi -= 1;
+        }
+        if matches!(g, Gate::T | Gate::Tdg) {
+            d_t -= 1;
+        }
+    }
+    for ins in patch.replacement() {
+        if ins.gate.arity() >= 2 {
+            d_multi += 1;
+        }
+        if matches!(ins.gate, Gate::T | Gate::Tdg) {
+            d_t += 1;
+        }
+    }
+    (d_len, d_multi, d_t)
+}
 
 /// An optimization objective: smaller is better.
 pub trait CostFn: Send + Sync {
@@ -15,6 +46,18 @@ pub trait CostFn: Send + Sync {
 
     /// Short display name.
     fn name(&self) -> &'static str;
+
+    /// The cost change `cost(circuit ⊕ patch) − cost(circuit)` a patch
+    /// would cause, **without** applying it.
+    ///
+    /// The default implementation materializes a patched clone — correct
+    /// for any objective but O(circuit). Every shipped objective
+    /// overrides it with an O(edit span) computation from the patch
+    /// alone; custom structure-dependent objectives (e.g. depth-based)
+    /// can rely on the default.
+    fn delta(&self, circuit: &Circuit, patch: &Patch) -> f64 {
+        self.cost(&circuit.with_patch(patch)) - self.cost(circuit)
+    }
 }
 
 /// Minimize the number of multi-qubit gates (the NISQ objective).
@@ -28,6 +71,10 @@ impl CostFn for TwoQubitCount {
     fn name(&self) -> &'static str {
         "2q-count"
     }
+    fn delta(&self, circuit: &Circuit, patch: &Patch) -> f64 {
+        let (_, d_multi, _) = patch_count_deltas(circuit, patch);
+        d_multi as f64
+    }
 }
 
 /// Minimize total gate count.
@@ -40,6 +87,9 @@ impl CostFn for GateCount {
     }
     fn name(&self) -> &'static str {
         "gate-count"
+    }
+    fn delta(&self, _circuit: &Circuit, patch: &Patch) -> f64 {
+        patch.len_delta() as f64
     }
 }
 
@@ -64,11 +114,14 @@ impl Default for TWeighted {
 
 impl CostFn for TWeighted {
     fn cost(&self, circuit: &Circuit) -> f64 {
-        self.t_weight * circuit.t_count() as f64
-            + self.cx_weight * circuit.two_qubit_count() as f64
+        self.t_weight * circuit.t_count() as f64 + self.cx_weight * circuit.two_qubit_count() as f64
     }
     fn name(&self) -> &'static str {
         "t-weighted"
+    }
+    fn delta(&self, circuit: &Circuit, patch: &Patch) -> f64 {
+        let (_, d_multi, d_t) = patch_count_deltas(circuit, patch);
+        self.t_weight * d_t as f64 + self.cx_weight * d_multi as f64
     }
 }
 
@@ -86,6 +139,10 @@ impl CostFn for TThenCx {
     fn name(&self) -> &'static str {
         "t-then-cx"
     }
+    fn delta(&self, circuit: &Circuit, patch: &Patch) -> f64 {
+        let (_, d_multi, d_t) = patch_count_deltas(circuit, patch);
+        1e6 * d_t as f64 + d_multi as f64
+    }
 }
 
 /// Negative log-fidelity under a calibration model (maximizing fidelity).
@@ -101,6 +158,13 @@ impl CostFn for NegLogFidelity {
     }
     fn name(&self) -> &'static str {
         "neg-log-fidelity"
+    }
+    fn delta(&self, circuit: &Circuit, patch: &Patch) -> f64 {
+        // Additive over gates: Σ −ln(1−e) per gate class.
+        let (d_len, d_multi, _) = patch_count_deltas(circuit, patch);
+        let d_one = d_len - d_multi;
+        -(d_one as f64 * (1.0 - self.model.single_qubit_error).ln()
+            + d_multi as f64 * (1.0 - self.model.two_qubit_error).ln())
     }
 }
 

@@ -54,8 +54,7 @@ impl CalibrationModel {
     pub fn neg_log_fidelity(&self, circuit: &Circuit) -> f64 {
         let one_q = (circuit.len() - circuit.two_qubit_count()) as f64;
         let two_q = circuit.two_qubit_count() as f64;
-        -(one_q * (1.0 - self.single_qubit_error).ln()
-            + two_q * (1.0 - self.two_qubit_error).ln())
+        -(one_q * (1.0 - self.single_qubit_error).ln() + two_q * (1.0 - self.two_qubit_error).ln())
     }
 }
 

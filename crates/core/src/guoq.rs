@@ -7,16 +7,70 @@
 //! worsening moves with probability `exp(−t·cost'/cost)`. The sum of the
 //! measured per-application errors never exceeds the global tolerance
 //! `ε_f` (Thm. 4.2 / Thm. 5.3).
+//!
+//! # Iteration engines
+//!
+//! GUOQ is an *anytime* algorithm: solution quality is a direct function
+//! of iterations per second (paper §5, Fig. 7). Two engines drive the
+//! loop:
+//!
+//! * [`Engine::Incremental`] (default) — the edit-based engine. The
+//!   search owns one working circuit inside a
+//!   [`SearchCtx`](crate::transform::SearchCtx) together with a cached
+//!   [`qcir::dag::WireDag`]. Each candidate move is produced as a
+//!   [`qcir::edit::Patch`] (a local edit: removed indices + replacement +
+//!   splice position) by the transformation's
+//!   [`apply_patch`](crate::transform::Transformation::apply_patch) path;
+//!   its cost change comes from [`CostFn::delta`] in O(edit span).
+//!   Rejected candidates are dropped without ever touching the circuit;
+//!   accepted ones are committed in place —
+//!   [`Circuit::apply_patch`](qcir::Circuit::apply_patch) plus
+//!   [`WireDag::splice`](qcir::dag::WireDag::splice) — so per-iteration
+//!   work scales with the edit, not the circuit. (The
+//!   [`Circuit::revert_patch`](qcir::Circuit::revert_patch) inverse
+//!   exists for apply-then-decide flows that must measure post-apply
+//!   quantities.)
+//! * [`Engine::CloneRebuild`] — the original loop: each candidate clones
+//!   the circuit, rebuilds the DAG and recomputes the full cost. Kept as
+//!   the differential-testing baseline and for benchmarking
+//!   (`benches/guoq_iter.rs` measures both).
+//!
+//! The *patch machinery* is differentially tested against the legacy
+//! machinery (`tests/patch_differential.rs`): every single-match patch,
+//! DAG splice, and cost delta is bit-identical to the corresponding
+//! legacy rebuild. The two *engines* are not trajectory-identical — an
+//! incremental iteration lands one local edit while a legacy iteration
+//! applies a whole pass — so per-iteration search effort differs; both
+//! are verified to preserve semantics and report drift-free costs, and
+//! the bench compares them under equal wall-clock, where quality per
+//! second is the meaningful axis for an anytime search.
 
 use crate::cost::CostFn;
 use crate::transform::{
-    Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
+    Applied, CleanupPass, CommutationPass, FusionPass, PatchApplied, ResynthPass, RulePass,
+    SearchCtx, Transformation,
 };
 use qcir::{Circuit, GateSet};
 use qsynth::{resynth::ResynthOpts, Resynthesizer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
+
+/// Which iteration engine drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Patch-based incremental engine: one working circuit, a cached
+    /// [`qcir::dag::WireDag`] spliced per accepted edit, and O(edit-span)
+    /// cost deltas. Per-iteration work scales with the edit, not the
+    /// circuit.
+    #[default]
+    Incremental,
+    /// The original clone–rebuild–rescan loop: every candidate
+    /// transformation materializes a fresh circuit, rebuilds the DAG and
+    /// recomputes the full cost. Kept as the differential-testing and
+    /// benchmarking baseline.
+    CloneRebuild,
+}
 
 /// Search budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +110,8 @@ pub struct GuoqOpts {
     /// Run resynthesis on a worker thread, interleaving rewrites while it
     /// runs, and discard interim edits when a result is accepted (§5.3).
     pub async_resynth: bool,
+    /// Iteration engine (patch-based incremental by default).
+    pub engine: Engine,
 }
 
 impl Default for GuoqOpts {
@@ -69,6 +125,7 @@ impl Default for GuoqOpts {
             seed: 0xCAFE,
             record_history: false,
             async_resynth: false,
+            engine: Engine::Incremental,
         }
     }
 }
@@ -120,11 +177,8 @@ impl Guoq {
         let mut g = Self::rewrite_only(set, opts);
         let eps = (g.opts.eps_total / 8.0).max(1e-12);
         let rs = Resynthesizer::with_opts(set, ResynthOpts::fast());
-        g.slow.push(ResynthPass::new(
-            rs,
-            g.opts.max_subcircuit_qubits,
-            eps,
-        ));
+        g.slow
+            .push(ResynthPass::new(rs, g.opts.max_subcircuit_qubits, eps));
         g
     }
 
@@ -157,11 +211,7 @@ impl Guoq {
     }
 
     /// A custom instantiation from explicit transformation pools.
-    pub fn new(
-        fast: Vec<Box<dyn Transformation>>,
-        slow: Vec<ResynthPass>,
-        opts: GuoqOpts,
-    ) -> Self {
+    pub fn new(fast: Vec<Box<dyn Transformation>>, slow: Vec<ResynthPass>, opts: GuoqOpts) -> Self {
         Guoq { fast, slow, opts }
     }
 
@@ -172,14 +222,65 @@ impl Guoq {
 
     /// Runs Algorithm 1 on `circuit` under `cost`.
     pub fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
-        if self.opts.async_resynth && !self.slow.is_empty() {
-            self.optimize_async(circuit, cost)
-        } else {
-            self.optimize_sync(circuit, cost)
+        match (
+            self.opts.engine,
+            self.opts.async_resynth && !self.slow.is_empty(),
+        ) {
+            (Engine::Incremental, false) => self.optimize_sync(circuit, cost),
+            (Engine::Incremental, true) => self.optimize_async(circuit, cost),
+            (Engine::CloneRebuild, false) => self.optimize_sync_legacy(circuit, cost),
+            (Engine::CloneRebuild, true) => self.optimize_async_legacy(circuit, cost),
         }
     }
 
+    /// The incremental driver: one working circuit and cached DAG in a
+    /// [`SearchCtx`]; candidate edits arrive as patches, are costed via
+    /// [`CostFn::delta`] in O(edit span), and only *accepted* edits touch
+    /// the circuit (committed in place — no pristine clone per
+    /// iteration, and rejected candidates cost nothing to discard).
     fn optimize_sync(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
+        let started = Instant::now();
+        let mut state = IncrementalState::new(circuit, cost, started, &self.opts);
+
+        while !self.opts.budget.exhausted(started, state.iterations) {
+            state.iterations += 1;
+            // Line 5: randomly select a transformation.
+            let use_slow = !self.slow.is_empty()
+                && !self.fast.is_empty()
+                && rng.random::<f64>() < self.opts.resynth_probability
+                || self.fast.is_empty();
+            if use_slow && !self.slow.is_empty() {
+                let t = &self.slow[rng.random_range(0..self.slow.len())];
+                // Line 6: the declared ε must fit in the remaining budget.
+                if state.err_curr + t.epsilon() > self.opts.eps_total {
+                    continue;
+                }
+                if let Some(pa) = Transformation::apply_patch(t, &mut state.ctx, &mut rng) {
+                    state.resynth_hits += 1;
+                    state.consider_patch(pa, cost, &mut rng, &self.opts, started);
+                }
+            } else if !self.fast.is_empty() {
+                let t = &self.fast[rng.random_range(0..self.fast.len())];
+                if t.supports_patches() {
+                    if let Some(pa) = t.apply_patch(&mut state.ctx, &mut rng) {
+                        state.consider_patch(pa, cost, &mut rng, &self.opts, started);
+                    }
+                } else {
+                    // Out-of-tree transformation without a patch path:
+                    // fall back to the materializing API for this move.
+                    if let Some(applied) = t.apply(state.ctx.circuit(), &mut rng) {
+                        state.consider_full(applied, cost, &mut rng, &self.opts, started);
+                    }
+                }
+            } else {
+                break; // no transformations at all
+            }
+        }
+        state.into_result()
+    }
+
+    fn optimize_sync_legacy(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let started = Instant::now();
         let mut state = SearchState::new(circuit, cost, started, &self.opts);
@@ -213,11 +314,96 @@ impl Guoq {
         state.into_result()
     }
 
-    /// §5.3 "Applying resynthesis asynchronously": the resynthesis call
-    /// runs on a worker thread while the main loop keeps rewriting; when
-    /// an accepted result arrives, the interim rewrite edits are
-    /// discarded in favour of the snapshot-based replacement.
+    /// §5.3 "Applying resynthesis asynchronously", incremental flavour:
+    /// fast rewrites run as in-place patches against the cached
+    /// [`SearchCtx`] while resynthesis works on a snapshot clone in a
+    /// worker thread. An accepted resynthesis result replaces the whole
+    /// working circuit (discarding interim rewrite edits, as §5.3
+    /// prescribes), which is the one remaining O(circuit) event — it
+    /// happens at the resynthesis rate, not the iteration rate.
     fn optimize_async(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        use crossbeam_channel::{bounded, TryRecvError};
+
+        type Req = (u64, Circuit, qcir::Region, u64);
+        type Resp = (u64, Option<Applied>);
+
+        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
+        let started = Instant::now();
+        let mut state = IncrementalState::new(circuit, cost, started, &self.opts);
+
+        let (req_tx, req_rx) = bounded::<Req>(1);
+        let (resp_tx, resp_rx) = bounded::<Resp>(1);
+        let worker_pass = self.slow[0].clone();
+        let worker = std::thread::spawn(move || {
+            while let Ok((id, snapshot, region, seed)) = req_rx.recv() {
+                let mut wrng = SmallRng::seed_from_u64(seed);
+                let applied = worker_pass.resynthesize_region(&snapshot, &region, &mut wrng);
+                if resp_tx.send((id, applied)).is_err() {
+                    break;
+                }
+            }
+        });
+
+        let mut in_flight = false;
+        let mut next_id = 0u64;
+        while !self.opts.budget.exhausted(started, state.iterations) {
+            state.iterations += 1;
+            // Drain any finished resynthesis first.
+            match resp_rx.try_recv() {
+                Ok((_id, applied)) => {
+                    in_flight = false;
+                    if let Some(applied) = applied {
+                        state.resynth_hits += 1;
+                        // The candidate replaces the snapshot; accepting
+                        // it discards every interim rewrite (§5.3).
+                        state.consider_full(applied, cost, &mut rng, &self.opts, started);
+                    }
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => break,
+            }
+            let want_slow = !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
+            if want_slow {
+                if state.err_curr + self.slow[0].epsilon() > self.opts.eps_total {
+                    continue;
+                }
+                if let Some(region) = self.slow[0].pick_region(state.ctx.circuit(), &mut rng) {
+                    next_id += 1;
+                    let seed = rng.random::<u64>();
+                    if req_tx
+                        .send((next_id, state.ctx.circuit().clone(), region, seed))
+                        .is_ok()
+                    {
+                        in_flight = true;
+                    }
+                }
+            } else if !self.fast.is_empty() {
+                let t = &self.fast[rng.random_range(0..self.fast.len())];
+                if t.supports_patches() {
+                    if let Some(pa) = t.apply_patch(&mut state.ctx, &mut rng) {
+                        state.consider_patch(pa, cost, &mut rng, &self.opts, started);
+                    }
+                } else if let Some(applied) = t.apply(state.ctx.circuit(), &mut rng) {
+                    state.consider_full(applied, cost, &mut rng, &self.opts, started);
+                }
+            }
+        }
+        drop(req_tx);
+        // Drain a possibly in-flight result so the worker can exit.
+        if in_flight {
+            if let Ok((_id, Some(applied))) = resp_rx.recv() {
+                state.resynth_hits += 1;
+                state.consider_full(applied, cost, &mut rng, &self.opts, started);
+            }
+        }
+        drop(resp_rx);
+        let _ = worker.join();
+        state.into_result()
+    }
+
+    /// §5.3 "Applying resynthesis asynchronously", clone–rebuild flavour
+    /// (the [`Engine::CloneRebuild`] baseline).
+    fn optimize_async_legacy(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
         use crossbeam_channel::{bounded, TryRecvError};
 
         type Req = (u64, Circuit, qcir::Region, u64);
@@ -259,8 +445,7 @@ impl Guoq {
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => break,
             }
-            let want_slow =
-                !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
+            let want_slow = !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
             if want_slow {
                 if state.err_curr + self.slow[0].epsilon() > self.opts.eps_total {
                     continue;
@@ -293,6 +478,20 @@ impl Guoq {
         drop(resp_rx);
         let _ = worker.join();
         state.into_result()
+    }
+}
+
+/// Lines 10–12 of Algorithm 1: accept every cost-non-increasing move,
+/// and a worsening one with probability `exp(−t·cost′/cost)`. The single
+/// source of truth for both engines' acceptance rule.
+fn metropolis_accepts(cost_new: f64, cost_curr: f64, temperature: f64, rng: &mut SmallRng) -> bool {
+    if cost_new <= cost_curr {
+        true
+    } else if cost_curr > 0.0 {
+        let p = (-temperature * cost_new / cost_curr).exp();
+        rng.random::<f64>() < p
+    } else {
+        false
     }
 }
 
@@ -348,15 +547,7 @@ impl SearchState {
         started: Instant,
     ) {
         let cost_new = cost.cost(&applied.circuit);
-        let accept = if cost_new <= self.cost_curr {
-            true
-        } else if self.cost_curr > 0.0 {
-            let p = (-opts.temperature * cost_new / self.cost_curr).exp();
-            rng.random::<f64>() < p
-        } else {
-            false
-        };
-        if !accept {
+        if !metropolis_accepts(cost_new, self.cost_curr, opts.temperature, rng) {
             return;
         }
         self.accepted += 1;
@@ -380,6 +571,130 @@ impl SearchState {
 
     fn into_result(self) -> GuoqResult {
         let _ = self.started;
+        GuoqResult {
+            circuit: self.best,
+            cost: self.cost_best,
+            epsilon: self.err_best,
+            iterations: self.iterations,
+            accepted: self.accepted,
+            resynth_hits: self.resynth_hits,
+            history: self.history,
+        }
+    }
+}
+
+/// Mutable search state of the incremental engine: the [`SearchCtx`]
+/// (working circuit + cached DAG) plus the running cost/error tallies.
+///
+/// The tracked `cost_curr` is updated by [`CostFn::delta`] per accepted
+/// edit instead of a full recompute; the differential tests assert it
+/// never drifts from the recomputed cost.
+struct IncrementalState {
+    ctx: SearchCtx,
+    cost_curr: f64,
+    err_curr: f64,
+    best: Circuit,
+    cost_best: f64,
+    err_best: f64,
+    iterations: u64,
+    accepted: u64,
+    resynth_hits: u64,
+    history: Vec<HistoryPoint>,
+}
+
+impl IncrementalState {
+    fn new(circuit: &Circuit, cost: &dyn CostFn, _started: Instant, opts: &GuoqOpts) -> Self {
+        let c0 = cost.cost(circuit);
+        let mut history = Vec::new();
+        if opts.record_history {
+            history.push(HistoryPoint {
+                seconds: 0.0,
+                iteration: 0,
+                best_cost: c0,
+                best_two_qubit: circuit.two_qubit_count(),
+            });
+        }
+        IncrementalState {
+            ctx: SearchCtx::new(circuit.clone()),
+            cost_curr: c0,
+            err_curr: 0.0,
+            best: circuit.clone(),
+            cost_best: c0,
+            err_best: 0.0,
+            iterations: 0,
+            accepted: 0,
+            resynth_hits: 0,
+            history,
+        }
+    }
+
+    /// Lines 10–18 of Algorithm 1 for a candidate patch: the cost change
+    /// comes from [`CostFn::delta`] (O(edit span)), and only an accepted
+    /// edit is committed — a rejected candidate is simply dropped, no
+    /// clone, apply, or revert required.
+    fn consider_patch(
+        &mut self,
+        pa: PatchApplied,
+        cost: &dyn CostFn,
+        rng: &mut SmallRng,
+        opts: &GuoqOpts,
+        started: Instant,
+    ) {
+        let cost_new = self.cost_curr + cost.delta(self.ctx.circuit(), &pa.patch);
+        if !self.accepts(cost_new, rng, opts) {
+            return;
+        }
+        self.ctx.commit(&pa.patch);
+        self.record_accept(cost_new, pa.epsilon, opts, started);
+    }
+
+    /// Acceptance for a fully materialized candidate (patch-less
+    /// transformations and async resynthesis results): replaces the
+    /// working circuit wholesale.
+    fn consider_full(
+        &mut self,
+        applied: Applied,
+        cost: &dyn CostFn,
+        rng: &mut SmallRng,
+        opts: &GuoqOpts,
+        started: Instant,
+    ) {
+        let cost_new = cost.cost(&applied.circuit);
+        if !self.accepts(cost_new, rng, opts) {
+            return;
+        }
+        self.ctx.replace_circuit(applied.circuit);
+        self.record_accept(cost_new, applied.epsilon, opts, started);
+    }
+
+    fn accepts(&self, cost_new: f64, rng: &mut SmallRng, opts: &GuoqOpts) -> bool {
+        metropolis_accepts(cost_new, self.cost_curr, opts.temperature, rng)
+    }
+
+    fn record_accept(&mut self, cost_new: f64, epsilon: f64, opts: &GuoqOpts, started: Instant) {
+        self.accepted += 1;
+        self.cost_curr = cost_new;
+        self.err_curr += epsilon;
+        if self.cost_curr < self.cost_best {
+            // O(circuit) snapshot, but only on *strict* improvements —
+            // bounded by the total cost descent, not the accept rate
+            // (plateau accepts, the common case, never clone). A patch
+            // journal could remove even this; see ROADMAP.
+            self.best = self.ctx.circuit().clone();
+            self.cost_best = self.cost_curr;
+            self.err_best = self.err_curr;
+            if opts.record_history {
+                self.history.push(HistoryPoint {
+                    seconds: started.elapsed().as_secs_f64(),
+                    iteration: self.iterations,
+                    best_cost: self.cost_best,
+                    best_two_qubit: self.best.two_qubit_count(),
+                });
+            }
+        }
+    }
+
+    fn into_result(self) -> GuoqResult {
         GuoqResult {
             circuit: self.best,
             cost: self.cost_best,

@@ -34,5 +34,5 @@ pub mod transform;
 
 pub use cost::CostFn;
 pub use fidelity::CalibrationModel;
-pub use guoq::{Budget, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
-pub use transform::{Applied, Transformation};
+pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
+pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

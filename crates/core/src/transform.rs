@@ -6,8 +6,10 @@
 //! bound and reports the *measured* distance, which the optimizer charges
 //! against the global budget (Thm. 4.2: errors add up).
 
-use qcir::{Circuit, GateSet, Region};
-use qrewrite::{apply_rule_pass, fusion, Rule};
+use qcir::dag::WireDag;
+use qcir::edit::Patch;
+use qcir::{Circuit, GateSet, Instruction, Region};
+use qrewrite::{apply_rule_pass, fusion, MatchScratch, Rule};
 use qsynth::Resynthesizer;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -20,6 +22,99 @@ pub struct Applied {
     /// Measured approximation error introduced by this application
     /// (0 for exact transformations; never exceeds the declared bound).
     pub epsilon: f64,
+}
+
+/// A patch produced by a transformation, ready to be costed and — if the
+/// search accepts it — committed to the [`SearchCtx`].
+#[derive(Debug, Clone)]
+pub struct PatchApplied {
+    /// The local edit, expressed against the context's current circuit.
+    pub patch: Patch,
+    /// Measured approximation error this edit would introduce.
+    pub epsilon: f64,
+}
+
+/// Number of anchors a rule pass probes per iteration in the incremental
+/// engine. Probes are O(pattern) each (most fail at the first gate-kind
+/// check), so a handful keeps per-iteration work constant while retaining
+/// a high hit rate on small circuits.
+const RULE_ANCHOR_TRIES: usize = 16;
+
+/// Anchor probes per iteration for the run-fusion pass.
+const FUSION_ANCHOR_TRIES: usize = 8;
+
+/// Anchor probes per iteration for identity cleanup.
+const CLEANUP_ANCHOR_TRIES: usize = 8;
+
+/// The mutable state the incremental engine carries across iterations:
+/// one working circuit plus its cached [`WireDag`] and the matcher
+/// scratch buffers.
+///
+/// The legacy engine cloned the circuit and rebuilt the DAG on every
+/// iteration; a `SearchCtx` instead lives for the whole search, and
+/// accepted edits are [committed](Self::commit) in place — O(edit span)
+/// instead of O(circuit).
+pub struct SearchCtx {
+    circuit: Circuit,
+    dag: WireDag,
+    scratch: MatchScratch,
+}
+
+impl SearchCtx {
+    /// Creates a context owning `circuit`.
+    pub fn new(circuit: Circuit) -> Self {
+        let dag = WireDag::build(&circuit);
+        SearchCtx {
+            circuit,
+            dag,
+            scratch: MatchScratch::new(),
+        }
+    }
+
+    /// The current working circuit.
+    #[inline]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The cached wire DAG of the current circuit.
+    #[inline]
+    pub fn dag(&self) -> &WireDag {
+        &self.dag
+    }
+
+    /// Splits the context into the pieces the matcher needs.
+    #[inline]
+    pub fn parts(&mut self) -> (&Circuit, &WireDag, &mut MatchScratch) {
+        (&self.circuit, &self.dag, &mut self.scratch)
+    }
+
+    /// Applies an accepted patch in place, splicing the cached DAG.
+    pub fn commit(&mut self, patch: &Patch) {
+        if self.dag.splice(&self.circuit, patch) {
+            self.circuit.apply_patch(patch);
+        } else {
+            // The patch touches wires outside its window (no in-repo
+            // producer does); fall back to a full rebuild.
+            self.circuit.apply_patch(patch);
+            self.dag = WireDag::build(&self.circuit);
+        }
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                self.dag,
+                WireDag::build(&self.circuit),
+                "incremental DAG diverged after commit"
+            );
+        }
+    }
+
+    /// Replaces the working circuit wholesale (e.g. an accepted
+    /// async-resynthesis result based on an older snapshot).
+    pub fn replace_circuit(&mut self, circuit: Circuit) {
+        self.dag = WireDag::build(&circuit);
+        self.circuit = circuit;
+    }
 }
 
 /// A closed-box `ε`-bounded circuit transformation.
@@ -35,6 +130,20 @@ pub trait Transformation: Send + Sync {
     /// Returns `None` when the transformation does not fire (no match, or
     /// synthesis failed within its bound).
     fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied>;
+
+    /// True when [`Self::apply_patch`] is implemented; the incremental
+    /// engine falls back to [`Self::apply`] (with a full-circuit cost)
+    /// otherwise.
+    fn supports_patches(&self) -> bool {
+        false
+    }
+
+    /// Attempts to produce the transformation's edit as a [`Patch`]
+    /// against the context's current circuit, without materializing a
+    /// new circuit — the incremental engine's fast path.
+    fn apply_patch(&self, _ctx: &mut SearchCtx, _rng: &mut SmallRng) -> Option<PatchApplied> {
+        None
+    }
 }
 
 /// A full rewrite pass of one rule from a random anchor (paper §5.3).
@@ -75,6 +184,31 @@ impl Transformation for RulePass {
             epsilon: 0.0,
         })
     }
+
+    fn supports_patches(&self) -> bool {
+        true
+    }
+
+    fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
+        let n = ctx.circuit().len();
+        if n == 0 {
+            return None;
+        }
+        let start = rng.random_range(0..n);
+        let (circuit, dag, scratch) = ctx.parts();
+        for off in 0..RULE_ANCHOR_TRIES.min(n) {
+            let anchor = (start + off) % n;
+            if let Some(patch) =
+                qrewrite::propose_rule_patch(circuit, dag, &self.rule, anchor, scratch)
+            {
+                return Some(PatchApplied {
+                    patch,
+                    epsilon: 0.0,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// The exact 1q-run fusion pass as a transformation.
@@ -106,6 +240,29 @@ impl Transformation for FusionPass {
             epsilon: 0.0,
         })
     }
+
+    fn supports_patches(&self) -> bool {
+        true
+    }
+
+    fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
+        let n = ctx.circuit().len();
+        if n == 0 {
+            return None;
+        }
+        let start = rng.random_range(0..n);
+        for off in 0..FUSION_ANCHOR_TRIES.min(n) {
+            let anchor = (start + off) % n;
+            if let Some(patch) = fusion::fuse_run_patch(ctx.circuit(), ctx.dag(), anchor, self.set)
+            {
+                return Some(PatchApplied {
+                    patch,
+                    epsilon: 0.0,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// Identity-gate elimination as a transformation.
@@ -128,6 +285,28 @@ impl Transformation for CleanupPass {
             epsilon: 0.0,
         })
     }
+
+    fn supports_patches(&self) -> bool {
+        true
+    }
+
+    fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
+        let n = ctx.circuit().len();
+        if n == 0 {
+            return None;
+        }
+        let start = rng.random_range(0..n);
+        for off in 0..CLEANUP_ANCHOR_TRIES.min(n) {
+            let anchor = (start + off) % n;
+            if let Some(patch) = fusion::remove_identity_patch(ctx.circuit(), anchor, 1e-9) {
+                return Some(PatchApplied {
+                    patch,
+                    epsilon: 0.0,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// Commutation-aware cancellation as a transformation (one sweep).
@@ -147,6 +326,26 @@ impl Transformation for CommutationPass {
         let out = qrewrite::commutation::commutative_cancellation(circuit)?;
         Some(Applied {
             circuit: out,
+            epsilon: 0.0,
+        })
+    }
+
+    fn supports_patches(&self) -> bool {
+        true
+    }
+
+    fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
+        let n = ctx.circuit().len();
+        if n == 0 {
+            return None;
+        }
+        // A single anchor per iteration: the walk's numeric commutation
+        // checks are the expensive part, so probing many anchors would
+        // dominate the iteration budget.
+        let anchor = rng.random_range(0..n);
+        let patch = qrewrite::commutation::cancellation_patch_at(ctx.circuit(), anchor)?;
+        Some(PatchApplied {
+            patch,
             epsilon: 0.0,
         })
     }
@@ -200,6 +399,38 @@ impl ResynthPass {
             epsilon: out.epsilon,
         })
     }
+
+    /// Patch-producing variant of [`Self::resynthesize_region`]: the
+    /// region's member gates are removed and the resynthesized
+    /// replacement is spliced in after the window (matching the emission
+    /// order of [`Region::replace`], where the window's disjoint
+    /// spectator gates come first).
+    pub fn resynthesize_region_patch(
+        &self,
+        circuit: &Circuit,
+        region: &Region,
+        rng: &mut SmallRng,
+    ) -> Option<PatchApplied> {
+        let sub = region.extract(circuit);
+        let out = self.rs.resynthesize(&sub, self.eps, rng)?;
+        let removed = region.member_indices(circuit);
+        let replacement: Vec<Instruction> = out
+            .circuit
+            .iter()
+            .map(|ins| {
+                let qs: Vec<qcir::Qubit> = ins
+                    .qubits()
+                    .iter()
+                    .map(|&q| region.qubits()[q as usize])
+                    .collect();
+                Instruction::new(ins.gate, &qs)
+            })
+            .collect();
+        Some(PatchApplied {
+            patch: Patch::new(removed, replacement, region.hi() + 1),
+            epsilon: out.epsilon,
+        })
+    }
 }
 
 impl Transformation for ResynthPass {
@@ -214,6 +445,15 @@ impl Transformation for ResynthPass {
     fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied> {
         let region = self.pick_region(circuit, rng)?;
         self.resynthesize_region(circuit, &region, rng)
+    }
+
+    fn supports_patches(&self) -> bool {
+        true
+    }
+
+    fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
+        let region = self.pick_region(ctx.circuit(), rng)?;
+        self.resynthesize_region_patch(ctx.circuit(), &region, rng)
     }
 }
 

@@ -98,11 +98,7 @@ pub fn jacobi_eigen(a: &[f64], n: usize) -> SymEigen {
             vectors[idx(i, new_col)] = v[idx(i, old_col)];
         }
     }
-    SymEigen {
-        values,
-        vectors,
-        n,
-    }
+    SymEigen { values, vectors, n }
 }
 
 #[cfg(test)]
@@ -137,10 +133,7 @@ mod tests {
                     for j in 0..n {
                         av += a[i * n + j] * vk[j];
                     }
-                    assert!(
-                        (av - e.values[k] * vk[i]).abs() < 1e-8,
-                        "n={n} k={k} i={i}"
-                    );
+                    assert!((av - e.values[k] * vk[i]).abs() < 1e-8, "n={n} k={k} i={i}");
                 }
             }
         }

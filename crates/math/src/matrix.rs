@@ -6,8 +6,6 @@
 //! auditable.
 
 use crate::complex::C64;
-#[cfg(test)]
-use crate::complex::c64;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -208,7 +206,7 @@ impl Mat {
     pub fn scaled(&self, k: C64) -> Mat {
         let mut out = self.clone();
         for z in &mut out.data {
-            *z = *z * k;
+            *z *= k;
         }
         out
     }
@@ -334,10 +332,7 @@ pub fn embed(gate: &Mat, n: usize, qubits: &[usize]) -> Mat {
     assert_eq!(gate.cols(), dk, "gate size does not match qubit count");
     for (i, &q) in qubits.iter().enumerate() {
         assert!(q < n, "qubit {q} out of range for {n} qubits");
-        assert!(
-            !qubits[..i].contains(&q),
-            "repeated qubit {q} in embedding"
-        );
+        assert!(!qubits[..i].contains(&q), "repeated qubit {q} in embedding");
     }
     let dn = 1usize << n;
     // Bit position (from LSB) of each target qubit in the state index.

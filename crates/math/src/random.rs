@@ -31,6 +31,7 @@ pub fn gaussian_c64<R: Rng + ?Sized>(rng: &mut R) -> C64 {
 /// let u = random_unitary(4, &mut rng);
 /// assert!(u.is_unitary(1e-10));
 /// ```
+#[allow(clippy::needless_range_loop)] // index math over column pairs
 pub fn random_unitary<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Mat {
     loop {
         let mut cols: Vec<Vec<C64>> = (0..n)

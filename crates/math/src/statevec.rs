@@ -207,7 +207,7 @@ mod tests {
         let s = random_state(8, &mut rng);
         let mut t = s.clone();
         for z in &mut t {
-            *z = *z * C64::cis(0.9);
+            *z *= C64::cis(0.9);
         }
         assert!(state_distance(&s, &t) < 1e-10);
     }

@@ -58,16 +58,13 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
 fn inverse_pair(a: &Instruction, b: &Instruction) -> bool {
     if a.qubits() != b.qubits() {
         // Symmetric gates cancel under permuted operands too.
-        if !(a.gate.is_symmetric()
-            && b.gate.kind() == a.gate.kind()
-            && {
-                let mut x: Vec<u32> = a.qubits().to_vec();
-                let mut y: Vec<u32> = b.qubits().to_vec();
-                x.sort_unstable();
-                y.sort_unstable();
-                x == y
-            })
-        {
+        if !(a.gate.is_symmetric() && b.gate.kind() == a.gate.kind() && {
+            let mut x: Vec<u32> = a.qubits().to_vec();
+            let mut y: Vec<u32> = b.qubits().to_vec();
+            x.sort_unstable();
+            y.sort_unstable();
+            x == y
+        }) {
             return false;
         }
     }
@@ -164,6 +161,49 @@ pub fn commutative_cancellation(circuit: &Circuit) -> Option<Circuit> {
         }
     }
     Some(out)
+}
+
+/// Patch-producing variant of [`commutative_cancellation`] for the
+/// incremental engine: looks for a partner of the instruction at `anchor`
+/// only (cancel, merge, or merge-to-identity), walking at most `WINDOW`
+/// instructions ahead, and returns the edit as a [`qcir::edit::Patch`].
+///
+/// The candidate walk and commutation checks are identical to one step
+/// of the legacy sweep, so an accepted patch is exactly what the sweep
+/// would have done for this pair. O(window × gate support) — independent
+/// of circuit size.
+pub fn cancellation_patch_at(circuit: &Circuit, anchor: usize) -> Option<qcir::edit::Patch> {
+    use qcir::edit::Patch;
+    let instrs = circuit.instructions();
+    let n = instrs.len();
+    if anchor >= n {
+        return None;
+    }
+    let a = instrs[anchor];
+    #[allow(clippy::needless_range_loop)] // `j` lands in the produced patch
+    for j in (anchor + 1)..n.min(anchor + 1 + WINDOW) {
+        let b = instrs[j];
+        if !a.overlaps(&b) {
+            continue;
+        }
+        if inverse_pair(&a, &b) {
+            return Some(Patch::new(vec![anchor, j], Vec::new(), anchor));
+        }
+        if let Some(m) = merge_pair(&a, &b) {
+            let replacement = if m.is_identity(1e-9) {
+                Vec::new()
+            } else {
+                vec![Instruction::new(m, b.qubits())]
+            };
+            return Some(Patch::new(vec![anchor, j], replacement, j));
+        }
+        // Not a partner: it must commute with `a` for the walk to
+        // continue past it.
+        if !instructions_commute(&a, &b) {
+            return None;
+        }
+    }
+    None
 }
 
 /// Iterates [`commutative_cancellation`] to a fixpoint.
@@ -299,7 +339,10 @@ mod tests {
                     let b = (a + 1 + rng.random_range(0..(n as u32 - 1))) % n as u32;
                     c.push(Gate::Cx, &[a, b]);
                 } else {
-                    c.push(pool[rng.random_range(0..pool.len())], &[rng.random_range(0..n as u32)]);
+                    c.push(
+                        pool[rng.random_range(0..pool.len())],
+                        &[rng.random_range(0..n as u32)],
+                    );
                 }
             }
             let out = commutative_cancellation_fixpoint(&c);

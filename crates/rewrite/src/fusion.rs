@@ -5,8 +5,10 @@
 //! here with a matrix product plus [`qcir::rebase::decompose_1q`]. Both
 //! passes are `ε = 0` transformations.
 
+use qcir::dag::WireDag;
+use qcir::edit::Patch;
 use qcir::rebase::decompose_1q;
-use qcir::{Circuit, Gate, GateSet};
+use qcir::{Circuit, Gate, GateSet, Instruction};
 use qmath::angle::pi4_multiple_of;
 use qmath::Mat;
 
@@ -51,9 +53,9 @@ pub fn fuse_1q_runs(circuit: &Circuit, set: GateSet) -> Option<Circuit> {
     for q in 0..circuit.num_qubits() as u32 {
         let mut run: Vec<usize> = Vec::new();
         let process_run = |run: &mut Vec<usize>,
-                               replaced: &mut Vec<Option<Vec<Gate>>>,
-                               dropped: &mut Vec<bool>,
-                               changed: &mut bool| {
+                           replaced: &mut Vec<Option<Vec<Gate>>>,
+                           dropped: &mut Vec<bool>,
+                           changed: &mut bool| {
             if run.len() >= 2 {
                 if let Some(gates) = fuse_gates(instrs, run, set) {
                     if gates.len() < run.len() {
@@ -95,6 +97,67 @@ pub fn fuse_1q_runs(circuit: &Circuit, set: GateSet) -> Option<Circuit> {
         }
     }
     Some(out)
+}
+
+/// Patch-producing variant of [`fuse_1q_runs`] for the incremental
+/// engine: fuses only the 1q run *containing* the instruction at
+/// `anchor`, walking the prebuilt wire DAG, and returns the edit as a
+/// [`Patch`] without materializing a circuit.
+///
+/// O(run length) — independent of circuit size. Returns `None` when the
+/// anchor is not a one-qubit gate, the run is trivial, or fusing does not
+/// shrink it.
+pub fn fuse_run_patch(
+    circuit: &Circuit,
+    dag: &WireDag,
+    anchor: usize,
+    set: GateSet,
+) -> Option<Patch> {
+    let instrs = circuit.instructions();
+    if anchor >= instrs.len() || instrs[anchor].gate.arity() != 1 {
+        return None;
+    }
+    let q = instrs[anchor].qubits()[0];
+    // Walk back to the run head…
+    let mut head = anchor;
+    while let Some(p) = dag.prev_on_wire(circuit, head, q) {
+        if instrs[p].gate.arity() == 1 {
+            head = p;
+        } else {
+            break;
+        }
+    }
+    // …then forward over the whole run (wire order is index order).
+    let mut run = vec![head];
+    let mut cur = head;
+    while let Some(nx) = dag.next_on_wire(circuit, cur, q) {
+        if instrs[nx].gate.arity() == 1 {
+            run.push(nx);
+            cur = nx;
+        } else {
+            break;
+        }
+    }
+    if run.len() < 2 {
+        return None;
+    }
+    let gates = fuse_gates(instrs, &run, set)?;
+    if gates.len() >= run.len() {
+        return None;
+    }
+    let insert_at = run[0];
+    let replacement = gates.iter().map(|&g| Instruction::new(g, &[q])).collect();
+    Some(Patch::new(run, replacement, insert_at))
+}
+
+/// Patch-producing variant of [`remove_identities`]: removes the single
+/// instruction at `anchor` if it is an identity within `tol`.
+pub fn remove_identity_patch(circuit: &Circuit, anchor: usize, tol: f64) -> Option<Patch> {
+    let instrs = circuit.instructions();
+    if anchor >= instrs.len() || !instrs[anchor].gate.is_identity(tol) {
+        return None;
+    }
+    Some(Patch::new(vec![anchor], Vec::new(), anchor))
 }
 
 /// Fuses the gates of a run into a minimal gate list for `set`, or `None`

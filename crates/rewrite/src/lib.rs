@@ -31,6 +31,9 @@ pub mod rule;
 pub mod rules;
 pub mod synthesis;
 
-pub use matcher::{apply_rule_pass, find_first_match, Match};
+pub use matcher::{
+    apply_rule_pass, apply_rule_pass_with_dag, find_first_match, match_to_patch,
+    propose_rule_patch, rule_pass_patches, Match, MatchScratch,
+};
 pub use rule::Rule;
 pub use rules::rules_for;

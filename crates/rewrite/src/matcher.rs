@@ -7,10 +7,25 @@
 //! span contains an unmatched instruction touching a bound wire — this
 //! makes every accepted match a convex subcircuit (paper §3), so splicing
 //! the replacement in place is sound.
+//!
+//! Two application styles are provided:
+//!
+//! * the legacy full-pass [`apply_rule_pass`], which replaces every
+//!   disjoint match and returns a fresh [`Circuit`]; and
+//! * the incremental path — [`match_at_scratch`] against a cached
+//!   [`WireDag`] plus [`match_to_patch`] — which produces a
+//!   [`Patch`] describing a single local edit, for search loops that keep
+//!   one working circuit and apply edits in place.
+//!
+//! The matcher's search state lives in a reusable [`MatchScratch`]:
+//! backtracking is driven by an undo trail instead of cloning the state
+//! vectors at every candidate gate, so steady-state matching performs no
+//! allocations.
 
 use crate::pattern::AngleParam;
 use crate::rule::Rule;
 use qcir::dag::WireDag;
+use qcir::edit::Patch;
 use qcir::{Circuit, Qubit};
 use qmath::angle::approx_eq_mod_2pi;
 
@@ -29,135 +44,214 @@ pub struct Match {
     pub indices: Vec<usize>,
 }
 
-impl Match {
-    fn span(&self) -> (usize, usize) {
-        let lo = *self.indices.iter().min().expect("non-empty match");
-        let hi = *self.indices.iter().max().expect("non-empty match");
-        (lo, hi)
-    }
-}
-
 /// Operand alignments to try for a gate kind (identity, plus permutations
 /// for operand-symmetric gates).
-fn alignments(kind: qcir::GateKind) -> Vec<Vec<usize>> {
-    let a = kind.arity();
+fn alignments(kind: qcir::GateKind) -> &'static [&'static [usize]] {
     if kind.is_symmetric() {
-        match a {
-            2 => vec![vec![0, 1], vec![1, 0]],
-            3 => vec![
-                vec![0, 1, 2],
-                vec![0, 2, 1],
-                vec![1, 0, 2],
-                vec![1, 2, 0],
-                vec![2, 0, 1],
-                vec![2, 1, 0],
+        match kind.arity() {
+            2 => &[&[0, 1], &[1, 0]],
+            3 => &[
+                &[0, 1, 2],
+                &[0, 2, 1],
+                &[1, 0, 2],
+                &[1, 2, 0],
+                &[2, 0, 1],
+                &[2, 1, 0],
             ],
-            _ => vec![(0..a).collect()],
+            _ => &[&[0]],
         }
     } else if kind == qcir::GateKind::Ccx {
         // The two controls commute.
-        vec![vec![0, 1, 2], vec![1, 0, 2]]
+        &[&[0, 1, 2], &[1, 0, 2]]
     } else {
-        vec![(0..a).collect()]
+        match kind.arity() {
+            1 => &[&[0]],
+            2 => &[&[0, 1]],
+            _ => &[&[0, 1, 2]],
+        }
     }
 }
 
-/// Attempts to match `rule`'s LHS anchored at instruction `anchor`.
+/// One rollback entry of the matcher's undo trail.
+enum TrailOp {
+    /// A pattern qubit was bound.
+    Qubit(u8),
+    /// An angle variable was bound.
+    Bind(u8),
+    /// A wire cursor changed; holds the previous value (`None` = unset).
+    Cursor(Qubit, Option<usize>),
+}
+
+/// Reusable matcher state.
 ///
-/// Returns `None` if the pattern does not match there.
-pub fn match_at(circuit: &Circuit, dag: &WireDag, rule: &Rule, anchor: usize) -> Option<Match> {
-    let lhs = rule.lhs().insts();
-    let instrs = circuit.instructions();
-    if anchor >= instrs.len() {
-        return None;
+/// Holding one `MatchScratch` across calls eliminates all steady-state
+/// allocations of the matcher: the per-wire cursor array is epoch-stamped
+/// (reset is O(1)) and backtracking rolls back an undo trail instead of
+/// cloning.
+#[derive(Default)]
+pub struct MatchScratch {
+    qubit_map: Vec<Option<Qubit>>,
+    bindings: Vec<Option<f64>>,
+    cursor_val: Vec<usize>,
+    cursor_stamp: Vec<u32>,
+    epoch: u32,
+    indices: Vec<usize>,
+    trail: Vec<TrailOp>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    // Search state; backtracking is only over operand alignments, which we
-    // explore depth-first.
-    struct State {
-        qubit_map: Vec<Option<Qubit>>,
-        bindings: Vec<Option<f64>>,
-        cursor: Vec<Option<usize>>, // circuit qubit -> last matched idx
-        indices: Vec<usize>,
+    fn reset(&mut self, rule: &Rule, num_qubits: usize) {
+        self.qubit_map.clear();
+        self.qubit_map.resize(rule.lhs().num_qubits(), None);
+        self.bindings.clear();
+        self.bindings.resize(rule.lhs().num_vars(), None);
+        if self.cursor_val.len() < num_qubits {
+            self.cursor_val.resize(num_qubits, 0);
+            self.cursor_stamp.resize(num_qubits, 0);
+        }
+        // O(1) cursor reset: bump the epoch; stale stamps read as unset.
+        // Epoch 0 is never used as a live epoch, so clearing all stamps
+        // to 0 at the wrap point guarantees no stamp written during the
+        // previous 2³²-epoch cycle can ever collide with a fresh epoch.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.cursor_stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.indices.clear();
+        self.trail.clear();
     }
 
+    #[inline]
+    fn cursor(&self, q: Qubit) -> Option<usize> {
+        if self.cursor_stamp[q as usize] == self.epoch {
+            Some(self.cursor_val[q as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set_cursor(&mut self, q: Qubit, v: usize) {
+        self.trail.push(TrailOp::Cursor(q, self.cursor(q)));
+        self.cursor_val[q as usize] = v;
+        self.cursor_stamp[q as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn checkpoint(&self) -> (usize, usize) {
+        (self.trail.len(), self.indices.len())
+    }
+
+    fn rollback(&mut self, cp: (usize, usize)) {
+        while self.trail.len() > cp.0 {
+            match self.trail.pop().expect("trail length checked") {
+                TrailOp::Qubit(p) => self.qubit_map[p as usize] = None,
+                TrailOp::Bind(v) => self.bindings[v as usize] = None,
+                TrailOp::Cursor(q, old) => match old {
+                    Some(v) => {
+                        self.cursor_val[q as usize] = v;
+                        self.cursor_stamp[q as usize] = self.epoch;
+                    }
+                    // `epoch − 1` reads as unset now and, unlike a
+                    // bit-complement sentinel, is a *past* value: the
+                    // stamp-clearing at the epoch wrap point retires it
+                    // before the counter could ever meet it again.
+                    None => self.cursor_stamp[q as usize] = self.epoch.wrapping_sub(1),
+                },
+            }
+        }
+        self.indices.truncate(cp.1);
+    }
+
+    /// Attempts to bind pattern gate `pi` to candidate `cand` under the
+    /// operand alignment `align`, recording all changes on the trail.
     fn try_gate(
+        &mut self,
         circuit: &Circuit,
-        st: &State,
         pi: &crate::pattern::PatternInst,
         cand: usize,
         align: &[usize],
-    ) -> Option<State> {
+    ) -> bool {
         let ins = circuit.instructions()[cand];
         if ins.gate.kind() != pi.kind {
-            return None;
+            return false;
         }
-        let mut qubit_map = st.qubit_map.clone();
+        let cp = self.checkpoint();
         // Operand check: pattern slot s corresponds to candidate operand
         // align[s].
         for (s, &p) in pi.qubits.iter().enumerate() {
             let cq = ins.qubits()[align[s]];
-            match qubit_map[p as usize] {
+            match self.qubit_map[p as usize] {
                 Some(bound) => {
                     if bound != cq {
-                        return None;
+                        self.rollback(cp);
+                        return false;
                     }
                 }
                 None => {
-                    // Injectivity: cq must not be bound to another pattern qubit.
-                    if qubit_map.iter().any(|m| *m == Some(cq)) {
-                        return None;
+                    // Injectivity: cq must not be bound to another pattern
+                    // qubit.
+                    if self.qubit_map.contains(&Some(cq)) {
+                        self.rollback(cp);
+                        return false;
                     }
-                    qubit_map[p as usize] = Some(cq);
+                    self.qubit_map[p as usize] = Some(cq);
+                    self.trail.push(TrailOp::Qubit(p));
                 }
             }
         }
         // Angle check.
         let actual = ins.gate.params();
-        let mut bindings = st.bindings.clone();
         for (slot, pp) in pi.params.iter().enumerate() {
             match pp {
-                AngleParam::Bind(vi) => match bindings[*vi as usize] {
+                AngleParam::Bind(vi) => match self.bindings[*vi as usize] {
                     Some(b) => {
                         if !approx_eq_mod_2pi(b, actual[slot], MATCH_ANGLE_TOL) {
-                            return None;
+                            self.rollback(cp);
+                            return false;
                         }
                     }
-                    None => bindings[*vi as usize] = Some(actual[slot]),
+                    None => {
+                        self.bindings[*vi as usize] = Some(actual[slot]);
+                        self.trail.push(TrailOp::Bind(*vi));
+                    }
                 },
                 AngleParam::Const(c) => {
                     if !approx_eq_mod_2pi(*c, actual[slot], MATCH_ANGLE_TOL) {
-                        return None;
+                        self.rollback(cp);
+                        return false;
                     }
                 }
-                AngleParam::Expr(_) => return None, // forbidden on LHS
+                AngleParam::Expr(_) => {
+                    self.rollback(cp);
+                    return false; // forbidden on LHS
+                }
             }
         }
-        let mut cursor = st.cursor.clone();
         for &q in ins.qubits() {
-            cursor[q as usize] = Some(cand);
+            self.set_cursor(q, cand);
         }
-        let mut indices = st.indices.clone();
-        indices.push(cand);
-        Some(State {
-            qubit_map,
-            bindings,
-            cursor,
-            indices,
-        })
+        self.indices.push(cand);
+        true
     }
 
-    // Recursive alignment search over pattern position `k`.
+    /// Depth-first alignment search over pattern position `k`.
     fn search(
+        &mut self,
         circuit: &Circuit,
         dag: &WireDag,
         lhs: &[crate::pattern::PatternInst],
         k: usize,
-        st: State,
         anchor: usize,
-    ) -> Option<State> {
+    ) -> bool {
         if k == lhs.len() {
-            return Some(st);
+            return true;
         }
         let pi = &lhs[k];
         // Determine the forced candidate: next instruction after the
@@ -167,68 +261,183 @@ pub fn match_at(circuit: &Circuit, dag: &WireDag, rule: &Rule, anchor: usize) ->
         } else {
             let mut cand: Option<usize> = None;
             for &p in &pi.qubits {
-                if let Some(cq) = st.qubit_map[p as usize] {
-                    let cur = st.cursor[cq as usize];
-                    let nxt = match cur {
+                if let Some(cq) = self.qubit_map[p as usize] {
+                    let nxt = match self.cursor(cq) {
                         Some(i) => dag.next_on_wire(circuit, i, cq),
                         None => dag.first_on_wire(cq),
                     };
                     match (cand, nxt) {
-                        (_, None) => return None,
+                        (_, None) => return false,
                         (None, Some(n)) => cand = Some(n),
                         (Some(c), Some(n)) => {
                             if c != n {
-                                return None;
+                                return false;
                             }
                         }
                     }
                 }
             }
-            cand? // rule construction guarantees ≥1 bound qubit
+            match cand {
+                Some(c) => c, // rule construction guarantees ≥1 bound qubit
+                None => return false,
+            }
         };
-        if st.indices.contains(&cand) {
-            return None;
+        if self.indices.contains(&cand) {
+            return false;
         }
+        let cp = self.checkpoint();
         for align in alignments(pi.kind) {
-            if let Some(next) = try_gate(circuit, &st, pi, cand, &align) {
-                if let Some(done) = search(circuit, dag, lhs, k + 1, next, anchor) {
-                    return Some(done);
+            if self.try_gate(circuit, pi, cand, align) {
+                if self.search(circuit, dag, lhs, k + 1, anchor) {
+                    return true;
                 }
+                self.rollback(cp);
             }
         }
-        None
+        false
     }
+}
 
-    let init = State {
-        qubit_map: vec![None; rule.lhs().num_qubits()],
-        bindings: vec![None; rule.lhs().num_vars()],
-        cursor: vec![None; circuit.num_qubits()],
-        indices: Vec::new(),
-    };
-    let done = search(circuit, dag, lhs, 0, init, anchor)?;
+/// Attempts to match `rule`'s LHS anchored at instruction `anchor`, using
+/// caller-provided scratch buffers (the allocation-free hot path).
+///
+/// Returns `None` if the pattern does not match there.
+pub fn match_at_scratch(
+    circuit: &Circuit,
+    dag: &WireDag,
+    rule: &Rule,
+    anchor: usize,
+    scratch: &mut MatchScratch,
+) -> Option<Match> {
+    let instrs = circuit.instructions();
+    if anchor >= instrs.len() {
+        return None;
+    }
+    scratch.reset(rule, circuit.num_qubits());
+    if !scratch.search(circuit, dag, rule.lhs().insts(), 0, anchor) {
+        return None;
+    }
 
     // Convexity: no unmatched instruction inside the span may touch a
     // bound wire.
-    let lo = *done.indices.iter().min().expect("non-empty");
-    let hi = *done.indices.iter().max().expect("non-empty");
-    let bound: Vec<Qubit> = done.qubit_map.iter().flatten().copied().collect();
+    let lo = *scratch.indices.iter().min().expect("non-empty");
+    let hi = *scratch.indices.iter().max().expect("non-empty");
     for (j, ins) in instrs.iter().enumerate().take(hi + 1).skip(lo) {
-        if !done.indices.contains(&j) && ins.qubits().iter().any(|q| bound.contains(q)) {
+        if !scratch.indices.contains(&j)
+            && ins
+                .qubits()
+                .iter()
+                .any(|q| scratch.qubit_map.contains(&Some(*q)))
+        {
             return None;
         }
     }
 
     Some(Match {
-        bindings: done.bindings.into_iter().map(|b| b.unwrap_or(0.0)).collect(),
-        qubit_map: done.qubit_map.into_iter().map(|m| m.expect("all pattern qubits bound")).collect(),
-        indices: done.indices,
+        bindings: scratch.bindings.iter().map(|b| b.unwrap_or(0.0)).collect(),
+        qubit_map: scratch
+            .qubit_map
+            .iter()
+            .map(|m| m.expect("all pattern qubits bound"))
+            .collect(),
+        indices: scratch.indices.clone(),
     })
+}
+
+/// Attempts to match `rule`'s LHS anchored at instruction `anchor`.
+///
+/// Allocates fresh scratch; prefer [`match_at_scratch`] in loops.
+pub fn match_at(circuit: &Circuit, dag: &WireDag, rule: &Rule, anchor: usize) -> Option<Match> {
+    let mut scratch = MatchScratch::new();
+    match_at_scratch(circuit, dag, rule, anchor, &mut scratch)
 }
 
 /// Finds the first match of `rule` scanning anchors from 0.
 pub fn find_first_match(circuit: &Circuit, rule: &Rule) -> Option<Match> {
     let dag = WireDag::build(circuit);
-    (0..circuit.len()).find_map(|a| match_at(circuit, &dag, rule, a))
+    let mut scratch = MatchScratch::new();
+    (0..circuit.len()).find_map(|a| match_at_scratch(circuit, &dag, rule, a, &mut scratch))
+}
+
+/// Converts a match into the equivalent local edit: remove the matched
+/// instructions and splice the instantiated RHS in at the span start.
+///
+/// Applying the patch yields exactly what the legacy pass emission
+/// produces for this match (the RHS goes where the first matched gate
+/// sat; unmatched gates inside the span act on disjoint qubits — the
+/// convexity check — and keep their relative order).
+pub fn match_to_patch(rule: &Rule, m: &Match) -> Patch {
+    let mut removed = m.indices.clone();
+    removed.sort_unstable();
+    let insert_at = removed[0];
+    let replacement = rule
+        .rhs()
+        .insts()
+        .iter()
+        .map(|pi| pi.instantiate(&m.bindings, &m.qubit_map))
+        .collect();
+    Patch::new(removed, replacement, insert_at)
+}
+
+/// Matches `rule` at `anchor` and, on success, returns the edit as a
+/// [`Patch`] — the single-edit entry point of the incremental engine.
+pub fn propose_rule_patch(
+    circuit: &Circuit,
+    dag: &WireDag,
+    rule: &Rule,
+    anchor: usize,
+    scratch: &mut MatchScratch,
+) -> Option<Patch> {
+    let m = match_at_scratch(circuit, dag, rule, anchor, scratch)?;
+    Some(match_to_patch(rule, &m))
+}
+
+/// Collects every disjoint match of `rule`, scanning anchors from `start`
+/// (wrapping around).
+fn collect_pass_matches(circuit: &Circuit, dag: &WireDag, rule: &Rule, start: usize) -> Vec<Match> {
+    let n = circuit.len();
+    let mut claimed = vec![false; n];
+    let mut matches: Vec<Match> = Vec::new();
+    let mut scratch = MatchScratch::new();
+    for off in 0..n {
+        let anchor = (start + off) % n;
+        if claimed[anchor] {
+            continue;
+        }
+        if let Some(m) = match_at_scratch(circuit, dag, rule, anchor, &mut scratch) {
+            if m.indices.iter().any(|&i| claimed[i]) {
+                continue;
+            }
+            for &i in &m.indices {
+                claimed[i] = true;
+            }
+            matches.push(m);
+        }
+    }
+    matches
+}
+
+/// Applies one full pass of `rule` against a prebuilt DAG (see
+/// [`apply_rule_pass`]).
+pub fn apply_rule_pass_with_dag(
+    circuit: &Circuit,
+    dag: &WireDag,
+    rule: &Rule,
+    start: usize,
+) -> Option<(Circuit, usize)> {
+    if circuit.is_empty() {
+        return None;
+    }
+    let matches = collect_pass_matches(circuit, dag, rule, start);
+    if matches.is_empty() {
+        return None;
+    }
+    // Each match becomes one patch (replacement at its span start —
+    // everything inside a span but unmatched commutes with the
+    // replacement by convexity); the disjoint patches are applied in a
+    // single walk.
+    let patches: Vec<Patch> = matches.iter().map(|m| match_to_patch(rule, m)).collect();
+    Some((qcir::edit::apply_disjoint(circuit, &patches), matches.len()))
 }
 
 /// Applies one full pass of `rule` over the circuit, starting the anchor
@@ -242,55 +451,37 @@ pub fn apply_rule_pass(circuit: &Circuit, rule: &Rule, start: usize) -> Option<(
         return None;
     }
     let dag = WireDag::build(circuit);
-    let n = circuit.len();
-    let mut claimed = vec![false; n];
-    let mut matches: Vec<Match> = Vec::new();
-    for off in 0..n {
-        let anchor = (start + off) % n;
-        if claimed[anchor] {
-            continue;
-        }
-        if let Some(m) = match_at(circuit, &dag, rule, anchor) {
-            if m.indices.iter().any(|&i| claimed[i]) {
-                continue;
-            }
-            for &i in &m.indices {
-                claimed[i] = true;
-            }
-            matches.push(m);
-        }
+    apply_rule_pass_with_dag(circuit, &dag, rule, start)
+}
+
+/// The patch-producing variant of [`apply_rule_pass`]: collects the same
+/// disjoint matches against a prebuilt DAG and returns them as
+/// [`Patch`]es over the *original* indexing (one per match), without
+/// materializing a circuit.
+///
+/// Applying all of them (e.g. with [`qcir::edit::apply_disjoint`])
+/// reproduces the legacy pass output exactly.
+pub fn rule_pass_patches(
+    circuit: &Circuit,
+    dag: &WireDag,
+    rule: &Rule,
+    start: usize,
+) -> Option<Vec<Patch>> {
+    if circuit.is_empty() {
+        return None;
     }
+    let matches = collect_pass_matches(circuit, dag, rule, start);
     if matches.is_empty() {
         return None;
     }
-    let count = matches.len();
-
-    // Splice all matches: emit each replacement at its span start;
-    // everything inside a span but unmatched commutes with the
-    // replacement (convexity), so order is preserved.
-    matches.sort_by_key(|m| m.span().0);
-    let mut by_start: Vec<Option<&Match>> = vec![None; n];
-    for m in &matches {
-        by_start[m.span().0] = Some(m);
-    }
-    let mut out = Circuit::new(circuit.num_qubits());
-    for (pos, ins) in circuit.iter().enumerate() {
-        if let Some(m) = by_start[pos] {
-            for pi in rule.rhs().insts() {
-                out.push_instruction(pi.instantiate(&m.bindings, &m.qubit_map));
-            }
-        }
-        if !claimed[pos] {
-            out.push_instruction(*ins);
-        }
-    }
-    Some((out, count))
+    Some(matches.iter().map(|m| match_to_patch(rule, m)).collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rule::dsl::*;
+    use qcir::edit::apply_disjoint;
     use qcir::Gate;
     use qcir::GateKind::*;
     use qsim::circuits_equivalent;
@@ -503,5 +694,59 @@ mod tests {
         c2.push(Gate::Rz(0.3), &[0]);
         c2.push(Gate::Rz(0.4), &[0]);
         assert!(find_first_match(&c2, &r).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_across_rules_and_anchors() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.25), &[0]);
+        c.push(Gate::Rz(0.5), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        let dag = WireDag::build(&c);
+        let mut scratch = MatchScratch::new();
+        // Interleave failed and successful matches of different rules.
+        assert!(match_at_scratch(&c, &dag, &cx_cancel(), 0, &mut scratch).is_none());
+        let m = match_at_scratch(&c, &dag, &rz_merge(), 0, &mut scratch).unwrap();
+        assert_eq!(m.indices, vec![0, 1]);
+        let m2 = match_at_scratch(&c, &dag, &cx_cancel(), 2, &mut scratch).unwrap();
+        assert_eq!(m2.indices, vec![2, 3]);
+        assert!(match_at_scratch(&c, &dag, &rz_merge(), 1, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn patch_path_matches_legacy_single_match() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.25), &[0]);
+        c.push(Gate::Rz(0.5), &[0]);
+        let dag = WireDag::build(&c);
+        let mut scratch = MatchScratch::new();
+        let patch = propose_rule_patch(&c, &dag, &rz_merge(), 0, &mut scratch).unwrap();
+        let patched = c.with_patch(&patch);
+        let (legacy, _) = apply_rule_pass(&c, &rz_merge(), 0).unwrap();
+        assert_eq!(patched, legacy);
+    }
+
+    #[test]
+    fn pass_patches_reproduce_legacy_pass() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[2]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[2, 3]);
+        c.push(Gate::Cx, &[2, 3]);
+        let dag = WireDag::build(&c);
+        for start in 0..c.len() {
+            let legacy = apply_rule_pass(&c, &cx_cancel(), start);
+            let patches = rule_pass_patches(&c, &dag, &cx_cancel(), start);
+            match (legacy, patches) {
+                (Some((out, k)), Some(ps)) => {
+                    assert_eq!(ps.len(), k);
+                    assert_eq!(apply_disjoint(&c, &ps), out, "start {start}");
+                }
+                (None, None) => {}
+                (l, p) => panic!("fired mismatch at {start}: {l:?} vs {p:?}"),
+            }
+        }
     }
 }

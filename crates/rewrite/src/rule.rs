@@ -185,7 +185,7 @@ pub mod dsl {
 #[cfg(test)]
 mod tests {
     use super::dsl::*;
-    use super::*;
+
     use qcir::GateKind::*;
 
     #[test]

@@ -158,7 +158,11 @@ pub fn eagle_rules() -> Vec<Rule> {
     let mut rules = cx_core_rules();
     rules.extend(rz_core_rules());
     rules.push(x_cancel());
-    rules.push(rule("sx-sx-to-x", vec![g1(Sx, 0), g1(Sx, 0)], vec![g1(X, 0)]));
+    rules.push(rule(
+        "sx-sx-to-x",
+        vec![g1(Sx, 0), g1(Sx, 0)],
+        vec![g1(X, 0)],
+    ));
     rules.push(rule(
         "sx-x-sx",
         vec![g1(Sx, 0), g1(X, 0), g1(Sx, 0)],
@@ -337,7 +341,11 @@ pub fn clifford_t_rules() -> Vec<Rule> {
         ("s-tdg-reorder", S, Tdg),
         ("sdg-tdg-reorder", Sdg, Tdg),
     ] {
-        rules.push(rule(name, vec![g1(a, 0), g1(b, 0)], vec![g1(b, 0), g1(a, 0)]));
+        rules.push(rule(
+            name,
+            vec![g1(a, 0), g1(b, 0)],
+            vec![g1(b, 0), g1(a, 0)],
+        ));
     }
     // X conjugation of phase gates: 3 → 1.
     for (name, p, pinv) in [
@@ -447,8 +455,10 @@ mod tests {
     #[test]
     fn rule_names_unique_per_set() {
         for set in GateSet::ALL {
-            let mut names: Vec<String> =
-                rules_for(set).iter().map(|r| r.name().to_string()).collect();
+            let mut names: Vec<String> = rules_for(set)
+                .iter()
+                .map(|r| r.name().to_string())
+                .collect();
             let n = names.len();
             names.sort();
             names.dedup();

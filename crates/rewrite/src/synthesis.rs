@@ -273,14 +273,10 @@ mod tests {
         assert!(!rules.is_empty());
         // Must discover the H·H and CX·CX cancellations…
         let cancels_h = rules.iter().any(|r| {
-            r.rhs().is_empty()
-                && r.lhs().len() == 2
-                && r.lhs().insts().iter().all(|i| i.kind == H)
+            r.rhs().is_empty() && r.lhs().len() == 2 && r.lhs().insts().iter().all(|i| i.kind == H)
         });
         let cancels_cx = rules.iter().any(|r| {
-            r.rhs().is_empty()
-                && r.lhs().len() == 2
-                && r.lhs().insts().iter().all(|i| i.kind == Cx)
+            r.rhs().is_empty() && r.lhs().len() == 2 && r.lhs().insts().iter().all(|i| i.kind == Cx)
         });
         // …and the Rz merge.
         let merges_rz = rules.iter().any(|r| {
@@ -294,7 +290,11 @@ mod tests {
         assert!(merges_rz, "Rz merge not discovered");
         // Every emitted rule verifies.
         for r in &rules {
-            assert!(r.verify(6, 7) < 1e-6, "unsound synthesized rule {}", r.name());
+            assert!(
+                r.verify(6, 7) < 1e-6,
+                "unsound synthesized rule {}",
+                r.name()
+            );
         }
     }
 
@@ -308,9 +308,9 @@ mod tests {
         };
         let rules = synthesize_rules(&[Rz, Cx], &cfg);
         // Rz(control); CX  ≡  CX; Rz(control) — paper Fig. 3c.
-        let commute = rules.iter().any(|r| {
-            r.lhs().len() == 2 && r.rhs().len() == 2 && r.gate_delta() == 0
-        });
+        let commute = rules
+            .iter()
+            .any(|r| r.lhs().len() == 2 && r.rhs().len() == 2 && r.gate_delta() == 0);
         assert!(commute, "no commutation discovered");
     }
 

@@ -84,12 +84,8 @@ pub fn synthesize_2q<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<Synthesized> {
     assert_eq!(target.rows(), 4, "synthesize_2q expects a 4x4 unitary");
-    let structures: [&[(usize, usize)]; 4] = [
-        &[],
-        &[(0, 1)],
-        &[(0, 1), (1, 0)],
-        &[(0, 1), (1, 0), (0, 1)],
-    ];
+    let structures: [&[(usize, usize)]; 4] =
+        [&[], &[(0, 1)], &[(0, 1), (1, 0)], &[(0, 1), (1, 0), (0, 1)]];
     for cx in structures {
         let tpl = Template::with_cx_sequence(2, cx);
         let probe = instantiate(&tpl, target, &opts.search, rng);
@@ -260,7 +256,12 @@ mod tests {
     #[test]
     fn synth_1q_roundtrip() {
         let mut rng = SmallRng::seed_from_u64(11);
-        for set in [GateSet::Ibmq20, GateSet::IbmEagle, GateSet::Ionq, GateSet::Nam] {
+        for set in [
+            GateSet::Ibmq20,
+            GateSet::IbmEagle,
+            GateSet::Ionq,
+            GateSet::Nam,
+        ] {
             let u = random_unitary(2, &mut rng);
             let s = synthesize_1q(&u, set).unwrap();
             assert!(s.distance < 1e-7, "{set}: {}", s.distance);
@@ -331,7 +332,11 @@ mod tests {
         c.push(Gate::Cx, &[1, 2]);
         let target = c.unitary();
         let s = synthesize_3q(&target, &SynthOpts::default(), &mut rng).unwrap();
-        assert!(s.circuit.two_qubit_count() <= 2, "got {}", s.circuit.two_qubit_count());
+        assert!(
+            s.circuit.two_qubit_count() <= 2,
+            "got {}",
+            s.circuit.two_qubit_count()
+        );
         assert!(s.distance < 1e-8);
     }
 }

@@ -199,8 +199,8 @@ pub fn synthesize_finite<R: Rng + ?Sized>(
                 let old = slots[pos].clone();
                 slots[pos] = pool[rng.random_range(0..pool.len())].clone();
                 let new_cost = sequence_distance(&slots, n_qubits, target);
-                let accept = new_cost <= cost
-                    || rng.random::<f64>() < ((cost - new_cost) / temp).exp();
+                let accept =
+                    new_cost <= cost || rng.random::<f64>() < ((cost - new_cost) / temp).exp();
                 if accept {
                     cost = new_cost;
                 } else {
@@ -220,11 +220,7 @@ pub fn synthesize_finite<R: Rng + ?Sized>(
     None
 }
 
-fn sequence_distance(
-    slots: &[Option<(Gate, Vec<Qubit>)>],
-    n_qubits: usize,
-    target: &Mat,
-) -> f64 {
+fn sequence_distance(slots: &[Option<(Gate, Vec<Qubit>)>], n_qubits: usize, target: &Mat) -> f64 {
     let mut c = Circuit::new(n_qubits);
     for slot in slots.iter().flatten() {
         c.push(slot.0, &slot.1);
@@ -324,13 +320,8 @@ mod tests {
     #[test]
     fn identity_synthesizes_to_empty() {
         let mut rng = SmallRng::seed_from_u64(24);
-        let c = synthesize_finite(
-            &Mat::identity(4),
-            2,
-            &FiniteSynthOpts::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let c =
+            synthesize_finite(&Mat::identity(4), 2, &FiniteSynthOpts::default(), &mut rng).unwrap();
         assert!(c.is_empty());
     }
 }

@@ -75,7 +75,10 @@ impl Template {
 
     /// Number of CX gates in the structure.
     pub fn cx_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, TOp::Cx { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, TOp::Cx { .. }))
+            .count()
     }
 
     /// The operations.
@@ -120,7 +123,9 @@ impl Template {
                     qcir::Gate::U3(params[pidx], params[pidx + 1], params[pidx + 2]),
                     &[qubit as qcir::Qubit],
                 ),
-                TOp::Cx { c: cc, t } => c.push(qcir::Gate::Cx, &[cc as qcir::Qubit, t as qcir::Qubit]),
+                TOp::Cx { c: cc, t } => {
+                    c.push(qcir::Gate::Cx, &[cc as qcir::Qubit, t as qcir::Qubit])
+                }
             }
         }
         c
@@ -357,12 +362,7 @@ fn cost_gradient(template: &Template, target: &Mat, params: &[f64]) -> Vec<f64> 
 /// Levenberg–Marquardt polish on the phase-aligned residuals
 /// `vec(e^{-iφ}V(θ) − U)` — converges quadratically once inside the
 /// basin, which Adam alone cannot do at 1e-10 scales.
-fn gauss_newton_polish(
-    template: &Template,
-    target: &Mat,
-    params: &mut [f64],
-    iters: usize,
-) -> f64 {
+fn gauss_newton_polish(template: &Template, target: &Mat, params: &mut [f64], iters: usize) -> f64 {
     let np = params.len();
     if np == 0 {
         return accurate_hs_distance(target, &template.unitary(params));
@@ -430,11 +430,7 @@ fn gauss_newton_polish(
                 m[a * nv + a] += lambda * (1.0 + jtj[a * nv + a]);
             }
             if let Some(delta) = solve_dense(&m, &jtr, nv) {
-                let cand: Vec<f64> = params
-                    .iter()
-                    .zip(&delta)
-                    .map(|(p, d)| p - d)
-                    .collect();
+                let cand: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - d).collect();
                 let d = accurate_hs_distance(target, &template.unitary(&cand));
                 if d < best_d {
                     params.copy_from_slice(&cand);

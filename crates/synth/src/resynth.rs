@@ -26,21 +26,12 @@ pub struct Resynthesized {
 }
 
 /// Configuration for a [`Resynthesizer`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ResynthOpts {
     /// Options for continuous synthesis.
     pub continuous: SynthOpts,
     /// Options for finite-set synthesis.
     pub finite: FiniteSynthOpts,
-}
-
-impl Default for ResynthOpts {
-    fn default() -> Self {
-        ResynthOpts {
-            continuous: SynthOpts::default(),
-            finite: FiniteSynthOpts::default(),
-        }
-    }
 }
 
 impl ResynthOpts {

@@ -183,16 +183,10 @@ pub fn tof_chain(n: usize) -> Circuit {
     assert!(n >= 3, "tof_chain needs at least 3 qubits");
     let mut c = Circuit::new(n);
     for i in 0..n - 2 {
-        c.push(
-            Gate::Ccx,
-            &[i as Qubit, (i + 1) as Qubit, (i + 2) as Qubit],
-        );
+        c.push(Gate::Ccx, &[i as Qubit, (i + 1) as Qubit, (i + 2) as Qubit]);
     }
     for i in (0..n - 2).rev() {
-        c.push(
-            Gate::Ccx,
-            &[i as Qubit, (i + 1) as Qubit, (i + 2) as Qubit],
-        );
+        c.push(Gate::Ccx, &[i as Qubit, (i + 1) as Qubit, (i + 2) as Qubit]);
     }
     c
 }
@@ -405,10 +399,7 @@ mod tests {
             // reversed-bit positions must be ω^{k·1}/√N.
             let expect = qmath::C64::cis(w * k as f64).scale(1.0 / (n as f64).sqrt());
             let got = u[(k, 1)];
-            assert!(
-                got.approx_eq(expect, 1e-9),
-                "k={k}: {got} vs {expect}"
-            );
+            assert!(got.approx_eq(expect, 1e-9), "k={k}: {got} vs {expect}");
         }
     }
 

@@ -121,7 +121,7 @@ pub fn suite(set: GateSet, scale: SuiteScale) -> Vec<Benchmark> {
                     gen::quantum_volume(n, layers + 1, 7000 + n as u64),
                 );
             }
-            if n >= 4 && n <= 16 {
+            if (4..=16).contains(&n) {
                 push(
                     &mut out,
                     set,

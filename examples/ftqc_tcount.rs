@@ -51,7 +51,10 @@ fn main() {
         result.circuit.t_count(),
         result.circuit.two_qubit_count()
     );
-    assert!(result.circuit.t_count() <= folded.t_count(), "T must not grow");
+    assert!(
+        result.circuit.t_count() <= folded.t_count(),
+        "T must not grow"
+    );
 
     let verdict = check_equivalence(&circuit, &result.circuit, 0);
     println!("equivalence: Δ = {:.2e}", verdict.distance());

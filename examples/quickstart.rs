@@ -40,7 +40,13 @@ fn main() {
 
     let verdict = check_equivalence(&circuit, &result.circuit, 0);
     println!("equivalence check: Δ = {:.2e}", verdict.distance());
-    assert!(verdict.holds_within(1e-6), "optimizer must preserve semantics");
-    assert!(result.circuit.len() <= 3, "Fig. 4/5 shape: 4 gates become 3");
+    assert!(
+        verdict.holds_within(1e-6),
+        "optimizer must preserve semantics"
+    );
+    assert!(
+        result.circuit.len() <= 3,
+        "Fig. 4/5 shape: 4 gates become 3"
+    );
     println!("ok: reproduced the paper's Fig. 4/5 example");
 }

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example rule_synthesis`
 
-use qcir::GateKind::{Cx, H, Rz, X};
+use qcir::GateKind::{Cx, Rz, H, X};
 use qrewrite::synthesis::{synthesize_rules, SynthesisConfig};
 
 fn main() {

@@ -4,13 +4,42 @@
 //! use a single dependency. See the individual crates for the actual APIs:
 //!
 //! * [`qmath`] — complex linear algebra and distance metrics
-//! * [`qcir`] — circuit IR, gate sets, rebasing, QASM I/O
+//! * [`qcir`] — circuit IR, gate sets, rebasing, QASM I/O, and the
+//!   patch-based edit layer (`qcir::edit`) with incremental
+//!   `WireDag` maintenance
 //! * [`qsim`] — statevector simulation and equivalence checking
-//! * [`qrewrite`] — rewrite rules: matching, application, synthesis
+//! * [`qrewrite`] — rewrite rules: matching, application, synthesis;
+//!   patch-producing variants of every pass for the incremental engine
 //! * [`qsynth`] — unitary synthesis (continuous and finite gate sets)
 //! * [`qfold`] — phase-polynomial rotation folding (PyZX stand-in)
 //! * [`guoq`] — the GUOQ optimizer and all baseline optimizers
 //! * [`workloads`] — benchmark circuit generators
+//!
+//! # The edit-engine architecture
+//!
+//! GUOQ's inner loop is an anytime stochastic search whose quality is
+//! proportional to iterations per second. The workspace therefore keeps
+//! *two* iteration engines behind one API (`guoq::Engine`):
+//!
+//! * **Incremental (default).** A `guoq::SearchCtx` owns one working
+//!   circuit and a cached wire DAG for the whole search. Transformations
+//!   propose `qcir::edit::Patch`es (removed indices + replacement +
+//!   splice position); `guoq::CostFn::delta` prices each candidate in
+//!   O(edit span); accepted edits are applied in place via
+//!   `Circuit::apply_patch` + `WireDag::splice`, which relinks only the
+//!   wires crossing the edit window. Per-iteration work scales with the
+//!   edit, not the circuit — on a 10,000-gate circuit the loop runs
+//!   hundreds of times faster than the clone–rebuild baseline (see
+//!   `crates/bench/benches/guoq_iter.rs`, which emits
+//!   `BENCH_guoq_iter.json`).
+//! * **CloneRebuild.** The original clone + DAG-rebuild + full-recost
+//!   loop, kept as the differential baseline; `tests/patch_differential.rs`
+//!   proves the patch *machinery* (single-match edits, DAG splices, cost
+//!   deltas, full passes expressed as patches) bit-identical to the
+//!   legacy machinery on random circuits across every rule corpus and
+//!   cost function. The engines' search *trajectories* differ by design
+//!   (one local edit vs one full pass per iteration); both preserve
+//!   semantics with exact cost accounting.
 
 pub use guoq;
 pub use qcir;

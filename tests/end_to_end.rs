@@ -61,11 +61,7 @@ fn guoq_reduces_toffoli_pair_to_nothing_like() {
 
 #[test]
 fn fold_then_guoq_never_increases_t() {
-    let circuit = rebase(
-        &workloads::generators::cuccaro_adder(3),
-        GateSet::CliffordT,
-    )
-    .unwrap();
+    let circuit = rebase(&workloads::generators::cuccaro_adder(3), GateSet::CliffordT).unwrap();
     let folded = qfold::fold_rotations(&circuit, qfold::EmitStyle::CliffordT);
     assert!(folded.t_count() <= circuit.t_count());
     let g = Guoq::for_gate_set(GateSet::CliffordT, opts(800, 5));
