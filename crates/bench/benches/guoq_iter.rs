@@ -11,49 +11,10 @@
 
 use guoq::cost::TwoQubitCount;
 use guoq::{Budget, Engine, Guoq, GuoqOpts};
-use qcir::{Circuit, Gate, GateSet};
+use guoq_bench::tiled_workload;
+use qcir::{Circuit, GateSet};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
-
-/// A circuit of roughly `len` gates on a fixed 12-qubit register.
-///
-/// The tile is mostly irredundant (so the circuit keeps its size and the
-/// engines spend their time probing, as a converged anytime search does),
-/// contains Rz–CX structure that fires equal-cost commutation rewrites
-/// (plateau churn), and every fourth tile carries one cancellable CX pair
-/// — a constant-span improvement trickle whose density is independent of
-/// circuit size.
-fn tiled_workload(len: usize) -> Circuit {
-    const Q: u32 = 12;
-    let mut c = Circuit::new(Q as usize);
-    let mut base = 0u32;
-    let mut tile = 0u32;
-    while c.len() + 13 <= len {
-        let a = base % Q;
-        let b = (base + 1) % Q;
-        let d = (base + 5) % Q;
-        c.push(Gate::Cx, &[a, b]);
-        c.push(Gate::T, &[b]);
-        c.push(Gate::Rz(0.37), &[a]);
-        c.push(Gate::Cx, &[b, d]);
-        c.push(Gate::H, &[d]);
-        c.push(Gate::T, &[a]);
-        c.push(Gate::Cx, &[a, d]);
-        c.push(Gate::Rz(0.81), &[b]);
-        c.push(Gate::H, &[b]);
-        c.push(Gate::T, &[d]);
-        if tile % 4 == 3 {
-            c.push(Gate::Cx, &[a, b]);
-            c.push(Gate::Cx, &[a, b]);
-        }
-        base = base.wrapping_add(3);
-        tile += 1;
-    }
-    while c.len() < len {
-        c.push(Gate::T, &[(c.len() as u32) % Q]);
-    }
-    c
-}
 
 struct Row {
     size: usize,
@@ -82,6 +43,7 @@ fn run(circuit: &Circuit, engine: Engine, budget: Duration) -> Row {
         engine: match engine {
             Engine::Incremental => "incremental",
             Engine::CloneRebuild => "clone-rebuild",
+            Engine::Sharded { .. } => "sharded", // measured by guoq_parallel
         },
         iterations: r.iterations,
         seconds,

@@ -354,6 +354,51 @@ pub fn nisq_baselines(set: GateSet, eps_total: f64, seed: u64) -> Vec<Box<dyn Op
     ]
 }
 
+/// The iteration-throughput bench workload shared by `guoq_iter` and
+/// `guoq_parallel`: a circuit of roughly `len` gates on a fixed
+/// 12-qubit register built from a repeated tile, so rewrite
+/// opportunities occur at a size-independent rate (constant-span
+/// edits).
+///
+/// The tile is mostly irredundant (so the circuit keeps its size and
+/// the engines spend their time probing, as a converged anytime search
+/// does), contains Rz–CX structure that fires equal-cost commutation
+/// rewrites (plateau churn), and every fourth tile carries one
+/// cancellable CX pair — a constant-span improvement trickle whose
+/// density is independent of circuit size.
+pub fn tiled_workload(len: usize) -> Circuit {
+    use qcir::Gate;
+    const Q: u32 = 12;
+    let mut c = Circuit::new(Q as usize);
+    let mut base = 0u32;
+    let mut tile = 0u32;
+    while c.len() + 13 <= len {
+        let a = base % Q;
+        let b = (base + 1) % Q;
+        let d = (base + 5) % Q;
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::T, &[b]);
+        c.push(Gate::Rz(0.37), &[a]);
+        c.push(Gate::Cx, &[b, d]);
+        c.push(Gate::H, &[d]);
+        c.push(Gate::T, &[a]);
+        c.push(Gate::Cx, &[a, d]);
+        c.push(Gate::Rz(0.81), &[b]);
+        c.push(Gate::H, &[b]);
+        c.push(Gate::T, &[d]);
+        if tile % 4 == 3 {
+            c.push(Gate::Cx, &[a, b]);
+            c.push(Gate::Cx, &[a, b]);
+        }
+        base = base.wrapping_add(3);
+        tile += 1;
+    }
+    while c.len() < len {
+        c.push(Gate::T, &[(c.len() as u32) % Q]);
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

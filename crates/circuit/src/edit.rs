@@ -132,6 +132,27 @@ impl Patch {
         }
     }
 
+    /// Re-expresses the patch in the coordinates of an enclosing circuit
+    /// in which this patch's frame begins at index `by`: every removed
+    /// index and the insertion point shift right by `by`.
+    ///
+    /// This lifts a patch produced against a *shard* — a contiguous
+    /// instruction window extracted from a parent circuit (see
+    /// [`crate::shard`]) — back into the parent: the shard's local
+    /// index `i` names the parent instruction `lo + i`, so a sound
+    /// shard-local patch lifts to a sound parent patch as long as the
+    /// parent window content is unchanged. (The shipped coordinator
+    /// commits whole shard circuits instead; lifting is the
+    /// edit-granular alternative, property-tested to compose to the
+    /// same result.)
+    pub fn offset(&self, by: usize) -> Patch {
+        Patch {
+            removed: self.removed.iter().map(|&i| i + by).collect(),
+            replacement: self.replacement.clone(),
+            insert_at: self.insert_at + by,
+        }
+    }
+
     /// Maps a retained pre-patch index to its post-patch index.
     ///
     /// # Panics
@@ -436,6 +457,26 @@ mod tests {
         assert_eq!(patch.map_index(0), 0);
         assert_eq!(patch.map_index(2), 2);
         assert_eq!(patch.map_index(4), 3);
+    }
+
+    #[test]
+    fn offset_matches_manual_shift() {
+        // A patch against the sub-list starting at parent index 2 must,
+        // once offset, act on the parent exactly as it acted locally.
+        let parent = sample();
+        let shard = Circuit::from_instructions(3, parent.instructions()[2..].to_vec());
+        let local = Patch::new(vec![0, 2], vec![Instruction::new(Gate::S, &[2])], 1);
+        let lifted = local.offset(2);
+        assert_eq!(lifted.removed(), &[2, 4]);
+        assert_eq!(lifted.insert_at(), 3);
+        let shard_out = shard.with_patch(&local);
+        let parent_out = parent.with_patch(&lifted);
+        assert_eq!(
+            &parent_out.instructions()[2..],
+            shard_out.instructions(),
+            "lifted patch must rewrite the parent window identically"
+        );
+        assert_eq!(&parent_out.instructions()[..2], &parent.instructions()[..2]);
     }
 
     #[test]

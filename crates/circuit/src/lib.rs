@@ -13,6 +13,9 @@
 //! * [`region::Region`]: convex subcircuits — extraction and sound
 //!   replacement (the substrate for both rewrite application and
 //!   resynthesis)
+//! * [`shard::ShardPlan`]: contiguous-window partitioning with boundary
+//!   metadata and patch re-offsetting — the substrate for sharded
+//!   parallel optimization
 //! * [`gateset::GateSet`] and [`rebase::rebase`]: the paper's Table 2 gate
 //!   sets and verified decompositions into them
 //! * [`qasm`]: OpenQASM 2.0 subset I/O
@@ -39,9 +42,11 @@ pub mod gateset;
 pub mod qasm;
 pub mod rebase;
 pub mod region;
+pub mod shard;
 
 pub use circuit::{Circuit, GateCounts, Instruction, Qubit};
 pub use edit::{Patch, PatchUndo};
 pub use gate::{Gate, GateKind};
 pub use gateset::GateSet;
 pub use region::Region;
+pub use shard::{ShardPlan, ShardSpec};

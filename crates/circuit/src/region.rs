@@ -12,7 +12,8 @@
 //! trivially sound: the non-member instructions inside the window act on
 //! disjoint qubits and therefore commute with the replacement.
 
-use crate::circuit::{Circuit, Qubit};
+use crate::circuit::{Circuit, Instruction, Qubit};
+use crate::edit::Patch;
 
 /// A convex subcircuit: a qubit set and instruction window.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,40 +310,64 @@ impl Region {
         local
     }
 
-    /// Replaces the member gates with `replacement` (a circuit on the
-    /// region's local qubits), leaving the interleaved disjoint gates in
-    /// place. Returns the new circuit.
+    /// Expresses "replace the member gates with `replacement`" as a
+    /// [`Patch`]: the members are removed and the replacement (mapped
+    /// back to global qubits) is spliced in just after the window, where
+    /// it commutes past the window's disjoint spectator gates. Applying
+    /// the patch costs O(window), not O(circuit) — the substrate for
+    /// in-place resynthesis commits.
     ///
     /// # Panics
     ///
     /// Panics if `replacement.num_qubits()` differs from the region's
-    /// qubit count or if the window is out of bounds for `circuit`.
-    pub fn replace(&self, circuit: &Circuit, replacement: &Circuit) -> Circuit {
+    /// qubit count, if the window is out of bounds for `circuit`, or if
+    /// the window violates the region invariant (a gate partially
+    /// overlapping the qubit set — the region was built for a different
+    /// circuit).
+    pub fn replacement_patch(&self, circuit: &Circuit, replacement: &Circuit) -> Patch {
         assert_eq!(
             replacement.num_qubits(),
             self.qubits.len(),
             "replacement qubit count mismatch"
         );
         assert!(self.hi < circuit.len(), "region out of bounds");
-        let instrs = circuit.instructions();
-        let mut out = Circuit::new(circuit.num_qubits());
-        for ins in &instrs[..self.lo] {
-            out.push_instruction(*ins);
-        }
-        // Disjoint gates inside the window keep their relative order and
-        // are emitted before the replacement (they commute with it).
-        for ins in &instrs[self.lo..=self.hi] {
-            match classify(ins.qubits(), &self.qubits) {
-                Overlap::Disjoint => out.push_instruction(*ins),
-                Overlap::Inside => {}
-                Overlap::Partial => unreachable!("region invariant violated"),
-            }
-        }
-        out.extend_mapped(replacement, &self.qubits);
-        for ins in &instrs[self.hi + 1..] {
-            out.push_instruction(*ins);
-        }
-        out
+        // The emitted patch is only sound if the window invariant holds
+        // (a partially-overlapping gate would not commute with the
+        // replacement); a region used against a circuit it was not
+        // built for must fail here, not splice silently. O(window),
+        // like the member_indices walk below.
+        assert!(
+            circuit.instructions()[self.lo..=self.hi]
+                .iter()
+                .all(|ins| classify(ins.qubits(), &self.qubits) != Overlap::Partial),
+            "region invariant violated"
+        );
+        let mapped: Vec<Instruction> = replacement
+            .iter()
+            .map(|ins| {
+                let qs: Vec<Qubit> = ins
+                    .qubits()
+                    .iter()
+                    .map(|&q| self.qubits[q as usize])
+                    .collect();
+                Instruction::new(ins.gate, &qs)
+            })
+            .collect();
+        Patch::new(self.member_indices(circuit), mapped, self.hi + 1)
+    }
+
+    /// Replaces the member gates with `replacement` (a circuit on the
+    /// region's local qubits), leaving the interleaved disjoint gates in
+    /// place. Returns the new circuit; only the region window is
+    /// rewritten (one [`Patch`] splice), everything outside it is copied
+    /// once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replacement.num_qubits()` differs from the region's
+    /// qubit count or if the window is out of bounds for `circuit`.
+    pub fn replace(&self, circuit: &Circuit, replacement: &Circuit) -> Circuit {
+        circuit.with_patch(&self.replacement_patch(circuit, replacement))
     }
 }
 
@@ -444,6 +469,27 @@ mod tests {
         let replaced = r.replace(&c, &empty);
         assert_eq!(replaced.len(), 1);
         assert!(hs_distance(&replaced.unitary(), &c.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn replacement_patch_matches_legacy_emission_order() {
+        // The patch-based replace must reproduce the historical order:
+        // prefix, disjoint window spectators, replacement, suffix.
+        let c = sample();
+        let r = Region::from_window(&c, vec![1, 2], 3, 4).unwrap();
+        let mut repl = Circuit::new(2);
+        repl.push(Gate::Cz, &[0, 1]);
+        let patch = r.replacement_patch(&c, &repl);
+        assert_eq!(patch.removed(), &[3, 4]);
+        assert_eq!(patch.insert_at(), 5);
+        let out = r.replace(&c, &repl);
+        let mut expect = Circuit::new(4);
+        for ins in &c.instructions()[..3] {
+            expect.push_instruction(*ins);
+        }
+        expect.push(Gate::Cz, &[1, 2]);
+        expect.push(Gate::Cx, &[2, 3]);
+        assert_eq!(out, expect);
     }
 
     #[test]

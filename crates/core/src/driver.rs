@@ -1,0 +1,324 @@
+//! The single-shard search driver: Algorithm 1's mutable state and
+//! acceptance rule, shared by every engine.
+//!
+//! Before this module existed, the sync and async optimizers each
+//! carried their own copy of the Metropolis/budget loop (and the legacy
+//! clone–rebuild engine a third). A [`ShardDriver`] is the one
+//! implementation: it owns the working circuit (inside a
+//! [`SearchCtx`]), the running cost/ε tallies, best-so-far tracking and
+//! the history trace, and exposes the loop as composable pieces —
+//! [`step`](ShardDriver::step) for a full Algorithm-1 iteration,
+//! [`fast_move`](ShardDriver::fast_move)/[`offer_resynth`](ShardDriver::offer_resynth)
+//! for the async driver's interleaving, and [`run`](ShardDriver::run)
+//! for the plain budget loop.
+//!
+//! The same driver powers the sharded parallel engine: each worker
+//! constructs a `ShardDriver` over its shard circuit with a per-slice
+//! iteration budget and a per-epoch ε allowance, which is exactly the
+//! "single-shard driver" role the name comes from.
+
+use crate::cost::CostFn;
+use crate::guoq::{Budget, GuoqOpts, GuoqResult, HistoryPoint};
+use crate::transform::{Applied, PatchApplied, ResynthPass, SearchCtx, Transformation};
+use qcir::Circuit;
+use qrewrite::MatchScratch;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Lines 10–12 of Algorithm 1: accept every cost-non-increasing move,
+/// and a worsening one with probability `exp(−t·cost′/cost)`. The single
+/// source of truth for every engine's acceptance rule.
+pub fn metropolis_accepts(
+    cost_new: f64,
+    cost_curr: f64,
+    temperature: f64,
+    rng: &mut SmallRng,
+) -> bool {
+    if cost_new <= cost_curr {
+        true
+    } else if cost_curr > 0.0 {
+        let p = (-temperature * cost_new / cost_curr).exp();
+        rng.random::<f64>() < p
+    } else {
+        false
+    }
+}
+
+/// Algorithm 1's mutable search state over one circuit (a whole circuit
+/// for the serial engines, one shard for the parallel engine): the
+/// [`SearchCtx`] plus cost/ε accounting, acceptance, and best-so-far
+/// tracking.
+///
+/// The tracked cost is updated by [`CostFn::delta`] per accepted patch
+/// instead of a full recompute; the differential tests assert it never
+/// drifts from the recomputed cost.
+pub struct ShardDriver<'c> {
+    ctx: SearchCtx,
+    cost: &'c dyn CostFn,
+    cost_curr: f64,
+    err_curr: f64,
+    eps_budget: f64,
+    best: Circuit,
+    cost_best: f64,
+    err_best: f64,
+    iterations: u64,
+    accepted: u64,
+    resynth_hits: u64,
+    history: Vec<HistoryPoint>,
+    temperature: f64,
+    resynth_probability: f64,
+    record_history: bool,
+    /// Take the incremental patch path (the default); the clone–rebuild
+    /// baseline clears this and pays the materializing
+    /// [`Transformation::apply`] instead.
+    use_patches: bool,
+    started: Instant,
+}
+
+impl<'c> ShardDriver<'c> {
+    /// Creates a driver owning `circuit`, configured from `opts`
+    /// (temperature, ε budget, resynthesis probability, anchor bias,
+    /// history recording). `started` anchors history timestamps — pass
+    /// the search's global start so shard histories are coherent.
+    pub fn new(circuit: Circuit, cost: &'c dyn CostFn, opts: &GuoqOpts, started: Instant) -> Self {
+        Self::with_scratch(circuit, cost, opts, started, MatchScratch::new())
+    }
+
+    /// Like [`Self::new`], reusing an existing matcher scratch — shard
+    /// workers recycle one scratch across every task they process so
+    /// its buffers stay grown.
+    pub fn with_scratch(
+        circuit: Circuit,
+        cost: &'c dyn CostFn,
+        opts: &GuoqOpts,
+        started: Instant,
+        scratch: MatchScratch,
+    ) -> Self {
+        let c0 = cost.cost(&circuit);
+        let mut history = Vec::new();
+        if opts.record_history {
+            history.push(HistoryPoint {
+                seconds: 0.0,
+                iteration: 0,
+                best_cost: c0,
+                best_two_qubit: circuit.two_qubit_count(),
+            });
+        }
+        ShardDriver {
+            best: circuit.clone(),
+            cost,
+            ctx: SearchCtx::with_scratch(circuit, opts.dirty_window_bias, scratch),
+            cost_curr: c0,
+            err_curr: 0.0,
+            eps_budget: opts.eps_total,
+            cost_best: c0,
+            err_best: 0.0,
+            iterations: 0,
+            accepted: 0,
+            resynth_hits: 0,
+            history,
+            temperature: opts.temperature,
+            resynth_probability: opts.resynth_probability,
+            record_history: opts.record_history,
+            use_patches: true,
+            started,
+        }
+    }
+
+    /// Overrides the ε budget (the sharded engine hands each shard an
+    /// allowance carved from the global budget).
+    pub fn with_eps_budget(mut self, eps_budget: f64) -> Self {
+        self.eps_budget = eps_budget;
+        self
+    }
+
+    /// Selects the candidate-production path: `true` (default) for the
+    /// incremental patch path, `false` for the materializing
+    /// clone–rebuild baseline.
+    pub fn with_use_patches(mut self, use_patches: bool) -> Self {
+        self.use_patches = use_patches;
+        self
+    }
+
+    /// The current working circuit.
+    pub fn circuit(&self) -> &Circuit {
+        self.ctx.circuit()
+    }
+
+    /// Iterations performed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// True when a transformation declaring `eps` still fits the budget
+    /// (line 6 of Algorithm 1).
+    pub fn can_afford(&self, eps: f64) -> bool {
+        self.err_curr + eps <= self.eps_budget
+    }
+
+    /// Counts an iteration. [`Self::step`] does this itself; the async
+    /// driver calls it once per loop cycle before interleaving.
+    pub fn begin_iteration(&mut self) {
+        self.iterations += 1;
+    }
+
+    /// One full Algorithm-1 iteration: pick a transformation (slow with
+    /// probability `resynth_probability`, a uniform fast one otherwise),
+    /// attempt it, and run the acceptance rule.
+    ///
+    /// Returns `false` when there is no transformation to try at all
+    /// (both pools empty) — the caller should stop looping.
+    pub fn step(
+        &mut self,
+        fast: &[Box<dyn Transformation>],
+        slow: &[ResynthPass],
+        rng: &mut SmallRng,
+    ) -> bool {
+        if fast.is_empty() && slow.is_empty() {
+            // Nothing to try: report it without charging a phantom
+            // iteration (the coordinator's stall guard keys on zero
+            // iterations per epoch).
+            return false;
+        }
+        self.begin_iteration();
+        // Line 5: randomly select a transformation.
+        let use_slow =
+            !slow.is_empty() && !fast.is_empty() && rng.random::<f64>() < self.resynth_probability
+                || fast.is_empty();
+        if use_slow && !slow.is_empty() {
+            let t = &slow[rng.random_range(0..slow.len())];
+            // Line 6: the declared ε must fit in the remaining budget.
+            if !self.can_afford(Transformation::epsilon(t)) {
+                return true;
+            }
+            if self.use_patches {
+                if let Some(pa) = Transformation::apply_patch(t, &mut self.ctx, rng) {
+                    self.resynth_hits += 1;
+                    self.consider_patch(pa, rng);
+                }
+            } else if let Some(applied) = t.apply(self.ctx.circuit(), rng) {
+                self.resynth_hits += 1;
+                self.consider_full(applied, rng);
+            }
+        } else {
+            self.fast_move(fast, rng);
+        }
+        true
+    }
+
+    /// Attempts one uniformly-chosen fast transformation and runs the
+    /// acceptance rule (the async driver's rewrite interleaving).
+    pub fn fast_move(&mut self, fast: &[Box<dyn Transformation>], rng: &mut SmallRng) {
+        let t = &fast[rng.random_range(0..fast.len())];
+        if self.use_patches && t.supports_patches() {
+            if let Some(pa) = t.apply_patch(&mut self.ctx, rng) {
+                self.consider_patch(pa, rng);
+            }
+        } else if let Some(applied) = t.apply(self.ctx.circuit(), rng) {
+            // Patch-less transformation (or the clone–rebuild baseline):
+            // fall back to the materializing API for this move.
+            self.consider_full(applied, rng);
+        }
+    }
+
+    /// Offers an asynchronously-produced resynthesis result: counts the
+    /// hit and runs the acceptance rule. Accepting replaces the whole
+    /// working circuit (discarding interim rewrite edits, as §5.3
+    /// prescribes).
+    pub fn offer_resynth(&mut self, applied: Applied, rng: &mut SmallRng) {
+        self.resynth_hits += 1;
+        self.consider_full(applied, rng);
+    }
+
+    /// The plain budget loop: [`Self::step`] until `budget` is
+    /// exhausted (against the driver's start instant), the optional
+    /// wall-clock `deadline` passes (shard workers stop mid-slice when
+    /// the global time budget runs out), or no transformation exists.
+    pub fn run(
+        &mut self,
+        fast: &[Box<dyn Transformation>],
+        slow: &[ResynthPass],
+        rng: &mut SmallRng,
+        budget: Budget,
+        deadline: Option<Instant>,
+    ) {
+        while !budget.exhausted(self.started, self.iterations)
+            && deadline.is_none_or(|d| Instant::now() < d)
+        {
+            if !self.step(fast, slow, rng) {
+                break;
+            }
+        }
+    }
+
+    /// Lines 10–18 of Algorithm 1 for a candidate patch: the cost change
+    /// comes from [`CostFn::delta`] (O(edit span)), and only an accepted
+    /// edit is committed — a rejected candidate is simply dropped, no
+    /// clone, apply, or revert required.
+    fn consider_patch(&mut self, pa: PatchApplied, rng: &mut SmallRng) {
+        let cost_new = self.cost_curr + self.cost.delta(self.ctx.circuit(), &pa.patch);
+        if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
+            return;
+        }
+        self.ctx.commit(&pa.patch);
+        self.record_accept(cost_new, pa.epsilon);
+    }
+
+    /// Acceptance for a fully materialized candidate (patch-less
+    /// transformations, the clone–rebuild baseline, and async
+    /// resynthesis results): replaces the working circuit wholesale.
+    fn consider_full(&mut self, applied: Applied, rng: &mut SmallRng) {
+        let cost_new = self.cost.cost(&applied.circuit);
+        if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
+            return;
+        }
+        self.ctx.replace_circuit(applied.circuit);
+        self.record_accept(cost_new, applied.epsilon);
+    }
+
+    fn record_accept(&mut self, cost_new: f64, epsilon: f64) {
+        self.accepted += 1;
+        self.cost_curr = cost_new;
+        self.err_curr += epsilon;
+        if self.cost_curr < self.cost_best {
+            // O(circuit) snapshot, but only on *strict* improvements —
+            // bounded by the total cost descent, not the accept rate
+            // (plateau accepts, the common case, never clone). A patch
+            // journal could remove even this; see ROADMAP.
+            self.best = self.ctx.circuit().clone();
+            self.cost_best = self.cost_curr;
+            self.err_best = self.err_curr;
+            if self.record_history {
+                self.history.push(HistoryPoint {
+                    seconds: self.started.elapsed().as_secs_f64(),
+                    iteration: self.iterations,
+                    best_cost: self.cost_best,
+                    best_two_qubit: self.best.two_qubit_count(),
+                });
+            }
+        }
+    }
+
+    /// Finalizes the search: the best circuit found with its cost, ε,
+    /// and counters.
+    pub fn finish(self) -> GuoqResult {
+        self.finish_recycling().0
+    }
+
+    /// [`Self::finish`], also yielding the matcher scratch so the
+    /// caller can feed it to the next driver.
+    pub fn finish_recycling(self) -> (GuoqResult, MatchScratch) {
+        let result = GuoqResult {
+            circuit: self.best,
+            cost: self.cost_best,
+            epsilon: self.err_best,
+            iterations: self.iterations,
+            accepted: self.accepted,
+            resynth_hits: self.resynth_hits,
+            history: self.history,
+            worker_stats: Vec::new(),
+        };
+        (result, self.ctx.into_scratch())
+    }
+}

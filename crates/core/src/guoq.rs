@@ -11,8 +11,9 @@
 //! # Iteration engines
 //!
 //! GUOQ is an *anytime* algorithm: solution quality is a direct function
-//! of iterations per second (paper §5, Fig. 7). Two engines drive the
-//! loop:
+//! of iterations per second (paper §5, Fig. 7). Three engines drive the
+//! loop, all built on the same [`ShardDriver`](crate::driver::ShardDriver)
+//! (one Metropolis/budget implementation — no per-engine copies):
 //!
 //! * [`Engine::Incremental`] (default) — the edit-based engine. The
 //!   search owns one working circuit inside a
@@ -30,25 +31,33 @@
 //!   [`Circuit::revert_patch`](qcir::Circuit::revert_patch) inverse
 //!   exists for apply-then-decide flows that must measure post-apply
 //!   quantities.)
+//! * [`Engine::Sharded`] — the parallel engine: the circuit is
+//!   partitioned into contiguous shards
+//!   ([`qcir::shard::ShardPlan`]), a `qpar` worker pool runs one
+//!   incremental `ShardDriver` per shard, and a coordinator commits the
+//!   optimized shards back into the master circuit each epoch, rotating
+//!   shard boundaries between epochs (POPQC-style). See
+//!   [`crate::sharded`].
 //! * [`Engine::CloneRebuild`] — the original loop: each candidate clones
 //!   the circuit, rebuilds the DAG and recomputes the full cost. Kept as
 //!   the differential-testing baseline and for benchmarking
-//!   (`benches/guoq_iter.rs` measures both).
+//!   (`benches/guoq_iter.rs` measures both serial engines).
 //!
 //! The *patch machinery* is differentially tested against the legacy
 //! machinery (`tests/patch_differential.rs`): every single-match patch,
 //! DAG splice, and cost delta is bit-identical to the corresponding
-//! legacy rebuild. The two *engines* are not trajectory-identical — an
+//! legacy rebuild. The engines are not trajectory-identical — an
 //! incremental iteration lands one local edit while a legacy iteration
-//! applies a whole pass — so per-iteration search effort differs; both
-//! are verified to preserve semantics and report drift-free costs, and
-//! the bench compares them under equal wall-clock, where quality per
-//! second is the meaningful axis for an anytime search.
+//! applies a whole pass, and a sharded run explores per-shard — so
+//! per-iteration search effort differs; all are verified to preserve
+//! semantics and report drift-free costs, and the benches compare them
+//! under equal wall-clock, where quality per second is the meaningful
+//! axis for an anytime search.
 
 use crate::cost::CostFn;
+use crate::driver::ShardDriver;
 use crate::transform::{
-    Applied, CleanupPass, CommutationPass, FusionPass, PatchApplied, ResynthPass, RulePass,
-    SearchCtx, Transformation,
+    Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
 };
 use qcir::{Circuit, GateSet};
 use qsynth::{resynth::ResynthOpts, Resynthesizer};
@@ -70,6 +79,16 @@ pub enum Engine {
     /// recomputes the full cost. Kept as the differential-testing and
     /// benchmarking baseline.
     CloneRebuild,
+    /// Region-partitioned parallel search: `workers` threads each drive
+    /// an incremental [`ShardDriver`] over a contiguous shard of the
+    /// circuit; a coordinator commits shard results and rotates shard
+    /// boundaries every epoch (see [`crate::sharded`]). Resynthesis
+    /// runs synchronously inside each worker;
+    /// [`GuoqOpts::async_resynth`] is ignored.
+    Sharded {
+        /// Worker threads in the shard pool (clamped to ≥ 1).
+        workers: usize,
+    },
 }
 
 /// Search budget.
@@ -82,7 +101,9 @@ pub enum Budget {
 }
 
 impl Budget {
-    fn exhausted(&self, started: Instant, iterations: u64) -> bool {
+    /// True once the budget is spent: `iterations` performed since the
+    /// search `started`.
+    pub fn exhausted(&self, started: Instant, iterations: u64) -> bool {
         match *self {
             Budget::Time(limit) => started.elapsed() >= limit,
             Budget::Iterations(n) => iterations >= n,
@@ -109,9 +130,26 @@ pub struct GuoqOpts {
     pub record_history: bool,
     /// Run resynthesis on a worker thread, interleaving rewrites while it
     /// runs, and discard interim edits when a result is accepted (§5.3).
+    /// Only meaningful for the serial engines; [`Engine::Sharded`]
+    /// ignores it — its workers already run concurrently and perform
+    /// resynthesis synchronously within their shard slices.
     pub async_resynth: bool,
     /// Iteration engine (patch-based incremental by default).
     pub engine: Engine,
+    /// Probability that a transformation probe anchors inside a
+    /// recently-edited window instead of sampling uniformly (accepted
+    /// edits cluster, so re-probing near them raises the hit rate).
+    /// `0.0` disables the bias; sampling is always uniform until the
+    /// first edit is committed, and the value is clamped to ≤ 0.9 so
+    /// uniform exploration never fully stops.
+    pub dirty_window_bias: f64,
+    /// Sharded engine: iterations each shard runs between commits (the
+    /// epoch cadence — smaller commits more often, larger amortizes the
+    /// commit/rotate overhead over more search).
+    pub shard_slice_iterations: u64,
+    /// Sharded engine: shards per worker per epoch (> 1 oversubscribes
+    /// the task queue so fast workers steal from slow ones).
+    pub shards_per_worker: usize,
 }
 
 impl Default for GuoqOpts {
@@ -126,6 +164,9 @@ impl Default for GuoqOpts {
             record_history: false,
             async_resynth: false,
             engine: Engine::Incremental,
+            dirty_window_bias: 0.25,
+            shard_slice_iterations: 4096,
+            shards_per_worker: 2,
         }
     }
 }
@@ -160,6 +201,9 @@ pub struct GuoqResult {
     pub resynth_hits: u64,
     /// Best-so-far trace (empty unless `record_history`).
     pub history: Vec<HistoryPoint>,
+    /// Per-worker scheduling statistics (empty unless the run used
+    /// [`Engine::Sharded`]).
+    pub worker_stats: Vec<qpar::WorkerStats>,
 }
 
 /// The GUOQ optimizer: an instantiation of the transformation framework
@@ -220,108 +264,55 @@ impl Guoq {
         &self.opts
     }
 
+    /// The transformation pools (fast rewrites, slow resynthesis) —
+    /// shared with the shard workers.
+    pub(crate) fn pools(&self) -> (&[Box<dyn Transformation>], &[ResynthPass]) {
+        (&self.fast, &self.slow)
+    }
+
     /// Runs Algorithm 1 on `circuit` under `cost`.
     pub fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
-        match (
-            self.opts.engine,
-            self.opts.async_resynth && !self.slow.is_empty(),
-        ) {
-            (Engine::Incremental, false) => self.optimize_sync(circuit, cost),
-            (Engine::Incremental, true) => self.optimize_async(circuit, cost),
-            (Engine::CloneRebuild, false) => self.optimize_sync_legacy(circuit, cost),
-            (Engine::CloneRebuild, true) => self.optimize_async_legacy(circuit, cost),
+        let has_async = self.opts.async_resynth && !self.slow.is_empty();
+        match self.opts.engine {
+            Engine::Sharded { workers } => self.optimize_sharded(circuit, cost, workers),
+            Engine::Incremental if has_async => self.optimize_async(circuit, cost, true),
+            Engine::Incremental => self.optimize_serial(circuit, cost, true),
+            Engine::CloneRebuild if has_async => self.optimize_async(circuit, cost, false),
+            Engine::CloneRebuild => self.optimize_serial(circuit, cost, false),
         }
     }
 
-    /// The incremental driver: one working circuit and cached DAG in a
-    /// [`SearchCtx`]; candidate edits arrive as patches, are costed via
-    /// [`CostFn::delta`] in O(edit span), and only *accepted* edits touch
-    /// the circuit (committed in place — no pristine clone per
-    /// iteration, and rejected candidates cost nothing to discard).
-    fn optimize_sync(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+    /// The serial driver for both single-thread engines: one
+    /// [`ShardDriver`] over the whole circuit, stepped until the budget
+    /// runs out. `use_patches` selects the incremental patch path
+    /// ([`Engine::Incremental`]) or the materializing clone–rebuild
+    /// baseline ([`Engine::CloneRebuild`]).
+    fn optimize_serial(
+        &self,
+        circuit: &Circuit,
+        cost: &dyn CostFn,
+        use_patches: bool,
+    ) -> GuoqResult {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
-        let started = Instant::now();
-        let mut state = IncrementalState::new(circuit, cost, started, &self.opts);
-
-        while !self.opts.budget.exhausted(started, state.iterations) {
-            state.iterations += 1;
-            // Line 5: randomly select a transformation.
-            let use_slow = !self.slow.is_empty()
-                && !self.fast.is_empty()
-                && rng.random::<f64>() < self.opts.resynth_probability
-                || self.fast.is_empty();
-            if use_slow && !self.slow.is_empty() {
-                let t = &self.slow[rng.random_range(0..self.slow.len())];
-                // Line 6: the declared ε must fit in the remaining budget.
-                if state.err_curr + t.epsilon() > self.opts.eps_total {
-                    continue;
-                }
-                if let Some(pa) = Transformation::apply_patch(t, &mut state.ctx, &mut rng) {
-                    state.resynth_hits += 1;
-                    state.consider_patch(pa, cost, &mut rng, &self.opts, started);
-                }
-            } else if !self.fast.is_empty() {
-                let t = &self.fast[rng.random_range(0..self.fast.len())];
-                if t.supports_patches() {
-                    if let Some(pa) = t.apply_patch(&mut state.ctx, &mut rng) {
-                        state.consider_patch(pa, cost, &mut rng, &self.opts, started);
-                    }
-                } else {
-                    // Out-of-tree transformation without a patch path:
-                    // fall back to the materializing API for this move.
-                    if let Some(applied) = t.apply(state.ctx.circuit(), &mut rng) {
-                        state.consider_full(applied, cost, &mut rng, &self.opts, started);
-                    }
-                }
-            } else {
-                break; // no transformations at all
-            }
-        }
-        state.into_result()
+        let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, Instant::now())
+            .with_use_patches(use_patches);
+        driver.run(&self.fast, &self.slow, &mut rng, self.opts.budget, None);
+        driver.finish()
     }
 
-    fn optimize_sync_legacy(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
-        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
-        let started = Instant::now();
-        let mut state = SearchState::new(circuit, cost, started, &self.opts);
-
-        while !self.opts.budget.exhausted(started, state.iterations) {
-            state.iterations += 1;
-            // Line 5: randomly select a transformation.
-            let use_slow = !self.slow.is_empty()
-                && !self.fast.is_empty()
-                && rng.random::<f64>() < self.opts.resynth_probability
-                || self.fast.is_empty();
-            if use_slow && !self.slow.is_empty() {
-                let t = &self.slow[rng.random_range(0..self.slow.len())];
-                // Line 6: the declared ε must fit in the remaining budget.
-                if state.err_curr + t.epsilon() > self.opts.eps_total {
-                    continue;
-                }
-                if let Some(applied) = t.apply(&state.curr, &mut rng) {
-                    state.resynth_hits += 1;
-                    state.consider(applied, cost, &mut rng, &self.opts, started);
-                }
-            } else if !self.fast.is_empty() {
-                let t = &self.fast[rng.random_range(0..self.fast.len())];
-                if let Some(applied) = t.apply(&state.curr, &mut rng) {
-                    state.consider(applied, cost, &mut rng, &self.opts, started);
-                }
-            } else {
-                break; // no transformations at all
-            }
-        }
-        state.into_result()
-    }
-
-    /// §5.3 "Applying resynthesis asynchronously", incremental flavour:
-    /// fast rewrites run as in-place patches against the cached
-    /// [`SearchCtx`] while resynthesis works on a snapshot clone in a
-    /// worker thread. An accepted resynthesis result replaces the whole
-    /// working circuit (discarding interim rewrite edits, as §5.3
-    /// prescribes), which is the one remaining O(circuit) event — it
-    /// happens at the resynthesis rate, not the iteration rate.
-    fn optimize_async(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+    /// §5.3 "Applying resynthesis asynchronously": fast rewrites run
+    /// against the working circuit while resynthesis works on a snapshot
+    /// clone in a worker thread. An accepted resynthesis result replaces
+    /// the whole working circuit (discarding interim rewrite edits, as
+    /// §5.3 prescribes) — the one remaining O(circuit) event in the
+    /// incremental flavour; it happens at the resynthesis rate, not the
+    /// iteration rate.
+    fn optimize_async(
+        &self,
+        circuit: &Circuit,
+        cost: &dyn CostFn,
+        use_patches: bool,
+    ) -> GuoqResult {
         use crossbeam_channel::{bounded, TryRecvError};
 
         type Req = (u64, Circuit, qcir::Region, u64);
@@ -329,7 +320,8 @@ impl Guoq {
 
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let started = Instant::now();
-        let mut state = IncrementalState::new(circuit, cost, started, &self.opts);
+        let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, started)
+            .with_use_patches(use_patches);
 
         let (req_tx, req_rx) = bounded::<Req>(1);
         let (resp_tx, resp_rx) = bounded::<Resp>(1);
@@ -346,17 +338,16 @@ impl Guoq {
 
         let mut in_flight = false;
         let mut next_id = 0u64;
-        while !self.opts.budget.exhausted(started, state.iterations) {
-            state.iterations += 1;
+        while !self.opts.budget.exhausted(started, driver.iterations()) {
+            driver.begin_iteration();
             // Drain any finished resynthesis first.
             match resp_rx.try_recv() {
                 Ok((_id, applied)) => {
                     in_flight = false;
                     if let Some(applied) = applied {
-                        state.resynth_hits += 1;
                         // The candidate replaces the snapshot; accepting
                         // it discards every interim rewrite (§5.3).
-                        state.consider_full(applied, cost, &mut rng, &self.opts, started);
+                        driver.offer_resynth(applied, &mut rng);
                     }
                 }
                 Err(TryRecvError::Empty) => {}
@@ -364,346 +355,33 @@ impl Guoq {
             }
             let want_slow = !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
             if want_slow {
-                if state.err_curr + self.slow[0].epsilon() > self.opts.eps_total {
+                if !driver.can_afford(self.slow[0].epsilon()) {
                     continue;
                 }
-                if let Some(region) = self.slow[0].pick_region(state.ctx.circuit(), &mut rng) {
+                if let Some(region) = self.slow[0].pick_region(driver.circuit(), &mut rng) {
                     next_id += 1;
                     let seed = rng.random::<u64>();
                     if req_tx
-                        .send((next_id, state.ctx.circuit().clone(), region, seed))
+                        .send((next_id, driver.circuit().clone(), region, seed))
                         .is_ok()
                     {
                         in_flight = true;
                     }
                 }
             } else if !self.fast.is_empty() {
-                let t = &self.fast[rng.random_range(0..self.fast.len())];
-                if t.supports_patches() {
-                    if let Some(pa) = t.apply_patch(&mut state.ctx, &mut rng) {
-                        state.consider_patch(pa, cost, &mut rng, &self.opts, started);
-                    }
-                } else if let Some(applied) = t.apply(state.ctx.circuit(), &mut rng) {
-                    state.consider_full(applied, cost, &mut rng, &self.opts, started);
-                }
+                driver.fast_move(&self.fast, &mut rng);
             }
         }
         drop(req_tx);
         // Drain a possibly in-flight result so the worker can exit.
         if in_flight {
             if let Ok((_id, Some(applied))) = resp_rx.recv() {
-                state.resynth_hits += 1;
-                state.consider_full(applied, cost, &mut rng, &self.opts, started);
+                driver.offer_resynth(applied, &mut rng);
             }
         }
         drop(resp_rx);
         let _ = worker.join();
-        state.into_result()
-    }
-
-    /// §5.3 "Applying resynthesis asynchronously", clone–rebuild flavour
-    /// (the [`Engine::CloneRebuild`] baseline).
-    fn optimize_async_legacy(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
-        use crossbeam_channel::{bounded, TryRecvError};
-
-        type Req = (u64, Circuit, qcir::Region, u64);
-        type Resp = (u64, Circuit, Option<Applied>);
-
-        let mut rng = SmallRng::seed_from_u64(self.opts.seed);
-        let started = Instant::now();
-        let mut state = SearchState::new(circuit, cost, started, &self.opts);
-
-        let (req_tx, req_rx) = bounded::<Req>(1);
-        let (resp_tx, resp_rx) = bounded::<Resp>(1);
-        let worker_pass = self.slow[0].clone();
-        let worker = std::thread::spawn(move || {
-            while let Ok((id, snapshot, region, seed)) = req_rx.recv() {
-                let mut wrng = SmallRng::seed_from_u64(seed);
-                let applied = worker_pass.resynthesize_region(&snapshot, &region, &mut wrng);
-                if resp_tx.send((id, snapshot, applied)).is_err() {
-                    break;
-                }
-            }
-        });
-
-        let mut in_flight = false;
-        let mut next_id = 0u64;
-        while !self.opts.budget.exhausted(started, state.iterations) {
-            state.iterations += 1;
-            // Drain any finished resynthesis first.
-            match resp_rx.try_recv() {
-                Ok((_id, snapshot, applied)) => {
-                    in_flight = false;
-                    if let Some(applied) = applied {
-                        state.resynth_hits += 1;
-                        // The candidate replaces the snapshot; accepting it
-                        // discards every interim rewrite (§5.3).
-                        let _ = snapshot;
-                        state.consider(applied, cost, &mut rng, &self.opts, started);
-                    }
-                }
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => break,
-            }
-            let want_slow = !in_flight && rng.random::<f64>() < self.opts.resynth_probability;
-            if want_slow {
-                if state.err_curr + self.slow[0].epsilon() > self.opts.eps_total {
-                    continue;
-                }
-                if let Some(region) = self.slow[0].pick_region(&state.curr, &mut rng) {
-                    next_id += 1;
-                    let seed = rng.random::<u64>();
-                    if req_tx
-                        .send((next_id, state.curr.clone(), region, seed))
-                        .is_ok()
-                    {
-                        in_flight = true;
-                    }
-                }
-            } else if !self.fast.is_empty() {
-                let t = &self.fast[rng.random_range(0..self.fast.len())];
-                if let Some(applied) = t.apply(&state.curr, &mut rng) {
-                    state.consider(applied, cost, &mut rng, &self.opts, started);
-                }
-            }
-        }
-        drop(req_tx);
-        // Drain a possibly in-flight result so the worker can exit.
-        if in_flight {
-            if let Ok((_id, _snap, Some(applied))) = resp_rx.recv() {
-                state.resynth_hits += 1;
-                state.consider(applied, cost, &mut rng, &self.opts, started);
-            }
-        }
-        drop(resp_rx);
-        let _ = worker.join();
-        state.into_result()
-    }
-}
-
-/// Lines 10–12 of Algorithm 1: accept every cost-non-increasing move,
-/// and a worsening one with probability `exp(−t·cost′/cost)`. The single
-/// source of truth for both engines' acceptance rule.
-fn metropolis_accepts(cost_new: f64, cost_curr: f64, temperature: f64, rng: &mut SmallRng) -> bool {
-    if cost_new <= cost_curr {
-        true
-    } else if cost_curr > 0.0 {
-        let p = (-temperature * cost_new / cost_curr).exp();
-        rng.random::<f64>() < p
-    } else {
-        false
-    }
-}
-
-/// Mutable search state shared by the sync and async drivers.
-struct SearchState {
-    curr: Circuit,
-    cost_curr: f64,
-    err_curr: f64,
-    best: Circuit,
-    cost_best: f64,
-    err_best: f64,
-    iterations: u64,
-    accepted: u64,
-    resynth_hits: u64,
-    history: Vec<HistoryPoint>,
-    started: Instant,
-}
-
-impl SearchState {
-    fn new(circuit: &Circuit, cost: &dyn CostFn, started: Instant, opts: &GuoqOpts) -> Self {
-        let c0 = cost.cost(circuit);
-        let mut history = Vec::new();
-        if opts.record_history {
-            history.push(HistoryPoint {
-                seconds: 0.0,
-                iteration: 0,
-                best_cost: c0,
-                best_two_qubit: circuit.two_qubit_count(),
-            });
-        }
-        SearchState {
-            curr: circuit.clone(),
-            cost_curr: c0,
-            err_curr: 0.0,
-            best: circuit.clone(),
-            cost_best: c0,
-            err_best: 0.0,
-            iterations: 0,
-            accepted: 0,
-            resynth_hits: 0,
-            history,
-            started,
-        }
-    }
-
-    /// Lines 10–18 of Algorithm 1.
-    fn consider(
-        &mut self,
-        applied: Applied,
-        cost: &dyn CostFn,
-        rng: &mut SmallRng,
-        opts: &GuoqOpts,
-        started: Instant,
-    ) {
-        let cost_new = cost.cost(&applied.circuit);
-        if !metropolis_accepts(cost_new, self.cost_curr, opts.temperature, rng) {
-            return;
-        }
-        self.accepted += 1;
-        self.curr = applied.circuit;
-        self.cost_curr = cost_new;
-        self.err_curr += applied.epsilon;
-        if self.cost_curr < self.cost_best {
-            self.best = self.curr.clone();
-            self.cost_best = self.cost_curr;
-            self.err_best = self.err_curr;
-            if opts.record_history {
-                self.history.push(HistoryPoint {
-                    seconds: started.elapsed().as_secs_f64(),
-                    iteration: self.iterations,
-                    best_cost: self.cost_best,
-                    best_two_qubit: self.best.two_qubit_count(),
-                });
-            }
-        }
-    }
-
-    fn into_result(self) -> GuoqResult {
-        let _ = self.started;
-        GuoqResult {
-            circuit: self.best,
-            cost: self.cost_best,
-            epsilon: self.err_best,
-            iterations: self.iterations,
-            accepted: self.accepted,
-            resynth_hits: self.resynth_hits,
-            history: self.history,
-        }
-    }
-}
-
-/// Mutable search state of the incremental engine: the [`SearchCtx`]
-/// (working circuit + cached DAG) plus the running cost/error tallies.
-///
-/// The tracked `cost_curr` is updated by [`CostFn::delta`] per accepted
-/// edit instead of a full recompute; the differential tests assert it
-/// never drifts from the recomputed cost.
-struct IncrementalState {
-    ctx: SearchCtx,
-    cost_curr: f64,
-    err_curr: f64,
-    best: Circuit,
-    cost_best: f64,
-    err_best: f64,
-    iterations: u64,
-    accepted: u64,
-    resynth_hits: u64,
-    history: Vec<HistoryPoint>,
-}
-
-impl IncrementalState {
-    fn new(circuit: &Circuit, cost: &dyn CostFn, _started: Instant, opts: &GuoqOpts) -> Self {
-        let c0 = cost.cost(circuit);
-        let mut history = Vec::new();
-        if opts.record_history {
-            history.push(HistoryPoint {
-                seconds: 0.0,
-                iteration: 0,
-                best_cost: c0,
-                best_two_qubit: circuit.two_qubit_count(),
-            });
-        }
-        IncrementalState {
-            ctx: SearchCtx::new(circuit.clone()),
-            cost_curr: c0,
-            err_curr: 0.0,
-            best: circuit.clone(),
-            cost_best: c0,
-            err_best: 0.0,
-            iterations: 0,
-            accepted: 0,
-            resynth_hits: 0,
-            history,
-        }
-    }
-
-    /// Lines 10–18 of Algorithm 1 for a candidate patch: the cost change
-    /// comes from [`CostFn::delta`] (O(edit span)), and only an accepted
-    /// edit is committed — a rejected candidate is simply dropped, no
-    /// clone, apply, or revert required.
-    fn consider_patch(
-        &mut self,
-        pa: PatchApplied,
-        cost: &dyn CostFn,
-        rng: &mut SmallRng,
-        opts: &GuoqOpts,
-        started: Instant,
-    ) {
-        let cost_new = self.cost_curr + cost.delta(self.ctx.circuit(), &pa.patch);
-        if !self.accepts(cost_new, rng, opts) {
-            return;
-        }
-        self.ctx.commit(&pa.patch);
-        self.record_accept(cost_new, pa.epsilon, opts, started);
-    }
-
-    /// Acceptance for a fully materialized candidate (patch-less
-    /// transformations and async resynthesis results): replaces the
-    /// working circuit wholesale.
-    fn consider_full(
-        &mut self,
-        applied: Applied,
-        cost: &dyn CostFn,
-        rng: &mut SmallRng,
-        opts: &GuoqOpts,
-        started: Instant,
-    ) {
-        let cost_new = cost.cost(&applied.circuit);
-        if !self.accepts(cost_new, rng, opts) {
-            return;
-        }
-        self.ctx.replace_circuit(applied.circuit);
-        self.record_accept(cost_new, applied.epsilon, opts, started);
-    }
-
-    fn accepts(&self, cost_new: f64, rng: &mut SmallRng, opts: &GuoqOpts) -> bool {
-        metropolis_accepts(cost_new, self.cost_curr, opts.temperature, rng)
-    }
-
-    fn record_accept(&mut self, cost_new: f64, epsilon: f64, opts: &GuoqOpts, started: Instant) {
-        self.accepted += 1;
-        self.cost_curr = cost_new;
-        self.err_curr += epsilon;
-        if self.cost_curr < self.cost_best {
-            // O(circuit) snapshot, but only on *strict* improvements —
-            // bounded by the total cost descent, not the accept rate
-            // (plateau accepts, the common case, never clone). A patch
-            // journal could remove even this; see ROADMAP.
-            self.best = self.ctx.circuit().clone();
-            self.cost_best = self.cost_curr;
-            self.err_best = self.err_curr;
-            if opts.record_history {
-                self.history.push(HistoryPoint {
-                    seconds: started.elapsed().as_secs_f64(),
-                    iteration: self.iterations,
-                    best_cost: self.cost_best,
-                    best_two_qubit: self.best.two_qubit_count(),
-                });
-            }
-        }
-    }
-
-    fn into_result(self) -> GuoqResult {
-        GuoqResult {
-            circuit: self.best,
-            cost: self.cost_best,
-            epsilon: self.err_best,
-            iterations: self.iterations,
-            accepted: self.accepted,
-            resynth_hits: self.resynth_hits,
-            history: self.history,
-        }
+        driver.finish()
     }
 }
 
@@ -812,5 +490,24 @@ mod tests {
         let g = Guoq::for_gate_set(GateSet::Nam, opts(50));
         let r = g.optimize(&c, &GateCount);
         assert!(r.circuit.is_empty());
+    }
+
+    #[test]
+    fn dirty_window_bias_is_behavior_preserving() {
+        // The bias changes the probe distribution, never soundness: with
+        // the knob at its extremes the search still preserves semantics
+        // and never worsens cost.
+        let c = redundant_circuit();
+        for bias in [0.0, 0.9] {
+            let mut o = opts(400);
+            o.dirty_window_bias = bias;
+            let g = Guoq::rewrite_only(GateSet::Nam, o);
+            let r = g.optimize(&c, &GateCount);
+            assert!(r.cost <= c.len() as f64, "bias {bias}");
+            assert!(
+                qsim::circuits_equivalent(&c, &r.circuit, 1e-6),
+                "bias {bias}"
+            );
+        }
     }
 }

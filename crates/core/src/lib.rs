@@ -7,8 +7,12 @@
 //!
 //! * [`transform`]: the `τ_ε` abstraction and its instantiations
 //! * [`cost`] / [`fidelity`]: optimization objectives (§5.1, §6)
+//! * [`driver`]: the single-shard search driver — Algorithm 1's
+//!   Metropolis/budget state, shared by every engine
 //! * [`guoq`]: Algorithm 1 with exact ε-budget accounting (Thm. 4.2/5.3)
 //!   and the §5.3 async-resynthesis driver
+//! * [`sharded`]: the region-partitioned parallel engine
+//!   ([`Engine::Sharded`]) over the `qpar` worker pool
 //! * [`baselines`]: re-implemented archetypes of the comparison tools
 //!   (fixed pipelines, partition+resynth, beam search, bandit scheduler)
 //!
@@ -28,11 +32,15 @@
 
 pub mod baselines;
 pub mod cost;
+pub mod driver;
 pub mod fidelity;
 pub mod guoq;
+pub mod sharded;
 pub mod transform;
 
 pub use cost::CostFn;
+pub use driver::ShardDriver;
 pub use fidelity::CalibrationModel;
 pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
+pub use qpar::WorkerStats;
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

@@ -8,11 +8,12 @@
 
 use qcir::dag::WireDag;
 use qcir::edit::Patch;
-use qcir::{Circuit, GateSet, Instruction, Region};
+use qcir::{Circuit, GateSet, Region};
 use qrewrite::{apply_rule_pass, fusion, MatchScratch, Rule};
 use qsynth::Resynthesizer;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::collections::VecDeque;
 
 /// The result of a successful transformation application.
 #[derive(Debug, Clone)]
@@ -46,6 +47,20 @@ const FUSION_ANCHOR_TRIES: usize = 8;
 /// Anchor probes per iteration for identity cleanup.
 const CLEANUP_ANCHOR_TRIES: usize = 8;
 
+/// Number of recently-edited windows a [`SearchCtx`] remembers for
+/// dirty-window anchor sampling.
+const DIRTY_CAPACITY: usize = 8;
+
+/// Slack added on each side of a recorded dirty window: an accepted edit
+/// tends to open follow-up opportunities on its immediate neighbours.
+const DIRTY_PAD: usize = 2;
+
+/// Upper clamp on the dirty-window anchor bias: some uniform
+/// exploration must always survive, or a saturated bias (1.0) would
+/// confine every probe to the bounded dirty list forever once it holds
+/// no further opportunities.
+const MAX_ANCHOR_BIAS: f64 = 0.9;
+
 /// The mutable state the incremental engine carries across iterations:
 /// one working circuit plus its cached [`WireDag`] and the matcher
 /// scratch buffers.
@@ -54,21 +69,84 @@ const CLEANUP_ANCHOR_TRIES: usize = 8;
 /// iteration; a `SearchCtx` instead lives for the whole search, and
 /// accepted edits are [committed](Self::commit) in place — O(edit span)
 /// instead of O(circuit).
+///
+/// The context also remembers a bounded list of recently-edited index
+/// windows. With a non-zero anchor bias, [`Self::sample_anchor`] probes
+/// those *dirty windows* preferentially: accepted edits cluster —
+/// cancelling one gate pair routinely exposes the next — so re-probing
+/// near recent edits raises the hit rate over uniform sampling.
 pub struct SearchCtx {
     circuit: Circuit,
-    dag: WireDag,
+    /// Built lazily on first matcher use and spliced per commit, so
+    /// flows that never take the patch path (the clone–rebuild
+    /// baseline, wholesale circuit replacement) pay nothing for it.
+    dag: Option<WireDag>,
     scratch: MatchScratch,
+    /// Recently-edited windows, post-commit coordinates, oldest first.
+    /// Entries drift as later commits shift indices; they are clamped at
+    /// sampling time (the list is a sampling bias, not ground truth).
+    dirty: VecDeque<(usize, usize)>,
+    anchor_bias: f64,
 }
 
 impl SearchCtx {
-    /// Creates a context owning `circuit`.
+    /// Creates a context owning `circuit`, with uniform anchor sampling.
     pub fn new(circuit: Circuit) -> Self {
-        let dag = WireDag::build(&circuit);
+        Self::with_anchor_bias(circuit, 0.0)
+    }
+
+    /// Creates a context that samples an anchor from a recently-edited
+    /// window with probability `anchor_bias` (uniformly otherwise, and
+    /// always uniformly while no edit has been committed yet). The bias
+    /// is clamped to `[0, 0.9]` so uniform exploration never fully
+    /// stops.
+    pub fn with_anchor_bias(circuit: Circuit, anchor_bias: f64) -> Self {
+        Self::with_scratch(circuit, anchor_bias, MatchScratch::new())
+    }
+
+    /// Like [`Self::with_anchor_bias`], reusing an existing matcher
+    /// scratch (its buffers are already grown — shard workers recycle
+    /// one scratch across every shard task they process).
+    pub fn with_scratch(circuit: Circuit, anchor_bias: f64, scratch: MatchScratch) -> Self {
         SearchCtx {
             circuit,
-            dag,
-            scratch: MatchScratch::new(),
+            dag: None,
+            scratch,
+            dirty: VecDeque::with_capacity(DIRTY_CAPACITY),
+            anchor_bias: anchor_bias.clamp(0.0, MAX_ANCHOR_BIAS),
         }
+    }
+
+    /// Consumes the context, yielding the matcher scratch for reuse.
+    pub fn into_scratch(self) -> MatchScratch {
+        self.scratch
+    }
+
+    /// Draws an anchor index for a transformation probe: a position
+    /// inside a random dirty window with probability `anchor_bias`,
+    /// uniform over the circuit otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is empty (callers gate on that).
+    pub fn sample_anchor(&self, rng: &mut SmallRng) -> usize {
+        let n = self.circuit.len();
+        assert!(n > 0, "cannot sample an anchor in an empty circuit");
+        if !self.dirty.is_empty()
+            && self.anchor_bias > 0.0
+            && rng.random::<f64>() < self.anchor_bias
+        {
+            let (lo, hi) = self.dirty[rng.random_range(0..self.dirty.len())];
+            let lo = lo.min(n - 1);
+            let hi = hi.clamp(lo + 1, n);
+            return rng.random_range(lo..hi);
+        }
+        rng.random_range(0..n)
+    }
+
+    /// The recently-edited windows currently biasing anchor selection.
+    pub fn dirty_windows(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.dirty.iter().copied()
     }
 
     /// The current working circuit.
@@ -77,43 +155,67 @@ impl SearchCtx {
         &self.circuit
     }
 
-    /// The cached wire DAG of the current circuit.
+    /// The cached wire DAG of the current circuit (built on first use).
     #[inline]
-    pub fn dag(&self) -> &WireDag {
-        &self.dag
+    pub fn dag(&mut self) -> &WireDag {
+        self.dag
+            .get_or_insert_with(|| WireDag::build(&self.circuit))
     }
 
     /// Splits the context into the pieces the matcher needs.
     #[inline]
     pub fn parts(&mut self) -> (&Circuit, &WireDag, &mut MatchScratch) {
-        (&self.circuit, &self.dag, &mut self.scratch)
+        let dag = self
+            .dag
+            .get_or_insert_with(|| WireDag::build(&self.circuit));
+        (&self.circuit, dag, &mut self.scratch)
     }
 
-    /// Applies an accepted patch in place, splicing the cached DAG.
+    /// Applies an accepted patch in place, splicing the cached DAG (when
+    /// one is materialized) and recording the edit window in the dirty
+    /// list.
     pub fn commit(&mut self, patch: &Patch) {
-        if self.dag.splice(&self.circuit, patch) {
-            self.circuit.apply_patch(patch);
-        } else {
-            // The patch touches wires outside its window (no in-repo
-            // producer does); fall back to a full rebuild.
-            self.circuit.apply_patch(patch);
-            self.dag = WireDag::build(&self.circuit);
+        let (wlo, whi) = patch.window();
+        let new_whi = (whi as isize + patch.len_delta()).max(wlo as isize) as usize;
+        if let Some(dag) = self.dag.as_mut() {
+            if !dag.splice(&self.circuit, patch) {
+                // The patch touches wires outside its window (no in-repo
+                // producer does); invalidate and rebuild on next use.
+                self.dag = None;
+            }
         }
+        self.circuit.apply_patch(patch);
+        self.note_dirty(wlo, new_whi);
         #[cfg(debug_assertions)]
-        {
+        if let Some(dag) = self.dag.as_ref() {
             debug_assert_eq!(
-                self.dag,
-                WireDag::build(&self.circuit),
+                dag,
+                &WireDag::build(&self.circuit),
                 "incremental DAG diverged after commit"
             );
         }
     }
 
     /// Replaces the working circuit wholesale (e.g. an accepted
-    /// async-resynthesis result based on an older snapshot).
+    /// async-resynthesis result based on an older snapshot). The cached
+    /// DAG is invalidated (rebuilt on next matcher use) and the dirty
+    /// list cleared — its windows described the discarded circuit.
     pub fn replace_circuit(&mut self, circuit: Circuit) {
-        self.dag = WireDag::build(&circuit);
+        self.dag = None;
         self.circuit = circuit;
+        self.dirty.clear();
+    }
+
+    fn note_dirty(&mut self, lo: usize, hi: usize) {
+        let lo = lo.saturating_sub(DIRTY_PAD);
+        let hi = (hi + DIRTY_PAD).min(self.circuit.len());
+        if lo >= hi {
+            return;
+        }
+        if self.dirty.len() == DIRTY_CAPACITY {
+            self.dirty.pop_front();
+        }
+        self.dirty.push_back((lo, hi));
     }
 }
 
@@ -194,7 +296,7 @@ impl Transformation for RulePass {
         if n == 0 {
             return None;
         }
-        let start = rng.random_range(0..n);
+        let start = ctx.sample_anchor(rng);
         let (circuit, dag, scratch) = ctx.parts();
         for off in 0..RULE_ANCHOR_TRIES.min(n) {
             let anchor = (start + off) % n;
@@ -250,11 +352,11 @@ impl Transformation for FusionPass {
         if n == 0 {
             return None;
         }
-        let start = rng.random_range(0..n);
+        let start = ctx.sample_anchor(rng);
+        let (circuit, dag, _) = ctx.parts();
         for off in 0..FUSION_ANCHOR_TRIES.min(n) {
             let anchor = (start + off) % n;
-            if let Some(patch) = fusion::fuse_run_patch(ctx.circuit(), ctx.dag(), anchor, self.set)
-            {
+            if let Some(patch) = fusion::fuse_run_patch(circuit, dag, anchor, self.set) {
                 return Some(PatchApplied {
                     patch,
                     epsilon: 0.0,
@@ -295,7 +397,7 @@ impl Transformation for CleanupPass {
         if n == 0 {
             return None;
         }
-        let start = rng.random_range(0..n);
+        let start = ctx.sample_anchor(rng);
         for off in 0..CLEANUP_ANCHOR_TRIES.min(n) {
             let anchor = (start + off) % n;
             if let Some(patch) = fusion::remove_identity_patch(ctx.circuit(), anchor, 1e-9) {
@@ -342,7 +444,7 @@ impl Transformation for CommutationPass {
         // A single anchor per iteration: the walk's numeric commutation
         // checks are the expensive part, so probing many anchors would
         // dominate the iteration budget.
-        let anchor = rng.random_range(0..n);
+        let anchor = ctx.sample_anchor(rng);
         let patch = qrewrite::commutation::cancellation_patch_at(ctx.circuit(), anchor)?;
         Some(PatchApplied {
             patch,
@@ -376,7 +478,12 @@ impl ResynthPass {
         if circuit.is_empty() {
             return None;
         }
-        let anchor = rng.random_range(0..circuit.len());
+        self.region_at(circuit, rng.random_range(0..circuit.len()))
+    }
+
+    /// The region this pass would grow around `anchor`, or `None` when
+    /// the spot cannot support a useful resynthesis.
+    pub fn region_at(&self, circuit: &Circuit, anchor: usize) -> Option<Region> {
         let region = Region::grow(circuit, anchor, self.max_qubits)?;
         // A region with fewer than 2 member gates cannot shrink.
         if region.member_indices(circuit).len() < 2 {
@@ -401,10 +508,9 @@ impl ResynthPass {
     }
 
     /// Patch-producing variant of [`Self::resynthesize_region`]: the
-    /// region's member gates are removed and the resynthesized
-    /// replacement is spliced in after the window (matching the emission
-    /// order of [`Region::replace`], where the window's disjoint
-    /// spectator gates come first).
+    /// edit is expressed via [`Region::replacement_patch`] (members
+    /// removed, replacement spliced after the window, matching the
+    /// emission order of [`Region::replace`]).
     pub fn resynthesize_region_patch(
         &self,
         circuit: &Circuit,
@@ -413,21 +519,8 @@ impl ResynthPass {
     ) -> Option<PatchApplied> {
         let sub = region.extract(circuit);
         let out = self.rs.resynthesize(&sub, self.eps, rng)?;
-        let removed = region.member_indices(circuit);
-        let replacement: Vec<Instruction> = out
-            .circuit
-            .iter()
-            .map(|ins| {
-                let qs: Vec<qcir::Qubit> = ins
-                    .qubits()
-                    .iter()
-                    .map(|&q| region.qubits()[q as usize])
-                    .collect();
-                Instruction::new(ins.gate, &qs)
-            })
-            .collect();
         Some(PatchApplied {
-            patch: Patch::new(removed, replacement, region.hi() + 1),
+            patch: region.replacement_patch(circuit, &out.circuit),
             epsilon: out.epsilon,
         })
     }
@@ -452,7 +545,11 @@ impl Transformation for ResynthPass {
     }
 
     fn apply_patch(&self, ctx: &mut SearchCtx, rng: &mut SmallRng) -> Option<PatchApplied> {
-        let region = self.pick_region(ctx.circuit(), rng)?;
+        if ctx.circuit().is_empty() {
+            return None;
+        }
+        let anchor = ctx.sample_anchor(rng);
+        let region = self.region_at(ctx.circuit(), anchor)?;
         self.resynthesize_region_patch(ctx.circuit(), &region, rng)
     }
 }
@@ -503,5 +600,27 @@ mod tests {
         c.push(Gate::H, &[0]);
         let mut rng = SmallRng::seed_from_u64(3);
         assert!(CleanupPass.apply(&c, &mut rng).is_none());
+    }
+
+    #[test]
+    fn commits_record_dirty_windows_and_replacement_clears_them() {
+        let mut c = Circuit::new(2);
+        for _ in 0..6 {
+            c.push(Gate::H, &[0]);
+        }
+        let mut ctx = SearchCtx::with_anchor_bias(c.clone(), 0.5);
+        assert_eq!(ctx.dirty_windows().count(), 0);
+        ctx.commit(&Patch::new(vec![2, 3], Vec::new(), 2));
+        let windows: Vec<_> = ctx.dirty_windows().collect();
+        assert_eq!(windows.len(), 1);
+        // Edit at [2,4) with ±2 padding, clamped to the 4-gate result.
+        assert_eq!(windows[0], (0, 4));
+        // Biased sampling stays in range.
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..64 {
+            assert!(ctx.sample_anchor(&mut rng) < ctx.circuit().len());
+        }
+        ctx.replace_circuit(c);
+        assert_eq!(ctx.dirty_windows().count(), 0);
     }
 }

@@ -1,49 +1,180 @@
-//! Offline stand-in for `crossbeam-channel`, backed by
-//! `std::sync::mpsc::sync_channel`.
+//! Offline stand-in for `crossbeam-channel`.
 //!
 //! Only the subset the workspace uses is provided: [`bounded`] channels
-//! with blocking [`Sender::send`]/[`Receiver::recv`] and non-blocking
-//! [`Receiver::try_recv`].
+//! with blocking [`Sender::send`]/[`Receiver::recv`], a deadline-bound
+//! [`Receiver::recv_timeout`], and non-blocking [`Receiver::try_recv`].
+//! Like the real crate (and unlike raw `mpsc`), both halves are
+//! cloneable: the channel is multi-producer multi-consumer, so a pool
+//! of workers can pull tasks from one shared queue.
+//!
+//! The implementation is a `Mutex<VecDeque>` with two condvars
+//! (not-empty / not-full): blocking receivers park on the condvar —
+//! zero wakeups while idle — and `try_recv` only ever takes the mutex
+//! for a non-blocking pop, so a parked sibling never wedges it (the
+//! real crate's contract). Disconnection mirrors `mpsc`: a send fails
+//! once every receiver is gone, a receive fails once every sender is
+//! gone and the queue is drained.
 
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
-/// The sending half of a bounded channel.
-pub struct Sender<T>(mpsc::SyncSender<T>);
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
 
-/// The receiving half of a bounded channel.
-pub struct Receiver<T>(mpsc::Receiver<T>);
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a bounded channel (cloneable).
+pub struct Sender<T>(Arc<Chan<T>>);
+
+/// The receiving half of a bounded channel (MPMC: cloneable).
+pub struct Receiver<T>(Arc<Chan<T>>);
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender(self.0.clone())
+        self.0.inner.lock().expect("channel poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.inner.lock().expect("channel poisoned").receivers += 1;
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake parked receivers so they observe the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake parked senders so they observe the disconnect.
+            self.0.not_full.notify_all();
+        }
     }
 }
 
 impl<T> Sender<T> {
-    /// Blocks until the message is enqueued; errors when disconnected.
+    /// Blocks until the message is enqueued; errors when every receiver
+    /// is gone.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.0.send(msg)
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if inner.queue.len() < inner.cap {
+                inner.queue.push_back(msg);
+                self.0.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.0.not_full.wait(inner).expect("channel poisoned");
+        }
     }
 }
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives; errors when disconnected and empty.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.0.recv()
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.0.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .0
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel poisoned");
+            inner = guard;
+        }
     }
 
     /// Returns immediately with a message, `Empty`, or `Disconnected`.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.0.try_recv()
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        if let Some(msg) = inner.queue.pop_front() {
+            self.0.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
     }
 }
 
 /// Creates a bounded channel with capacity `cap`.
+///
+/// # Panics
+///
+/// Panics on `cap == 0`: the real crate's `bounded(0)` is a rendezvous
+/// channel (send blocks until a receiver is mid-receive), which this
+/// stand-in does not implement — failing loudly beats silently
+/// substituting one-slot buffering for a synchronization guarantee.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::sync_channel(cap);
-    (Sender(tx), Receiver(rx))
+    assert!(
+        cap > 0,
+        "rendezvous channels (bounded(0)) are not supported by this stand-in"
+    );
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender(Arc::clone(&chan)), Receiver(chan))
 }
 
 #[cfg(test)]
@@ -74,5 +205,70 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2)); // blocks: queue full
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1); // frees a slot
+        assert_eq!(rx.recv().unwrap(), 2);
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn blocked_recv_does_not_wedge_sibling_try_recv() {
+        let (tx, rx) = bounded::<u32>(1);
+        let parked = rx.clone();
+        let h = std::thread::spawn(move || parked.recv());
+        // Give the sibling time to park in recv() on the empty channel.
+        std::thread::sleep(Duration::from_millis(20));
+        // try_recv must return immediately (Empty), not block behind it…
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+        // …and recv_timeout must honour its deadline.
+        let t = Instant::now();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        assert!(t.elapsed() < Duration::from_millis(500));
+        tx.send(7).unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn multi_consumer_partitions_messages() {
+        let (tx, rx) = bounded::<u32>(64);
+        for i in 0..40 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Every message delivered exactly once across the consumers.
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
     }
 }
