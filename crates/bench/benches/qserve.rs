@@ -1,0 +1,140 @@
+//! Service throughput of the `qserve` job manager: many small
+//! iteration-budgeted jobs multiplexed onto a bounded worker budget,
+//! submitted through the in-process handle (no socket overhead — this
+//! measures admission, scheduling, streaming, and teardown).
+//!
+//! Rows sweep the worker budget and the job mix (serial vs sharded)
+//! and report end-to-end jobs/sec plus the snapshot frames streamed.
+//! The summary goes to `BENCH_qserve.json` in the repository root.
+//!
+//! Run with: `cargo bench --bench qserve`
+//! CI smoke: `QSERVE_BENCH_JOBS=4 QSERVE_BENCH_ITERS=300 cargo bench --bench qserve`
+
+use crossbeam_channel::bounded;
+use guoq_bench::tiled_workload;
+use qcir::qasm;
+use qserve::{EngineSel, Frame, JobRequest, Objective, ServeOpts, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Row {
+    workers: usize,
+    mix: &'static str,
+    jobs: usize,
+    iters_per_job: u64,
+    seconds: f64,
+    jobs_per_sec: f64,
+    snapshots: u64,
+    total_iterations: u64,
+}
+
+fn run(workers: usize, mix: &'static str, jobs: usize, iters_per_job: u64) -> Row {
+    let server = Server::start(ServeOpts {
+        worker_budget: workers,
+        max_queued: jobs + 1,
+        // The bench measures throughput, not the wall cap: on a loaded
+        // host the default 30 s cap can watchdog-cancel a queued-up
+        // job mid-bench and invalidate the row.
+        max_time_ms: 3_600_000,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(16 * 1024);
+    let circuit = tiled_workload(480);
+    let line = qasm::to_qasm_line(&circuit);
+    let started = Instant::now();
+    for j in 0..jobs {
+        let engine = match (mix, j % 2) {
+            ("serial", _) => EngineSel::Serial,
+            (_, 0) => EngineSel::Sharded(2.min(workers)),
+            _ => EngineSel::Serial,
+        };
+        handle.handle_frame(
+            Frame::Submit(JobRequest {
+                id: j as u64 + 1,
+                engine,
+                iters: iters_per_job,
+                time_ms: 0,
+                seed: 0xBEEF + j as u64,
+                eps: 1e-8,
+                objective: Objective::GateCount,
+                qasm: line.clone(),
+            }),
+            &tx,
+        );
+    }
+    let mut done = 0usize;
+    let mut snapshots = 0u64;
+    let mut total_iterations = 0u64;
+    while done < jobs {
+        match rx
+            .recv_timeout(Duration::from_secs(600))
+            .expect("bench timed out")
+        {
+            Frame::Done(s) => {
+                assert!(!s.cancelled, "bench job cancelled unexpectedly");
+                total_iterations += s.iterations;
+                done += 1;
+            }
+            Frame::Snapshot { .. } => snapshots += 1,
+            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            _ => {}
+        }
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    server.shutdown();
+    Row {
+        workers,
+        mix,
+        jobs,
+        iters_per_job,
+        seconds,
+        jobs_per_sec: jobs as f64 / seconds,
+        snapshots,
+        total_iterations,
+    }
+}
+
+fn main() {
+    let jobs: usize = std::env::var("QSERVE_BENCH_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let iters: u64 = std::env::var("QSERVE_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5_000);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for mix in ["serial", "mixed"] {
+            let row = run(workers, mix, jobs, iters);
+            println!(
+                "qserve workers={:<2} mix={:<6} {:>6.2} jobs/s  ({} jobs x {} iters, {} snapshots, {:.2}s)",
+                row.workers, row.mix, row.jobs_per_sec, row.jobs, row.iters_per_job,
+                row.snapshots, row.seconds
+            );
+            rows.push(row);
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"qserve\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"mix\": \"{}\", \"jobs\": {}, \"iters_per_job\": {}, \"seconds\": {:.4}, \"jobs_per_sec\": {:.3}, \"snapshots\": {}, \"total_iterations\": {}}}{}",
+            r.workers, r.mix, r.jobs, r.iters_per_job, r.seconds, r.jobs_per_sec,
+            r.snapshots, r.total_iterations,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qserve.json");
+    std::fs::write(path, &json).expect("write BENCH_qserve.json");
+    println!("wrote {path}");
+}

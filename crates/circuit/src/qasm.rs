@@ -51,10 +51,47 @@ fn err(line: usize, message: impl Into<String>) -> QasmError {
 /// assert_eq!(back.len(), 2);
 /// ```
 pub fn to_qasm(circuit: &Circuit) -> String {
+    render_qasm(circuit, "\n")
+}
+
+/// Serializes a circuit as *single-line* OpenQASM 2.0: the same
+/// statements as [`to_qasm`], separated by spaces instead of newlines.
+///
+/// QASM statements are `;`-terminated, so newlines are purely
+/// cosmetic; [`from_qasm`] parses both forms identically. The
+/// single-line form is what a line-delimited streaming protocol needs —
+/// a whole circuit snapshot travels as one frame field with no escaping
+/// (see the `qserve` crate). The output is guaranteed to contain no
+/// `\n` or `\r`.
+///
+/// ```
+/// use qcir::{Circuit, Gate, qasm};
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::Cx, &[0, 1]);
+/// let line = qasm::to_qasm_line(&c);
+/// assert!(!line.contains('\n'));
+/// assert_eq!(qasm::from_qasm(&line).unwrap(), c);
+/// ```
+pub fn to_qasm_line(circuit: &Circuit) -> String {
+    let s = render_qasm(circuit, " ");
+    debug_assert!(!s.contains('\n') && !s.contains('\r'));
+    s
+}
+
+/// Shared emitter: one statement per `sep`-joined chunk. The statement
+/// text itself is identical between the multi-line and single-line
+/// forms, so `from_qasm(to_qasm_line(c))` and `from_qasm(to_qasm(c))`
+/// produce the same circuit bit for bit.
+fn render_qasm(circuit: &Circuit, sep: &str) -> String {
     let mut s = String::new();
-    s.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
-    let _ = writeln!(s, "qreg q[{}];", circuit.num_qubits());
+    s.push_str("OPENQASM 2.0;");
+    s.push_str(sep);
+    s.push_str("include \"qelib1.inc\";");
+    s.push_str(sep);
+    let _ = write!(s, "qreg q[{}];", circuit.num_qubits());
     for ins in circuit.iter() {
+        s.push_str(sep);
         let params = ins.gate.params();
         if params.is_empty() {
             let _ = write!(s, "{}", ins.gate.name());
@@ -63,7 +100,10 @@ pub fn to_qasm(circuit: &Circuit) -> String {
             let _ = write!(s, "{}({})", ins.gate.name(), rendered.join(","));
         }
         let qs: Vec<String> = ins.qubits().iter().map(|q| format!("q[{q}]")).collect();
-        let _ = writeln!(s, " {};", qs.join(","));
+        let _ = write!(s, " {};", qs.join(","));
+    }
+    if sep == "\n" {
+        s.push('\n');
     }
     s
 }
@@ -431,6 +471,43 @@ mod tests {
         let back = from_qasm(&text).unwrap();
         assert_eq!(back.len(), c.len());
         assert!(hs_distance(&back.unitary(), &c.unitary()) < 1e-7);
+    }
+
+    #[test]
+    fn single_line_form_parses_to_the_same_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(PI / 3.0), &[1]);
+        c.push(Gate::Cx, &[0, 2]);
+        c.push(Gate::U3(0.1, -0.2, 0.3), &[2]);
+        c.push(Gate::Ccx, &[0, 1, 2]);
+        let line = to_qasm_line(&c);
+        assert!(!line.contains('\n') && !line.contains('\r'));
+        assert_eq!(from_qasm(&line).unwrap(), from_qasm(&to_qasm(&c)).unwrap());
+    }
+
+    #[test]
+    fn single_line_emit_is_byte_stable() {
+        // parse → emit must be a fixpoint: the streaming snapshots rely
+        // on stable serialization for differential comparison.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.4), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::U2(-1.25, 0.5), &[1]);
+        let line = to_qasm_line(&c);
+        let reparsed = from_qasm(&line).unwrap();
+        assert_eq!(to_qasm_line(&reparsed), line);
+        let text = to_qasm(&c);
+        assert_eq!(to_qasm(&from_qasm(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn empty_circuit_single_line() {
+        let c = Circuit::new(4);
+        let line = to_qasm_line(&c);
+        let back = from_qasm(&line).unwrap();
+        assert_eq!(back.num_qubits(), 4);
+        assert!(back.is_empty());
     }
 
     #[test]

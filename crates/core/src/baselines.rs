@@ -597,11 +597,9 @@ mod tests {
         ] {
             let p = PipelineOptimizer::new(GateSet::Nam, preset);
             let c = messy();
-            let out = p.optimize(
-                &c,
-                &GateCount,
-                Budget::Time(std::time::Duration::from_secs(5)),
-            );
+            // Iteration budgets are deterministic on a loaded host; the
+            // pipeline ignores the count and runs its bounded rounds.
+            let out = p.optimize(&c, &GateCount, Budget::Iterations(1_000));
             assert!(out.len() < c.len(), "{preset:?}");
             assert!(qsim::circuits_equivalent(&c, &out, 1e-6), "{preset:?}");
         }
@@ -625,11 +623,7 @@ mod tests {
     fn partition_resynth_improves() {
         let p = PartitionResynth::new(GateSet::Nam, 1e-6, 3);
         let c = messy();
-        let out = p.optimize(
-            &c,
-            &TwoQubitCount,
-            Budget::Time(std::time::Duration::from_secs(20)),
-        );
+        let out = p.optimize(&c, &TwoQubitCount, Budget::Iterations(1_000));
         assert!(out.two_qubit_count() <= c.two_qubit_count());
         assert!(qsim::circuits_equivalent(&c, &out, 1e-4));
     }

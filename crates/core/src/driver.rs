@@ -19,6 +19,7 @@
 
 use crate::cost::CostFn;
 use crate::guoq::{Budget, GuoqOpts, GuoqResult, HistoryPoint};
+use crate::observe::{BestSnapshot, CancelToken};
 use crate::transform::{Applied, PatchApplied, ResynthPass, SearchCtx, Transformation};
 use qcir::Circuit;
 use qrewrite::MatchScratch;
@@ -74,6 +75,12 @@ pub struct ShardDriver<'c> {
     /// [`Transformation::apply`] instead.
     use_patches: bool,
     started: Instant,
+    /// Cooperative cancellation, checked between iterations in
+    /// [`run`](Self::run) (taken from [`GuoqOpts::cancel`]).
+    cancel: Option<CancelToken>,
+    /// Strict-improvement observer: invoked each time the best-so-far
+    /// cost strictly decreases (the serving layer's streaming hook).
+    on_best: Option<&'c mut dyn FnMut(&BestSnapshot<'_>)>,
 }
 
 impl<'c> ShardDriver<'c> {
@@ -123,6 +130,8 @@ impl<'c> ShardDriver<'c> {
             record_history: opts.record_history,
             use_patches: true,
             started,
+            cancel: opts.cancel.clone(),
+            on_best: None,
         }
     }
 
@@ -139,6 +148,17 @@ impl<'c> ShardDriver<'c> {
     pub fn with_use_patches(mut self, use_patches: bool) -> Self {
         self.use_patches = use_patches;
         self
+    }
+
+    /// Installs a strict-improvement observer (see [`crate::observe`]).
+    pub fn with_observer(mut self, on_best: Option<&'c mut dyn FnMut(&BestSnapshot<'_>)>) -> Self {
+        self.on_best = on_best;
+        self
+    }
+
+    /// True once the driver's cancellation token (if any) was raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// The current working circuit.
@@ -245,6 +265,7 @@ impl<'c> ShardDriver<'c> {
     ) {
         while !budget.exhausted(self.started, self.iterations)
             && deadline.is_none_or(|d| Instant::now() < d)
+            && !self.is_cancelled()
         {
             if !self.step(fast, slow, rng) {
                 break;
@@ -295,6 +316,15 @@ impl<'c> ShardDriver<'c> {
                     iteration: self.iterations,
                     best_cost: self.cost_best,
                     best_two_qubit: self.best.two_qubit_count(),
+                });
+            }
+            if let Some(obs) = self.on_best.as_mut() {
+                obs(&BestSnapshot {
+                    circuit: &self.best,
+                    cost: self.cost_best,
+                    epsilon: self.err_best,
+                    iterations: self.iterations,
+                    seconds: self.started.elapsed().as_secs_f64(),
                 });
             }
         }

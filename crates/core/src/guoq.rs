@@ -56,6 +56,7 @@
 
 use crate::cost::CostFn;
 use crate::driver::ShardDriver;
+use crate::observe::{BestSnapshot, CancelToken};
 use crate::transform::{
     Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
 };
@@ -150,6 +151,13 @@ pub struct GuoqOpts {
     /// Sharded engine: shards per worker per epoch (> 1 oversubscribes
     /// the task queue so fast workers steal from slow ones).
     pub shards_per_worker: usize,
+    /// Cooperative cancellation: every engine checks the token between
+    /// iterations (workers between shard-slice iterations, the
+    /// coordinator between epochs) and returns its best-so-far result
+    /// early once it is raised — the anytime contract under early exit.
+    /// `None` (the default) disables the check. Cloning the options
+    /// shares the token.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for GuoqOpts {
@@ -167,6 +175,7 @@ impl Default for GuoqOpts {
             dirty_window_bias: 0.25,
             shard_slice_iterations: 4096,
             shards_per_worker: 2,
+            cancel: None,
         }
     }
 }
@@ -272,13 +281,38 @@ impl Guoq {
 
     /// Runs Algorithm 1 on `circuit` under `cost`.
     pub fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
+        self.dispatch(circuit, cost, None)
+    }
+
+    /// [`Self::optimize`] with a strict-improvement observer: `on_best`
+    /// is invoked with a [`crate::observe::BestSnapshot`] every time the
+    /// best-so-far cost strictly decreases (the serial engines fire it
+    /// from the driver's best update, the sharded engine from the
+    /// coordinator's commit observer). The final result is identical to
+    /// [`Self::optimize`] under the same options — observation never
+    /// perturbs the search trajectory.
+    pub fn optimize_observed(
+        &self,
+        circuit: &Circuit,
+        cost: &dyn CostFn,
+        on_best: &mut dyn FnMut(&BestSnapshot<'_>),
+    ) -> GuoqResult {
+        self.dispatch(circuit, cost, Some(on_best))
+    }
+
+    fn dispatch<'a>(
+        &'a self,
+        circuit: &Circuit,
+        cost: &'a dyn CostFn,
+        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
+    ) -> GuoqResult {
         let has_async = self.opts.async_resynth && !self.slow.is_empty();
         match self.opts.engine {
-            Engine::Sharded { workers } => self.optimize_sharded(circuit, cost, workers),
-            Engine::Incremental if has_async => self.optimize_async(circuit, cost, true),
-            Engine::Incremental => self.optimize_serial(circuit, cost, true),
-            Engine::CloneRebuild if has_async => self.optimize_async(circuit, cost, false),
-            Engine::CloneRebuild => self.optimize_serial(circuit, cost, false),
+            Engine::Sharded { workers } => self.optimize_sharded(circuit, cost, workers, obs),
+            Engine::Incremental if has_async => self.optimize_async(circuit, cost, true, obs),
+            Engine::Incremental => self.optimize_serial(circuit, cost, true, obs),
+            Engine::CloneRebuild if has_async => self.optimize_async(circuit, cost, false, obs),
+            Engine::CloneRebuild => self.optimize_serial(circuit, cost, false, obs),
         }
     }
 
@@ -287,15 +321,17 @@ impl Guoq {
     /// runs out. `use_patches` selects the incremental patch path
     /// ([`Engine::Incremental`]) or the materializing clone–rebuild
     /// baseline ([`Engine::CloneRebuild`]).
-    fn optimize_serial(
-        &self,
+    fn optimize_serial<'a>(
+        &'a self,
         circuit: &Circuit,
-        cost: &dyn CostFn,
+        cost: &'a dyn CostFn,
         use_patches: bool,
+        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
     ) -> GuoqResult {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, Instant::now())
-            .with_use_patches(use_patches);
+            .with_use_patches(use_patches)
+            .with_observer(obs);
         driver.run(&self.fast, &self.slow, &mut rng, self.opts.budget, None);
         driver.finish()
     }
@@ -307,11 +343,12 @@ impl Guoq {
     /// §5.3 prescribes) — the one remaining O(circuit) event in the
     /// incremental flavour; it happens at the resynthesis rate, not the
     /// iteration rate.
-    fn optimize_async(
-        &self,
+    fn optimize_async<'a>(
+        &'a self,
         circuit: &Circuit,
-        cost: &dyn CostFn,
+        cost: &'a dyn CostFn,
         use_patches: bool,
+        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
     ) -> GuoqResult {
         use crossbeam_channel::{bounded, TryRecvError};
 
@@ -321,7 +358,8 @@ impl Guoq {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let started = Instant::now();
         let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, started)
-            .with_use_patches(use_patches);
+            .with_use_patches(use_patches)
+            .with_observer(obs);
 
         let (req_tx, req_rx) = bounded::<Req>(1);
         let (resp_tx, resp_rx) = bounded::<Resp>(1);
@@ -338,7 +376,7 @@ impl Guoq {
 
         let mut in_flight = false;
         let mut next_id = 0u64;
-        while !self.opts.budget.exhausted(started, driver.iterations()) {
+        while !self.opts.budget.exhausted(started, driver.iterations()) && !driver.is_cancelled() {
             driver.begin_iteration();
             // Drain any finished resynthesis first.
             match resp_rx.try_recv() {
@@ -490,6 +528,92 @@ mod tests {
         let g = Guoq::for_gate_set(GateSet::Nam, opts(50));
         let r = g.optimize(&c, &GateCount);
         assert!(r.circuit.is_empty());
+    }
+
+    #[test]
+    fn observer_streams_strict_improvements_without_perturbing_search() {
+        let c = redundant_circuit();
+        let direct = Guoq::rewrite_only(GateSet::Nam, opts(400)).optimize(&c, &GateCount);
+
+        let mut costs: Vec<f64> = Vec::new();
+        let mut last: Option<Circuit> = None;
+        let observed = Guoq::rewrite_only(GateSet::Nam, opts(400)).optimize_observed(
+            &c,
+            &GateCount,
+            &mut |snap| {
+                costs.push(snap.cost);
+                last = Some(snap.circuit.clone());
+            },
+        );
+
+        // Observation never changes the trajectory…
+        assert_eq!(observed.circuit, direct.circuit);
+        assert_eq!(observed.cost, direct.cost);
+        // …the snapshot sequence is strictly decreasing…
+        assert!(
+            !costs.is_empty(),
+            "a shrinking run must improve at least once"
+        );
+        for w in costs.windows(2) {
+            assert!(w[1] < w[0], "non-monotone snapshots: {costs:?}");
+        }
+        // …and the last snapshot is the final best.
+        assert_eq!(*costs.last().unwrap(), observed.cost);
+        assert_eq!(last.unwrap(), observed.circuit);
+    }
+
+    #[test]
+    fn observer_fires_for_sharded_commits() {
+        let mut c = Circuit::new(4);
+        for i in 0..40u32 {
+            let a = (i % 3) as qcir::Qubit;
+            c.push(Gate::Cx, &[a, a + 1]);
+            c.push(Gate::Cx, &[a, a + 1]);
+        }
+        let o = GuoqOpts {
+            budget: Budget::Iterations(4000),
+            engine: Engine::Sharded { workers: 2 },
+            shard_slice_iterations: 128,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut costs: Vec<f64> = Vec::new();
+        let r = Guoq::rewrite_only(GateSet::Nam, o)
+            .optimize_observed(&c, &GateCount, &mut |s| costs.push(s.cost));
+        assert!(!costs.is_empty());
+        for w in costs.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert_eq!(*costs.last().unwrap(), r.cost);
+    }
+
+    #[test]
+    fn cancelled_serial_run_stops_early_with_valid_best() {
+        let c = redundant_circuit();
+        let token = crate::CancelToken::new();
+        token.cancel(); // cancel before the first iteration
+        let mut o = opts(1_000_000);
+        o.cancel = Some(token);
+        let g = Guoq::rewrite_only(GateSet::Nam, o);
+        let r = g.optimize(&c, &GateCount);
+        assert_eq!(r.iterations, 0, "pre-cancelled run must do no work");
+        assert_eq!(r.circuit, c);
+    }
+
+    #[test]
+    fn cancel_mid_run_returns_best_so_far() {
+        let c = redundant_circuit();
+        let token = crate::CancelToken::new();
+        let mut o = opts(u64::MAX); // unbounded: only the token stops it
+        o.cancel = Some(token.clone());
+        let g = Guoq::rewrite_only(GateSet::Nam, o);
+        let t = token.clone();
+        // Cancel from the observer after the first improvement: the run
+        // must wind down promptly instead of spinning forever.
+        let r = g.optimize_observed(&c, &GateCount, &mut move |_| t.cancel());
+        assert!(r.iterations > 0);
+        assert!(r.cost < c.len() as f64);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
     }
 
     #[test]

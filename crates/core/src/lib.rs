@@ -11,6 +11,9 @@
 //!   Metropolis/budget state, shared by every engine
 //! * [`guoq`]: Algorithm 1 with exact ε-budget accounting (Thm. 4.2/5.3)
 //!   and the §5.3 async-resynthesis driver
+//! * [`observe`]: streaming best-so-far snapshots
+//!   ([`Guoq::optimize_observed`]) and cooperative cancellation
+//!   ([`CancelToken`]) — the hooks the `qserve` service layer builds on
 //! * [`sharded`]: the region-partitioned parallel engine
 //!   ([`Engine::Sharded`]) over the `qpar` worker pool
 //! * [`baselines`]: re-implemented archetypes of the comparison tools
@@ -35,6 +38,7 @@ pub mod cost;
 pub mod driver;
 pub mod fidelity;
 pub mod guoq;
+pub mod observe;
 pub mod sharded;
 pub mod transform;
 
@@ -42,5 +46,6 @@ pub use cost::CostFn;
 pub use driver::ShardDriver;
 pub use fidelity::CalibrationModel;
 pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
+pub use observe::{BestSnapshot, CancelToken};
 pub use qpar::WorkerStats;
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

@@ -1,0 +1,53 @@
+//! Search observation: streaming best-so-far snapshots.
+//!
+//! GUOQ is an anytime algorithm — at any instant the search holds a
+//! valid best-so-far circuit. A serving layer (see the `qserve` crate)
+//! wants to *stream* that circuit to a client while the search keeps
+//! running, rather than wait for the budget to expire. The hook is a
+//! strict-improvement observer: a callback invoked with a
+//! [`BestSnapshot`] every time the tracked best cost strictly
+//! decreases.
+//!
+//! * The serial engines ([`Engine::Incremental`](crate::Engine),
+//!   [`Engine::CloneRebuild`](crate::Engine)) fire it from the
+//!   [`ShardDriver`](crate::driver::ShardDriver)'s best-so-far update.
+//! * [`Engine::Sharded`](crate::Engine) fires it from the coordinator's
+//!   per-epoch commit observer ([`qpar::CommitInfo`]) whenever a
+//!   committed master improves on the best committed cost.
+//!
+//! Both paths invoke the observer synchronously on the search (or
+//! coordinator) thread: an expensive observer slows the search, so a
+//! serving layer should hand the snapshot off (e.g. serialize and push
+//! into a bounded channel) rather than do I/O inline.
+//!
+//! Strict improvements are bounded by the total cost descent — not the
+//! accept rate — so observer traffic is small even for long runs, and
+//! the snapshot sequence any observer sees is monotonically strictly
+//! decreasing in cost (the differential tests in `crates/qserve` assert
+//! exactly this end to end).
+
+use qcir::Circuit;
+
+pub use qpar::CancelToken;
+
+/// One strict-improvement notification: a borrowed view of the new
+/// best-so-far circuit and the search counters at that instant.
+#[derive(Debug, Clone, Copy)]
+pub struct BestSnapshot<'a> {
+    /// The new best circuit (borrowed — clone or serialize to keep it).
+    pub circuit: &'a Circuit,
+    /// Its cost under the search objective.
+    pub cost: f64,
+    /// Accumulated approximation error of this circuit (≤ `ε_f`).
+    pub epsilon: f64,
+    /// Iterations performed when the improvement landed.
+    pub iterations: u64,
+    /// Seconds since the search started.
+    pub seconds: f64,
+}
+
+// The observer is passed around as a plain `&mut dyn
+// FnMut(&BestSnapshot<'_>)` (no named alias): with the trait object's
+// default lifetime bound, the borrow and the captured state share one
+// lifetime, which keeps `&mut`-invariance from infecting every
+// signature it threads through.

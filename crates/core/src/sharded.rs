@@ -25,6 +25,7 @@
 use crate::cost::CostFn;
 use crate::driver::ShardDriver;
 use crate::guoq::{Budget, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
+use crate::observe::BestSnapshot;
 use qcir::Circuit;
 use qpar::{ParallelOpts, ShardOptimizer, ShardOutcome, ShardTask};
 use qrewrite::MatchScratch;
@@ -99,11 +100,12 @@ impl ShardOptimizer for ShardWorker<'_> {
 impl Guoq {
     /// Runs the sharded parallel engine (dispatched from
     /// [`Guoq::optimize`] for [`Engine::Sharded`](crate::Engine::Sharded)).
-    pub(crate) fn optimize_sharded(
-        &self,
+    pub(crate) fn optimize_sharded<'a>(
+        &'a self,
         circuit: &Circuit,
-        cost: &dyn CostFn,
+        cost: &'a dyn CostFn,
         workers: usize,
+        mut obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
     ) -> GuoqResult {
         let opts = self.opts();
         let started = Instant::now();
@@ -122,6 +124,7 @@ impl Guoq {
                 Budget::Iterations(n) => Some(n),
             },
             seed: opts.seed,
+            cancel: opts.cancel.clone(),
         };
 
         let c0 = cost.cost(circuit);
@@ -154,6 +157,15 @@ impl Guoq {
                             iteration: commit.iterations,
                             best_cost: cost_best,
                             best_two_qubit: commit.circuit.two_qubit_count(),
+                        });
+                    }
+                    if let Some(obs) = obs.as_mut() {
+                        obs(&BestSnapshot {
+                            circuit: commit.circuit,
+                            cost: cost_best,
+                            epsilon: err_best,
+                            iterations: commit.iterations,
+                            seconds: started.elapsed().as_secs_f64(),
                         });
                     }
                 }

@@ -60,7 +60,41 @@
 use crossbeam_channel::bounded;
 use qcir::shard::{ShardPlan, ShardSpec};
 use qcir::Circuit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// A cooperative cancellation flag shared between a long-running search
+/// and whoever may need to stop it early (a serving layer's CANCEL
+/// frame, a per-job timeout watchdog, a Ctrl-C handler).
+///
+/// Cloning shares the flag. Cancellation is sticky: once
+/// [`cancel`](CancelToken::cancel) is called every holder observes
+/// [`is_cancelled`](CancelToken::is_cancelled) `== true` forever. The
+/// search loops check the flag between iterations, so cancellation is
+/// prompt (bounded by one iteration / one epoch) but never tears a
+/// partially-applied edit: the best-so-far result remains valid — the
+/// anytime contract under early exit.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called on any
+    /// clone of this token.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// One unit of work: optimize a shard circuit under local budgets.
 #[derive(Debug, Clone)]
@@ -131,6 +165,11 @@ pub struct ParallelOpts {
     pub max_iterations: Option<u64>,
     /// Base RNG seed for per-task seed derivation.
     pub seed: u64,
+    /// Cooperative cancellation: the coordinator stops starting epochs
+    /// once the token is cancelled (shard optimizers are expected to
+    /// check the same token between iterations so an in-flight epoch
+    /// drains promptly). `None` disables the check.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ParallelOpts {
@@ -144,6 +183,7 @@ impl Default for ParallelOpts {
             deadline: None,
             max_iterations: None,
             seed: 0xCAFE,
+            cancel: None,
         }
     }
 }
@@ -186,7 +226,10 @@ pub struct ParallelOutcome {
     pub worker_stats: Vec<WorkerStats>,
 }
 
-/// A commit notification passed to the epoch observer.
+/// A commit notification passed to the epoch observer — the
+/// coordinator's streaming hook: a serving layer can snapshot the
+/// committed master here and push a best-so-far frame to its client
+/// while the search keeps running.
 #[derive(Debug, Clone, Copy)]
 pub struct CommitInfo<'a> {
     /// Epoch just committed (1-based).
@@ -195,6 +238,10 @@ pub struct CommitInfo<'a> {
     pub circuit: &'a Circuit,
     /// Total iterations so far.
     pub iterations: u64,
+    /// Total accepted moves so far.
+    pub accepted: u64,
+    /// Total resynthesis hits so far.
+    pub resynth_hits: u64,
     /// Accumulated ε so far.
     pub epsilon: f64,
 }
@@ -300,6 +347,9 @@ where
                     break;
                 }
             }
+            if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                break;
+            }
             let mut remaining = match opts.max_iterations {
                 Some(max) => {
                     if iterations >= max {
@@ -383,6 +433,8 @@ where
                 epoch: epochs,
                 circuit: &master,
                 iterations,
+                accepted,
+                resynth_hits,
                 epsilon,
             });
             if epoch_iterations == 0 {
@@ -525,6 +577,51 @@ mod tests {
             ..Default::default()
         };
         let _ = optimize_sharded(&c, &opts, |_| Panicker, |_| {});
+    }
+
+    #[test]
+    fn cancel_from_commit_observer_stops_the_run() {
+        let c = cx_pairs(64);
+        let token = CancelToken::new();
+        let opts = ParallelOpts {
+            workers: 2,
+            oversubscribe: 2,
+            slice_iterations: 1, // one cancellation per epoch max
+            min_shard_len: 4,
+            max_iterations: Some(1_000_000),
+            cancel: Some(token.clone()),
+            ..Default::default()
+        };
+        let mut commits = 0u64;
+        let out = optimize_sharded(
+            &c,
+            &opts,
+            |_| PairCanceller,
+            |info| {
+                commits = info.epoch;
+                token.cancel();
+            },
+        );
+        // The observer cancelled on the first commit; the coordinator
+        // must stop before starting another epoch.
+        assert_eq!(out.epochs, 1);
+        assert_eq!(commits, 1);
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_no_epochs() {
+        let c = cx_pairs(8);
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ParallelOpts {
+            workers: 2,
+            max_iterations: Some(1000),
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let out = optimize_sharded(&c, &opts, |_| PairCanceller, |_| {});
+        assert_eq!(out.epochs, 0);
+        assert_eq!(out.circuit, c);
     }
 
     #[test]

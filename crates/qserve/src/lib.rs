@@ -1,0 +1,40 @@
+//! `qserve` — a streaming optimization service over the GUOQ engines.
+//!
+//! GUOQ is an *anytime* optimizer: quality is a function of wall-clock
+//! budget, which is exactly the shape of a long-lived service. `qserve`
+//! accepts OpenQASM jobs over a line-delimited protocol
+//! ([`protocol`]), multiplexes N concurrent jobs onto a bounded worker
+//! budget ([`server`]), runs each through the serial or sharded engine,
+//! and **streams best-so-far snapshots** to the client on every strict
+//! cost improvement — wired through
+//! [`guoq::Guoq::optimize_observed`] (serial engines) and the `qpar`
+//! coordinator's per-epoch commit observer (sharded engine).
+//!
+//! Transports ([`transport`]): stdin/stdout for batch use and a TCP
+//! listener for shared deployments. Both are thin byte-stream pumps
+//! around the same [`Server`]; the in-process differential tests drive
+//! the [`ServerHandle`] directly.
+//!
+//! Guarantees (differentially tested in `tests/differential.rs`):
+//!
+//! * A served job's result is **identical** to calling
+//!   `Guoq::optimize` directly with the same options and seed
+//!   (iteration-budgeted jobs are deterministic end to end) — for the
+//!   serial *and* the sharded engine.
+//! * The snapshot stream is monotonically decreasing in cost: one
+//!   initial snapshot at the input cost, then strict improvements.
+//! * Every result is unitary-equivalent to the submitted circuit
+//!   within its ε budget, and never worse under the objective.
+//! * Cancellation (CANCEL frame, timeout, client disconnect) yields a
+//!   terminal `DONE cancelled=1` carrying the valid best-so-far, and
+//!   returns the job's worker slots to the pool (`tests/cancel.rs`).
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use protocol::{EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective};
+pub use server::{ServeOpts, Server, ServerHandle};
+pub use transport::{pump_stream, serve_stdio, serve_tcp};

@@ -1,0 +1,93 @@
+//! The `qserve` binary: stdio batch mode or a TCP listener.
+//!
+//! ```text
+//! qserve [--stdio]                 serve one session on stdin/stdout
+//! qserve --tcp 127.0.0.1:7878      shared TCP service
+//!   --workers N        worker budget (default: CPUs, capped at 8)
+//!   --max-queued N     queued-job bound (default 64)
+//!   --max-time-ms N    per-job wall cap (default 30000)
+//!   --gateset NAME     nam | ibmq20 | ibm-eagle | ionq | clifford-t
+//! ```
+//!
+//! Diagnostics go to stderr; stdout carries only protocol frames.
+
+use qcir::GateSet;
+use qserve::{serve_stdio, serve_tcp, ServeOpts, Server};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn parse_gate_set(name: &str) -> Option<GateSet> {
+    match name {
+        "nam" => Some(GateSet::Nam),
+        "ibmq20" => Some(GateSet::Ibmq20),
+        "ibm-eagle" => Some(GateSet::IbmEagle),
+        "ionq" => Some(GateSet::Ionq),
+        "clifford-t" => Some(GateSet::CliffordT),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = ServeOpts::default();
+    let mut tcp_addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--stdio" => Ok(()),
+            "--tcp" => value("--tcp").map(|v| tcp_addr = Some(v)),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.worker_budget = n)
+                    .map_err(|_| "bad --workers value".into())
+            }),
+            "--max-queued" => value("--max-queued").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.max_queued = n)
+                    .map_err(|_| "bad --max-queued value".into())
+            }),
+            "--max-time-ms" => value("--max-time-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.max_time_ms = n)
+                    .map_err(|_| "bad --max-time-ms value".into())
+            }),
+            "--gateset" => value("--gateset").and_then(|v| {
+                parse_gate_set(&v)
+                    .map(|g| opts.gate_set = g)
+                    .ok_or_else(|| format!("unknown gate set `{v}`"))
+            }),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("qserve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}",
+        opts.worker_budget, opts.max_queued, opts.max_time_ms, opts.gate_set
+    );
+    let server = Server::start(opts);
+    let result = match tcp_addr {
+        Some(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!("qserve: listening on {addr}");
+                serve_tcp(listener, &server)
+            }
+            Err(e) => {
+                eprintln!("qserve: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => serve_stdio(&server),
+    };
+    server.shutdown();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qserve: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The line-delimited wire protocol.
+//!
+//! Every frame is one text line: an uppercase verb, a run of
+//! `key=value` fields separated by single spaces, and a terminating
+//! `\n`. The **last** field of a frame may be free-form (`qasm=` or
+//! `msg=`): its value runs to the end of the line, so QASM payloads
+//! travel unescaped — [`qcir::qasm::to_qasm_line`] guarantees the text
+//! is newline-free, and [`encode`](Frame::encode) replaces any stray
+//! `\n`/`\r` with spaces (harmless to QASM, whose statements are
+//! `;`-terminated).
+//!
+//! Client → server:
+//!
+//! ```text
+//! SUBMIT id=7 engine=sharded:2 iters=4000 time_ms=0 seed=11 eps=1e-8 objective=gates qasm=OPENQASM 2.0; ...
+//! CANCEL id=7
+//! SHUTDOWN
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! ACCEPTED id=7
+//! SNAPSHOT id=7 cost=118 eps=0 iters=0 seconds=0 qasm=OPENQASM 2.0; ...
+//! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=0 cancelled=0 qasm=OPENQASM 2.0; ...
+//! ERROR id=7 msg=unknown gate `foo`
+//! ```
+//!
+//! Semantics: one `ACCEPTED` per admitted job, then a `SNAPSHOT` stream
+//! — the first carries the input circuit (best-so-far = input, at cost
+//! of the input), every subsequent one a *strict* cost improvement —
+//! and one terminal `DONE` (also sent for cancelled jobs, with
+//! `cancelled=1` and the best circuit found before cancellation; the
+//! anytime contract). Snapshot delivery is lossy under backpressure: a
+//! client that reads slower than the search improves may miss
+//! intermediate snapshots (the ones it gets are still strictly
+//! improving, and `DONE` always carries the final best); a client that
+//! stops reading entirely may also forfeit its `DONE` after a grace
+//! period. Job ids are scoped per connection. Rejected submissions get
+//! a single `ERROR` and no `DONE`. One shutdown edge case: a job
+//! admitted while the server begins draining can see `ACCEPTED`
+//! followed by `ERROR` (and no `DONE`) — clients should treat an
+//! `ERROR` carrying their job id as terminal in every state.
+//!
+//! The codec is split into [`Frame::encode`] / [`Frame::parse`] plus an
+//! incremental [`FrameDecoder`] that accepts arbitrary byte chunks — a
+//! TCP read may split a frame anywhere, including mid-UTF-8 — and
+//! yields complete frames only. The property tests in
+//! `tests/codec.rs` prove any frame sequence survives
+//! encode → split-at-arbitrary-boundaries → decode.
+
+use std::error::Error;
+use std::fmt;
+
+/// Upper bound on one frame line (decoder guard): a line that exceeds
+/// this without a `\n` poisons the decoder (every subsequent push
+/// returns an error) rather than growing the buffer without bound.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Which iteration engine a job asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSel {
+    /// The serial incremental engine (`Engine::Incremental`).
+    Serial,
+    /// The clone–rebuild baseline (`Engine::CloneRebuild`).
+    CloneRebuild,
+    /// The sharded parallel engine with this many workers.
+    Sharded(usize),
+}
+
+/// The optimization objective of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Total gate count.
+    GateCount,
+    /// Multi-qubit gate count (the NISQ objective).
+    TwoQubitCount,
+}
+
+/// A `SUBMIT` frame: one optimization job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Client-chosen job id; must be unique among the client's live jobs.
+    pub id: u64,
+    /// Iteration engine.
+    pub engine: EngineSel,
+    /// Iteration budget; `0` means "no iteration budget" (wall-clock
+    /// only). Iteration-budgeted jobs are deterministic per seed.
+    pub iters: u64,
+    /// Wall-clock budget in milliseconds; `0` means "server default".
+    /// The server clamps this to its `max_time_ms` and enforces it even
+    /// for iteration-budgeted jobs (timeout watchdog).
+    pub time_ms: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Global approximation tolerance `ε_f`.
+    pub eps: f64,
+    /// Objective to minimize.
+    pub objective: Objective,
+    /// The circuit, as (single-line) OpenQASM 2.0.
+    pub qasm: String,
+}
+
+/// A `DONE` frame: the terminal result of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Job id.
+    pub id: u64,
+    /// Final best cost.
+    pub cost: f64,
+    /// Accumulated ε of the best circuit.
+    pub epsilon: f64,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Resynthesis hits.
+    pub resynth_hits: u64,
+    /// True when the job was cancelled (CANCEL frame, client
+    /// disconnect, or timeout); the result is still the valid
+    /// best-so-far.
+    pub cancelled: bool,
+    /// The best circuit, as single-line QASM.
+    pub qasm: String,
+}
+
+/// One protocol frame (either direction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client: submit a job.
+    Submit(JobRequest),
+    /// Client: cancel a queued or running job.
+    Cancel {
+        /// Job id to cancel.
+        id: u64,
+    },
+    /// Client: drain and stop (stdio transport; over TCP, closing the
+    /// connection has the same per-client effect).
+    Shutdown,
+    /// Server: job admitted to the queue.
+    Accepted {
+        /// Job id.
+        id: u64,
+    },
+    /// Server: a best-so-far snapshot (strict improvement stream).
+    Snapshot {
+        /// Job id.
+        id: u64,
+        /// Cost of this best-so-far circuit.
+        cost: f64,
+        /// Accumulated ε of this circuit.
+        epsilon: f64,
+        /// Iterations when the improvement landed.
+        iterations: u64,
+        /// Seconds since the job started.
+        seconds: f64,
+        /// The circuit, as single-line QASM.
+        qasm: String,
+    },
+    /// Server: terminal job result.
+    Done(JobSummary),
+    /// Server: the job (or frame) was rejected.
+    Error {
+        /// Offending job id (`0` when unattributable).
+        id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// A malformed frame line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl Error for ProtocolError {}
+
+fn perr(message: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        message: message.into(),
+    }
+}
+
+/// Replaces newline bytes so a free-form value cannot break framing.
+/// Borrows on the (overwhelmingly common) clean path — snapshot
+/// payloads from [`qcir::qasm::to_qasm_line`] are newline-free by
+/// construction, and copying a multi-megabyte QASM string once per
+/// streamed frame would be pure waste.
+fn sanitize(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains('\n') || s.contains('\r') {
+        std::borrow::Cow::Owned(s.replace(['\n', '\r'], " "))
+    } else {
+        std::borrow::Cow::Borrowed(s)
+    }
+}
+
+impl EngineSel {
+    fn encode(&self) -> String {
+        match *self {
+            EngineSel::Serial => "serial".into(),
+            EngineSel::CloneRebuild => "clone-rebuild".into(),
+            EngineSel::Sharded(w) => format!("sharded:{w}"),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "serial" => Ok(EngineSel::Serial),
+            "clone-rebuild" => Ok(EngineSel::CloneRebuild),
+            _ => match s.strip_prefix("sharded:") {
+                Some(w) => Ok(EngineSel::Sharded(
+                    w.parse().map_err(|_| perr("bad worker count"))?,
+                )),
+                None => Err(perr(format!("unknown engine `{s}`"))),
+            },
+        }
+    }
+}
+
+impl Objective {
+    fn encode(&self) -> &'static str {
+        match self {
+            Objective::GateCount => "gates",
+            Objective::TwoQubitCount => "2q",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ProtocolError> {
+        match s {
+            "gates" => Ok(Objective::GateCount),
+            "2q" => Ok(Objective::TwoQubitCount),
+            _ => Err(perr(format!("unknown objective `{s}`"))),
+        }
+    }
+}
+
+impl Frame {
+    /// Serializes the frame as one line, including the trailing `\n`.
+    pub fn encode(&self) -> String {
+        match self {
+            Frame::Submit(r) => format!(
+                "SUBMIT id={} engine={} iters={} time_ms={} seed={} eps={} objective={} qasm={}\n",
+                r.id,
+                r.engine.encode(),
+                r.iters,
+                r.time_ms,
+                r.seed,
+                r.eps,
+                r.objective.encode(),
+                sanitize(&r.qasm),
+            ),
+            Frame::Cancel { id } => format!("CANCEL id={id}\n"),
+            Frame::Shutdown => "SHUTDOWN\n".to_string(),
+            Frame::Accepted { id } => format!("ACCEPTED id={id}\n"),
+            Frame::Snapshot {
+                id,
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                qasm,
+            } => format!(
+                "SNAPSHOT id={id} cost={cost} eps={epsilon} iters={iterations} seconds={seconds} qasm={}\n",
+                sanitize(qasm),
+            ),
+            Frame::Done(s) => format!(
+                "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cancelled={} qasm={}\n",
+                s.id,
+                s.cost,
+                s.epsilon,
+                s.iterations,
+                s.accepted,
+                s.resynth_hits,
+                u8::from(s.cancelled),
+                sanitize(&s.qasm),
+            ),
+            Frame::Error { id, message } => {
+                format!("ERROR id={id} msg={}\n", sanitize(message))
+            }
+        }
+    }
+
+    /// Parses one frame line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Frame, ProtocolError> {
+        let line = line.trim_end_matches('\r');
+        let (verb, rest) = match line.find(' ') {
+            Some(i) => (&line[..i], &line[i + 1..]),
+            None => (line, ""),
+        };
+        let kv = KvFields::parse(rest)?;
+        match verb {
+            "SUBMIT" => Ok(Frame::Submit(JobRequest {
+                id: kv.u64("id")?,
+                engine: EngineSel::parse(kv.str("engine")?)?,
+                iters: kv.u64("iters")?,
+                time_ms: kv.u64("time_ms")?,
+                seed: kv.u64("seed")?,
+                eps: kv.f64("eps")?,
+                objective: Objective::parse(kv.str("objective")?)?,
+                qasm: kv.str("qasm")?.to_string(),
+            })),
+            "CANCEL" => Ok(Frame::Cancel { id: kv.u64("id")? }),
+            "SHUTDOWN" => Ok(Frame::Shutdown),
+            "ACCEPTED" => Ok(Frame::Accepted { id: kv.u64("id")? }),
+            "SNAPSHOT" => Ok(Frame::Snapshot {
+                id: kv.u64("id")?,
+                cost: kv.f64("cost")?,
+                epsilon: kv.f64("eps")?,
+                iterations: kv.u64("iters")?,
+                seconds: kv.f64("seconds")?,
+                qasm: kv.str("qasm")?.to_string(),
+            }),
+            "DONE" => Ok(Frame::Done(JobSummary {
+                id: kv.u64("id")?,
+                cost: kv.f64("cost")?,
+                epsilon: kv.f64("eps")?,
+                iterations: kv.u64("iters")?,
+                accepted: kv.u64("accepted")?,
+                resynth_hits: kv.u64("resynth")?,
+                cancelled: kv.u64("cancelled")? != 0,
+                qasm: kv.str("qasm")?.to_string(),
+            })),
+            "ERROR" => Ok(Frame::Error {
+                id: kv.u64("id")?,
+                message: kv.str("msg")?.to_string(),
+            }),
+            other => Err(perr(format!("unknown verb `{other}`"))),
+        }
+    }
+}
+
+/// The parsed `key=value` fields of one frame line. Free-form keys
+/// (`qasm`, `msg`) swallow the rest of the line.
+struct KvFields<'a> {
+    fields: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> KvFields<'a> {
+    fn parse(mut rest: &'a str) -> Result<Self, ProtocolError> {
+        let mut fields = Vec::new();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| perr(format!("expected key=value, got `{rest}`")))?;
+            let key = &rest[..eq];
+            if key.contains(' ') {
+                return Err(perr(format!("malformed field near `{key}`")));
+            }
+            let after = &rest[eq + 1..];
+            if key == "qasm" || key == "msg" {
+                // Free-form tail: everything to end of line.
+                fields.push((key, after));
+                rest = "";
+            } else {
+                let (value, tail) = match after.find(' ') {
+                    Some(i) => (&after[..i], &after[i + 1..]),
+                    None => (after, ""),
+                };
+                fields.push((key, value));
+                rest = tail;
+            }
+        }
+        Ok(KvFields { fields })
+    }
+
+    fn str(&self, key: &str) -> Result<&'a str, ProtocolError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| perr(format!("missing field `{key}`")))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, ProtocolError> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| perr(format!("bad integer in `{key}`")))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, ProtocolError> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| perr(format!("bad number in `{key}`")))
+    }
+}
+
+/// An incremental frame decoder: feed it byte chunks of any size (a
+/// TCP read may split a line anywhere, including inside a multi-byte
+/// character) and it yields exactly the frames whose terminating `\n`
+/// has arrived. Blank lines are ignored; a malformed line yields an
+/// `Err` for that line and decoding continues with the next.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned and known newline-free, so each
+    /// `push` resumes where the last one stopped — without this, a
+    /// large frame arriving in small chunks would rescan the whole
+    /// pending buffer per chunk (quadratic in the frame length).
+    scanned: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `chunk` and drains every complete line as a parsed
+    /// frame (or per-line parse error).
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Result<Frame, ProtocolError>> {
+        let mut out = Vec::new();
+        if self.poisoned {
+            out.push(Err(perr("decoder poisoned by an oversized line")));
+            return out;
+        }
+        self.buf.extend_from_slice(chunk);
+        let mut start = 0usize;
+        let mut search_from = self.scanned;
+        while let Some(rel) = self.buf[search_from..].iter().position(|&b| b == b'\n') {
+            let nl = search_from + rel;
+            let line = &self.buf[start..nl];
+            start = nl + 1;
+            search_from = start;
+            if line.is_empty() {
+                continue;
+            }
+            match std::str::from_utf8(line) {
+                Ok(text) if text.trim().is_empty() => {}
+                Ok(text) => out.push(Frame::parse(text)),
+                Err(_) => out.push(Err(perr("frame is not valid UTF-8"))),
+            }
+        }
+        self.buf.drain(..start);
+        self.scanned = self.buf.len(); // the remainder holds no newline
+        if self.buf.len() > MAX_LINE_BYTES {
+            self.poisoned = true;
+            self.buf = Vec::new();
+            self.scanned = 0;
+            out.push(Err(perr("line exceeds MAX_LINE_BYTES")));
+        }
+        out
+    }
+
+    /// Bytes buffered waiting for a newline (diagnostics).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True once an oversized line has permanently poisoned this
+    /// decoder; a transport should close the session rather than keep
+    /// feeding it.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Submit(JobRequest {
+                id: 7,
+                engine: EngineSel::Sharded(3),
+                iters: 4000,
+                time_ms: 0,
+                seed: 11,
+                eps: 1e-8,
+                objective: Objective::GateCount,
+                qasm: "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[0]; cx q[0],q[1];"
+                    .into(),
+            }),
+            Frame::Cancel { id: 7 },
+            Frame::Shutdown,
+            Frame::Accepted { id: 7 },
+            Frame::Snapshot {
+                id: 7,
+                cost: 118.0,
+                epsilon: 0.0,
+                iterations: 42,
+                seconds: 0.125,
+                qasm: "OPENQASM 2.0; qreg q[1];".into(),
+            },
+            Frame::Done(JobSummary {
+                id: 7,
+                cost: 92.5,
+                epsilon: 1e-9,
+                iterations: 4000,
+                accepted: 31,
+                resynth_hits: 2,
+                cancelled: true,
+                qasm: "OPENQASM 2.0; qreg q[1]; x q[0];".into(),
+            }),
+            Frame::Error {
+                id: 0,
+                message: "unknown verb `HELLO`".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        for f in sample_frames() {
+            let line = f.encode();
+            assert!(line.ends_with('\n'));
+            assert_eq!(line.matches('\n').count(), 1, "{line:?}");
+            let back = Frame::parse(line.trim_end_matches('\n')).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time() {
+        let frames = sample_frames();
+        let wire: Vec<u8> = frames
+            .iter()
+            .flat_map(|f| f.encode().into_bytes())
+            .collect();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            for r in dec.push(&[b]) {
+                got.push(r.unwrap());
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn newlines_in_free_form_fields_cannot_break_framing() {
+        let f = Frame::Error {
+            id: 3,
+            message: "multi\nline\r\nmessage".into(),
+        };
+        let line = f.encode();
+        assert_eq!(line.matches('\n').count(), 1);
+        match Frame::parse(line.trim_end_matches('\n')).unwrap() {
+            Frame::Error { message, .. } => assert_eq!(message, "multi line  message"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_and_decoding_continues() {
+        let mut dec = FrameDecoder::new();
+        let got = dec.push(b"NONSENSE\nACCEPTED id=4\nSUBMIT id=x\n");
+        assert_eq!(got.len(), 3);
+        assert!(got[0].is_err());
+        assert_eq!(got[1], Ok(Frame::Accepted { id: 4 }));
+        assert!(got[2].is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let mut dec = FrameDecoder::new();
+        let got = dec.push(b"\n\r\nACCEPTED id=1\n\n");
+        assert_eq!(got, vec![Ok(Frame::Accepted { id: 1 })]);
+    }
+}

@@ -1,0 +1,670 @@
+//! The job manager: admission, scheduling, streaming, cancellation.
+//!
+//! A [`Server`] multiplexes many concurrent jobs onto a bounded
+//! **worker budget** (a count of concurrent search threads, the
+//! service's scarce resource). A serial job occupies one slot; a
+//! `sharded:N` job occupies `N` (its `qpar` pool runs `N` worker
+//! threads). Admission is strict FIFO — the queue head waits until
+//! enough slots are free, and no *live* job overtakes it (no
+//! starvation; deterministic admission order). The one exception is
+//! already-cancelled queued jobs: they are swept out of the queue
+//! immediately, without waiting for slots they will never use, so a
+//! cancelled wide job cannot block the jobs behind it.
+//!
+//! Job ids are scoped **per connection** ([`Server::handle`] opens a
+//! scope): independent clients neither collide on ids nor can cancel
+//! each other's jobs.
+//!
+//! Each job runs [`guoq::Guoq::optimize_observed`] on its own thread:
+//! every strict cost improvement is serialized
+//! ([`qcir::qasm::to_qasm_line`]) and pushed to the client's reply
+//! channel as a `SNAPSHOT` frame, preceded by one initial snapshot of
+//! the input (best-so-far = input) and followed by one terminal
+//! `DONE`. Snapshot delivery never blocks the search (see
+//! [`send_snapshot`]): a backlogged client misses intermediate
+//! snapshots rather than parking the job thread — which would defeat
+//! cancellation, the wall cap, and the slot accounting all at once.
+//!
+//! Cancellation is cooperative through [`guoq::CancelToken`] (see
+//! `guoq::observe`): a `CANCEL` frame raises the job's token; a
+//! **timeout watchdog** raises it once an iteration-budgeted job's
+//! wall cap expires (so such jobs cannot hold slots forever;
+//! time-budgeted jobs self-terminate); a dropped reply channel (client
+//! disconnect) raises it from the next snapshot send — prompt while
+//! the job is still improving, and bounded by the wall cap on a
+//! plateau, since a job that stops improving stops sending. In every
+//! case the job winds down within one iteration/epoch of the token
+//! being raised and reports its best-so-far with `cancelled=1` — the
+//! worker slots return to the pool, which stays fully reusable
+//! (regression-tested in `tests/cancel.rs`).
+
+use crate::protocol::{EngineSel, Frame, JobRequest, JobSummary, Objective};
+use crossbeam_channel::Sender;
+use guoq::cost::{CostFn, GateCount, TwoQubitCount};
+use guoq::{Budget, CancelToken, Engine, Guoq, GuoqOpts};
+use qcir::{qasm, Circuit, GateSet};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Total concurrent search threads across all running jobs. A
+    /// serial job costs 1 slot, a `sharded:N` job costs `N`; a job
+    /// wider than the whole budget is rejected at submission.
+    pub worker_budget: usize,
+    /// Maximum queued (admitted but not yet running) jobs; submissions
+    /// beyond this are rejected with an `ERROR` frame (backpressure).
+    pub max_queued: usize,
+    /// Hard wall cap per job, in milliseconds. Applied to time-budgeted
+    /// jobs as `min(requested, cap)` and to iteration-budgeted jobs via
+    /// the timeout watchdog.
+    pub max_time_ms: u64,
+    /// Gate set whose rule corpus and resynthesizer serve the jobs.
+    pub gate_set: GateSet,
+    /// Probability of a resynthesis move per iteration (passed through
+    /// to [`GuoqOpts`]; the paper's default when `None`).
+    pub resynth_probability: Option<f64>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            worker_budget: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            max_queued: 64,
+            max_time_ms: 30_000,
+            gate_set: GateSet::Nam,
+            resynth_probability: None,
+        }
+    }
+}
+
+/// An admitted, not-yet-running job.
+struct QueuedJob {
+    /// The submitting handle's connection id — job ids are scoped per
+    /// connection, so independent clients neither collide on ids nor
+    /// can cancel each other's jobs.
+    conn: u64,
+    req: JobRequest,
+    circuit: Circuit,
+    width: usize,
+    cancel: CancelToken,
+    reply: Sender<Frame>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<QueuedJob>,
+    /// Cancel tokens of every live (queued or running) job, keyed by
+    /// (connection id, client-chosen job id).
+    tokens: HashMap<(u64, u64), CancelToken>,
+    slots_free: usize,
+    running: usize,
+    draining: bool,
+    /// Wall caps of running jobs, scanned by the watchdog.
+    deadlines: Vec<(Instant, CancelToken)>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    opts: ServeOpts,
+    /// Connection-id allocator for [`Server::handle`].
+    next_conn: std::sync::atomic::AtomicU64,
+}
+
+/// The streaming optimization service. See the module docs.
+pub struct Server {
+    shared: Arc<Shared>,
+    scheduler: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+/// A submission handle scoped to one connection: job ids are unique
+/// *per handle*, and [`cancel`](Self::cancel) only reaches jobs
+/// submitted through this handle (or a clone of it — clones share the
+/// connection scope, which is what a connection's reader/writer
+/// threads need). Obtain a fresh scope per client with
+/// [`Server::handle`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    conn: u64,
+}
+
+impl Server {
+    /// Starts the scheduler and watchdog threads.
+    pub fn start(opts: ServeOpts) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                slots_free: opts.worker_budget.max(1),
+                ..State::default()
+            }),
+            work: Condvar::new(),
+            opts,
+            next_conn: std::sync::atomic::AtomicU64::new(0),
+        });
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || scheduler_loop(shared))
+        };
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(shared))
+        };
+        Server {
+            shared,
+            scheduler: Some(scheduler),
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// A fresh per-connection submission handle for a transport (or an
+    /// in-process client). Each call opens a new job-id scope.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            conn: self
+                .shared
+                .next_conn
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until no job is queued or running, across every
+    /// connection (for whole-server quiesce flows; transports use the
+    /// per-connection [`ServerHandle::wait_idle`] instead). New
+    /// submissions remain possible during and after the wait.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        // Wait on the token map, not just queue/running: a job between
+        // the two submit phases (reserved + ACCEPTED sent, not yet
+        // enqueued) is admitted work and must gate idleness.
+        while !(st.queue.is_empty() && st.running == 0 && st.tokens.is_empty()) {
+            st = self.shared.work.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Graceful shutdown: stops accepting, drains queued and running
+    /// jobs (each still gets its `DONE`), then joins the service
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        st.draining = true;
+        drop(st);
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server still winds down cleanly (tests that panic
+        // mid-way, transports that error out).
+        self.begin_drain();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Dispatches one client frame. Responses (and any error) go to
+    /// `reply`; server-to-client frames arriving here are protocol
+    /// violations and are answered with an `ERROR` frame.
+    pub fn handle_frame(&self, frame: Frame, reply: &Sender<Frame>) {
+        match frame {
+            Frame::Submit(req) => self.submit(req, reply),
+            Frame::Cancel { id } => {
+                if !self.cancel(id) {
+                    let _ = reply.send(Frame::Error {
+                        id,
+                        message: "unknown job id".into(),
+                    });
+                }
+            }
+            Frame::Shutdown => {} // transport-level; handled by the caller
+            other => {
+                let id = match &other {
+                    Frame::Accepted { id } | Frame::Snapshot { id, .. } => *id,
+                    Frame::Done(s) => s.id,
+                    _ => 0,
+                };
+                let _ = reply.send(Frame::Error {
+                    id,
+                    message: "unexpected server-to-client frame".into(),
+                });
+            }
+        }
+    }
+
+    /// Validates and enqueues a job; streams frames to `reply`.
+    ///
+    /// Two-phase admission so the frame order holds: the job id is
+    /// *reserved* (visible to CANCEL, invisible to the scheduler),
+    /// `ACCEPTED` is sent, and only then is the job enqueued — were it
+    /// enqueued first, the scheduler could start it and emit its
+    /// initial `SNAPSHOT` before this thread sent `ACCEPTED`.
+    pub fn submit(&self, req: JobRequest, reply: &Sender<Frame>) {
+        let id = req.id;
+        match self.try_reserve(req, reply) {
+            Ok(job) => {
+                let _ = reply.send(Frame::Accepted { id });
+                let mut st = self.shared.state.lock().expect("server state poisoned");
+                if st.draining {
+                    // Shutdown began between the phases; the scheduler
+                    // may already have exited, so enqueueing could
+                    // orphan the job. Retract it (the one case where
+                    // ACCEPTED is followed by ERROR instead of DONE).
+                    st.tokens.remove(&(self.conn, id));
+                    drop(st);
+                    let _ = reply.send(Frame::Error {
+                        id,
+                        message: "server is shutting down".into(),
+                    });
+                } else {
+                    st.queue.push_back(job);
+                    drop(st);
+                    self.shared.work.notify_all();
+                }
+            }
+            Err(message) => {
+                let _ = reply.send(Frame::Error { id, message });
+            }
+        }
+    }
+
+    /// Phase 1: validate and reserve the id, without enqueueing. (The
+    /// `max_queued` check happens here, so racing submissions can
+    /// overshoot the bound by the number of in-flight phase-2 pushes —
+    /// it is a backpressure knob, not a hard invariant.)
+    fn try_reserve(&self, req: JobRequest, reply: &Sender<Frame>) -> Result<QueuedJob, String> {
+        let width = match req.engine {
+            EngineSel::Serial | EngineSel::CloneRebuild => 1,
+            EngineSel::Sharded(w) => {
+                if w == 0 {
+                    return Err("sharded engine needs ≥ 1 worker".into());
+                }
+                w
+            }
+        };
+        if width > self.shared.opts.worker_budget.max(1) {
+            return Err(format!(
+                "job width {width} exceeds worker budget {}",
+                self.shared.opts.worker_budget.max(1)
+            ));
+        }
+        if req.iters == 0 && req.time_ms == 0 {
+            return Err("job needs an iteration or time budget".into());
+        }
+        let circuit = qasm::from_qasm(&req.qasm).map_err(|e| format!("bad qasm payload: {e}"))?;
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        if st.draining {
+            return Err("server is shutting down".into());
+        }
+        if st.queue.len() >= self.shared.opts.max_queued {
+            return Err(format!(
+                "queue full ({} jobs); retry later",
+                self.shared.opts.max_queued
+            ));
+        }
+        if st.tokens.contains_key(&(self.conn, req.id)) {
+            return Err("duplicate job id".into());
+        }
+        let cancel = CancelToken::new();
+        st.tokens.insert((self.conn, req.id), cancel.clone());
+        Ok(QueuedJob {
+            conn: self.conn,
+            req,
+            circuit,
+            width,
+            cancel,
+            reply: reply.clone(),
+        })
+    }
+
+    /// Cancels a queued or running job submitted through this handle's
+    /// connection scope. Returns false for unknown ids (including
+    /// other connections' jobs — cancellation cannot cross clients).
+    pub fn cancel(&self, id: u64) -> bool {
+        let st = self.shared.state.lock().expect("server state poisoned");
+        let found = match st.tokens.get(&(self.conn, id)) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        };
+        drop(st);
+        if found {
+            // Wake the scheduler: a cancelled *queued* job is swept out
+            // of the queue without waiting for slots.
+            self.shared.work.notify_all();
+        }
+        found
+    }
+
+    /// Blocks until none of **this connection's** jobs are queued or
+    /// running (other clients' jobs don't gate it — a shared server
+    /// under continuous load would otherwise never look idle). The
+    /// transports call this at EOF so every admitted job's `DONE` is
+    /// produced before the stream closes.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        while st.tokens.keys().any(|(conn, _)| *conn == self.conn) {
+            st = self.shared.work.wait(st).expect("server state poisoned");
+        }
+    }
+
+    /// Jobs currently queued or running (diagnostics).
+    pub fn live_jobs(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .tokens
+            .len()
+    }
+}
+
+/// Strict-FIFO admission: pop the queue head once its width fits the
+/// free slots, spawn its thread, repeat. Returns when draining and
+/// everything has finished.
+fn scheduler_loop(shared: Arc<Shared>) {
+    let mut jobs: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let to_spawn = {
+            let mut st = shared.state.lock().expect("server state poisoned");
+            let mut to_spawn: Vec<QueuedJob> = Vec::new();
+            loop {
+                // Sweep cancelled queued jobs first, wherever they sit:
+                // they need no slots (run_job returns immediately on a
+                // raised token), and a cancelled wide job at the head
+                // must not block narrower ready jobs behind it — nor
+                // have its terminal DONE withheld until slots free up.
+                let mut i = 0;
+                while i < st.queue.len() {
+                    if st.queue[i].cancel.is_cancelled() {
+                        let mut job = st.queue.remove(i).expect("indexed entry");
+                        job.width = 0; // slots were never debited
+                        st.running += 1;
+                        to_spawn.push(job);
+                    } else {
+                        i += 1;
+                    }
+                }
+                if let Some(front) = st.queue.front() {
+                    if front.width <= st.slots_free {
+                        let job = st.queue.pop_front().expect("queue head vanished");
+                        st.slots_free -= job.width;
+                        st.running += 1;
+                        to_spawn.push(job);
+                    }
+                }
+                if !to_spawn.is_empty() {
+                    break;
+                }
+                if st.draining && st.queue.is_empty() && st.running == 0 {
+                    drop(st);
+                    for h in jobs {
+                        if h.join().is_err() {
+                            eprintln!("qserve: a job thread panicked (slots were reclaimed)");
+                        }
+                    }
+                    return;
+                }
+                st = shared.work.wait(st).expect("server state poisoned");
+            }
+            to_spawn
+        };
+        // Reap completed job threads, surfacing panics (the accounting
+        // guard keeps the pool usable either way).
+        let (finished, live): (Vec<_>, Vec<_>) = jobs.drain(..).partition(|h| h.is_finished());
+        jobs = live;
+        for h in finished {
+            if h.join().is_err() {
+                eprintln!("qserve: a job thread panicked (slots were reclaimed)");
+            }
+        }
+        for job in to_spawn {
+            let shared2 = Arc::clone(&shared);
+            jobs.push(std::thread::spawn(move || run_job(job, shared2)));
+        }
+    }
+}
+
+/// Cancels jobs whose wall cap expired. Event-driven: sleeps on the
+/// shared condvar until the nearest registered deadline (or
+/// indefinitely while no deadline is pending), so an idle server does
+/// no periodic work.
+fn watchdog_loop(shared: Arc<Shared>) {
+    let mut st = shared.state.lock().expect("server state poisoned");
+    loop {
+        if st.draining && st.queue.is_empty() && st.running == 0 {
+            return;
+        }
+        let now = Instant::now();
+        st.deadlines.retain(|(deadline, token)| {
+            if token.is_cancelled() {
+                return false; // job finished or was cancelled already
+            }
+            if now >= *deadline {
+                token.cancel();
+                return false;
+            }
+            true
+        });
+        let next = st.deadlines.iter().map(|(d, _)| *d).min();
+        st = match next {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                shared
+                    .work
+                    .wait_timeout(st, timeout)
+                    .expect("server state poisoned")
+                    .0
+            }
+            None => shared.work.wait(st).expect("server state poisoned"),
+        };
+    }
+}
+
+fn cost_fn(objective: Objective) -> Box<dyn CostFn> {
+    match objective {
+        Objective::GateCount => Box::new(GateCount),
+        Objective::TwoQubitCount => Box::new(TwoQubitCount),
+    }
+}
+
+/// Restores a running job's pool accounting when its thread ends —
+/// including by panic, which must never leak worker slots (a leaked
+/// slot with `worker_budget: 1` wedges the whole server). The token is
+/// cancelled first so the watchdog drops the job's deadline entry and
+/// the id becomes reusable.
+struct SlotGuard {
+    shared: Arc<Shared>,
+    conn: u64,
+    id: u64,
+    width: usize,
+    cancel: CancelToken,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        let mut st = self.shared.state.lock().expect("server state poisoned");
+        st.slots_free += self.width;
+        st.running -= 1;
+        st.tokens.remove(&(self.conn, self.id));
+        drop(st);
+        self.shared.work.notify_all();
+    }
+}
+
+/// One job, start to DONE, on its own thread.
+fn run_job(job: QueuedJob, shared: Arc<Shared>) {
+    let QueuedJob {
+        conn,
+        req,
+        circuit,
+        width,
+        cancel,
+        reply,
+    } = job;
+    let guard = SlotGuard {
+        shared: Arc::clone(&shared),
+        conn,
+        id: req.id,
+        width,
+        cancel: cancel.clone(),
+    };
+    let opts = &shared.opts;
+    let effective_ms = if req.time_ms == 0 {
+        opts.max_time_ms
+    } else {
+        req.time_ms.min(opts.max_time_ms)
+    };
+    let budget = if req.iters > 0 {
+        // Iteration-budgeted: the watchdog enforces the wall cap (the
+        // driver's own budget never consults the clock). Time-budgeted
+        // jobs self-terminate via `Budget::Time` and get no watchdog
+        // entry — otherwise the watchdog's clock (which starts here,
+        // before the rule corpus is built) would race the driver's
+        // (which starts inside `optimize`) and could stamp a job that
+        // ran its full requested budget as `cancelled=1`.
+        let mut st = shared.state.lock().expect("server state poisoned");
+        st.deadlines.push((
+            Instant::now() + Duration::from_millis(effective_ms),
+            cancel.clone(),
+        ));
+        drop(st);
+        shared.work.notify_all(); // wake the watchdog to re-arm its timer
+        Budget::Iterations(req.iters)
+    } else {
+        Budget::Time(Duration::from_millis(effective_ms))
+    };
+
+    let engine = match req.engine {
+        EngineSel::Serial => Engine::Incremental,
+        EngineSel::CloneRebuild => Engine::CloneRebuild,
+        EngineSel::Sharded(w) => Engine::Sharded { workers: w },
+    };
+    let mut gopts = GuoqOpts {
+        budget,
+        eps_total: req.eps,
+        seed: req.seed,
+        engine,
+        cancel: Some(cancel.clone()),
+        ..Default::default()
+    };
+    if let Some(p) = opts.resynth_probability {
+        gopts.resynth_probability = p;
+    }
+    let cost = cost_fn(req.objective);
+    let guoq = Guoq::for_gate_set(opts.gate_set, gopts);
+
+    // Initial snapshot: best-so-far = the input circuit. Anchors the
+    // (strictly improving) snapshot sequence at the input cost; sent
+    // through the same lossy path as every snapshot.
+    send_snapshot(
+        &reply,
+        &cancel,
+        Frame::Snapshot {
+            id: req.id,
+            cost: cost.cost(&circuit),
+            epsilon: 0.0,
+            iterations: 0,
+            seconds: 0.0,
+            qasm: qasm::to_qasm_line(&circuit),
+        },
+    );
+
+    let id = req.id;
+    let snapshot_reply = reply.clone();
+    let snapshot_cancel = cancel.clone();
+    let result = guoq.optimize_observed(&circuit, &*cost, &mut |snap| {
+        send_snapshot(
+            &snapshot_reply,
+            &snapshot_cancel,
+            Frame::Snapshot {
+                id,
+                cost: snap.cost,
+                epsilon: snap.epsilon,
+                iterations: snap.iterations,
+                seconds: snap.seconds,
+                qasm: qasm::to_qasm_line(snap.circuit),
+            },
+        );
+    });
+
+    let summary = JobSummary {
+        id,
+        cost: result.cost,
+        epsilon: result.epsilon,
+        iterations: result.iterations,
+        accepted: result.accepted,
+        resynth_hits: result.resynth_hits,
+        cancelled: cancel.is_cancelled(), // read BEFORE the guard raises it
+        qasm: qasm::to_qasm_line(&result.circuit),
+    };
+    // Release the accounting (slots, token entry, scheduler wakeup)
+    // *before* the terminal frame: a client that reuses the id the
+    // moment it sees DONE must never hit a stale "duplicate job id".
+    // The guard also fires on any panic above, so slots cannot leak.
+    drop(guard);
+    send_done(&reply, Frame::Done(summary));
+}
+
+/// Snapshot delivery is *lossy under backpressure*: a blocking send
+/// here would park the search thread past cancellation and the wall
+/// cap (the token is only checked between iterations), letting a
+/// stalled client pin worker slots forever. A full reply channel drops
+/// the snapshot — only the latest best-so-far matters, and the
+/// terminal DONE always carries the final result — and a disconnected
+/// one cancels the job.
+fn send_snapshot(reply: &Sender<Frame>, cancel: &CancelToken, frame: Frame) {
+    use crossbeam_channel::TrySendError;
+    match reply.try_send(frame) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {} // drop: client is backlogged
+        Err(TrySendError::Disconnected(_)) => cancel.cancel(),
+    }
+}
+
+/// Terminal-frame delivery: retries a full channel for a bounded grace
+/// period (the client may be draining a burst) but never parks forever
+/// on a stalled one — slots are already back in the pool by now, so
+/// the worst case is a lost DONE to a client that stopped reading.
+fn send_done(reply: &Sender<Frame>, mut frame: Frame) {
+    use crossbeam_channel::TrySendError;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match reply.try_send(frame) {
+            Ok(()) | Err(TrySendError::Disconnected(_)) => return,
+            Err(TrySendError::Full(f)) => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+                frame = f;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Byte-stream transports: stdio and TCP.
+//!
+//! Both transports are thin: decode lines into frames with
+//! [`FrameDecoder`] ([`read_frames`] is the shared reader core), hand
+//! them to a [`ServerHandle`], and drain the per-connection reply
+//! channel back onto the stream from a writer thread. They differ only
+//! in teardown: [`serve_stdio`] (via [`pump_stream`]) waits for
+//! outstanding jobs at EOF so every `DONE` is flushed, while a TCP
+//! connection that closes drops its reply channel immediately — its
+//! in-flight jobs cancel instead of finishing for nobody. All
+//! scheduling lives in the [`Server`](crate::Server); a TCP deployment
+//! therefore multiplexes every connection onto the one shared worker
+//! budget.
+
+use crate::protocol::{Frame, FrameDecoder};
+use crate::server::{Server, ServerHandle};
+use crossbeam_channel::{bounded, Sender};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Per-connection reply buffering: a slow reader blocks the job's
+/// snapshot callback once this many frames are queued, which throttles
+/// snapshot production instead of growing memory without bound.
+const REPLY_CHANNEL_CAP: usize = 1024;
+
+/// Pumps one byte stream: decodes frames from `input`, dispatches them
+/// on `handle`, writes reply frames to `output`. Returns the output
+/// (useful when it is an owned buffer) when the input reaches EOF or a
+/// `SHUTDOWN` frame arrives — after waiting for outstanding jobs via
+/// [`Server::wait_idle`], so every admitted job's `DONE` is flushed.
+///
+/// [`serve_stdio`] wraps this over stdin/stdout; the per-connection
+/// TCP loop shares [`read_frames`] but tears down differently (see the
+/// module docs). It is also directly usable as an in-process client
+/// against `Vec<u8>` buffers (the differential tests do exactly that).
+pub fn pump_stream<R: Read, W: Write + Send>(
+    input: R,
+    output: W,
+    server: &Server,
+) -> std::io::Result<W> {
+    let handle = server.handle();
+    let (tx, rx) = bounded::<Frame>(REPLY_CHANNEL_CAP);
+    std::thread::scope(|scope| -> std::io::Result<W> {
+        let writer = scope.spawn(move || -> std::io::Result<W> {
+            let mut out = output;
+            while let Ok(frame) = rx.recv() {
+                out.write_all(frame.encode().as_bytes())?;
+                out.flush()?;
+            }
+            Ok(out)
+        });
+        let result = read_frames(input, &handle, &tx);
+        // EOF (or SHUTDOWN): let this stream's own jobs finish — not
+        // the whole server's, which on a shared deployment might never
+        // go idle — then close the reply channel so the writer drains
+        // and exits.
+        handle.wait_idle();
+        drop(tx);
+        let out = writer.join().expect("writer thread panicked")?;
+        result.map(|()| out)
+    })
+}
+
+/// The shared reader core: chunks from `input` through the decoder,
+/// dispatching frames until EOF or `SHUTDOWN`.
+fn read_frames<R: Read>(
+    input: R,
+    handle: &ServerHandle,
+    tx: &Sender<Frame>,
+) -> std::io::Result<()> {
+    let mut reader = BufReader::new(input);
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        for parsed in decoder.push(&chunk[..n]) {
+            match parsed {
+                Ok(Frame::Shutdown) => return Ok(()),
+                Ok(frame) => handle.handle_frame(frame, tx),
+                Err(e) => {
+                    let _ = tx.send(Frame::Error {
+                        id: 0,
+                        message: e.message,
+                    });
+                }
+            }
+        }
+        if decoder.is_poisoned() {
+            // An oversized line cannot be resynchronized; answering
+            // every subsequent chunk with an ERROR would spam the
+            // client forever. Drop the session instead.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame line exceeded MAX_LINE_BYTES; closing session",
+            ));
+        }
+    }
+}
+
+/// Serves one session over stdin/stdout: the batch mode. Reads frames
+/// until EOF or `SHUTDOWN`, finishes every outstanding job, flushes the
+/// replies, and returns.
+pub fn serve_stdio(server: &Server) -> std::io::Result<()> {
+    pump_stream(std::io::stdin().lock(), std::io::stdout(), server).map(|_| ())
+}
+
+/// Accepts TCP connections forever, multiplexing every client onto
+/// `server`'s shared worker budget. Each connection gets a reader and
+/// a writer thread; a disconnected client's jobs are cancelled via the
+/// reply-channel-drop path (see the `server` module docs).
+pub fn serve_tcp(listener: TcpListener, server: &Server) -> std::io::Result<()> {
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("qserve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let handle = server.handle();
+            scope.spawn(move || {
+                if let Err(e) = serve_connection(stream, handle) {
+                    eprintln!("qserve: connection ended with error: {e}");
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+fn serve_connection(stream: TcpStream, handle: ServerHandle) -> std::io::Result<()> {
+    let peer = stream.peer_addr();
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = bounded::<Frame>(REPLY_CHANNEL_CAP);
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        while let Ok(frame) = rx.recv() {
+            if out.write_all(frame.encode().as_bytes()).is_err() || out.flush().is_err() {
+                // Receiver half keeps draining below via channel drop.
+                break;
+            }
+        }
+    });
+    let result = read_frames(stream, &handle, &tx);
+    // Dropping the last sender makes in-flight jobs' snapshot sends
+    // fail, which cancels them — a vanished client frees its slots at
+    // the next improvement it would have streamed (or at the wall cap,
+    // whichever comes first).
+    drop(tx);
+    let _ = writer.join();
+    if let Ok(peer) = peer {
+        eprintln!("qserve: connection {peer} closed");
+    }
+    result
+}

@@ -1,0 +1,166 @@
+//! Property tests for the protocol codec: any frame sequence survives
+//! encode → split-at-arbitrary-chunk-boundaries → decode. Partial
+//! reads are the classic server bug; the [`qserve::FrameDecoder`] must
+//! reassemble frames from any fragmentation a transport produces.
+
+use proptest::collection;
+use proptest::prelude::*;
+use qserve::{EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Printable-ASCII payload text (no `\n`/`\r`, which `encode`
+/// sanitizes away — framing metacharacters cannot round-trip by
+/// design).
+fn text() -> impl Strategy<Value = String> {
+    collection::vec(32u8..127, 0..80).prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        -1e9f64..1e9,
+        0.0f64..1e-6, // tiny epsilons exercise long decimal expansions
+    ]
+}
+
+fn engine() -> impl Strategy<Value = EngineSel> {
+    prop_oneof![
+        Just(EngineSel::Serial),
+        Just(EngineSel::CloneRebuild),
+        (1usize..64).prop_map(EngineSel::Sharded),
+    ]
+}
+
+fn objective() -> impl Strategy<Value = Objective> {
+    prop_oneof![Just(Objective::GateCount), Just(Objective::TwoQubitCount)]
+}
+
+fn frame() -> impl Strategy<Value = Frame> {
+    let ids = 0u64..1 << 48;
+    let counters = 0u64..1 << 48;
+    let submit = (
+        (0u64..1 << 32, engine(), 0u64..1 << 32),
+        (0u64..1 << 32, 0u64..1 << 48, finite_f64()),
+        (objective(), text()),
+    )
+        .prop_map(
+            |((id, engine, iters), (time_ms, seed, eps), (objective, qasm))| {
+                Frame::Submit(JobRequest {
+                    id,
+                    engine,
+                    iters,
+                    time_ms,
+                    seed,
+                    eps,
+                    objective,
+                    qasm,
+                })
+            },
+        );
+    let snapshot = (
+        (0u64..1 << 32, finite_f64(), finite_f64()),
+        (counters.clone(), finite_f64(), text()),
+    )
+        .prop_map(
+            |((id, cost, epsilon), (iterations, seconds, qasm))| Frame::Snapshot {
+                id,
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                qasm,
+            },
+        );
+    let done = (
+        (0u64..1 << 32, finite_f64(), finite_f64()),
+        (counters.clone(), counters.clone(), counters),
+        (0u64..2, text()),
+    )
+        .prop_map(
+            |((id, cost, epsilon), (iterations, accepted, resynth_hits), (cancelled, qasm))| {
+                Frame::Done(JobSummary {
+                    id,
+                    cost,
+                    epsilon,
+                    iterations,
+                    accepted,
+                    resynth_hits,
+                    cancelled: cancelled != 0,
+                    qasm,
+                })
+            },
+        );
+    prop_oneof![
+        submit,
+        ids.clone().prop_map(|id| Frame::Cancel { id }),
+        Just(Frame::Shutdown),
+        ids.clone().prop_map(|id| Frame::Accepted { id }),
+        snapshot,
+        done,
+        (ids, text()).prop_map(|(id, message)| Frame::Error { id, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// encode → parse is the identity on every frame.
+    #[test]
+    fn encode_parse_is_identity(f in frame()) {
+        let line = f.encode();
+        prop_assert!(line.ends_with('\n'));
+        prop_assert_eq!(line.matches('\n').count(), 1);
+        let back = Frame::parse(line.trim_end_matches('\n')).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    /// A frame sequence survives decoding from arbitrary chunk
+    /// boundaries — byte-at-a-time up to jumbo chunks, fragmenting
+    /// lines anywhere.
+    #[test]
+    fn frames_survive_arbitrary_chunking(
+        frames in collection::vec(frame(), 1..10),
+        seed in 0u64..1 << 32,
+    ) {
+        let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode().into_bytes()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut i = 0usize;
+        while i < wire.len() {
+            let n = rng.random_range(1..=23usize).min(wire.len() - i);
+            for parsed in dec.push(&wire[i..i + n]) {
+                got.push(parsed.expect("decode error on well-formed wire"));
+            }
+            i += n;
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    /// Garbage between valid frames errors per line without derailing
+    /// subsequent frames.
+    #[test]
+    fn garbage_lines_do_not_derail_the_decoder(
+        f in frame(),
+        junk in text(),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(format!("JUNK {junk}\n").as_bytes());
+        wire.extend_from_slice(f.encode().as_bytes());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut dec = FrameDecoder::new();
+        let mut results = Vec::new();
+        let mut i = 0usize;
+        while i < wire.len() {
+            let n = rng.random_range(1..=7usize).min(wire.len() - i);
+            results.extend(dec.push(&wire[i..i + n]));
+            i += n;
+        }
+        prop_assert_eq!(results.len(), 2);
+        prop_assert!(results[0].is_err());
+        prop_assert_eq!(results[1].clone().unwrap(), f);
+    }
+}

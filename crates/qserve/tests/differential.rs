@@ -1,0 +1,358 @@
+//! The tentpole harness: an in-process client/server differential
+//! suite.
+//!
+//! For both the serial and the sharded engine it proves a served,
+//! iteration-budgeted job is **bit-identical** to calling
+//! `Guoq::optimize` directly with the same options and seed — same
+//! final circuit, cost, and iteration count — which is strictly
+//! stronger than "identical in distribution". On top of that it checks
+//! the serving guarantees: unitary equivalence to the submitted
+//! circuit, never-worse cost, ε within budget, and a snapshot stream
+//! that starts at the input cost and is strictly decreasing.
+
+mod util;
+
+use crossbeam_channel::{bounded, Receiver};
+use guoq::cost::{CostFn, GateCount};
+use guoq::{Budget, Engine, Guoq, GuoqOpts};
+use qcir::{qasm, Circuit, GateSet};
+use qserve::{
+    pump_stream, EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, ServeOpts, Server,
+};
+use qsim::circuits_equivalent;
+use std::time::Duration;
+use util::workload;
+
+/// Like [`util::request`] but over an exact QASM string: the
+/// differential tests must submit byte-identical text to what the
+/// direct run parses.
+fn request(id: u64, engine: EngineSel, iters: u64, seed: u64, qasm: String) -> JobRequest {
+    let mut r = util::request(id, engine, iters, seed, &Circuit::new(1));
+    r.qasm = qasm;
+    r
+}
+
+/// Drains reply frames until the job's `DONE` (or panics after 120 s —
+/// generous for a loaded 1-CPU CI host).
+fn collect_until_done(rx: &Receiver<Frame>) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    loop {
+        let f = rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("timed out waiting for DONE");
+        let done = matches!(f, Frame::Done(_));
+        frames.push(f);
+        if done {
+            return frames;
+        }
+    }
+}
+
+/// Submits in-process and returns (all frames, the DONE summary).
+fn serve_job(server: &Server, req: JobRequest) -> (Vec<Frame>, JobSummary) {
+    let (tx, rx) = bounded(4096);
+    server.handle().handle_frame(Frame::Submit(req), &tx);
+    let frames = collect_until_done(&rx);
+    let summary = match frames.last() {
+        Some(Frame::Done(s)) => s.clone(),
+        other => panic!("expected DONE, got {other:?}"),
+    };
+    (frames, summary)
+}
+
+/// The direct (no server) run with the exact options the server uses.
+fn direct_optimize(qasm_text: &str, engine: Engine, iters: u64, seed: u64) -> guoq::GuoqResult {
+    let circuit = qasm::from_qasm(qasm_text).expect("parse");
+    let opts = GuoqOpts {
+        budget: Budget::Iterations(iters),
+        eps_total: 1e-6,
+        seed,
+        engine,
+        ..Default::default()
+    };
+    Guoq::for_gate_set(GateSet::Nam, opts).optimize(&circuit, &GateCount)
+}
+
+/// The shared differential assertion set for one engine.
+fn assert_served_matches_direct(engine_sel: EngineSel, engine: Engine, id: u64) {
+    let input = workload(240);
+    let input_line = qasm::to_qasm_line(&input);
+    let input_cost = GateCount.cost(&input);
+    let (iters, seed) = (4000u64, 31u64);
+
+    let direct = direct_optimize(&input_line, engine, iters, seed);
+
+    let server = Server::start(ServeOpts {
+        worker_budget: 4,
+        ..Default::default()
+    });
+    let (frames, done) = serve_job(
+        &server,
+        request(id, engine_sel, iters, seed, input_line.clone()),
+    );
+    server.shutdown();
+
+    // Frame shape: ACCEPTED, initial snapshot at the input cost, then
+    // strict improvements, then DONE.
+    assert!(matches!(frames[0], Frame::Accepted { id: got } if got == id));
+    let snapshots: Vec<(f64, u64)> = frames
+        .iter()
+        .filter_map(|f| match f {
+            Frame::Snapshot {
+                cost, iterations, ..
+            } => Some((*cost, *iterations)),
+            _ => None,
+        })
+        .collect();
+    assert!(!snapshots.is_empty(), "no snapshot streamed");
+    assert_eq!(snapshots[0], (input_cost, 0), "first snapshot ≠ input");
+    for w in snapshots.windows(2) {
+        assert!(
+            w[1].0 < w[0].0,
+            "snapshot costs not strictly decreasing: {snapshots:?}"
+        );
+    }
+    assert_eq!(
+        snapshots.last().unwrap().0,
+        done.cost,
+        "last snapshot is not the final best"
+    );
+
+    // Differential core: served ≡ direct under the same seed.
+    let served_circuit = qasm::from_qasm(&done.qasm).expect("parse DONE qasm");
+    assert_eq!(served_circuit, direct.circuit, "served circuit ≠ direct");
+    assert_eq!(done.cost, direct.cost);
+    assert_eq!(done.iterations, direct.iterations);
+    assert_eq!(done.accepted, direct.accepted);
+    assert!(!done.cancelled);
+
+    // Serving guarantees.
+    assert!(done.cost <= input_cost, "cost worsened");
+    assert!(done.epsilon <= 1e-6);
+    assert!(
+        circuits_equivalent(&input, &served_circuit, 1e-4),
+        "served output not equivalent to input"
+    );
+}
+
+#[test]
+fn serial_served_job_is_identical_to_direct_optimize() {
+    assert_served_matches_direct(EngineSel::Serial, Engine::Incremental, 1);
+}
+
+#[test]
+fn sharded_served_job_is_identical_to_direct_optimize() {
+    assert_served_matches_direct(EngineSel::Sharded(2), Engine::Sharded { workers: 2 }, 2);
+}
+
+#[test]
+fn clone_rebuild_served_job_is_identical_to_direct_optimize() {
+    assert_served_matches_direct(EngineSel::CloneRebuild, Engine::CloneRebuild, 3);
+}
+
+/// A time-budgeted job that runs its full requested budget finishes
+/// with `cancelled=0` — the wall budget is the normal stopping rule,
+/// not a cancellation (regression for the watchdog racing the
+/// driver's own `Budget::Time` clock).
+#[test]
+fn time_budgeted_job_is_not_reported_cancelled() {
+    let input = workload(160);
+    let server = Server::start(ServeOpts {
+        worker_budget: 2,
+        ..Default::default()
+    });
+    let mut req = request(5, EngineSel::Serial, 0, 3, qasm::to_qasm_line(&input));
+    req.time_ms = 300;
+    let (frames, done) = serve_job(&server, req);
+    server.shutdown();
+    assert!(matches!(frames[0], Frame::Accepted { id: 5 }));
+    assert!(
+        !done.cancelled,
+        "a job that ran its requested wall budget must not be stamped cancelled"
+    );
+    assert!(done.iterations > 0, "the time budget must buy some search");
+    assert!(circuits_equivalent(
+        &input,
+        &qasm::from_qasm(&done.qasm).unwrap(),
+        1e-4
+    ));
+}
+
+/// The same differential property through the *byte-level* transport
+/// pump: encoded SUBMIT in, encoded frame stream out.
+#[test]
+fn byte_level_transport_matches_direct_optimize() {
+    let input = workload(160);
+    let input_line = qasm::to_qasm_line(&input);
+    let (iters, seed) = (2000u64, 7u64);
+    let direct = direct_optimize(&input_line, Engine::Incremental, iters, seed);
+
+    let wire = Frame::Submit(request(9, EngineSel::Serial, iters, seed, input_line)).encode();
+    let server = Server::start(ServeOpts {
+        worker_budget: 2,
+        ..Default::default()
+    });
+    let out = pump_stream(wire.as_bytes(), Vec::new(), &server).expect("pump");
+    server.shutdown();
+
+    let mut dec = FrameDecoder::new();
+    let frames: Vec<Frame> = dec
+        .push(&out)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .expect("server emitted a malformed frame");
+    assert!(matches!(frames[0], Frame::Accepted { id: 9 }));
+    let done = match frames.last() {
+        Some(Frame::Done(s)) => s.clone(),
+        other => panic!("expected DONE, got {other:?}"),
+    };
+    assert_eq!(qasm::from_qasm(&done.qasm).unwrap(), direct.circuit);
+    assert_eq!(done.cost, direct.cost);
+    // Costs survive the text codec exactly (shortest-roundtrip floats).
+    for f in &frames {
+        if let Frame::Snapshot { cost, .. } = f {
+            assert_eq!(*cost, cost.to_string().parse::<f64>().unwrap());
+        }
+    }
+}
+
+/// Concurrent jobs multiplexed onto one pool still match their direct
+/// runs — submission interleaving must not leak state across jobs.
+#[test]
+fn concurrent_jobs_are_isolated() {
+    let inputs: Vec<(u64, Circuit)> = (0..6u64)
+        .map(|i| (i + 1, workload(96 + 16 * i as usize)))
+        .collect();
+    let server = Server::start(ServeOpts {
+        worker_budget: 2,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+    for (id, c) in &inputs {
+        let engine = if id % 2 == 0 {
+            EngineSel::Sharded(2)
+        } else {
+            EngineSel::Serial
+        };
+        handle.handle_frame(
+            Frame::Submit(request(*id, engine, 800, 100 + id, qasm::to_qasm_line(c))),
+            &tx,
+        );
+    }
+    let mut done = std::collections::HashMap::new();
+    while done.len() < inputs.len() {
+        match rx.recv_timeout(Duration::from_secs(120)).expect("timeout") {
+            Frame::Done(s) => {
+                done.insert(s.id, s);
+            }
+            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            _ => {}
+        }
+    }
+    server.shutdown();
+    for (id, c) in &inputs {
+        let engine = if id % 2 == 0 {
+            Engine::Sharded { workers: 2 }
+        } else {
+            Engine::Incremental
+        };
+        let direct = direct_optimize(&qasm::to_qasm_line(c), engine, 800, 100 + id);
+        let s = &done[id];
+        assert_eq!(
+            qasm::from_qasm(&s.qasm).unwrap(),
+            direct.circuit,
+            "job {id}"
+        );
+        assert_eq!(s.cost, direct.cost, "job {id}");
+    }
+}
+
+#[test]
+fn invalid_submissions_are_rejected_with_error_frames() {
+    let server = Server::start(ServeOpts {
+        worker_budget: 2,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(64);
+
+    // Malformed QASM.
+    handle.handle_frame(
+        Frame::Submit(request(
+            1,
+            EngineSel::Serial,
+            10,
+            0,
+            "qreg q[1]; foo q[0];".into(),
+        )),
+        &tx,
+    );
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Frame::Error { id: 1, message } => assert!(message.contains("bad qasm")),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+
+    // Width beyond the worker budget.
+    handle.handle_frame(
+        Frame::Submit(request(
+            2,
+            EngineSel::Sharded(16),
+            10,
+            0,
+            "qreg q[1];".into(),
+        )),
+        &tx,
+    );
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Frame::Error { id: 2, message } => assert!(message.contains("worker budget")),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+
+    // No budget at all.
+    let mut r = request(3, EngineSel::Serial, 0, 0, "qreg q[1];".into());
+    r.time_ms = 0;
+    handle.handle_frame(Frame::Submit(r), &tx);
+    match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+        Frame::Error { id: 3, message } => assert!(message.contains("budget")),
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+
+    // Duplicate live id.
+    let c = workload(64);
+    handle.handle_frame(
+        Frame::Submit(request(
+            4,
+            EngineSel::Serial,
+            500,
+            1,
+            qasm::to_qasm_line(&c),
+        )),
+        &tx,
+    );
+    handle.handle_frame(
+        Frame::Submit(request(
+            4,
+            EngineSel::Serial,
+            500,
+            1,
+            qasm::to_qasm_line(&c),
+        )),
+        &tx,
+    );
+    let mut saw_accept = false;
+    let mut saw_duplicate = false;
+    loop {
+        match rx.recv_timeout(Duration::from_secs(120)).unwrap() {
+            Frame::Accepted { id: 4 } => saw_accept = true,
+            Frame::Error { id: 4, message } => {
+                assert!(message.contains("duplicate"));
+                saw_duplicate = true;
+            }
+            Frame::Done(s) if s.id == 4 => break,
+            _ => {}
+        }
+    }
+    assert!(saw_accept && saw_duplicate);
+    server.shutdown();
+}

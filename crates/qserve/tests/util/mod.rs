@@ -1,0 +1,65 @@
+//! Shared helpers for the qserve integration tests (each test file is
+//! its own crate, so not every item is used everywhere).
+#![allow(dead_code)]
+
+use crossbeam_channel::Receiver;
+use qcir::{qasm, Circuit, Gate};
+use qserve::{EngineSel, Frame, JobRequest, JobSummary, Objective};
+use std::time::Duration;
+
+/// A redundancy-rich workload on 6 qubits — small enough for dense
+/// unitary equivalence, large enough to split into several shards.
+pub fn workload(len: usize) -> Circuit {
+    const Q: u32 = 6;
+    let mut c = Circuit::new(Q as usize);
+    let mut base = 0u32;
+    let mut tile = 0u32;
+    while c.len() + 8 <= len {
+        let a = base % Q;
+        let b = (base + 1) % Q;
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::Rz(0.3 + f64::from(tile % 5) * 0.1), &[a]);
+        c.push(Gate::H, &[b]);
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::H, &[b]);
+        c.push(Gate::T, &[a]);
+        if tile % 3 == 2 {
+            c.push(Gate::X, &[b]);
+            c.push(Gate::X, &[b]);
+        }
+        base = base.wrapping_add(2);
+        tile += 1;
+    }
+    c
+}
+
+/// A gate-count job request with the test defaults (`eps = 1e-6`).
+pub fn request(id: u64, engine: EngineSel, iters: u64, seed: u64, circuit: &Circuit) -> JobRequest {
+    JobRequest {
+        id,
+        engine,
+        iters,
+        time_ms: 0,
+        seed,
+        eps: 1e-6,
+        objective: Objective::GateCount,
+        qasm: qasm::to_qasm_line(circuit),
+    }
+}
+
+/// Receives one frame (or panics after 120 s — generous for a loaded
+/// 1-CPU CI host).
+pub fn recv(rx: &Receiver<Frame>) -> Frame {
+    rx.recv_timeout(Duration::from_secs(120))
+        .expect("timed out waiting for a frame")
+}
+
+/// Drains frames until the given job's `DONE`.
+pub fn wait_done(rx: &Receiver<Frame>, id: u64) -> JobSummary {
+    loop {
+        if let Frame::Done(s) = recv(rx) {
+            assert_eq!(s.id, id);
+            return s;
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end `qserve` client demo: starts the streaming service on a
+//! loopback TCP port, submits a redundancy-rich demo circuit, prints
+//! every protocol frame as it arrives (`>>` client→server, `<<`
+//! server→client), then demonstrates cancellation on a second job.
+//!
+//! Run with: `cargo run --release --example serve`
+//!
+//! The same protocol is served on stdin/stdout by the `qserve` binary:
+//! `printf 'SUBMIT id=1 ... qasm=...\n' | cargo run --release -p qserve`
+
+use qcir::{qasm, Circuit, Gate};
+use qserve::{serve_tcp, Frame, FrameDecoder, ServeOpts, Server};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// An 8-qubit circuit with a constant density of local redundancies.
+fn demo_workload(len: usize) -> Circuit {
+    const Q: u32 = 8;
+    let mut c = Circuit::new(Q as usize);
+    let mut base = 0u32;
+    let mut tile = 0u32;
+    while c.len() + 8 <= len {
+        let a = base % Q;
+        let b = (base + 1) % Q;
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::Rz(0.2 + f64::from(tile % 7) * 0.1), &[a]);
+        c.push(Gate::H, &[b]);
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::T, &[b]);
+        if tile % 2 == 1 {
+            c.push(Gate::X, &[a]);
+            c.push(Gate::X, &[a]);
+        }
+        base = base.wrapping_add(3);
+        tile += 1;
+    }
+    c
+}
+
+/// Sends one frame, echoing it (with the QASM payload elided).
+fn send(stream: &mut TcpStream, frame: &Frame) {
+    println!(">> {}", brief(frame));
+    stream
+        .write_all(frame.encode().as_bytes())
+        .expect("write frame");
+}
+
+/// One-line rendering with QASM payloads summarized as gate counts.
+fn brief(frame: &Frame) -> String {
+    let gates = |q: &str| {
+        qasm::from_qasm(q)
+            .map(|c| format!("<{} gates>", c.len()))
+            .unwrap_or_else(|_| "<bad qasm>".into())
+    };
+    match frame {
+        Frame::Submit(r) => format!(
+            "SUBMIT id={} engine={:?} iters={} seed={} qasm={}",
+            r.id,
+            r.engine,
+            r.iters,
+            r.seed,
+            gates(&r.qasm)
+        ),
+        Frame::Snapshot {
+            id,
+            cost,
+            iterations,
+            seconds,
+            qasm,
+            ..
+        } => format!(
+            "SNAPSHOT id={id} cost={cost} iters={iterations} seconds={seconds:.4} qasm={}",
+            gates(qasm)
+        ),
+        Frame::Done(s) => format!(
+            "DONE id={} cost={} iters={} accepted={} cancelled={} qasm={}",
+            s.id,
+            s.cost,
+            s.iterations,
+            s.accepted,
+            u8::from(s.cancelled),
+            gates(&s.qasm)
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Reads frames until the predicate says stop; prints each.
+fn read_until(
+    reader: &mut BufReader<TcpStream>,
+    decoder: &mut FrameDecoder,
+    mut stop: impl FnMut(&Frame) -> bool,
+) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = reader.read(&mut chunk).expect("read");
+        if n == 0 {
+            panic!("server closed the connection early");
+        }
+        for parsed in decoder.push(&chunk[..n]) {
+            let frame = parsed.expect("malformed frame from server");
+            println!("<< {}", brief(&frame));
+            if stop(&frame) {
+                return;
+            }
+        }
+    }
+}
+
+fn main() {
+    // Serve on an ephemeral loopback port from a background thread; the
+    // server outlives the demo (the accept loop never returns), so the
+    // process exits with it at the end of main.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let server: &'static Server = Box::leak(Box::new(Server::start(ServeOpts {
+        worker_budget: 2,
+        ..Default::default()
+    })));
+    std::thread::spawn(move || serve_tcp(listener, server));
+    println!("qserve listening on {addr}\n");
+
+    let circuit = demo_workload(400);
+    println!(
+        "client: submitting {} gates on {} qubits\n",
+        circuit.len(),
+        circuit.num_qubits()
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut decoder = FrameDecoder::new();
+
+    // Job 1: a deterministic iteration-budgeted job; watch the
+    // best-so-far stream arrive.
+    send(
+        &mut stream,
+        &Frame::Submit(qserve::JobRequest {
+            id: 1,
+            engine: qserve::EngineSel::Sharded(2),
+            iters: 20_000,
+            time_ms: 0,
+            seed: 0xD15C0,
+            eps: 1e-6,
+            objective: qserve::Objective::GateCount,
+            qasm: qasm::to_qasm_line(&circuit),
+        }),
+    );
+    read_until(&mut reader, &mut decoder, |f| matches!(f, Frame::Done(_)));
+
+    // Job 2: submit with an enormous budget, then cancel — the server
+    // answers with the valid best-so-far and `cancelled=1`.
+    println!();
+    send(
+        &mut stream,
+        &Frame::Submit(qserve::JobRequest {
+            id: 2,
+            engine: qserve::EngineSel::Serial,
+            iters: u64::MAX / 2,
+            time_ms: 0,
+            seed: 7,
+            eps: 1e-6,
+            objective: qserve::Objective::GateCount,
+            qasm: qasm::to_qasm_line(&circuit),
+        }),
+    );
+    // Wait for the first snapshot so the job is demonstrably running.
+    read_until(&mut reader, &mut decoder, |f| {
+        matches!(f, Frame::Snapshot { id: 2, .. })
+    });
+    send(&mut stream, &Frame::Cancel { id: 2 });
+    read_until(
+        &mut reader,
+        &mut decoder,
+        |f| matches!(f, Frame::Done(s) if s.id == 2 && s.cancelled),
+    );
+
+    println!("\nok: streamed snapshots were monotone and cancellation was prompt");
+}

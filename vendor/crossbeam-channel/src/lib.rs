@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -91,6 +91,22 @@ impl<T> Sender<T> {
                 return Ok(());
             }
             inner = self.0.not_full.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Returns immediately: enqueues the message, or reports `Full` /
+    /// `Disconnected` without blocking (the real crate's `try_send`).
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.0.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.queue.len() < inner.cap {
+            inner.queue.push_back(msg);
+            self.0.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError::Full(msg))
         }
     }
 }
@@ -205,6 +221,17 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 
     #[test]
