@@ -25,7 +25,7 @@ fn main() {
     }
     let rule_us = t0.elapsed().as_micros() as f64 / 200.0;
 
-    let resynth = ResynthPass::new(Resynthesizer::new(set), 3, 1e-6);
+    let resynth = ResynthPass::new(std::sync::Arc::new(Resynthesizer::new(set)), 3, 1e-6);
     let t0 = Instant::now();
     let mut hits = 0;
     for _ in 0..10 {

@@ -28,6 +28,19 @@ impl GateSet {
         GateSet::CliffordT,
     ];
 
+    /// Dense index of this set within [`Self::ALL`] (stable across a
+    /// process; used as a registry slot and hashed into cache
+    /// fingerprints).
+    pub fn id(self) -> usize {
+        match self {
+            GateSet::Ibmq20 => 0,
+            GateSet::IbmEagle => 1,
+            GateSet::Ionq => 2,
+            GateSet::Nam => 3,
+            GateSet::CliffordT => 4,
+        }
+    }
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {

@@ -305,7 +305,7 @@ impl BeamSearch {
     pub fn with_resynthesis(mut self, set: GateSet, eps_total: f64) -> Self {
         let eps = (eps_total / 8.0).max(1e-12);
         self.resynth = Some(crate::transform::ResynthPass::new(
-            Resynthesizer::with_opts(set, qsynth::resynth::ResynthOpts::fast()),
+            qsynth::shared_resynthesizer(set, qsynth::ResynthProfile::Fast),
             3,
             eps,
         ));
@@ -527,6 +527,8 @@ pub fn sequential_guoq(
     fin.iterations += mid.iterations;
     fin.accepted += mid.accepted;
     fin.resynth_hits += mid.resynth_hits;
+    fin.cache_hits += mid.cache_hits;
+    fin.cache_misses += mid.cache_misses;
     if mid.cost < fin.cost {
         // The second phase may not improve on the first's best.
         fin.circuit = mid.circuit;

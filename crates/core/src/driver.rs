@@ -156,6 +156,14 @@ impl<'c> ShardDriver<'c> {
         self
     }
 
+    /// Pins anchor-bias windows on the underlying [`SearchCtx`] (the
+    /// sharded engine seeds its boundary-qubit windows here with
+    /// [`GuoqOpts::boundary_bias`]).
+    pub fn with_pinned_windows(mut self, windows: Vec<(usize, usize)>, bias: f64) -> Self {
+        self.ctx.pin_windows(windows, bias);
+        self
+    }
+
     /// True once the driver's cancellation token (if any) was raised.
     pub fn is_cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
@@ -346,6 +354,10 @@ impl<'c> ShardDriver<'c> {
             iterations: self.iterations,
             accepted: self.accepted,
             resynth_hits: self.resynth_hits,
+            // Cache traffic is tallied on the passes (shared across
+            // engines and clones); `Guoq::dispatch` fills these in.
+            cache_hits: 0,
+            cache_misses: 0,
             history: self.history,
             worker_stats: Vec::new(),
         };

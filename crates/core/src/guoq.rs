@@ -60,10 +60,12 @@ use crate::observe::{BestSnapshot, CancelToken};
 use crate::transform::{
     Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
 };
+use qcache::QCache;
 use qcir::{Circuit, GateSet};
-use qsynth::{resynth::ResynthOpts, Resynthesizer};
+use qsynth::{shared_resynthesizer, ResynthProfile};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which iteration engine drives the search.
@@ -158,6 +160,27 @@ pub struct GuoqOpts {
     /// `None` (the default) disables the check. Cloning the options
     /// shares the token.
     pub cancel: Option<CancelToken>,
+    /// Resynthesis memo cache, consulted before every numerical
+    /// instantiation and populated after (see [`qcache::QCache`]).
+    /// Sharing one handle across jobs/engines/workers is the point:
+    /// repeated and similar windows skip straight to a verified cached
+    /// replacement. `None` (the default) disables memoization. Cloning
+    /// the options shares the cache.
+    ///
+    /// Cache hits consume no synthesizer RNG draws, so a cached run
+    /// explores a different (equally sound, never-unsound) trajectory
+    /// than an uncached run with the same seed; per-seed bit-for-bit
+    /// reproducibility holds only for a fixed starting cache state
+    /// (e.g. every run on a fresh cache, or none).
+    pub cache: Option<Arc<QCache>>,
+    /// Sharded engine: probability that a probe anchors inside a window
+    /// of gates touching the shard's boundary qubits (freshly seeded
+    /// after every boundary rotation), ahead of the dirty-window roll.
+    /// Targets cross-shard cancellations right after each rotation.
+    /// `0.0` (the default) disables the bias and the boundary-qubit
+    /// bookkeeping; clamped to ≤ 0.9 so uniform exploration survives.
+    /// Serial engines ignore it (they have no boundaries).
+    pub boundary_bias: f64,
 }
 
 impl Default for GuoqOpts {
@@ -176,6 +199,8 @@ impl Default for GuoqOpts {
             shard_slice_iterations: 4096,
             shards_per_worker: 2,
             cancel: None,
+            cache: None,
+            boundary_bias: 0.0,
         }
     }
 }
@@ -208,6 +233,12 @@ pub struct GuoqResult {
     pub accepted: u64,
     /// Resynthesis calls that returned a replacement.
     pub resynth_hits: u64,
+    /// Resynthesis calls served from the memo cache (0 without
+    /// [`GuoqOpts::cache`]).
+    pub cache_hits: u64,
+    /// Resynthesis calls that consulted the cache, missed, and fell
+    /// back to fresh synthesis (0 without [`GuoqOpts::cache`]).
+    pub cache_misses: u64,
     /// Best-so-far trace (empty unless `record_history`).
     pub history: Vec<HistoryPoint>,
     /// Per-worker scheduling statistics (empty unless the run used
@@ -226,20 +257,31 @@ pub struct Guoq {
 impl Guoq {
     /// The paper's full instantiation for a gate set: the QUESO-style rule
     /// corpus, the exact built-in passes, and resynthesis.
+    ///
+    /// The rule corpus and the resynthesizer come from the process-wide
+    /// per-gate-set registries (`qrewrite::shared_rules_for`,
+    /// [`qsynth::shared_resynthesizer`]): constructing a `Guoq` no
+    /// longer rebuilds either, so per-job setup is cheap enough for a
+    /// serving loop.
     pub fn for_gate_set(set: GateSet, opts: GuoqOpts) -> Self {
         let mut g = Self::rewrite_only(set, opts);
-        let eps = (g.opts.eps_total / 8.0).max(1e-12);
-        let rs = Resynthesizer::with_opts(set, ResynthOpts::fast());
-        g.slow
-            .push(ResynthPass::new(rs, g.opts.max_subcircuit_qubits, eps));
+        g.slow.push(Self::resynth_pass(set, &g.opts));
         g
+    }
+
+    /// The shared-resynthesizer pass configured from `opts` (ε share,
+    /// width cap, memo cache handle).
+    fn resynth_pass(set: GateSet, opts: &GuoqOpts) -> ResynthPass {
+        let eps = (opts.eps_total / 8.0).max(1e-12);
+        let rs = shared_resynthesizer(set, ResynthProfile::Fast);
+        ResynthPass::new(rs, opts.max_subcircuit_qubits, eps).with_cache(opts.cache.clone())
     }
 
     /// Ablation: rewrite rules (and exact passes) only — `GUOQ-REWRITE`.
     pub fn rewrite_only(set: GateSet, opts: GuoqOpts) -> Self {
         let mut fast: Vec<Box<dyn Transformation>> = Vec::new();
-        for rule in qrewrite::rules_for(set) {
-            fast.push(Box::new(RulePass::new(rule)));
+        for rule in qrewrite::shared_rules_for(set).iter() {
+            fast.push(Box::new(RulePass::new(rule.clone())));
         }
         fast.push(Box::new(FusionPass::new(set)));
         fast.push(Box::new(CommutationPass));
@@ -253,9 +295,7 @@ impl Guoq {
 
     /// Ablation: resynthesis only — `GUOQ-RESYNTH`.
     pub fn resynth_only(set: GateSet, opts: GuoqOpts) -> Self {
-        let eps = (opts.eps_total / 8.0).max(1e-12);
-        let rs = Resynthesizer::with_opts(set, ResynthOpts::fast());
-        let slow = vec![ResynthPass::new(rs, opts.max_subcircuit_qubits, eps)];
+        let slow = vec![Self::resynth_pass(set, &opts)];
         Guoq {
             fast: Vec::new(), // every iteration is a resynthesis attempt
             slow,
@@ -300,20 +340,35 @@ impl Guoq {
         self.dispatch(circuit, cost, Some(on_best))
     }
 
+    /// Sum of the slow passes' (cache hit, cache miss) counters.
+    fn cache_counters(&self) -> (u64, u64) {
+        self.slow
+            .iter()
+            .map(|p| p.cache_counters())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    }
+
     fn dispatch<'a>(
         &'a self,
         circuit: &Circuit,
         cost: &'a dyn CostFn,
         obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
     ) -> GuoqResult {
+        // The pass counters are cumulative over the Guoq instance (and
+        // shared with async worker clones); report this run's delta.
+        let (hits0, misses0) = self.cache_counters();
         let has_async = self.opts.async_resynth && !self.slow.is_empty();
-        match self.opts.engine {
+        let mut result = match self.opts.engine {
             Engine::Sharded { workers } => self.optimize_sharded(circuit, cost, workers, obs),
             Engine::Incremental if has_async => self.optimize_async(circuit, cost, true, obs),
             Engine::Incremental => self.optimize_serial(circuit, cost, true, obs),
             Engine::CloneRebuild if has_async => self.optimize_async(circuit, cost, false, obs),
             Engine::CloneRebuild => self.optimize_serial(circuit, cost, false, obs),
-        }
+        };
+        let (hits1, misses1) = self.cache_counters();
+        result.cache_hits = hits1 - hits0;
+        result.cache_misses = misses1 - misses0;
+        result
     }
 
     /// The serial driver for both single-thread engines: one
@@ -614,6 +669,41 @@ mod tests {
         assert!(r.iterations > 0);
         assert!(r.cost < c.len() as f64);
         assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
+    }
+
+    #[test]
+    fn cached_runs_stay_sound_and_repeat_runs_hit() {
+        let c = redundant_circuit();
+        let cache = std::sync::Arc::new(QCache::with_gate_budget(4096));
+        let mut o = opts(300);
+        o.resynth_probability = 0.3;
+        o.cache = Some(cache.clone());
+        let first = Guoq::for_gate_set(GateSet::Nam, o.clone()).optimize(&c, &TwoQubitCount);
+        assert!(qsim::circuits_equivalent(&c, &first.circuit, 1e-4));
+        assert!(first.cost <= TwoQubitCount.cost(&c));
+        assert!(
+            first.cache_misses > 0,
+            "a fresh cache must be populated: {first:?}"
+        );
+        // Consults (hits + misses) cover at least every replacement.
+        assert!(first.cache_hits + first.cache_misses >= first.resynth_hits);
+        // Same job again through the same cache: the identical windows
+        // come back and the slow path is served from memory.
+        let second = Guoq::for_gate_set(GateSet::Nam, o).optimize(&c, &TwoQubitCount);
+        assert!(second.cache_hits > 0, "repeat run must hit: {second:?}");
+        assert!(qsim::circuits_equivalent(&c, &second.circuit, 1e-4));
+        assert!(second.cost <= TwoQubitCount.cost(&c));
+        let stats = cache.stats();
+        assert!(stats.hits + stats.negative_hits >= second.cache_hits);
+    }
+
+    #[test]
+    fn uncached_runs_report_zero_cache_traffic() {
+        let c = redundant_circuit();
+        let mut o = opts(200);
+        o.resynth_probability = 0.3;
+        let r = Guoq::for_gate_set(GateSet::Nam, o).optimize(&c, &TwoQubitCount);
+        assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
     }
 
     #[test]

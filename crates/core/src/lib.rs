@@ -47,5 +47,6 @@ pub use driver::ShardDriver;
 pub use fidelity::CalibrationModel;
 pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
 pub use observe::{BestSnapshot, CancelToken};
+pub use qcache::{CacheStats, QCache, QCacheOpts};
 pub use qpar::WorkerStats;
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

@@ -66,10 +66,42 @@ impl<'a> ShardWorker<'a> {
     }
 }
 
+/// The index windows of `circuit`'s gates that act on at least one of
+/// `qubits`, as maximal runs of consecutive indices — the probe targets
+/// for boundary-biased anchor sampling.
+fn boundary_windows(circuit: &Circuit, qubits: &[qcir::Qubit]) -> Vec<(usize, usize)> {
+    let mut on_boundary = vec![false; circuit.num_qubits()];
+    for &q in qubits {
+        if let Some(slot) = on_boundary.get_mut(q as usize) {
+            *slot = true;
+        }
+    }
+    let mut windows: Vec<(usize, usize)> = Vec::new();
+    for (i, ins) in circuit.iter().enumerate() {
+        if !ins.qubits().iter().any(|&q| on_boundary[q as usize]) {
+            continue;
+        }
+        match windows.last_mut() {
+            Some((_, hi)) if *hi == i => *hi = i + 1,
+            _ => windows.push((i, i + 1)),
+        }
+    }
+    windows
+}
+
 impl ShardOptimizer for ShardWorker<'_> {
     fn optimize_shard(&mut self, task: ShardTask) -> ShardOutcome {
         let (fast, slow) = self.guoq.pools();
         let mut rng = SmallRng::seed_from_u64(task.seed);
+        // Boundary-biased probing (ROADMAP sharding follow-on (a)):
+        // right after each rotation the fresh plan's boundary qubits
+        // arrive on the task; pin their gate windows so probes seek the
+        // cross-shard cancellations the rotation just exposed.
+        let pinned = if self.opts.boundary_bias > 0.0 && !task.boundary_qubits.is_empty() {
+            boundary_windows(&task.circuit, &task.boundary_qubits)
+        } else {
+            Vec::new()
+        };
         let mut driver = ShardDriver::with_scratch(
             task.circuit,
             self.cost,
@@ -77,7 +109,8 @@ impl ShardOptimizer for ShardWorker<'_> {
             self.started,
             std::mem::take(&mut self.scratch),
         )
-        .with_eps_budget(task.eps_allowance);
+        .with_eps_budget(task.eps_allowance)
+        .with_pinned_windows(pinned, self.opts.boundary_bias);
         driver.run(
             fast,
             slow,
@@ -123,6 +156,7 @@ impl Guoq {
                 Budget::Time(_) => None,
                 Budget::Iterations(n) => Some(n),
             },
+            boundary_aware: opts.boundary_bias > 0.0,
             seed: opts.seed,
             cancel: opts.cancel.clone(),
         };
@@ -179,6 +213,8 @@ impl Guoq {
             iterations: outcome.iterations,
             accepted: outcome.accepted,
             resynth_hits: outcome.resynth_hits,
+            cache_hits: 0,   // filled by `Guoq::dispatch` from the pass
+            cache_misses: 0, // counters (shared with every worker)
             history,
             worker_stats: outcome.worker_stats,
         }
@@ -236,6 +272,57 @@ mod tests {
         let r2 = Guoq::rewrite_only(GateSet::Nam, mk()).optimize(&c, &GateCount);
         assert_eq!(r1.circuit, r2.circuit);
         assert_eq!(r1.cost, r2.cost);
+    }
+
+    #[test]
+    fn boundary_bias_is_behavior_preserving() {
+        // The bias changes the probe distribution, never soundness: at
+        // either extreme the sharded engine still preserves semantics
+        // and never worsens cost.
+        let c = redundant(120);
+        for bias in [0.0, 0.9] {
+            let opts = GuoqOpts {
+                budget: Budget::Iterations(4000),
+                engine: crate::Engine::Sharded { workers: 2 },
+                shard_slice_iterations: 256,
+                seed: 17,
+                boundary_bias: bias,
+                ..Default::default()
+            };
+            let g = Guoq::rewrite_only(GateSet::Nam, opts);
+            let r = g.optimize(&c, &GateCount);
+            assert!(r.cost <= c.len() as f64, "bias {bias}");
+            assert!(
+                qsim::circuits_equivalent(&c, &r.circuit, 1e-6),
+                "bias {bias}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_workers_share_one_cache_handle() {
+        let c = redundant(160);
+        let cache = std::sync::Arc::new(guoq_qcache());
+        let mk = || GuoqOpts {
+            budget: Budget::Iterations(3000),
+            engine: crate::Engine::Sharded { workers: 2 },
+            shard_slice_iterations: 128,
+            seed: 23,
+            resynth_probability: 0.2,
+            eps_total: 1e-6,
+            cache: Some(std::sync::Arc::clone(&cache)),
+            ..Default::default()
+        };
+        let first = Guoq::for_gate_set(GateSet::Nam, mk()).optimize(&c, &GateCount);
+        assert!(qsim::circuits_equivalent(&c, &first.circuit, 1e-4));
+        assert!(first.cache_misses > 0, "{first:?}");
+        let second = Guoq::for_gate_set(GateSet::Nam, mk()).optimize(&c, &GateCount);
+        assert!(second.cache_hits > 0, "repeat sharded run must hit");
+        assert!(qsim::circuits_equivalent(&c, &second.circuit, 1e-4));
+    }
+
+    fn guoq_qcache() -> qcache::QCache {
+        qcache::QCache::with_gate_budget(8192)
     }
 
     #[test]

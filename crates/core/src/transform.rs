@@ -6,14 +6,17 @@
 //! bound and reports the *measured* distance, which the optimizer charges
 //! against the global budget (Thm. 4.2: errors add up).
 
+use qcache::QCache;
 use qcir::dag::WireDag;
 use qcir::edit::Patch;
 use qcir::{Circuit, GateSet, Region};
 use qrewrite::{apply_rule_pass, fusion, MatchScratch, Rule};
-use qsynth::Resynthesizer;
+use qsynth::{CacheOutcome, Resynthesizer};
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The result of a successful transformation application.
 #[derive(Debug, Clone)]
@@ -87,6 +90,12 @@ pub struct SearchCtx {
     /// sampling time (the list is a sampling bias, not ground truth).
     dirty: VecDeque<(usize, usize)>,
     anchor_bias: f64,
+    /// Externally pinned windows (e.g. the gates touching a shard's
+    /// boundary qubits, seeded right after each rotation). Like the
+    /// dirty list, coordinates drift as edits land and are clamped at
+    /// sampling time.
+    pinned: Vec<(usize, usize)>,
+    pinned_bias: f64,
 }
 
 impl SearchCtx {
@@ -114,7 +123,20 @@ impl SearchCtx {
             scratch,
             dirty: VecDeque::with_capacity(DIRTY_CAPACITY),
             anchor_bias: anchor_bias.clamp(0.0, MAX_ANCHOR_BIAS),
+            pinned: Vec::new(),
+            pinned_bias: 0.0,
         }
+    }
+
+    /// Pins a set of index windows that [`Self::sample_anchor`] probes
+    /// with probability `bias` (clamped to `[0, 0.9]`), ahead of the
+    /// dirty-window roll. The sharded engine seeds the windows of gates
+    /// touching its shard's boundary qubits here, right after each
+    /// boundary rotation, so cross-shard cancellations are probed while
+    /// the cut is fresh. An empty `windows` clears the pin.
+    pub fn pin_windows(&mut self, windows: Vec<(usize, usize)>, bias: f64) {
+        self.pinned = windows;
+        self.pinned_bias = bias.clamp(0.0, MAX_ANCHOR_BIAS);
     }
 
     /// Consumes the context, yielding the matcher scratch for reuse.
@@ -132,6 +154,15 @@ impl SearchCtx {
     pub fn sample_anchor(&self, rng: &mut SmallRng) -> usize {
         let n = self.circuit.len();
         assert!(n > 0, "cannot sample an anchor in an empty circuit");
+        if !self.pinned.is_empty()
+            && self.pinned_bias > 0.0
+            && rng.random::<f64>() < self.pinned_bias
+        {
+            let (lo, hi) = self.pinned[rng.random_range(0..self.pinned.len())];
+            let lo = lo.min(n - 1);
+            let hi = hi.clamp(lo + 1, n);
+            return rng.random_range(lo..hi);
+        }
         if !self.dirty.is_empty()
             && self.anchor_bias > 0.0
             && rng.random::<f64>() < self.anchor_bias
@@ -204,6 +235,8 @@ impl SearchCtx {
         self.dag = None;
         self.circuit = circuit;
         self.dirty.clear();
+        // Pinned windows described the discarded circuit too.
+        self.pinned.clear();
     }
 
     fn note_dirty(&mut self, lo: usize, hi: usize) {
@@ -455,21 +488,88 @@ impl Transformation for CommutationPass {
 
 /// Resynthesis of a random ≤`max_qubits` subcircuit (paper §5.3: grow a
 /// region greedily from a random anchor, resynthesize its unitary).
+///
+/// The resynthesizer is shared by reference (`Arc`): shard workers,
+/// async clones and the service layer all point at one instance, so
+/// per-gate-set setup (including the Clifford+T BFS database) is never
+/// duplicated. An optional [`QCache`] handle memoizes synthesis
+/// results by window unitary ([`Resynthesizer::resynthesize_cached`]);
+/// the per-pass hit/miss counters are shared across clones so a run's
+/// totals survive the async driver's worker-thread pass clone.
 #[derive(Debug, Clone)]
 pub struct ResynthPass {
-    rs: Resynthesizer,
+    rs: Arc<Resynthesizer>,
     max_qubits: usize,
     eps: f64,
+    cache: Option<Arc<QCache>>,
+    cache_hits: Arc<AtomicU64>,
+    cache_misses: Arc<AtomicU64>,
 }
 
 impl ResynthPass {
-    /// Creates a resynthesis transformation with a per-call error bound.
-    pub fn new(rs: Resynthesizer, max_qubits: usize, eps: f64) -> Self {
+    /// Creates a resynthesis transformation with a per-call error bound
+    /// (no cache; add one with [`Self::with_cache`]).
+    pub fn new(rs: Arc<Resynthesizer>, max_qubits: usize, eps: f64) -> Self {
         ResynthPass {
             rs,
             max_qubits: max_qubits.min(qsynth::MAX_RESYNTH_QUBITS),
             eps,
+            cache: None,
+            cache_hits: Arc::new(AtomicU64::new(0)),
+            cache_misses: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Attaches (or detaches) the memo cache consulted before every
+    /// instantiation and populated after every fresh synthesis.
+    pub fn with_cache(mut self, cache: Option<Arc<QCache>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// (cache hits, cache misses) across every call through this pass
+    /// and its clones. Hits count everything served from the cache —
+    /// verified replacements *and* known-failure markers; misses count
+    /// calls that consulted the cache and fell back to a fresh
+    /// instantiation, successful or not. Hits + misses therefore equals
+    /// the cache-consulting call count, not the replacement count.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn record_outcome(&self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Hit | CacheOutcome::NegativeHit => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Miss => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Bypass => {}
+        }
+    }
+
+    /// The synthesizer's RNG, derived from exactly **one** draw of the
+    /// search RNG. This decoupling is what makes the memo cache pay off
+    /// across jobs: a cache hit skips synthesis (and all its RNG
+    /// consumption) but still costs the same single draw from the
+    /// search stream, so hit and miss leave the search RNG in an
+    /// identical state. A resubmitted job therefore replays its
+    /// previous trajectory window for window — every slow call repeats
+    /// and is served from the cache — as long as the cache still holds
+    /// (or, when cold, deterministically re-creates) the entries that
+    /// trajectory produced. Entries are keyed by window *unitary*, not
+    /// by job, so on a cache shared across heterogeneous traffic a
+    /// colliding window synthesized by another job can be served
+    /// instead of this job's own re-roll — an equally ε-verified
+    /// substitution that soundly shifts the trajectory (the
+    /// differential suites pin the cache off where bit-for-bit
+    /// comparison is asserted).
+    fn synth_rng(rng: &mut SmallRng) -> SmallRng {
+        SmallRng::seed_from_u64(rng.random::<u64>())
     }
 
     /// Chooses the random region this pass would act on (exposed for the
@@ -500,7 +600,12 @@ impl ResynthPass {
         rng: &mut SmallRng,
     ) -> Option<Applied> {
         let sub = region.extract(circuit);
-        let out = self.rs.resynthesize(&sub, self.eps, rng)?;
+        let mut synth_rng = Self::synth_rng(rng);
+        let (out, outcome) =
+            self.rs
+                .resynthesize_cached(&sub, self.eps, &mut synth_rng, self.cache.as_deref());
+        self.record_outcome(outcome);
+        let out = out?;
         Some(Applied {
             circuit: region.replace(circuit, &out.circuit),
             epsilon: out.epsilon,
@@ -518,7 +623,12 @@ impl ResynthPass {
         rng: &mut SmallRng,
     ) -> Option<PatchApplied> {
         let sub = region.extract(circuit);
-        let out = self.rs.resynthesize(&sub, self.eps, rng)?;
+        let mut synth_rng = Self::synth_rng(rng);
+        let (out, outcome) =
+            self.rs
+                .resynthesize_cached(&sub, self.eps, &mut synth_rng, self.cache.as_deref());
+        self.record_outcome(outcome);
+        let out = out?;
         Some(PatchApplied {
             patch: region.replacement_patch(circuit, &out.circuit),
             epsilon: out.epsilon,
@@ -581,7 +691,7 @@ mod tests {
 
     #[test]
     fn resynth_pass_shrinks_mergeable_rotations() {
-        let rs = Resynthesizer::new(GateSet::IbmEagle);
+        let rs = Arc::new(Resynthesizer::new(GateSet::IbmEagle));
         let t = ResynthPass::new(rs, 3, 1e-6);
         let mut c = Circuit::new(1);
         c.push(Gate::Rz(0.3), &[0]);
@@ -622,5 +732,46 @@ mod tests {
         }
         ctx.replace_circuit(c);
         assert_eq!(ctx.dirty_windows().count(), 0);
+    }
+
+    #[test]
+    fn pinned_windows_bias_anchor_sampling() {
+        let mut c = Circuit::new(2);
+        for _ in 0..64 {
+            c.push(Gate::H, &[0]);
+        }
+        let mut ctx = SearchCtx::new(c.clone());
+        // Saturated pin (clamped to 0.9): ≥ ~90% of anchors must land in
+        // the pinned window.
+        ctx.pin_windows(vec![(10, 14)], 1.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut inside = 0;
+        for _ in 0..512 {
+            let a = ctx.sample_anchor(&mut rng);
+            assert!(a < ctx.circuit().len());
+            if (10..14).contains(&a) {
+                inside += 1;
+            }
+        }
+        assert!(inside > 400, "pinned bias ignored: {inside}/512");
+        // Clearing the pin restores uniform sampling.
+        ctx.pin_windows(Vec::new(), 0.9);
+        let mut inside = 0;
+        for _ in 0..512 {
+            if (10..14).contains(&ctx.sample_anchor(&mut rng)) {
+                inside += 1;
+            }
+        }
+        assert!(inside < 100, "uniform sampling not restored: {inside}/512");
+        // Wholesale replacement clears pins (their indices are stale).
+        ctx.pin_windows(vec![(0, 4)], 0.9);
+        ctx.replace_circuit(c);
+        let mut inside = 0;
+        for _ in 0..512 {
+            if ctx.sample_anchor(&mut rng) < 4 {
+                inside += 1;
+            }
+        }
+        assert!(inside < 100, "stale pin survived replacement: {inside}/512");
     }
 }

@@ -42,6 +42,55 @@ pub fn hs_distance(u: &Mat, v: &Mat) -> f64 {
     (1.0 - o * o).max(0.0).sqrt()
 }
 
+/// [`hs_distance`] with full precision near zero.
+///
+/// The plain formula `sqrt(1 − o²)` catastrophically cancels for
+/// near-identical unitaries: an overlap `o = 1 − 1e-16` (pure float
+/// noise) already reads as Δ ≈ 1.5e-8, which would swamp ε budgets in
+/// the 1e-9 range. This variant phase-aligns `V` to `U`, accumulates
+/// the elementwise squared distance `d² = Σ|V'ᵢⱼ − Uᵢⱼ|²` (exactly 0
+/// for identical inputs), and maps it through
+/// `Δ = sqrt(x·(2−x))` with `x = 1 − o = d²/2N`. Use it wherever the
+/// measured distance is charged against a tight ε budget (resynthesis
+/// accounting, cache verify-on-hit).
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with equal dimensions.
+pub fn accurate_hs_distance(u: &Mat, v: &Mat) -> f64 {
+    assert_eq!(
+        u.rows(),
+        u.cols(),
+        "accurate_hs_distance needs square matrices"
+    );
+    assert_eq!(
+        u.rows(),
+        v.rows(),
+        "dimension mismatch in accurate_hs_distance"
+    );
+    assert_eq!(
+        v.rows(),
+        v.cols(),
+        "accurate_hs_distance needs square matrices"
+    );
+    let n = u.rows() as f64;
+    let mut w = crate::complex::C64::ZERO;
+    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
+        w += a.conj() * *b;
+    }
+    if w.abs() < 1e-12 {
+        return 1.0;
+    }
+    let phase = crate::complex::C64::cis(-w.arg());
+    let mut d2 = 0.0;
+    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
+        d2 += (*b * phase - *a).norm_sqr();
+    }
+    // 1 − |w|/N = d² / (2N); Δ = sqrt(x·(2−x)) with x = 1 − |w|/N.
+    let x = (d2 / (2.0 * n)).min(1.0);
+    (x * (2.0 - x)).max(0.0).sqrt()
+}
+
 /// True when `U ≡_ε V` (approximate equivalence, paper Def. 3.3).
 pub fn approx_equiv(u: &Mat, v: &Mat, eps: f64) -> bool {
     hs_distance(u, v) <= eps

@@ -1,0 +1,186 @@
+//! Phase-invariant window fingerprints.
+//!
+//! A resynthesis window is identified by its unitary *up to global
+//! phase* (the paper's Def. 3.2 distance is phase-invariant, so two
+//! windows whose unitaries differ only by `e^{iφ}` have identical
+//! resynthesis answers) together with the target gate set (the same
+//! unitary synthesizes to different circuits for different sets).
+//!
+//! The fingerprint canonicalizes the phase — every entry is rotated by
+//! the conjugate phase of the largest-modulus entry, making that entry
+//! real positive — then quantizes the entries onto a fixed grid and
+//! hashes the grid coordinates. Quantization makes the hash stable
+//! under the ~1e-12 float noise of different evaluation orders, at the
+//! price of *boundary* effects: two unitaries within distance ~grid of
+//! each other may still land in different cells. Both failure modes are
+//! benign by construction:
+//!
+//! * a **false miss** (same window, different hash) just re-synthesizes
+//!   — correctness is untouched, and the dominant traffic (bit-identical
+//!   repeated windows, e.g. a repeated job under the same seed) hashes
+//!   bit-identically;
+//! * a **false hit** (different windows, same hash) is caught by the
+//!   exact-matrix verification [`QCache::lookup`](crate::QCache::lookup)
+//!   performs before serving any entry.
+
+use qcir::GateSet;
+use qmath::Mat;
+
+/// Quantization grid for the hashed matrix entries. Coarse enough that
+/// float noise from different gate-application orders cannot move an
+/// entry across a cell boundary in practice, fine enough that distinct
+/// small-circuit unitaries essentially never share a cell pattern (and
+/// when they do, verification rejects the entry).
+const GRID: f64 = 1e7;
+
+/// A phase-invariant identity for a resynthesis request: quantized
+/// unitary hash + matrix dimension + target gate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    hash: u64,
+    dim: u32,
+    set: GateSet,
+}
+
+impl Fingerprint {
+    /// The 64-bit content hash (also selects the cache stripe).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Dimension of the fingerprinted unitary (2^qubits).
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The target gate set this request synthesizes into.
+    pub fn gate_set(&self) -> GateSet {
+        self.set
+    }
+}
+
+/// SplitMix64 finalizer: one cheap, well-mixed step per quantized value.
+fn mix(mut h: u64, v: u64) -> u64 {
+    h ^= v;
+    h = h.wrapping_add(0x9E3779B97F4A7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D049BB133111EB);
+    h ^ (h >> 31)
+}
+
+fn quantize(x: f64) -> u64 {
+    // `+0.0` collapses -0.0 onto 0.0 so the two zero encodings hash
+    // identically after rounding.
+    ((x * GRID).round() + 0.0).to_bits()
+}
+
+/// Computes the phase/global-phase-invariant fingerprint of `target`
+/// for synthesis into `set`.
+///
+/// # Panics
+///
+/// Panics if `target` is not square or is the 0×0 matrix.
+pub fn fingerprint(target: &Mat, set: GateSet) -> Fingerprint {
+    assert_eq!(
+        target.rows(),
+        target.cols(),
+        "fingerprint needs a square matrix"
+    );
+    assert!(target.rows() > 0, "fingerprint needs a non-empty matrix");
+    // Canonicalize the global phase: rotate so the largest-modulus entry
+    // becomes real positive. The reference entry is chosen with a small
+    // relative hysteresis so near-ties resolve to the same (earliest)
+    // entry for nearby unitaries; an unstable choice only costs a false
+    // miss, never a wrong hit.
+    let data = target.as_slice();
+    let mut best = 0usize;
+    let mut best_norm = data[0].norm_sqr();
+    for (i, z) in data.iter().enumerate().skip(1) {
+        let n = z.norm_sqr();
+        if n > best_norm * (1.0 + 1e-9) {
+            best = i;
+            best_norm = n;
+        }
+    }
+    let anchor = data[best];
+    let inv_phase = if anchor.abs() > 0.0 {
+        anchor.conj().scale(1.0 / anchor.abs())
+    } else {
+        qmath::C64::ONE // degenerate (non-unitary) input: hash as-is
+    };
+
+    let mut h = mix(0x9CAC_5E00_51B1_E2F1, target.rows() as u64);
+    for z in data {
+        let w = *z * inv_phase;
+        h = mix(h, quantize(w.re));
+        h = mix(h, quantize(w.im));
+    }
+    h = mix(h, set.id() as u64);
+    Fingerprint {
+        hash: h,
+        dim: target.rows() as u32,
+        set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::{gates, C64};
+
+    #[test]
+    fn invariant_under_global_phase() {
+        let u = gates::u3(0.7, -0.2, 1.9);
+        for phi in [0.1, 1.0, 2.7, -3.0] {
+            let v = u.scaled(C64::cis(phi));
+            assert_eq!(fingerprint(&u, GateSet::Nam), fingerprint(&v, GateSet::Nam));
+        }
+    }
+
+    #[test]
+    fn distinguishes_unitaries() {
+        let a = fingerprint(&gates::x(), GateSet::Nam);
+        let b = fingerprint(&gates::z(), GateSet::Nam);
+        let c = fingerprint(&gates::h(), GateSet::Nam);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn distinguishes_gate_sets_and_dims() {
+        let x = gates::x();
+        assert_ne!(
+            fingerprint(&x, GateSet::Nam),
+            fingerprint(&x, GateSet::CliffordT)
+        );
+        assert_ne!(
+            fingerprint(&Mat::identity(2), GateSet::Nam),
+            fingerprint(&Mat::identity(4), GateSet::Nam)
+        );
+    }
+
+    #[test]
+    fn stable_under_tiny_noise() {
+        // Sub-grid perturbations (the float noise of different gate
+        // application orders) must not move the hash.
+        let u = gates::cx();
+        let mut v = u.clone();
+        for z in v.as_mut_slice() {
+            *z += C64::new(1e-13, -1e-13);
+        }
+        assert_eq!(fingerprint(&u, GateSet::Nam), fingerprint(&v, GateSet::Nam));
+    }
+
+    #[test]
+    fn separates_distinct_rotations() {
+        // A sweep of distinct Rz angles must produce distinct hashes
+        // (the grid is far finer than any angle step a rule uses).
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000 {
+            let u = gates::rz(0.001 * k as f64);
+            seen.insert(fingerprint(&u, GateSet::Nam).hash());
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+}

@@ -1,0 +1,51 @@
+//! `qcache` — process-wide amortization for the slow path.
+//!
+//! GUOQ interleaves fast rewrites with slow numerical resynthesis, and
+//! the slow path dominates wall-clock: one resynthesis call runs a
+//! multi-restart numerical optimization (or an MCMC walk for finite
+//! sets) that costs milliseconds, while a rewrite probe costs
+//! microseconds. Two structural facts make that cost amortizable:
+//!
+//! 1. **Windows repeat.** The ≤3-qubit subcircuits the search feeds to
+//!    resynthesis recur — within one run (the search revisits windows),
+//!    across parallel shard workers (POPQC-style sharding multiplies
+//!    identical small windows), and across jobs (a service sees the
+//!    same circuits and circuit families again and again). The unitary
+//!    of a window, not its gate list, determines the answer.
+//! 2. **Setup repeats.** The per-gate-set rule corpus and resynthesizer
+//!    (including the Clifford+T BFS database) are pure functions of the
+//!    gate set, yet were rebuilt for every job.
+//!
+//! This crate provides the two pieces that exploit them:
+//!
+//! * [`QCache`] — a lock-striped, bounded, LRU-evicting concurrent memo
+//!   table mapping a [`Fingerprint`] (phase-invariant unitary hash +
+//!   gate-set id) to a previously synthesized replacement circuit. A
+//!   hit is **verified against the exact matrix** before it is served:
+//!   the stored replacement's true unitary is compared to the query
+//!   target, so a fingerprint collision (or quantization accident) is
+//!   harmless — it is rejected and counted, never returned. The
+//!   returned ε is the *measured* distance between the query target
+//!   and the replacement, so the optimizer's Thm. 4.2 error accounting
+//!   stays exact on the hit path.
+//! * [`Registry`] — a tiny per-gate-set once-cell table so rule corpora
+//!   and resynthesizer setup are built once per process, not once per
+//!   job (`qrewrite::shared_rules_for`, `qsynth::shared_resynthesizer`
+//!   are the instantiations).
+//!
+//! The cache is deliberately *advisory*: a lookup that misses, or a hit
+//! that fails verification, simply falls back to fresh synthesis. The
+//! optimizer's acceptance rule sees cached candidates exactly like
+//! fresh ones, so enabling the cache can never violate soundness — only
+//! change which (equally ε-bounded) candidates the stochastic search
+//! happens to explore.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod registry;
+pub mod table;
+
+pub use fingerprint::{fingerprint, Fingerprint};
+pub use registry::Registry;
+pub use table::{CacheHit, CacheStats, Lookup, QCache, QCacheOpts};

@@ -1,0 +1,86 @@
+//! Per-gate-set once-cell registry for process-wide shared setup.
+//!
+//! A rule corpus or a resynthesizer is a pure function of its gate set,
+//! yet the service layer was rebuilding both for every job (the
+//! Clifford+T resynthesizer alone carries a 16k-entry BFS database).
+//! A [`Registry`] is the minimal fix: one slot per [`GateSet`], each a
+//! `OnceLock<Arc<T>>`, so the first requester builds and every later
+//! requester (on any thread) gets the same `Arc` — lock-free after
+//! initialization, and initialization of different gate sets never
+//! contends.
+
+use qcir::GateSet;
+use std::sync::{Arc, OnceLock};
+
+/// A per-[`GateSet`] build-once table. `const`-constructible, so it can
+/// back a `static` (see `qrewrite::shared_rules_for` /
+/// `qsynth::shared_resynthesizer`).
+pub struct Registry<T> {
+    slots: [OnceLock<Arc<T>>; GateSet::ALL.len()],
+}
+
+impl<T> Registry<T> {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            slots: [const { OnceLock::new() }; GateSet::ALL.len()],
+        }
+    }
+
+    /// Returns the shared value for `set`, building it with `init` on
+    /// the first request. Concurrent first requests for the *same* set
+    /// race benignly (`OnceLock` keeps exactly one winner; a losing
+    /// `init` result is dropped).
+    pub fn get_or_init(&self, set: GateSet, init: impl FnOnce() -> T) -> Arc<T> {
+        self.slots[set.id()]
+            .get_or_init(|| Arc::new(init()))
+            .clone()
+    }
+
+    /// The shared value for `set`, if one has been built.
+    pub fn get(&self, set: GateSet) -> Option<Arc<T>> {
+        self.slots[set.id()].get().cloned()
+    }
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builds_once_per_gate_set() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let reg: Registry<Vec<u8>> = Registry::new();
+        let build = |tag: u8| {
+            BUILDS.fetch_add(1, Ordering::Relaxed);
+            vec![tag; 3]
+        };
+        let a = reg.get_or_init(GateSet::Nam, || build(1));
+        let b = reg.get_or_init(GateSet::Nam, || build(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, vec![1, 1, 1]);
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 1);
+        let c = reg.get_or_init(GateSet::Ionq, || build(3));
+        assert_eq!(*c, vec![3, 3, 3]);
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 2);
+        assert!(reg.get(GateSet::CliffordT).is_none());
+        assert!(reg.get(GateSet::Ionq).is_some());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        static REG: Registry<u64> = Registry::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| std::thread::spawn(move || *REG.get_or_init(GateSet::IbmEagle, || t)))
+            .collect();
+        let values: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
+    }
+}

@@ -7,6 +7,10 @@
 //!   --max-queued N     queued-job bound (default 64)
 //!   --max-time-ms N    per-job wall cap (default 30000)
 //!   --gateset NAME     nam | ibmq20 | ibm-eagle | ionq | clifford-t
+//!   --cache-gates N    shared resynthesis memo-cache budget, in gates
+//!                      (default 65536; 0 disables the cache)
+//!   --resynth-prob P   per-iteration resynthesis probability
+//!                      (default: the paper's 0.015)
 //! ```
 //!
 //! Diagnostics go to stderr; stdout carries only protocol frames.
@@ -56,6 +60,18 @@ fn main() -> ExitCode {
                     .map(|g| opts.gate_set = g)
                     .ok_or_else(|| format!("unknown gate set `{v}`"))
             }),
+            "--cache-gates" => value("--cache-gates").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.cache_gates = n)
+                    .map_err(|_| "bad --cache-gates value".into())
+            }),
+            "--resynth-prob" => value("--resynth-prob").and_then(|v| {
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .map(|p| opts.resynth_probability = Some(p))
+                    .ok_or_else(|| "bad --resynth-prob value".to_string())
+            }),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = parsed {
@@ -65,8 +81,8 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}",
-        opts.worker_budget, opts.max_queued, opts.max_time_ms, opts.gate_set
+        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}, cache {} gates",
+        opts.worker_budget, opts.max_queued, opts.max_time_ms, opts.gate_set, opts.cache_gates
     );
     let server = Server::start(opts);
     let result = match tcp_addr {

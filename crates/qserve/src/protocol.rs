@@ -22,9 +22,13 @@
 //! ```text
 //! ACCEPTED id=7
 //! SNAPSHOT id=7 cost=118 eps=0 iters=0 seconds=0 qasm=OPENQASM 2.0; ...
-//! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=0 cancelled=0 qasm=OPENQASM 2.0; ...
+//! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=3 cache_hits=2 cache_misses=1 cancelled=0 qasm=OPENQASM 2.0; ...
 //! ERROR id=7 msg=unknown gate `foo`
 //! ```
+//!
+//! (`cache_hits`/`cache_misses` report the job's traffic against the
+//! server's shared resynthesis memo cache; they parse as 0 when absent,
+//! so frames from pre-cache servers remain readable.)
 //!
 //! Semantics: one `ACCEPTED` per admitted job, then a `SNAPSHOT` stream
 //! — the first carries the input circuit (best-so-far = input, at cost
@@ -116,6 +120,12 @@ pub struct JobSummary {
     pub accepted: u64,
     /// Resynthesis hits.
     pub resynth_hits: u64,
+    /// Resynthesis calls served from the server's shared memo cache
+    /// (0 when the cache is disabled).
+    pub cache_hits: u64,
+    /// Resynthesis calls that consulted the cache and fell back to
+    /// fresh synthesis.
+    pub cache_misses: u64,
     /// True when the job was cancelled (CANCEL frame, client
     /// disconnect, or timeout); the result is still the valid
     /// best-so-far.
@@ -272,13 +282,15 @@ impl Frame {
                 sanitize(qasm),
             ),
             Frame::Done(s) => format!(
-                "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cancelled={} qasm={}\n",
+                "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cache_hits={} cache_misses={} cancelled={} qasm={}\n",
                 s.id,
                 s.cost,
                 s.epsilon,
                 s.iterations,
                 s.accepted,
                 s.resynth_hits,
+                s.cache_hits,
+                s.cache_misses,
                 u8::from(s.cancelled),
                 sanitize(&s.qasm),
             ),
@@ -325,6 +337,9 @@ impl Frame {
                 iterations: kv.u64("iters")?,
                 accepted: kv.u64("accepted")?,
                 resynth_hits: kv.u64("resynth")?,
+                // Optional for wire compatibility with pre-cache peers.
+                cache_hits: kv.u64_or("cache_hits", 0)?,
+                cache_misses: kv.u64_or("cache_misses", 0)?,
                 cancelled: kv.u64("cancelled")? != 0,
                 qasm: kv.str("qasm")?.to_string(),
             })),
@@ -383,6 +398,17 @@ impl<'a> KvFields<'a> {
         self.str(key)?
             .parse()
             .map_err(|_| perr(format!("bad integer in `{key}`")))
+    }
+
+    /// Like [`Self::u64`] but tolerating an absent key (fields added to
+    /// the protocol after its first release parse with a default, so an
+    /// old peer's frames stay readable).
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, ProtocolError> {
+        if self.fields.iter().any(|(k, _)| *k == key) {
+            self.u64(key)
+        } else {
+            Ok(default)
+        }
     }
 
     fn f64(&self, key: &str) -> Result<f64, ProtocolError> {
@@ -498,6 +524,8 @@ mod tests {
                 iterations: 4000,
                 accepted: 31,
                 resynth_hits: 2,
+                cache_hits: 1,
+                cache_misses: 1,
                 cancelled: true,
                 qasm: "OPENQASM 2.0; qreg q[1]; x q[0];".into(),
             }),
@@ -547,6 +575,22 @@ mod tests {
         assert_eq!(line.matches('\n').count(), 1);
         match Frame::parse(line.trim_end_matches('\n')).unwrap() {
             Frame::Error { message, .. } => assert_eq!(message, "multi line  message"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn done_without_cache_fields_parses_with_zeroes() {
+        // A pre-cache server's DONE line must stay readable.
+        let f = Frame::parse(
+            "DONE id=3 cost=10 eps=0 iters=100 accepted=5 resynth=2 cancelled=0 qasm=OPENQASM 2.0; qreg q[1];",
+        )
+        .unwrap();
+        match f {
+            Frame::Done(s) => {
+                assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+                assert_eq!(s.resynth_hits, 2);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

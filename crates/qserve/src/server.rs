@@ -41,7 +41,7 @@
 use crate::protocol::{EngineSel, Frame, JobRequest, JobSummary, Objective};
 use crossbeam_channel::Sender;
 use guoq::cost::{CostFn, GateCount, TwoQubitCount};
-use guoq::{Budget, CancelToken, Engine, Guoq, GuoqOpts};
+use guoq::{Budget, CacheStats, CancelToken, Engine, Guoq, GuoqOpts, QCache};
 use qcir::{qasm, Circuit, GateSet};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -67,6 +67,15 @@ pub struct ServeOpts {
     /// Probability of a resynthesis move per iteration (passed through
     /// to [`GuoqOpts`]; the paper's default when `None`).
     pub resynth_probability: Option<f64>,
+    /// Gate budget of the process-wide resynthesis memo cache shared by
+    /// every job this server runs (see [`guoq::QCache`]): repeated and
+    /// similar submissions skip straight to verified cached
+    /// replacements, so the service gets faster the longer it lives.
+    /// `0` disables the cache — which also restores per-seed
+    /// bit-for-bit reproducibility across submissions (a warm cache
+    /// steers the stochastic search differently than a cold one; the
+    /// differential suite pins this to 0 for exactly that reason).
+    pub cache_gates: usize,
 }
 
 impl Default for ServeOpts {
@@ -80,6 +89,7 @@ impl Default for ServeOpts {
             max_time_ms: 30_000,
             gate_set: GateSet::Nam,
             resynth_probability: None,
+            cache_gates: 65_536,
         }
     }
 }
@@ -114,6 +124,9 @@ struct Shared {
     state: Mutex<State>,
     work: Condvar,
     opts: ServeOpts,
+    /// The process-wide resynthesis memo cache every job shares
+    /// (`None` when `opts.cache_gates == 0`).
+    cache: Option<Arc<QCache>>,
     /// Connection-id allocator for [`Server::handle`].
     next_conn: std::sync::atomic::AtomicU64,
 }
@@ -140,6 +153,11 @@ pub struct ServerHandle {
 impl Server {
     /// Starts the scheduler and watchdog threads.
     pub fn start(opts: ServeOpts) -> Server {
+        let cache = if opts.cache_gates > 0 {
+            Some(Arc::new(QCache::with_gate_budget(opts.cache_gates)))
+        } else {
+            None
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 slots_free: opts.worker_budget.max(1),
@@ -147,6 +165,7 @@ impl Server {
             }),
             work: Condvar::new(),
             opts,
+            cache,
             next_conn: std::sync::atomic::AtomicU64::new(0),
         });
         let scheduler = {
@@ -174,6 +193,17 @@ impl Server {
                 .next_conn
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Counter snapshot of the process-wide resynthesis memo cache
+    /// (zeroes when the cache is disabled) — service observability for
+    /// dashboards and the bench harness.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared
+            .cache
+            .as_ref()
+            .map(|c| c.stats())
+            .unwrap_or_default()
     }
 
     /// Blocks until no job is queued or running, across every
@@ -572,6 +602,9 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         seed: req.seed,
         engine,
         cancel: Some(cancel.clone()),
+        // Every job shares the server's memo cache: repeated and
+        // similar submissions are served from amortized synthesis.
+        cache: shared.cache.clone(),
         ..Default::default()
     };
     if let Some(p) = opts.resynth_probability {
@@ -621,6 +654,8 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         iterations: result.iterations,
         accepted: result.accepted,
         resynth_hits: result.resynth_hits,
+        cache_hits: result.cache_hits,
+        cache_misses: result.cache_misses,
         cancelled: cancel.is_cancelled(), // read BEFORE the guard raises it
         qasm: qasm::to_qasm_line(&result.circuit),
     };

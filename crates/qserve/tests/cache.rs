@@ -1,0 +1,82 @@
+//! The process-wide resynthesis memo cache, exercised through the
+//! service: repeated submissions of the same job hit the cache, results
+//! stay semantically valid, and disabling the cache keeps the summary
+//! counters at zero.
+
+mod util;
+
+use crossbeam_channel::bounded;
+use qcir::qasm;
+use qserve::{EngineSel, Frame, JobSummary, ServeOpts, Server};
+use qsim::circuits_equivalent;
+use util::{request, wait_done, workload};
+
+/// Submits `req` and waits for its DONE (worker budget 1 serializes the
+/// submissions, so each job sees the cache state its predecessors
+/// left).
+fn run_one(server: &Server, id: u64, iters: u64, seed: u64, line: &str) -> JobSummary {
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+    let mut req = request(id, EngineSel::Serial, iters, seed, &workload(8));
+    req.qasm = line.to_string();
+    handle.handle_frame(Frame::Submit(req), &tx);
+    wait_done(&rx, id)
+}
+
+#[test]
+fn repeated_submission_hits_the_shared_cache() {
+    let input = workload(160);
+    let line = qasm::to_qasm_line(&input);
+    let server = Server::start(ServeOpts {
+        worker_budget: 1, // strict FIFO: job 2 starts after job 1's DONE
+        resynth_probability: Some(0.3),
+        max_time_ms: 600_000, // don't let a slow CI host watchdog the job
+        ..Default::default()
+    });
+
+    let first = run_one(&server, 1, 1200, 77, &line);
+    assert!(
+        first.resynth_hits > 0,
+        "tune: job 1 performed no resynthesis ({first:?})"
+    );
+    // (Job 1 may already hit entries it inserted itself — within-run
+    // window repeats — so only the misses are asserted on.)
+    assert!(first.cache_misses > 0, "a fresh cache must be populated");
+
+    // Identical resubmission: same seed → the identical windows come
+    // back, and the slow path is served from the shared cache.
+    let second = run_one(&server, 2, 1200, 77, &line);
+    assert!(
+        second.cache_hits > 0,
+        "second submission must hit the warm cache: {second:?}"
+    );
+
+    let stats = server.cache_stats();
+    assert!(stats.hits + stats.negative_hits >= second.cache_hits);
+    assert!(stats.entries > 0);
+    server.shutdown();
+
+    // Both results are valid optimizations of the input.
+    for done in [&first, &second] {
+        let out = qasm::from_qasm(&done.qasm).expect("result parses");
+        assert!(circuits_equivalent(&input, &out, 1e-4));
+        assert!(out.len() <= input.len());
+    }
+}
+
+#[test]
+fn disabled_cache_reports_zero_traffic() {
+    let input = workload(96);
+    let line = qasm::to_qasm_line(&input);
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        resynth_probability: Some(0.3),
+        cache_gates: 0,
+        max_time_ms: 600_000,
+        ..Default::default()
+    });
+    let done = run_one(&server, 1, 600, 5, &line);
+    assert_eq!((done.cache_hits, done.cache_misses), (0, 0));
+    assert_eq!(server.cache_stats(), guoq::CacheStats::default());
+    server.shutdown();
+}

@@ -43,6 +43,9 @@ fn cancelled_sharded_job_leaves_the_pool_reusable() {
     let big = workload(400);
     let server = Server::start(ServeOpts {
         worker_budget: 2,
+        // Job 2 below is compared bit-for-bit against its cacheless
+        // direct run; job 1 must not warm a shared cache for it.
+        cache_gates: 0,
         ..Default::default()
     });
     let handle = server.handle();

@@ -86,6 +86,10 @@ fn frame() -> impl Strategy<Value = Frame> {
                     iterations,
                     accepted,
                     resynth_hits,
+                    // Derived, not fresh strategy draws: the tuple
+                    // strategies above already nest three deep.
+                    cache_hits: resynth_hits / 2,
+                    cache_misses: resynth_hits - resynth_hits / 2,
                     cancelled: cancelled != 0,
                     qasm,
                 })

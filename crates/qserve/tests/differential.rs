@@ -84,6 +84,10 @@ fn assert_served_matches_direct(engine_sel: EngineSel, engine: Engine, id: u64) 
 
     let server = Server::start(ServeOpts {
         worker_budget: 4,
+        // The differential property is bit-for-bit vs a cacheless
+        // direct run; a cache hit skips synthesizer RNG draws and
+        // would (soundly) change the trajectory. Pin the cache off.
+        cache_gates: 0,
         ..Default::default()
     });
     let (frames, done) = serve_job(
@@ -159,6 +163,7 @@ fn time_budgeted_job_is_not_reported_cancelled() {
     let input = workload(160);
     let server = Server::start(ServeOpts {
         worker_budget: 2,
+        cache_gates: 0,
         ..Default::default()
     });
     let mut req = request(5, EngineSel::Serial, 0, 3, qasm::to_qasm_line(&input));
@@ -190,6 +195,7 @@ fn byte_level_transport_matches_direct_optimize() {
     let wire = Frame::Submit(request(9, EngineSel::Serial, iters, seed, input_line)).encode();
     let server = Server::start(ServeOpts {
         worker_budget: 2,
+        cache_gates: 0,
         ..Default::default()
     });
     let out = pump_stream(wire.as_bytes(), Vec::new(), &server).expect("pump");
@@ -225,6 +231,7 @@ fn concurrent_jobs_are_isolated() {
         .collect();
     let server = Server::start(ServeOpts {
         worker_budget: 2,
+        cache_gates: 0,
         ..Default::default()
     });
     let handle = server.handle();
@@ -272,6 +279,7 @@ fn concurrent_jobs_are_isolated() {
 fn invalid_submissions_are_rejected_with_error_frames() {
     let server = Server::start(ServeOpts {
         worker_budget: 2,
+        cache_gates: 0,
         ..Default::default()
     });
     let handle = server.handle();

@@ -36,4 +36,4 @@ pub use matcher::{
     propose_rule_patch, rule_pass_patches, Match, MatchScratch,
 };
 pub use rule::Rule;
-pub use rules::rules_for;
+pub use rules::{rules_for, shared_rules_for};

@@ -31,6 +31,17 @@ pub fn rules_for(set: GateSet) -> Vec<Rule> {
     rules
 }
 
+/// The per-gate-set shared corpora (see [`shared_rules_for`]).
+static SHARED_RULES: qcache::Registry<Vec<Rule>> = qcache::Registry::new();
+
+/// The process-wide shared rule corpus for `set`, built (and
+/// debug-verified) once per process instead of once per job. Consumers
+/// that need owned rules clone individual [`Rule`]s out of the shared
+/// vector — a shallow copy, not a corpus rebuild.
+pub fn shared_rules_for(set: GateSet) -> std::sync::Arc<Vec<Rule>> {
+    SHARED_RULES.get_or_init(set, || rules_for(set))
+}
+
 /// Structural CX rules shared by every CX-based gate set.
 fn cx_core_rules() -> Vec<Rule> {
     vec![

@@ -158,26 +158,10 @@ pub struct Instantiation {
 }
 
 /// Accurate Hilbert–Schmidt distance, immune to the `1 − |w|/N`
-/// cancellation: align the global phase first, then use the Frobenius
-/// norm of the difference.
-pub fn accurate_hs_distance(u: &Mat, v: &Mat) -> f64 {
-    let n = u.rows() as f64;
-    let mut w = C64::ZERO;
-    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
-        w += a.conj() * *b;
-    }
-    if w.abs() < 1e-12 {
-        return 1.0;
-    }
-    let phase = C64::cis(-w.arg());
-    let mut d2 = 0.0;
-    for (a, b) in u.as_slice().iter().zip(v.as_slice()) {
-        d2 += (*b * phase - *a).norm_sqr();
-    }
-    // 1 − |w|/N = d2 / (2N); Δ = sqrt(x·(2−x)) with x = 1 − |w|/N.
-    let x = (d2 / (2.0 * n)).min(1.0);
-    (x * (2.0 - x)).max(0.0).sqrt()
-}
+/// cancellation (now shared with the cache's verify-on-hit path as
+/// [`qmath::dist::accurate_hs_distance`]; re-exported here for the
+/// existing synthesis call sites).
+pub use qmath::dist::accurate_hs_distance;
 
 /// Options for [`instantiate`].
 #[derive(Debug, Clone)]

@@ -31,4 +31,7 @@ pub mod instantiate;
 pub mod resynth;
 
 pub use instantiate::accurate_hs_distance;
-pub use resynth::{Resynthesized, Resynthesizer, MAX_RESYNTH_QUBITS};
+pub use resynth::{
+    shared_resynthesizer, CacheOutcome, ResynthProfile, Resynthesized, Resynthesizer,
+    MAX_RESYNTH_QUBITS,
+};

@@ -9,8 +9,11 @@
 use crate::continuous::{synthesize_1q, synthesize_2q, synthesize_3q, SynthOpts};
 use crate::finite::{synthesize_finite, Database1q, FiniteSynthOpts};
 use crate::instantiate::accurate_hs_distance;
+use qcache::{QCache, Registry};
 use qcir::{rebase, Circuit, GateSet};
+use qmath::Mat;
 use rand::Rng;
+use std::sync::{Arc, OnceLock};
 
 /// Maximum subcircuit width resynthesis accepts (the paper limits random
 /// subcircuits to 3 qubits; unitary size is exponential in width).
@@ -54,15 +57,66 @@ impl ResynthOpts {
     }
 }
 
+/// How a resynthesis call interacted with the memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The replacement was served (and matrix-verified) from the cache.
+    Hit,
+    /// A known-failure marker was served: the instantiation was skipped
+    /// and the call reports no replacement — the saved work of a hit,
+    /// without a circuit.
+    NegativeHit,
+    /// The cache was consulted, missed (or rejected its entry), and a
+    /// fresh instantiation ran (its result — success or failure — was
+    /// recorded in the cache).
+    Miss,
+    /// No cache was supplied (or the input was refused before the cache
+    /// could be consulted).
+    Bypass,
+}
+
+/// The shared fast-profile resynthesizers (one per gate set per
+/// process); see [`shared_resynthesizer`].
+static SHARED_FAST: Registry<Resynthesizer> = Registry::new();
+/// The shared thorough-profile resynthesizers.
+static SHARED_THOROUGH: Registry<Resynthesizer> = Registry::new();
+/// The 1-qubit BFS database for finite sets: ~16k entries, by far the
+/// most expensive piece of resynthesizer setup, and a pure constant —
+/// built once per process and shared by every resynthesizer.
+static DB_1Q: OnceLock<Arc<Database1q>> = OnceLock::new();
+
+/// Options profile for [`shared_resynthesizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResynthProfile {
+    /// [`ResynthOpts::fast`] — the in-loop GUOQ profile.
+    Fast,
+    /// [`ResynthOpts::default`] — the single-sweep baseline profile.
+    Thorough,
+}
+
+/// The process-wide shared resynthesizer for `set` under `profile`,
+/// built on first request (the per-gate-set rule of the `qcache`
+/// [`Registry`]): jobs no longer pay resynthesizer setup, and every
+/// engine in the process points at the same instance.
+pub fn shared_resynthesizer(set: GateSet, profile: ResynthProfile) -> Arc<Resynthesizer> {
+    match profile {
+        ResynthProfile::Fast => {
+            SHARED_FAST.get_or_init(set, || Resynthesizer::with_opts(set, ResynthOpts::fast()))
+        }
+        ResynthProfile::Thorough => SHARED_THOROUGH.get_or_init(set, || Resynthesizer::new(set)),
+    }
+}
+
 /// Resynthesizes subcircuits for a fixed gate set.
 ///
-/// Construction is cheap for continuous sets; for Clifford+T it builds the
-/// 1-qubit BFS database once.
+/// Construction is cheap for continuous sets; for Clifford+T the
+/// 1-qubit BFS database is built once per process and shared (cloning a
+/// resynthesizer clones an `Arc`, not the database).
 #[derive(Debug, Clone)]
 pub struct Resynthesizer {
     set: GateSet,
     opts: ResynthOpts,
-    db_1q: Option<Database1q>,
+    db_1q: Option<Arc<Database1q>>,
 }
 
 impl Resynthesizer {
@@ -76,7 +130,11 @@ impl Resynthesizer {
         let db_1q = if set.is_continuous() {
             None
         } else {
-            Some(Database1q::build(9, 16384))
+            Some(
+                DB_1Q
+                    .get_or_init(|| Arc::new(Database1q::build(9, 16384)))
+                    .clone(),
+            )
         };
         Resynthesizer { set, opts, db_1q }
     }
@@ -98,34 +156,132 @@ impl Resynthesizer {
         eps: f64,
         rng: &mut R,
     ) -> Option<Resynthesized> {
+        self.resynthesize_cached(sub, eps, rng, None).0
+    }
+
+    /// [`Self::resynthesize`] through a memo cache: the subcircuit's
+    /// unitary is fingerprinted and looked up **before** any numerical
+    /// instantiation; a verified hit returns the cached replacement
+    /// (with its *measured* distance to this exact target — collisions
+    /// are rejected by [`QCache::lookup`]'s matrix check, so the
+    /// ε accounting on the hit path is as exact as on the miss path),
+    /// and a known-failure entry short-circuits to `None` (a doomed
+    /// instantiation costs the same budget as a successful one —
+    /// skipping it is half the cache's win on repeat traffic). A miss
+    /// falls through to fresh synthesis and populates the cache with
+    /// the result, successful or not.
+    ///
+    /// Note that a hit consumes no RNG draws while a miss consumes the
+    /// synthesizer's usual stream, so cached and uncached searches
+    /// explore different (equally sound) trajectories.
+    pub fn resynthesize_cached<R: Rng + ?Sized>(
+        &self,
+        sub: &Circuit,
+        eps: f64,
+        rng: &mut R,
+        cache: Option<&QCache>,
+    ) -> (Option<Resynthesized>, CacheOutcome) {
         let n = sub.num_qubits();
         if n == 0 || n > MAX_RESYNTH_QUBITS || sub.is_empty() {
-            return None;
+            return (None, CacheOutcome::Bypass);
         }
+        let Some(cache) = cache else {
+            let result = self
+                .synthesize_target(&sub.unitary(), n, sub.len(), eps, rng)
+                .map(|(native, _, measured)| Resynthesized {
+                    circuit: native,
+                    epsilon: measured,
+                });
+            return (result, CacheOutcome::Bypass);
+        };
         let target = sub.unitary();
+        let fp = qcache::fingerprint(&target, self.set);
+        // The cache is consulted under the same replacement-length
+        // budget fresh synthesis would run with, so a hit never serves
+        // a circuit this call's own instantiation could not have
+        // produced, and a known-failure under a tighter budget never
+        // blocks a call with a roomier one.
+        let len_budget = self.length_budget(n, sub.len());
+        match cache.lookup(&fp, &target, eps, len_budget) {
+            qcache::Lookup::Hit(hit) => {
+                return (
+                    Some(Resynthesized {
+                        circuit: hit.circuit,
+                        epsilon: hit.epsilon,
+                    }),
+                    CacheOutcome::Hit,
+                )
+            }
+            qcache::Lookup::KnownFailure => return (None, CacheOutcome::NegativeHit),
+            qcache::Lookup::Miss => {}
+        }
+        match self.synthesize_target(&target, n, sub.len(), eps, rng) {
+            Some((native, native_u, measured)) => {
+                cache.insert(fp, &native, native_u);
+                (
+                    Some(Resynthesized {
+                        circuit: native,
+                        epsilon: measured,
+                    }),
+                    CacheOutcome::Miss,
+                )
+            }
+            None => {
+                cache.insert_failure(fp, eps, len_budget);
+                (None, CacheOutcome::Miss)
+            }
+        }
+    }
+
+    /// The replacement-length budget `synthesize_target` runs with for
+    /// an `n`-qubit, `sub_len`-gate window: the finite multi-qubit path
+    /// caps MCMC at strictly below the window (and at the profile's
+    /// `max_len`); every other path is uncapped.
+    fn length_budget(&self, n: usize, sub_len: usize) -> usize {
+        if self.set.is_continuous() || n == 1 {
+            usize::MAX
+        } else {
+            self.opts
+                .finite
+                .max_len
+                .min(sub_len.saturating_sub(1))
+                .max(1)
+        }
+    }
+
+    /// The synthesis core: target unitary → native replacement + its
+    /// unitary + measured distance (`None` on failure or out-of-ε).
+    fn synthesize_target<R: Rng + ?Sized>(
+        &self,
+        target: &Mat,
+        n: usize,
+        sub_len: usize,
+        eps: f64,
+        rng: &mut R,
+    ) -> Option<(Circuit, Mat, f64)> {
         let mut opts = self.opts.clone();
         opts.continuous.tol = opts.continuous.tol.min(eps.max(1e-12));
 
         let raw = if self.set.is_continuous() {
             match n {
-                1 => synthesize_1q(&target, self.set).map(|s| s.circuit),
-                2 => synthesize_2q(&target, &opts.continuous, rng).map(|s| s.circuit),
-                _ => synthesize_3q(&target, &opts.continuous, rng).map(|s| s.circuit),
+                1 => synthesize_1q(target, self.set).map(|s| s.circuit),
+                2 => synthesize_2q(target, &opts.continuous, rng).map(|s| s.circuit),
+                _ => synthesize_3q(target, &opts.continuous, rng).map(|s| s.circuit),
             }
         } else {
             match n {
                 1 => self
                     .db_1q
                     .as_ref()
-                    .and_then(|db| db.lookup(&target))
-                    .or_else(|| synthesize_finite(&target, 1, &opts.finite, rng)),
+                    .and_then(|db| db.lookup(target))
+                    .or_else(|| synthesize_finite(target, 1, &opts.finite, rng)),
                 _ => {
                     // Cap the length at one less than the input so MCMC
                     // only returns strictly smaller circuits; wider
                     // budgets just waste time.
                     let mut fo = opts.finite.clone();
-                    fo.max_len = fo.max_len.min(sub.len().saturating_sub(1)).max(1);
-                    synthesize_finite(&target, n, &fo, rng)
+                    fo.max_len = fo.max_len.min(sub_len.saturating_sub(1)).max(1);
+                    synthesize_finite(target, n, &fo, rng)
                 }
             }
         }?;
@@ -139,18 +295,16 @@ impl Resynthesizer {
                 .copied()
                 .collect(),
         );
-        let measured = if native.is_empty() {
-            accurate_hs_distance(&target, &qmath::Mat::identity(1 << n))
+        let native_u = if native.is_empty() {
+            Mat::identity(1 << n)
         } else {
-            accurate_hs_distance(&target, &native.unitary())
+            native.unitary()
         };
+        let measured = accurate_hs_distance(target, &native_u);
         if measured > eps {
             return None;
         }
-        Some(Resynthesized {
-            circuit: native,
-            epsilon: measured,
-        })
+        Some((native, native_u, measured))
     }
 }
 
@@ -223,6 +377,80 @@ mod tests {
         let out = rs.resynthesize(&c, 1e-7, &mut rng).unwrap();
         assert_eq!(out.circuit.len(), 1);
         assert_eq!(out.circuit.t_count(), 0); // S, not T
+    }
+
+    #[test]
+    fn cached_resynthesis_hits_on_repeat_and_verifies() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::Rz(FRAC_PI_2), &[0]);
+        let rs = Resynthesizer::new(GateSet::Nam);
+        let cache = QCache::with_gate_budget(1024);
+        let mut rng = SmallRng::seed_from_u64(41);
+        let (first, o1) = rs.resynthesize_cached(&c, 1e-8, &mut rng, Some(&cache));
+        let first = first.unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (second, o2) = rs.resynthesize_cached(&c, 1e-8, &mut rng, Some(&cache));
+        let second = second.unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(second.circuit, first.circuit);
+        assert!(second.epsilon <= 1e-8);
+        assert!(qsim::circuits_equivalent(&c, &second.circuit, 1e-6));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        // A global-phase-rotated variant of the same window also hits
+        // (the fingerprint is phase-invariant and verification measures
+        // against the *new* target).
+        let mut shifted = Circuit::new(2);
+        shifted.push(Gate::Rz(FRAC_PI_2), &[0]);
+        shifted.push(Gate::Cx, &[0, 1]);
+        shifted.push(Gate::H, &[1]);
+        shifted.push(Gate::P(FRAC_PI_2), &[0]); // Rz ~ P up to global phase
+        let (found, o3) = rs.resynthesize_cached(&shifted, 1e-6, &mut rng, Some(&cache));
+        assert!(found.is_some());
+        assert_eq!(o3, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn failed_synthesis_is_negative_cached() {
+        // ε = 0 on a non-identity 2q window: synthesis must fail, and
+        // the failure must be recorded so the retry skips straight to
+        // `None` (a negative hit, no fresh instantiation).
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.37), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.91), &[1]);
+        let rs = Resynthesizer::with_opts(GateSet::Nam, ResynthOpts::fast());
+        let cache = QCache::with_gate_budget(1024);
+        let mut rng = SmallRng::seed_from_u64(51);
+        let (r1, o1) = rs.resynthesize_cached(&c, 0.0, &mut rng, Some(&cache));
+        assert!(r1.is_none());
+        assert_eq!(o1, CacheOutcome::Miss);
+        let s1 = cache.stats();
+        assert_eq!((s1.misses, s1.inserts), (1, 1));
+        let (r2, o2) = rs.resynthesize_cached(&c, 0.0, &mut rng, Some(&cache));
+        assert!(r2.is_none());
+        assert_eq!(o2, CacheOutcome::NegativeHit);
+        let s2 = cache.stats();
+        assert_eq!(s2.negative_hits, 1, "retry must be served the failure");
+        assert_eq!(s2.misses, 1, "no second instantiation");
+        // A looser ε is allowed to try again (and succeeds here).
+        let (out, outcome) = rs.resynthesize_cached(&c, 1e-6, &mut rng, Some(&cache));
+        let out = out.expect("loose eps succeeds");
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-5));
+    }
+
+    #[test]
+    fn shared_resynthesizer_is_one_instance_per_set() {
+        let a = shared_resynthesizer(GateSet::Nam, ResynthProfile::Fast);
+        let b = shared_resynthesizer(GateSet::Nam, ResynthProfile::Fast);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_resynthesizer(GateSet::Ionq, ResynthProfile::Fast);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.gate_set(), GateSet::Ionq);
     }
 
     #[test]

@@ -374,6 +374,40 @@ pub fn random_clifford_t(n: usize, gates: usize, seed: u64) -> Circuit {
     c
 }
 
+/// A resynthesis-heavy stress workload: dense combs of mergeable
+/// rotations interleaved with CX echo pairs, confined to adjacent 2–3
+/// qubit neighbourhoods so that nearly every random ≤3-qubit region a
+/// GUOQ probe grows is numerically compressible — while the structural
+/// rewrite corpus sees little to cancel (the rotation angles are
+/// generic). This is the workload where the slow path dominates
+/// wall-clock, i.e. where the `qcache` memo table has maximal leverage;
+/// the `qcache` bench sweeps it with repeated and fresh job mixes.
+pub fn rotation_comb(n: usize, len: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "rotation_comb needs ≥ 2 qubits");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    while c.len() + 8 <= len {
+        let a = rng.random_range(0..n - 1) as Qubit;
+        let b = a + 1;
+        // Three consecutive Rz on one wire: collapses to one gate under
+        // 1q resynthesis (or fusion), angle sums are generic.
+        for _ in 0..3 {
+            c.push(Gate::Rz(rng.random::<f64>() * 1.4 + 0.05), &[a]);
+        }
+        // A CX echo around a rotation: a 2q window a numerical
+        // synthesizer shrinks, but no single shipped rule matches.
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::Rz(rng.random::<f64>() * 1.4 + 0.05), &[b]);
+        c.push(Gate::Cx, &[a, b]);
+        c.push(Gate::Rz(rng.random::<f64>() * 1.4 + 0.05), &[b]);
+        c.push(Gate::H, &[a]);
+    }
+    while c.len() < len {
+        c.push(Gate::Rz(0.3), &[(c.len() % n) as Qubit]);
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +435,18 @@ mod tests {
             let got = u[(k, 1)];
             assert!(got.approx_eq(expect, 1e-9), "k={k}: {got} vs {expect}");
         }
+    }
+
+    #[test]
+    fn rotation_comb_is_sized_and_deterministic() {
+        let c = rotation_comb(6, 240, 11);
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.len(), 240);
+        assert_eq!(c, rotation_comb(6, 240, 11));
+        assert_ne!(c, rotation_comb(6, 240, 12));
+        // Heavy in mergeable rotations: the resynthesis stressor.
+        let rz = c.iter().filter(|i| matches!(i.gate, Gate::Rz(_))).count();
+        assert!(rz * 2 > c.len(), "{rz} Rz of {}", c.len());
     }
 
     #[test]

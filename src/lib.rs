@@ -12,6 +12,8 @@
 //!   patch-producing variants of every pass for the incremental engine
 //! * [`qsynth`] — unitary synthesis (continuous and finite gate sets)
 //! * [`qfold`] — phase-polynomial rotation folding (PyZX stand-in)
+//! * [`qcache`] — shared per-gate-set setup registry and the
+//!   memoized-resynthesis cache (fingerprint + verified memo table)
 //! * [`guoq`] — the GUOQ optimizer and all baseline optimizers
 //! * [`workloads`] — benchmark circuit generators
 //!
@@ -42,6 +44,7 @@
 //!   semantics with exact cost accounting.
 
 pub use guoq;
+pub use qcache;
 pub use qcir;
 pub use qfold;
 pub use qmath;

@@ -1,0 +1,173 @@
+//! Differential properties of the resynthesis memo cache: a cached
+//! search is semantically indistinguishable from an uncached one
+//! (unitary-equivalent, never worse on the final cost), a warm cache
+//! replays a resubmitted job bit-for-bit (the RNG-decoupling design),
+//! and a poisoned entry can never reach the optimizer (verify-on-hit).
+
+use guoq::cost::{CostFn, GateCount};
+use guoq::{Budget, Guoq, GuoqOpts, QCache};
+use proptest::prelude::*;
+use qcir::{Circuit, Gate, GateSet};
+use qsim::circuits_equivalent;
+use std::sync::Arc;
+
+/// Strategy: a compressible random circuit over the Nam gate set —
+/// rotation runs and CX pairs on 2 qubits, the shapes resynthesis eats.
+fn nam_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..2u32).prop_map(|q| (Gate::H, vec![q])),
+        (0..2u32).prop_map(|q| (Gate::X, vec![q])),
+        ((0..2u32), -3.0f64..3.0).prop_map(|(q, a)| (Gate::Rz(a), vec![q])),
+        (0..2u32).prop_map(|a| (Gate::Cx, vec![a, 1 - a])),
+    ];
+    proptest::collection::vec(gate, 2..max_len).prop_map(|gates| {
+        let mut c = Circuit::new(2);
+        for (g, qs) in gates {
+            c.push(g, &qs);
+        }
+        c
+    })
+}
+
+fn opts(iters: u64, cache: Option<Arc<QCache>>) -> GuoqOpts {
+    GuoqOpts {
+        budget: Budget::Iterations(iters),
+        eps_total: 1e-6,
+        seed: 0x5EED,
+        resynth_probability: 0.2,
+        cache,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cache-enabled `optimize()` is unitary-equivalent to its input
+    /// and never finishes with a worse cost than the cache-disabled run
+    /// on the same seed (both converge to the same floor on these small
+    /// circuits; the cached trajectory may differ — a within-run hit
+    /// replays an earlier synthesis instead of re-rolling — but it can
+    /// only substitute equally ε-bounded candidates).
+    #[test]
+    fn cached_equals_uncached_semantics_and_cost(c in nam_circuit(10)) {
+        let uncached = Guoq::for_gate_set(GateSet::Nam, opts(250, None))
+            .optimize(&c, &GateCount);
+        let cache = Arc::new(QCache::with_gate_budget(4096));
+        let cached = Guoq::for_gate_set(GateSet::Nam, opts(250, Some(cache)))
+            .optimize(&c, &GateCount);
+
+        prop_assert!(circuits_equivalent(&c, &cached.circuit, 1e-4));
+        prop_assert!(circuits_equivalent(&c, &uncached.circuit, 1e-4));
+        prop_assert!(cached.cost <= GateCount.cost(&c));
+        prop_assert!(
+            cached.cost <= uncached.cost,
+            "cached run finished worse: {} vs {} on {:?}",
+            cached.cost, uncached.cost, c
+        );
+        // Hits + misses counts cache *consults* (including known
+        // failures and failed fresh fallbacks); every replacement came
+        // from a consult.
+        prop_assert!(cached.cache_hits + cached.cache_misses >= cached.resynth_hits);
+        prop_assert_eq!((uncached.cache_hits, uncached.cache_misses), (0, 0));
+    }
+
+    /// Resubmitting the identical job against the now-warm cache
+    /// replays the identical trajectory — bit-for-bit the same result —
+    /// while the slow path is served from memory. (This is the
+    /// RNG-decoupling guarantee: hit and miss consume the same single
+    /// draw of the search RNG.)
+    #[test]
+    fn warm_cache_replays_bit_for_bit(c in nam_circuit(10)) {
+        let cache = Arc::new(QCache::with_gate_budget(8192));
+        let first = Guoq::for_gate_set(GateSet::Nam, opts(250, Some(cache.clone())))
+            .optimize(&c, &GateCount);
+        let second = Guoq::for_gate_set(GateSet::Nam, opts(250, Some(cache)))
+            .optimize(&c, &GateCount);
+        prop_assert_eq!(&second.circuit, &first.circuit);
+        prop_assert_eq!(second.cost, first.cost);
+        prop_assert_eq!(second.epsilon, first.epsilon);
+        prop_assert_eq!(second.accepted, first.accepted);
+        prop_assert_eq!(second.resynth_hits, first.resynth_hits);
+        // Everything the first run attempted — successes (positive
+        // entries) and failures (negative entries) alike — is served
+        // from memory on the replay: every consult hits, none misses.
+        prop_assert_eq!(second.cache_hits, first.cache_hits + first.cache_misses);
+        prop_assert_eq!(second.cache_misses, 0);
+    }
+}
+
+/// A poisoned (colliding) cache entry is rejected by the verify-on-hit
+/// matrix check at the synthesis layer: the caller gets the honest
+/// fresh result, the counter records the rejection, and the slot is
+/// repaired in place.
+#[test]
+fn poisoned_entry_never_reaches_the_optimizer() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    // The window the optimizer will ask about…
+    let mut sub = Circuit::new(2);
+    sub.push(Gate::Rz(0.4), &[0]);
+    sub.push(Gate::Cx, &[0, 1]);
+    sub.push(Gate::Rz(0.4), &[0]);
+    sub.push(Gate::Cx, &[0, 1]);
+    // …and a self-consistent but wrong entry planted under its key
+    // (what a fingerprint collision would leave behind).
+    let mut wrong = Circuit::new(2);
+    wrong.push(Gate::X, &[0]);
+    wrong.push(Gate::X, &[1]);
+
+    let cache = QCache::with_gate_budget(1024);
+    let fp = qcache::fingerprint(&sub.unitary(), GateSet::Nam);
+    cache.insert(fp, &wrong, wrong.unitary());
+
+    let rs = qsynth::shared_resynthesizer(GateSet::Nam, qsynth::ResynthProfile::Fast);
+    let mut rng = SmallRng::seed_from_u64(71);
+    let (out, outcome) = rs.resynthesize_cached(&sub, 1e-6, &mut rng, Some(&cache));
+    let out = out.expect("synthesis succeeds");
+    // The poison was rejected, a fresh replacement synthesized…
+    assert_eq!(outcome, qsynth::CacheOutcome::Miss);
+    assert_eq!(cache.stats().verify_rejects, 1);
+    assert!(circuits_equivalent(&sub, &out.circuit, 1e-4));
+    assert!(!circuits_equivalent(&wrong, &out.circuit, 1e-1));
+    // …and the repaired slot now serves the honest entry.
+    let (again, outcome) = rs.resynthesize_cached(&sub, 1e-6, &mut rng, Some(&cache));
+    assert_eq!(outcome, qsynth::CacheOutcome::Hit);
+    assert_eq!(again.expect("lookup succeeds").circuit, out.circuit);
+}
+
+/// End-to-end: an optimizer pointed at a cache seeded with *many*
+/// poisoned entries still returns a unitary-equivalent result — the
+/// verification fence holds under live search traffic, not just on a
+/// single planted key.
+#[test]
+fn optimizer_survives_a_poisoned_cache() {
+    let mut c = Circuit::new(3);
+    for k in 0..4u32 {
+        let q = (k % 2) as qcir::Qubit;
+        c.push(Gate::Rz(0.3 + 0.2 * f64::from(k)), &[q]);
+        c.push(Gate::Cx, &[q, q + 1]);
+        c.push(Gate::Rz(0.5), &[q + 1]);
+        c.push(Gate::Cx, &[q, q + 1]);
+    }
+
+    let cache = Arc::new(QCache::with_gate_budget(4096));
+    // Plant collisions under the fingerprints of every 1q/2q rotation
+    // unitary the search is likely to form from this circuit's angles.
+    let mut wrong = Circuit::new(1);
+    wrong.push(Gate::X, &[0]);
+    let wrong_u = wrong.unitary();
+    for k in 0..64 {
+        let mut probe = Circuit::new(1);
+        probe.push(Gate::Rz(0.05 * k as f64), &[0]);
+        let fp = qcache::fingerprint(&probe.unitary(), GateSet::Nam);
+        cache.insert(fp, &wrong, wrong_u.clone());
+    }
+
+    let r =
+        Guoq::for_gate_set(GateSet::Nam, opts(300, Some(cache.clone()))).optimize(&c, &GateCount);
+    assert!(circuits_equivalent(&c, &r.circuit, 1e-4));
+    assert!(r.cost <= GateCount.cost(&c));
+    assert!(r.epsilon <= 1e-6);
+}
