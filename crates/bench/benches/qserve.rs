@@ -7,6 +7,13 @@
 //! and report end-to-end jobs/sec plus the snapshot frames streamed.
 //! The summary goes to `BENCH_qserve.json` in the repository root.
 //!
+//! A second section measures the **wire cost of the improvement
+//! stream**: mean bytes per improvement for a protocol-v2 session
+//! (DELTA frames + periodic checkpoints) against what the same
+//! improvements cost as v1 full-QASM SNAPSHOT frames, per circuit
+//! size — the `delta_rows` of `BENCH_qserve.json` track the snapshot
+//! wire savings alongside jobs/sec.
+//!
 //! Run with: `cargo bench --bench qserve`
 //! CI smoke: `QSERVE_BENCH_JOBS=4 QSERVE_BENCH_ITERS=300 cargo bench --bench qserve`
 
@@ -95,6 +102,114 @@ fn run(workers: usize, mix: &'static str, jobs: usize, iters_per_job: u64) -> Ro
     }
 }
 
+struct DeltaRow {
+    gates: usize,
+    improvements: u64,
+    /// Mean bytes per improvement as v2 actually ships it (DELTA
+    /// frames, plus the periodic full-snapshot checkpoints — honest
+    /// accounting, checkpoints included).
+    mean_v2_bytes: f64,
+    /// Mean bytes the same improvements would cost as v1 full-QASM
+    /// SNAPSHOT frames.
+    mean_full_bytes: f64,
+    savings_x: f64,
+}
+
+/// One serial v2 job at the given circuit size; reconstructs the
+/// stream client-side to price each improvement in both protocols.
+fn run_delta_row(gates: usize, iters: u64) -> DeltaRow {
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        max_time_ms: 3_600_000,
+        cache_gates: 0,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(64 * 1024);
+    handle.handle_frame(Frame::Hello { version: 2 }, &tx);
+    let circuit = tiled_workload(gates);
+    handle.handle_frame(
+        Frame::Submit(JobRequest {
+            id: 1,
+            engine: EngineSel::Serial,
+            iters,
+            time_ms: 0,
+            seed: 0xD00D,
+            eps: 1e-8,
+            objective: Objective::GateCount,
+            qasm: qasm::to_qasm_line(&circuit),
+        }),
+        &tx,
+    );
+    let mut current: Option<qcir::Circuit> = None;
+    let mut improvements = 0u64;
+    let mut v2_bytes = 0u64;
+    let mut full_bytes = 0u64;
+    let mut snapshots_seen = 0u64;
+    loop {
+        let frame = rx
+            .recv_timeout(Duration::from_secs(600))
+            .expect("delta bench timed out");
+        match &frame {
+            Frame::Snapshot { qasm, .. } => {
+                snapshots_seen += 1;
+                current = Some(qasm::from_qasm(qasm).expect("snapshot qasm"));
+                if snapshots_seen > 1 {
+                    // A checkpoint improvement: v2 paid the full frame.
+                    improvements += 1;
+                    let len = frame.encode().len() as u64;
+                    v2_bytes += len;
+                    full_bytes += len;
+                }
+            }
+            Frame::Delta {
+                id,
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                delta,
+                ..
+            } => {
+                improvements += 1;
+                v2_bytes += frame.encode().len() as u64;
+                let d = qcir::CircuitDelta::decode(delta).expect("decodable");
+                let cur = current.as_mut().expect("delta before checkpoint");
+                d.apply(cur).expect("delta chains");
+                // Price the same improvement as a v1 full snapshot.
+                full_bytes += Frame::Snapshot {
+                    id: *id,
+                    cost: *cost,
+                    epsilon: *epsilon,
+                    iterations: *iterations,
+                    seconds: *seconds,
+                    qasm: qasm::to_qasm_line(cur),
+                }
+                .encode()
+                .len() as u64;
+            }
+            Frame::Done(_) => break,
+            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            _ => {}
+        }
+    }
+    server.shutdown();
+    let n = improvements.max(1) as f64;
+    let mean_v2 = v2_bytes as f64 / n;
+    let mean_full = full_bytes as f64 / n;
+    DeltaRow {
+        gates,
+        improvements,
+        mean_v2_bytes: mean_v2,
+        mean_full_bytes: mean_full,
+        savings_x: if mean_v2 > 0.0 {
+            mean_full / mean_v2
+        } else {
+            0.0
+        },
+    }
+}
+
 fn main() {
     let jobs: usize = std::env::var("QSERVE_BENCH_JOBS")
         .ok()
@@ -121,6 +236,18 @@ fn main() {
         }
     }
 
+    // Wire-cost section: bytes per improvement, delta stream vs full
+    // QASM snapshots, per circuit size.
+    let mut delta_rows = Vec::new();
+    for gates in [1_000usize, 10_000] {
+        let row = run_delta_row(gates, iters.max(1_000));
+        println!(
+            "qserve delta {:>6} gates: {:>4} improvements, {:>9.1} B/improvement (v2) vs {:>11.1} B (full) = {:.1}x smaller",
+            row.gates, row.improvements, row.mean_v2_bytes, row.mean_full_bytes, row.savings_x
+        );
+        delta_rows.push(row);
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"qserve\",\n");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     json.push_str("  \"rows\": [\n");
@@ -131,6 +258,15 @@ fn main() {
             r.workers, r.mix, r.jobs, r.iters_per_job, r.seconds, r.jobs_per_sec,
             r.snapshots, r.total_iterations,
             if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"delta_rows\": [\n");
+    for (i, r) in delta_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"gates\": {}, \"improvements\": {}, \"mean_v2_bytes\": {:.1}, \"mean_full_qasm_bytes\": {:.1}, \"savings_x\": {:.2}}}{}",
+            r.gates, r.improvements, r.mean_v2_bytes, r.mean_full_bytes, r.savings_x,
+            if i + 1 == delta_rows.len() { "" } else { "," }
         );
     }
     json.push_str("  ]\n}\n");

@@ -228,6 +228,55 @@ impl Gate {
         }
     }
 
+    /// Reconstructs a gate from its [`name`](Self::name) mnemonic and
+    /// parameter list — the inverse of `(name(), params())`, used by
+    /// serialized-circuit codecs (see [`crate::delta`]). Accepts the
+    /// canonical mnemonics plus the OpenQASM aliases `u1`/`cu1`/`u`.
+    /// Returns `None` for unknown names or a wrong parameter count.
+    pub fn from_name(name: &str, params: &[f64]) -> Option<Gate> {
+        use Gate::*;
+        let fixed = |g: Gate| if params.is_empty() { Some(g) } else { None };
+        let one = |f: fn(f64) -> Gate| match params {
+            [a] => Some(f(*a)),
+            _ => None,
+        };
+        match name {
+            "x" => fixed(X),
+            "y" => fixed(Y),
+            "z" => fixed(Z),
+            "h" => fixed(H),
+            "s" => fixed(S),
+            "sdg" => fixed(Sdg),
+            "t" => fixed(T),
+            "tdg" => fixed(Tdg),
+            "sx" => fixed(Sx),
+            "sxdg" => fixed(Sxdg),
+            "rx" => one(Rx),
+            "ry" => one(Ry),
+            "rz" => one(Rz),
+            "p" | "u1" => one(P),
+            "u2" => match params {
+                [a, b] => Some(U2(*a, *b)),
+                _ => None,
+            },
+            "u3" | "u" => match params {
+                [a, b, c] => Some(U3(*a, *b, *c)),
+                _ => None,
+            },
+            "cx" => fixed(Cx),
+            "cz" => fixed(Cz),
+            "cp" | "cu1" => one(Cp),
+            "crz" => one(Crz),
+            "swap" => fixed(Swap),
+            "rxx" => one(Rxx),
+            "ryy" => one(Ryy),
+            "rzz" => one(Rzz),
+            "ccx" => fixed(Ccx),
+            "ccz" => fixed(Ccz),
+            _ => None,
+        }
+    }
+
     /// True when the gate is the identity up to global phase within `tol`
     /// (e.g. `Rz(0)`, `P(2π)`, `U3(0,λ,−λ)`).
     pub fn is_identity(self, tol: f64) -> bool {

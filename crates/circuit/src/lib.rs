@@ -8,6 +8,9 @@
 //! * [`edit::Patch`]: local edits with in-place
 //!   [`Circuit::apply_patch`]/[`Circuit::revert_patch`] — the substrate
 //!   of the incremental optimizer loop
+//! * [`delta::CircuitDelta`]: a stable, versioned serialized form of
+//!   edit scripts (apply / compose / diff + a compact line codec) — the
+//!   wire and journal currency of the event-sourced optimization API
 //! * [`dag::WireDag`]: per-wire DAG links for pattern matching, with
 //!   incremental [`dag::WireDag::splice`] maintenance under patches
 //! * [`region::Region`]: convex subcircuits — extraction and sound
@@ -36,6 +39,7 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod delta;
 pub mod edit;
 pub mod gate;
 pub mod gateset;
@@ -45,6 +49,7 @@ pub mod region;
 pub mod shard;
 
 pub use circuit::{Circuit, GateCounts, Instruction, Qubit};
+pub use delta::{CircuitDelta, DeltaError};
 pub use edit::{Patch, PatchUndo};
 pub use gate::{Gate, GateKind};
 pub use gateset::GateSet;

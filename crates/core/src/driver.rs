@@ -19,13 +19,23 @@
 
 use crate::cost::CostFn;
 use crate::guoq::{Budget, GuoqOpts, GuoqResult, HistoryPoint};
-use crate::observe::{BestSnapshot, CancelToken};
+use crate::observe::{CancelToken, EventSink, OptEvent};
 use crate::transform::{Applied, PatchApplied, ResynthPass, SearchCtx, Transformation};
+use qcir::delta::CircuitDelta;
+use qcir::edit::Patch;
 use qcir::Circuit;
 use qrewrite::MatchScratch;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::time::Instant;
+
+/// Upper bound on the accepted-op backlog kept between two strict
+/// improvements. Plateau accepts are the common case, so a long
+/// non-improving stretch would otherwise grow the backlog without
+/// bound; past the cap the driver falls back to a before/after
+/// [`CircuitDelta::diff`] for the next `Improved` event (O(circuit)
+/// once per improvement, instead of O(backlog) memory forever).
+const PENDING_OPS_CAP: usize = 4096;
 
 /// Lines 10–12 of Algorithm 1: accept every cost-non-increasing move,
 /// and a worsening one with probability `exp(−t·cost′/cost)`. The single
@@ -78,9 +88,17 @@ pub struct ShardDriver<'c> {
     /// Cooperative cancellation, checked between iterations in
     /// [`run`](Self::run) (taken from [`GuoqOpts::cancel`]).
     cancel: Option<CancelToken>,
-    /// Strict-improvement observer: invoked each time the best-so-far
-    /// cost strictly decreases (the serving layer's streaming hook).
-    on_best: Option<&'c mut dyn FnMut(&BestSnapshot<'_>)>,
+    /// Event sink: receives an [`OptEvent::Improved`] each time the
+    /// best-so-far cost strictly decreases (the event-sourced API's
+    /// streaming hook), alongside the new best circuit.
+    on_event: Option<&'c mut EventSink<'c>>,
+    /// Accepted edits since the last strict improvement — the raw
+    /// material of the next `Improved` delta (only maintained while an
+    /// event sink is installed).
+    pending: Vec<Patch>,
+    /// True once `pending` overflowed [`PENDING_OPS_CAP`]; the next
+    /// improvement diffs before/after circuits instead.
+    pending_overflow: bool,
 }
 
 impl<'c> ShardDriver<'c> {
@@ -131,7 +149,9 @@ impl<'c> ShardDriver<'c> {
             use_patches: true,
             started,
             cancel: opts.cancel.clone(),
-            on_best: None,
+            on_event: None,
+            pending: Vec::new(),
+            pending_overflow: false,
         }
     }
 
@@ -150,9 +170,11 @@ impl<'c> ShardDriver<'c> {
         self
     }
 
-    /// Installs a strict-improvement observer (see [`crate::observe`]).
-    pub fn with_observer(mut self, on_best: Option<&'c mut dyn FnMut(&BestSnapshot<'_>)>) -> Self {
-        self.on_best = on_best;
+    /// Installs an event sink (see [`crate::observe`]): the driver
+    /// emits an [`OptEvent::Improved`] — with its delta from the
+    /// previous best — on every strict best-cost improvement.
+    pub fn with_event_sink(mut self, on_event: Option<&'c mut EventSink<'c>>) -> Self {
+        self.on_event = on_event;
         self
     }
 
@@ -290,31 +312,67 @@ impl<'c> ShardDriver<'c> {
         if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
             return;
         }
+        // The accepted patch *is* the event-stream op — clone it only
+        // when a sink will consume the delta.
+        let op = self.on_event.is_some().then(|| pa.patch.clone());
         self.ctx.commit(&pa.patch);
-        self.record_accept(cost_new, pa.epsilon);
+        self.record_accept(cost_new, pa.epsilon, op);
     }
 
     /// Acceptance for a fully materialized candidate (patch-less
     /// transformations, the clone–rebuild baseline, and async
     /// resynthesis results): replaces the working circuit wholesale.
+    /// There is no local op to record for the event stream — a
+    /// whole-circuit replacement per accept would make the next delta
+    /// O(accepts × circuit) — so the op trail is abandoned and the
+    /// next `Improved` packages a single before/after diff instead
+    /// (one op, never larger than a full snapshot).
     fn consider_full(&mut self, applied: Applied, rng: &mut SmallRng) {
         let cost_new = self.cost.cost(&applied.circuit);
         if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
             return;
         }
+        if self.on_event.is_some() {
+            self.pending.clear();
+            self.pending_overflow = true;
+        }
         self.ctx.replace_circuit(applied.circuit);
-        self.record_accept(cost_new, applied.epsilon);
+        self.record_accept(cost_new, applied.epsilon, None);
     }
 
-    fn record_accept(&mut self, cost_new: f64, epsilon: f64) {
+    fn record_accept(&mut self, cost_new: f64, epsilon: f64, op: Option<Patch>) {
         self.accepted += 1;
         self.cost_curr = cost_new;
         self.err_curr += epsilon;
+        if let Some(op) = op {
+            if self.pending.len() >= PENDING_OPS_CAP {
+                // Cap the backlog: forget the op trail and diff
+                // before/after at the next improvement instead.
+                self.pending.clear();
+                self.pending_overflow = true;
+            } else {
+                self.pending.push(op);
+            }
+        }
         if self.cost_curr < self.cost_best {
+            // The delta is built against the *previous* best — exactly
+            // the accepted ops since that improvement (the working
+            // circuit and the best coincide at every improvement, so
+            // the op chain replays previous best → new best).
+            let delta = self.on_event.is_some().then(|| {
+                if self.pending_overflow {
+                    self.pending_overflow = false;
+                    // Ops accepted after the overflow are inside the
+                    // diffed span; drop them with the rest.
+                    self.pending.clear();
+                    CircuitDelta::diff(&self.best, self.ctx.circuit())
+                } else {
+                    CircuitDelta::from_ops(self.best.len(), std::mem::take(&mut self.pending))
+                }
+            });
             // O(circuit) snapshot, but only on *strict* improvements —
             // bounded by the total cost descent, not the accept rate
-            // (plateau accepts, the common case, never clone). A patch
-            // journal could remove even this; see ROADMAP.
+            // (plateau accepts, the common case, never clone).
             self.best = self.ctx.circuit().clone();
             self.cost_best = self.cost_curr;
             self.err_best = self.err_curr;
@@ -326,14 +384,17 @@ impl<'c> ShardDriver<'c> {
                     best_two_qubit: self.best.two_qubit_count(),
                 });
             }
-            if let Some(obs) = self.on_best.as_mut() {
-                obs(&BestSnapshot {
-                    circuit: &self.best,
-                    cost: self.cost_best,
-                    epsilon: self.err_best,
-                    iterations: self.iterations,
-                    seconds: self.started.elapsed().as_secs_f64(),
-                });
+            if let Some(obs) = self.on_event.as_mut() {
+                obs(
+                    &OptEvent::Improved {
+                        delta: delta.expect("delta built whenever a sink is installed"),
+                        cost: self.cost_best,
+                        epsilon: self.err_best,
+                        iterations: self.iterations,
+                        seconds: self.started.elapsed().as_secs_f64(),
+                    },
+                    &self.best,
+                );
             }
         }
     }

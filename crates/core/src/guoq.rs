@@ -56,10 +56,11 @@
 
 use crate::cost::CostFn;
 use crate::driver::ShardDriver;
-use crate::observe::{BestSnapshot, CancelToken};
+use crate::observe::{BestSnapshot, CancelToken, EventSink, OptEvent, OptRun};
 use crate::transform::{
     Applied, CleanupPass, CommutationPass, FusionPass, ResynthPass, RulePass, Transformation,
 };
+use crossbeam_channel::bounded;
 use qcache::QCache;
 use qcir::{Circuit, GateSet};
 use qsynth::{shared_resynthesizer, ResynthProfile};
@@ -319,25 +320,109 @@ impl Guoq {
         (&self.fast, &self.slow)
     }
 
-    /// Runs Algorithm 1 on `circuit` under `cost`.
+    /// Runs Algorithm 1 on `circuit` under `cost`, discarding the event
+    /// stream. A thin shim over the event-sourced API (see
+    /// [`Self::optimize_events`]); kept as the blocking convenience
+    /// entry point.
     pub fn optimize(&self, circuit: &Circuit, cost: &dyn CostFn) -> GuoqResult {
         self.dispatch(circuit, cost, None)
     }
 
-    /// [`Self::optimize`] with a strict-improvement observer: `on_best`
-    /// is invoked with a [`crate::observe::BestSnapshot`] every time the
-    /// best-so-far cost strictly decreases (the serial engines fire it
-    /// from the driver's best update, the sharded engine from the
-    /// coordinator's commit observer). The final result is identical to
-    /// [`Self::optimize`] under the same options — observation never
-    /// perturbs the search trajectory.
+    /// The event-sourced run (see [`crate::observe`]): `on_event` is
+    /// invoked synchronously on the search (or coordinator) thread with
+    /// every [`OptEvent`] — `Started`, one `Improved` (with its
+    /// [`qcir::delta::CircuitDelta`] from the previous best) per strict
+    /// improvement from all four engines, `EpochCommitted` heartbeats
+    /// from the sharded engine, `CacheStats`, and `Finished`. The
+    /// second argument is the best-so-far circuit at the event, for
+    /// sinks that serve full snapshots without replaying deltas.
+    ///
+    /// The returned result is identical to [`Self::optimize`] under the
+    /// same options — observation never perturbs the search trajectory.
+    pub fn optimize_events(
+        &self,
+        circuit: &Circuit,
+        cost: &dyn CostFn,
+        on_event: &mut dyn FnMut(&OptEvent, &Circuit),
+    ) -> GuoqResult {
+        on_event(
+            &OptEvent::Started {
+                cost: cost.cost(circuit),
+                gates: circuit.len(),
+            },
+            circuit,
+        );
+        let result = self.dispatch(circuit, cost, Some(on_event));
+        on_event(
+            &OptEvent::CacheStats {
+                hits: result.cache_hits,
+                misses: result.cache_misses,
+            },
+            &result.circuit,
+        );
+        on_event(&OptEvent::Finished(result.clone()), &result.circuit);
+        result
+    }
+
+    /// Spawns the search on a worker thread and returns an [`OptRun`]
+    /// handle yielding owned [`OptEvent`]s — the event-sourced API for
+    /// consumers that want to pull the stream instead of installing a
+    /// sink. Delivery is lossless and consumer-paced (bounded channel);
+    /// build the `Guoq` with [`GuoqOpts::cancel`] to make the handle's
+    /// [`OptRun::cancel`] effective.
+    pub fn run(self: &Arc<Self>, circuit: &Circuit, cost: impl CostFn + 'static) -> OptRun {
+        /// Sized for bursty improvement streams; a consumer further
+        /// behind than this backpressures the search thread.
+        const EVENT_CHANNEL_CAP: usize = 1024;
+        let (tx, rx) = bounded::<OptEvent>(EVENT_CHANNEL_CAP);
+        let cancel = self.opts.cancel.clone();
+        let guoq = Arc::clone(self);
+        let circuit = circuit.clone();
+        let handle = std::thread::spawn(move || {
+            let mut receiver_gone = false;
+            guoq.optimize_events(&circuit, &cost, &mut |ev, _best| {
+                if !receiver_gone && tx.send(ev.clone()).is_err() {
+                    // Handle dropped: discard further events, finish the
+                    // search (promptly if its token was raised).
+                    receiver_gone = true;
+                }
+            });
+        });
+        OptRun::new(rx, cancel, handle)
+    }
+
+    /// **Legacy shim** over the event stream: `on_best` is invoked with
+    /// a borrowed [`crate::observe::BestSnapshot`] for every
+    /// [`OptEvent::Improved`]. Kept so pre-event-stream callers keep
+    /// compiling; new consumers should use [`Self::optimize_events`] or
+    /// [`Self::run`] and take the typed events (deltas included). The
+    /// final result is identical to [`Self::optimize`] under the same
+    /// options — observation never perturbs the search trajectory.
     pub fn optimize_observed(
         &self,
         circuit: &Circuit,
         cost: &dyn CostFn,
         on_best: &mut dyn FnMut(&BestSnapshot<'_>),
     ) -> GuoqResult {
-        self.dispatch(circuit, cost, Some(on_best))
+        let mut adapter = |ev: &OptEvent, best: &Circuit| {
+            if let OptEvent::Improved {
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                ..
+            } = *ev
+            {
+                on_best(&BestSnapshot {
+                    circuit: best,
+                    cost,
+                    epsilon,
+                    iterations,
+                    seconds,
+                });
+            }
+        };
+        self.dispatch(circuit, cost, Some(&mut adapter))
     }
 
     /// Sum of the slow passes' (cache hit, cache miss) counters.
@@ -352,7 +437,7 @@ impl Guoq {
         &'a self,
         circuit: &Circuit,
         cost: &'a dyn CostFn,
-        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
+        obs: Option<&'a mut EventSink<'a>>,
     ) -> GuoqResult {
         // The pass counters are cumulative over the Guoq instance (and
         // shared with async worker clones); report this run's delta.
@@ -381,12 +466,12 @@ impl Guoq {
         circuit: &Circuit,
         cost: &'a dyn CostFn,
         use_patches: bool,
-        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
+        obs: Option<&'a mut EventSink<'a>>,
     ) -> GuoqResult {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, Instant::now())
             .with_use_patches(use_patches)
-            .with_observer(obs);
+            .with_event_sink(obs);
         driver.run(&self.fast, &self.slow, &mut rng, self.opts.budget, None);
         driver.finish()
     }
@@ -403,9 +488,9 @@ impl Guoq {
         circuit: &Circuit,
         cost: &'a dyn CostFn,
         use_patches: bool,
-        obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
+        obs: Option<&'a mut EventSink<'a>>,
     ) -> GuoqResult {
-        use crossbeam_channel::{bounded, TryRecvError};
+        use crossbeam_channel::TryRecvError;
 
         type Req = (u64, Circuit, qcir::Region, u64);
         type Resp = (u64, Option<Applied>);
@@ -414,7 +499,7 @@ impl Guoq {
         let started = Instant::now();
         let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, started)
             .with_use_patches(use_patches)
-            .with_observer(obs);
+            .with_event_sink(obs);
 
         let (req_tx, req_rx) = bounded::<Req>(1);
         let (resp_tx, resp_rx) = bounded::<Resp>(1);
@@ -583,6 +668,156 @@ mod tests {
         let g = Guoq::for_gate_set(GateSet::Nam, opts(50));
         let r = g.optimize(&c, &GateCount);
         assert!(r.circuit.is_empty());
+    }
+
+    /// Replays every `Improved` delta onto `input`, asserting stream
+    /// shape (Started first, strictly decreasing costs, CacheStats then
+    /// Finished last) and returning the reconstructed final best.
+    fn replay_events(input: &Circuit, events: &[OptEvent]) -> (Circuit, f64) {
+        assert!(
+            matches!(events.first(), Some(OptEvent::Started { .. })),
+            "stream must open with Started"
+        );
+        assert!(
+            matches!(events.last(), Some(OptEvent::Finished(_))),
+            "stream must close with Finished"
+        );
+        let mut current = input.clone();
+        let mut last_cost = f64::INFINITY;
+        for ev in events {
+            if let OptEvent::Improved { delta, cost, .. } = ev {
+                assert!(*cost < last_cost, "non-monotone Improved stream");
+                last_cost = *cost;
+                // The wire round-trip is part of the contract.
+                let decoded = qcir::delta::CircuitDelta::decode(&delta.encode()).unwrap();
+                decoded
+                    .apply(&mut current)
+                    .expect("delta applies to prior best");
+            }
+        }
+        (current, last_cost)
+    }
+
+    fn assert_event_stream_replays(engine: Engine, iters: u64) {
+        let c = redundant_circuit();
+        let mut o = opts(iters);
+        o.engine = engine;
+        o.shard_slice_iterations = 128;
+        let direct = Guoq::rewrite_only(GateSet::Nam, o.clone()).optimize(&c, &GateCount);
+        let mut events = Vec::new();
+        let observed =
+            Guoq::rewrite_only(GateSet::Nam, o)
+                .optimize_events(&c, &GateCount, &mut |ev, _| events.push(ev.clone()));
+        assert_eq!(
+            observed.circuit, direct.circuit,
+            "events perturbed the search"
+        );
+        assert_eq!(observed.cost, direct.cost);
+        let (replayed, last_cost) = replay_events(&c, &events);
+        assert_eq!(
+            replayed, observed.circuit,
+            "replaying deltas must reconstruct the final best bit for bit"
+        );
+        assert_eq!(last_cost, observed.cost);
+        match events.last() {
+            Some(OptEvent::Finished(r)) => {
+                assert_eq!(r.circuit, observed.circuit);
+                assert_eq!(r.iterations, observed.iterations);
+            }
+            other => panic!("unexpected terminal event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_stream_replays_incremental_engine() {
+        assert_event_stream_replays(Engine::Incremental, 400);
+    }
+
+    #[test]
+    fn event_stream_replays_clone_rebuild_engine() {
+        assert_event_stream_replays(Engine::CloneRebuild, 400);
+    }
+
+    #[test]
+    fn event_stream_replays_sharded_engine_with_epoch_heartbeats() {
+        let mut c = Circuit::new(4);
+        for i in 0..40u32 {
+            let a = (i % 3) as qcir::Qubit;
+            c.push(Gate::Cx, &[a, a + 1]);
+            c.push(Gate::Cx, &[a, a + 1]);
+        }
+        let o = GuoqOpts {
+            budget: Budget::Iterations(4000),
+            engine: Engine::Sharded { workers: 2 },
+            shard_slice_iterations: 128,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut events = Vec::new();
+        let r =
+            Guoq::rewrite_only(GateSet::Nam, o)
+                .optimize_events(&c, &GateCount, &mut |ev, _| events.push(ev.clone()));
+        let (replayed, _) = replay_events(&c, &events);
+        assert_eq!(replayed, r.circuit);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, OptEvent::EpochCommitted { .. })),
+            "sharded runs must heartbeat their commits"
+        );
+    }
+
+    #[test]
+    fn event_stream_replays_async_resynth_engine() {
+        let c = redundant_circuit();
+        let mut o = opts(400);
+        o.async_resynth = true;
+        o.resynth_probability = 0.3;
+        let mut events = Vec::new();
+        let r = Guoq::for_gate_set(GateSet::Nam, o).optimize_events(
+            &c,
+            &TwoQubitCount,
+            &mut |ev, _| events.push(ev.clone()),
+        );
+        let (replayed, _) = replay_events(&c, &events);
+        assert_eq!(
+            replayed, r.circuit,
+            "async full-circuit accepts must replay"
+        );
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-4));
+    }
+
+    #[test]
+    fn opt_run_handle_streams_and_waits() {
+        let c = redundant_circuit();
+        let g = std::sync::Arc::new(Guoq::rewrite_only(GateSet::Nam, opts(400)));
+        let direct = g.optimize(&c, &GateCount);
+        let events: Vec<OptEvent> = g.run(&c, GateCount).collect();
+        let (replayed, _) = replay_events(&c, &events);
+        assert_eq!(replayed, direct.circuit);
+        // wait() returns the final result.
+        let result = g.run(&c, GateCount).wait().expect("search completes");
+        assert_eq!(result.circuit, direct.circuit);
+        assert_eq!(result.cost, direct.cost);
+    }
+
+    #[test]
+    fn opt_run_cancel_is_effective_with_a_token() {
+        let c = redundant_circuit();
+        let token = crate::CancelToken::new();
+        let mut o = opts(u64::MAX);
+        o.cancel = Some(token);
+        let g = std::sync::Arc::new(Guoq::rewrite_only(GateSet::Nam, o));
+        let mut run = g.run(&c, GateCount);
+        assert!(run.cancel(), "token-backed run must accept cancel");
+        let mut saw_finished = false;
+        while let Some(ev) = run.next_event() {
+            if let OptEvent::Finished(r) = ev {
+                saw_finished = true;
+                assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
+            }
+        }
+        assert!(saw_finished);
     }
 
     #[test]

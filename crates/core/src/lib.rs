@@ -11,9 +11,12 @@
 //!   Metropolis/budget state, shared by every engine
 //! * [`guoq`]: Algorithm 1 with exact ε-budget accounting (Thm. 4.2/5.3)
 //!   and the §5.3 async-resynthesis driver
-//! * [`observe`]: streaming best-so-far snapshots
-//!   ([`Guoq::optimize_observed`]) and cooperative cancellation
-//!   ([`CancelToken`]) — the hooks the `qserve` service layer builds on
+//! * [`observe`]: the event-sourced optimization stream — typed
+//!   [`OptEvent`]s with [`qcir::delta::CircuitDelta`] payloads, the
+//!   [`OptRun`] handle ([`Guoq::run`]), the synchronous sink
+//!   ([`Guoq::optimize_events`]), cooperative cancellation
+//!   ([`CancelToken`]), and the legacy [`BestSnapshot`] shim — the
+//!   hooks the `qserve` service layer builds on
 //! * [`sharded`]: the region-partitioned parallel engine
 //!   ([`Engine::Sharded`]) over the `qpar` worker pool
 //! * [`baselines`]: re-implemented archetypes of the comparison tools
@@ -46,7 +49,7 @@ pub use cost::CostFn;
 pub use driver::ShardDriver;
 pub use fidelity::CalibrationModel;
 pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
-pub use observe::{BestSnapshot, CancelToken};
+pub use observe::{BestSnapshot, CancelToken, OptEvent, OptRun};
 pub use qcache::{CacheStats, QCache, QCacheOpts};
 pub use qpar::WorkerStats;
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

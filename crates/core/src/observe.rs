@@ -1,37 +1,127 @@
-//! Search observation: streaming best-so-far snapshots.
+//! Search observation: the event-sourced optimization stream.
 //!
-//! GUOQ is an anytime algorithm — at any instant the search holds a
-//! valid best-so-far circuit. A serving layer (see the `qserve` crate)
-//! wants to *stream* that circuit to a client while the search keeps
-//! running, rather than wait for the budget to expire. The hook is a
-//! strict-improvement observer: a callback invoked with a
-//! [`BestSnapshot`] every time the tracked best cost strictly
-//! decreases.
+//! GUOQ is an anytime algorithm — its natural output is not one final
+//! circuit but a *stream of strict improvements*. Since the incremental
+//! engine landed, every improvement is already a patch internally; this
+//! module makes that stream the API. A run emits typed [`OptEvent`]s:
 //!
-//! * The serial engines ([`Engine::Incremental`](crate::Engine),
-//!   [`Engine::CloneRebuild`](crate::Engine)) fire it from the
-//!   [`ShardDriver`](crate::driver::ShardDriver)'s best-so-far update.
-//! * [`Engine::Sharded`](crate::Engine) fires it from the coordinator's
-//!   per-epoch commit observer ([`qpar::CommitInfo`]) whenever a
-//!   committed master improves on the best committed cost.
+//! * [`OptEvent::Started`] — once, at the input circuit's cost.
+//! * [`OptEvent::Improved`] — on every strict best-cost improvement,
+//!   carrying a [`qcir::delta::CircuitDelta`] from the *previous* best
+//!   to the new one (O(edits), not O(circuit)): the serial engines
+//!   package the accepted patches since the last improvement, the
+//!   sharded engine diffs consecutive committed masters.
+//! * [`OptEvent::EpochCommitted`] — the sharded engine's per-epoch
+//!   commit heartbeat (serial engines never emit it).
+//! * [`OptEvent::CacheStats`] — the run's final resynthesis memo-cache
+//!   traffic, just before the stream ends.
+//! * [`OptEvent::Finished`] — once, with the complete [`GuoqResult`].
 //!
-//! Both paths invoke the observer synchronously on the search (or
-//! coordinator) thread: an expensive observer slows the search, so a
-//! serving layer should hand the snapshot off (e.g. serialize and push
-//! into a bounded channel) rather than do I/O inline.
+//! Replaying the deltas of the `Improved` events onto the input circuit
+//! reconstructs every best-so-far — and therefore the final best — bit
+//! for bit (asserted per engine in this module's tests and end-to-end
+//! in the `qserve` differential suite).
+//!
+//! Two consumption styles:
+//!
+//! * **Synchronous sink** — [`Guoq::optimize_events`](crate::Guoq::optimize_events)
+//!   invokes a callback `FnMut(&OptEvent, &Circuit)` inline on the
+//!   search (or coordinator) thread; the second argument is the
+//!   best-so-far circuit at that event, so consumers that want full
+//!   snapshots (a v1 wire peer, the legacy
+//!   [`BestSnapshot`] shim) need not replay deltas themselves. An
+//!   expensive sink slows the search — hand events off (serialize and
+//!   push into a bounded channel) rather than doing I/O inline.
+//! * **Handle** — [`Guoq::run`](crate::Guoq::run) spawns the search on
+//!   a worker thread and returns an [`OptRun`] that yields owned
+//!   events ([`Iterator`]); the consumer paces the stream.
+//!
+//! The pre-event API survives as thin shims:
+//! [`Guoq::optimize`](crate::Guoq::optimize) ignores the stream and
+//! [`Guoq::optimize_observed`](crate::Guoq::optimize_observed) adapts
+//! `Improved` events back into borrowed [`BestSnapshot`]s. Both are
+//! kept for compatibility; new consumers should take the stream.
 //!
 //! Strict improvements are bounded by the total cost descent — not the
-//! accept rate — so observer traffic is small even for long runs, and
-//! the snapshot sequence any observer sees is monotonically strictly
-//! decreasing in cost (the differential tests in `crates/qserve` assert
-//! exactly this end to end).
+//! accept rate — so event traffic is small even for long runs, and the
+//! `Improved` cost sequence any sink sees is strictly decreasing.
 
+use crate::guoq::GuoqResult;
+use crossbeam_channel::Receiver;
+use qcir::delta::CircuitDelta;
 use qcir::Circuit;
+use std::thread::JoinHandle;
 
 pub use qpar::CancelToken;
 
-/// One strict-improvement notification: a borrowed view of the new
-/// best-so-far circuit and the search counters at that instant.
+/// One typed event of an optimization run. See the [module docs](self)
+/// for the stream grammar and delivery contract.
+#[derive(Debug, Clone)]
+pub enum OptEvent {
+    /// The run began: the input circuit is the first best-so-far.
+    Started {
+        /// Cost of the input circuit under the search objective.
+        cost: f64,
+        /// Instruction count of the input circuit.
+        gates: usize,
+    },
+    /// The best-so-far cost strictly decreased.
+    Improved {
+        /// Edit script from the previous best-so-far circuit (the
+        /// input circuit for the first improvement) to the new one.
+        delta: CircuitDelta,
+        /// The new best cost.
+        cost: f64,
+        /// Accumulated approximation error of the new best (≤ `ε_f`).
+        epsilon: f64,
+        /// Iterations performed when the improvement landed.
+        iterations: u64,
+        /// Seconds since the search started.
+        seconds: f64,
+    },
+    /// The sharded engine committed an epoch (fires once per commit,
+    /// improving or not — the parallel engine's progress heartbeat).
+    EpochCommitted {
+        /// Epoch just committed (1-based).
+        epoch: u64,
+        /// Cost of the committed master (not necessarily a best).
+        cost: f64,
+        /// Total iterations so far.
+        iterations: u64,
+        /// Seconds since the search started.
+        seconds: f64,
+    },
+    /// The run's resynthesis memo-cache traffic (fires once, before
+    /// [`OptEvent::Finished`]; both counters are 0 without
+    /// [`crate::GuoqOpts::cache`]).
+    CacheStats {
+        /// Resynthesis calls served from the cache.
+        hits: u64,
+        /// Resynthesis calls that consulted the cache and missed.
+        misses: u64,
+    },
+    /// The run ended; the final result in full.
+    Finished(GuoqResult),
+}
+
+impl OptEvent {
+    /// The event's best-so-far cost, when it carries one.
+    pub fn cost(&self) -> Option<f64> {
+        match self {
+            OptEvent::Started { cost, .. }
+            | OptEvent::Improved { cost, .. }
+            | OptEvent::EpochCommitted { cost, .. } => Some(*cost),
+            OptEvent::Finished(r) => Some(r.cost),
+            OptEvent::CacheStats { .. } => None,
+        }
+    }
+}
+
+/// One strict-improvement notification of the **legacy** observer API:
+/// a borrowed view of the new best-so-far circuit and the search
+/// counters at that instant. Kept so pre-event-stream callers
+/// ([`crate::Guoq::optimize_observed`]) keep compiling; it is now an
+/// adapter over [`OptEvent::Improved`].
 #[derive(Debug, Clone, Copy)]
 pub struct BestSnapshot<'a> {
     /// The new best circuit (borrowed — clone or serialize to keep it).
@@ -46,8 +136,97 @@ pub struct BestSnapshot<'a> {
     pub seconds: f64,
 }
 
-// The observer is passed around as a plain `&mut dyn
-// FnMut(&BestSnapshot<'_>)` (no named alias): with the trait object's
-// default lifetime bound, the borrow and the captured state share one
-// lifetime, which keeps `&mut`-invariance from infecting every
-// signature it threads through.
+/// The synchronous event sink's trait-object type: invoked with each
+/// [`OptEvent`] and the best-so-far circuit at that event (the input
+/// circuit for `Started`, the final best for `CacheStats`/`Finished`).
+/// Passed around as `&mut EventSink<'_>` — the borrow and the captured
+/// state share one lifetime, which keeps `&mut`-invariance from
+/// infecting every signature it threads through.
+pub type EventSink<'a> = dyn FnMut(&OptEvent, &Circuit) + 'a;
+
+/// A running optimization: the handle returned by
+/// [`Guoq::run`](crate::Guoq::run). Yields owned [`OptEvent`]s
+/// ([`Iterator`]); the stream ends (yields `None`) after
+/// [`OptEvent::Finished`].
+///
+/// Delivery is consumer-paced over a bounded channel: a handle that is
+/// read slowly backpressures the search thread at the channel bound
+/// (lossless, unlike a serving layer's lossy fan-out). Dropping the
+/// handle without draining detaches the search — it keeps running to
+/// its budget on the worker thread with further events discarded; raise
+/// [`cancel`](Self::cancel) first for a prompt stop.
+pub struct OptRun {
+    events: Receiver<OptEvent>,
+    cancel: Option<CancelToken>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OptRun {
+    pub(crate) fn new(
+        events: Receiver<OptEvent>,
+        cancel: Option<CancelToken>,
+        handle: JoinHandle<()>,
+    ) -> Self {
+        OptRun {
+            events,
+            cancel,
+            handle: Some(handle),
+        }
+    }
+
+    /// Requests cooperative cancellation. Returns `false` (and does
+    /// nothing) when the underlying [`crate::GuoqOpts::cancel`] is
+    /// unset — build the `Guoq` with a [`CancelToken`] to make its
+    /// runs cancellable.
+    pub fn cancel(&self) -> bool {
+        match &self.cancel {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Blocks until the next event, or `None` once the stream ended.
+    pub fn next_event(&mut self) -> Option<OptEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Drains the stream to completion and returns the final result
+    /// (`None` only if the search thread panicked).
+    pub fn wait(mut self) -> Option<GuoqResult> {
+        let mut result = None;
+        while let Ok(ev) = self.events.recv() {
+            if let OptEvent::Finished(r) = ev {
+                result = Some(r);
+            }
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        result
+    }
+}
+
+impl Iterator for OptRun {
+    type Item = OptEvent;
+
+    fn next(&mut self) -> Option<OptEvent> {
+        self.next_event()
+    }
+}
+
+impl Drop for OptRun {
+    fn drop(&mut self) {
+        // Detach, never block: an undrained handle must not stall its
+        // dropper for the rest of the search budget. The worker thread
+        // discards events once the receiver is gone and exits at the
+        // budget (or promptly, if `cancel` was raised).
+        if let Some(h) = self.handle.take() {
+            if h.is_finished() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -25,7 +25,8 @@
 use crate::cost::CostFn;
 use crate::driver::ShardDriver;
 use crate::guoq::{Budget, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
-use crate::observe::BestSnapshot;
+use crate::observe::{EventSink, OptEvent};
+use qcir::delta::CircuitDelta;
 use qcir::Circuit;
 use qpar::{ParallelOpts, ShardOptimizer, ShardOutcome, ShardTask};
 use qrewrite::MatchScratch;
@@ -138,7 +139,7 @@ impl Guoq {
         circuit: &Circuit,
         cost: &'a dyn CostFn,
         workers: usize,
-        mut obs: Option<&'a mut dyn FnMut(&BestSnapshot<'_>)>,
+        mut obs: Option<&'a mut EventSink<'a>>,
     ) -> GuoqResult {
         let opts = self.opts();
         let started = Instant::now();
@@ -181,27 +182,50 @@ impl Guoq {
             |_worker| ShardWorker::new(self, cost, started),
             |commit| {
                 let commit_cost = cost.cost(commit.circuit);
+                let seconds = started.elapsed().as_secs_f64();
                 if commit_cost < cost_best {
+                    // The commit reassembles the master from shard
+                    // results, so there is no patch trail to package;
+                    // the event delta is the before/after diff against
+                    // the previous best (per-epoch edits are localized,
+                    // so the diff stays far below a full snapshot).
+                    let delta = obs
+                        .as_ref()
+                        .map(|_| CircuitDelta::diff(&best, commit.circuit));
                     best = commit.circuit.clone();
                     cost_best = commit_cost;
                     err_best = commit.epsilon;
                     if opts.record_history {
                         history.push(HistoryPoint {
-                            seconds: started.elapsed().as_secs_f64(),
+                            seconds,
                             iteration: commit.iterations,
                             best_cost: cost_best,
                             best_two_qubit: commit.circuit.two_qubit_count(),
                         });
                     }
                     if let Some(obs) = obs.as_mut() {
-                        obs(&BestSnapshot {
-                            circuit: commit.circuit,
-                            cost: cost_best,
-                            epsilon: err_best,
-                            iterations: commit.iterations,
-                            seconds: started.elapsed().as_secs_f64(),
-                        });
+                        obs(
+                            &OptEvent::Improved {
+                                delta: delta.expect("delta built whenever a sink is installed"),
+                                cost: cost_best,
+                                epsilon: err_best,
+                                iterations: commit.iterations,
+                                seconds,
+                            },
+                            &best,
+                        );
                     }
+                }
+                if let Some(obs) = obs.as_mut() {
+                    obs(
+                        &OptEvent::EpochCommitted {
+                            epoch: commit.epoch,
+                            cost: commit_cost,
+                            iterations: commit.iterations,
+                            seconds,
+                        },
+                        &best,
+                    );
                 }
             },
         );

@@ -129,7 +129,17 @@ enum Stored {
     /// attempt failed): skipping a known-failing instantiation saves
     /// the same numerical work as a positive hit, and "no replacement"
     /// is always a sound answer (the optimizer just makes no move).
-    Negative { eps: f64, max_len: usize },
+    ///
+    /// `epoch` stamps the synthesis-budget *profile* the failure was
+    /// observed under (see [`QCache::note_budget_profile`]): a failure
+    /// recorded under a small profile (few restarts/iterations) stops
+    /// being served once the profile grows — stale-epoch entries read
+    /// as misses, so the caller retries with its stronger budget.
+    Negative {
+        eps: f64,
+        max_len: usize,
+        epoch: u64,
+    },
 }
 
 struct Entry {
@@ -172,6 +182,14 @@ pub struct QCache {
     verify_rejects: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    /// Current negative-entry epoch: entries stamped with an older
+    /// epoch are stale (recorded under a different synthesis-budget
+    /// profile) and read as misses.
+    negative_epoch: AtomicU64,
+    /// Fingerprint of the last budget profile observed by
+    /// [`note_budget_profile`](Self::note_budget_profile) (0 = none
+    /// yet).
+    profile_stamp: AtomicU64,
 }
 
 impl QCache {
@@ -187,7 +205,36 @@ impl QCache {
             verify_rejects: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            negative_epoch: AtomicU64::new(0),
+            profile_stamp: AtomicU64::new(0),
         }
+    }
+
+    /// Declares the synthesis-budget profile (an opaque fingerprint of
+    /// whatever knobs bound synthesis power — restarts, iterations,
+    /// replacement-length caps) behind the caller's lookups. A *change*
+    /// of profile bumps the negative-entry epoch
+    /// ([`bump_negative_epoch`](Self::bump_negative_epoch)): "fails at
+    /// (ε, budget)" was observed under the old profile, and a grown
+    /// profile deserves a retry. The first observation sets the stamp
+    /// without invalidating anything; alternating profiles over one
+    /// shared cache degrade gracefully (negatives keep expiring —
+    /// sound, just less negative-cache leverage). Positive entries are
+    /// untouched: a verified replacement is correct under any budget
+    /// within the caller's length cap.
+    pub fn note_budget_profile(&self, fingerprint: u64) {
+        let prev = self.profile_stamp.swap(fingerprint, Ordering::Relaxed);
+        if prev != 0 && prev != fingerprint {
+            self.bump_negative_epoch();
+        }
+    }
+
+    /// Expires every resident *negative* entry: subsequent lookups
+    /// treat them as misses until a fresh failure is recorded under
+    /// the new epoch. (The entries stay resident until LRU eviction or
+    /// a re-failure overwrites them; staleness is checked at lookup.)
+    pub fn bump_negative_epoch(&self) {
+        self.negative_epoch.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Creates a cache with the default stripe count and the given gate
@@ -224,8 +271,15 @@ impl QCache {
             Stored::Negative {
                 eps: failed_at,
                 max_len: failed_len,
+                epoch,
             } => {
-                if eps <= *failed_at && max_len <= *failed_len {
+                if *epoch != self.negative_epoch.load(Ordering::Relaxed) {
+                    // Stale: recorded under a previous budget profile.
+                    // The grown (or otherwise changed) budget deserves
+                    // a fresh attempt.
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    Lookup::Miss
+                } else if eps <= *failed_at && max_len <= *failed_len {
                     stripe.clock += 1;
                     entry.stamp = stripe.clock;
                     self.negative_hits.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +356,7 @@ impl QCache {
     /// positive entry; repeated failures keep the loosest failing
     /// (ε, budget) pair.
     pub fn insert_failure(&self, fp: Fingerprint, eps: f64, max_len: usize) {
+        let epoch = self.negative_epoch.load(Ordering::Relaxed);
         let mut stripe = self.stripe(&fp).lock().expect("qcache stripe poisoned");
         let (eps, max_len) = match stripe.map.get(&fp) {
             Some(Entry {
@@ -313,9 +368,10 @@ impl QCache {
                     Stored::Negative {
                         eps: prior_eps,
                         max_len: prior_len,
+                        epoch: prior_epoch,
                     },
                 ..
-            }) => {
+            }) if *prior_epoch == epoch => {
                 // Only replace when the new observation dominates the
                 // stored one — a componentwise max would fabricate an
                 // (ε, budget) failure that was never observed.
@@ -325,9 +381,20 @@ impl QCache {
                     return;
                 }
             }
-            None => (eps, max_len),
+            // A stale-epoch marker carries no information about the
+            // current profile: the fresh observation replaces it.
+            Some(_) | None => (eps, max_len),
         };
-        self.store_locked(&mut stripe, fp, Stored::Negative { eps, max_len }, 1);
+        self.store_locked(
+            &mut stripe,
+            fp,
+            Stored::Negative {
+                eps,
+                max_len,
+                epoch,
+            },
+            1,
+        );
     }
 
     fn store(&self, fp: Fingerprint, stored: Stored, weight: usize) {
@@ -571,6 +638,46 @@ mod tests {
         // …and a subsequent failure report cannot displace it.
         cache.insert_failure(fp, 1.0, usize::MAX);
         assert!(cache.lookup(&fp, &u, 1e-9, usize::MAX).hit().is_some());
+    }
+
+    #[test]
+    fn negative_entries_expire_when_the_budget_profile_changes() {
+        let cache = QCache::new(QCacheOpts::default());
+        let (c, u) = rz_circuit(0.9);
+        let fp = fingerprint(&u, GateSet::Nam);
+        // First profile observation: stamps without invalidating.
+        cache.note_budget_profile(11);
+        cache.insert_failure(fp, 1e-6, 8);
+        assert!(cache.lookup(&fp, &u, 1e-6, 8).is_known_failure());
+        // Re-declaring the same profile changes nothing.
+        cache.note_budget_profile(11);
+        assert!(cache.lookup(&fp, &u, 1e-6, 8).is_known_failure());
+        // A grown budget profile expires the failure: the caller
+        // retries instead of being served a stale "fails".
+        cache.note_budget_profile(42);
+        assert!(matches!(cache.lookup(&fp, &u, 1e-6, 8), Lookup::Miss));
+        // A re-failure under the new profile is cached (replacing the
+        // stale-epoch marker outright, no dominance check) and served
+        // again.
+        cache.insert_failure(fp, 1e-6, 8);
+        assert!(cache.lookup(&fp, &u, 1e-6, 8).is_known_failure());
+        // Positive entries never expire with the profile.
+        cache.note_budget_profile(77);
+        cache.insert(fp, &c, u.clone());
+        assert!(cache.lookup(&fp, &u, 1e-9, usize::MAX).hit().is_some());
+        cache.note_budget_profile(78);
+        assert!(cache.lookup(&fp, &u, 1e-9, usize::MAX).hit().is_some());
+    }
+
+    #[test]
+    fn explicit_epoch_bump_expires_negatives() {
+        let cache = QCache::new(QCacheOpts::default());
+        let (_, u) = rz_circuit(0.2);
+        let fp = fingerprint(&u, GateSet::Nam);
+        cache.insert_failure(fp, 1e-6, 8);
+        assert!(cache.lookup(&fp, &u, 1e-6, 8).is_known_failure());
+        cache.bump_negative_epoch();
+        assert!(matches!(cache.lookup(&fp, &u, 1e-6, 8), Lookup::Miss));
     }
 
     #[test]

@@ -5,10 +5,18 @@
 //! accepts OpenQASM jobs over a line-delimited protocol
 //! ([`protocol`]), multiplexes N concurrent jobs onto a bounded worker
 //! budget ([`server`]), runs each through the serial or sharded engine,
-//! and **streams best-so-far snapshots** to the client on every strict
-//! cost improvement — wired through
-//! [`guoq::Guoq::optimize_observed`] (serial engines) and the `qpar`
-//! coordinator's per-epoch commit observer (sharded engine).
+//! and **streams best-so-far improvements** to the client on every
+//! strict cost improvement — wired through the event-sourced
+//! [`guoq::Guoq::optimize_events`] stream, whose
+//! [`guoq::OptEvent::Improved`] events carry
+//! [`qcir::delta::CircuitDelta`] edit scripts from all engines.
+//! Protocol **v2** peers (`HELLO` negotiation) receive those deltas on
+//! the wire (O(edits) per improvement instead of O(circuit)) with
+//! periodic full-snapshot checkpoints; v1 peers keep getting full-QASM
+//! `SNAPSHOT` frames, byte-compatible with earlier releases. With
+//! `--journal-dir` every job also appends its lossless event stream to
+//! a per-job [`journal`], and `RESUME` rebuilds a crashed job's best
+//! and restarts the search with the remaining budget.
 //!
 //! Transports ([`transport`]): stdin/stdout for batch use and a TCP
 //! listener for shared deployments. Both are thin byte-stream pumps
@@ -31,10 +39,13 @@
 
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use protocol::{EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective};
+pub use protocol::{
+    EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective, PROTOCOL_VERSION,
+};
 pub use server::{ServeOpts, Server, ServerHandle};
 pub use transport::{pump_stream, serve_stdio, serve_tcp};

@@ -11,6 +11,10 @@
 //!                      (default 65536; 0 disables the cache)
 //!   --resynth-prob P   per-iteration resynthesis probability
 //!                      (default: the paper's 0.015)
+//!   --journal-dir DIR  append-only per-job journals (enables RESUME)
+//!   --checkpoint-every N
+//!                      full-snapshot cadence of v2 streams & journals
+//!                      (default 16 improvements)
 //! ```
 //!
 //! Diagnostics go to stderr; stdout carries only protocol frames.
@@ -72,6 +76,14 @@ fn main() -> ExitCode {
                     .map(|p| opts.resynth_probability = Some(p))
                     .ok_or_else(|| "bad --resynth-prob value".to_string())
             }),
+            "--journal-dir" => value("--journal-dir").map(|v| opts.journal_dir = Some(v.into())),
+            "--checkpoint-every" => value("--checkpoint-every").and_then(|v| {
+                v.parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .map(|n| opts.checkpoint_every = n)
+                    .ok_or_else(|| "bad --checkpoint-every value".to_string())
+            }),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = parsed {
@@ -81,8 +93,16 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}, cache {} gates",
-        opts.worker_budget, opts.max_queued, opts.max_time_ms, opts.gate_set, opts.cache_gates
+        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}, cache {} gates, journal {}",
+        opts.worker_budget,
+        opts.max_queued,
+        opts.max_time_ms,
+        opts.gate_set,
+        opts.cache_gates,
+        opts.journal_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".into()),
     );
     let server = Server::start(opts);
     let result = match tcp_addr {

@@ -12,16 +12,20 @@
 //! Client → server:
 //!
 //! ```text
+//! HELLO version=2
 //! SUBMIT id=7 engine=sharded:2 iters=4000 time_ms=0 seed=11 eps=1e-8 objective=gates qasm=OPENQASM 2.0; ...
 //! CANCEL id=7
+//! RESUME id=7
 //! SHUTDOWN
 //! ```
 //!
 //! Server → client:
 //!
 //! ```text
+//! HELLO version=2
 //! ACCEPTED id=7
 //! SNAPSHOT id=7 cost=118 eps=0 iters=0 seconds=0 qasm=OPENQASM 2.0; ...
+//! DELTA id=7 seq=3 cost=104 eps=0 iters=311 seconds=0.2 delta=CD1 b=118 n=104 -4,9@4+ ...
 //! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=3 cache_hits=2 cache_misses=1 cancelled=0 qasm=OPENQASM 2.0; ...
 //! ERROR id=7 msg=unknown gate `foo`
 //! ```
@@ -30,21 +34,55 @@
 //! server's shared resynthesis memo cache; they parse as 0 when absent,
 //! so frames from pre-cache servers remain readable.)
 //!
-//! Semantics: one `ACCEPTED` per admitted job, then a `SNAPSHOT` stream
-//! — the first carries the input circuit (best-so-far = input, at cost
-//! of the input), every subsequent one a *strict* cost improvement —
-//! and one terminal `DONE` (also sent for cancelled jobs, with
-//! `cancelled=1` and the best circuit found before cancellation; the
-//! anytime contract). Snapshot delivery is lossy under backpressure: a
-//! client that reads slower than the search improves may miss
-//! intermediate snapshots (the ones it gets are still strictly
-//! improving, and `DONE` always carries the final best); a client that
-//! stops reading entirely may also forfeit its `DONE` after a grace
-//! period. Job ids are scoped per connection. Rejected submissions get
-//! a single `ERROR` and no `DONE`. One shutdown edge case: a job
-//! admitted while the server begins draining can see `ACCEPTED`
-//! followed by `ERROR` (and no `DONE`) — clients should treat an
-//! `ERROR` carrying their job id as terminal in every state.
+//! # Version negotiation (protocol v2)
+//!
+//! A client that opens with `HELLO version=N` negotiates
+//! `min(N, 2)` (the server echoes the negotiated version back); a
+//! session without a `HELLO` runs protocol **v1**, whose frames are
+//! byte-identical to the pre-v2 releases (pinned by the golden
+//! transcript in `tests/compat_v1.rs`). A v1 server answers `HELLO`
+//! with an `ERROR` — clients should fall back to v1 on that.
+//!
+//! The difference is the improvement stream. **v1** peers get one full
+//! `SNAPSHOT` per strict improvement — O(circuit) per frame. **v2**
+//! peers get one `DELTA` frame per improvement — a
+//! [`qcir::delta::CircuitDelta`] edit script from the *previous served
+//! state* to the new best, O(edits) — punctuated by periodic full
+//! `SNAPSHOT` checkpoints (the server's `--checkpoint-every` cadence),
+//! so a stream is re-entrant from any checkpoint. `seq` numbers the
+//! **delivered** `DELTA` frames of a job contiguously from 1
+//! (checkpoints never consume a number): when backpressure drops any
+//! frame, the server stops sending deltas — the chain is broken — and
+//! resumes only after a full `SNAPSHOT` resynchronizes the client, so
+//! a live session never observes a `seq` gap; a gap in a *recorded*
+//! stream (a torn capture, a damaged journal) tells the reader to
+//! discard state until the next `SNAPSHOT`. Applying each delta to the
+//! previously reconstructed circuit reproduces the served best **bit
+//! for bit** (the v2 differential suite asserts exactly this).
+//!
+//! `RESUME id=N` (v2, journaled servers only — `--journal-dir`) asks
+//! the server to rebuild job `N`'s best-so-far from its append-only
+//! journal and restart the search from there with the remaining
+//! budget: the reply is a normal `ACCEPTED` + stream + `DONE` whose
+//! final cost is never worse than the journaled best. Resuming an
+//! already-finished job just replays its terminal `DONE`.
+//!
+//! Semantics: one `ACCEPTED` per admitted job, then the improvement
+//! stream — the first `SNAPSHOT` carries the input circuit
+//! (best-so-far = input, at cost of the input), every subsequent
+//! `SNAPSHOT`/`DELTA` a *strict* cost improvement — and one terminal
+//! `DONE` (also sent for cancelled jobs, with `cancelled=1` and the
+//! best circuit found before cancellation; the anytime contract).
+//! Delivery is lossy under backpressure: a client that reads slower
+//! than the search improves may miss intermediate improvements (the
+//! ones it gets are still strictly improving, v2 resynchronizes via
+//! checkpoints as above, and `DONE` always carries the final best); a
+//! client that stops reading entirely may also forfeit its `DONE`
+//! after a grace period. Job ids are scoped per connection. Rejected
+//! submissions get a single `ERROR` and no `DONE`. One shutdown edge
+//! case: a job admitted while the server begins draining can see
+//! `ACCEPTED` followed by `ERROR` (and no `DONE`) — clients should
+//! treat an `ERROR` carrying their job id as terminal in every state.
 //!
 //! The codec is split into [`Frame::encode`] / [`Frame::parse`] plus an
 //! incremental [`FrameDecoder`] that accepts arbitrary byte chunks — a
@@ -60,6 +98,10 @@ use std::fmt;
 /// this without a `\n` poisons the decoder (every subsequent push
 /// returns an error) rather than growing the buffer without bound.
 pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Highest protocol version this build speaks. `HELLO` negotiates
+/// `min(client, PROTOCOL_VERSION)`; sessions without a `HELLO` run v1.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Which iteration engine a job asks for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,11 +179,26 @@ pub struct JobSummary {
 /// One protocol frame (either direction).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
+    /// Version negotiation: the client proposes, the server echoes the
+    /// negotiated `min(proposed, `[`PROTOCOL_VERSION`]`)`. Absent a
+    /// `HELLO`, the session runs protocol v1.
+    Hello {
+        /// Proposed (client→server) or negotiated (server→client)
+        /// protocol version.
+        version: u32,
+    },
     /// Client: submit a job.
     Submit(JobRequest),
     /// Client: cancel a queued or running job.
     Cancel {
         /// Job id to cancel.
+        id: u64,
+    },
+    /// Client (v2, journaled servers): rebuild job `id` from its
+    /// journal and restart the search from the journaled best with the
+    /// remaining budget.
+    Resume {
+        /// Journaled job id to resume.
         id: u64,
     },
     /// Client: drain and stop (stdio transport; over TCP, closing the
@@ -166,6 +223,27 @@ pub enum Frame {
         seconds: f64,
         /// The circuit, as single-line QASM.
         qasm: String,
+    },
+    /// Server (v2): a best-so-far improvement as an edit script against
+    /// the previously served state (see the module docs for the
+    /// checkpoint/resync contract).
+    Delta {
+        /// Job id.
+        id: u64,
+        /// 1-based improvement number within the job; a gap signals
+        /// dropped frames (discard state until the next `SNAPSHOT`).
+        seq: u64,
+        /// Cost of the new best-so-far circuit.
+        cost: f64,
+        /// Accumulated ε of this circuit.
+        epsilon: f64,
+        /// Iterations when the improvement landed.
+        iterations: u64,
+        /// Seconds since the job started.
+        seconds: f64,
+        /// The encoded [`qcir::delta::CircuitDelta`] (free-form tail
+        /// field; apply to the previously reconstructed circuit).
+        delta: String,
     },
     /// Server: terminal job result.
     Done(JobSummary),
@@ -267,7 +345,9 @@ impl Frame {
                 r.objective.encode(),
                 sanitize(&r.qasm),
             ),
+            Frame::Hello { version } => format!("HELLO version={version}\n"),
             Frame::Cancel { id } => format!("CANCEL id={id}\n"),
+            Frame::Resume { id } => format!("RESUME id={id}\n"),
             Frame::Shutdown => "SHUTDOWN\n".to_string(),
             Frame::Accepted { id } => format!("ACCEPTED id={id}\n"),
             Frame::Snapshot {
@@ -280,6 +360,18 @@ impl Frame {
             } => format!(
                 "SNAPSHOT id={id} cost={cost} eps={epsilon} iters={iterations} seconds={seconds} qasm={}\n",
                 sanitize(qasm),
+            ),
+            Frame::Delta {
+                id,
+                seq,
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                delta,
+            } => format!(
+                "DELTA id={id} seq={seq} cost={cost} eps={epsilon} iters={iterations} seconds={seconds} delta={}\n",
+                sanitize(delta),
             ),
             Frame::Done(s) => format!(
                 "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cache_hits={} cache_misses={} cancelled={} qasm={}\n",
@@ -319,7 +411,11 @@ impl Frame {
                 objective: Objective::parse(kv.str("objective")?)?,
                 qasm: kv.str("qasm")?.to_string(),
             })),
+            "HELLO" => Ok(Frame::Hello {
+                version: kv.u64("version")? as u32,
+            }),
             "CANCEL" => Ok(Frame::Cancel { id: kv.u64("id")? }),
+            "RESUME" => Ok(Frame::Resume { id: kv.u64("id")? }),
             "SHUTDOWN" => Ok(Frame::Shutdown),
             "ACCEPTED" => Ok(Frame::Accepted { id: kv.u64("id")? }),
             "SNAPSHOT" => Ok(Frame::Snapshot {
@@ -329,6 +425,15 @@ impl Frame {
                 iterations: kv.u64("iters")?,
                 seconds: kv.f64("seconds")?,
                 qasm: kv.str("qasm")?.to_string(),
+            }),
+            "DELTA" => Ok(Frame::Delta {
+                id: kv.u64("id")?,
+                seq: kv.u64("seq")?,
+                cost: kv.f64("cost")?,
+                epsilon: kv.f64("eps")?,
+                iterations: kv.u64("iters")?,
+                seconds: kv.f64("seconds")?,
+                delta: kv.str("delta")?.to_string(),
             }),
             "DONE" => Ok(Frame::Done(JobSummary {
                 id: kv.u64("id")?,
@@ -370,7 +475,7 @@ impl<'a> KvFields<'a> {
                 return Err(perr(format!("malformed field near `{key}`")));
             }
             let after = &rest[eq + 1..];
-            if key == "qasm" || key == "msg" {
+            if key == "qasm" || key == "msg" || key == "delta" {
                 // Free-form tail: everything to end of line.
                 fields.push((key, after));
                 rest = "";
@@ -495,6 +600,17 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
+            Frame::Hello { version: 2 },
+            Frame::Resume { id: 7 },
+            Frame::Delta {
+                id: 7,
+                seq: 3,
+                cost: 104.0,
+                epsilon: 1e-9,
+                iterations: 311,
+                seconds: 0.25,
+                delta: "CD1 b=118 n=104 -4,9@4+ -12@12+h:0;cx:0,1".into(),
+            },
             Frame::Submit(JobRequest {
                 id: 7,
                 engine: EngineSel::Sharded(3),

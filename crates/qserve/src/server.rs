@@ -15,15 +15,25 @@
 //! scope): independent clients neither collide on ids nor can cancel
 //! each other's jobs.
 //!
-//! Each job runs [`guoq::Guoq::optimize_observed`] on its own thread:
-//! every strict cost improvement is serialized
-//! ([`qcir::qasm::to_qasm_line`]) and pushed to the client's reply
-//! channel as a `SNAPSHOT` frame, preceded by one initial snapshot of
-//! the input (best-so-far = input) and followed by one terminal
-//! `DONE`. Snapshot delivery never blocks the search (see
+//! Each job runs [`guoq::Guoq::optimize_events`] on its own thread —
+//! the event-sourced core API. Every [`guoq::OptEvent::Improved`] is
+//! streamed to the client's reply channel: a v1 peer gets one full
+//! `SNAPSHOT` per improvement ([`qcir::qasm::to_qasm_line`]), a v2
+//! peer gets the improvement's `DELTA` (the event's
+//! [`qcir::delta::CircuitDelta`], O(edits) on the wire) punctuated by
+//! periodic full-snapshot checkpoints — preceded in both protocols by
+//! one initial snapshot of the input (best-so-far = input, the
+//! stream's base checkpoint) and followed by one terminal `DONE`.
+//! When the server journals ([`ServeOpts::journal_dir`]), the same
+//! event stream is appended losslessly to the job's journal (fsync'd
+//! at checkpoints and DONE) and the `RESUME` frame rebuilds
+//! best-so-far from it and restarts the search with the remaining
+//! budget. Improvement delivery never blocks the search (see
 //! [`send_snapshot`]): a backlogged client misses intermediate
-//! snapshots rather than parking the job thread — which would defeat
-//! cancellation, the wall cap, and the slot accounting all at once.
+//! improvements rather than parking the job thread — which would
+//! defeat cancellation, the wall cap, and the slot accounting all at
+//! once; a v2 delta chain broken by a drop escalates to a
+//! full-snapshot resync ([`ImprovementStream`]).
 //!
 //! Cancellation is cooperative through [`guoq::CancelToken`] (see
 //! `guoq::observe`): a `CANCEL` frame raises the job's token; a
@@ -38,12 +48,15 @@
 //! worker slots return to the pool, which stays fully reusable
 //! (regression-tested in `tests/cancel.rs`).
 
-use crate::protocol::{EngineSel, Frame, JobRequest, JobSummary, Objective};
+use crate::journal::{self, JobJournal};
+use crate::protocol::{EngineSel, Frame, JobRequest, JobSummary, Objective, PROTOCOL_VERSION};
 use crossbeam_channel::Sender;
 use guoq::cost::{CostFn, GateCount, TwoQubitCount};
-use guoq::{Budget, CacheStats, CancelToken, Engine, Guoq, GuoqOpts, QCache};
+use guoq::{Budget, CacheStats, CancelToken, Engine, Guoq, GuoqOpts, OptEvent, QCache};
 use qcir::{qasm, Circuit, GateSet};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,6 +89,20 @@ pub struct ServeOpts {
     /// steers the stochastic search differently than a cold one; the
     /// differential suite pins this to 0 for exactly that reason).
     pub cache_gates: usize,
+    /// Directory for append-only per-job journals (`--journal-dir`).
+    /// When set, every admitted job logs its SUBMIT and lossless v2
+    /// event stream (deltas + periodic checkpoints, fsync'd at each
+    /// checkpoint and at DONE) to `job-<id>.journal`, and the `RESUME`
+    /// frame can rebuild and restart a job after a server crash.
+    /// Journals are keyed by the client-chosen job id alone, so
+    /// journaled deployments should use globally unique ids. `None`
+    /// (the default) disables journaling and `RESUME`.
+    pub journal_dir: Option<PathBuf>,
+    /// v2 streams and journals emit a full-circuit `SNAPSHOT`
+    /// checkpoint every this-many improvements (deltas in between), so
+    /// streams are re-entrant and journals replay from bounded suffix
+    /// work. Clamped to ≥ 1.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeOpts {
@@ -90,6 +117,8 @@ impl Default for ServeOpts {
             gate_set: GateSet::Nam,
             resynth_probability: None,
             cache_gates: 65_536,
+            journal_dir: None,
+            checkpoint_every: 16,
         }
     }
 }
@@ -105,6 +134,18 @@ struct QueuedJob {
     width: usize,
     cancel: CancelToken,
     reply: Sender<Frame>,
+    /// Protocol version the submitting connection had negotiated at
+    /// admission (1 = full snapshots, 2 = delta stream + checkpoints).
+    proto: u32,
+    /// The job's open journal, when the server runs with
+    /// [`ServeOpts::journal_dir`].
+    journal: Option<JobJournal>,
+    /// Approximation error already accumulated by earlier resume
+    /// segments (0 for fresh jobs): `req.eps` is the *remaining*
+    /// allowance the search runs with, and every reported ε
+    /// (improvement frames, DONE) adds this base so clients always see
+    /// the cumulative error vs their original input.
+    eps_base: f64,
 }
 
 #[derive(Default)]
@@ -148,6 +189,10 @@ pub struct Server {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     conn: u64,
+    /// The connection's negotiated protocol version (1 until a `HELLO`
+    /// arrives; clones — a connection's reader/writer threads — share
+    /// it).
+    version: Arc<AtomicU32>,
 }
 
 impl Server {
@@ -192,6 +237,7 @@ impl Server {
                 .shared
                 .next_conn
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            version: Arc::new(AtomicU32::new(1)),
         }
     }
 
@@ -261,6 +307,13 @@ impl ServerHandle {
     /// violations and are answered with an `ERROR` frame.
     pub fn handle_frame(&self, frame: Frame, reply: &Sender<Frame>) {
         match frame {
+            Frame::Hello { version } => {
+                let negotiated = version.clamp(1, PROTOCOL_VERSION);
+                self.version.store(negotiated, Ordering::Relaxed);
+                let _ = reply.send(Frame::Hello {
+                    version: negotiated,
+                });
+            }
             Frame::Submit(req) => self.submit(req, reply),
             Frame::Cancel { id } => {
                 if !self.cancel(id) {
@@ -270,10 +323,13 @@ impl ServerHandle {
                     });
                 }
             }
+            Frame::Resume { id } => self.resume(id, reply),
             Frame::Shutdown => {} // transport-level; handled by the caller
             other => {
                 let id = match &other {
-                    Frame::Accepted { id } | Frame::Snapshot { id, .. } => *id,
+                    Frame::Accepted { id }
+                    | Frame::Snapshot { id, .. }
+                    | Frame::Delta { id, .. } => *id,
                     Frame::Done(s) => s.id,
                     _ => 0,
                 };
@@ -285,6 +341,12 @@ impl ServerHandle {
         }
     }
 
+    /// The connection's negotiated protocol version (1 before any
+    /// `HELLO`).
+    pub fn protocol_version(&self) -> u32 {
+        self.version.load(Ordering::Relaxed)
+    }
+
     /// Validates and enqueues a job; streams frames to `reply`.
     ///
     /// Two-phase admission so the frame order holds: the job id is
@@ -293,9 +355,42 @@ impl ServerHandle {
     /// enqueued first, the scheduler could start it and emit its
     /// initial `SNAPSHOT` before this thread sent `ACCEPTED`.
     pub fn submit(&self, req: JobRequest, reply: &Sender<Frame>) {
+        self.submit_inner(req, reply, None)
+    }
+
+    /// `resume_base`: `None` for a fresh submission; for a resume
+    /// segment, the ε the journaled job had already accumulated (the
+    /// continuation's `req.eps` holds only the remaining allowance).
+    fn submit_inner(&self, req: JobRequest, reply: &Sender<Frame>, resume_base: Option<f64>) {
         let id = req.id;
+        let resuming = resume_base.is_some();
         match self.try_reserve(req, reply) {
-            Ok(job) => {
+            Ok(mut job) => {
+                job.eps_base = resume_base.unwrap_or(0.0);
+                // Durability before acknowledgement: open the journal
+                // (fresh, or appended for a resume segment) before the
+                // client ever sees ACCEPTED.
+                if let Some(dir) = &self.shared.opts.journal_dir {
+                    let opened = if resuming {
+                        JobJournal::resume(dir, id, &job.req)
+                    } else {
+                        JobJournal::create(dir, id, &job.req)
+                    };
+                    match opened {
+                        Ok(j) => job.journal = Some(j),
+                        Err(e) => {
+                            let mut st = self.shared.state.lock().expect("server state poisoned");
+                            st.tokens.remove(&(self.conn, id));
+                            drop(st);
+                            self.shared.work.notify_all();
+                            let _ = reply.send(Frame::Error {
+                                id,
+                                message: format!("journal unavailable: {e}"),
+                            });
+                            return;
+                        }
+                    }
+                }
                 let _ = reply.send(Frame::Accepted { id });
                 let mut st = self.shared.state.lock().expect("server state poisoned");
                 if st.draining {
@@ -358,6 +453,18 @@ impl ServerHandle {
         if st.tokens.contains_key(&(self.conn, req.id)) {
             return Err("duplicate job id".into());
         }
+        if self.shared.opts.journal_dir.is_some() && st.tokens.keys().any(|&(_, jid)| jid == req.id)
+        {
+            // Journals are keyed by the raw job id, so on a journaled
+            // server two live jobs with one id — even from different
+            // connections — would interleave appends into one file and
+            // wreck its replay chain. (This also blocks RESUME of a
+            // still-running job: cancel it or wait for its DONE.)
+            return Err(format!(
+                "job id {} is live on this journaled server; ids must be unique while journaling",
+                req.id
+            ));
+        }
         let cancel = CancelToken::new();
         st.tokens.insert((self.conn, req.id), cancel.clone());
         Ok(QueuedJob {
@@ -367,7 +474,67 @@ impl ServerHandle {
             width,
             cancel,
             reply: reply.clone(),
+            proto: self.protocol_version(),
+            journal: None,
+            eps_base: 0.0,
         })
+    }
+
+    /// Handles a `RESUME id=` frame: rebuilds the job from its journal
+    /// and restarts the search from the journaled best with the
+    /// remaining budget (see the protocol docs). A finished job's
+    /// terminal `DONE` is simply replayed.
+    pub fn resume(&self, id: u64, reply: &Sender<Frame>) {
+        let Some(dir) = self.shared.opts.journal_dir.clone() else {
+            let _ = reply.send(Frame::Error {
+                id,
+                message: "RESUME requires a journaled server (--journal-dir)".into(),
+            });
+            return;
+        };
+        let replayed = match journal::replay(&dir, id) {
+            Ok(r) => r,
+            Err(message) => {
+                let _ = reply.send(Frame::Error { id, message });
+                return;
+            }
+        };
+        if let Some(done) = replayed.finished {
+            // Idempotent terminal replay: the job already ran to DONE.
+            let _ = reply.send(Frame::Done(done));
+            return;
+        }
+        let prior = replayed.request;
+        // The dead segment's own spending, charged against its
+        // allowance; `replayed.epsilon` stays the cumulative total the
+        // continuation's reports are based on.
+        let segment_eps = (replayed.epsilon - replayed.epsilon_at_segment_start).max(0.0);
+        let continuation = JobRequest {
+            id,
+            engine: prior.engine,
+            // Iteration-budgeted: charge the journaled watermark and
+            // keep ≥ 1 so the resumed job always reaches its DONE.
+            // Time-budgeted: restart with the requested wall budget
+            // (elapsed pre-crash time is not journaled).
+            iters: if prior.iters > 0 {
+                prior.iters.saturating_sub(replayed.iterations).max(1)
+            } else {
+                0
+            },
+            time_ms: prior.time_ms,
+            // The mid-stream RNG state is not reconstructible; derive
+            // the segment seed from (seed, watermark) so a resumed
+            // search explores fresh but deterministic trajectories.
+            seed: resume_seed(prior.seed, replayed.iterations),
+            // Only the *remaining* ε allowance: the journaled best has
+            // already spent `segment_eps` of this segment's budget, so
+            // a resumed job can never exceed the client's original
+            // total (ε = 0 remaining just means only exact moves).
+            eps: (prior.eps - segment_eps).max(0.0),
+            objective: prior.objective,
+            qasm: qasm::to_qasm_line(&replayed.best),
+        };
+        self.submit_inner(continuation, reply, Some(replayed.epsilon));
     }
 
     /// Cancels a queued or running job submitted through this handle's
@@ -523,6 +690,16 @@ fn cost_fn(objective: Objective) -> Box<dyn CostFn> {
     }
 }
 
+/// SplitMix64 over (base seed, iteration watermark): the deterministic
+/// per-resume-segment seed derivation.
+fn resume_seed(seed: u64, watermark: u64) -> u64 {
+    let mut x = seed ^ watermark.wrapping_mul(0x9E3779B97F4A7C15);
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
 /// Restores a running job's pool accounting when its thread ends —
 /// including by panic, which must never leak worker slots (a leaked
 /// slot with `worker_budget: 1` wedges the whole server). The token is
@@ -548,6 +725,141 @@ impl Drop for SlotGuard {
     }
 }
 
+/// Per-job streaming state: where the *client's* reconstruction stands
+/// (v2 delta chains break on any dropped frame, so the server tracks
+/// deliveries and escalates to a full-snapshot resync after a drop) and
+/// where the *journal's* lossless chain stands.
+struct ImprovementStream {
+    proto: u32,
+    checkpoint_every: u64,
+    /// 1-based counter of `DELTA` frames actually enqueued to the
+    /// client (the wire `seq`). Checkpoint `SNAPSHOT`s do not consume
+    /// a number and drops do not advance it, so within one job the
+    /// client's delta seqs are contiguous — a gap means the client's
+    /// own record (not the live stream) lost frames.
+    client_seq: u64,
+    /// Improvements since the last full snapshot the client received.
+    client_since_checkpoint: u64,
+    /// A frame was dropped under backpressure: stop sending deltas (the
+    /// client cannot chain them) until a full snapshot gets through.
+    needs_resync: bool,
+    /// The journal's own delta numbering (journal writes are lossless,
+    /// so its cadence and seqs are independent of the client's).
+    journal_seq: u64,
+    /// Improvements since the last journal checkpoint.
+    journal_since_checkpoint: u64,
+    /// A journal append failed: stop appending deltas (a hole would
+    /// break the replay chain) until a synced full-snapshot resync
+    /// succeeds — written behind a line terminator, so a torn partial
+    /// line from the failure cannot corrupt the checkpoint that
+    /// follows it.
+    journal_broken: bool,
+}
+
+impl ImprovementStream {
+    fn new(proto: u32, checkpoint_every: u64) -> Self {
+        ImprovementStream {
+            proto,
+            checkpoint_every: checkpoint_every.max(1),
+            client_seq: 0,
+            client_since_checkpoint: 0,
+            needs_resync: false,
+            journal_seq: 0,
+            journal_since_checkpoint: 0,
+            journal_broken: false,
+        }
+    }
+
+    /// Streams one improvement to the client and the journal.
+    #[allow(clippy::too_many_arguments)]
+    fn improved(
+        &mut self,
+        id: u64,
+        delta: &qcir::delta::CircuitDelta,
+        best: &Circuit,
+        cost: f64,
+        epsilon: f64,
+        iterations: u64,
+        seconds: f64,
+        reply: &Sender<Frame>,
+        cancel: &CancelToken,
+        journal: &mut Option<JobJournal>,
+    ) {
+        let snapshot = || Frame::Snapshot {
+            id,
+            cost,
+            epsilon,
+            iterations,
+            seconds,
+            qasm: qasm::to_qasm_line(best),
+        };
+        let delta_frame = |seq: u64| Frame::Delta {
+            id,
+            seq,
+            cost,
+            epsilon,
+            iterations,
+            seconds,
+            delta: delta.encode(),
+        };
+
+        // Journal first (lossless, fsync at checkpoints): the journal
+        // must cover everything the client might have seen.
+        if let Some(j) = journal.as_mut() {
+            self.journal_since_checkpoint += 1;
+            let result = if self.journal_broken {
+                // Resync after a failed append: the replayable suffix
+                // must restart absolutely, behind a terminator that
+                // closes any torn partial line the failure left.
+                j.append_resync(&snapshot())
+            } else if self.journal_since_checkpoint >= self.checkpoint_every {
+                j.append_synced(&snapshot())
+            } else {
+                self.journal_seq += 1;
+                j.append(&delta_frame(self.journal_seq))
+            };
+            match result {
+                Ok(()) => {
+                    if self.journal_broken || self.journal_since_checkpoint >= self.checkpoint_every
+                    {
+                        self.journal_since_checkpoint = 0;
+                    }
+                    self.journal_broken = false;
+                }
+                Err(e) => {
+                    if !self.journal_broken {
+                        eprintln!("qserve: journal write failed for job {id}: {e}");
+                    }
+                    self.journal_broken = true;
+                }
+            }
+        }
+
+        if self.proto >= 2 {
+            self.client_since_checkpoint += 1;
+            let want_full =
+                self.needs_resync || self.client_since_checkpoint >= self.checkpoint_every;
+            if want_full {
+                if send_snapshot(reply, cancel, snapshot()) {
+                    self.needs_resync = false;
+                    self.client_since_checkpoint = 0;
+                } else {
+                    self.needs_resync = true;
+                }
+            } else if send_snapshot(reply, cancel, delta_frame(self.client_seq + 1)) {
+                self.client_seq += 1;
+            } else {
+                // Whatever the client missed, its delta chain is dead:
+                // only a full snapshot may resynchronize it. The seq is
+                // not consumed — delivered deltas stay contiguous.
+                self.needs_resync = true;
+            }
+        } else {
+            let _ = send_snapshot(reply, cancel, snapshot());
+        }
+    }
+}
+
 /// One job, start to DONE, on its own thread.
 fn run_job(job: QueuedJob, shared: Arc<Shared>) {
     let QueuedJob {
@@ -557,6 +869,9 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         width,
         cancel,
         reply,
+        proto,
+        mut journal,
+        eps_base,
     } = job;
     let guard = SlotGuard {
         shared: Arc::clone(&shared),
@@ -614,43 +929,67 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
     let guoq = Guoq::for_gate_set(opts.gate_set, gopts);
 
     // Initial snapshot: best-so-far = the input circuit. Anchors the
-    // (strictly improving) snapshot sequence at the input cost; sent
-    // through the same lossy path as every snapshot.
-    send_snapshot(
-        &reply,
-        &cancel,
-        Frame::Snapshot {
-            id: req.id,
-            cost: cost.cost(&circuit),
-            epsilon: 0.0,
-            iterations: 0,
-            seconds: 0.0,
-            qasm: qasm::to_qasm_line(&circuit),
-        },
-    );
-
+    // (strictly improving) improvement sequence at the input cost —
+    // and is the v2 stream's (and the journal's) base checkpoint; sent
+    // to the client through the same lossy path as every frame.
     let id = req.id;
+    let initial = Frame::Snapshot {
+        id,
+        cost: cost.cost(&circuit),
+        // A resume segment's input already carries the prior
+        // segments' accumulated error.
+        epsilon: eps_base,
+        iterations: 0,
+        seconds: 0.0,
+        qasm: qasm::to_qasm_line(&circuit),
+    };
+    let mut stream = ImprovementStream::new(proto, shared.opts.checkpoint_every);
+    if let Some(j) = journal.as_mut() {
+        if let Err(e) = j.append_synced(&initial) {
+            eprintln!("qserve: journal write failed for job {id}: {e}");
+            stream.journal_broken = true;
+        }
+    }
+    if !send_snapshot(&reply, &cancel, initial) {
+        // The base checkpoint never reached the client: deltas cannot
+        // chain until a full snapshot does.
+        stream.needs_resync = true;
+    }
+
     let snapshot_reply = reply.clone();
     let snapshot_cancel = cancel.clone();
-    let result = guoq.optimize_observed(&circuit, &*cost, &mut |snap| {
-        send_snapshot(
-            &snapshot_reply,
-            &snapshot_cancel,
-            Frame::Snapshot {
+    let mut journal_slot = journal;
+    let result = guoq.optimize_events(&circuit, &*cost, &mut |ev, best| {
+        if let OptEvent::Improved {
+            delta,
+            cost,
+            epsilon,
+            iterations,
+            seconds,
+        } = ev
+        {
+            stream.improved(
                 id,
-                cost: snap.cost,
-                epsilon: snap.epsilon,
-                iterations: snap.iterations,
-                seconds: snap.seconds,
-                qasm: qasm::to_qasm_line(snap.circuit),
-            },
-        );
+                delta,
+                best,
+                *cost,
+                *epsilon + eps_base,
+                *iterations,
+                *seconds,
+                &snapshot_reply,
+                &snapshot_cancel,
+                &mut journal_slot,
+            );
+        }
     });
+    let mut journal = journal_slot;
 
     let summary = JobSummary {
         id,
         cost: result.cost,
-        epsilon: result.epsilon,
+        // Cumulative vs the client's original input, across resume
+        // segments.
+        epsilon: result.epsilon + eps_base,
         iterations: result.iterations,
         accepted: result.accepted,
         resynth_hits: result.resynth_hits,
@@ -659,6 +998,14 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         cancelled: cancel.is_cancelled(), // read BEFORE the guard raises it
         qasm: qasm::to_qasm_line(&result.circuit),
     };
+    // The journal's terminal record is written (and synced) before the
+    // slots are released: once a client could observe DONE, a resume
+    // must replay it rather than re-run the job.
+    if let Some(j) = journal.as_mut() {
+        if let Err(e) = j.append_synced(&Frame::Done(summary.clone())) {
+            eprintln!("qserve: journal write failed for job {id}: {e}");
+        }
+    }
     // Release the accounting (slots, token entry, scheduler wakeup)
     // *before* the terminal frame: a client that reuses the id the
     // moment it sees DONE must never hit a stale "duplicate job id".
@@ -667,19 +1014,24 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
     send_done(&reply, Frame::Done(summary));
 }
 
-/// Snapshot delivery is *lossy under backpressure*: a blocking send
+/// Improvement delivery is *lossy under backpressure*: a blocking send
 /// here would park the search thread past cancellation and the wall
 /// cap (the token is only checked between iterations), letting a
 /// stalled client pin worker slots forever. A full reply channel drops
-/// the snapshot — only the latest best-so-far matters, and the
-/// terminal DONE always carries the final result — and a disconnected
-/// one cancels the job.
-fn send_snapshot(reply: &Sender<Frame>, cancel: &CancelToken, frame: Frame) {
+/// the frame — only the latest best-so-far matters, the terminal DONE
+/// always carries the final result, and a v2 delta chain broken by the
+/// drop is resynchronized by the next full-snapshot escalation (see
+/// [`ImprovementStream`]) — and a disconnected one cancels the job.
+/// Returns whether the frame was enqueued.
+fn send_snapshot(reply: &Sender<Frame>, cancel: &CancelToken, frame: Frame) -> bool {
     use crossbeam_channel::TrySendError;
     match reply.try_send(frame) {
-        Ok(()) => {}
-        Err(TrySendError::Full(_)) => {} // drop: client is backlogged
-        Err(TrySendError::Disconnected(_)) => cancel.cancel(),
+        Ok(()) => true,
+        Err(TrySendError::Full(_)) => false, // drop: client is backlogged
+        Err(TrySendError::Disconnected(_)) => {
+            cancel.cancel();
+            false
+        }
     }
 }
 

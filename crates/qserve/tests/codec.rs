@@ -95,15 +95,84 @@ fn frame() -> impl Strategy<Value = Frame> {
                 })
             },
         );
+    let delta = (
+        (0u64..1 << 32, 1u64..1 << 32, finite_f64()),
+        (finite_f64(), 0u64..1 << 48),
+        (finite_f64(), text()),
+    )
+        .prop_map(
+            |((id, seq, cost), (epsilon, iterations), (seconds, delta))| Frame::Delta {
+                id,
+                seq,
+                cost,
+                epsilon,
+                iterations,
+                seconds,
+                delta,
+            },
+        );
     prop_oneof![
         submit,
+        (0u64..64).prop_map(|v| Frame::Hello { version: v as u32 }),
         ids.clone().prop_map(|id| Frame::Cancel { id }),
+        ids.clone().prop_map(|id| Frame::Resume { id }),
         Just(Frame::Shutdown),
         ids.clone().prop_map(|id| Frame::Accepted { id }),
         snapshot,
+        delta,
         done,
         (ids, text()).prop_map(|(id, message)| Frame::Error { id, message }),
     ]
+}
+
+/// A small random circuit and a chain of structurally valid random
+/// patches against it, produced from a seed (proptest drives the seed;
+/// the derivation keeps every patch applicable to the evolving
+/// circuit).
+fn random_patch_chain(seed: u64, len: usize, nops: usize) -> (qcir::Circuit, Vec<qcir::Patch>) {
+    use qcir::{Circuit, Gate, Instruction, Patch};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nq = 3usize;
+    let mut c = Circuit::new(nq);
+    for _ in 0..len.max(1) {
+        match rng.random_range(0..3u8) {
+            0 => c.push(Gate::H, &[rng.random_range(0..nq as u32)]),
+            1 => c.push(
+                Gate::Rz(rng.random::<f64>() * 6.0 - 3.0),
+                &[rng.random_range(0..nq as u32)],
+            ),
+            _ => {
+                let a = rng.random_range(0..nq as u32);
+                let b = (a + 1 + rng.random_range(0..(nq as u32 - 1))) % nq as u32;
+                c.push(Gate::Cx, &[a, b]);
+            }
+        }
+    }
+    let mut work = c.clone();
+    let mut ops = Vec::new();
+    for _ in 0..nops {
+        let n = work.len();
+        let mut removed: Vec<usize> = Vec::new();
+        if n > 0 {
+            for i in 0..n {
+                if removed.len() < 3 && rng.random::<f64>() < 0.2 {
+                    removed.push(i);
+                }
+            }
+        }
+        let mut replacement = Vec::new();
+        for _ in 0..rng.random_range(0..3usize) {
+            replacement.push(Instruction::new(
+                Gate::Rz(rng.random::<f64>()),
+                &[rng.random_range(0..nq as u32)],
+            ));
+        }
+        let insert_at = rng.random_range(0..=n);
+        let patch = Patch::new(removed, replacement, insert_at);
+        work.apply_patch(&patch);
+        ops.push(patch);
+    }
+    (c, ops)
 }
 
 proptest! {
@@ -166,5 +235,55 @@ proptest! {
         prop_assert_eq!(results.len(), 2);
         prop_assert!(results[0].is_err());
         prop_assert_eq!(results[1].clone().unwrap(), f);
+    }
+
+    /// The full DELTA wire path on *real* edit scripts: a
+    /// [`qcir::CircuitDelta`] encoded into a DELTA frame, split at
+    /// arbitrary chunk boundaries through the [`FrameDecoder`],
+    /// decoded, and applied — must equal applying the patches
+    /// directly.
+    #[test]
+    fn real_deltas_survive_framing_and_chunking(
+        seed in 0u64..1 << 32,
+        len in 1usize..24,
+        nops in 1usize..6,
+        chunk_seed in 0u64..1 << 32,
+    ) {
+        let (base, ops) = random_patch_chain(seed, len, nops);
+        let mut direct = base.clone();
+        for op in &ops {
+            direct.apply_patch(op);
+        }
+        let delta = qcir::CircuitDelta::from_ops(base.len(), ops);
+        let frame = Frame::Delta {
+            id: 1,
+            seq: 1,
+            cost: direct.len() as f64,
+            epsilon: 0.0,
+            iterations: 7,
+            seconds: 0.5,
+            delta: delta.encode(),
+        };
+        let wire = frame.encode().into_bytes();
+        let mut rng = SmallRng::seed_from_u64(chunk_seed);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut i = 0usize;
+        while i < wire.len() {
+            let n = rng.random_range(1..=13usize).min(wire.len() - i);
+            for parsed in dec.push(&wire[i..i + n]) {
+                got.push(parsed.expect("well-formed DELTA frame"));
+            }
+            i += n;
+        }
+        prop_assert_eq!(got.len(), 1);
+        let payload = match &got[0] {
+            Frame::Delta { delta, .. } => delta.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let decoded = qcir::CircuitDelta::decode(&payload).expect("decodable");
+        let mut replayed = base.clone();
+        decoded.apply(&mut replayed).expect("applicable");
+        prop_assert_eq!(replayed, direct);
     }
 }

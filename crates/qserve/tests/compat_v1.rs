@@ -1,0 +1,110 @@
+//! Backward compatibility: a v1 client (one that never sends `HELLO`)
+//! against the v2 server must receive a byte-identical frame stream to
+//! the pre-v2 releases. The golden transcript under
+//! `tests/fixtures/v1_session.transcript` pins the v1 wire format — a
+//! deterministic iteration-budgeted serial session, with the one
+//! nondeterministic field (`seconds=`, wall-clock) masked to `#`.
+//!
+//! Regenerate after an *intentional* v1 format change (which should
+//! never happen — that is the point of this test) with:
+//! `GOLDEN_REGEN=1 cargo test -p qserve --test compat_v1`.
+
+mod util;
+
+use qcir::qasm;
+use qserve::{pump_stream, EngineSel, Frame, ServeOpts, Server};
+use std::path::PathBuf;
+use util::{request, workload};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1_session.transcript")
+}
+
+/// Masks the wall-clock `seconds=` field of a transcript: every other
+/// byte of a deterministic session is reproducible.
+fn mask_seconds(transcript: &str) -> String {
+    transcript
+        .lines()
+        .map(|line| {
+            let mut out = Vec::new();
+            for field in line.split(' ') {
+                if let Some(rest) = field.strip_prefix("seconds=") {
+                    let _ = rest;
+                    out.push("seconds=#".to_string());
+                } else {
+                    out.push(field.to_string());
+                }
+            }
+            out.join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n"
+}
+
+/// Runs the canonical deterministic v1 session and returns its raw
+/// byte transcript: one serial iteration-budgeted job over the
+/// byte-level transport pump, cache off.
+fn run_v1_session() -> String {
+    let input = workload(160);
+    let wire = Frame::Submit(request(1, EngineSel::Serial, 2000, 7, &input)).encode();
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        cache_gates: 0,
+        ..Default::default()
+    });
+    let out = pump_stream(wire.as_bytes(), Vec::new(), &server).expect("pump");
+    server.shutdown();
+    String::from_utf8(out).expect("v1 transcript is UTF-8")
+}
+
+#[test]
+fn v1_transcript_matches_golden() {
+    let masked = mask_seconds(&run_v1_session());
+    let path = fixture_path();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(&path, &masked).expect("write golden transcript");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden transcript missing; regenerate with GOLDEN_REGEN=1");
+    assert_eq!(
+        masked, golden,
+        "v1 wire format drifted from the golden transcript — a version-negotiated \
+         change belongs in v2+, never in the implicit v1 stream"
+    );
+}
+
+/// Structural pinning independent of the golden bytes: the v1 session
+/// never emits v2-only verbs, and its stream shape is
+/// SNAPSHOT⁺ then DONE.
+#[test]
+fn v1_session_shape_is_legacy() {
+    let transcript = run_v1_session();
+    let mut saw_done = false;
+    let mut snapshots = 0;
+    for line in transcript.lines() {
+        let verb = line.split(' ').next().unwrap_or("");
+        assert!(
+            !matches!(verb, "DELTA" | "HELLO"),
+            "v2 verb `{verb}` leaked into a v1 session"
+        );
+        match verb {
+            "SNAPSHOT" => snapshots += 1,
+            "DONE" => saw_done = true,
+            _ => {}
+        }
+    }
+    assert!(snapshots >= 1 && saw_done);
+    // And the DONE circuit parses back.
+    let done_line = transcript
+        .lines()
+        .find(|l| l.starts_with("DONE "))
+        .expect("DONE frame");
+    match Frame::parse(done_line).expect("parsable DONE") {
+        Frame::Done(s) => {
+            qasm::from_qasm(&s.qasm).expect("DONE qasm parses");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -144,6 +144,145 @@ fn serial_served_job_is_identical_to_direct_optimize() {
     assert_served_matches_direct(EngineSel::Serial, Engine::Incremental, 1);
 }
 
+/// The v2 counterpart of the differential core: a `HELLO version=2`
+/// session receives `DELTA` frames (with periodic full-snapshot
+/// checkpoints), and replaying them — apply each delta to the
+/// previously reconstructed circuit, reset absolutely at each
+/// `SNAPSHOT` — reproduces the served best **bit for bit**, for every
+/// engine.
+fn assert_v2_delta_stream_reconstructs(engine_sel: EngineSel, engine: Engine, id: u64) {
+    let input = workload(240);
+    let input_line = qasm::to_qasm_line(&input);
+    let (iters, seed) = (4000u64, 31u64);
+    let direct = direct_optimize(&input_line, engine, iters, seed);
+
+    let server = Server::start(ServeOpts {
+        worker_budget: 4,
+        cache_gates: 0,
+        // A small cadence so the test exercises delta runs *and*
+        // checkpoint resets within one stream.
+        checkpoint_every: 3,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+    handle.handle_frame(Frame::Hello { version: 2 }, &tx);
+    match rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("hello reply")
+    {
+        Frame::Hello { version } => assert_eq!(version, 2),
+        other => panic!("expected HELLO, got {other:?}"),
+    }
+    assert_eq!(handle.protocol_version(), 2);
+    handle.handle_frame(
+        Frame::Submit(request(id, engine_sel, iters, seed, input_line)),
+        &tx,
+    );
+    let frames = collect_until_done(&rx);
+    server.shutdown();
+
+    let done = match frames.last() {
+        Some(Frame::Done(s)) => s.clone(),
+        other => panic!("expected DONE, got {other:?}"),
+    };
+
+    // Reconstruct the served best from the event stream.
+    let mut current: Option<qcir::Circuit> = None;
+    let mut last_cost = f64::INFINITY;
+    // Improvements seen so far: every post-initial frame (DELTA or
+    // checkpoint SNAPSHOT) is one.
+    let mut improvements = 0u64;
+    let mut deltas = 0usize;
+    let mut snapshots = 0usize;
+    for f in &frames {
+        match f {
+            Frame::Snapshot { cost, qasm, .. } => {
+                snapshots += 1;
+                if snapshots > 1 {
+                    improvements += 1;
+                    assert!(*cost < last_cost, "non-monotone improvement stream");
+                }
+                current = Some(qasm::from_qasm(qasm).expect("snapshot qasm"));
+                last_cost = *cost;
+            }
+            Frame::Delta {
+                seq, cost, delta, ..
+            } => {
+                deltas += 1;
+                improvements += 1;
+                // `seq` numbers delivered DELTA frames contiguously:
+                // checkpoints never consume a number, so an undropped
+                // stream shows no gap a client could mistake for loss.
+                assert_eq!(*seq, deltas as u64, "delta seq must be contiguous");
+                let d = qcir::CircuitDelta::decode(delta).expect("decodable delta");
+                d.apply(current.as_mut().expect("delta before base checkpoint"))
+                    .expect("delta chains onto the reconstruction");
+                assert!(*cost < last_cost, "non-monotone improvement stream");
+                last_cost = *cost;
+            }
+            _ => {}
+        }
+    }
+    assert!(deltas > 0, "a v2 stream must actually ship deltas");
+    assert!(snapshots >= 1, "v2 keeps the initial full checkpoint");
+    let reconstructed = current.expect("stream carried a base checkpoint");
+    let served = qasm::from_qasm(&done.qasm).expect("DONE qasm");
+    assert_eq!(
+        reconstructed, served,
+        "replaying the delta stream must reproduce the served best bit for bit"
+    );
+    assert_eq!(served, direct.circuit, "served ≠ direct under v2");
+    assert_eq!(done.cost, direct.cost);
+    assert!(circuits_equivalent(&input, &served, 1e-4));
+    // Every improvement ships exactly one frame (DELTA or checkpoint
+    // SNAPSHOT): the totals agree.
+    assert_eq!(improvements as usize, deltas + (snapshots - 1));
+}
+
+#[test]
+fn v2_delta_stream_reconstructs_serial() {
+    assert_v2_delta_stream_reconstructs(EngineSel::Serial, Engine::Incremental, 21);
+}
+
+#[test]
+fn v2_delta_stream_reconstructs_sharded() {
+    assert_v2_delta_stream_reconstructs(EngineSel::Sharded(2), Engine::Sharded { workers: 2 }, 22);
+}
+
+#[test]
+fn v2_delta_stream_reconstructs_clone_rebuild() {
+    assert_v2_delta_stream_reconstructs(EngineSel::CloneRebuild, Engine::CloneRebuild, 23);
+}
+
+/// A v1 peer on the same server (no HELLO) keeps getting the legacy
+/// full-snapshot stream: no DELTA frames, ever.
+#[test]
+fn v1_sessions_never_see_delta_frames() {
+    let input = workload(160);
+    let server = Server::start(ServeOpts {
+        worker_budget: 2,
+        cache_gates: 0,
+        checkpoint_every: 2,
+        ..Default::default()
+    });
+    let (frames, done) = serve_job(
+        &server,
+        request(5, EngineSel::Serial, 2000, 7, qasm::to_qasm_line(&input)),
+    );
+    server.shutdown();
+    assert!(
+        frames.iter().all(|f| !matches!(f, Frame::Delta { .. })),
+        "v1 peers must only ever see SNAPSHOT/DONE"
+    );
+    let snapshots = frames
+        .iter()
+        .filter(|f| matches!(f, Frame::Snapshot { .. }))
+        .count();
+    assert!(snapshots >= 2, "initial + at least one improvement");
+    assert!(!done.cancelled);
+}
+
 #[test]
 fn sharded_served_job_is_identical_to_direct_optimize() {
     assert_served_matches_direct(EngineSel::Sharded(2), Engine::Sharded { workers: 2 }, 2);

@@ -19,6 +19,36 @@ use std::sync::{Arc, OnceLock};
 /// subcircuits to 3 qubits; unitary size is exponential in width).
 pub const MAX_RESYNTH_QUBITS: usize = 3;
 
+/// Hashes the synthesis-power knobs of a profile (restart counts,
+/// iteration caps, node/CX/length bounds) into the opaque fingerprint
+/// the memo cache uses to expire negative entries on profile changes.
+fn budget_profile_fingerprint(opts: &ResynthOpts) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut x = h ^ v.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+    let c = &opts.continuous;
+    let f = &opts.finite;
+    let mut h = 0x51CA_FFE5u64;
+    for v in [
+        c.search.restarts as u64,
+        c.search.iters as u64,
+        c.polish.restarts as u64,
+        c.polish.iters as u64,
+        c.max_cx as u64,
+        c.max_nodes as u64,
+        f.iters as u64,
+        f.restarts as u64,
+        f.max_len as u64,
+    ] {
+        h = mix(h, v);
+    }
+    // 0 means "no profile declared yet" on the cache side.
+    h.max(1)
+}
+
 /// A resynthesis outcome.
 #[derive(Debug, Clone)]
 pub struct Resynthesized {
@@ -117,6 +147,12 @@ pub struct Resynthesizer {
     set: GateSet,
     opts: ResynthOpts,
     db_1q: Option<Arc<Database1q>>,
+    /// Fingerprint of the synthesis-budget profile (restart counts,
+    /// iteration caps, replacement-length bounds), declared to the memo
+    /// cache on every consult so negative entries recorded under a
+    /// smaller profile expire when the budget grows (see
+    /// [`QCache::note_budget_profile`]).
+    profile_fp: u64,
 }
 
 impl Resynthesizer {
@@ -136,7 +172,13 @@ impl Resynthesizer {
                     .clone(),
             )
         };
-        Resynthesizer { set, opts, db_1q }
+        let profile_fp = budget_profile_fingerprint(&opts);
+        Resynthesizer {
+            set,
+            opts,
+            db_1q,
+            profile_fp,
+        }
     }
 
     /// The target gate set.
@@ -194,6 +236,10 @@ impl Resynthesizer {
                 });
             return (result, CacheOutcome::Bypass);
         };
+        // Declare this call's budget profile before consulting: a
+        // "fails at (ε, budget)" recorded under a smaller profile must
+        // not be served to this (possibly grown) one.
+        cache.note_budget_profile(self.profile_fp);
         let target = sub.unitary();
         let fp = qcache::fingerprint(&target, self.set);
         // The cache is consulted under the same replacement-length
@@ -441,6 +487,37 @@ mod tests {
         let out = out.expect("loose eps succeeds");
         assert_eq!(outcome, CacheOutcome::Miss);
         assert!(qsim::circuits_equivalent(&c, &out.circuit, 1e-5));
+    }
+
+    #[test]
+    fn grown_budget_profile_retries_instead_of_serving_stale_failure() {
+        // A failure negative-cached under the cheap fast profile must
+        // not doom the same window for a resynthesizer with a grown
+        // budget sharing the cache: the thorough consult re-declares
+        // its (different) profile, the stale entry expires, and a
+        // fresh instantiation runs.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.37), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Rz(0.91), &[1]);
+        let fast = Resynthesizer::with_opts(GateSet::Nam, ResynthOpts::fast());
+        let grown = Resynthesizer::new(GateSet::Nam); // thorough profile
+        assert_ne!(fast.profile_fp, grown.profile_fp);
+        let cache = QCache::with_gate_budget(1024);
+        let mut rng = SmallRng::seed_from_u64(61);
+        let (r1, o1) = fast.resynthesize_cached(&c, 0.0, &mut rng, Some(&cache));
+        assert!(r1.is_none());
+        assert_eq!(o1, CacheOutcome::Miss);
+        // Same profile: the failure is served.
+        let (_, o2) = fast.resynthesize_cached(&c, 0.0, &mut rng, Some(&cache));
+        assert_eq!(o2, CacheOutcome::NegativeHit);
+        // Grown profile: NOT served the stale failure — it retries.
+        let (_, o3) = grown.resynthesize_cached(&c, 0.0, &mut rng, Some(&cache));
+        assert_eq!(
+            o3,
+            CacheOutcome::Miss,
+            "a grown budget must retry, not inherit the cheap profile's failure"
+        );
     }
 
     #[test]

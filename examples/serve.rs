@@ -1,7 +1,9 @@
 //! End-to-end `qserve` client demo: starts the streaming service on a
-//! loopback TCP port, submits a redundancy-rich demo circuit, prints
-//! every protocol frame as it arrives (`>>` client→server, `<<`
-//! server→client), then demonstrates cancellation on a second job.
+//! loopback TCP port, negotiates protocol v2 (`HELLO`), submits a
+//! redundancy-rich demo circuit and reconstructs the best-so-far from
+//! the `DELTA` stream client-side, prints every protocol frame as it
+//! arrives (`>>` client→server, `<<` server→client), then demonstrates
+//! cancellation on a second job.
 //!
 //! Run with: `cargo run --release --example serve`
 //!
@@ -72,6 +74,17 @@ fn brief(frame: &Frame) -> String {
             "SNAPSHOT id={id} cost={cost} iters={iterations} seconds={seconds:.4} qasm={}",
             gates(qasm)
         ),
+        Frame::Delta {
+            id,
+            seq,
+            cost,
+            iterations,
+            delta,
+            ..
+        } => format!(
+            "DELTA id={id} seq={seq} cost={cost} iters={iterations} delta=<{} bytes>",
+            delta.len()
+        ),
         Frame::Done(s) => format!(
             "DONE id={} cost={} iters={} accepted={} cancelled={} qasm={}",
             s.id,
@@ -130,8 +143,16 @@ fn main() {
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
     let mut decoder = FrameDecoder::new();
 
+    // Negotiate protocol v2: improvements arrive as compact DELTA
+    // frames (with periodic full-snapshot checkpoints) instead of
+    // full-QASM snapshots.
+    send(&mut stream, &Frame::Hello { version: 2 });
+    read_until(&mut reader, &mut decoder, |f| {
+        matches!(f, Frame::Hello { .. })
+    });
+
     // Job 1: a deterministic iteration-budgeted job; watch the
-    // best-so-far stream arrive.
+    // best-so-far stream arrive and reconstruct it client-side.
     send(
         &mut stream,
         &Frame::Submit(qserve::JobRequest {
@@ -145,7 +166,30 @@ fn main() {
             qasm: qasm::to_qasm_line(&circuit),
         }),
     );
-    read_until(&mut reader, &mut decoder, |f| matches!(f, Frame::Done(_)));
+    // Reconstruct best-so-far from the v2 stream: full snapshots set
+    // it absolutely, deltas chain onto it.
+    let mut reconstructed: Option<Circuit> = None;
+    let mut served_done: Option<Circuit> = None;
+    read_until(&mut reader, &mut decoder, |f| {
+        match f {
+            Frame::Snapshot { qasm, .. } => {
+                reconstructed = Some(qasm::from_qasm(qasm).expect("snapshot qasm"));
+            }
+            Frame::Delta { delta, .. } => {
+                let d = qcir::delta::CircuitDelta::decode(delta).expect("decodable delta");
+                d.apply(reconstructed.as_mut().expect("delta before checkpoint"))
+                    .expect("delta chains");
+            }
+            Frame::Done(s) => served_done = Some(qasm::from_qasm(&s.qasm).expect("done qasm")),
+            _ => {}
+        }
+        matches!(f, Frame::Done(_))
+    });
+    assert_eq!(
+        reconstructed, served_done,
+        "delta-stream reconstruction must equal the served result"
+    );
+    println!("client: delta-stream reconstruction matches the served best, bit for bit");
 
     // Job 2: submit with an enormous budget, then cancel — the server
     // answers with the valid best-so-far and `cancelled=1`.
@@ -174,5 +218,5 @@ fn main() {
         |f| matches!(f, Frame::Done(s) if s.id == 2 && s.cancelled),
     );
 
-    println!("\nok: streamed snapshots were monotone and cancellation was prompt");
+    println!("\nok: v2 delta stream reconstructed exactly and cancellation was prompt");
 }

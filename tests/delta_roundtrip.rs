@@ -1,0 +1,141 @@
+//! Property tests for the `qcir::delta::CircuitDelta` codec — the wire
+//! and journal currency of the event-sourced API. Pins the three
+//! contracts the serving layer rests on:
+//!
+//! * encode → decode is the identity (bit-exact gate parameters);
+//! * applying a decoded delta equals applying its patches directly
+//!   (`apply ≡ apply_patch`);
+//! * composing a chain of deltas equals replaying them one by one —
+//!   i.e. a composed delta applied to a checkpoint reproduces the
+//!   chain's final circuit bit for bit.
+
+use proptest::prelude::*;
+use qcir::delta::CircuitDelta;
+use qcir::{Circuit, Gate, Instruction, Patch};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a random circuit and a chain of structurally valid patches
+/// from a seed: each patch is generated against (and applied to) the
+/// evolving circuit, so the whole chain is applicable in order.
+fn random_patch_chain(seed: u64, len: usize, nops: usize) -> (Circuit, Vec<Patch>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nq = 4usize;
+    let mut c = Circuit::new(nq);
+    for _ in 0..len.max(1) {
+        match rng.random_range(0..4u8) {
+            0 => c.push(Gate::H, &[rng.random_range(0..nq as u32)]),
+            1 => c.push(Gate::T, &[rng.random_range(0..nq as u32)]),
+            2 => c.push(
+                // Raw random f64 bit patterns exercise the hex codec.
+                Gate::Rz(rng.random::<f64>() * 7.1 - 3.55),
+                &[rng.random_range(0..nq as u32)],
+            ),
+            _ => {
+                let a = rng.random_range(0..nq as u32);
+                let b = (a + 1 + rng.random_range(0..(nq as u32 - 1))) % nq as u32;
+                c.push(Gate::Cx, &[a, b]);
+            }
+        }
+    }
+    let mut work = c.clone();
+    let mut ops = Vec::new();
+    for _ in 0..nops {
+        let n = work.len();
+        let mut removed: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if removed.len() < 4 && rng.random::<f64>() < 0.25 {
+                removed.push(i);
+            }
+        }
+        let mut replacement = Vec::new();
+        for _ in 0..rng.random_range(0..3usize) {
+            let g = if rng.random::<bool>() {
+                Gate::Rz(rng.random::<f64>())
+            } else {
+                Gate::H
+            };
+            replacement.push(Instruction::new(g, &[rng.random_range(0..nq as u32)]));
+        }
+        let patch = Patch::new(removed, replacement, rng.random_range(0..=n));
+        work.apply_patch(&patch);
+        ops.push(patch);
+    }
+    (c, ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity on arbitrary valid deltas, and
+    /// rotation parameters survive bit for bit.
+    #[test]
+    fn encode_decode_is_identity(seed in 0u64..1 << 48, len in 1usize..32, nops in 0usize..6) {
+        let (base, ops) = random_patch_chain(seed, len, nops);
+        let delta = CircuitDelta::from_ops(base.len(), ops);
+        let line = delta.encode();
+        prop_assert!(!line.contains('\n') && !line.contains('\r'));
+        let back = CircuitDelta::decode(&line).unwrap();
+        prop_assert_eq!(back, delta);
+    }
+
+    /// Applying a decoded delta equals applying its patches directly.
+    #[test]
+    fn apply_equals_direct_apply_patch(seed in 0u64..1 << 48, len in 1usize..32, nops in 1usize..6) {
+        let (base, ops) = random_patch_chain(seed, len, nops);
+        let mut direct = base.clone();
+        for op in &ops {
+            direct.apply_patch(op);
+        }
+        let delta = CircuitDelta::from_ops(base.len(), ops);
+        let mut replayed = base.clone();
+        CircuitDelta::decode(&delta.encode())
+            .unwrap()
+            .apply(&mut replayed)
+            .unwrap();
+        prop_assert_eq!(&replayed, &direct);
+        prop_assert_eq!(delta.new_len(), direct.len());
+    }
+
+    /// Composing a chain of single-op deltas ≡ the checkpoint: the one
+    /// composed delta applied to the base reproduces replaying the
+    /// stream delta by delta, bit for bit.
+    #[test]
+    fn compose_of_deltas_equals_checkpoint(seed in 0u64..1 << 48, len in 1usize..32, nops in 1usize..8) {
+        let (base, ops) = random_patch_chain(seed, len, nops);
+        // The "stream": one single-op delta per improvement.
+        let mut streamed = base.clone();
+        let mut chain: Option<CircuitDelta> = None;
+        let mut cursor = base.len();
+        for op in &ops {
+            let d = CircuitDelta::from_ops(cursor, vec![op.clone()]);
+            cursor = d.new_len();
+            d.apply(&mut streamed).unwrap();
+            chain = Some(match chain {
+                None => d,
+                Some(prev) => prev.compose(&d).unwrap(),
+            });
+        }
+        // The "checkpoint": the composed delta in one application —
+        // after a wire round-trip.
+        let composed = CircuitDelta::decode(&chain.unwrap().encode()).unwrap();
+        let mut checkpointed = base.clone();
+        composed.apply(&mut checkpointed).unwrap();
+        prop_assert_eq!(checkpointed, streamed);
+    }
+
+    /// `diff` between any two evolution states is a valid delta that
+    /// reconstructs the target exactly.
+    #[test]
+    fn diff_reconstructs_any_pair(seed in 0u64..1 << 48, len in 1usize..32, nops in 1usize..6) {
+        let (base, ops) = random_patch_chain(seed, len, nops);
+        let mut after = base.clone();
+        for op in &ops {
+            after.apply_patch(op);
+        }
+        let d = CircuitDelta::decode(&CircuitDelta::diff(&base, &after).encode()).unwrap();
+        let mut replayed = base.clone();
+        d.apply(&mut replayed).unwrap();
+        prop_assert_eq!(replayed, after);
+    }
+}
