@@ -1,0 +1,253 @@
+//! Fleet-mode throughput and failover overhead: real `qserve` worker
+//! processes under the `qserve::fleet` router, measured end to end
+//! (spawn, placement, streaming, journalling, cache snapshots).
+//!
+//! Three runs over the same repeat-mix batch (every job the same
+//! circuit + seed — recurring service traffic, the regime the
+//! persistent cache tier exists for):
+//!
+//! * `cold`  — fresh journal dir, empty caches,
+//! * `warm`  — the fleet restarted on the cold run's journal dir, so
+//!   every worker warm-loads its cache snapshot before serving,
+//! * `kill-at-50%` — fresh dir again, with one worker kill -9'd at
+//!   half the no-fault wall time; its jobs fail over via the shared
+//!   journals.
+//!
+//! Headlines: warm-vs-cold jobs/sec speedup, and the failover overhead
+//! (kill run wall time over the no-fault wall time, minus one — the
+//! ISSUE budget is <20%). The summary goes to `BENCH_qfleet.json` in
+//! the repository root.
+//!
+//! The workers are separate processes: build the `qserve` binary first
+//! (`cargo build --release -p qserve`) or point `QFLEET_WORKER_BIN` at
+//! one.
+//!
+//! Run with: `cargo bench --bench qfleet`
+//! CI smoke: `QFLEET_BENCH_JOBS=6 QFLEET_BENCH_ITERS=400 cargo bench --bench qfleet`
+
+use guoq_bench::tiled_workload;
+use qcir::qasm;
+use qserve::fleet::{Fleet, FleetOpts};
+use qserve::{EngineSel, Frame, JobRequest, Objective};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 3;
+
+/// The qserve worker binary: `QFLEET_WORKER_BIN`, else the build tree
+/// next to this bench executable (`target/<profile>/qserve`).
+fn worker_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("QFLEET_WORKER_BIN") {
+        return p.into();
+    }
+    let mut p = std::env::current_exe().expect("bench has a path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push(format!("qserve{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn fleet_opts(dir: &std::path::Path, bin: &std::path::Path) -> FleetOpts {
+    FleetOpts {
+        workers: WORKERS,
+        jobs_per_worker: 2,
+        journal_dir: dir.to_path_buf(),
+        worker_binary: Some(bin.to_path_buf()),
+        // The bench measures throughput, not the wall cap.
+        worker_args: vec!["--max-time-ms".into(), "3600000".into()],
+        heartbeat_ms: 200,
+        stall_beats: 5,
+        retry_max: 6,
+        retry_backoff_ms: 50,
+        job_timeout_ms: 600_000,
+        cache_gates: 65_536,
+        snapshot_flush_ms: 300,
+        seed: 0xF1EE7,
+        ..Default::default()
+    }
+}
+
+struct Row {
+    name: &'static str,
+    jobs: usize,
+    iters_per_job: u64,
+    seconds: f64,
+    jobs_per_sec: f64,
+}
+
+/// Runs one repeat-mix batch through `fleet`; `kill_after` fires a
+/// SIGKILL at the first live worker that long into the run.
+fn run_batch(
+    fleet: &Fleet,
+    name: &'static str,
+    jobs: usize,
+    iters: u64,
+    line: &str,
+    kill_after: Option<Duration>,
+) -> Row {
+    let started = Instant::now();
+    let tickets: Vec<_> = (0..jobs)
+        .map(|_| {
+            fleet.submit(JobRequest {
+                id: 0, // the router allocates the real id
+                engine: EngineSel::Serial,
+                iters,
+                time_ms: 0,
+                seed: 0xBEEF,
+                eps: 1e-8,
+                objective: Objective::GateCount,
+                overwrite: false,
+                qasm: line.to_string(),
+            })
+        })
+        .collect();
+    std::thread::scope(|s| {
+        if let Some(after) = kill_after {
+            // Workers spawn asynchronously inside the router thread, so
+            // poll until one is live rather than snapshotting pids now.
+            s.spawn(move || {
+                std::thread::sleep(after);
+                let deadline = Instant::now() + Duration::from_secs(30);
+                let victim = loop {
+                    if let Some(pid) = fleet.worker_pids().into_iter().flatten().next() {
+                        break pid;
+                    }
+                    assert!(Instant::now() < deadline, "no live worker to kill");
+                    std::thread::sleep(Duration::from_millis(20));
+                };
+                let ok = std::process::Command::new("kill")
+                    .args(["-9", &victim.to_string()])
+                    .status()
+                    .map(|st| st.success())
+                    .unwrap_or(false);
+                assert!(ok, "kill -9 {victim} failed");
+                eprintln!("qfleet bench: killed worker pid {victim}");
+            });
+        }
+        for (id, rx) in &tickets {
+            loop {
+                match rx
+                    .recv_timeout(Duration::from_secs(600))
+                    .expect("bench timed out")
+                {
+                    Frame::Done(s) => {
+                        assert!(!s.cancelled, "job {id} cancelled unexpectedly");
+                        break;
+                    }
+                    Frame::Error { code, message, .. } => {
+                        panic!("job {id} failed: {code}: {message}")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    Row {
+        name,
+        jobs,
+        iters_per_job: iters,
+        seconds,
+        jobs_per_sec: jobs as f64 / seconds,
+    }
+}
+
+fn main() {
+    let jobs: usize = std::env::var("QFLEET_BENCH_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let iters: u64 = std::env::var("QFLEET_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_500);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let bin = worker_bin();
+    if !bin.exists() {
+        eprintln!(
+            "qfleet bench: no qserve worker binary at {} — \
+             run `cargo build --release -p qserve` first or set QFLEET_WORKER_BIN",
+            bin.display()
+        );
+        std::process::exit(2);
+    }
+    let circuit = tiled_workload(480);
+    let line = qasm::to_qasm_line(&circuit);
+    let dir = std::env::temp_dir().join(format!("qfleet-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold: fresh journals, empty caches.
+    let fleet = Fleet::start(fleet_opts(&dir, &bin)).expect("fleet starts");
+    let cold = run_batch(&fleet, "cold", jobs, iters, &line, None);
+    fleet.shutdown(); // workers flush their cache snapshots on the way down
+    println!(
+        "qfleet {:>11}: {:>6.2} jobs/s  ({} jobs x {} iters, {:.2}s)",
+        cold.name, cold.jobs_per_sec, cold.jobs, cold.iters_per_job, cold.seconds
+    );
+
+    // Warm: the same fleet restarted on the same dir — every worker
+    // warm-loads its snapshot, so resynthesis consults hit from disk.
+    let fleet = Fleet::start(fleet_opts(&dir, &bin)).expect("fleet restarts");
+    let warm = run_batch(&fleet, "warm", jobs, iters, &line, None);
+    fleet.shutdown();
+    println!(
+        "qfleet {:>11}: {:>6.2} jobs/s  ({} jobs x {} iters, {:.2}s)",
+        warm.name, warm.jobs_per_sec, warm.jobs, warm.iters_per_job, warm.seconds
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Fault: fresh dir again, one worker SIGKILLed at half the
+    // no-fault wall time; every job must still complete (failover via
+    // the shared journals), and the wall-time overhead is the price.
+    let fault_dir = std::env::temp_dir().join(format!("qfleet-bench-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fault_dir);
+    let fleet = Fleet::start(fleet_opts(&fault_dir, &bin)).expect("fleet starts");
+    let kill_at = Duration::from_secs_f64(cold.seconds * 0.5);
+    let fault = run_batch(&fleet, "kill-at-50%", jobs, iters, &line, Some(kill_at));
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&fault_dir);
+    println!(
+        "qfleet {:>11}: {:>6.2} jobs/s  ({} jobs x {} iters, {:.2}s)",
+        fault.name, fault.jobs_per_sec, fault.jobs, fault.iters_per_job, fault.seconds
+    );
+
+    let warm_speedup = warm.jobs_per_sec / cold.jobs_per_sec.max(1e-9);
+    let failover_overhead = fault.seconds / cold.seconds.max(1e-9) - 1.0;
+    println!(
+        "qfleet headline: warm restart {warm_speedup:.2}x jobs/s vs cold, \
+         kill-at-50% overhead {:+.1}% wall time (budget <20%)",
+        100.0 * failover_overhead
+    );
+
+    let rows = [cold, warm, fault];
+    let mut json = String::from("{\n  \"benchmark\": \"qfleet\",\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"warm_speedup_vs_cold\": {warm_speedup:.3}, \"failover_overhead\": {failover_overhead:.4}}},"
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"run\": \"{}\", \"jobs\": {}, \"iters_per_job\": {}, \"seconds\": {:.4}, \"jobs_per_sec\": {:.3}}}{}",
+            r.name,
+            r.jobs,
+            r.iters_per_job,
+            r.seconds,
+            r.jobs_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qfleet.json");
+    std::fs::write(path, &json).expect("write BENCH_qfleet.json");
+    println!("wrote {path}");
+}

@@ -65,6 +65,7 @@ fn run(workers: usize, mix: &'static str, jobs: usize, iters_per_job: u64) -> Ro
                 seed: 0xBEEF + j as u64,
                 eps: 1e-8,
                 objective: Objective::GateCount,
+                overwrite: false,
                 qasm: line.clone(),
             }),
             &tx,
@@ -84,7 +85,7 @@ fn run(workers: usize, mix: &'static str, jobs: usize, iters_per_job: u64) -> Ro
                 done += 1;
             }
             Frame::Snapshot { .. } => snapshots += 1,
-            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            Frame::Error { id, message, .. } => panic!("job {id} rejected: {message}"),
             _ => {}
         }
     }
@@ -137,6 +138,7 @@ fn run_delta_row(gates: usize, iters: u64) -> DeltaRow {
             seed: 0xD00D,
             eps: 1e-8,
             objective: Objective::GateCount,
+            overwrite: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
         &tx,
@@ -189,7 +191,7 @@ fn run_delta_row(gates: usize, iters: u64) -> DeltaRow {
                 .len() as u64;
             }
             Frame::Done(_) => break,
-            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            Frame::Error { id, message, .. } => panic!("job {id} rejected: {message}"),
             _ => {}
         }
     }

@@ -41,6 +41,13 @@ impl GateSet {
         }
     }
 
+    /// Inverse of [`Self::id`]: the gate set at a dense index, or
+    /// `None` for an out-of-range index (e.g. one read from a damaged
+    /// or future-versioned serialized record).
+    pub fn from_id(id: usize) -> Option<GateSet> {
+        GateSet::ALL.get(id).copied()
+    }
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {

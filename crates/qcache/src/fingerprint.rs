@@ -57,10 +57,21 @@ impl Fingerprint {
     pub fn gate_set(&self) -> GateSet {
         self.set
     }
+
+    /// Reassembles a fingerprint from its raw parts (snapshot load).
+    ///
+    /// Only for deserialization of fingerprints previously produced by
+    /// [`fingerprint`]: a fabricated hash can never cause a wrong
+    /// answer (lookups verify the stored unitary against the query
+    /// before serving), only wasted slots.
+    pub(crate) fn from_raw(hash: u64, dim: u32, set: GateSet) -> Fingerprint {
+        Fingerprint { hash, dim, set }
+    }
 }
 
 /// SplitMix64 finalizer: one cheap, well-mixed step per quantized value.
-fn mix(mut h: u64, v: u64) -> u64 {
+/// Also the mixing step of the snapshot record checksum.
+pub(crate) fn mix(mut h: u64, v: u64) -> u64 {
     h ^= v;
     h = h.wrapping_add(0x9E3779B97F4A7C15);
     h = (h ^ (h >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);

@@ -44,8 +44,10 @@
 
 pub mod fingerprint;
 pub mod registry;
+pub mod snapshot;
 pub mod table;
 
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use registry::Registry;
+pub use snapshot::{SnapshotStats, MAX_RECORD_BYTES, SNAPSHOT_MAGIC};
 pub use table::{CacheHit, CacheStats, Lookup, QCache, QCacheOpts};

@@ -148,6 +148,18 @@ struct Entry {
     stamp: u64,
 }
 
+/// A borrowed view of one resident entry, as yielded by
+/// [`QCache::for_each_entry`] (the snapshot writer's iteration).
+pub(crate) enum EntryView<'a> {
+    /// A synthesized replacement and its true unitary.
+    Positive {
+        circuit: &'a Circuit,
+        unitary: &'a Mat,
+    },
+    /// A current-epoch known-failure marker.
+    Negative { eps: f64, max_len: usize },
+}
+
 #[derive(Default)]
 struct Stripe {
     map: HashMap<Fingerprint, Entry>,
@@ -345,6 +357,87 @@ impl QCache {
             },
             weight,
         );
+    }
+
+    /// Inserts a positive entry restored from a persisted snapshot.
+    ///
+    /// Unlike [`insert`](Self::insert) this does not assert the
+    /// circuit/unitary contract even in debug builds: a snapshot is
+    /// external input and may carry a poisoned pair despite a valid
+    /// checksum (e.g. a bit flip inside one record's payload that
+    /// happens to keep its checksum — or simply an attacker-written
+    /// file). Verify-on-hit makes any such entry a harmless
+    /// `verify_reject`; aborting the load would turn a recoverable
+    /// corruption into downtime.
+    pub(crate) fn insert_loaded(&self, fp: Fingerprint, circuit: Circuit, unitary: Mat) {
+        let weight = circuit.len().max(1);
+        self.store(fp, Stored::Positive { circuit, unitary }, weight);
+    }
+
+    /// The raw budget-profile stamp (see
+    /// [`note_budget_profile`](Self::note_budget_profile); 0 = none
+    /// observed yet). Persisted in snapshots so restored negative
+    /// entries keep their profile scoping across a restart.
+    pub(crate) fn profile_stamp_raw(&self) -> u64 {
+        self.profile_stamp.load(Ordering::Relaxed)
+    }
+
+    /// Adopts a snapshot's persisted profile stamp, but only if this
+    /// cache has not observed a profile of its own yet — a snapshot
+    /// loaded into a live table must not un-declare the live profile.
+    /// After adoption, [`note_budget_profile`](Self::note_budget_profile)
+    /// with a *different* profile expires the loaded negatives exactly
+    /// as it would have expired the originals.
+    pub(crate) fn adopt_profile_stamp(&self, stamp: u64) {
+        let _ = self
+            .profile_stamp
+            .compare_exchange(0, stamp, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Visits every resident non-stale entry in stripe-major,
+    /// ascending-recency order (least recently used first), so a
+    /// consumer that replays the visit order through inserts — the
+    /// snapshot save/load cycle — reproduces each stripe's LRU order.
+    /// Negative entries from an expired epoch are skipped: they are
+    /// already dead to lookups and a restart must not revive them.
+    ///
+    /// Holds one stripe lock at a time; entries inserted or evicted
+    /// concurrently may be missed (a snapshot is a best-effort
+    /// checkpoint, not a consistent dump).
+    pub(crate) fn for_each_entry(&self, mut f: impl FnMut(&Fingerprint, EntryView<'_>)) {
+        let epoch = self.negative_epoch.load(Ordering::Relaxed);
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("qcache stripe poisoned");
+            let mut entries: Vec<_> = stripe
+                .map
+                .iter()
+                .filter_map(|(fp, e)| {
+                    let view = match &e.stored {
+                        Stored::Positive { circuit, unitary } => {
+                            EntryView::Positive { circuit, unitary }
+                        }
+                        Stored::Negative {
+                            eps,
+                            max_len,
+                            epoch: entry_epoch,
+                        } => {
+                            if *entry_epoch != epoch {
+                                return None;
+                            }
+                            EntryView::Negative {
+                                eps: *eps,
+                                max_len: *max_len,
+                            }
+                        }
+                    };
+                    Some((e.stamp, fp, view))
+                })
+                .collect();
+            entries.sort_by_key(|(stamp, ..)| *stamp);
+            for (_, fp, view) in entries {
+                f(fp, view);
+            }
+        }
     }
 
     /// Records that synthesizing `fp` **failed** at tolerance `eps`

@@ -1,0 +1,170 @@
+//! Corruption tolerance of the cache-snapshot codec, exercised the
+//! brute-force way: truncate the file at **every** byte offset, flip
+//! bytes at arbitrary offsets, and prove the load never panics, loads
+//! only checksum-valid records, and that everything it does load still
+//! serves correct (verify-on-hit-clean) answers.
+
+use proptest::prelude::*;
+use qcache::{fingerprint, Fingerprint, QCache, QCacheOpts};
+use qcir::{Circuit, Gate, GateSet};
+use qmath::Mat;
+use std::fs;
+
+const ENTRIES: usize = 6;
+
+/// A deterministic populated cache: `ENTRIES` distinct 2-qubit
+/// replacements plus one known-failure marker.
+fn populated() -> (QCache, Vec<(Fingerprint, Mat)>) {
+    let cache = QCache::new(QCacheOpts::default());
+    cache.note_budget_profile(0xB0D6E7);
+    let mut keys = Vec::new();
+    for k in 0..ENTRIES {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Rz(0.2 + k as f64 * 0.51), &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::T, &[1]);
+        let u = c.unitary();
+        let fp = fingerprint(&u, GateSet::Nam);
+        cache.insert(fp, &c, u.clone());
+        keys.push((fp, u));
+    }
+    let mut hard = Circuit::new(2);
+    hard.push(Gate::Rz(2.913), &[0]);
+    hard.push(Gate::Cx, &[1, 0]);
+    let hard_u = hard.unitary();
+    cache.insert_failure(fingerprint(&hard_u, GateSet::Nam), 1e-9, 2);
+    (cache, keys)
+}
+
+/// Saves the populated cache once and returns its snapshot bytes.
+fn snapshot_bytes(tag: &str) -> (Vec<u8>, Vec<(Fingerprint, Mat)>) {
+    let dir = std::env::temp_dir().join(format!("qcsnap-fuzz-{tag}"));
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.qcs");
+    let (cache, keys) = populated();
+    let saved = cache.save_snapshot(&path).unwrap();
+    assert_eq!(saved.records, ENTRIES + 1);
+    let bytes = fs::read(&path).unwrap();
+    assert_eq!(bytes.len() as u64, saved.bytes);
+    let _ = fs::remove_file(&path);
+    (bytes, keys)
+}
+
+/// Writes `bytes` to a scratch file, loads it into a fresh cache, and
+/// checks the universal corruption invariants: no panic (by arriving
+/// here), no I/O error, never more records than were saved, and every
+/// key that still serves verifies exactly.
+fn load_mutant(tag: &str, bytes: &[u8], keys: &[(Fingerprint, Mat)]) -> (QCache, usize, usize) {
+    let path = std::env::temp_dir()
+        .join(format!("qcsnap-fuzz-{tag}"))
+        .join("mutant.qcs");
+    fs::write(&path, bytes).unwrap();
+    let cache = QCache::new(QCacheOpts::default());
+    let stats = cache.load_snapshot(&path).unwrap();
+    let _ = fs::remove_file(&path);
+    assert!(
+        stats.records <= ENTRIES + 1,
+        "loaded {} records from a {}-record snapshot",
+        stats.records,
+        ENTRIES + 1
+    );
+    assert!(stats.bytes <= bytes.len() as u64);
+    for (fp, u) in keys {
+        if let Some(hit) = cache.lookup(fp, u, 1e-9, usize::MAX).hit() {
+            assert!(
+                hit.epsilon < 1e-12,
+                "a loaded entry served a non-exact replacement"
+            );
+            let d = qmath::dist::accurate_hs_distance(&hit.circuit.unitary(), u);
+            assert!(
+                d < 1e-9,
+                "a served circuit does not implement the query unitary (d = {d:.3e})"
+            );
+        }
+    }
+    (cache, stats.records, stats.skipped)
+}
+
+/// Truncation at **every** byte offset: the load returns the
+/// checksum-valid record prefix (monotone in the cut point) and never
+/// panics. This is the crash-during-non-atomic-copy / torn-disk case.
+#[test]
+fn truncation_at_every_byte_loads_only_valid_prefix() {
+    let (bytes, keys) = snapshot_bytes("trunc");
+    let mut prev_records = 0usize;
+    for cut in 0..=bytes.len() {
+        let (_, records, skipped) = load_mutant("trunc", &bytes[..cut], &keys);
+        assert!(
+            records >= prev_records,
+            "record count regressed at cut {cut}: {records} < {prev_records}"
+        );
+        prev_records = prev_records.max(records);
+        if cut < bytes.len() {
+            assert!(
+                records < ENTRIES + 1 || skipped == 0,
+                "a truncated file cannot contain every record AND damage"
+            );
+        }
+    }
+    assert_eq!(prev_records, ENTRIES + 1, "the full file loads everything");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-byte corruption anywhere in the file: the load never
+    /// panics, and the damaged region is detected — strictly fewer
+    /// records load than were saved (a 64-bit checksum cannot be
+    /// fooled by one flipped byte), with the damage surfaced in
+    /// `skipped`.
+    #[test]
+    fn flipped_byte_is_always_detected(
+        seed in 0usize..1usize << 30,
+        mask in 1u16..256u16,
+    ) {
+        let (mut bytes, keys) = snapshot_bytes("flip");
+        let at = seed % bytes.len();
+        bytes[at] ^= mask as u8;
+        let (_, records, skipped) = load_mutant("flip", &bytes, &keys);
+        if (8..16).contains(&at) {
+            // The profile-stamp field is unchecksummed by design: a
+            // wrong stamp only changes *when* restored negatives
+            // expire, which is sound either way. Records still load.
+            prop_assert_eq!(records, ENTRIES + 1);
+        } else {
+            prop_assert!(
+                records < ENTRIES + 1,
+                "a flipped byte at {at} went unnoticed ({records} records loaded)"
+            );
+            prop_assert!(skipped >= 1, "flip at {at} was not surfaced as a skip");
+        }
+    }
+
+    /// Multi-byte shotgun corruption: still no panic, still no
+    /// over-loading, still only exact entries served.
+    #[test]
+    fn shotgun_corruption_never_panics(
+        offsets in proptest::collection::vec((0usize..1 << 30, 1u16..256u16), 1..12),
+    ) {
+        let (mut bytes, keys) = snapshot_bytes("shotgun");
+        for (seed, mask) in offsets {
+            let at = seed % bytes.len();
+            bytes[at] ^= mask as u8;
+        }
+        load_mutant("shotgun", &bytes, &keys);
+    }
+
+    /// Appending garbage after a valid snapshot (a crashed writer that
+    /// was *not* using the atomic-rename path, or block-device slack):
+    /// every real record loads; the garbage tail is skipped.
+    #[test]
+    fn garbage_tail_is_skipped(
+        tail in proptest::collection::vec(0u16..256u16, 1..200),
+    ) {
+        let (mut bytes, keys) = snapshot_bytes("tail");
+        bytes.extend(tail.into_iter().map(|b| b as u8));
+        let (_, records, skipped) = load_mutant("tail", &bytes, &keys);
+        prop_assert_eq!(records, ENTRIES + 1);
+        prop_assert!(skipped >= 1);
+    }
+}

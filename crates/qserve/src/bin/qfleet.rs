@@ -1,0 +1,197 @@
+//! The `qfleet` binary: a fault-tolerant multi-worker front end over
+//! the qserve line protocol.
+//!
+//! ```text
+//! qfleet [flags] [-- worker flags...]     serve one session on stdin/stdout
+//!   --workers N          worker processes (default 3)
+//!   --jobs-per-worker N  concurrent jobs per worker (default 2)
+//!   --journal-dir DIR    shared journal + cache-snapshot directory
+//!                        (default qfleet-journal)
+//!   --heartbeat-ms N     worker heartbeat period (default 500)
+//!   --stall-beats N      silent beats before a worker is killed (default 4)
+//!   --retry-max N        failover attempts per job (default 4)
+//!   --retry-backoff-ms N backoff base for respawn/retry (default 100)
+//!   --job-timeout-ms N   per-dispatch wall cap (default 120000)
+//!   --cache-gates N      per-worker memo-cache budget (default 65536)
+//!   --snapshot-flush-ms N
+//!                        workers' periodic cache-snapshot flush
+//!                        (default 1000)
+//!   --worker-bin PATH    qserve binary (default: QFLEET_WORKER_BIN,
+//!                        then a sibling of this executable, then PATH)
+//!   -- ...               everything after -- goes to every worker
+//!                        verbatim (e.g. --gateset ionq)
+//! ```
+//!
+//! Reads `SUBMIT` frames on stdin; every reply frame goes to stdout.
+//! The router allocates globally unique job ids — the client's own id
+//! comes back as `ACCEPTED id=<fleet id> ref=<client id>`, and all
+//! subsequent frames for the job carry the fleet id.
+
+use qserve::fleet::{Fleet, FleetOpts};
+use qserve::{Frame, FrameDecoder};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+fn main() -> ExitCode {
+    let mut opts = FleetOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--" {
+            opts.worker_args.extend(args.by_ref());
+            break;
+        }
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.workers = n)
+                    .map_err(|_| "bad --workers value".into())
+            }),
+            "--jobs-per-worker" => value("--jobs-per-worker").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.jobs_per_worker = n)
+                    .map_err(|_| "bad --jobs-per-worker value".into())
+            }),
+            "--journal-dir" => value("--journal-dir").map(|v| opts.journal_dir = v.into()),
+            "--heartbeat-ms" => value("--heartbeat-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.heartbeat_ms = n)
+                    .map_err(|_| "bad --heartbeat-ms value".into())
+            }),
+            "--stall-beats" => value("--stall-beats").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.stall_beats = n)
+                    .map_err(|_| "bad --stall-beats value".into())
+            }),
+            "--retry-max" => value("--retry-max").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.retry_max = n)
+                    .map_err(|_| "bad --retry-max value".into())
+            }),
+            "--retry-backoff-ms" => value("--retry-backoff-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.retry_backoff_ms = n)
+                    .map_err(|_| "bad --retry-backoff-ms value".into())
+            }),
+            "--job-timeout-ms" => value("--job-timeout-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.job_timeout_ms = n)
+                    .map_err(|_| "bad --job-timeout-ms value".into())
+            }),
+            "--cache-gates" => value("--cache-gates").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.cache_gates = n)
+                    .map_err(|_| "bad --cache-gates value".into())
+            }),
+            "--snapshot-flush-ms" => value("--snapshot-flush-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.snapshot_flush_ms = n)
+                    .map_err(|_| "bad --snapshot-flush-ms value".into())
+            }),
+            "--worker-bin" => value("--worker-bin").map(|v| opts.worker_binary = Some(v.into())),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("qfleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "qfleet: {} workers × {} jobs, journals in {}, heartbeat {} ms, retry max {}",
+        opts.workers,
+        opts.jobs_per_worker,
+        opts.journal_dir.display(),
+        opts.heartbeat_ms,
+        opts.retry_max,
+    );
+    let fleet = match Fleet::start(opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("qfleet: cannot start fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // One writer lock over stdout: forwarder threads stream each job's
+    // frames as they arrive; lines never interleave mid-frame.
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let mut forwarders = Vec::new();
+    let mut decoder = FrameDecoder::new();
+    let mut stdin = std::io::stdin().lock();
+    let mut chunk = [0u8; 4096];
+    'pump: loop {
+        let n = match stdin.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                eprintln!("qfleet: stdin error: {e}");
+                break;
+            }
+        };
+        for parsed in decoder.push(&chunk[..n]) {
+            match parsed {
+                Ok(Frame::Shutdown) => break 'pump,
+                Ok(Frame::Submit(req)) => {
+                    let client_ref = req.id;
+                    let (fleet_id, rx) = fleet.submit(req);
+                    emit(
+                        &out,
+                        &Frame::Accepted {
+                            id: fleet_id,
+                            ref_id: client_ref,
+                        },
+                    );
+                    let out = Arc::clone(&out);
+                    forwarders.push(std::thread::spawn(move || {
+                        while let Ok(frame) = rx.recv() {
+                            // The router already sent our ACCEPTED
+                            // mapping; drop the workers' own.
+                            if matches!(frame, Frame::Accepted { .. }) {
+                                continue;
+                            }
+                            let terminal = matches!(frame, Frame::Done(_) | Frame::Error { .. });
+                            emit(&out, &frame);
+                            if terminal {
+                                break;
+                            }
+                        }
+                    }));
+                }
+                Ok(other) => emit(
+                    &out,
+                    &Frame::Error {
+                        id: 0,
+                        code: "bad-request".into(),
+                        message: format!("qfleet accepts SUBMIT/SHUTDOWN, not {other:?}"),
+                    },
+                ),
+                Err(e) => emit(
+                    &out,
+                    &Frame::Error {
+                        id: 0,
+                        code: "bad-request".into(),
+                        message: e.message,
+                    },
+                ),
+            }
+        }
+        if decoder.is_poisoned() {
+            eprintln!("qfleet: oversized frame line; closing session");
+            break;
+        }
+    }
+    for h in forwarders {
+        let _ = h.join();
+    }
+    fleet.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn emit(out: &Arc<Mutex<std::io::Stdout>>, frame: &Frame) {
+    let mut out = out.lock().expect("stdout lock poisoned");
+    let _ = out.write_all(frame.encode().as_bytes());
+    let _ = out.flush();
+}

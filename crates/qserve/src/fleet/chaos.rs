@@ -1,0 +1,199 @@
+//! Deterministic fault injection for the fleet's differential chaos
+//! suite: a seeded RNG, file-corruption primitives (truncate at an
+//! arbitrary byte, flip a byte), and a response-link mutator that
+//! delays or blackholes worker frames. Everything is driven by an
+//! explicit seed so a failing chaos run replays exactly.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// SplitMix64 finalizer — the repo's standard cheap mixer.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded SplitMix64 stream: deterministic, state is one `u64`, and
+/// two injectors with different seeds are statistically independent.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream seeded by `seed` (two equal seeds replay identically).
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform draw in `0..n` (`0` for `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True once in `one_in` draws on average (`false` for `0`).
+    pub fn one_in(&mut self, one_in: u64) -> bool {
+        one_in > 0 && self.below(one_in) == 0
+    }
+}
+
+/// Truncates `path` to `keep` bytes (no-op if the file is already
+/// shorter) — the "crash mid-append" journal fault.
+pub fn truncate_file(path: &Path, keep: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    if f.metadata()?.len() > keep {
+        f.set_len(keep)?;
+    }
+    f.sync_all()
+}
+
+/// XORs the byte at `offset` with `mask` (a zero mask is forced to
+/// `0x01` so the call always damages the file) — the "bit rot in the
+/// cache snapshot" fault. Errors if `offset` is past EOF.
+pub fn flip_byte(path: &Path, offset: u64, mask: u8) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    let len = f.metadata()?.len();
+    if offset >= len {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("flip offset {offset} past EOF {len}"),
+        ));
+    }
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= if mask == 0 { 1 } else { mask };
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)?;
+    f.sync_all()
+}
+
+/// Response-link fault injection, applied by each worker's reader
+/// thread to the frames the router receives. Deterministic per
+/// (seed, worker slot). Delays model a loaded link; a blackhole
+/// window models a stalled one — the router's heartbeat/stall
+/// machinery must recover either way.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkChaos {
+    /// Seed for the per-link RNG (combined with the worker slot).
+    pub seed: u64,
+    /// Max injected per-frame delay, in milliseconds (uniform draw in
+    /// `0..delay_ms`; `0` disables delays).
+    pub delay_ms: u64,
+    /// One in this many frames opens a blackhole window (`0` never).
+    pub blackhole_one_in: u64,
+    /// Frames swallowed per blackhole window.
+    pub blackhole_len: u64,
+}
+
+impl LinkChaos {
+    /// The per-worker mutator state.
+    pub(crate) fn for_slot(self, slot: usize) -> LinkState {
+        LinkState {
+            cfg: self,
+            rng: ChaosRng::new(mix(self.seed ^ slot as u64)),
+            blackhole_left: 0,
+        }
+    }
+}
+
+/// Per-link mutator state (one per worker reader thread).
+pub(crate) struct LinkState {
+    cfg: LinkChaos,
+    rng: ChaosRng,
+    blackhole_left: u64,
+}
+
+impl LinkState {
+    /// Applies the configured faults to one received frame: returns
+    /// `false` if the frame is swallowed, after any injected delay.
+    pub(crate) fn admit(&mut self) -> bool {
+        if self.blackhole_left > 0 {
+            self.blackhole_left -= 1;
+            return false;
+        }
+        if self.rng.one_in(self.cfg.blackhole_one_in) {
+            self.blackhole_left = self.cfg.blackhole_len.max(1) - 1;
+            return false;
+        }
+        if self.cfg.delay_ms > 0 {
+            let ms = self.rng.below(self.cfg.delay_ms);
+            if ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_varied() {
+        let a: Vec<u64> = {
+            let mut r = ChaosRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaosRng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn file_faults_do_what_they_say() {
+        let dir = std::env::temp_dir().join(format!("qfleet-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("victim.bin");
+        std::fs::write(&p, [0u8, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        truncate_file(&p, 3).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), vec![0, 1, 2]);
+        flip_byte(&p, 1, 0xFF).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), vec![0, 0xFE, 2]);
+        // Zero mask still damages.
+        flip_byte(&p, 0, 0).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap()[0], 1);
+        assert!(flip_byte(&p, 99, 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blackhole_swallows_a_window() {
+        let chaos = LinkChaos {
+            seed: 7,
+            delay_ms: 0,
+            blackhole_one_in: 1, // every admission check opens a window
+            blackhole_len: 3,
+        };
+        let mut link = chaos.for_slot(0);
+        // First frame opens the window (swallowed), then len-1 more.
+        assert!(!link.admit());
+        assert!(!link.admit());
+        assert!(!link.admit());
+        // Window closed; next check re-rolls (and with one_in=1 opens
+        // a fresh window — still swallowed, proving re-arm works).
+        assert!(!link.admit());
+    }
+}

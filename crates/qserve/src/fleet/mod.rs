@@ -1,0 +1,787 @@
+//! Fleet mode: a fault-tolerant router over N `qserve` worker
+//! processes.
+//!
+//! The [`Fleet`] spawns `workers` copies of the `qserve` binary in
+//! `--stdio` mode, all sharing one `--journal-dir` (and each owning a
+//! persistent cache snapshot `cache-w<slot>.qcs` beside the journals),
+//! and routes jobs to them over the line protocol (always v2):
+//!
+//! * **Placement** — consistent (rendezvous) hashing of the circuit
+//!   fingerprint over the healthy workers, so repeat submissions of
+//!   the same circuit land on the worker whose memo cache is warmest.
+//!   A worker at its `jobs_per_worker` capacity is skipped in favor of
+//!   the next-highest scorer.
+//! * **Health** — every `heartbeat_ms` the router pings each worker
+//!   with `HEALTH`; any frame counts as life. A worker silent for
+//!   `stall_beats` consecutive beats, one whose pipe errors, or one
+//!   whose job blows its `job_timeout_ms` is declared dead: killed
+//!   (SIGKILL — a half-dead process must not keep appending to shared
+//!   journals), and respawned under bounded exponential backoff with
+//!   seeded jitter.
+//! * **Failover** — jobs in flight on a dead worker are re-dispatched
+//!   to a healthy one as `RESUME id=` (the shared journal replays the
+//!   best-so-far and the search continues with the remaining budget).
+//!   If the journal is unusable the router escalates to a fresh
+//!   `SUBMIT overwrite=1` replay of the original request. Re-dispatch
+//!   is bounded by `retry_max` attempts per job; past that the job's
+//!   client gets a typed `ERROR code=degraded`.
+//! * **Degraded mode** — admission capacity is `healthy workers ×
+//!   jobs_per_worker`. When workers die, capacity shrinks and excess
+//!   jobs wait in the router's queue (dispatched as workers return)
+//!   instead of failing.
+//!
+//! Job ids are allocated by the router, globally unique across fleet
+//! restarts (it scans the journal directory for the highest used id) —
+//! the uniqueness the shared journal keying requires. The client's own
+//! id travels back in `ACCEPTED ref=`.
+//!
+//! The [`chaos`] module provides the deterministic fault injectors
+//! (process kill via exposed pids, journal truncation, snapshot byte
+//! flips, response delay/blackhole) the differential chaos suite in
+//! `tests/fleet.rs` drives.
+
+pub mod chaos;
+mod worker;
+
+pub use chaos::{flip_byte, truncate_file, ChaosRng, LinkChaos};
+pub use worker::resolve_worker_binary;
+
+use crate::protocol::{codes, Frame, JobRequest};
+use chaos::mix;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use worker::WorkerProc;
+
+/// Fleet configuration. The defaults suit an interactive fleet on one
+/// machine; the chaos suite tightens the timing knobs.
+#[derive(Debug, Clone)]
+pub struct FleetOpts {
+    /// Worker processes to run.
+    pub workers: usize,
+    /// Concurrent jobs the router dispatches to one worker (also the
+    /// worker's own `--workers` budget).
+    pub jobs_per_worker: usize,
+    /// Shared journal directory (created if missing). Worker cache
+    /// snapshots live here too, as `cache-w<slot>.qcs`.
+    pub journal_dir: PathBuf,
+    /// Heartbeat period, ms.
+    pub heartbeat_ms: u64,
+    /// Consecutive silent beats before a worker is declared stalled.
+    pub stall_beats: u32,
+    /// Re-dispatch attempts per job before its client gets
+    /// `ERROR code=degraded`.
+    pub retry_max: u32,
+    /// Base of the respawn/retry exponential backoff, ms (doubled per
+    /// consecutive failure, capped at 5 s, plus seeded jitter).
+    pub retry_backoff_ms: u64,
+    /// Wall cap per dispatch attempt, ms: a job silent past this marks
+    /// its worker dead (the blackholed-DONE case) and fails over.
+    pub job_timeout_ms: u64,
+    /// Worker binary; `None` resolves via [`resolve_worker_binary`].
+    pub worker_binary: Option<PathBuf>,
+    /// Extra flags appended to every worker's command line (gate set,
+    /// wall caps, …).
+    pub worker_args: Vec<String>,
+    /// Per-worker memo-cache budget in gates (0 disables caching and
+    /// snapshots).
+    pub cache_gates: usize,
+    /// Workers' periodic cache-snapshot flush, ms (0 = shutdown only —
+    /// a kill -9'd worker then restarts cold).
+    pub snapshot_flush_ms: u64,
+    /// Response-link fault injection (tests only; `None` in service).
+    pub chaos: Option<LinkChaos>,
+    /// Seed for the router's own jitter.
+    pub seed: u64,
+}
+
+impl Default for FleetOpts {
+    fn default() -> Self {
+        FleetOpts {
+            workers: 3,
+            jobs_per_worker: 2,
+            journal_dir: PathBuf::from("qfleet-journal"),
+            heartbeat_ms: 500,
+            stall_beats: 4,
+            retry_max: 4,
+            retry_backoff_ms: 100,
+            job_timeout_ms: 120_000,
+            worker_binary: None,
+            worker_args: Vec::new(),
+            cache_gates: 65_536,
+            snapshot_flush_ms: 1_000,
+            chaos: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Router-internal events: worker traffic and client commands share
+/// one channel, so the router loop is a single `recv_timeout`.
+pub(crate) enum Event {
+    /// A frame from worker `slot`, incarnation `generation`.
+    Frame {
+        slot: usize,
+        generation: u64,
+        frame: Frame,
+    },
+    /// Worker `slot`'s stdout closed (death or clean exit).
+    Eof { slot: usize, generation: u64 },
+    /// A client submission (id already allocated).
+    Submit {
+        id: u64,
+        req: JobRequest,
+        ticket: Sender<Frame>,
+    },
+    /// Begin drain: finish live jobs, then stop.
+    Shutdown,
+}
+
+/// A running fleet. Submit with [`submit`](Self::submit); shut down
+/// with [`shutdown`](Self::shutdown) (drains live jobs first).
+pub struct Fleet {
+    tx: Sender<Event>,
+    router: Option<std::thread::JoinHandle<()>>,
+    pids: Arc<Mutex<Vec<Option<u32>>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl Fleet {
+    /// Spawns the worker processes and the router thread. Fails only
+    /// if the journal directory cannot be created — worker spawn
+    /// failures are survivable (backoff + respawn), not fatal.
+    pub fn start(opts: FleetOpts) -> std::io::Result<Fleet> {
+        std::fs::create_dir_all(&opts.journal_dir)?;
+        let next_id = Arc::new(AtomicU64::new(next_free_job_id(&opts.journal_dir)));
+        let pids = Arc::new(Mutex::new(vec![None; opts.workers.max(1)]));
+        let (tx, rx) = unbounded();
+        let router = {
+            let pids = Arc::clone(&pids);
+            let tx = tx.clone();
+            std::thread::spawn(move || Router::new(opts, tx, rx, pids).run())
+        };
+        Ok(Fleet {
+            tx,
+            router: Some(router),
+            pids,
+            next_id,
+        })
+    }
+
+    /// Submits a job. The request's own `id` is recorded as the client
+    /// reference (`ACCEPTED ref=`); the returned id is the router's
+    /// globally unique allocation, which every frame on the returned
+    /// channel carries. The channel ends with the job's terminal
+    /// `DONE` (or `ERROR`); it never blocks the router (unbounded).
+    pub fn submit(&self, mut req: JobRequest) -> (u64, Receiver<Frame>) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        req.id = id;
+        let (ticket, rx) = unbounded();
+        let _ = self.tx.send(Event::Submit { id, req, ticket });
+        (id, rx)
+    }
+
+    /// Current worker pids by slot (`None` = slot is down/respawning).
+    /// The chaos harness uses this to `kill -9` a specific worker.
+    pub fn worker_pids(&self) -> Vec<Option<u32>> {
+        self.pids.lock().expect("fleet pids poisoned").clone()
+    }
+
+    /// Graceful shutdown: stops accepting, drains live jobs (each
+    /// still reaches its terminal frame — by completion or bounded
+    /// retries), closes the workers (which flush their cache
+    /// snapshots), and joins the router.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Event::Shutdown);
+        if let Some(h) = self.router.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The next job id no journal on disk has used — global uniqueness
+/// across fleet restarts over one journal directory.
+fn next_free_job_id(dir: &Path) -> u64 {
+    let mut max = 0u64;
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix("job-")
+                .and_then(|r| r.strip_suffix(".journal"))
+                .and_then(|r| r.parse::<u64>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+    }
+    max + 1
+}
+
+/// Circuit fingerprint for placement: a SplitMix64 fold of the QASM
+/// payload. Identical submissions hash identically — that, plus
+/// rendezvous placement, is what sends repeats to the warmest cache.
+fn fingerprint(qasm: &str) -> u64 {
+    let mut h = 0x9E3779B97F4A7C15u64;
+    for chunk in qasm.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(w));
+    }
+    h
+}
+
+/// How the next dispatch of a job hits the wire.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// First dispatch: plain `SUBMIT`.
+    Submit,
+    /// Failover: `RESUME id=` — replay the shared journal.
+    Resume,
+    /// Journal was unusable: fresh `SUBMIT overwrite=1` replay.
+    SubmitOverwrite,
+}
+
+struct JobState {
+    req: JobRequest,
+    ticket: Sender<Frame>,
+    fp: u64,
+    mode: Mode,
+    /// Dispatch attempts consumed (bounded by `retry_max` + 1).
+    attempts: u32,
+    /// Worker slot currently running it.
+    on: Option<usize>,
+    /// Per-attempt wall deadline.
+    deadline: Option<Instant>,
+}
+
+struct Slot {
+    proc: Option<WorkerProc>,
+    /// Incarnation counter: reader events from older incarnations are
+    /// stale and ignored.
+    generation: u64,
+    last_seen: Instant,
+    missed: u32,
+    respawn_at: Instant,
+    respawn_attempts: u32,
+    jobs: Vec<u64>,
+}
+
+struct Router {
+    opts: FleetOpts,
+    binary: PathBuf,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    pids: Arc<Mutex<Vec<Option<u32>>>>,
+    slots: Vec<Slot>,
+    jobs: HashMap<u64, JobState>,
+    pending: VecDeque<u64>,
+    rng: ChaosRng,
+    draining: bool,
+}
+
+impl Router {
+    fn new(
+        opts: FleetOpts,
+        tx: Sender<Event>,
+        rx: Receiver<Event>,
+        pids: Arc<Mutex<Vec<Option<u32>>>>,
+    ) -> Router {
+        let now = Instant::now();
+        let binary = resolve_worker_binary(opts.worker_binary.as_deref());
+        let slots = (0..opts.workers.max(1))
+            .map(|_| Slot {
+                proc: None,
+                generation: 0,
+                last_seen: now,
+                missed: 0,
+                respawn_at: now, // spawn immediately
+                respawn_attempts: 0,
+                jobs: Vec::new(),
+            })
+            .collect();
+        let rng = ChaosRng::new(mix(opts.seed ^ 0xF1EE7));
+        Router {
+            opts,
+            binary,
+            tx,
+            rx,
+            pids,
+            slots,
+            jobs: HashMap::new(),
+            pending: VecDeque::new(),
+            rng,
+            draining: false,
+        }
+    }
+
+    fn run(mut self) {
+        let heartbeat = Duration::from_millis(self.opts.heartbeat_ms.max(20));
+        let mut next_beat = Instant::now() + heartbeat;
+        loop {
+            self.maintain();
+            if self.draining && self.jobs.is_empty() && self.pending.is_empty() {
+                break;
+            }
+            // Sleep until whatever is due first: the heartbeat, a
+            // respawn backoff expiring, or a job deadline.
+            let mut wake = next_beat;
+            for s in &self.slots {
+                if s.proc.is_none() {
+                    wake = wake.min(s.respawn_at);
+                }
+            }
+            for j in self.jobs.values() {
+                if let Some(d) = j.deadline {
+                    wake = wake.min(d);
+                }
+            }
+            let timeout = wake.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(timeout) {
+                Ok(ev) => self.handle(ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break, // Fleet dropped
+            }
+            if Instant::now() >= next_beat {
+                self.beat();
+                next_beat = Instant::now() + heartbeat;
+            }
+        }
+        self.close_workers();
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Submit { id, req, ticket } => {
+                if self.draining {
+                    let _ = ticket.send(Frame::Error {
+                        id,
+                        code: codes::DRAINING.into(),
+                        message: "fleet is shutting down".into(),
+                    });
+                    return;
+                }
+                let fp = fingerprint(&req.qasm);
+                self.jobs.insert(
+                    id,
+                    JobState {
+                        req,
+                        ticket,
+                        fp,
+                        mode: Mode::Submit,
+                        attempts: 0,
+                        on: None,
+                        deadline: None,
+                    },
+                );
+                self.pending.push_back(id);
+            }
+            Event::Shutdown => self.draining = true,
+            Event::Eof { slot, generation } => {
+                if self.slots[slot].generation == generation && self.slots[slot].proc.is_some() {
+                    self.fail_worker(slot, "exited");
+                }
+            }
+            Event::Frame {
+                slot,
+                generation,
+                frame,
+            } => {
+                if self.slots[slot].generation != generation {
+                    return; // stale incarnation
+                }
+                self.slots[slot].last_seen = Instant::now();
+                self.slots[slot].missed = 0;
+                // A worker that answers after a spawn streak is healthy
+                // again: reset its backoff ladder.
+                self.slots[slot].respawn_attempts = 0;
+                self.worker_frame(slot, frame);
+            }
+        }
+    }
+
+    /// One frame from a live worker.
+    fn worker_frame(&mut self, slot: usize, frame: Frame) {
+        match frame {
+            Frame::Hello { .. } | Frame::Healthy { .. } => {} // liveness only
+            Frame::Done(summary) => {
+                let id = summary.id;
+                self.slots[slot].jobs.retain(|&j| j != id);
+                if let Some(job) = self.jobs.remove(&id) {
+                    let _ = job.ticket.send(Frame::Done(summary));
+                }
+            }
+            Frame::Accepted { id, .. } | Frame::Snapshot { id, .. } | Frame::Delta { id, .. } => {
+                if let Some(job) = self.jobs.get(&id) {
+                    if job.on == Some(slot) {
+                        // Re-stamp ACCEPTED with the client's own id as
+                        // the reference (workers don't know it).
+                        let out = match frame {
+                            Frame::Accepted { id, .. } => Frame::Accepted { id, ref_id: 0 },
+                            f => f,
+                        };
+                        let _ = job.ticket.send(out);
+                    }
+                }
+            }
+            Frame::Error { id, code, message } => self.job_error(slot, id, &code, message),
+            _ => {} // nothing else flows worker → router
+        }
+    }
+
+    /// Typed worker error for a job: retry, escalate, or surface.
+    fn job_error(&mut self, slot: usize, id: u64, code: &str, message: String) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.on != Some(slot) {
+            return; // stale
+        }
+        self.slots[slot].jobs.retain(|&j| j != id);
+        job.on = None;
+        job.deadline = None;
+        match code {
+            // The journal could not serve a RESUME (crash before its
+            // first checkpoint, damage beyond replay): replay the
+            // original request from scratch, with explicit overwrite
+            // consent for whatever husk of a journal remains.
+            codes::JOURNAL if job.mode == Mode::Resume => {
+                job.mode = Mode::SubmitOverwrite;
+                self.pending.push_back(id);
+            }
+            // A fresh SUBMIT collided with an unfinished journal — a
+            // previous incarnation of this very job got further than
+            // our bookkeeping knew. Resume it instead.
+            codes::JOURNAL_CONFLICT => {
+                job.mode = Mode::Resume;
+                self.pending.push_back(id);
+            }
+            // Transient admission pushback: costs an attempt, retries.
+            codes::QUEUE_FULL | codes::QUEUE_TIMEOUT | codes::DRAINING => {
+                self.requeue_or_fail(id);
+            }
+            // Permanent (bad request, unknown): the client's problem.
+            _ => {
+                let job = self.jobs.remove(&id).expect("checked above");
+                let _ = job.ticket.send(Frame::Error {
+                    id,
+                    code: code.into(),
+                    message,
+                });
+            }
+        }
+    }
+
+    /// Heartbeat tick: account silence, ping the living.
+    fn beat(&mut self) {
+        let stall = self.opts.stall_beats.max(1);
+        let period = Duration::from_millis(self.opts.heartbeat_ms.max(20));
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].proc.is_none() {
+                continue;
+            }
+            if self.slots[slot].last_seen.elapsed() >= period {
+                self.slots[slot].missed += 1;
+            }
+            if self.slots[slot].missed >= stall {
+                self.fail_worker(slot, "stalled (missed heartbeats)");
+                continue;
+            }
+            let ok = self.slots[slot]
+                .proc
+                .as_mut()
+                .expect("checked above")
+                .send(&Frame::Health)
+                .is_ok();
+            if !ok {
+                self.fail_worker(slot, "pipe broken");
+            }
+        }
+    }
+
+    /// Respawns due, job deadlines, dispatch.
+    fn maintain(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].proc.is_none() && now >= self.slots[slot].respawn_at {
+                self.respawn(slot);
+            }
+        }
+        // A job past its per-attempt deadline means its worker is
+        // wedged or its responses are blackholed — either way the
+        // worker cannot be trusted with shared journals anymore.
+        let overdue: Vec<usize> = self
+            .jobs
+            .values()
+            .filter(|j| j.deadline.is_some_and(|d| now >= d))
+            .filter_map(|j| j.on)
+            .collect();
+        for slot in overdue {
+            if self.slots[slot].proc.is_some() {
+                self.fail_worker(slot, "job deadline blown");
+            }
+        }
+        self.dispatch_pending();
+    }
+
+    fn dispatch_pending(&mut self) {
+        let mut tried = 0;
+        let n = self.pending.len();
+        while tried < n {
+            let Some(id) = self.pending.pop_front() else {
+                break;
+            };
+            tried += 1;
+            if !self.dispatch(id) {
+                self.pending.push_back(id); // degraded: wait for capacity
+            }
+        }
+    }
+
+    /// Dispatches one job to the best healthy worker with capacity.
+    /// Returns false (job stays pending) when none qualifies.
+    fn dispatch(&mut self, id: u64) -> bool {
+        let Some(job) = self.jobs.get(&id) else {
+            return true; // vanished (already failed out): drop silently
+        };
+        let cap = self.opts.jobs_per_worker.max(1);
+        let fp = job.fp;
+        let pick = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.proc.is_some() && s.jobs.len() < cap)
+            .max_by_key(|(i, _)| mix(fp ^ mix(*i as u64 + 1)))
+            .map(|(i, _)| i);
+        let Some(slot) = pick else {
+            return false;
+        };
+        let frame = match job.mode {
+            Mode::Submit => Frame::Submit(job.req.clone()),
+            Mode::Resume => Frame::Resume { id },
+            Mode::SubmitOverwrite => {
+                let mut req = job.req.clone();
+                req.overwrite = true;
+                Frame::Submit(req)
+            }
+        };
+        let sent = self.slots[slot]
+            .proc
+            .as_mut()
+            .expect("filtered above")
+            .send(&frame)
+            .is_ok();
+        if !sent {
+            self.fail_worker(slot, "pipe broken");
+            return false;
+        }
+        self.slots[slot].jobs.push(id);
+        let deadline = Instant::now() + Duration::from_millis(self.opts.job_timeout_ms.max(1));
+        let job = self.jobs.get_mut(&id).expect("checked above");
+        job.on = Some(slot);
+        job.deadline = Some(deadline);
+        true
+    }
+
+    /// Declares worker `slot` dead: kill, schedule respawn under
+    /// backoff, fail its jobs over.
+    fn fail_worker(&mut self, slot: usize, why: &str) {
+        let attempts = {
+            let s = &mut self.slots[slot];
+            if let Some(proc) = s.proc.take() {
+                proc.kill();
+            }
+            s.generation += 1;
+            s.missed = 0;
+            s.respawn_attempts += 1;
+            s.respawn_attempts
+        };
+        self.pids.lock().expect("fleet pids poisoned")[slot] = None;
+        let backoff = self.backoff(attempts);
+        self.slots[slot].respawn_at = Instant::now() + backoff;
+        let orphans: Vec<u64> = self.slots[slot].jobs.drain(..).collect();
+        eprintln!(
+            "qfleet: worker w{slot} {why}; respawning in {} ms, failing over {} job(s)",
+            backoff.as_millis(),
+            orphans.len()
+        );
+        for id in orphans {
+            self.requeue_or_fail(id);
+        }
+    }
+
+    /// Bounded exponential backoff with seeded jitter.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.opts.retry_backoff_ms.max(1);
+        let exp = base
+            .saturating_mul(1 << attempt.saturating_sub(1).min(6))
+            .min(5_000);
+        Duration::from_millis(exp + self.rng.below(base))
+    }
+
+    /// Charges a failed attempt; requeues for failover (as `RESUME` —
+    /// the journal holds at least the SUBMIT) or, past `retry_max`,
+    /// surfaces the typed degraded error.
+    fn requeue_or_fail(&mut self, id: u64) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        job.on = None;
+        job.deadline = None;
+        job.attempts += 1;
+        if job.attempts > self.opts.retry_max {
+            let job = self.jobs.remove(&id).expect("checked above");
+            let _ = job.ticket.send(Frame::Error {
+                id,
+                code: codes::DEGRADED.into(),
+                message: format!(
+                    "job failed over {} times without completing; fleet is degraded",
+                    self.opts.retry_max
+                ),
+            });
+        } else {
+            if job.mode == Mode::Submit {
+                job.mode = Mode::Resume;
+            }
+            self.pending.push_back(id);
+        }
+    }
+
+    fn respawn(&mut self, slot: usize) {
+        let args = self.worker_args_for(slot);
+        let generation = self.slots[slot].generation;
+        match WorkerProc::spawn(
+            &self.binary,
+            slot,
+            generation,
+            &args,
+            self.tx.clone(),
+            self.opts.chaos,
+        ) {
+            Ok(proc) => {
+                self.pids.lock().expect("fleet pids poisoned")[slot] = Some(proc.pid);
+                let s = &mut self.slots[slot];
+                s.proc = Some(proc);
+                s.last_seen = Instant::now();
+                s.missed = 0;
+            }
+            Err(e) => {
+                self.slots[slot].respawn_attempts += 1;
+                let backoff = self.backoff(self.slots[slot].respawn_attempts);
+                self.slots[slot].respawn_at = Instant::now() + backoff;
+                eprintln!(
+                    "qfleet: spawning worker w{slot} failed ({e}); retrying in {} ms",
+                    backoff.as_millis()
+                );
+            }
+        }
+    }
+
+    fn worker_args_for(&self, slot: usize) -> Vec<String> {
+        let mut args = vec![
+            "--journal-dir".into(),
+            self.opts.journal_dir.display().to_string(),
+            "--workers".into(),
+            self.opts.jobs_per_worker.max(1).to_string(),
+            "--worker-tag".into(),
+            format!("w{slot}"),
+            "--cache-gates".into(),
+            self.opts.cache_gates.to_string(),
+        ];
+        if self.opts.cache_gates > 0 {
+            args.push("--cache-snapshot".into());
+            args.push(
+                self.opts
+                    .journal_dir
+                    .join(format!("cache-w{slot}.qcs"))
+                    .display()
+                    .to_string(),
+            );
+            if self.opts.snapshot_flush_ms > 0 {
+                args.push("--snapshot-flush-ms".into());
+                args.push(self.opts.snapshot_flush_ms.to_string());
+            }
+        }
+        args.extend(self.opts.worker_args.iter().cloned());
+        args
+    }
+
+    /// Drain-time teardown: close every worker (SHUTDOWN + EOF, so
+    /// each flushes its cache snapshot) and reap; jobs still pending
+    /// get the draining error.
+    fn close_workers(&mut self) {
+        while let Some(id) = self.pending.pop_front() {
+            if let Some(job) = self.jobs.remove(&id) {
+                let _ = job.ticket.send(Frame::Error {
+                    id,
+                    code: codes::DRAINING.into(),
+                    message: "fleet shut down before the job could run".into(),
+                });
+            }
+        }
+        let mut children = Vec::new();
+        for slot in &mut self.slots {
+            if let Some(proc) = slot.proc.take() {
+                children.push(proc.close());
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for mut child in children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        self.pids
+            .lock()
+            .expect("fleet pids poisoned")
+            .iter_mut()
+            .for_each(|p| *p = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_continue_past_existing_journals() {
+        let dir = std::env::temp_dir().join(format!("qfleet-ids-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_free_job_id(&dir), 1);
+        std::fs::write(dir.join("job-7.journal"), b"").unwrap();
+        std::fs::write(dir.join("job-12.journal"), b"").unwrap();
+        std::fs::write(dir.join("not-a-journal.txt"), b"").unwrap();
+        assert_eq!(next_free_job_id(&dir), 13);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let a = fingerprint("OPENQASM 2.0; h q[0];");
+        assert_eq!(a, fingerprint("OPENQASM 2.0; h q[0];"));
+        assert_ne!(a, fingerprint("OPENQASM 2.0; h q[1];"));
+    }
+}

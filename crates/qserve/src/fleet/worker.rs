@@ -1,0 +1,152 @@
+//! One managed `qserve --stdio` worker process: spawning, the stdout
+//! reader thread (with optional link-fault injection), frame writes to
+//! its stdin, and hard kill. The router (`fleet::mod`) owns the policy
+//! — health, failover, respawn backoff — this module owns the plumbing.
+
+use super::chaos::LinkChaos;
+use super::Event;
+use crate::protocol::{Frame, FrameDecoder};
+use crossbeam_channel::Sender;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+/// Resolves the worker binary: an explicit path wins, then the
+/// `QFLEET_WORKER_BIN` environment override, then a `qserve` sibling
+/// of the current executable (the cargo target dir — how `qfleet` and
+/// the test harness find it), then plain `qserve` from `PATH`.
+pub fn resolve_worker_binary(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    if let Ok(p) = std::env::var("QFLEET_WORKER_BIN") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let sibling = exe.with_file_name(format!("qserve{}", std::env::consts::EXE_SUFFIX));
+        if sibling.is_file() {
+            return sibling;
+        }
+    }
+    PathBuf::from("qserve")
+}
+
+/// A live worker process and the write half of its line protocol.
+pub(crate) struct WorkerProc {
+    child: Child,
+    stdin: ChildStdin,
+    /// OS pid — exposed so the chaos harness can `kill -9` a worker
+    /// mid-search.
+    pub(crate) pid: u32,
+}
+
+impl WorkerProc {
+    /// Spawns slot `slot` (re)incarnation `generation`: the worker
+    /// binary in `--stdio` mode with `args`, stderr passed through.
+    /// Its stdout is pumped by a detached reader thread that parses
+    /// frames (through the optional link-fault injector) and forwards
+    /// them — tagged `(slot, generation)` so the router can discard
+    /// events from a dead incarnation — to `events`, ending with an
+    /// `Eof` event when the pipe closes (worker death or shutdown).
+    pub(crate) fn spawn(
+        binary: &Path,
+        slot: usize,
+        generation: u64,
+        args: &[String],
+        events: Sender<Event>,
+        chaos: Option<LinkChaos>,
+    ) -> std::io::Result<WorkerProc> {
+        let mut child = Command::new(binary)
+            .arg("--stdio")
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let pid = child.id();
+        std::thread::spawn(move || read_worker(stdout, slot, generation, events, chaos));
+        let mut w = WorkerProc { child, stdin, pid };
+        // Negotiate v2 up front: deltas on the wire, and the typed
+        // frames (HEALTH, ACCEPTED ref=, ERROR code=) the router runs
+        // on. A write failure here surfaces like any other send.
+        w.send(&Frame::Hello {
+            version: crate::protocol::PROTOCOL_VERSION,
+        })?;
+        Ok(w)
+    }
+
+    /// Writes one frame line to the worker's stdin (flushed — the
+    /// worker must see it now, not at some buffer boundary).
+    pub(crate) fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.stdin.write_all(frame.encode().as_bytes())?;
+        self.stdin.flush()
+    }
+
+    /// Graceful close: `SHUTDOWN` then EOF on stdin. The worker
+    /// finishes outstanding jobs, flushes its cache snapshot, and
+    /// exits; the caller reaps it with [`Self::wait`].
+    pub(crate) fn close(mut self) -> Child {
+        let _ = self.send(&Frame::Shutdown);
+        drop(self.stdin); // EOF
+        self.child
+    }
+
+    /// Hard kill (SIGKILL) and reap — the failover path for a stalled
+    /// worker, and what keeps a half-dead process from appending to
+    /// shared journals while its jobs restart elsewhere.
+    pub(crate) fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The reader thread body: pump the worker's stdout through the frame
+/// decoder (and the link-fault injector), forward frames, signal EOF.
+fn read_worker(
+    stdout: impl Read,
+    slot: usize,
+    generation: u64,
+    events: Sender<Event>,
+    chaos: Option<LinkChaos>,
+) {
+    let mut link = chaos.map(|c| c.for_slot(slot));
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 4096];
+    'pump: loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        for parsed in decoder.push(&chunk[..n]) {
+            // Undecodable worker output is dropped (the injector also
+            // swallows frames, so the router already tolerates gaps).
+            let Ok(frame) = parsed else { continue };
+            if let Some(link) = link.as_mut() {
+                if !link.admit() {
+                    continue;
+                }
+            }
+            if events
+                .send(Event::Frame {
+                    slot,
+                    generation,
+                    frame,
+                })
+                .is_err()
+            {
+                break 'pump; // router gone: stop pumping
+            }
+        }
+        if decoder.is_poisoned() {
+            break;
+        }
+    }
+    let _ = events.send(Event::Eof { slot, generation });
+}

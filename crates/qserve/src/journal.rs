@@ -37,6 +37,35 @@ pub fn journal_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("job-{id}.journal"))
 }
 
+/// Whether `path` holds a journal for an **unfinished** job: the file
+/// exists and its last complete line is not a `DONE` record. A missing
+/// file, an empty file, or a file holding only a torn partial line
+/// (a crash before the first synced record) are all *not* unfinished —
+/// there is nothing recoverable in them to protect.
+fn unfinished(path: &Path) -> std::io::Result<bool> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_string(&mut text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    let ends_complete = text.ends_with('\n');
+    let mut last_complete = None;
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        if lines.peek().is_none() && !ends_complete {
+            break; // torn trailing write: not a record
+        }
+        if !line.trim().is_empty() {
+            last_complete = Some(line);
+        }
+    }
+    Ok(match last_complete {
+        Some(line) => !line.starts_with("DONE "),
+        None => false,
+    })
+}
+
 /// An open, append-only job journal. See the [module docs](self) for
 /// the line grammar.
 #[derive(Debug)]
@@ -45,10 +74,45 @@ pub struct JobJournal {
 }
 
 impl JobJournal {
-    /// Starts a fresh journal for `id` (truncating any previous one —
-    /// journaled deployments should use globally unique job ids) and
-    /// records the admitted `request`.
+    /// Starts a fresh journal for `id` and records the admitted
+    /// `request`.
+    ///
+    /// An existing journal whose last complete record is `DONE` is a
+    /// finished run and is truncated (resubmitting a terminal id is a
+    /// fresh job). An existing **unfinished** journal is refused with
+    /// [`std::io::ErrorKind::AlreadyExists`]: it may be the only
+    /// recoverable state of a crashed job — `RESUME` can still rescue
+    /// it — and silently truncating it would destroy that. A caller
+    /// that really wants to discard the unfinished run opts in via
+    /// [`Self::create_overwriting`] (the wire's `SUBMIT overwrite=1`).
     pub fn create(dir: &Path, id: u64, request: &JobRequest) -> std::io::Result<JobJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir, id);
+        if unfinished(&path)? {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "journal {} records an unfinished job; RESUME it or resubmit with overwrite",
+                    path.display()
+                ),
+            ));
+        }
+        let file = File::create(path)?;
+        let mut j = JobJournal { file };
+        j.append_synced(&Frame::Submit(request.clone()))?;
+        Ok(j)
+    }
+
+    /// Starts a fresh journal for `id`, truncating any existing one —
+    /// finished or not. The explicit opt-in behind `SUBMIT
+    /// overwrite=1`; the caller asserts the previous run's state is
+    /// disposable (e.g. the fleet router replaying a job whose journal
+    /// was damaged beyond replay).
+    pub fn create_overwriting(
+        dir: &Path,
+        id: u64,
+        request: &JobRequest,
+    ) -> std::io::Result<JobJournal> {
         std::fs::create_dir_all(dir)?;
         let file = File::create(journal_path(dir, id))?;
         let mut j = JobJournal { file };
@@ -265,6 +329,7 @@ mod tests {
             seed: 7,
             eps: 1e-6,
             objective: Objective::GateCount,
+            overwrite: false,
             qasm: qasm::to_qasm_line(circuit),
         }
     }
@@ -352,6 +417,84 @@ mod tests {
         let rp = replay(&dir, 9).expect("torn tail tolerated");
         assert_eq!(rp.best, input);
         assert_eq!(rp.iterations, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_unfinished_journal_until_overwrite_or_done() {
+        let dir = std::env::temp_dir().join(format!("qserve-jnl-guard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let input = workload();
+
+        // First create: fine (no prior journal).
+        let mut j = JobJournal::create(&dir, 3, &req(3, &input)).unwrap();
+        j.append_synced(&Frame::Snapshot {
+            id: 3,
+            cost: 3.0,
+            epsilon: 0.0,
+            iterations: 0,
+            seconds: 0.0,
+            qasm: qasm::to_qasm_line(&input),
+        })
+        .unwrap();
+        // A second create for the same live id must refuse — the
+        // journal's last record is not DONE.
+        let err = JobJournal::create(&dir, 3, &req(3, &input)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        // The refused create must not have clobbered the journal.
+        let rp = replay(&dir, 3).expect("journal intact after refusal");
+        assert!(rp.finished.is_none());
+        assert_eq!(rp.best, input);
+
+        // Explicit opt-in truncates it regardless.
+        let mut j2 = JobJournal::create_overwriting(&dir, 3, &req(3, &input)).unwrap();
+        drop(j);
+        // Finish the job: DONE as the last record unlocks plain create.
+        j2.append_synced(&Frame::Done(JobSummary {
+            id: 3,
+            cost: 3.0,
+            epsilon: 0.0,
+            iterations: 10,
+            accepted: 0,
+            resynth_hits: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cancelled: false,
+            qasm: qasm::to_qasm_line(&input),
+        }))
+        .unwrap();
+        drop(j2);
+        JobJournal::create(&dir, 3, &req(3, &input)).expect("finished journal is truncatable");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_tolerates_empty_and_torn_only_journals() {
+        let dir = std::env::temp_dir().join(format!("qserve-jnl-torn2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = workload();
+
+        // Empty file: a crash before the first synced record left
+        // nothing recoverable — plain create proceeds.
+        std::fs::write(journal_path(&dir, 5), b"").unwrap();
+        JobJournal::create(&dir, 5, &req(5, &input)).expect("empty journal is not protected");
+
+        // Torn-only file: half a SUBMIT with no newline, same story.
+        std::fs::write(journal_path(&dir, 6), b"SUBMIT id=6 iters=10").unwrap();
+        JobJournal::create(&dir, 6, &req(6, &input)).expect("torn-only journal is not protected");
+
+        // But a complete non-DONE line (even followed by a torn tail)
+        // is a live job and is protected.
+        std::fs::write(
+            journal_path(&dir, 7),
+            b"SUBMIT id=7 engine=serial iters=10 time_ms=0 seed=1 eps=1e-6 obj=gates qasm=!\nDELT",
+        )
+        .unwrap();
+        let err = JobJournal::create(&dir, 7, &req(7, &input)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 

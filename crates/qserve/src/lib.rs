@@ -23,6 +23,16 @@
 //! around the same [`Server`]; the in-process differential tests drive
 //! the [`ServerHandle`] directly.
 //!
+//! [`fleet`] scales the service across *processes*: a fault-tolerant
+//! router (binary `qfleet`) spawns N `qserve` workers over the same
+//! line protocol, places jobs by circuit fingerprint so repeat
+//! traffic lands on the warmest memo cache, and — backed by the
+//! shared journal dir and each worker's persistent cache snapshot
+//! (`--cache-snapshot`) — fails jobs over via `RESUME` when a worker
+//! dies mid-search. Its deterministic fault-injection harness
+//! ([`fleet::chaos`]) drives the chaos differential suite in
+//! `tests/fleet.rs`.
+//!
 //! Guarantees (differentially tested in `tests/differential.rs`):
 //!
 //! * A served job's result is **identical** to calling
@@ -39,11 +49,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
+pub use fleet::{Fleet, FleetOpts};
 pub use protocol::{
     EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective, PROTOCOL_VERSION,
 };

@@ -15,6 +15,17 @@
 //!   --checkpoint-every N
 //!                      full-snapshot cadence of v2 streams & journals
 //!                      (default 16 improvements)
+//!   --queue-wait-ms N  admission deadline: a job queued longer than
+//!                      this is retracted with ERROR code=queue-timeout
+//!                      (default 0 = wait forever)
+//!   --cache-snapshot FILE
+//!                      persistent memo-cache tier: warm-start from
+//!                      FILE and persist back (atomically) at shutdown
+//!   --snapshot-flush-ms N
+//!                      also flush the cache snapshot every N ms
+//!                      (default 0 = only at shutdown)
+//!   --worker-tag TAG   label for this process's stderr diagnostics
+//!                      (fleet workers; protocol output is unchanged)
 //! ```
 //!
 //! Diagnostics go to stderr; stdout carries only protocol frames.
@@ -38,6 +49,7 @@ fn parse_gate_set(name: &str) -> Option<GateSet> {
 fn main() -> ExitCode {
     let mut opts = ServeOpts::default();
     let mut tcp_addr: Option<String> = None;
+    let mut worker_tag: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -84,6 +96,20 @@ fn main() -> ExitCode {
                     .map(|n| opts.checkpoint_every = n)
                     .ok_or_else(|| "bad --checkpoint-every value".to_string())
             }),
+            "--queue-wait-ms" => value("--queue-wait-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.queue_wait_ms = n)
+                    .map_err(|_| "bad --queue-wait-ms value".into())
+            }),
+            "--cache-snapshot" => {
+                value("--cache-snapshot").map(|v| opts.cache_snapshot = Some(v.into()))
+            }
+            "--snapshot-flush-ms" => value("--snapshot-flush-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| opts.snapshot_flush_ms = n)
+                    .map_err(|_| "bad --snapshot-flush-ms value".into())
+            }),
+            "--worker-tag" => value("--worker-tag").map(|v| worker_tag = Some(v)),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = parsed {
@@ -92,8 +118,11 @@ fn main() -> ExitCode {
         }
     }
 
+    let tag = worker_tag
+        .map(|t| format!("qserve[{t}]"))
+        .unwrap_or_else(|| "qserve".into());
     eprintln!(
-        "qserve: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}, cache {} gates, journal {}",
+        "{tag}: worker budget {}, max {} queued, {} ms wall cap, gate set {:?}, cache {} gates, journal {}",
         opts.worker_budget,
         opts.max_queued,
         opts.max_time_ms,

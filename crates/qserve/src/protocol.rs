@@ -143,6 +143,11 @@ pub struct JobRequest {
     pub eps: f64,
     /// Objective to minimize.
     pub objective: Objective,
+    /// Explicit consent to overwrite an existing **unfinished**
+    /// journal for this id (journaled servers refuse otherwise — see
+    /// [`crate::journal::JobJournal::create`]). Encoded as
+    /// `overwrite=1` only when set, so v1 frames are unchanged.
+    pub overwrite: bool,
     /// The circuit, as (single-line) OpenQASM 2.0.
     pub qasm: String,
 }
@@ -204,10 +209,27 @@ pub enum Frame {
     /// Client: drain and stop (stdio transport; over TCP, closing the
     /// connection has the same per-client effect).
     Shutdown,
+    /// Liveness probe (v2; the fleet router's heartbeat). A healthy
+    /// server answers [`Frame::Healthy`] out of band of any job.
+    Health,
+    /// Reply to [`Frame::Health`].
+    Healthy {
+        /// Jobs currently running or queued.
+        live: u64,
+        /// Free worker slots.
+        slots: u64,
+    },
     /// Server: job admitted to the queue.
     Accepted {
         /// Job id.
         id: u64,
+        /// Backing id this job is recorded under when it differs from
+        /// `id` (the fleet router's globally unique journal id; `0` =
+        /// same as `id`). Encoded as `ref=` only when nonzero, so v1
+        /// frames are unchanged. A client holding `ref` can `RESUME`
+        /// against any router over the same journal dir, even one that
+        /// lost its in-memory id map.
+        ref_id: u64,
     },
     /// Server: a best-so-far snapshot (strict improvement stream).
     Snapshot {
@@ -251,9 +273,38 @@ pub enum Frame {
     Error {
         /// Offending job id (`0` when unattributable).
         id: u64,
+        /// Machine-readable rejection class (see [`codes`]); empty for
+        /// an untyped (pre-typed-error peer) rejection. Encoded as
+        /// `code=` only when non-empty, so v1 frames are unchanged.
+        code: String,
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// The machine-readable `ERROR code=` values this build emits. A
+/// client switching on codes must treat an unknown or absent code as
+/// an untyped error — new codes may appear without a version bump.
+pub mod codes {
+    /// Malformed or unparsable request frame.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// Admission queue at capacity.
+    pub const QUEUE_FULL: &str = "queue-full";
+    /// The job's wall-clock budget expired before it could be admitted
+    /// to a worker slot (per-job queue-wait deadline).
+    pub const QUEUE_TIMEOUT: &str = "queue-timeout";
+    /// The server is draining and accepts no new work.
+    pub const DRAINING: &str = "draining";
+    /// A journal could not be created, read, or replayed.
+    pub const JOURNAL: &str = "journal";
+    /// An existing unfinished journal blocks this id (resubmit with
+    /// `overwrite=1` to consent to truncation).
+    pub const JOURNAL_CONFLICT: &str = "journal-conflict";
+    /// The job id collides with a live job.
+    pub const ID_CONFLICT: &str = "id-conflict";
+    /// The fleet is degraded (no healthy worker can take the job
+    /// within its retry budget).
+    pub const DEGRADED: &str = "degraded";
 }
 
 /// A malformed frame line.
@@ -335,7 +386,7 @@ impl Frame {
     pub fn encode(&self) -> String {
         match self {
             Frame::Submit(r) => format!(
-                "SUBMIT id={} engine={} iters={} time_ms={} seed={} eps={} objective={} qasm={}\n",
+                "SUBMIT id={} engine={} iters={} time_ms={} seed={} eps={} objective={}{} qasm={}\n",
                 r.id,
                 r.engine.encode(),
                 r.iters,
@@ -343,13 +394,22 @@ impl Frame {
                 r.seed,
                 r.eps,
                 r.objective.encode(),
+                if r.overwrite { " overwrite=1" } else { "" },
                 sanitize(&r.qasm),
             ),
             Frame::Hello { version } => format!("HELLO version={version}\n"),
             Frame::Cancel { id } => format!("CANCEL id={id}\n"),
             Frame::Resume { id } => format!("RESUME id={id}\n"),
             Frame::Shutdown => "SHUTDOWN\n".to_string(),
-            Frame::Accepted { id } => format!("ACCEPTED id={id}\n"),
+            Frame::Health => "HEALTH\n".to_string(),
+            Frame::Healthy { live, slots } => format!("HEALTHY live={live} slots={slots}\n"),
+            Frame::Accepted { id, ref_id } => {
+                if *ref_id == 0 {
+                    format!("ACCEPTED id={id}\n")
+                } else {
+                    format!("ACCEPTED id={id} ref={ref_id}\n")
+                }
+            }
             Frame::Snapshot {
                 id,
                 cost,
@@ -386,8 +446,16 @@ impl Frame {
                 u8::from(s.cancelled),
                 sanitize(&s.qasm),
             ),
-            Frame::Error { id, message } => {
-                format!("ERROR id={id} msg={}\n", sanitize(message))
+            Frame::Error { id, code, message } => {
+                if code.is_empty() {
+                    format!("ERROR id={id} msg={}\n", sanitize(message))
+                } else {
+                    format!(
+                        "ERROR id={id} code={} msg={}\n",
+                        sanitize(code),
+                        sanitize(message)
+                    )
+                }
             }
         }
     }
@@ -409,6 +477,7 @@ impl Frame {
                 seed: kv.u64("seed")?,
                 eps: kv.f64("eps")?,
                 objective: Objective::parse(kv.str("objective")?)?,
+                overwrite: kv.u64_or("overwrite", 0)? != 0,
                 qasm: kv.str("qasm")?.to_string(),
             })),
             "HELLO" => Ok(Frame::Hello {
@@ -417,7 +486,15 @@ impl Frame {
             "CANCEL" => Ok(Frame::Cancel { id: kv.u64("id")? }),
             "RESUME" => Ok(Frame::Resume { id: kv.u64("id")? }),
             "SHUTDOWN" => Ok(Frame::Shutdown),
-            "ACCEPTED" => Ok(Frame::Accepted { id: kv.u64("id")? }),
+            "HEALTH" => Ok(Frame::Health),
+            "HEALTHY" => Ok(Frame::Healthy {
+                live: kv.u64("live")?,
+                slots: kv.u64("slots")?,
+            }),
+            "ACCEPTED" => Ok(Frame::Accepted {
+                id: kv.u64("id")?,
+                ref_id: kv.u64_or("ref", 0)?,
+            }),
             "SNAPSHOT" => Ok(Frame::Snapshot {
                 id: kv.u64("id")?,
                 cost: kv.f64("cost")?,
@@ -450,6 +527,7 @@ impl Frame {
             })),
             "ERROR" => Ok(Frame::Error {
                 id: kv.u64("id")?,
+                code: kv.str_or("code", "").to_string(),
                 message: kv.str("msg")?.to_string(),
             }),
             other => Err(perr(format!("unknown verb `{other}`"))),
@@ -489,6 +567,15 @@ impl<'a> KvFields<'a> {
             }
         }
         Ok(KvFields { fields })
+    }
+
+    /// Like [`Self::str`] but tolerating an absent key.
+    fn str_or(&self, key: &str, default: &'a str) -> &'a str {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or(default)
     }
 
     fn str(&self, key: &str) -> Result<&'a str, ProtocolError> {
@@ -619,12 +706,16 @@ mod tests {
                 seed: 11,
                 eps: 1e-8,
                 objective: Objective::GateCount,
+                overwrite: false,
                 qasm: "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[0]; cx q[0],q[1];"
                     .into(),
             }),
             Frame::Cancel { id: 7 },
             Frame::Shutdown,
-            Frame::Accepted { id: 7 },
+            Frame::Health,
+            Frame::Healthy { live: 3, slots: 1 },
+            Frame::Accepted { id: 7, ref_id: 0 },
+            Frame::Accepted { id: 7, ref_id: 41 },
             Frame::Snapshot {
                 id: 7,
                 cost: 118.0,
@@ -647,7 +738,13 @@ mod tests {
             }),
             Frame::Error {
                 id: 0,
+                code: String::new(),
                 message: "unknown verb `HELLO`".into(),
+            },
+            Frame::Error {
+                id: 9,
+                code: codes::QUEUE_TIMEOUT.into(),
+                message: "queue-wait deadline expired".into(),
             },
         ]
     }
@@ -685,6 +782,7 @@ mod tests {
     fn newlines_in_free_form_fields_cannot_break_framing() {
         let f = Frame::Error {
             id: 3,
+            code: String::new(),
             message: "multi\nline\r\nmessage".into(),
         };
         let line = f.encode();
@@ -717,7 +815,7 @@ mod tests {
         let got = dec.push(b"NONSENSE\nACCEPTED id=4\nSUBMIT id=x\n");
         assert_eq!(got.len(), 3);
         assert!(got[0].is_err());
-        assert_eq!(got[1], Ok(Frame::Accepted { id: 4 }));
+        assert_eq!(got[1], Ok(Frame::Accepted { id: 4, ref_id: 0 }));
         assert!(got[2].is_err());
     }
 
@@ -725,6 +823,6 @@ mod tests {
     fn blank_lines_are_ignored() {
         let mut dec = FrameDecoder::new();
         let got = dec.push(b"\n\r\nACCEPTED id=1\n\n");
-        assert_eq!(got, vec![Ok(Frame::Accepted { id: 1 })]);
+        assert_eq!(got, vec![Ok(Frame::Accepted { id: 1, ref_id: 0 })]);
     }
 }

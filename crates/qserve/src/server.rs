@@ -49,7 +49,9 @@
 //! (regression-tested in `tests/cancel.rs`).
 
 use crate::journal::{self, JobJournal};
-use crate::protocol::{EngineSel, Frame, JobRequest, JobSummary, Objective, PROTOCOL_VERSION};
+use crate::protocol::{
+    codes, EngineSel, Frame, JobRequest, JobSummary, Objective, PROTOCOL_VERSION,
+};
 use crossbeam_channel::Sender;
 use guoq::cost::{CostFn, GateCount, TwoQubitCount};
 use guoq::{Budget, CacheStats, CancelToken, Engine, Guoq, GuoqOpts, OptEvent, QCache};
@@ -103,6 +105,25 @@ pub struct ServeOpts {
     /// streams are re-entrant and journals replay from bounded suffix
     /// work. Clamped to ≥ 1.
     pub checkpoint_every: u64,
+    /// Maximum milliseconds an admitted job may wait in the queue
+    /// before admission gives up on it: the job is retracted and the
+    /// client gets a typed `ERROR code=queue-timeout` instead of
+    /// silently holding its FIFO position forever behind long-running
+    /// work. `0` (the default) disables the deadline — queued jobs
+    /// wait indefinitely, as before.
+    pub queue_wait_ms: u64,
+    /// Path of the resynthesis-cache snapshot file (`--cache-snapshot`).
+    /// When set (and the cache is enabled), the server warm-starts the
+    /// memo cache from it (damaged records are skipped, a missing file
+    /// is a cold start) and persists the cache back to it atomically —
+    /// periodically per [`snapshot_flush_ms`](Self::snapshot_flush_ms)
+    /// and once at shutdown — so a restarted server serves repeat
+    /// workloads from disk-warm synthesis instead of recomputing.
+    pub cache_snapshot: Option<PathBuf>,
+    /// Period of the background snapshot flusher, in milliseconds.
+    /// `0` flushes only at shutdown. Ignored without
+    /// [`cache_snapshot`](Self::cache_snapshot).
+    pub snapshot_flush_ms: u64,
 }
 
 impl Default for ServeOpts {
@@ -119,6 +140,9 @@ impl Default for ServeOpts {
             cache_gates: 65_536,
             journal_dir: None,
             checkpoint_every: 16,
+            queue_wait_ms: 0,
+            cache_snapshot: None,
+            snapshot_flush_ms: 0,
         }
     }
 }
@@ -146,6 +170,10 @@ struct QueuedJob {
     /// (improvement frames, DONE) adds this base so clients always see
     /// the cumulative error vs their original input.
     eps_base: f64,
+    /// When the job entered the queue — the queue-wait deadline's
+    /// clock ([`ServeOpts::queue_wait_ms`]). `None` until phase 2
+    /// actually enqueues it.
+    enqueued_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -177,6 +205,9 @@ pub struct Server {
     shared: Arc<Shared>,
     scheduler: Option<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
+    /// Background cache-snapshot flusher (only with
+    /// [`ServeOpts::cache_snapshot`] and a nonzero flush period).
+    flusher: Option<JoinHandle<()>>,
 }
 
 /// A submission handle scoped to one connection: job ids are unique
@@ -203,6 +234,23 @@ impl Server {
         } else {
             None
         };
+        // Warm-start the memo cache from its snapshot (a missing file
+        // is a cold start; damaged records are skipped by the loader).
+        if let (Some(cache), Some(path)) = (&cache, &opts.cache_snapshot) {
+            match cache.load_snapshot(path) {
+                Ok(stats) if stats.skipped > 0 => eprintln!(
+                    "qserve: cache snapshot {}: loaded {} records, skipped {} damaged",
+                    path.display(),
+                    stats.records,
+                    stats.skipped
+                ),
+                Ok(_) => {}
+                Err(e) => eprintln!(
+                    "qserve: cache snapshot {} unreadable ({e}); starting cold",
+                    path.display()
+                ),
+            }
+        }
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 slots_free: opts.worker_budget.max(1),
@@ -221,10 +269,20 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || watchdog_loop(shared))
         };
+        let flusher = if shared.cache.is_some()
+            && shared.opts.cache_snapshot.is_some()
+            && shared.opts.snapshot_flush_ms > 0
+        {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || flusher_loop(shared)))
+        } else {
+            None
+        };
         Server {
             shared,
             scheduler: Some(scheduler),
             watchdog: Some(watchdog),
+            flusher,
         }
     }
 
@@ -269,14 +327,11 @@ impl Server {
     /// Graceful shutdown: stops accepting, drains queued and running
     /// jobs (each still gets its `DONE`), then joins the service
     /// threads.
-    pub fn shutdown(mut self) {
-        self.begin_drain();
-        if let Some(h) = self.scheduler.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.watchdog.take() {
-            let _ = h.join();
-        }
+    pub fn shutdown(self) {
+        // Drop does the work (so a dropped server and an explicitly
+        // shut-down one wind down identically): drain, join the
+        // service threads, write the final cache snapshot.
+        drop(self);
     }
 
     fn begin_drain(&self) {
@@ -297,6 +352,19 @@ impl Drop for Server {
         }
         if let Some(h) = self.watchdog.take() {
             let _ = h.join();
+        }
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+        // Terminal snapshot flush, after every job thread has joined:
+        // the file on disk reflects everything this process learned.
+        if let (Some(cache), Some(path)) = (&self.shared.cache, &self.shared.opts.cache_snapshot) {
+            if let Err(e) = cache.save_snapshot(path) {
+                eprintln!(
+                    "qserve: final cache snapshot {} failed: {e}",
+                    path.display()
+                );
+            }
         }
     }
 }
@@ -319,15 +387,26 @@ impl ServerHandle {
                 if !self.cancel(id) {
                     let _ = reply.send(Frame::Error {
                         id,
+                        code: codes::BAD_REQUEST.into(),
                         message: "unknown job id".into(),
                     });
                 }
             }
             Frame::Resume { id } => self.resume(id, reply),
+            Frame::Health => {
+                // Liveness + capacity probe (the fleet router's
+                // heartbeat): answered inline from the state lock, so a
+                // healthy-but-busy server still responds promptly.
+                let st = self.shared.state.lock().expect("server state poisoned");
+                let live = st.tokens.len() as u64;
+                let slots = st.slots_free as u64;
+                drop(st);
+                let _ = reply.send(Frame::Healthy { live, slots });
+            }
             Frame::Shutdown => {} // transport-level; handled by the caller
             other => {
                 let id = match &other {
-                    Frame::Accepted { id }
+                    Frame::Accepted { id, .. }
                     | Frame::Snapshot { id, .. }
                     | Frame::Delta { id, .. } => *id,
                     Frame::Done(s) => s.id,
@@ -335,6 +414,7 @@ impl ServerHandle {
                 };
                 let _ = reply.send(Frame::Error {
                     id,
+                    code: codes::BAD_REQUEST.into(),
                     message: "unexpected server-to-client frame".into(),
                 });
             }
@@ -373,6 +453,11 @@ impl ServerHandle {
                 if let Some(dir) = &self.shared.opts.journal_dir {
                     let opened = if resuming {
                         JobJournal::resume(dir, id, &job.req)
+                    } else if job.req.overwrite {
+                        // Client opted in (`SUBMIT overwrite=1`):
+                        // discard any previous run's journal, finished
+                        // or not.
+                        JobJournal::create_overwriting(dir, id, &job.req)
                     } else {
                         JobJournal::create(dir, id, &job.req)
                     };
@@ -383,15 +468,21 @@ impl ServerHandle {
                             st.tokens.remove(&(self.conn, id));
                             drop(st);
                             self.shared.work.notify_all();
+                            let conflict = e.kind() == std::io::ErrorKind::AlreadyExists;
                             let _ = reply.send(Frame::Error {
                                 id,
+                                code: if conflict {
+                                    codes::JOURNAL_CONFLICT.into()
+                                } else {
+                                    codes::JOURNAL.into()
+                                },
                                 message: format!("journal unavailable: {e}"),
                             });
                             return;
                         }
                     }
                 }
-                let _ = reply.send(Frame::Accepted { id });
+                let _ = reply.send(Frame::Accepted { id, ref_id: 0 });
                 let mut st = self.shared.state.lock().expect("server state poisoned");
                 if st.draining {
                     // Shutdown began between the phases; the scheduler
@@ -402,16 +493,22 @@ impl ServerHandle {
                     drop(st);
                     let _ = reply.send(Frame::Error {
                         id,
+                        code: codes::DRAINING.into(),
                         message: "server is shutting down".into(),
                     });
                 } else {
+                    job.enqueued_at = Some(Instant::now());
                     st.queue.push_back(job);
                     drop(st);
                     self.shared.work.notify_all();
                 }
             }
-            Err(message) => {
-                let _ = reply.send(Frame::Error { id, message });
+            Err((code, message)) => {
+                let _ = reply.send(Frame::Error {
+                    id,
+                    code: code.into(),
+                    message,
+                });
             }
         }
     }
@@ -420,38 +517,52 @@ impl ServerHandle {
     /// `max_queued` check happens here, so racing submissions can
     /// overshoot the bound by the number of in-flight phase-2 pushes —
     /// it is a backpressure knob, not a hard invariant.)
-    fn try_reserve(&self, req: JobRequest, reply: &Sender<Frame>) -> Result<QueuedJob, String> {
+    fn try_reserve(
+        &self,
+        req: JobRequest,
+        reply: &Sender<Frame>,
+    ) -> Result<QueuedJob, (&'static str, String)> {
         let width = match req.engine {
             EngineSel::Serial | EngineSel::CloneRebuild => 1,
             EngineSel::Sharded(w) => {
                 if w == 0 {
-                    return Err("sharded engine needs ≥ 1 worker".into());
+                    return Err((codes::BAD_REQUEST, "sharded engine needs ≥ 1 worker".into()));
                 }
                 w
             }
         };
         if width > self.shared.opts.worker_budget.max(1) {
-            return Err(format!(
-                "job width {width} exceeds worker budget {}",
-                self.shared.opts.worker_budget.max(1)
+            return Err((
+                codes::BAD_REQUEST,
+                format!(
+                    "job width {width} exceeds worker budget {}",
+                    self.shared.opts.worker_budget.max(1)
+                ),
             ));
         }
         if req.iters == 0 && req.time_ms == 0 {
-            return Err("job needs an iteration or time budget".into());
+            return Err((
+                codes::BAD_REQUEST,
+                "job needs an iteration or time budget".into(),
+            ));
         }
-        let circuit = qasm::from_qasm(&req.qasm).map_err(|e| format!("bad qasm payload: {e}"))?;
+        let circuit = qasm::from_qasm(&req.qasm)
+            .map_err(|e| (codes::BAD_REQUEST, format!("bad qasm payload: {e}")))?;
         let mut st = self.shared.state.lock().expect("server state poisoned");
         if st.draining {
-            return Err("server is shutting down".into());
+            return Err((codes::DRAINING, "server is shutting down".into()));
         }
         if st.queue.len() >= self.shared.opts.max_queued {
-            return Err(format!(
-                "queue full ({} jobs); retry later",
-                self.shared.opts.max_queued
+            return Err((
+                codes::QUEUE_FULL,
+                format!(
+                    "queue full ({} jobs); retry later",
+                    self.shared.opts.max_queued
+                ),
             ));
         }
         if st.tokens.contains_key(&(self.conn, req.id)) {
-            return Err("duplicate job id".into());
+            return Err((codes::ID_CONFLICT, "duplicate job id".into()));
         }
         if self.shared.opts.journal_dir.is_some() && st.tokens.keys().any(|&(_, jid)| jid == req.id)
         {
@@ -460,9 +571,12 @@ impl ServerHandle {
             // connections — would interleave appends into one file and
             // wreck its replay chain. (This also blocks RESUME of a
             // still-running job: cancel it or wait for its DONE.)
-            return Err(format!(
-                "job id {} is live on this journaled server; ids must be unique while journaling",
-                req.id
+            return Err((
+                codes::ID_CONFLICT,
+                format!(
+                    "job id {} is live on this journaled server; ids must be unique while journaling",
+                    req.id
+                ),
             ));
         }
         let cancel = CancelToken::new();
@@ -477,6 +591,7 @@ impl ServerHandle {
             proto: self.protocol_version(),
             journal: None,
             eps_base: 0.0,
+            enqueued_at: None,
         })
     }
 
@@ -488,6 +603,7 @@ impl ServerHandle {
         let Some(dir) = self.shared.opts.journal_dir.clone() else {
             let _ = reply.send(Frame::Error {
                 id,
+                code: codes::BAD_REQUEST.into(),
                 message: "RESUME requires a journaled server (--journal-dir)".into(),
             });
             return;
@@ -495,7 +611,11 @@ impl ServerHandle {
         let replayed = match journal::replay(&dir, id) {
             Ok(r) => r,
             Err(message) => {
-                let _ = reply.send(Frame::Error { id, message });
+                let _ = reply.send(Frame::Error {
+                    id,
+                    code: codes::JOURNAL.into(),
+                    message,
+                });
                 return;
             }
         };
@@ -532,6 +652,9 @@ impl ServerHandle {
             // total (ε = 0 remaining just means only exact moves).
             eps: (prior.eps - segment_eps).max(0.0),
             objective: prior.objective,
+            // A resume segment *appends* to the existing journal; the
+            // overwrite consent applies only to fresh SUBMITs.
+            overwrite: false,
             qasm: qasm::to_qasm_line(&replayed.best),
         };
         self.submit_inner(continuation, reply, Some(replayed.epsilon));
@@ -647,11 +770,15 @@ fn scheduler_loop(shared: Arc<Shared>) {
     }
 }
 
-/// Cancels jobs whose wall cap expired. Event-driven: sleeps on the
-/// shared condvar until the nearest registered deadline (or
-/// indefinitely while no deadline is pending), so an idle server does
-/// no periodic work.
+/// Cancels jobs whose wall cap expired and retracts queued jobs whose
+/// queue-wait deadline passed. Event-driven: sleeps on the shared
+/// condvar until the nearest pending deadline (or indefinitely while
+/// none is pending), so an idle server does no periodic work.
 fn watchdog_loop(shared: Arc<Shared>) {
+    let queue_wait = match shared.opts.queue_wait_ms {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
     let mut st = shared.state.lock().expect("server state poisoned");
     loop {
         if st.draining && st.queue.is_empty() && st.running == 0 {
@@ -668,7 +795,67 @@ fn watchdog_loop(shared: Arc<Shared>) {
             }
             true
         });
-        let next = st.deadlines.iter().map(|(d, _)| *d).min();
+        // Queue-wait enforcement: a job that could not start within
+        // its admission budget is retracted with a typed ERROR rather
+        // than holding its FIFO position forever. (Cancelled queued
+        // jobs are left for the scheduler's sweep — they already have
+        // a terminal path.)
+        let mut expired: Vec<QueuedJob> = Vec::new();
+        if let Some(wait) = queue_wait {
+            let mut i = 0;
+            while i < st.queue.len() {
+                let overdue = !st.queue[i].cancel.is_cancelled()
+                    && st.queue[i]
+                        .enqueued_at
+                        .is_some_and(|t| now.saturating_duration_since(t) >= wait);
+                if overdue {
+                    let job = st.queue.remove(i).expect("indexed entry");
+                    st.tokens.remove(&(job.conn, job.req.id));
+                    expired.push(job);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !expired.is_empty() {
+            // Deliver the errors without holding the lock (reply
+            // channels are bounded and may block).
+            drop(st);
+            shared.work.notify_all();
+            for job in expired {
+                let id = job.req.id;
+                // Undo admission's durability side effect: the journal
+                // holds only this SUBMIT (the job never ran), and
+                // leaving it would force the client's resubmission
+                // into an overwrite it shouldn't need.
+                if let (Some(dir), Some(j)) = (&shared.opts.journal_dir, job.journal) {
+                    drop(j);
+                    let _ = std::fs::remove_file(journal::journal_path(dir, id));
+                }
+                let _ = job.reply.send(Frame::Error {
+                    id,
+                    code: codes::QUEUE_TIMEOUT.into(),
+                    message: format!(
+                        "queued for {} ms without starting; retry or widen the fleet",
+                        shared.opts.queue_wait_ms
+                    ),
+                });
+            }
+            st = shared.state.lock().expect("server state poisoned");
+            continue;
+        }
+        let next_wall = st.deadlines.iter().map(|(d, _)| *d).min();
+        let next_queue = queue_wait.and_then(|wait| {
+            st.queue
+                .iter()
+                .filter_map(|job| job.enqueued_at)
+                .map(|t| t + wait)
+                .min()
+        });
+        let next = match (next_wall, next_queue) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         st = match next {
             Some(deadline) => {
                 let timeout = deadline.saturating_duration_since(Instant::now());
@@ -680,6 +867,41 @@ fn watchdog_loop(shared: Arc<Shared>) {
             }
             None => shared.work.wait(st).expect("server state poisoned"),
         };
+    }
+}
+
+/// Periodically persists the memo cache to its snapshot file (atomic
+/// tmp-and-rename, so readers never see a torn file). Exits on drain;
+/// the terminal flush happens in [`Server`]'s `Drop`, after every job
+/// thread has finished contributing entries.
+fn flusher_loop(shared: Arc<Shared>) {
+    let (Some(cache), Some(path)) = (&shared.cache, &shared.opts.cache_snapshot) else {
+        return;
+    };
+    let period = Duration::from_millis(shared.opts.snapshot_flush_ms.max(1));
+    let mut next = Instant::now() + period;
+    let mut st = shared.state.lock().expect("server state poisoned");
+    loop {
+        if st.draining {
+            return;
+        }
+        let now = Instant::now();
+        if now >= next {
+            drop(st);
+            if let Err(e) = cache.save_snapshot(path) {
+                eprintln!("qserve: cache snapshot {} failed: {e}", path.display());
+            }
+            next = Instant::now() + period;
+            st = shared.state.lock().expect("server state poisoned");
+            continue;
+        }
+        // The condvar is chatty (every scheduler event notifies it);
+        // `next` keeps the cadence fixed under constant activity.
+        st = shared
+            .work
+            .wait_timeout(st, next.saturating_duration_since(now))
+            .expect("server state poisoned")
+            .0;
     }
 }
 
@@ -872,6 +1094,7 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         proto,
         mut journal,
         eps_base,
+        enqueued_at: _,
     } = job;
     let guard = SlotGuard {
         shared: Arc::clone(&shared),

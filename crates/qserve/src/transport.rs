@@ -12,7 +12,7 @@
 //! therefore multiplexes every connection onto the one shared worker
 //! budget.
 
-use crate::protocol::{Frame, FrameDecoder};
+use crate::protocol::{codes, Frame, FrameDecoder};
 use crate::server::{Server, ServerHandle};
 use crossbeam_channel::{bounded, Sender};
 use std::io::{BufReader, Read, Write};
@@ -85,6 +85,7 @@ fn read_frames<R: Read>(
                 Err(e) => {
                     let _ = tx.send(Frame::Error {
                         id: 0,
+                        code: codes::BAD_REQUEST.into(),
                         message: e.message,
                     });
                 }

@@ -25,7 +25,7 @@ fn submit_and_wait_running(
     handle.handle_frame(Frame::Submit(req), tx);
     loop {
         match recv(rx) {
-            Frame::Accepted { id: got } => assert_eq!(got, id),
+            Frame::Accepted { id: got, .. } => assert_eq!(got, id),
             Frame::Snapshot { id: got, .. } => {
                 assert_eq!(got, id);
                 return; // the job thread is live and mid-search
@@ -124,7 +124,7 @@ fn cancelling_a_queued_job_terminates_it_cleanly() {
         &tx,
     );
     loop {
-        if let Frame::Accepted { id: 2 } = recv(&rx) {
+        if let Frame::Accepted { id: 2, .. } = recv(&rx) {
             break;
         }
     }
@@ -179,7 +179,7 @@ fn cancelled_wide_job_does_not_block_the_queue() {
         &tx,
     );
     loop {
-        if let Frame::Accepted { id: 2 } = recv(&rx) {
+        if let Frame::Accepted { id: 2, .. } = recv(&rx) {
             break;
         }
     }
@@ -211,6 +211,65 @@ fn cancelled_wide_job_does_not_block_the_queue() {
     }
     assert!(handle.cancel(1));
     wait_done(&rx, 1);
+    server.shutdown();
+}
+
+/// Admission hardening: a queued job that cannot start within the
+/// server's queue-wait deadline is retracted with a typed
+/// `ERROR code=queue-timeout` — and its id becomes reusable at once.
+#[test]
+fn queue_wait_deadline_yields_typed_error() {
+    let big = workload(400);
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        queue_wait_ms: 250,
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+
+    // Job 1 holds the only slot indefinitely; job 2 queues behind it
+    // and can never start within the deadline.
+    submit_and_wait_running(
+        &handle,
+        request(1, EngineSel::Serial, u64::MAX / 2, 1, &big),
+        &tx,
+        &rx,
+    );
+    handle.handle_frame(
+        Frame::Submit(request(2, EngineSel::Serial, 1000, 2, &big)),
+        &tx,
+    );
+    let mut accepted = false;
+    loop {
+        match recv(&rx) {
+            Frame::Accepted { id: 2, .. } => accepted = true,
+            Frame::Error { id: 2, code, .. } => {
+                assert!(accepted, "ERROR must follow the ACCEPTED");
+                assert_eq!(code, "queue-timeout");
+                break;
+            }
+            Frame::Done(s) => panic!("job {} must not finish", s.id),
+            _ => {} // job 1's snapshots
+        }
+    }
+
+    // The retraction freed the id: resubmitting 2 works, and once the
+    // slot frees up it runs to completion.
+    assert!(handle.cancel(1));
+    wait_done(&rx, 1);
+    let small = workload(80);
+    handle.handle_frame(
+        Frame::Submit(request(2, EngineSel::Serial, 400, 3, &small)),
+        &tx,
+    );
+    let s2 = wait_done(&rx, 2);
+    assert!(!s2.cancelled);
+    assert!(circuits_equivalent(
+        &small,
+        &qasm::from_qasm(&s2.qasm).unwrap(),
+        1e-4
+    ));
     server.shutdown();
 }
 

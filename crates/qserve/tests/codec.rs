@@ -54,6 +54,8 @@ fn frame() -> impl Strategy<Value = Frame> {
                     seed,
                     eps,
                     objective,
+                    // Derived rather than a fresh draw (tuple arity).
+                    overwrite: seed % 2 == 1,
                     qasm,
                 })
             },
@@ -117,11 +119,26 @@ fn frame() -> impl Strategy<Value = Frame> {
         ids.clone().prop_map(|id| Frame::Cancel { id }),
         ids.clone().prop_map(|id| Frame::Resume { id }),
         Just(Frame::Shutdown),
-        ids.clone().prop_map(|id| Frame::Accepted { id }),
+        (ids.clone(), 0u64..1 << 32).prop_map(|(id, ref_id)| Frame::Accepted { id, ref_id }),
+        Just(Frame::Health),
+        (0u64..1 << 16, 0u64..64).prop_map(|(live, slots)| Frame::Healthy { live, slots }),
         snapshot,
         delta,
         done,
-        (ids, text()).prop_map(|(id, message)| Frame::Error { id, message }),
+        (ids, (0usize..5, text())).prop_map(|(id, (code, message))| Frame::Error {
+            id,
+            // `code=` is a plain (space-delimited) field, so only
+            // token-shaped values round-trip; draw from the real set.
+            code: [
+                "",
+                "bad-request",
+                "queue-timeout",
+                "journal-conflict",
+                "degraded"
+            ][code]
+                .to_string(),
+            message,
+        }),
     ]
 }
 

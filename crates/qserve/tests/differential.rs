@@ -98,7 +98,7 @@ fn assert_served_matches_direct(engine_sel: EngineSel, engine: Engine, id: u64) 
 
     // Frame shape: ACCEPTED, initial snapshot at the input cost, then
     // strict improvements, then DONE.
-    assert!(matches!(frames[0], Frame::Accepted { id: got } if got == id));
+    assert!(matches!(frames[0], Frame::Accepted { id: got, .. } if got == id));
     let snapshots: Vec<(f64, u64)> = frames
         .iter()
         .filter_map(|f| match f {
@@ -309,7 +309,7 @@ fn time_budgeted_job_is_not_reported_cancelled() {
     req.time_ms = 300;
     let (frames, done) = serve_job(&server, req);
     server.shutdown();
-    assert!(matches!(frames[0], Frame::Accepted { id: 5 }));
+    assert!(matches!(frames[0], Frame::Accepted { id: 5, .. }));
     assert!(
         !done.cancelled,
         "a job that ran its requested wall budget must not be stamped cancelled"
@@ -346,7 +346,7 @@ fn byte_level_transport_matches_direct_optimize() {
         .into_iter()
         .collect::<Result<_, _>>()
         .expect("server emitted a malformed frame");
-    assert!(matches!(frames[0], Frame::Accepted { id: 9 }));
+    assert!(matches!(frames[0], Frame::Accepted { id: 9, .. }));
     let done = match frames.last() {
         Some(Frame::Done(s)) => s.clone(),
         other => panic!("expected DONE, got {other:?}"),
@@ -392,7 +392,7 @@ fn concurrent_jobs_are_isolated() {
             Frame::Done(s) => {
                 done.insert(s.id, s);
             }
-            Frame::Error { id, message } => panic!("job {id} rejected: {message}"),
+            Frame::Error { id, message, .. } => panic!("job {id} rejected: {message}"),
             _ => {}
         }
     }
@@ -436,7 +436,7 @@ fn invalid_submissions_are_rejected_with_error_frames() {
         &tx,
     );
     match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-        Frame::Error { id: 1, message } => assert!(message.contains("bad qasm")),
+        Frame::Error { id: 1, message, .. } => assert!(message.contains("bad qasm")),
         other => panic!("expected ERROR, got {other:?}"),
     }
 
@@ -452,7 +452,7 @@ fn invalid_submissions_are_rejected_with_error_frames() {
         &tx,
     );
     match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-        Frame::Error { id: 2, message } => assert!(message.contains("worker budget")),
+        Frame::Error { id: 2, message, .. } => assert!(message.contains("worker budget")),
         other => panic!("expected ERROR, got {other:?}"),
     }
 
@@ -461,7 +461,7 @@ fn invalid_submissions_are_rejected_with_error_frames() {
     r.time_ms = 0;
     handle.handle_frame(Frame::Submit(r), &tx);
     match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
-        Frame::Error { id: 3, message } => assert!(message.contains("budget")),
+        Frame::Error { id: 3, message, .. } => assert!(message.contains("budget")),
         other => panic!("expected ERROR, got {other:?}"),
     }
 
@@ -491,8 +491,8 @@ fn invalid_submissions_are_rejected_with_error_frames() {
     let mut saw_duplicate = false;
     loop {
         match rx.recv_timeout(Duration::from_secs(120)).unwrap() {
-            Frame::Accepted { id: 4 } => saw_accept = true,
-            Frame::Error { id: 4, message } => {
+            Frame::Accepted { id: 4, .. } => saw_accept = true,
+            Frame::Error { id: 4, message, .. } => {
                 assert!(message.contains("duplicate"));
                 saw_duplicate = true;
             }

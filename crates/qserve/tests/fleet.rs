@@ -1,0 +1,255 @@
+//! Fleet-mode chaos differential suite: real `qserve` worker
+//! processes under a router, with deterministic fault injection —
+//! kill -9 mid-search, blackholed response links, shrunken capacity —
+//! proving every submitted job terminates with a *verified* circuit
+//! (unitary-equivalent to its input, never worse under the objective,
+//! stream costs monotone even across failovers).
+
+mod util;
+
+use crossbeam_channel::Receiver;
+use guoq::cost::{CostFn, GateCount};
+use qcir::qasm;
+use qserve::fleet::{Fleet, FleetOpts, LinkChaos};
+use qserve::{EngineSel, Frame, JobSummary};
+use qsim::circuits_equivalent;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use util::{request, workload};
+
+/// Fleet options wired to this crate's own `qserve` binary and a
+/// fresh journal dir; worker wall caps widened so loaded CI hosts
+/// never see spurious watchdog cancellations.
+fn fleet_opts(tag: &str, workers: usize, jobs_per_worker: usize) -> FleetOpts {
+    let dir = std::env::temp_dir().join(format!(
+        "qfleet-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    FleetOpts {
+        workers,
+        jobs_per_worker,
+        journal_dir: dir,
+        worker_binary: Some(PathBuf::from(env!("CARGO_BIN_EXE_qserve"))),
+        worker_args: vec!["--max-time-ms".into(), "600000".into()],
+        heartbeat_ms: 200,
+        stall_beats: 5,
+        retry_max: 6,
+        retry_backoff_ms: 50,
+        job_timeout_ms: 120_000,
+        snapshot_flush_ms: 300,
+        seed: 0xF1EE7,
+        ..Default::default()
+    }
+}
+
+/// Drains one job's ticket to its terminal frame, asserting the
+/// streamed cost sequence never increases — across failovers too (a
+/// resumed segment restarts from the journaled best, never worse).
+fn drain(rx: &Receiver<Frame>, id: u64) -> Result<JobSummary, String> {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut last_cost = f64::INFINITY;
+    loop {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let frame = rx
+            .recv_timeout(timeout)
+            .map_err(|_| format!("job {id}: no terminal frame within 300 s"))?;
+        let cost = match &frame {
+            Frame::Snapshot { id: got, cost, .. } | Frame::Delta { id: got, cost, .. } => {
+                assert_eq!(*got, id);
+                Some(*cost)
+            }
+            Frame::Done(s) => {
+                assert_eq!(s.id, id);
+                assert!(
+                    s.cost <= last_cost + 1e-9,
+                    "job {id}: DONE cost {} above streamed best {last_cost}",
+                    s.cost
+                );
+                return Ok(s.clone());
+            }
+            Frame::Error { message, code, .. } => {
+                return Err(format!("job {id}: ERROR code={code}: {message}"))
+            }
+            _ => None,
+        };
+        if let Some(c) = cost {
+            assert!(
+                c <= last_cost + 1e-9,
+                "job {id}: cost went up mid-stream ({last_cost} -> {c})"
+            );
+            last_cost = c;
+        }
+    }
+}
+
+/// Submits `n` copies of `circuit` (varying seeds) and returns the
+/// fleet ids with their tickets.
+fn submit_n(
+    fleet: &Fleet,
+    n: usize,
+    circuit: &qcir::Circuit,
+    iters: u64,
+) -> Vec<(u64, Receiver<Frame>)> {
+    (0..n)
+        .map(|i| {
+            fleet.submit(request(
+                900 + i as u64,
+                EngineSel::Serial,
+                iters,
+                i as u64,
+                circuit,
+            ))
+        })
+        .collect()
+}
+
+/// Baseline: a 2-worker fleet completes a batch with zero faults;
+/// every result is verified and journaled.
+#[test]
+fn fleet_runs_a_batch_to_verified_completion() {
+    let input = workload(160);
+    let opts = fleet_opts("basic", 2, 2);
+    let journal_dir = opts.journal_dir.clone();
+    let fleet = Fleet::start(opts).expect("fleet starts");
+    let tickets = submit_n(&fleet, 6, &input, 400);
+    let input_cost = GateCount.cost(&input);
+    for (id, rx) in &tickets {
+        let done = drain(rx, *id).expect("no faults, no errors");
+        assert!(!done.cancelled);
+        assert!(done.cost <= input_cost);
+        let best = qasm::from_qasm(&done.qasm).expect("result parses");
+        assert!(circuits_equivalent(&input, &best, 1e-4));
+        // The shared journal holds the same terminal result.
+        let replayed = qserve::journal::replay(&journal_dir, *id).expect("journaled");
+        let fin = replayed.finished.expect("journal reached DONE");
+        assert_eq!(fin.cost, done.cost);
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// The headline chaos run: 12 jobs on 3 workers, one worker kill -9'd
+/// mid-stream. All 12 jobs must still reach DONE (zero ERRORs), each
+/// with a verified circuit no worse than its input, and the fleet must
+/// have respawned back to full strength.
+#[test]
+fn kill_minus_nine_mid_stream_loses_no_jobs() {
+    let input = workload(300);
+    let opts = fleet_opts("kill9", 3, 2);
+    let journal_dir = opts.journal_dir.clone();
+    let fleet = Fleet::start(opts).expect("fleet starts");
+    let tickets = submit_n(&fleet, 12, &input, 2500);
+
+    // Wait until the fleet is demonstrably mid-stream: the first
+    // ticket has produced an improvement-path frame.
+    let (first_id, first_rx) = &tickets[0];
+    let saw = first_rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("first frame");
+    assert!(
+        matches!(
+            saw,
+            Frame::Accepted { .. } | Frame::Snapshot { .. } | Frame::Delta { .. }
+        ),
+        "unexpected first frame for job {first_id}: {saw:?}"
+    );
+    // SIGKILL a live worker — no shutdown grace, exactly the chaos
+    // archetype. Every dispatched job on it must fail over via the
+    // shared journals.
+    let victim = fleet
+        .worker_pids()
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("a live worker");
+    let killed = std::process::Command::new("kill")
+        .args(["-9", &victim.to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(killed.success(), "kill -9 {victim} failed");
+
+    let input_cost = GateCount.cost(&input);
+    let mut failures = Vec::new();
+    for (id, rx) in &tickets {
+        match drain(rx, *id) {
+            Ok(done) => {
+                assert!(done.cost <= input_cost, "job {id} worse than input");
+                let best = qasm::from_qasm(&done.qasm).expect("result parses");
+                assert!(
+                    circuits_equivalent(&input, &best, 1e-4),
+                    "job {id}: result not equivalent to input"
+                );
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "jobs failed under kill -9 chaos: {failures:?}"
+    );
+    // The fleet healed: every slot has a live worker again.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let pids = fleet.worker_pids();
+        if pids.iter().all(|p| p.is_some()) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "fleet never healed: {pids:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// Response-link chaos: delayed and blackholed worker frames. The
+/// heartbeat/stall machinery may kill and respawn workers along the
+/// way; every job must still terminate verified.
+#[test]
+fn blackholed_links_still_complete_every_job() {
+    let input = workload(160);
+    let mut opts = fleet_opts("blackhole", 2, 2);
+    opts.chaos = Some(LinkChaos {
+        seed: 1234,
+        delay_ms: 3,
+        blackhole_one_in: 40,
+        blackhole_len: 12,
+    });
+    // Tight job timeout so a blackholed DONE fails over quickly.
+    opts.job_timeout_ms = 20_000;
+    let journal_dir = opts.journal_dir.clone();
+    let fleet = Fleet::start(opts).expect("fleet starts");
+    let tickets = submit_n(&fleet, 6, &input, 400);
+    let input_cost = GateCount.cost(&input);
+    for (id, rx) in &tickets {
+        let done = drain(rx, *id).expect("chaos must not lose jobs");
+        assert!(done.cost <= input_cost);
+        let best = qasm::from_qasm(&done.qasm).expect("result parses");
+        assert!(circuits_equivalent(&input, &best, 1e-4));
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+/// Degraded mode: a 1×1 fleet given 4 jobs completes them all —
+/// admission shrinks to a queue, never a hard failure.
+#[test]
+fn degraded_capacity_queues_instead_of_failing() {
+    let input = workload(120);
+    let opts = fleet_opts("degraded", 1, 1);
+    let journal_dir = opts.journal_dir.clone();
+    let fleet = Fleet::start(opts).expect("fleet starts");
+    let tickets = submit_n(&fleet, 4, &input, 300);
+    for (id, rx) in &tickets {
+        let done = drain(rx, *id).expect("queued jobs must complete");
+        assert!(!done.cancelled);
+        let best = qasm::from_qasm(&done.qasm).expect("result parses");
+        assert!(circuits_equivalent(&input, &best, 1e-4));
+    }
+    fleet.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

@@ -43,6 +43,7 @@ pub fn request(id: u64, engine: EngineSel, iters: u64, seed: u64, circuit: &Circ
         seed,
         eps: 1e-6,
         objective: Objective::GateCount,
+        overwrite: false,
         qasm: qasm::to_qasm_line(circuit),
     }
 }

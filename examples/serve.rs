@@ -163,6 +163,7 @@ fn main() {
             seed: 0xD15C0,
             eps: 1e-6,
             objective: qserve::Objective::GateCount,
+            overwrite: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
     );
@@ -204,6 +205,7 @@ fn main() {
             seed: 7,
             eps: 1e-6,
             objective: qserve::Objective::GateCount,
+            overwrite: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
     );

@@ -182,7 +182,9 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     );
     let chan = Arc::new(Chan {
         inner: Mutex::new(Inner {
-            queue: VecDeque::with_capacity(cap),
+            // The cap is a limit, not a reservation — huge caps (e.g.
+            // from `unbounded`) must not preallocate.
+            queue: VecDeque::with_capacity(cap.min(1024)),
             cap,
             senders: 1,
             receivers: 1,
@@ -191,6 +193,13 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         not_full: Condvar::new(),
     });
     (Sender(Arc::clone(&chan)), Receiver(chan))
+}
+
+/// Creates an unbounded channel: sends never block on capacity (the
+/// real crate's `unbounded`). Implemented as a bounded channel whose
+/// cap is unreachable.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(usize::MAX)
 }
 
 #[cfg(test)]
