@@ -60,7 +60,7 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(750),
     );
-    let sizes = [100usize, 1_000, 10_000];
+    let sizes = [100usize, 1_000, 10_000, 50_000];
     let mut rows: Vec<Row> = Vec::new();
     for &size in &sizes {
         let circuit = tiled_workload(size);
@@ -83,10 +83,14 @@ fn main() {
     };
     let speedup_1k = rate(1_000, "incremental") / rate(1_000, "clone-rebuild");
     let scaling_ratio = rate(100, "incremental") / rate(10_000, "incremental");
+    // Near-flat scaling criterion: 50k-gate throughput stays within 2x of
+    // 1k-gate throughput for the incremental engine (ratio ≥ 0.5).
+    let ratio_1k_to_50k = rate(50_000, "incremental") / rate(1_000, "incremental");
     println!("speedup @1k gates: {speedup_1k:.1}x (incremental vs clone-rebuild)");
     println!(
         "incremental scaling 100→10k gates: {scaling_ratio:.2}x slowdown (constant-span edits)"
     );
+    println!("incremental iters/sec ratio 1k→50k gates: {ratio_1k_to_50k:.3} (≥0.5 = near-flat)");
 
     let mut json = String::from("{\n  \"benchmark\": \"guoq_iter\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -103,9 +107,22 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
+    // Per-size scaling summary for the incremental engine: the curve the
+    // acceptance criteria read (iters/sec by size, plus the 1k→50k ratio).
+    let mut scaling = String::from("{");
+    for (i, &size) in sizes.iter().enumerate() {
+        let _ = write!(
+            scaling,
+            "{}\"{}\": {:.1}",
+            if i > 0 { ", " } else { "" },
+            size,
+            rate(size, "incremental")
+        );
+    }
+    scaling.push('}');
     let _ = write!(
         json,
-        "  ],\n  \"speedup_1k\": {speedup_1k:.2},\n  \"scaling_100_to_10k\": {scaling_ratio:.3}\n}}\n"
+        "  ],\n  \"speedup_1k\": {speedup_1k:.2},\n  \"scaling_100_to_10k\": {scaling_ratio:.3},\n  \"ratio_1k_to_50k\": {ratio_1k_to_50k:.3},\n  \"incremental_iters_per_sec_by_size\": {scaling}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_guoq_iter.json");
     std::fs::write(path, &json).expect("write BENCH_guoq_iter.json");

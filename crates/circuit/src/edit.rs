@@ -113,7 +113,9 @@ impl Patch {
     pub fn visit_window<F: FnMut(&Instruction)>(&self, circuit: &Circuit, mut f: F) {
         let (wlo, whi) = self.window();
         let mut rem = self.removed.iter().peekable();
+        let mut ids = circuit.ids_from(wlo);
         for i in wlo..whi {
+            let id = ids.next().expect("patch window within circuit");
             if i == self.insert_at {
                 for ins in &self.replacement {
                     f(ins);
@@ -123,7 +125,7 @@ impl Patch {
                 rem.next();
                 continue;
             }
-            f(&circuit.instructions()[i]);
+            f(&circuit.instruction_by_id(id));
         }
         if self.insert_at == whi {
             for ins in &self.replacement {
@@ -218,10 +220,12 @@ impl Circuit {
         }
         let (wlo, whi) = patch.window();
 
-        // Record undo info and update cached counts.
+        // Record undo info and update cached counts. Reads go through
+        // the id map, not the materialized list — a patch application
+        // never forces an O(circuit) rebuild of the compact view.
         let mut removed = Vec::with_capacity(patch.removed.len());
         for &i in &patch.removed {
-            let ins = self.instructions()[i];
+            let ins = self.instruction(i);
             self.counts_mut().remove(&ins);
             removed.push((i, ins));
         }
@@ -276,7 +280,7 @@ impl Circuit {
 
         // Update cached counts.
         for i in insert_pos..insert_pos + undo.replacement_len {
-            let ins = self.instructions()[i];
+            let ins = self.instruction(i);
             self.counts_mut().remove(&ins);
         }
         for (_, ins) in &undo.removed {
@@ -287,11 +291,11 @@ impl Circuit {
         // current window minus the replacement block, with the removed
         // instructions re-inserted at their original offsets.
         let mut retained: Vec<Instruction> = Vec::with_capacity(new_whi - old_wlo);
-        for i in old_wlo..new_whi {
+        for (i, id) in (old_wlo..new_whi).zip(self.ids_from(old_wlo)) {
             if i >= insert_pos && i < insert_pos + undo.replacement_len {
                 continue;
             }
-            retained.push(self.instructions()[i]);
+            retained.push(self.instruction_by_id(id));
         }
         let mut original: Vec<Instruction> = Vec::with_capacity(old_whi - old_wlo);
         let mut rem = undo.removed.iter().peekable();

@@ -5,8 +5,67 @@
 //! benchmark generators produce before rebasing.
 
 use qmath::angle::normalize;
-use qmath::{gates as gm, Mat};
+use qmath::{gates as gm, Mat, Mat2, Mat4, C64};
 use std::fmt;
+use std::ops::Deref;
+
+/// Inline rotation-parameter list of a gate (at most three angles).
+///
+/// Dereferences to `&[f64]`, so every slice API (`is_empty`, `iter`,
+/// indexing) works unchanged; it also iterates by value. Unlike the
+/// `Vec<f64>` it replaced, building one never touches the heap — which
+/// matters because the matcher compares parameters on every probe of
+/// the inner loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    vals: [f64; 3],
+    len: u8,
+}
+
+impl Params {
+    const EMPTY: Params = Params {
+        vals: [0.0; 3],
+        len: 0,
+    };
+
+    const fn one(a: f64) -> Params {
+        Params {
+            vals: [a, 0.0, 0.0],
+            len: 1,
+        }
+    }
+
+    const fn two(a: f64, b: f64) -> Params {
+        Params {
+            vals: [a, b, 0.0],
+            len: 2,
+        }
+    }
+
+    const fn three(a: f64, b: f64, c: f64) -> Params {
+        Params {
+            vals: [a, b, c],
+            len: 3,
+        }
+    }
+}
+
+impl Deref for Params {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        &self.vals[..self.len as usize]
+    }
+}
+
+impl IntoIterator for Params {
+    type Item = f64;
+    type IntoIter = std::iter::Take<std::array::IntoIter<f64, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.vals.into_iter().take(self.len as usize)
+    }
+}
 
 /// A quantum gate, possibly parameterized by rotation angles (radians).
 ///
@@ -114,15 +173,15 @@ impl Gate {
     }
 
     /// Rotation parameters of the gate, in declaration order.
-    pub fn params(self) -> Vec<f64> {
+    pub fn params(self) -> Params {
         use Gate::*;
         match self {
             Rx(a) | Ry(a) | Rz(a) | P(a) | Cp(a) | Crz(a) | Rxx(a) | Ryy(a) | Rzz(a) => {
-                vec![a]
+                Params::one(a)
             }
-            U2(a, b) => vec![a, b],
-            U3(a, b, c) => vec![a, b, c],
-            _ => vec![],
+            U2(a, b) => Params::two(a, b),
+            U3(a, b, c) => Params::three(a, b, c),
+            _ => Params::EMPTY,
         }
     }
 
@@ -162,6 +221,79 @@ impl Gate {
             Ccx => gm::ccx(),
             Ccz => gm::ccz(),
         }
+    }
+
+    /// The unitary of a one-qubit gate as a stack-allocated [`Mat2`]
+    /// (bit-identical entries to [`matrix`](Self::matrix)), or `None`
+    /// for wider gates.
+    pub fn unitary2(self) -> Option<Mat2> {
+        use Gate::*;
+        Some(match self {
+            X => gm::small::x(),
+            Y => gm::small::y(),
+            Z => gm::small::z(),
+            H => gm::small::h(),
+            S => gm::small::s(),
+            Sdg => gm::small::sdg(),
+            T => gm::small::t(),
+            Tdg => gm::small::tdg(),
+            Sx => gm::small::sx(),
+            Sxdg => gm::small::sxdg(),
+            Rx(a) => gm::small::rx(a),
+            Ry(a) => gm::small::ry(a),
+            Rz(a) => gm::small::rz(a),
+            P(a) => gm::small::p(a),
+            U2(a, b) => gm::small::u2(a, b),
+            U3(a, b, c) => gm::small::u3(a, b, c),
+            _ => return None,
+        })
+    }
+
+    /// The unitary of a two-qubit gate as a stack-allocated [`Mat4`]
+    /// (bit-identical entries to [`matrix`](Self::matrix)), or `None`
+    /// for other arities.
+    pub fn unitary4(self) -> Option<Mat4> {
+        use Gate::*;
+        Some(match self {
+            Cx => gm::small::cx(),
+            Cz => gm::small::cz(),
+            Cp(a) => gm::small::cp(a),
+            Crz(a) => gm::small::crz(a),
+            Swap => gm::small::swap(),
+            Rxx(a) => gm::small::rxx(a),
+            Ryy(a) => gm::small::ryy(a),
+            Rzz(a) => gm::small::rzz(a),
+            _ => return None,
+        })
+    }
+
+    /// Writes the row-major unitary into the head of `buf` without
+    /// allocating, returning the matrix dimension (2, 4, or 8). The
+    /// entries are bit-identical to [`matrix`](Self::matrix).
+    pub fn unitary_into(self, buf: &mut [C64; 64]) -> usize {
+        if let Some(m) = self.unitary2() {
+            buf[..4].copy_from_slice(m.as_slice());
+            return 2;
+        }
+        if let Some(m) = self.unitary4() {
+            buf[..16].copy_from_slice(m.as_slice());
+            return 4;
+        }
+        // The 8×8 gates (CCX / CCZ): identity with a patched corner.
+        for (i, z) in buf.iter_mut().enumerate() {
+            *z = if i % 9 == 0 { C64::ONE } else { C64::ZERO };
+        }
+        match self {
+            Gate::Ccx => {
+                buf[6 * 8 + 6] = C64::ZERO;
+                buf[7 * 8 + 7] = C64::ZERO;
+                buf[6 * 8 + 7] = C64::ONE;
+                buf[7 * 8 + 6] = C64::ONE;
+            }
+            Gate::Ccz => buf[7 * 8 + 7] = -C64::ONE,
+            _ => unreachable!("every gate is 1, 2, or 3 qubits"),
+        }
+        8
     }
 
     /// The inverse gate (`g · g.adjoint() = I`), staying within the alphabet.
@@ -374,9 +506,12 @@ impl GateKind {
 
     /// Number of qubits gates of this kind act on.
     pub fn arity(self) -> usize {
-        self.with_params(&vec![0.0; self.num_params()])
-            .expect("parameter count is consistent")
-            .arity()
+        use GateKind::*;
+        match self {
+            X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx | Ry | Rz | P | U2 | U3 => 1,
+            Cx | Cz | Cp | Crz | Swap | Rxx | Ryy | Rzz => 2,
+            Ccx | Ccz => 3,
+        }
     }
 
     /// Number of angle parameters this kind carries.
@@ -430,9 +565,8 @@ impl GateKind {
 
     /// True when operand order does not matter for this kind.
     pub fn is_symmetric(self) -> bool {
-        self.with_params(&vec![0.0; self.num_params()])
-            .expect("parameter count is consistent")
-            .is_symmetric()
+        use GateKind::*;
+        matches!(self, Cz | Cp | Swap | Rxx | Ryy | Rzz | Ccz)
     }
 }
 
@@ -556,6 +690,48 @@ mod tests {
         }
         let g = Gate::Rz(7.0 * PI);
         assert!(hs_distance(&g.matrix(), &g.normalized().matrix()) < 1e-7);
+    }
+
+    #[test]
+    fn stack_unitaries_bit_identical_to_matrix() {
+        for &g in ALL {
+            let mut buf = [qmath::C64::ZERO; 64];
+            let dim = g.unitary_into(&mut buf);
+            let m = g.matrix();
+            assert_eq!(dim, m.rows(), "dimension for {g}");
+            assert_eq!(&buf[..dim * dim], m.as_slice(), "entries for {g}");
+            match g.arity() {
+                1 => assert_eq!(g.unitary2().unwrap().as_slice(), m.as_slice()),
+                2 => assert_eq!(g.unitary4().unwrap().as_slice(), m.as_slice()),
+                _ => assert!(g.unitary2().is_none() && g.unitary4().is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn kind_tables_match_gate_semantics() {
+        // The direct `GateKind` tables must stay in lockstep with the
+        // per-`Gate` implementations they replaced.
+        for &g in ALL {
+            assert_eq!(g.kind().arity(), g.arity(), "arity table for {g}");
+            assert_eq!(
+                g.kind().is_symmetric(),
+                g.is_symmetric(),
+                "symmetry table for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_round_trip_and_iterate() {
+        for &g in ALL {
+            let ps = g.params();
+            assert_eq!(ps.len(), g.kind().num_params(), "param count for {g}");
+            let by_value: Vec<f64> = ps.into_iter().collect();
+            let by_ref: Vec<f64> = ps.iter().copied().collect();
+            assert_eq!(by_value, by_ref, "iteration mismatch for {g}");
+            assert_eq!(g.kind().with_params(&ps), Some(g), "round trip for {g}");
+        }
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * [`delta::CircuitDelta`]: a stable, versioned serialized form of
 //!   edit scripts (apply / compose / diff + a compact line codec) — the
 //!   wire and journal currency of the event-sourced optimization API
-//! * [`dag::WireDag`]: per-wire DAG links for pattern matching, with
-//!   incremental [`dag::WireDag::splice`] maintenance under patches
+//! * [`dag::WireDag`]: standalone per-wire DAG snapshot with
+//!   incremental [`dag::WireDag::splice`] maintenance under patches —
+//!   the optimizer hot path instead reads the equivalent links embedded
+//!   in the [`Circuit`] arena ([`Circuit::next_on_wire`] and friends)
 //! * [`region::Region`]: convex subcircuits — extraction and sound
 //!   replacement (the substrate for both rewrite application and
 //!   resynthesis)
@@ -51,7 +53,7 @@ pub mod shard;
 pub use circuit::{Circuit, GateCounts, Instruction, Qubit};
 pub use delta::{CircuitDelta, DeltaError};
 pub use edit::{Patch, PatchUndo};
-pub use gate::{Gate, GateKind};
+pub use gate::{Gate, GateKind, Params};
 pub use gateset::GateSet;
 pub use region::Region;
 pub use shard::{ShardPlan, ShardSpec};

@@ -96,7 +96,7 @@ fn render_qasm(circuit: &Circuit, sep: &str) -> String {
         if params.is_empty() {
             let _ = write!(s, "{}", ins.gate.name());
         } else {
-            let rendered: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
+            let rendered: Vec<String> = params.iter().map(|&p| render_param(p)).collect();
             let _ = write!(s, "{}({})", ins.gate.name(), rendered.join(","));
         }
         let qs: Vec<String> = ins.qubits().iter().map(|q| format!("q[{q}]")).collect();
@@ -104,6 +104,27 @@ fn render_qasm(circuit: &Circuit, sep: &str) -> String {
     }
     if sep == "\n" {
         s.push('\n');
+    }
+    s
+}
+
+/// Renders an angle so that [`from_qasm`] recovers the exact `f64`.
+///
+/// 17 fractional digits are enough for any magnitude ≥ 0.1 (and match
+/// the historical golden-fixture format byte for byte), but lose
+/// significant digits for smaller magnitudes — `0.015590366766198294`
+/// truncates one digit short. Escalate precision only when the fixed
+/// width fails to parse back, so established output bytes never change.
+fn render_param(p: f64) -> String {
+    let s = format!("{p:.17}");
+    if s.parse::<f64>() == Ok(p) {
+        return s;
+    }
+    for prec in 18..=40usize {
+        let s = format!("{p:.prec$}");
+        if s.parse::<f64>() == Ok(p) {
+            return s;
+        }
     }
     s
 }
@@ -499,6 +520,22 @@ mod tests {
         assert_eq!(to_qasm_line(&reparsed), line);
         let text = to_qasm(&c);
         assert_eq!(to_qasm(&from_qasm(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn small_angles_roundtrip_exactly() {
+        // Magnitudes below 0.1 need more than 17 fractional digits;
+        // render_param escalates precision until the parse recovers the
+        // exact bits. Larger magnitudes keep the historical fixed-width
+        // form so golden fixtures stay byte-identical.
+        for &a in &[-0.015590366766198294, 1e-9, -3.2e-5, 0.1, -0.7, PI / 3.0] {
+            let mut c = Circuit::new(1);
+            c.push(Gate::Rz(a), &[0]);
+            let back = from_qasm(&to_qasm(&c)).unwrap();
+            assert_eq!(back.instruction(0).gate, Gate::Rz(a), "angle {a:e}");
+        }
+        assert_eq!(render_param(0.1), "0.10000000000000001");
+        assert_eq!(render_param(2.25), "2.25000000000000000");
     }
 
     #[test]

@@ -15,12 +15,11 @@ use qcir::{Circuit, Gate};
 /// O(edit span): only the removed and replacement instructions are
 /// inspected, never the rest of the circuit.
 pub fn patch_count_deltas(circuit: &Circuit, patch: &Patch) -> (isize, isize, isize) {
-    let instrs = circuit.instructions();
     let d_len = patch.replacement().len() as isize - patch.removed().len() as isize;
     let mut d_multi = 0isize;
     let mut d_t = 0isize;
     for &i in patch.removed() {
-        let g = instrs[i].gate;
+        let g = circuit.instruction(i).gate;
         if g.arity() >= 2 {
             d_multi -= 1;
         }

@@ -37,6 +37,67 @@ use std::time::Instant;
 /// once per improvement, instead of O(backlog) memory forever).
 const PENDING_OPS_CAP: usize = 4096;
 
+/// Upper bound on the best-journal op backlog (no-observer mode). A
+/// journal longer than this is truncated back to its best-prefix and
+/// marked dead; the next strict improvement re-anchors with one
+/// O(circuit) snapshot. Keeps plateau-heavy searches from growing the
+/// journal without bound while still amortizing snapshots to at most
+/// one per `BEST_JOURNAL_CAP` accepts.
+const BEST_JOURNAL_CAP: usize = 65536;
+
+/// How the driver remembers its best-so-far circuit.
+///
+/// Snapshotting the working circuit on every strict improvement is the
+/// last O(circuit) cost in the incremental engine's accept path, and
+/// improvements cluster early in a search — exactly when the circuit is
+/// largest. In no-observer mode the driver instead journals every
+/// accepted patch and remembers *how many* of them lead to the best:
+/// the best circuit is materialized once, in
+/// [`ShardDriver::finish`], by replaying that prefix onto the base
+/// snapshot. An event sink needs the materialized best on every
+/// improvement (it is handed to the observer), so observer mode keeps
+/// the snapshot-per-improvement representation.
+enum BestRepr {
+    /// Materialized best — observer mode.
+    Snapshot(Circuit),
+    /// `base` + `ops[..ops_at_best]` replays to the best circuit; while
+    /// `live`, `base` + `ops[..]` replays to the current working
+    /// circuit, so a strict improvement is recorded by bumping
+    /// `ops_at_best` — O(1) instead of O(circuit).
+    Journal {
+        base: Circuit,
+        ops: Vec<Patch>,
+        ops_at_best: usize,
+        /// Cleared when the op trail stops tracking the working circuit
+        /// (journal overflow, or a wholesale circuit replacement whose
+        /// edit has no patch form). The best-prefix stays valid;
+        /// journaling resumes at the next strict improvement via an
+        /// O(circuit) re-anchor.
+        live: bool,
+    },
+}
+
+impl BestRepr {
+    /// Materializes the best circuit (consuming the representation).
+    fn into_circuit(self) -> Circuit {
+        match self {
+            BestRepr::Snapshot(c) => c,
+            BestRepr::Journal {
+                base,
+                ops,
+                ops_at_best,
+                ..
+            } => {
+                let mut c = base;
+                for op in &ops[..ops_at_best] {
+                    c.apply_patch(op);
+                }
+                c
+            }
+        }
+    }
+}
+
 /// Lines 10–12 of Algorithm 1: accept every cost-non-increasing move,
 /// and a worsening one with probability `exp(−t·cost′/cost)`. The single
 /// source of truth for every engine's acceptance rule.
@@ -70,7 +131,7 @@ pub struct ShardDriver<'c> {
     cost_curr: f64,
     err_curr: f64,
     eps_budget: f64,
-    best: Circuit,
+    best: BestRepr,
     cost_best: f64,
     err_best: f64,
     iterations: u64,
@@ -131,7 +192,12 @@ impl<'c> ShardDriver<'c> {
             });
         }
         ShardDriver {
-            best: circuit.clone(),
+            best: BestRepr::Journal {
+                base: circuit.clone(),
+                ops: Vec::new(),
+                ops_at_best: 0,
+                live: true,
+            },
             cost,
             ctx: SearchCtx::with_scratch(circuit, opts.dirty_window_bias, scratch),
             cost_curr: c0,
@@ -172,10 +238,52 @@ impl<'c> ShardDriver<'c> {
 
     /// Installs an event sink (see [`crate::observe`]): the driver
     /// emits an [`OptEvent::Improved`] — with its delta from the
-    /// previous best — on every strict best-cost improvement.
+    /// previous best — on every strict best-cost improvement. Observer
+    /// mode needs the materialized best on every improvement, so the
+    /// best-so-far switches to its snapshot representation.
     pub fn with_event_sink(mut self, on_event: Option<&'c mut EventSink<'c>>) -> Self {
+        if on_event.is_some() {
+            let best = std::mem::replace(&mut self.best, BestRepr::Snapshot(Circuit::new(0)));
+            self.best = BestRepr::Snapshot(best.into_circuit());
+        }
         self.on_event = on_event;
         self
+    }
+
+    /// The materialized best in observer mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the best is journaled (no sink installed).
+    fn best_snapshot(&self) -> &Circuit {
+        match &self.best {
+            BestRepr::Snapshot(c) => c,
+            BestRepr::Journal { .. } => {
+                unreachable!("observer mode keeps the best materialized")
+            }
+        }
+    }
+
+    /// Stops the journal's op trail (it no longer replays to the
+    /// working circuit); the best-prefix stays valid and journaling
+    /// resumes at the next strict improvement.
+    fn invalidate_journal(&mut self) {
+        if let BestRepr::Journal {
+            ops,
+            ops_at_best,
+            live,
+            ..
+        } = &mut self.best
+        {
+            ops.truncate(*ops_at_best);
+            *live = false;
+        }
+    }
+
+    /// True when accepted patches must be journaled to keep the op
+    /// trail replaying to the working circuit.
+    fn journal_live(&self) -> bool {
+        matches!(&self.best, BestRepr::Journal { live: true, .. })
     }
 
     /// Pins anchor-bias windows on the underlying [`SearchCtx`] (the
@@ -312,9 +420,10 @@ impl<'c> ShardDriver<'c> {
         if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
             return;
         }
-        // The accepted patch *is* the event-stream op — clone it only
-        // when a sink will consume the delta.
-        let op = self.on_event.is_some().then(|| pa.patch.clone());
+        // The accepted patch *is* the event-stream / best-journal op —
+        // clone it only when a sink or a live journal will consume it
+        // (an O(edit span) copy, never O(circuit)).
+        let op = (self.on_event.is_some() || self.journal_live()).then(|| pa.patch.clone());
         self.ctx.commit(&pa.patch);
         self.record_accept(cost_new, pa.epsilon, op);
     }
@@ -335,6 +444,10 @@ impl<'c> ShardDriver<'c> {
         if self.on_event.is_some() {
             self.pending.clear();
             self.pending_overflow = true;
+        } else {
+            // A wholesale replacement has no patch form; the journal's
+            // op trail can no longer track the working circuit.
+            self.invalidate_journal();
         }
         self.ctx.replace_circuit(applied.circuit);
         self.record_accept(cost_new, applied.epsilon, None);
@@ -345,56 +458,102 @@ impl<'c> ShardDriver<'c> {
         self.cost_curr = cost_new;
         self.err_curr += epsilon;
         if let Some(op) = op {
-            if self.pending.len() >= PENDING_OPS_CAP {
-                // Cap the backlog: forget the op trail and diff
-                // before/after at the next improvement instead.
-                self.pending.clear();
-                self.pending_overflow = true;
-            } else {
-                self.pending.push(op);
+            if self.on_event.is_some() {
+                if self.pending.len() >= PENDING_OPS_CAP {
+                    // Cap the backlog: forget the op trail and diff
+                    // before/after at the next improvement instead.
+                    self.pending.clear();
+                    self.pending_overflow = true;
+                } else {
+                    self.pending.push(op);
+                }
+            } else if let BestRepr::Journal {
+                ops,
+                ops_at_best,
+                live: live @ true,
+                ..
+            } = &mut self.best
+            {
+                if ops.len() >= BEST_JOURNAL_CAP {
+                    // Cap the backlog: keep the best-prefix, stop
+                    // journaling, re-anchor at the next improvement.
+                    ops.truncate(*ops_at_best);
+                    *live = false;
+                } else {
+                    ops.push(op);
+                }
             }
         }
         if self.cost_curr < self.cost_best {
-            // The delta is built against the *previous* best — exactly
-            // the accepted ops since that improvement (the working
-            // circuit and the best coincide at every improvement, so
-            // the op chain replays previous best → new best).
-            let delta = self.on_event.is_some().then(|| {
-                if self.pending_overflow {
-                    self.pending_overflow = false;
-                    // Ops accepted after the overflow are inside the
-                    // diffed span; drop them with the rest.
-                    self.pending.clear();
-                    CircuitDelta::diff(&self.best, self.ctx.circuit())
-                } else {
-                    CircuitDelta::from_ops(self.best.len(), std::mem::take(&mut self.pending))
-                }
-            });
-            // O(circuit) snapshot, but only on *strict* improvements —
-            // bounded by the total cost descent, not the accept rate
-            // (plateau accepts, the common case, never clone).
-            self.best = self.ctx.circuit().clone();
             self.cost_best = self.cost_curr;
             self.err_best = self.err_curr;
             if self.record_history {
+                // The working circuit and the best coincide at every
+                // strict improvement, so its cached counts serve.
                 self.history.push(HistoryPoint {
                     seconds: self.started.elapsed().as_secs_f64(),
                     iteration: self.iterations,
                     best_cost: self.cost_best,
-                    best_two_qubit: self.best.two_qubit_count(),
+                    best_two_qubit: self.ctx.circuit().two_qubit_count(),
                 });
             }
-            if let Some(obs) = self.on_event.as_mut() {
-                obs(
-                    &OptEvent::Improved {
-                        delta: delta.expect("delta built whenever a sink is installed"),
-                        cost: self.cost_best,
-                        epsilon: self.err_best,
-                        iterations: self.iterations,
-                        seconds: self.started.elapsed().as_secs_f64(),
-                    },
-                    &self.best,
-                );
+            if self.on_event.is_some() {
+                // The delta is built against the *previous* best —
+                // exactly the accepted ops since that improvement (the
+                // working circuit and the best coincide at every
+                // improvement, so the op chain replays previous best →
+                // new best).
+                let delta = if self.pending_overflow {
+                    self.pending_overflow = false;
+                    // Ops accepted after the overflow are inside the
+                    // diffed span; drop them with the rest.
+                    self.pending.clear();
+                    CircuitDelta::diff(self.best_snapshot(), self.ctx.circuit())
+                } else {
+                    CircuitDelta::from_ops(
+                        self.best_snapshot().len(),
+                        std::mem::take(&mut self.pending),
+                    )
+                };
+                // Observer mode pays the O(circuit) snapshot: the sink
+                // is handed the materialized best on every improvement.
+                self.best = BestRepr::Snapshot(self.ctx.circuit().clone());
+                let event = OptEvent::Improved {
+                    delta,
+                    cost: self.cost_best,
+                    epsilon: self.err_best,
+                    iterations: self.iterations,
+                    seconds: self.started.elapsed().as_secs_f64(),
+                };
+                let best = match &self.best {
+                    BestRepr::Snapshot(c) => c,
+                    BestRepr::Journal { .. } => unreachable!(),
+                };
+                if let Some(obs) = self.on_event.as_mut() {
+                    obs(&event, best);
+                }
+            } else {
+                match &mut self.best {
+                    // The journal already replays to the working
+                    // circuit: recording the new best is one store.
+                    BestRepr::Journal {
+                        ops,
+                        ops_at_best,
+                        live: true,
+                        ..
+                    } => *ops_at_best = ops.len(),
+                    // Dead journal (overflow or wholesale replacement):
+                    // re-anchor on the improved circuit — the one
+                    // O(circuit) snapshot those paths amortize.
+                    _ => {
+                        self.best = BestRepr::Journal {
+                            base: self.ctx.circuit().clone(),
+                            ops: Vec::new(),
+                            ops_at_best: 0,
+                            live: true,
+                        }
+                    }
+                }
             }
         }
     }
@@ -409,7 +568,9 @@ impl<'c> ShardDriver<'c> {
     /// caller can feed it to the next driver.
     pub fn finish_recycling(self) -> (GuoqResult, MatchScratch) {
         let result = GuoqResult {
-            circuit: self.best,
+            // Journal mode materializes the best exactly once, here:
+            // the base snapshot replayed through the best-prefix ops.
+            circuit: self.best.into_circuit(),
             cost: self.cost_best,
             epsilon: self.err_best,
             iterations: self.iterations,

@@ -17,17 +17,20 @@
 //!
 //! * [`Engine::Incremental`] (default) — the edit-based engine. The
 //!   search owns one working circuit inside a
-//!   [`SearchCtx`](crate::transform::SearchCtx) together with a cached
-//!   [`qcir::dag::WireDag`]. Each candidate move is produced as a
-//!   [`qcir::edit::Patch`] (a local edit: removed indices + replacement +
-//!   splice position) by the transformation's
+//!   [`SearchCtx`](crate::transform::SearchCtx); transformations probe
+//!   it through the arena's stable gate ids and embedded per-wire links
+//!   ([`Circuit::next_on_wire`](qcir::Circuit::next_on_wire) and
+//!   friends), so no side DAG is built or maintained. Each candidate
+//!   move is produced as a [`qcir::edit::Patch`] (a local edit: removed
+//!   indices + replacement + splice position) by the transformation's
 //!   [`apply_patch`](crate::transform::Transformation::apply_patch) path;
 //!   its cost change comes from [`CostFn::delta`] in O(edit span).
-//!   Rejected candidates are dropped without ever touching the circuit;
-//!   accepted ones are committed in place —
-//!   [`Circuit::apply_patch`](qcir::Circuit::apply_patch) plus
-//!   [`WireDag::splice`](qcir::dag::WireDag::splice) — so per-iteration
-//!   work scales with the edit, not the circuit. (The
+//!   Rejected candidates are dropped without touching the circuit — or
+//!   the heap (`tests/alloc_guard.rs` pins this to zero allocations);
+//!   accepted ones are committed in place by
+//!   [`Circuit::apply_patch`](qcir::Circuit::apply_patch), which
+//!   retires/claims arena slots and relinks wires in O(edit-span), so
+//!   per-iteration work scales with the edit, not the circuit. (The
 //!   [`Circuit::revert_patch`](qcir::Circuit::revert_patch) inverse
 //!   exists for apply-then-decide flows that must measure post-apply
 //!   quantities.)
@@ -72,9 +75,10 @@ use std::time::{Duration, Instant};
 /// Which iteration engine drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Patch-based incremental engine: one working circuit, a cached
-    /// [`qcir::dag::WireDag`] spliced per accepted edit, and O(edit-span)
-    /// cost deltas. Per-iteration work scales with the edit, not the
+    /// Patch-based incremental engine: one working circuit probed via
+    /// the arena's stable gate ids and embedded wire links, O(edit-span)
+    /// slot retire/claim per accepted edit, and O(edit-span) cost
+    /// deltas. Per-iteration work scales with the edit, not the
     /// circuit.
     #[default]
     Incremental,

@@ -56,6 +56,11 @@ pub use qpar::CancelToken;
 
 /// One typed event of an optimization run. See the [module docs](self)
 /// for the stream grammar and delivery contract.
+// `Finished(GuoqResult)` carries the terminal result circuit and is
+// emitted exactly once per run; boxing it would push an allocation and
+// an indirection onto every sink for the benefit of the per-event
+// variants that are already small.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum OptEvent {
     /// The run began: the input circuit is the first best-so-far.

@@ -163,7 +163,11 @@ impl Guoq {
         };
 
         let c0 = cost.cost(circuit);
-        let mut best = circuit.clone();
+        // Lazy best-so-far: `None` means the live master (the input, if
+        // no epoch has committed yet) *is* the best — it is frozen into
+        // `Some` only when a commit fails to improve, by moving the
+        // pre-commit master out of the `CommitInfo` (no clone).
+        let mut best: Option<Circuit> = None;
         let mut cost_best = c0;
         let mut err_best = 0.0;
         let mut history = Vec::new();
@@ -188,11 +192,16 @@ impl Guoq {
                     // results, so there is no patch trail to package;
                     // the event delta is the before/after diff against
                     // the previous best (per-epoch edits are localized,
-                    // so the diff stays far below a full snapshot).
-                    let delta = obs
-                        .as_ref()
-                        .map(|_| CircuitDelta::diff(&best, commit.circuit));
-                    best = commit.circuit.clone();
+                    // so the diff stays far below a full snapshot). When
+                    // `best` is lazy (`None`), the previous best is the
+                    // pre-commit master carried on the commit itself.
+                    let delta = obs.as_ref().map(|_| {
+                        CircuitDelta::diff(
+                            best.as_ref().unwrap_or(&commit.previous),
+                            commit.circuit,
+                        )
+                    });
+                    best = None; // the committed master is the new best
                     cost_best = commit_cost;
                     err_best = commit.epsilon;
                     if opts.record_history {
@@ -212,9 +221,14 @@ impl Guoq {
                                 iterations: commit.iterations,
                                 seconds,
                             },
-                            &best,
+                            commit.circuit,
                         );
                     }
+                } else if best.is_none() {
+                    // The pre-commit master was the best so far and this
+                    // commit did not beat it: take ownership (a move —
+                    // the coordinator has already replaced its master).
+                    best = Some(commit.previous);
                 }
                 if let Some(obs) = obs.as_mut() {
                     obs(
@@ -224,14 +238,15 @@ impl Guoq {
                             iterations: commit.iterations,
                             seconds,
                         },
-                        &best,
+                        best.as_ref().unwrap_or(commit.circuit),
                     );
                 }
             },
         );
 
         GuoqResult {
-            circuit: best,
+            // `None` ⇒ the final master is the best committed one.
+            circuit: best.unwrap_or(outcome.circuit),
             cost: cost_best,
             epsilon: err_best,
             iterations: outcome.iterations,

@@ -7,7 +7,6 @@
 //! against the global budget (Thm. 4.2: errors add up).
 
 use qcache::QCache;
-use qcir::dag::WireDag;
 use qcir::edit::Patch;
 use qcir::{Circuit, GateSet, Region};
 use qrewrite::{apply_rule_pass, fusion, MatchScratch, Rule};
@@ -65,13 +64,15 @@ const DIRTY_PAD: usize = 2;
 const MAX_ANCHOR_BIAS: f64 = 0.9;
 
 /// The mutable state the incremental engine carries across iterations:
-/// one working circuit plus its cached [`WireDag`] and the matcher
-/// scratch buffers.
+/// one working circuit plus the matcher scratch buffers. Wire adjacency
+/// comes straight from the circuit's arena links
+/// ([`Circuit::next_on_wire`] and friends), so there is no separate DAG
+/// to build or splice.
 ///
-/// The legacy engine cloned the circuit and rebuilt the DAG on every
-/// iteration; a `SearchCtx` instead lives for the whole search, and
-/// accepted edits are [committed](Self::commit) in place — O(edit span)
-/// instead of O(circuit).
+/// The legacy engine cloned the circuit (and rebuilt a wire DAG) on
+/// every iteration; a `SearchCtx` instead lives for the whole search,
+/// and accepted edits are [committed](Self::commit) in place — O(edit
+/// span) instead of O(circuit).
 ///
 /// The context also remembers a bounded list of recently-edited index
 /// windows. With a non-zero anchor bias, [`Self::sample_anchor`] probes
@@ -80,10 +81,6 @@ const MAX_ANCHOR_BIAS: f64 = 0.9;
 /// near recent edits raises the hit rate over uniform sampling.
 pub struct SearchCtx {
     circuit: Circuit,
-    /// Built lazily on first matcher use and spliced per commit, so
-    /// flows that never take the patch path (the clone–rebuild
-    /// baseline, wholesale circuit replacement) pay nothing for it.
-    dag: Option<WireDag>,
     scratch: MatchScratch,
     /// Recently-edited windows, post-commit coordinates, oldest first.
     /// Entries drift as later commits shift indices; they are clamped at
@@ -119,7 +116,6 @@ impl SearchCtx {
     pub fn with_scratch(circuit: Circuit, anchor_bias: f64, scratch: MatchScratch) -> Self {
         SearchCtx {
             circuit,
-            dag: None,
             scratch,
             dirty: VecDeque::with_capacity(DIRTY_CAPACITY),
             anchor_bias: anchor_bias.clamp(0.0, MAX_ANCHOR_BIAS),
@@ -186,53 +182,25 @@ impl SearchCtx {
         &self.circuit
     }
 
-    /// The cached wire DAG of the current circuit (built on first use).
-    #[inline]
-    pub fn dag(&mut self) -> &WireDag {
-        self.dag
-            .get_or_insert_with(|| WireDag::build(&self.circuit))
-    }
-
     /// Splits the context into the pieces the matcher needs.
     #[inline]
-    pub fn parts(&mut self) -> (&Circuit, &WireDag, &mut MatchScratch) {
-        let dag = self
-            .dag
-            .get_or_insert_with(|| WireDag::build(&self.circuit));
-        (&self.circuit, dag, &mut self.scratch)
+    pub fn parts(&mut self) -> (&Circuit, &mut MatchScratch) {
+        (&self.circuit, &mut self.scratch)
     }
 
-    /// Applies an accepted patch in place, splicing the cached DAG (when
-    /// one is materialized) and recording the edit window in the dirty
-    /// list.
+    /// Applies an accepted patch in place (the arena relinks only the
+    /// edited wires) and records the edit window in the dirty list.
     pub fn commit(&mut self, patch: &Patch) {
         let (wlo, whi) = patch.window();
         let new_whi = (whi as isize + patch.len_delta()).max(wlo as isize) as usize;
-        if let Some(dag) = self.dag.as_mut() {
-            if !dag.splice(&self.circuit, patch) {
-                // The patch touches wires outside its window (no in-repo
-                // producer does); invalidate and rebuild on next use.
-                self.dag = None;
-            }
-        }
         self.circuit.apply_patch(patch);
         self.note_dirty(wlo, new_whi);
-        #[cfg(debug_assertions)]
-        if let Some(dag) = self.dag.as_ref() {
-            debug_assert_eq!(
-                dag,
-                &WireDag::build(&self.circuit),
-                "incremental DAG diverged after commit"
-            );
-        }
     }
 
     /// Replaces the working circuit wholesale (e.g. an accepted
-    /// async-resynthesis result based on an older snapshot). The cached
-    /// DAG is invalidated (rebuilt on next matcher use) and the dirty
-    /// list cleared — its windows described the discarded circuit.
+    /// async-resynthesis result based on an older snapshot). The dirty
+    /// list is cleared — its windows described the discarded circuit.
     pub fn replace_circuit(&mut self, circuit: Circuit) {
-        self.dag = None;
         self.circuit = circuit;
         self.dirty.clear();
         // Pinned windows described the discarded circuit too.
@@ -330,11 +298,17 @@ impl Transformation for RulePass {
             return None;
         }
         let start = ctx.sample_anchor(rng);
-        let (circuit, dag, scratch) = ctx.parts();
+        let (circuit, scratch) = ctx.parts();
+        // Walk anchors `(start + off) % n` by live id — O(1) per failed
+        // probe instead of a rank/select per position. `start < n` and
+        // `off < n`, so the walk wraps at most once.
+        let mut id = circuit.id_at(start);
         for off in 0..RULE_ANCHOR_TRIES.min(n) {
-            let anchor = (start + off) % n;
+            if off > 0 {
+                id = circuit.next_id(id).unwrap_or_else(|| circuit.id_at(0));
+            }
             if let Some(patch) =
-                qrewrite::propose_rule_patch(circuit, dag, &self.rule, anchor, scratch)
+                qrewrite::propose_rule_patch_at_id(circuit, &self.rule, id, scratch)
             {
                 return Some(PatchApplied {
                     patch,
@@ -386,10 +360,13 @@ impl Transformation for FusionPass {
             return None;
         }
         let start = ctx.sample_anchor(rng);
-        let (circuit, dag, _) = ctx.parts();
+        let circuit = ctx.circuit();
+        let mut id = circuit.id_at(start);
         for off in 0..FUSION_ANCHOR_TRIES.min(n) {
-            let anchor = (start + off) % n;
-            if let Some(patch) = fusion::fuse_run_patch(circuit, dag, anchor, self.set) {
+            if off > 0 {
+                id = circuit.next_id(id).unwrap_or_else(|| circuit.id_at(0));
+            }
+            if let Some(patch) = fusion::fuse_run_patch_at(circuit, id, self.set) {
                 return Some(PatchApplied {
                     patch,
                     epsilon: 0.0,
@@ -431,9 +408,13 @@ impl Transformation for CleanupPass {
             return None;
         }
         let start = ctx.sample_anchor(rng);
+        let circuit = ctx.circuit();
+        let mut id = circuit.id_at(start);
         for off in 0..CLEANUP_ANCHOR_TRIES.min(n) {
-            let anchor = (start + off) % n;
-            if let Some(patch) = fusion::remove_identity_patch(ctx.circuit(), anchor, 1e-9) {
+            if off > 0 {
+                id = circuit.next_id(id).unwrap_or_else(|| circuit.id_at(0));
+            }
+            if let Some(patch) = fusion::remove_identity_patch_at(circuit, id, 1e-9) {
                 return Some(PatchApplied {
                     patch,
                     epsilon: 0.0,

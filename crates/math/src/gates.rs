@@ -4,189 +4,323 @@
 //! the workspace. Conventions follow OpenQASM 2/3 and the paper:
 //! `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`, `U3(θ,φ,λ)` as in OpenQASM, and
 //! `CX` with the control on the first (most significant) qubit.
+//!
+//! The entry values are defined once, in the stack-allocated [`small`]
+//! constructors ([`Mat2`](crate::smallmat::Mat2) /
+//! [`Mat4`](crate::smallmat::Mat4)); the heap [`Mat`] versions here
+//! delegate to them, so the two tables can never drift and the hot path
+//! can fetch one- and two-qubit unitaries without allocating.
 
-use crate::complex::{c64, C64};
 use crate::matrix::Mat;
-use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
+
+/// Stack-allocated gate unitaries — the same matrices as the top-level
+/// constructors, as [`Mat2`]/[`Mat4`] values that never touch the heap.
+/// Three-qubit gates (`CCX`, `CCZ`) are 8×8 and stay [`Mat`]-only.
+pub mod small {
+    use crate::complex::{c64, C64};
+    use crate::smallmat::{Mat2, Mat4};
+    use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2, FRAC_PI_4};
+
+    /// Pauli X.
+    pub fn x() -> Mat2 {
+        Mat2::of(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO)
+    }
+
+    /// Pauli Y.
+    pub fn y() -> Mat2 {
+        Mat2::of(C64::ZERO, -C64::I, C64::I, C64::ZERO)
+    }
+
+    /// Pauli Z.
+    pub fn z() -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE)
+    }
+
+    /// Hadamard.
+    pub fn h() -> Mat2 {
+        let s = c64(FRAC_1_SQRT_2, 0.0);
+        Mat2::of(s, s, s, -s)
+    }
+
+    /// Phase gate `S = diag(1, i)`.
+    pub fn s() -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, C64::I)
+    }
+
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    pub fn sdg() -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, -C64::I)
+    }
+
+    /// T gate `diag(1, e^{iπ/4})`.
+    pub fn t() -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(FRAC_PI_4))
+    }
+
+    /// Inverse T gate.
+    pub fn tdg() -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(-FRAC_PI_4))
+    }
+
+    /// Square root of X: `SX = e^{iπ/4} Rx(π/2)`.
+    pub fn sx() -> Mat2 {
+        let a = c64(0.5, 0.5);
+        let b = c64(0.5, -0.5);
+        Mat2::of(a, b, b, a)
+    }
+
+    /// Inverse square root of X.
+    pub fn sxdg() -> Mat2 {
+        sx().adjoint()
+    }
+
+    /// X rotation `Rx(θ) = exp(-iθX/2)`.
+    pub fn rx(theta: f64) -> Mat2 {
+        let c = c64((theta / 2.0).cos(), 0.0);
+        let s = c64(0.0, -(theta / 2.0).sin());
+        Mat2::of(c, s, s, c)
+    }
+
+    /// Y rotation `Ry(θ) = exp(-iθY/2)`.
+    pub fn ry(theta: f64) -> Mat2 {
+        let c = c64((theta / 2.0).cos(), 0.0);
+        let s = (theta / 2.0).sin();
+        Mat2::of(c, c64(-s, 0.0), c64(s, 0.0), c)
+    }
+
+    /// Z rotation `Rz(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2})`.
+    pub fn rz(theta: f64) -> Mat2 {
+        Mat2::of(
+            C64::cis(-theta / 2.0),
+            C64::ZERO,
+            C64::ZERO,
+            C64::cis(theta / 2.0),
+        )
+    }
+
+    /// Phase gate `P(λ) = diag(1, e^{iλ})` (a.k.a. `U1`).
+    pub fn p(lambda: f64) -> Mat2 {
+        Mat2::of(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(lambda))
+    }
+
+    /// OpenQASM `U3(θ, φ, λ)`.
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat2 {
+        let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        Mat2::of(
+            c64(ct, 0.0),
+            C64::cis(lambda).scale(-st),
+            C64::cis(phi).scale(st),
+            C64::cis(phi + lambda).scale(ct),
+        )
+    }
+
+    /// OpenQASM `U2(φ, λ) = U3(π/2, φ, λ)`.
+    pub fn u2(phi: f64, lambda: f64) -> Mat2 {
+        u3(FRAC_PI_2, phi, lambda)
+    }
+
+    /// Controlled-X with control on the first (most significant) qubit.
+    pub fn cx() -> Mat4 {
+        let mut m = Mat4::identity();
+        m[(2, 2)] = C64::ZERO;
+        m[(3, 3)] = C64::ZERO;
+        m[(2, 3)] = C64::ONE;
+        m[(3, 2)] = C64::ONE;
+        m
+    }
+
+    /// Controlled-Z.
+    pub fn cz() -> Mat4 {
+        let mut m = Mat4::identity();
+        m[(3, 3)] = -C64::ONE;
+        m
+    }
+
+    /// Controlled-phase `CP(λ) = diag(1,1,1,e^{iλ})`.
+    pub fn cp(lambda: f64) -> Mat4 {
+        let mut m = Mat4::identity();
+        m[(3, 3)] = C64::cis(lambda);
+        m
+    }
+
+    /// Controlled-`Rz(θ)` (control on first qubit).
+    pub fn crz(theta: f64) -> Mat4 {
+        let mut m = Mat4::identity();
+        m[(2, 2)] = C64::cis(-theta / 2.0);
+        m[(3, 3)] = C64::cis(theta / 2.0);
+        m
+    }
+
+    /// SWAP gate.
+    pub fn swap() -> Mat4 {
+        let mut m = Mat4::zero();
+        m[(0, 0)] = C64::ONE;
+        m[(1, 2)] = C64::ONE;
+        m[(2, 1)] = C64::ONE;
+        m[(3, 3)] = C64::ONE;
+        m
+    }
+
+    /// Two-qubit XX rotation `Rxx(θ) = exp(-iθ XX/2)`.
+    pub fn rxx(theta: f64) -> Mat4 {
+        let c = c64((theta / 2.0).cos(), 0.0);
+        let s = c64(0.0, -(theta / 2.0).sin());
+        let mut m = Mat4::zero();
+        for i in 0..4 {
+            m[(i, i)] = c;
+            m[(i, 3 - i)] = s;
+        }
+        m
+    }
+
+    /// Two-qubit YY rotation `Ryy(θ) = exp(-iθ YY/2)`.
+    pub fn ryy(theta: f64) -> Mat4 {
+        let c = c64((theta / 2.0).cos(), 0.0);
+        let s = c64(0.0, (theta / 2.0).sin());
+        let ms = c64(0.0, -(theta / 2.0).sin());
+        let mut m = Mat4::zero();
+        m[(0, 0)] = c;
+        m[(1, 1)] = c;
+        m[(2, 2)] = c;
+        m[(3, 3)] = c;
+        m[(0, 3)] = s;
+        m[(3, 0)] = s;
+        m[(1, 2)] = ms;
+        m[(2, 1)] = ms;
+        m
+    }
+
+    /// Two-qubit ZZ rotation `Rzz(θ) = exp(-iθ ZZ/2)`.
+    pub fn rzz(theta: f64) -> Mat4 {
+        let e = C64::cis(-theta / 2.0);
+        let f = C64::cis(theta / 2.0);
+        Mat4::diag([e, f, f, e])
+    }
+}
 
 /// Pauli X.
 pub fn x() -> Mat {
-    Mat::mat2(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO)
+    small::x().to_mat()
 }
 
 /// Pauli Y.
 pub fn y() -> Mat {
-    Mat::mat2(C64::ZERO, -C64::I, C64::I, C64::ZERO)
+    small::y().to_mat()
 }
 
 /// Pauli Z.
 pub fn z() -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, -C64::ONE)
+    small::z().to_mat()
 }
 
 /// Hadamard.
 pub fn h() -> Mat {
-    let s = c64(FRAC_1_SQRT_2, 0.0);
-    Mat::mat2(s, s, s, -s)
+    small::h().to_mat()
 }
 
 /// Phase gate `S = diag(1, i)`.
 pub fn s() -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::I)
+    small::s().to_mat()
 }
 
 /// Inverse phase gate `S† = diag(1, -i)`.
 pub fn sdg() -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, -C64::I)
+    small::sdg().to_mat()
 }
 
 /// T gate `diag(1, e^{iπ/4})`.
 pub fn t() -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(FRAC_PI_4))
+    small::t().to_mat()
 }
 
 /// Inverse T gate.
 pub fn tdg() -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(-FRAC_PI_4))
+    small::tdg().to_mat()
 }
 
 /// Square root of X: `SX = e^{iπ/4} Rx(π/2)`.
 pub fn sx() -> Mat {
-    let a = c64(0.5, 0.5);
-    let b = c64(0.5, -0.5);
-    Mat::mat2(a, b, b, a)
+    small::sx().to_mat()
 }
 
 /// Inverse square root of X.
 pub fn sxdg() -> Mat {
-    sx().dagger()
+    small::sxdg().to_mat()
 }
 
 /// X rotation `Rx(θ) = exp(-iθX/2)`.
 pub fn rx(theta: f64) -> Mat {
-    let c = c64((theta / 2.0).cos(), 0.0);
-    let s = c64(0.0, -(theta / 2.0).sin());
-    Mat::mat2(c, s, s, c)
+    small::rx(theta).to_mat()
 }
 
 /// Y rotation `Ry(θ) = exp(-iθY/2)`.
 pub fn ry(theta: f64) -> Mat {
-    let c = c64((theta / 2.0).cos(), 0.0);
-    let s = (theta / 2.0).sin();
-    Mat::mat2(c, c64(-s, 0.0), c64(s, 0.0), c)
+    small::ry(theta).to_mat()
 }
 
 /// Z rotation `Rz(θ) = exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2})`.
 pub fn rz(theta: f64) -> Mat {
-    Mat::mat2(
-        C64::cis(-theta / 2.0),
-        C64::ZERO,
-        C64::ZERO,
-        C64::cis(theta / 2.0),
-    )
+    small::rz(theta).to_mat()
 }
 
 /// Phase gate `P(λ) = diag(1, e^{iλ})` (a.k.a. `U1`).
 pub fn p(lambda: f64) -> Mat {
-    Mat::mat2(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(lambda))
+    small::p(lambda).to_mat()
 }
 
 /// OpenQASM `U3(θ, φ, λ)`.
 pub fn u3(theta: f64, phi: f64, lambda: f64) -> Mat {
-    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    Mat::mat2(
-        c64(ct, 0.0),
-        C64::cis(lambda).scale(-st),
-        C64::cis(phi).scale(st),
-        C64::cis(phi + lambda).scale(ct),
-    )
+    small::u3(theta, phi, lambda).to_mat()
 }
 
 /// OpenQASM `U2(φ, λ) = U3(π/2, φ, λ)`.
 pub fn u2(phi: f64, lambda: f64) -> Mat {
-    u3(FRAC_PI_2, phi, lambda)
+    small::u2(phi, lambda).to_mat()
 }
 
 /// Controlled-X with control on the first (most significant) qubit.
 pub fn cx() -> Mat {
-    let mut m = Mat::identity(4);
-    m[(2, 2)] = C64::ZERO;
-    m[(3, 3)] = C64::ZERO;
-    m[(2, 3)] = C64::ONE;
-    m[(3, 2)] = C64::ONE;
-    m
+    small::cx().to_mat()
 }
 
 /// Controlled-Z.
 pub fn cz() -> Mat {
-    let mut m = Mat::identity(4);
-    m[(3, 3)] = -C64::ONE;
-    m
+    small::cz().to_mat()
 }
 
 /// Controlled-phase `CP(λ) = diag(1,1,1,e^{iλ})`.
 pub fn cp(lambda: f64) -> Mat {
-    let mut m = Mat::identity(4);
-    m[(3, 3)] = C64::cis(lambda);
-    m
+    small::cp(lambda).to_mat()
 }
 
 /// Controlled-`Rz(θ)` (control on first qubit).
 pub fn crz(theta: f64) -> Mat {
-    let mut m = Mat::identity(4);
-    m[(2, 2)] = C64::cis(-theta / 2.0);
-    m[(3, 3)] = C64::cis(theta / 2.0);
-    m
+    small::crz(theta).to_mat()
 }
 
 /// SWAP gate.
 pub fn swap() -> Mat {
-    let mut m = Mat::zeros(4, 4);
-    m[(0, 0)] = C64::ONE;
-    m[(1, 2)] = C64::ONE;
-    m[(2, 1)] = C64::ONE;
-    m[(3, 3)] = C64::ONE;
-    m
+    small::swap().to_mat()
 }
 
 /// Two-qubit XX rotation `Rxx(θ) = exp(-iθ XX/2)`.
 pub fn rxx(theta: f64) -> Mat {
-    let c = c64((theta / 2.0).cos(), 0.0);
-    let s = c64(0.0, -(theta / 2.0).sin());
-    let mut m = Mat::zeros(4, 4);
-    for i in 0..4 {
-        m[(i, i)] = c;
-        m[(i, 3 - i)] = s;
-    }
-    m
+    small::rxx(theta).to_mat()
 }
 
 /// Two-qubit YY rotation `Ryy(θ) = exp(-iθ YY/2)`.
 pub fn ryy(theta: f64) -> Mat {
-    let c = c64((theta / 2.0).cos(), 0.0);
-    let s = c64(0.0, (theta / 2.0).sin());
-    let ms = c64(0.0, -(theta / 2.0).sin());
-    let mut m = Mat::zeros(4, 4);
-    m[(0, 0)] = c;
-    m[(1, 1)] = c;
-    m[(2, 2)] = c;
-    m[(3, 3)] = c;
-    m[(0, 3)] = s;
-    m[(3, 0)] = s;
-    m[(1, 2)] = ms;
-    m[(2, 1)] = ms;
-    m
+    small::ryy(theta).to_mat()
 }
 
 /// Two-qubit ZZ rotation `Rzz(θ) = exp(-iθ ZZ/2)`.
 pub fn rzz(theta: f64) -> Mat {
-    let e = C64::cis(-theta / 2.0);
-    let f = C64::cis(theta / 2.0);
-    Mat::diag(&[e, f, f, e])
+    small::rzz(theta).to_mat()
 }
 
 /// Toffoli (CCX) with controls on the first two qubits.
 pub fn ccx() -> Mat {
+    use crate::complex::C64;
     let mut m = Mat::identity(8);
     m[(6, 6)] = C64::ZERO;
     m[(7, 7)] = C64::ZERO;
@@ -197,6 +331,7 @@ pub fn ccx() -> Mat {
 
 /// CCZ with phases on `|111⟩`.
 pub fn ccz() -> Mat {
+    use crate::complex::C64;
     let mut m = Mat::identity(8);
     m[(7, 7)] = -C64::ONE;
     m
@@ -316,5 +451,19 @@ mod tests {
         let h2 = crate::matrix::embed(&h(), 3, &[2]);
         let rhs = h2.matmul(&ccx()).matmul(&h2);
         assert!(rhs.approx_eq(&ccz(), 1e-12));
+    }
+
+    #[test]
+    fn small_constructors_match_heap_table() {
+        // The Mat table delegates to `small`, but pin the agreement
+        // explicitly for a parameterized sample of each family.
+        assert_eq!(
+            small::u3(0.3, 1.4, -0.9).as_slice(),
+            u3(0.3, 1.4, -0.9).as_slice()
+        );
+        assert_eq!(small::rz(2.2).as_slice(), rz(2.2).as_slice());
+        assert_eq!(small::cx().as_slice(), cx().as_slice());
+        assert_eq!(small::rzz(0.5).as_slice(), rzz(0.5).as_slice());
+        assert_eq!(small::sxdg().as_slice(), sxdg().as_slice());
     }
 }

@@ -6,6 +6,8 @@
 //! * [`C64`]: complex numbers ([`complex`])
 //! * [`Mat`]: dense complex matrices, Kronecker products, embeddings
 //!   ([`matrix`])
+//! * [`Mat2`]/[`Mat4`]: fixed-size stack-allocated matrices for the
+//!   optimizer hot path ([`smallmat`])
 //! * standard gate unitaries ([`gates`])
 //! * the Hilbert–Schmidt distance of the paper's Definition 3.2 ([`dist`])
 //! * angle canonicalization utilities ([`angle`])
@@ -45,8 +47,10 @@ pub mod eigen;
 pub mod gates;
 pub mod matrix;
 pub mod random;
+pub mod smallmat;
 pub mod statevec;
 
 pub use complex::{c64, C64};
 pub use dist::hs_distance;
 pub use matrix::{embed, Mat};
+pub use smallmat::{Mat2, Mat4};

@@ -1,0 +1,341 @@
+//! Fixed-size 2×2 / 4×4 complex matrices on the stack.
+//!
+//! [`Mat2`] and [`Mat4`] are the hot-path counterparts of [`Mat`]: plain
+//! `Copy` arrays (`[C64; 4]` / `[C64; 16]`) with no heap allocation, so
+//! the optimizer's inner loop can build gate unitaries, multiply them,
+//! and measure distances without touching the allocator. The kernels use
+//! fixed trip counts over contiguous arrays, which the compiler can
+//! unroll and autovectorize.
+//!
+//! Every kernel mirrors the arithmetic of the corresponding [`Mat`]
+//! operation exactly — same `ikj` loop order, same zero-skip, same
+//! summation order in [`hs_distance`](Mat2::hs_distance) — so replacing
+//! a `Mat` computation with its small-matrix twin produces bit-identical
+//! floats. [`Mat`] remains the representation for large compositions
+//! (8×8 and up); conversion in both directions is lossless.
+
+use crate::complex::C64;
+use crate::matrix::Mat;
+use std::ops::{Index, IndexMut};
+
+macro_rules! small_mat {
+    ($name:ident, $dim:expr, $len:expr, $label:expr) => {
+        impl $name {
+            /// Rows (= columns) of the matrix.
+            pub const DIM: usize = $dim;
+
+            /// Builds a matrix from row-major entries.
+            #[inline]
+            pub const fn new(entries: [C64; $len]) -> Self {
+                $name(entries)
+            }
+
+            /// The zero matrix.
+            #[inline]
+            pub const fn zero() -> Self {
+                $name([C64::ZERO; $len])
+            }
+
+            /// The identity matrix.
+            #[inline]
+            pub const fn identity() -> Self {
+                let mut m = [C64::ZERO; $len];
+                let mut i = 0;
+                while i < $dim {
+                    m[i * $dim + i] = C64::ONE;
+                    i += 1;
+                }
+                $name(m)
+            }
+
+            /// Borrow of the row-major entries.
+            #[inline]
+            pub fn as_slice(&self) -> &[C64] {
+                &self.0
+            }
+
+            /// Mutable borrow of the row-major entries.
+            #[inline]
+            pub fn as_mut_slice(&mut self) -> &mut [C64] {
+                &mut self.0
+            }
+
+            /// The row-major entries by value.
+            #[inline]
+            pub const fn into_array(self) -> [C64; $len] {
+                self.0
+            }
+
+            /// Matrix product `self · rhs`.
+            ///
+            /// Same `ikj` order and zero-skip as [`Mat::matmul`], so the
+            /// result is bit-identical to the heap version.
+            #[inline]
+            pub fn matmul(&self, rhs: &$name) -> $name {
+                let mut out = [C64::ZERO; $len];
+                for i in 0..$dim {
+                    for k in 0..$dim {
+                        let aik = self.0[i * $dim + k];
+                        if aik.re == 0.0 && aik.im == 0.0 {
+                            continue;
+                        }
+                        for j in 0..$dim {
+                            out[i * $dim + j] += aik * rhs.0[k * $dim + j];
+                        }
+                    }
+                }
+                $name(out)
+            }
+
+            /// Conjugate transpose `self†`.
+            #[inline]
+            pub fn adjoint(&self) -> $name {
+                let mut out = [C64::ZERO; $len];
+                for i in 0..$dim {
+                    for j in 0..$dim {
+                        out[j * $dim + i] = self.0[i * $dim + j].conj();
+                    }
+                }
+                $name(out)
+            }
+
+            /// Trace (sum of diagonal entries).
+            #[inline]
+            pub fn trace(&self) -> C64 {
+                let mut t = C64::ZERO;
+                for i in 0..$dim {
+                    t += self.0[i * $dim + i];
+                }
+                t
+            }
+
+            /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+            #[inline]
+            pub fn frobenius_norm(&self) -> f64 {
+                self.0.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+            }
+
+            /// Scales every entry by a complex factor.
+            #[inline]
+            pub fn scaled(&self, k: C64) -> $name {
+                let mut out = self.0;
+                for z in &mut out {
+                    *z *= k;
+                }
+                $name(out)
+            }
+
+            /// Entrywise approximate equality within `tol`.
+            #[inline]
+            pub fn approx_eq(&self, other: &$name, tol: f64) -> bool {
+                self.0
+                    .iter()
+                    .zip(&other.0)
+                    .all(|(a, b)| a.approx_eq(*b, tol))
+            }
+
+            /// Hilbert–Schmidt distance (paper Def. 3.2), phase-invariant.
+            ///
+            /// Same formula and summation order as
+            /// [`hs_distance`](crate::dist::hs_distance) on [`Mat`].
+            #[inline]
+            pub fn hs_distance(&self, other: &$name) -> f64 {
+                let mut t = C64::ZERO;
+                for (a, b) in self.0.iter().zip(&other.0) {
+                    t += a.conj() * *b;
+                }
+                let o = (t.abs() / $dim as f64).min(1.0);
+                (1.0 - o * o).max(0.0).sqrt()
+            }
+
+            /// Lossless widening into a heap [`Mat`].
+            #[inline]
+            pub fn to_mat(&self) -> Mat {
+                Mat::from_vec($dim, $dim, self.0.to_vec())
+            }
+
+            /// Lossless narrowing from a heap [`Mat`].
+            ///
+            /// # Panics
+            ///
+            /// Panics if `m` is not exactly the expected dimension.
+            #[inline]
+            pub fn from_mat(m: &Mat) -> $name {
+                assert_eq!(
+                    (m.rows(), m.cols()),
+                    ($dim, $dim),
+                    concat!($label, "::from_mat needs a ", $label, "-sized matrix")
+                );
+                let mut out = [C64::ZERO; $len];
+                out.copy_from_slice(m.as_slice());
+                $name(out)
+            }
+        }
+
+        impl Index<(usize, usize)> for $name {
+            type Output = C64;
+            #[inline]
+            fn index(&self, (i, j): (usize, usize)) -> &C64 {
+                &self.0[i * $dim + j]
+            }
+        }
+
+        impl IndexMut<(usize, usize)> for $name {
+            #[inline]
+            fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+                &mut self.0[i * $dim + j]
+            }
+        }
+
+        impl From<$name> for Mat {
+            #[inline]
+            fn from(m: $name) -> Mat {
+                m.to_mat()
+            }
+        }
+    };
+}
+
+/// A 2×2 complex matrix stored inline (row-major `[C64; 4]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat2([C64; 4]);
+
+/// A 4×4 complex matrix stored inline (row-major `[C64; 16]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4([C64; 16]);
+
+small_mat!(Mat2, 2, 4, "Mat2");
+small_mat!(Mat4, 4, 16, "Mat4");
+
+impl Mat2 {
+    /// Builds a 2×2 matrix from four entries in row-major order
+    /// (the inline twin of [`Mat::mat2`]).
+    #[inline]
+    pub const fn of(a: C64, b: C64, c: C64, d: C64) -> Mat2 {
+        Mat2([a, b, c, d])
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`, landing in a [`Mat4`].
+    ///
+    /// Same entry order and zero-skip as [`Mat::kron`].
+    #[inline]
+    pub fn kron(&self, rhs: &Mat2) -> Mat4 {
+        let mut out = [C64::ZERO; 16];
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = self.0[i * 2 + j];
+                if a.re == 0.0 && a.im == 0.0 {
+                    continue;
+                }
+                for p in 0..2 {
+                    for q in 0..2 {
+                        out[(i * 2 + p) * 4 + (j * 2 + q)] = a * rhs.0[p * 2 + q];
+                    }
+                }
+            }
+        }
+        Mat4(out)
+    }
+}
+
+impl Mat4 {
+    /// Builds a diagonal 4×4 matrix from its diagonal entries.
+    #[inline]
+    pub const fn diag(d: [C64; 4]) -> Mat4 {
+        let mut m = [C64::ZERO; 16];
+        let mut i = 0;
+        while i < 4 {
+            m[i * 4 + i] = d[i];
+            i += 1;
+        }
+        Mat4(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::dist::hs_distance;
+    use crate::gates;
+    use crate::random::random_unitary;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rand2(rng: &mut SmallRng) -> (Mat2, Mat) {
+        let m = random_unitary(2, rng);
+        (Mat2::from_mat(&m), m)
+    }
+
+    fn rand4(rng: &mut SmallRng) -> (Mat4, Mat) {
+        let m = random_unitary(4, rng);
+        (Mat4::from_mat(&m), m)
+    }
+
+    #[test]
+    fn matmul_bit_identical_to_mat() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..20 {
+            let (a2, a) = rand2(&mut rng);
+            let (b2, b) = rand2(&mut rng);
+            assert_eq!(a2.matmul(&b2).as_slice(), a.matmul(&b).as_slice());
+            let (c4, c) = rand4(&mut rng);
+            let (d4, d) = rand4(&mut rng);
+            assert_eq!(c4.matmul(&d4).as_slice(), c.matmul(&d).as_slice());
+        }
+    }
+
+    #[test]
+    fn adjoint_and_trace_match_mat() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let (a2, a) = rand2(&mut rng);
+        assert_eq!(a2.adjoint().as_slice(), a.dagger().as_slice());
+        assert_eq!(a2.trace(), a.trace());
+        let (b4, b) = rand4(&mut rng);
+        assert_eq!(b4.adjoint().as_slice(), b.dagger().as_slice());
+        assert_eq!(b4.trace(), b.trace());
+    }
+
+    #[test]
+    fn kron_matches_mat() {
+        let mut rng = SmallRng::seed_from_u64(47);
+        let (a2, a) = rand2(&mut rng);
+        let (b2, b) = rand2(&mut rng);
+        assert_eq!(a2.kron(&b2).as_slice(), a.kron(&b).as_slice());
+    }
+
+    #[test]
+    fn hs_distance_matches_mat() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        let (a2, a) = rand2(&mut rng);
+        let (b2, b) = rand2(&mut rng);
+        assert_eq!(a2.hs_distance(&b2), hs_distance(&a, &b));
+        assert!(a2.hs_distance(&a2) < 1e-15);
+        let (c4, c) = rand4(&mut rng);
+        let (d4, d) = rand4(&mut rng);
+        assert_eq!(c4.hs_distance(&d4), hs_distance(&c, &d));
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        assert_eq!(Mat2::identity().as_slice(), Mat::identity(2).as_slice());
+        assert_eq!(Mat4::identity().as_slice(), Mat::identity(4).as_slice());
+        let d = [c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 0.0), c64(2.0, 0.5)];
+        assert_eq!(Mat4::diag(d).as_slice(), Mat::diag(&d).as_slice());
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        let g = gates::u3(0.7, -0.2, 1.9);
+        let small = Mat2::from_mat(&g);
+        assert_eq!(small.to_mat().as_slice(), g.as_slice());
+        let cx = gates::cx();
+        assert_eq!(Mat4::from_mat(&cx).to_mat().as_slice(), cx.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "from_mat")]
+    fn from_mat_rejects_wrong_dim() {
+        let _ = Mat2::from_mat(&Mat::identity(4));
+    }
+}

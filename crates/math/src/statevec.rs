@@ -17,12 +17,22 @@ use crate::matrix::Mat;
 ///
 /// Panics if `state.len() != 2^n`, `q >= n`, or the gate is not 2×2.
 pub fn apply_1q(state: &mut [C64], n: usize, q: usize, gate: &Mat) {
+    assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
+    apply_1q_slice(state, n, q, gate.as_slice());
+}
+
+/// [`apply_1q`] on a raw row-major 4-entry unitary (e.g. a
+/// [`Mat2`](crate::smallmat::Mat2) slice) — no heap matrix required.
+///
+/// # Panics
+///
+/// Panics if `state.len() != 2^n`, `q >= n`, or `g.len() != 4`.
+pub fn apply_1q_slice(state: &mut [C64], n: usize, q: usize, g: &[C64]) {
     assert_eq!(state.len(), 1 << n, "state length must be 2^n");
     assert!(q < n, "qubit index out of range");
-    assert_eq!((gate.rows(), gate.cols()), (2, 2), "gate must be 2x2");
+    assert_eq!(g.len(), 4, "gate must be 2x2");
     let bit = n - 1 - q;
     let stride = 1usize << bit;
-    let g = gate.as_slice();
     let (g00, g01, g10, g11) = (g[0], g[1], g[2], g[3]);
     let mut base = 0usize;
     while base < state.len() {
@@ -44,23 +54,72 @@ pub fn apply_1q(state: &mut [C64], n: usize, q: usize, gate: &Mat) {
 /// Panics if dimensions disagree or qubits repeat / are out of range.
 pub fn apply_gate(state: &mut [C64], n: usize, qubits: &[usize], gate: &Mat) {
     let k = qubits.len();
+    if k != 1 {
+        let dk = 1usize << k;
+        assert_eq!((gate.rows(), gate.cols()), (dk, dk), "gate size mismatch");
+    }
+    apply_gate_slice(state, n, qubits, gate.as_slice());
+}
+
+/// Up to this many target qubits the scatter/gather scratch lives on the
+/// stack; beyond it the kernel falls back to heap buffers. Gate arities
+/// in the IR are ≤ 3, so the hot path never spills.
+const STACK_QUBITS: usize = 4;
+
+/// [`apply_gate`] on a raw row-major `2^k × 2^k` unitary slice.
+///
+/// For `k ≤ 4` target qubits the kernel is allocation-free (stack
+/// scratch); larger gates fall back to heap buffers. The arithmetic is
+/// identical either way.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or qubits repeat / are out of range.
+pub fn apply_gate_slice(state: &mut [C64], n: usize, qubits: &[usize], gm: &[C64]) {
+    let k = qubits.len();
     if k == 1 {
-        apply_1q(state, n, qubits[0], gate);
+        apply_1q_slice(state, n, qubits[0], gm);
         return;
     }
     assert_eq!(state.len(), 1 << n, "state length must be 2^n");
     let dk = 1usize << k;
-    assert_eq!((gate.rows(), gate.cols()), (dk, dk), "gate size mismatch");
+    assert_eq!(gm.len(), dk * dk, "gate size mismatch");
     for (i, &q) in qubits.iter().enumerate() {
         assert!(q < n, "qubit index out of range");
         assert!(!qubits[..i].contains(&q), "repeated qubit in apply_gate");
     }
-    let bits: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+    if k <= STACK_QUBITS {
+        let mut bits = [0usize; STACK_QUBITS];
+        for (b, &q) in bits.iter_mut().zip(qubits) {
+            *b = n - 1 - q;
+        }
+        let mut offsets = [0usize; 1 << STACK_QUBITS];
+        let mut buf = [C64::ZERO; 1 << STACK_QUBITS];
+        apply_gate_core(state, &bits[..k], &mut offsets[..dk], &mut buf[..dk], gm);
+    } else {
+        let bits: Vec<usize> = qubits.iter().map(|&q| n - 1 - q).collect();
+        let mut offsets = vec![0usize; dk];
+        let mut buf = vec![C64::ZERO; dk];
+        apply_gate_core(state, &bits, &mut offsets, &mut buf, gm);
+    }
+}
+
+/// Shared scatter/gather loop of [`apply_gate_slice`]: the caller
+/// provides the per-qubit bit positions and `2^k`-sized scratch.
+fn apply_gate_core(
+    state: &mut [C64],
+    bits: &[usize],
+    offsets: &mut [usize],
+    buf: &mut [C64],
+    gm: &[C64],
+) {
+    let k = bits.len();
+    let dk = offsets.len();
     let target_mask: usize = bits.iter().map(|&b| 1usize << b).sum();
 
     // Offsets of each of the 2^k basis combinations within a group.
-    let mut offsets = vec![0usize; dk];
     for (g, off) in offsets.iter_mut().enumerate() {
+        *off = 0;
         for (pos, &b) in bits.iter().enumerate() {
             if (g >> (k - 1 - pos)) & 1 == 1 {
                 *off |= 1 << b;
@@ -68,8 +127,6 @@ pub fn apply_gate(state: &mut [C64], n: usize, qubits: &[usize], gate: &Mat) {
         }
     }
 
-    let gm = gate.as_slice();
-    let mut buf = vec![C64::ZERO; dk];
     for base in 0..state.len() {
         if base & target_mask != 0 {
             continue;
@@ -189,6 +246,35 @@ mod tests {
         for (a, b) in got.iter().zip(&expect) {
             assert!(a.approx_eq(*b, 1e-10));
         }
+    }
+
+    #[test]
+    fn slice_kernels_bit_identical_to_mat_path() {
+        use crate::smallmat::{Mat2, Mat4};
+        let mut rng = SmallRng::seed_from_u64(37);
+        let n = 4;
+        let g2 = random_unitary(2, &mut rng);
+        let g4 = random_unitary(4, &mut rng);
+        let g8 = random_unitary(8, &mut rng);
+        let s0 = random_state(1 << n, &mut rng);
+
+        let mut a = s0.clone();
+        let mut b = s0.clone();
+        apply_1q(&mut a, n, 2, &g2);
+        apply_1q_slice(&mut b, n, 2, Mat2::from_mat(&g2).as_slice());
+        assert_eq!(a, b);
+
+        let mut a = s0.clone();
+        let mut b = s0.clone();
+        apply_gate(&mut a, n, &[3, 1], &g4);
+        apply_gate_slice(&mut b, n, &[3, 1], Mat4::from_mat(&g4).as_slice());
+        assert_eq!(a, b);
+
+        let mut a = s0.clone();
+        let mut b = s0;
+        apply_gate(&mut a, n, &[0, 2, 3], &g8);
+        apply_gate_slice(&mut b, n, &[0, 2, 3], g8.as_slice());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -172,6 +172,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
+// Variant sizes differ by design: a positive record carries a full
+// circuit + unitary, a negative one just the failure envelope. The
+// value lives only for the span of one decode, so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
 enum Decoded {
     Positive(Fingerprint, Circuit, Mat),
     Negative(Fingerprint, f64, usize),

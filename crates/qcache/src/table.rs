@@ -76,6 +76,10 @@ impl CacheStats {
 }
 
 /// The three outcomes of a [`QCache::lookup`].
+// `Hit` dwarfs the unit variants because `CacheHit` carries the served
+// circuit; callers immediately destructure it, so boxing would only
+// add an allocation to the cache-hit fast path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Lookup {
     /// A verified replacement was served.
@@ -116,6 +120,10 @@ pub struct CacheHit {
     pub epsilon: f64,
 }
 
+// Positive entries dominate a warm cache, so sizing entries for the
+// circuit + unitary payload is the common case, not waste; negative
+// entries are comparatively rare.
+#[allow(clippy::large_enum_variant)]
 enum Stored {
     /// A synthesized replacement circuit plus its true unitary (stored
     /// so verification costs one small matrix comparison instead of a

@@ -242,12 +242,19 @@ pub struct ParallelOutcome {
 /// coordinator's streaming hook: a serving layer can snapshot the
 /// committed master here and push a best-so-far frame to its client
 /// while the search keeps running.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CommitInfo<'a> {
     /// Epoch just committed (1-based).
     pub epoch: u64,
     /// The master circuit after the commit.
     pub circuit: &'a Circuit,
+    /// The master as it was *before* this commit, by value: the
+    /// reassembly replaces the coordinator's master, so the previous
+    /// one is moved out here instead of being dropped. An observer
+    /// tracking a lazy best-so-far (best ≡ live master while commits
+    /// keep improving) freezes exactly this circuit when a commit
+    /// fails to improve — no snapshot clone per epoch.
+    pub previous: Circuit,
     /// Total iterations so far.
     pub iterations: u64,
     /// Total accepted moves so far.
@@ -444,11 +451,12 @@ where
                 epsilon += eps;
                 circuits.push(circuit);
             }
-            master = plan.reassemble(&circuits);
+            let previous = std::mem::replace(&mut master, plan.reassemble(&circuits));
             epochs += 1;
             on_commit(CommitInfo {
                 epoch: epochs,
                 circuit: &master,
+                previous,
                 iterations,
                 accepted,
                 resynth_hits,

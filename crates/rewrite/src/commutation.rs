@@ -8,7 +8,7 @@
 //! part of both the pipeline baselines and GUOQ's fast pool.
 
 use qcir::{Circuit, Gate, Instruction};
-use qmath::{embed, Mat};
+use qmath::C64;
 
 /// Maximum number of instructions to look ahead for a partner.
 const WINDOW: usize = 32;
@@ -17,8 +17,71 @@ const WINDOW: usize = 32;
 /// pairs with wider support are conservatively treated as non-commuting.
 const MAX_SUPPORT: usize = 4;
 
+/// Joint-support matrix dimension bound: `2^MAX_SUPPORT`.
+const MAX_DIM: usize = 1 << MAX_SUPPORT;
+
+/// Stack twin of [`qmath::embed`] for the commutation check: places the
+/// `dk×dk` gate `gate` acting on `qubits` (positions within an `n`-qubit
+/// joint support, `n ≤ MAX_SUPPORT`) into the zeroed `dn×dn` head of
+/// `out`. Same entry values and placement as the heap version.
+fn embed_into(gate: &[C64], n: usize, qubits: &[usize], out: &mut [C64; MAX_DIM * MAX_DIM]) {
+    let k = qubits.len();
+    let dk = 1usize << k;
+    let dn = 1usize << n;
+    debug_assert_eq!(gate.len(), dk * dk);
+    out[..dn * dn].fill(C64::ZERO);
+    let mut bits = [0usize; MAX_SUPPORT];
+    for (b, &q) in bits.iter_mut().zip(qubits) {
+        *b = n - 1 - q;
+    }
+    let bits = &bits[..k];
+    let target_mask: usize = bits.iter().map(|&b| 1usize << b).sum();
+    for col in 0..dn {
+        let rest = col & !target_mask;
+        let mut gcol = 0usize;
+        for (pos, &b) in bits.iter().enumerate() {
+            if (col >> b) & 1 == 1 {
+                gcol |= 1 << (k - 1 - pos);
+            }
+        }
+        for grow in 0..dk {
+            let v = gate[grow * dk + gcol];
+            if v.re == 0.0 && v.im == 0.0 {
+                continue;
+            }
+            let mut row = rest;
+            for (pos, &b) in bits.iter().enumerate() {
+                if (grow >> (k - 1 - pos)) & 1 == 1 {
+                    row |= 1 << b;
+                }
+            }
+            out[row * dn + col] = v;
+        }
+    }
+}
+
+/// Stack twin of [`qmath::Mat::matmul`] on `dim×dim` slices: same `ikj`
+/// loop order and zero-skip, so the result is bit-identical.
+fn matmul_into(a: &[C64], b: &[C64], dim: usize, out: &mut [C64; MAX_DIM * MAX_DIM]) {
+    out[..dim * dim].fill(C64::ZERO);
+    for i in 0..dim {
+        for k in 0..dim {
+            let aik = a[i * dim + k];
+            if aik.re == 0.0 && aik.im == 0.0 {
+                continue;
+            }
+            let brow = &b[k * dim..(k + 1) * dim];
+            let orow = &mut out[i * dim..(i + 1) * dim];
+            for j in 0..dim {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
 /// Checks numerically whether two instructions commute, by embedding both
-/// into their joint qubit support and comparing the two products.
+/// into their joint qubit support and comparing the two products. The
+/// whole computation lives on the stack (dimension ≤ `2^MAX_SUPPORT`).
 ///
 /// Returns `false` (conservative) when the joint support exceeds
 /// [`MAX_SUPPORT`] qubits.
@@ -26,50 +89,106 @@ pub fn instructions_commute(a: &Instruction, b: &Instruction) -> bool {
     if !a.overlaps(b) {
         return true; // disjoint supports always commute
     }
-    let mut support: Vec<u32> = a.qubits().to_vec();
-    for &q in b.qubits() {
-        if !support.contains(&q) {
-            support.push(q);
+    // Diagonal gates are simultaneously diagonal in the computational
+    // basis, so their products agree *exactly* — the numeric check below
+    // would compute an elementwise-commutative product and return true.
+    if a.gate.is_diagonal() && b.gate.is_diagonal() {
+        return true;
+    }
+    let mut support = [0u32; MAX_SUPPORT];
+    let mut len = 0usize;
+    for &q in a.qubits().iter().chain(b.qubits()) {
+        if !support[..len].contains(&q) {
+            if len == MAX_SUPPORT {
+                return false;
+            }
+            support[len] = q;
+            len += 1;
         }
     }
-    if support.len() > MAX_SUPPORT {
-        return false;
-    }
+    let support = &mut support[..len];
     support.sort_unstable();
-    let n = support.len();
+    let n = len;
     let pos = |q: u32| support.iter().position(|&s| s == q).expect("in support");
-    let ea = embed(
-        &a.gate.matrix(),
-        n,
-        &a.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
-    );
-    let eb = embed(
-        &b.gate.matrix(),
-        n,
-        &b.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
-    );
-    let ab = ea.matmul(&eb);
-    let ba = eb.matmul(&ea);
-    (&ab - &ba).frobenius_norm() < 1e-9
+
+    let mut ga = [C64::ZERO; 64];
+    let da = a.gate.unitary_into(&mut ga);
+    let mut gb = [C64::ZERO; 64];
+    let db = b.gate.unitary_into(&mut gb);
+
+    let mut qa = [0usize; MAX_SUPPORT];
+    for (p, &q) in qa.iter_mut().zip(a.qubits()) {
+        *p = pos(q);
+    }
+    let mut qb = [0usize; MAX_SUPPORT];
+    for (p, &q) in qb.iter_mut().zip(b.qubits()) {
+        *p = pos(q);
+    }
+
+    let dn = 1usize << n;
+    let mut ea = [C64::ZERO; MAX_DIM * MAX_DIM];
+    embed_into(&ga[..da * da], n, &qa[..a.qubits().len()], &mut ea);
+    let mut eb = [C64::ZERO; MAX_DIM * MAX_DIM];
+    embed_into(&gb[..db * db], n, &qb[..b.qubits().len()], &mut eb);
+
+    let mut ab = [C64::ZERO; MAX_DIM * MAX_DIM];
+    matmul_into(&ea, &eb, dn, &mut ab);
+    let mut ba = [C64::ZERO; MAX_DIM * MAX_DIM];
+    matmul_into(&eb, &ea, dn, &mut ba);
+
+    // Frobenius norm of (ab − ba), same summation order as the heap
+    // version (`(&ab - &ba).frobenius_norm()`).
+    let mut d2 = 0.0;
+    for i in 0..dn * dn {
+        d2 += (ab[i] - ba[i]).norm_sqr();
+    }
+    d2.sqrt() < 1e-9
 }
 
 /// True when applying `b` directly after `a` is the identity up to global
-/// phase (inverse pair on identical operands).
+/// phase (inverse pair on identical operands). Allocation-free: the
+/// decision needs only `Tr(U_b · U_a)`, accumulated per diagonal entry in
+/// the same order the old product-then-`hs_distance` computation used.
 fn inverse_pair(a: &Instruction, b: &Instruction) -> bool {
     if a.qubits() != b.qubits() {
         // Symmetric gates cancel under permuted operands too.
         if !(a.gate.is_symmetric() && b.gate.kind() == a.gate.kind() && {
-            let mut x: Vec<u32> = a.qubits().to_vec();
-            let mut y: Vec<u32> = b.qubits().to_vec();
-            x.sort_unstable();
-            y.sort_unstable();
-            x == y
+            let (mut x, mut y) = ([0u32; 3], [0u32; 3]);
+            let (la, lb) = (a.qubits().len(), b.qubits().len());
+            x[..la].copy_from_slice(a.qubits());
+            y[..lb].copy_from_slice(b.qubits());
+            x[..la].sort_unstable();
+            y[..lb].sort_unstable();
+            la == lb && x[..la] == y[..lb]
         }) {
             return false;
         }
     }
-    let prod = b.gate.matrix().matmul(&a.gate.matrix());
-    qmath::hs_distance(&prod, &Mat::identity(prod.rows())) < 1e-9
+    let mut ga = [C64::ZERO; 64];
+    let da = a.gate.unitary_into(&mut ga);
+    let mut gb = [C64::ZERO; 64];
+    let db = b.gate.unitary_into(&mut gb);
+    if da != db {
+        return false;
+    }
+    let dim = da;
+    // Tr(B·A): per-diagonal-entry inner sums (ascending k, zero-skip)
+    // then summed over i — the exact accumulation order of
+    // `b.matmul(&a)` followed by `hs_distance(&prod, &identity)`.
+    let mut tr = C64::ZERO;
+    for i in 0..dim {
+        let mut pii = C64::ZERO;
+        for k in 0..dim {
+            let bik = gb[i * dim + k];
+            if bik.re == 0.0 && bik.im == 0.0 {
+                continue;
+            }
+            pii += bik * ga[k * dim + i];
+        }
+        tr += pii;
+    }
+    let o = (tr.abs() / dim as f64).min(1.0);
+    (1.0 - o * o).max(0.0).sqrt() < 1e-9
 }
 
 /// Merges two rotation-family gates on identical operands, if possible.
@@ -174,15 +293,15 @@ pub fn commutative_cancellation(circuit: &Circuit) -> Option<Circuit> {
 /// of circuit size.
 pub fn cancellation_patch_at(circuit: &Circuit, anchor: usize) -> Option<qcir::edit::Patch> {
     use qcir::edit::Patch;
-    let instrs = circuit.instructions();
-    let n = instrs.len();
+    let n = circuit.len();
     if anchor >= n {
         return None;
     }
-    let a = instrs[anchor];
-    #[allow(clippy::needless_range_loop)] // `j` lands in the produced patch
+    let mut id = circuit.id_at(anchor);
+    let a = circuit.instruction_by_id(id);
     for j in (anchor + 1)..n.min(anchor + 1 + WINDOW) {
-        let b = instrs[j];
+        id = circuit.next_id(id).expect("j < len");
+        let b = circuit.instruction_by_id(id);
         if !a.overlaps(&b) {
             continue;
         }
@@ -322,6 +441,87 @@ mod tests {
         assert!(!instructions_commute(&a, &cx_rev)); // Rz on target
         let h = Instruction::new(Gate::H, &[2]);
         assert!(instructions_commute(&a, &h)); // disjoint
+    }
+
+    #[test]
+    fn stack_kernels_match_heap_reference() {
+        use qmath::{embed, hs_distance, Mat};
+        // The pre-refactor heap implementations, verbatim.
+        let heap_commute = |a: &Instruction, b: &Instruction| -> bool {
+            if !a.overlaps(b) {
+                return true;
+            }
+            let mut support: Vec<u32> = a.qubits().to_vec();
+            for &q in b.qubits() {
+                if !support.contains(&q) {
+                    support.push(q);
+                }
+            }
+            if support.len() > MAX_SUPPORT {
+                return false;
+            }
+            support.sort_unstable();
+            let n = support.len();
+            let pos = |q: u32| support.iter().position(|&s| s == q).expect("in support");
+            let ea = embed(
+                &a.gate.matrix(),
+                n,
+                &a.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
+            );
+            let eb = embed(
+                &b.gate.matrix(),
+                n,
+                &b.qubits().iter().map(|&q| pos(q)).collect::<Vec<_>>(),
+            );
+            let ab = ea.matmul(&eb);
+            let ba = eb.matmul(&ea);
+            (&ab - &ba).frobenius_norm() < 1e-9
+        };
+        let heap_inverse = |a: &Instruction, b: &Instruction| -> bool {
+            if a.qubits() != b.qubits()
+                && !(a.gate.is_symmetric() && b.gate.kind() == a.gate.kind() && {
+                    let mut x: Vec<u32> = a.qubits().to_vec();
+                    let mut y: Vec<u32> = b.qubits().to_vec();
+                    x.sort_unstable();
+                    y.sort_unstable();
+                    x == y
+                })
+            {
+                return false;
+            }
+            let prod = b.gate.matrix().matmul(&a.gate.matrix());
+            hs_distance(&prod, &Mat::identity(prod.rows())) < 1e-9
+        };
+
+        let pool: Vec<Instruction> = vec![
+            Instruction::new(Gate::H, &[0]),
+            Instruction::new(Gate::T, &[1]),
+            Instruction::new(Gate::Tdg, &[1]),
+            Instruction::new(Gate::Rz(0.7), &[0]),
+            Instruction::new(Gate::Rz(-0.7), &[0]),
+            Instruction::new(Gate::Rx(0.4), &[2]),
+            Instruction::new(Gate::X, &[2]),
+            Instruction::new(Gate::Cx, &[0, 1]),
+            Instruction::new(Gate::Cx, &[1, 0]),
+            Instruction::new(Gate::Cz, &[0, 2]),
+            Instruction::new(Gate::Cz, &[2, 0]),
+            Instruction::new(Gate::Rzz(0.5), &[1, 2]),
+            Instruction::new(Gate::Rzz(-0.5), &[2, 1]),
+            Instruction::new(Gate::Swap, &[0, 3]),
+            Instruction::new(Gate::Ccx, &[0, 1, 2]),
+            Instruction::new(Gate::Ccz, &[1, 2, 3]),
+            Instruction::new(Gate::Ccx, &[2, 3, 4]),
+        ];
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(
+                    instructions_commute(a, b),
+                    heap_commute(a, b),
+                    "commute({a}, {b})"
+                );
+                assert_eq!(inverse_pair(a, b), heap_inverse(a, b), "inverse({a}, {b})");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! here with a matrix product plus [`qcir::rebase::decompose_1q`]. Both
 //! passes are `ε = 0` transformations.
 
-use qcir::dag::WireDag;
 use qcir::edit::Patch;
 use qcir::rebase::decompose_1q;
 use qcir::{Circuit, Gate, GateSet, Instruction};
@@ -101,63 +100,122 @@ pub fn fuse_1q_runs(circuit: &Circuit, set: GateSet) -> Option<Circuit> {
 
 /// Patch-producing variant of [`fuse_1q_runs`] for the incremental
 /// engine: fuses only the 1q run *containing* the instruction at
-/// `anchor`, walking the prebuilt wire DAG, and returns the edit as a
-/// [`Patch`] without materializing a circuit.
-///
-/// O(run length) — independent of circuit size. Returns `None` when the
-/// anchor is not a one-qubit gate, the run is trivial, or fusing does not
-/// shrink it.
-pub fn fuse_run_patch(
-    circuit: &Circuit,
-    dag: &WireDag,
-    anchor: usize,
-    set: GateSet,
-) -> Option<Patch> {
-    let instrs = circuit.instructions();
-    if anchor >= instrs.len() || instrs[anchor].gate.arity() != 1 {
+/// `anchor` (a logical position). See [`fuse_run_patch_at`] for the
+/// id-addressed form the hot loop uses.
+pub fn fuse_run_patch(circuit: &Circuit, anchor: usize, set: GateSet) -> Option<Patch> {
+    if anchor >= circuit.len() {
         return None;
     }
-    let q = instrs[anchor].qubits()[0];
+    fuse_run_patch_at(circuit, circuit.id_at(anchor), set)
+}
+
+/// Fuses the 1q run containing the live instruction `anchor_id`, walking
+/// the circuit's embedded wire links, and returns the edit as a
+/// [`Patch`] without materializing a circuit.
+///
+/// O(run length) probing — independent of circuit size — plus
+/// O(run · log n) rank queries only when a shrinking fusion is actually
+/// found. For finite gate sets the probe is allocation-free: the run is
+/// streamed twice (once to accumulate the phase, once to emit positions)
+/// instead of being collected. Returns `None` when the anchor is not a
+/// one-qubit gate, the run is trivial, or fusing does not shrink it.
+pub fn fuse_run_patch_at(circuit: &Circuit, anchor_id: usize, set: GateSet) -> Option<Patch> {
+    if circuit.arity_by_id(anchor_id) != 1 {
+        return None;
+    }
+    let q = circuit.qubits_by_id(anchor_id)[0];
     // Walk back to the run head…
-    let mut head = anchor;
-    while let Some(p) = dag.prev_on_wire(circuit, head, q) {
-        if instrs[p].gate.arity() == 1 {
+    let mut head = anchor_id;
+    while let Some(p) = circuit.prev_on_wire(head, q) {
+        if circuit.arity_by_id(p) == 1 {
             head = p;
         } else {
             break;
         }
     }
-    // …then forward over the whole run (wire order is index order).
-    let mut run = vec![head];
-    let mut cur = head;
-    while let Some(nx) = dag.next_on_wire(circuit, cur, q) {
-        if instrs[nx].gate.arity() == 1 {
-            run.push(nx);
-            cur = nx;
-        } else {
-            break;
+    if set.is_continuous() {
+        // …then forward over the whole run (wire order is id order for
+        // gates sharing a wire). The matrix path allocates anyway, so a
+        // run buffer costs nothing extra.
+        let mut run = vec![head];
+        let mut cur = head;
+        while let Some(nx) = circuit.next_on_wire(cur, q) {
+            if circuit.arity_by_id(nx) == 1 {
+                run.push(nx);
+                cur = nx;
+            } else {
+                break;
+            }
         }
+        if run.len() < 2 {
+            return None;
+        }
+        // Product in application order: later gates multiply on the left.
+        let mut m = Mat::identity(2);
+        for &id in &run {
+            m = circuit.instruction_by_id(id).gate.matrix().matmul(&m);
+        }
+        let dec = decompose_1q(&m, set).ok()?;
+        if dec.len() >= run.len() {
+            return None;
+        }
+        let removed: Vec<usize> = run.iter().map(|&id| circuit.pos_of_id(id)).collect();
+        let insert_at = removed[0];
+        let replacement = dec.iter().map(|i| Instruction::new(i.gate, &[q])).collect();
+        Some(Patch::new(removed, replacement, insert_at))
+    } else {
+        // Clifford+T: fuse only diagonal phase runs. First pass streams
+        // the run without allocating; any non-phase 1q gate in the run
+        // makes the whole run unfusable (matching [`fuse_1q_runs`]).
+        let mut k: i64 = phase_steps(circuit.instruction_by_id(head).gate)?;
+        let mut run_len = 1usize;
+        let mut cur = head;
+        while let Some(nx) = circuit.next_on_wire(cur, q) {
+            if circuit.arity_by_id(nx) != 1 {
+                break;
+            }
+            k += phase_steps(circuit.instruction_by_id(nx).gate)?;
+            run_len += 1;
+            cur = nx;
+        }
+        if run_len < 2 {
+            return None;
+        }
+        let gates = pi8_phase_gates(k.rem_euclid(8) as u8);
+        if gates.len() >= run_len {
+            return None;
+        }
+        // Second pass: emit the removed positions now that we know the
+        // patch fires.
+        let mut removed = Vec::with_capacity(run_len);
+        let mut cur = head;
+        removed.push(circuit.pos_of_id(head));
+        for _ in 1..run_len {
+            cur = circuit.next_on_wire(cur, q).expect("run walked above");
+            removed.push(circuit.pos_of_id(cur));
+        }
+        let insert_at = removed[0];
+        let replacement = gates.iter().map(|&g| Instruction::new(g, &[q])).collect();
+        Some(Patch::new(removed, replacement, insert_at))
     }
-    if run.len() < 2 {
-        return None;
-    }
-    let gates = fuse_gates(instrs, &run, set)?;
-    if gates.len() >= run.len() {
-        return None;
-    }
-    let insert_at = run[0];
-    let replacement = gates.iter().map(|&g| Instruction::new(g, &[q])).collect();
-    Some(Patch::new(run, replacement, insert_at))
 }
 
 /// Patch-producing variant of [`remove_identities`]: removes the single
 /// instruction at `anchor` if it is an identity within `tol`.
 pub fn remove_identity_patch(circuit: &Circuit, anchor: usize, tol: f64) -> Option<Patch> {
-    let instrs = circuit.instructions();
-    if anchor >= instrs.len() || !instrs[anchor].gate.is_identity(tol) {
+    if anchor >= circuit.len() {
         return None;
     }
-    Some(Patch::new(vec![anchor], Vec::new(), anchor))
+    remove_identity_patch_at(circuit, circuit.id_at(anchor), tol)
+}
+
+/// Id-addressed form of [`remove_identity_patch`] for the hot loop.
+pub fn remove_identity_patch_at(circuit: &Circuit, id: usize, tol: f64) -> Option<Patch> {
+    if !circuit.instruction_by_id(id).gate.is_identity(tol) {
+        return None;
+    }
+    let pos = circuit.pos_of_id(id);
+    Some(Patch::new(vec![pos], Vec::new(), pos))
 }
 
 /// Fuses the gates of a run into a minimal gate list for `set`, or `None`
@@ -175,29 +233,39 @@ fn fuse_gates(instrs: &[qcir::Instruction], run: &[usize], set: GateSet) -> Opti
         // Clifford+T: fuse only diagonal phase runs.
         let mut k: i64 = 0;
         for &i in run {
-            k += match instrs[i].gate {
-                Gate::T => 1,
-                Gate::Tdg => -1,
-                Gate::S => 2,
-                Gate::Sdg => -2,
-                Gate::Z => 4,
-                Gate::Rz(a) | Gate::P(a) => pi4_multiple_of(a, 1e-9)? as i64,
-                _ => return None,
-            };
+            k += phase_steps(instrs[i].gate)?;
         }
-        let k = k.rem_euclid(8) as u8;
-        let gates: Vec<Gate> = match k {
-            0 => vec![],
-            1 => vec![Gate::T],
-            2 => vec![Gate::S],
-            3 => vec![Gate::S, Gate::T],
-            4 => vec![Gate::S, Gate::S],
-            5 => vec![Gate::Sdg, Gate::Tdg],
-            6 => vec![Gate::Sdg],
-            7 => vec![Gate::Tdg],
-            _ => unreachable!(),
-        };
-        Some(gates)
+        Some(pi8_phase_gates(k.rem_euclid(8) as u8).to_vec())
+    }
+}
+
+/// Number of π/4 phase steps a diagonal Clifford+T gate applies, or
+/// `None` for gates outside the phase group.
+fn phase_steps(g: Gate) -> Option<i64> {
+    Some(match g {
+        Gate::T => 1,
+        Gate::Tdg => -1,
+        Gate::S => 2,
+        Gate::Sdg => -2,
+        Gate::Z => 4,
+        Gate::Rz(a) | Gate::P(a) => pi4_multiple_of(a, 1e-9)? as i64,
+        _ => return None,
+    })
+}
+
+/// Minimal Clifford+T gate sequence realizing `k` π/4 phase steps
+/// (`k ∈ 0..8`). Static so the rejection path never allocates.
+fn pi8_phase_gates(k: u8) -> &'static [Gate] {
+    match k {
+        0 => &[],
+        1 => &[Gate::T],
+        2 => &[Gate::S],
+        3 => &[Gate::S, Gate::T],
+        4 => &[Gate::S, Gate::S],
+        5 => &[Gate::Sdg, Gate::Tdg],
+        6 => &[Gate::Sdg],
+        7 => &[Gate::Tdg],
+        _ => unreachable!(),
     }
 }
 

@@ -32,8 +32,8 @@ pub mod rules;
 pub mod synthesis;
 
 pub use matcher::{
-    apply_rule_pass, apply_rule_pass_with_dag, find_first_match, match_to_patch,
-    propose_rule_patch, rule_pass_patches, Match, MatchScratch,
+    apply_rule_pass, find_first_match, match_to_patch, propose_rule_patch,
+    propose_rule_patch_at_id, rule_pass_patches, Match, MatchScratch,
 };
 pub use rule::Rule;
 pub use rules::{rules_for, shared_rules_for};

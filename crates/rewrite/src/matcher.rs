@@ -1,21 +1,27 @@
 //! Pattern matching and rule application.
 //!
-//! Matching walks the circuit's wire DAG: after the anchor gate is bound,
-//! each subsequent pattern gate must be the *immediately next* instruction
-//! on every wire it shares with the already-matched part (no interposed
-//! gates on used wires). A final positional check rejects any match whose
-//! span contains an unmatched instruction touching a bound wire — this
-//! makes every accepted match a convex subcircuit (paper §3), so splicing
-//! the replacement in place is sound.
+//! Matching walks the circuit's per-wire links (embedded in the slot
+//! arena, see [`Circuit::next_on_wire`]): after the anchor gate is
+//! bound, each subsequent pattern gate must be the *immediately next*
+//! instruction on every wire it shares with the already-matched part (no
+//! interposed gates on used wires). A final span check rejects any match
+//! whose span contains an unmatched instruction touching a bound wire —
+//! this makes every accepted match a convex subcircuit (paper §3), so
+//! splicing the replacement in place is sound.
 //!
 //! Two application styles are provided:
 //!
 //! * the legacy full-pass [`apply_rule_pass`], which replaces every
 //!   disjoint match and returns a fresh [`Circuit`]; and
-//! * the incremental path — [`match_at_scratch`] against a cached
-//!   [`WireDag`] plus [`match_to_patch`] — which produces a
-//!   [`Patch`] describing a single local edit, for search loops that keep
-//!   one working circuit and apply edits in place.
+//! * the incremental path — [`match_at_id_scratch`] plus
+//!   [`match_to_patch`] — which produces a [`Patch`] describing a single
+//!   local edit, for search loops that keep one working circuit and
+//!   apply edits in place.
+//!
+//! Internally the matcher operates on **stable gate ids** and never
+//! touches the materialized instruction list; only a successful match
+//! pays the id → position conversion (the [`Match`] reports logical
+//! indices, the coordinate system of [`Patch`]).
 //!
 //! The matcher's search state lives in a reusable [`MatchScratch`]:
 //! backtracking is driven by an undo trail instead of cloning the state
@@ -24,7 +30,6 @@
 
 use crate::pattern::AngleParam;
 use crate::rule::Rule;
-use qcir::dag::WireDag;
 use qcir::edit::Patch;
 use qcir::{Circuit, Qubit};
 use qmath::angle::approx_eq_mod_2pi;
@@ -78,7 +83,7 @@ enum TrailOp {
     Qubit(u8),
     /// An angle variable was bound.
     Bind(u8),
-    /// A wire cursor changed; holds the previous value (`None` = unset).
+    /// A wire cursor changed; holds the previous id (`None` = unset).
     Cursor(Qubit, Option<usize>),
 }
 
@@ -169,8 +174,9 @@ impl MatchScratch {
         self.indices.truncate(cp.1);
     }
 
-    /// Attempts to bind pattern gate `pi` to candidate `cand` under the
-    /// operand alignment `align`, recording all changes on the trail.
+    /// Attempts to bind pattern gate `pi` to the candidate id `cand`
+    /// under the operand alignment `align`, recording all changes on the
+    /// trail.
     fn try_gate(
         &mut self,
         circuit: &Circuit,
@@ -178,7 +184,7 @@ impl MatchScratch {
         cand: usize,
         align: &[usize],
     ) -> bool {
-        let ins = circuit.instructions()[cand];
+        let ins = circuit.instruction_by_id(cand);
         if ins.gate.kind() != pi.kind {
             return false;
         }
@@ -241,11 +247,11 @@ impl MatchScratch {
         true
     }
 
-    /// Depth-first alignment search over pattern position `k`.
+    /// Depth-first alignment search over pattern position `k`. All
+    /// bookkeeping (anchor, cursors, matched set) is in gate ids.
     fn search(
         &mut self,
         circuit: &Circuit,
-        dag: &WireDag,
         lhs: &[crate::pattern::PatternInst],
         k: usize,
         anchor: usize,
@@ -263,8 +269,8 @@ impl MatchScratch {
             for &p in &pi.qubits {
                 if let Some(cq) = self.qubit_map[p as usize] {
                     let nxt = match self.cursor(cq) {
-                        Some(i) => dag.next_on_wire(circuit, i, cq),
-                        None => dag.first_on_wire(cq),
+                        Some(i) => circuit.next_on_wire(i, cq),
+                        None => circuit.first_on_wire(cq),
                     };
                     match (cand, nxt) {
                         (_, None) => return false,
@@ -288,7 +294,7 @@ impl MatchScratch {
         let cp = self.checkpoint();
         for align in alignments(pi.kind) {
             if self.try_gate(circuit, pi, cand, align) {
-                if self.search(circuit, dag, lhs, k + 1, anchor) {
+                if self.search(circuit, lhs, k + 1, anchor) {
                     return true;
                 }
                 self.rollback(cp);
@@ -298,34 +304,36 @@ impl MatchScratch {
     }
 }
 
-/// Attempts to match `rule`'s LHS anchored at instruction `anchor`, using
-/// caller-provided scratch buffers (the allocation-free hot path).
+/// Attempts to match `rule`'s LHS anchored at the instruction with live
+/// id `anchor_id`, using caller-provided scratch buffers — the
+/// allocation-free hot path. Id walks resolve through the circuit's
+/// arena links; logical positions are computed only on success.
 ///
 /// Returns `None` if the pattern does not match there.
-pub fn match_at_scratch(
+pub fn match_at_id_scratch(
     circuit: &Circuit,
-    dag: &WireDag,
     rule: &Rule,
-    anchor: usize,
+    anchor_id: usize,
     scratch: &mut MatchScratch,
 ) -> Option<Match> {
-    let instrs = circuit.instructions();
-    if anchor >= instrs.len() {
-        return None;
-    }
+    debug_assert!(circuit.is_live_id(anchor_id), "anchor id must be live");
     scratch.reset(rule, circuit.num_qubits());
-    if !scratch.search(circuit, dag, rule.lhs().insts(), 0, anchor) {
+    if !scratch.search(circuit, rule.lhs().insts(), 0, anchor_id) {
         return None;
     }
 
     // Convexity: no unmatched instruction inside the span may touch a
-    // bound wire.
+    // bound wire. Ascending id order is program order, so walking live
+    // ids between the extreme matched ids scans exactly the match span.
     let lo = *scratch.indices.iter().min().expect("non-empty");
     let hi = *scratch.indices.iter().max().expect("non-empty");
-    for (j, ins) in instrs.iter().enumerate().take(hi + 1).skip(lo) {
+    for j in circuit.ids_from_id(lo) {
+        if j > hi {
+            break;
+        }
         if !scratch.indices.contains(&j)
-            && ins
-                .qubits()
+            && circuit
+                .qubits_by_id(j)
                 .iter()
                 .any(|q| scratch.qubit_map.contains(&Some(*q)))
         {
@@ -340,23 +348,40 @@ pub fn match_at_scratch(
             .iter()
             .map(|m| m.expect("all pattern qubits bound"))
             .collect(),
-        indices: scratch.indices.clone(),
+        indices: scratch
+            .indices
+            .iter()
+            .map(|&id| circuit.pos_of_id(id))
+            .collect(),
     })
+}
+
+/// Attempts to match `rule`'s LHS anchored at the instruction at logical
+/// position `anchor`, using caller-provided scratch buffers.
+pub fn match_at_scratch(
+    circuit: &Circuit,
+    rule: &Rule,
+    anchor: usize,
+    scratch: &mut MatchScratch,
+) -> Option<Match> {
+    if anchor >= circuit.len() {
+        return None;
+    }
+    match_at_id_scratch(circuit, rule, circuit.id_at(anchor), scratch)
 }
 
 /// Attempts to match `rule`'s LHS anchored at instruction `anchor`.
 ///
 /// Allocates fresh scratch; prefer [`match_at_scratch`] in loops.
-pub fn match_at(circuit: &Circuit, dag: &WireDag, rule: &Rule, anchor: usize) -> Option<Match> {
+pub fn match_at(circuit: &Circuit, rule: &Rule, anchor: usize) -> Option<Match> {
     let mut scratch = MatchScratch::new();
-    match_at_scratch(circuit, dag, rule, anchor, &mut scratch)
+    match_at_scratch(circuit, rule, anchor, &mut scratch)
 }
 
 /// Finds the first match of `rule` scanning anchors from 0.
 pub fn find_first_match(circuit: &Circuit, rule: &Rule) -> Option<Match> {
-    let dag = WireDag::build(circuit);
     let mut scratch = MatchScratch::new();
-    (0..circuit.len()).find_map(|a| match_at_scratch(circuit, &dag, rule, a, &mut scratch))
+    (0..circuit.len()).find_map(|a| match_at_scratch(circuit, rule, a, &mut scratch))
 }
 
 /// Converts a match into the equivalent local edit: remove the matched
@@ -379,22 +404,35 @@ pub fn match_to_patch(rule: &Rule, m: &Match) -> Patch {
     Patch::new(removed, replacement, insert_at)
 }
 
-/// Matches `rule` at `anchor` and, on success, returns the edit as a
-/// [`Patch`] — the single-edit entry point of the incremental engine.
+/// Matches `rule` at logical position `anchor` and, on success, returns
+/// the edit as a [`Patch`].
 pub fn propose_rule_patch(
     circuit: &Circuit,
-    dag: &WireDag,
     rule: &Rule,
     anchor: usize,
     scratch: &mut MatchScratch,
 ) -> Option<Patch> {
-    let m = match_at_scratch(circuit, dag, rule, anchor, scratch)?;
+    let m = match_at_scratch(circuit, rule, anchor, scratch)?;
+    Some(match_to_patch(rule, &m))
+}
+
+/// Matches `rule` at the instruction with live id `anchor_id` and, on
+/// success, returns the edit as a [`Patch`] — the single-edit entry
+/// point of the incremental engine (anchor walks stay in id space, so a
+/// failed probe costs O(pattern) with no rank/select work at all).
+pub fn propose_rule_patch_at_id(
+    circuit: &Circuit,
+    rule: &Rule,
+    anchor_id: usize,
+    scratch: &mut MatchScratch,
+) -> Option<Patch> {
+    let m = match_at_id_scratch(circuit, rule, anchor_id, scratch)?;
     Some(match_to_patch(rule, &m))
 }
 
 /// Collects every disjoint match of `rule`, scanning anchors from `start`
 /// (wrapping around).
-fn collect_pass_matches(circuit: &Circuit, dag: &WireDag, rule: &Rule, start: usize) -> Vec<Match> {
+fn collect_pass_matches(circuit: &Circuit, rule: &Rule, start: usize) -> Vec<Match> {
     let n = circuit.len();
     let mut claimed = vec![false; n];
     let mut matches: Vec<Match> = Vec::new();
@@ -404,7 +442,7 @@ fn collect_pass_matches(circuit: &Circuit, dag: &WireDag, rule: &Rule, start: us
         if claimed[anchor] {
             continue;
         }
-        if let Some(m) = match_at_scratch(circuit, dag, rule, anchor, &mut scratch) {
+        if let Some(m) = match_at_scratch(circuit, rule, anchor, &mut scratch) {
             if m.indices.iter().any(|&i| claimed[i]) {
                 continue;
             }
@@ -417,18 +455,17 @@ fn collect_pass_matches(circuit: &Circuit, dag: &WireDag, rule: &Rule, start: us
     matches
 }
 
-/// Applies one full pass of `rule` against a prebuilt DAG (see
-/// [`apply_rule_pass`]).
-pub fn apply_rule_pass_with_dag(
-    circuit: &Circuit,
-    dag: &WireDag,
-    rule: &Rule,
-    start: usize,
-) -> Option<(Circuit, usize)> {
+/// Applies one full pass of `rule` over the circuit, starting the anchor
+/// scan at `start` (wrapping around), replacing every disjoint match —
+/// the paper's §5.3 rewrite-transformation.
+///
+/// Returns the rewritten circuit and the number of matches replaced, or
+/// `None` if the rule did not fire at all.
+pub fn apply_rule_pass(circuit: &Circuit, rule: &Rule, start: usize) -> Option<(Circuit, usize)> {
     if circuit.is_empty() {
         return None;
     }
-    let matches = collect_pass_matches(circuit, dag, rule, start);
+    let matches = collect_pass_matches(circuit, rule, start);
     if matches.is_empty() {
         return None;
     }
@@ -440,37 +477,17 @@ pub fn apply_rule_pass_with_dag(
     Some((qcir::edit::apply_disjoint(circuit, &patches), matches.len()))
 }
 
-/// Applies one full pass of `rule` over the circuit, starting the anchor
-/// scan at `start` (wrapping around), replacing every disjoint match —
-/// the paper's §5.3 rewrite-transformation.
-///
-/// Returns the rewritten circuit and the number of matches replaced, or
-/// `None` if the rule did not fire at all.
-pub fn apply_rule_pass(circuit: &Circuit, rule: &Rule, start: usize) -> Option<(Circuit, usize)> {
-    if circuit.is_empty() {
-        return None;
-    }
-    let dag = WireDag::build(circuit);
-    apply_rule_pass_with_dag(circuit, &dag, rule, start)
-}
-
 /// The patch-producing variant of [`apply_rule_pass`]: collects the same
-/// disjoint matches against a prebuilt DAG and returns them as
-/// [`Patch`]es over the *original* indexing (one per match), without
-/// materializing a circuit.
+/// disjoint matches and returns them as [`Patch`]es over the *original*
+/// indexing (one per match), without materializing a circuit.
 ///
 /// Applying all of them (e.g. with [`qcir::edit::apply_disjoint`])
 /// reproduces the legacy pass output exactly.
-pub fn rule_pass_patches(
-    circuit: &Circuit,
-    dag: &WireDag,
-    rule: &Rule,
-    start: usize,
-) -> Option<Vec<Patch>> {
+pub fn rule_pass_patches(circuit: &Circuit, rule: &Rule, start: usize) -> Option<Vec<Patch>> {
     if circuit.is_empty() {
         return None;
     }
-    let matches = collect_pass_matches(circuit, dag, rule, start);
+    let matches = collect_pass_matches(circuit, rule, start);
     if matches.is_empty() {
         return None;
     }
@@ -675,8 +692,7 @@ mod tests {
         c.push(Gate::Cx, &[0, 1]);
         c.push(Gate::Cx, &[0, 2]); // interposed on wires {0, 2}
         c.push(Gate::Cx, &[1, 2]);
-        let dag = WireDag::build(&c);
-        assert!(match_at(&c, &dag, &sound, 0).is_none());
+        assert!(match_at(&c, &sound, 0).is_none());
     }
 
     #[test]
@@ -703,15 +719,14 @@ mod tests {
         c.push(Gate::Rz(0.5), &[0]);
         c.push(Gate::Cx, &[0, 1]);
         c.push(Gate::Cx, &[0, 1]);
-        let dag = WireDag::build(&c);
         let mut scratch = MatchScratch::new();
         // Interleave failed and successful matches of different rules.
-        assert!(match_at_scratch(&c, &dag, &cx_cancel(), 0, &mut scratch).is_none());
-        let m = match_at_scratch(&c, &dag, &rz_merge(), 0, &mut scratch).unwrap();
+        assert!(match_at_scratch(&c, &cx_cancel(), 0, &mut scratch).is_none());
+        let m = match_at_scratch(&c, &rz_merge(), 0, &mut scratch).unwrap();
         assert_eq!(m.indices, vec![0, 1]);
-        let m2 = match_at_scratch(&c, &dag, &cx_cancel(), 2, &mut scratch).unwrap();
+        let m2 = match_at_scratch(&c, &cx_cancel(), 2, &mut scratch).unwrap();
         assert_eq!(m2.indices, vec![2, 3]);
-        assert!(match_at_scratch(&c, &dag, &rz_merge(), 1, &mut scratch).is_none());
+        assert!(match_at_scratch(&c, &rz_merge(), 1, &mut scratch).is_none());
     }
 
     #[test]
@@ -719,9 +734,8 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::Rz(0.25), &[0]);
         c.push(Gate::Rz(0.5), &[0]);
-        let dag = WireDag::build(&c);
         let mut scratch = MatchScratch::new();
-        let patch = propose_rule_patch(&c, &dag, &rz_merge(), 0, &mut scratch).unwrap();
+        let patch = propose_rule_patch(&c, &rz_merge(), 0, &mut scratch).unwrap();
         let patched = c.with_patch(&patch);
         let (legacy, _) = apply_rule_pass(&c, &rz_merge(), 0).unwrap();
         assert_eq!(patched, legacy);
@@ -735,10 +749,9 @@ mod tests {
         c.push(Gate::Cx, &[0, 1]);
         c.push(Gate::Cx, &[2, 3]);
         c.push(Gate::Cx, &[2, 3]);
-        let dag = WireDag::build(&c);
         for start in 0..c.len() {
             let legacy = apply_rule_pass(&c, &cx_cancel(), start);
-            let patches = rule_pass_patches(&c, &dag, &cx_cancel(), start);
+            let patches = rule_pass_patches(&c, &cx_cancel(), start);
             match (legacy, patches) {
                 (Some((out, k)), Some(ps)) => {
                     assert_eq!(ps.len(), k);

@@ -1,0 +1,250 @@
+//! Property tests: the arena-backed [`Circuit`] must be observationally
+//! identical to a plain `Vec<Instruction>` model under random edit
+//! scripts — pushes, arbitrary structural patches (shrinking, growing,
+//! pure inserts), and apply-then-revert rejections.
+//!
+//! The model implements the documented [`Patch`] semantics directly
+//! (replacement emitted before the retained instruction at `insert_at`,
+//! removed indices skipped); after every step the arena circuit is
+//! compared position by position, its cached gate counts are recounted,
+//! the id↔position maps are checked both ways, and the embedded
+//! per-wire links are rebuilt from the model and compared — so a slot
+//! recycled by the free-list or a compaction can never silently corrupt
+//! program or wire order. QASM emission (which walks the id order) is
+//! round-tripped at the end of every script.
+
+use proptest::collection;
+use proptest::prelude::*;
+use qcir::edit::Patch;
+use qcir::{qasm, Circuit, Gate, Instruction, Qubit};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const QUBITS: usize = 4;
+
+fn pick_gate(rng: &mut SmallRng) -> (Gate, Vec<Qubit>) {
+    let q = rng.random_range(0..QUBITS as u32);
+    if rng.random::<f64>() < 0.3 {
+        let mut p = rng.random_range(0..QUBITS as u32);
+        if p == q {
+            p = (p + 1) % QUBITS as u32;
+        }
+        let g = if rng.random::<f64>() < 0.5 {
+            Gate::Cx
+        } else {
+            Gate::Cz
+        };
+        (g, vec![q, p])
+    } else {
+        let pool = [
+            Gate::H,
+            Gate::X,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Z,
+            Gate::Rz(rng.random_range(-3.0..3.0)),
+        ];
+        (pool[rng.random_range(0..pool.len())], vec![q])
+    }
+}
+
+/// A structurally valid random patch against a length-`n` list: a
+/// strictly ascending removed set, a replacement of 0–3 instructions,
+/// and an insertion point anywhere in `0..=n`.
+fn random_patch(n: usize, rng: &mut SmallRng) -> Patch {
+    let k = rng.random_range(0..=3usize.min(n));
+    let mut removed: Vec<usize> = (0..k).map(|_| rng.random_range(0..n)).collect();
+    removed.sort_unstable();
+    removed.dedup();
+    let replacement: Vec<Instruction> = (0..rng.random_range(0..4usize))
+        .map(|_| {
+            let (g, qs) = pick_gate(rng);
+            Instruction::new(g, &qs)
+        })
+        .collect();
+    let insert_at = rng.random_range(0..=n);
+    Patch::new(removed, replacement, insert_at)
+}
+
+/// The reference semantics of [`Circuit::apply_patch`] on a plain list.
+fn model_apply(model: &[Instruction], patch: &Patch) -> Vec<Instruction> {
+    let mut out = Vec::with_capacity(
+        (model.len() + patch.replacement().len()).saturating_sub(patch.removed().len()),
+    );
+    for (i, ins) in model.iter().enumerate() {
+        if i == patch.insert_at() {
+            out.extend_from_slice(patch.replacement());
+        }
+        if !patch.removed().contains(&i) {
+            out.push(*ins);
+        }
+    }
+    if patch.insert_at() == model.len() {
+        out.extend_from_slice(patch.replacement());
+    }
+    out
+}
+
+/// Every observable surface of the arena circuit against the model.
+fn assert_matches_model(c: &Circuit, model: &[Instruction]) {
+    assert_eq!(c.len(), model.len(), "length diverged");
+
+    // Program order: the materialized view, the positional reads, and
+    // the id walk must all agree with the model.
+    assert_eq!(c.instructions(), model, "materialized view diverged");
+    let mut prev_id = None;
+    for (pos, want) in model.iter().enumerate() {
+        let id = c.id_at(pos);
+        assert!(c.is_live_id(id), "id_at returned a dead slot");
+        assert_eq!(c.pos_of_id(id), pos, "id↔position maps disagree");
+        assert_eq!(&c.instruction_by_id(id), want, "id read diverged");
+        assert_eq!(&c.instruction(pos), want, "positional read diverged");
+        assert_eq!(c.qubits_by_id(id), want.qubits());
+        assert_eq!(c.arity_by_id(id), want.qubits().len());
+        if let Some(p) = prev_id {
+            assert_eq!(c.next_id(p), Some(id), "id successor walk diverged");
+        }
+        prev_id = Some(id);
+    }
+    if let Some(last) = prev_id {
+        assert_eq!(c.next_id(last), None, "id walk overruns the circuit");
+    }
+    assert_eq!(
+        c.ids_from(0).count(),
+        model.len(),
+        "live-id iterator count diverged"
+    );
+
+    // Cached gate counts against a recount.
+    assert_eq!(
+        c.two_qubit_count(),
+        model.iter().filter(|i| i.qubits().len() >= 2).count(),
+        "two-qubit count drifted"
+    );
+    assert_eq!(
+        c.t_count(),
+        model
+            .iter()
+            .filter(|i| matches!(i.gate, Gate::T | Gate::Tdg))
+            .count(),
+        "T count drifted"
+    );
+
+    // Embedded wire links against a from-scratch wire order.
+    for q in 0..QUBITS as u32 {
+        let wire: Vec<usize> = model
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| ins.qubits().contains(&q))
+            .map(|(pos, _)| pos)
+            .collect();
+        assert_eq!(
+            c.first_on_wire(q),
+            wire.first().map(|&p| c.id_at(p)),
+            "first_on_wire diverged on q{q}"
+        );
+        assert_eq!(
+            c.last_on_wire(q),
+            wire.last().map(|&p| c.id_at(p)),
+            "last_on_wire diverged on q{q}"
+        );
+        for w in wire.windows(2) {
+            let (a, b) = (c.id_at(w[0]), c.id_at(w[1]));
+            assert_eq!(
+                c.next_on_wire(a, q),
+                Some(b),
+                "next_on_wire diverged on q{q}"
+            );
+            assert_eq!(
+                c.prev_on_wire(b, q),
+                Some(a),
+                "prev_on_wire diverged on q{q}"
+            );
+        }
+        if let (Some(&h), Some(&t)) = (wire.first(), wire.last()) {
+            assert_eq!(c.prev_on_wire(c.id_at(h), q), None);
+            assert_eq!(c.next_on_wire(c.id_at(t), q), None);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random edit scripts: every push / patch / patch-then-revert step
+    /// leaves the arena circuit observationally equal to the Vec model.
+    #[test]
+    fn edit_scripts_match_vec_model(script in collection::vec((0u8..8, 0u64..u64::MAX), 1..48)) {
+        let mut c = Circuit::new(QUBITS);
+        let mut model: Vec<Instruction> = Vec::new();
+        for (kind, seed) in script {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            match kind {
+                // Appends keep the arena's O(1) tail path honest.
+                0..=2 => {
+                    let (g, qs) = pick_gate(&mut rng);
+                    c.push(g, &qs);
+                    model.push(Instruction::new(g, &qs));
+                }
+                // Accepted edit: patch both sides.
+                3..=5 => {
+                    let patch = random_patch(model.len(), &mut rng);
+                    c.apply_patch(&patch);
+                    model = model_apply(&model, &patch);
+                }
+                // Rejected edit: apply + revert must be a perfect no-op,
+                // including the arena's recycled slots and wire links.
+                _ => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let patch = random_patch(model.len(), &mut rng);
+                    let undo = c.apply_patch(&patch);
+                    assert_matches_model(&c, &model_apply(&model, &patch));
+                    c.revert_patch(&undo);
+                }
+            }
+            assert_matches_model(&c, &model);
+        }
+        // QASM emission walks the id order; a round-trip pins it to the
+        // model one more way.
+        let reparsed = qasm::from_qasm(&qasm::to_qasm(&c)).expect("emitted QASM parses");
+        for (i, (a, b)) in reparsed.instructions().iter().zip(model.iter()).enumerate() {
+            assert_eq!(a, b, "QASM round-trip diverged at {i}");
+        }
+        assert_eq!(reparsed.len(), model.len(), "QASM round-trip length diverged");
+    }
+
+    /// Clones are independent: edits to a clone never leak into the
+    /// original (the arena's cached view is per-circuit).
+    #[test]
+    fn clones_do_not_alias(script in collection::vec((0u8..8, 0u64..u64::MAX), 1..16)) {
+        let mut c = Circuit::new(QUBITS);
+        let mut rng = SmallRng::seed_from_u64(0xA11A5);
+        for _ in 0..12 {
+            let (g, qs) = pick_gate(&mut rng);
+            c.push(g, &qs);
+        }
+        let frozen = c.clone();
+        let snapshot: Vec<Instruction> = frozen.instructions().to_vec();
+        let mut working = c.clone();
+        let mut model = snapshot.clone();
+        for (kind, seed) in script {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if kind < 4 {
+                let (g, qs) = pick_gate(&mut rng);
+                working.push(g, &qs);
+                model.push(Instruction::new(g, &qs));
+            } else {
+                let patch = random_patch(model.len(), &mut rng);
+                working.apply_patch(&patch);
+                model = model_apply(&model, &patch);
+            }
+        }
+        assert_matches_model(&working, &model);
+        assert_matches_model(&frozen, &snapshot);
+        assert_eq!(frozen, c, "original mutated through a clone");
+    }
+}

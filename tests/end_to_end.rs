@@ -2,7 +2,7 @@
 //! workloads, with semantic verification at every step.
 
 use guoq::cost::{GateCount, TThenCx, TWeighted, TwoQubitCount};
-use guoq::{Budget, Guoq, GuoqOpts};
+use guoq::{Budget, CostFn, Guoq, GuoqOpts};
 use qcir::{rebase::rebase, GateSet};
 use qsim::circuits_equivalent;
 
@@ -38,6 +38,26 @@ fn guoq_on_qaoa_ionq_native_output() {
     for ins in r.circuit.iter() {
         assert!(GateSet::Ionq.contains(ins.gate), "leaked {}", ins.gate);
     }
+}
+
+#[test]
+fn async_resynth_clone_rebuild_combination() {
+    // An option combination no shipped binary exercises: asynchronous
+    // resynthesis layered over the clone-rebuild engine. Must still be
+    // semantics-preserving with consistent cost accounting.
+    let circuit = rebase(&workloads::generators::qft(4), GateSet::Nam).unwrap();
+    let g = Guoq::for_gate_set(
+        GateSet::Nam,
+        GuoqOpts {
+            async_resynth: true,
+            engine: guoq::Engine::CloneRebuild,
+            ..opts(400, 9)
+        },
+    );
+    let r = g.optimize(&circuit, &GateCount);
+    assert!(circuits_equivalent(&circuit, &r.circuit, 1e-4));
+    assert_eq!(r.cost, GateCount.cost(&r.circuit));
+    assert!(r.cost <= circuit.len() as f64);
 }
 
 #[test]

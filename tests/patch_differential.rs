@@ -95,7 +95,7 @@ fn single_match_patches_agree_with_legacy() {
             let mut scratch = MatchScratch::new();
             for rule in &rules {
                 for anchor in 0..c.len() {
-                    let Some(m) = match_at_scratch(&c, &dag, rule, anchor, &mut scratch) else {
+                    let Some(m) = match_at_scratch(&c, rule, anchor, &mut scratch) else {
                         continue;
                     };
                     let patch = match_to_patch(rule, &m);
@@ -153,11 +153,10 @@ fn pass_patches_identical_to_legacy_pass() {
         let rules = qrewrite::rules_for(set);
         for _ in 0..8 {
             let c = random_circuit(set, 4, 30, &mut rng);
-            let dag = WireDag::build(&c);
             for rule in &rules {
                 for start in [0, c.len() / 2, c.len().saturating_sub(1)] {
                     let legacy = qrewrite::apply_rule_pass(&c, rule, start);
-                    let patches = qrewrite::rule_pass_patches(&c, &dag, rule, start);
+                    let patches = qrewrite::rule_pass_patches(&c, rule, start);
                     match (legacy, patches) {
                         (None, None) => {}
                         (Some((out, k)), Some(ps)) => {
@@ -204,7 +203,7 @@ fn builtin_pass_patches_sound() {
             let legacy_fused = qrewrite::fusion::fuse_1q_runs(&c, set);
             let mut any_patch = false;
             for anchor in 0..c.len() {
-                if let Some(patch) = qrewrite::fusion::fuse_run_patch(&c, &dag, anchor, set) {
+                if let Some(patch) = qrewrite::fusion::fuse_run_patch(&c, anchor, set) {
                     any_patch = true;
                     let after = c.with_patch(&patch);
                     assert!(after.len() < c.len(), "fusion patch must shrink");
@@ -261,7 +260,7 @@ fn patch_walk_never_drifts() {
             }
             let anchor = rng.random_range(0..c.len());
             let rule = &rules[rng.random_range(0..rules.len())];
-            let Some(m) = match_at_scratch(&c, &dag, rule, anchor, &mut scratch) else {
+            let Some(m) = match_at_scratch(&c, rule, anchor, &mut scratch) else {
                 continue;
             };
             let patch = match_to_patch(rule, &m);
