@@ -26,7 +26,7 @@ struct Row {
     final_cost: f64,
 }
 
-fn run(circuit: &Circuit, engine: Engine, budget: Duration) -> Row {
+fn run(circuit: &Circuit, engine: Engine, budget: Duration, name: &'static str) -> Row {
     let opts = GuoqOpts {
         budget: Budget::Time(budget),
         eps_total: 1e-6,
@@ -40,11 +40,7 @@ fn run(circuit: &Circuit, engine: Engine, budget: Duration) -> Row {
     let seconds = started.elapsed().as_secs_f64();
     Row {
         size: circuit.len(),
-        engine: match engine {
-            Engine::Incremental => "incremental",
-            Engine::CloneRebuild => "clone-rebuild",
-            Engine::Sharded { .. } => "sharded", // measured by guoq_parallel
-        },
+        engine: name,
         iterations: r.iterations,
         seconds,
         iters_per_sec: r.iterations as f64 / seconds,
@@ -64,14 +60,52 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for &size in &sizes {
         let circuit = tiled_workload(size);
-        for engine in [Engine::CloneRebuild, Engine::Incremental] {
-            let row = run(&circuit, engine, budget);
+        for (engine, name) in [
+            (Engine::CloneRebuild, "clone-rebuild"),
+            (Engine::Incremental, "incremental"),
+        ] {
+            let row = run(&circuit, engine, budget, name);
             println!(
                 "guoq_iter size={:<6} engine={:<14} {:>12.0} iters/s  ({} iters, {} accepted, cost {})",
                 row.size, row.engine, row.iters_per_sec, row.iterations, row.accepted, row.final_cost
             );
             rows.push(row);
         }
+    }
+
+    // Telemetry honesty rows at the headline size: the observability
+    // layer budgets ≤ 2% iters/sec overhead (rejected iterations never
+    // read a clock; only rare slow spans do). Interleaved best-of-3
+    // pairs cancel thermal/scheduler drift. These engine names are
+    // unknown to the CI regression compare, which skips them — they
+    // exist to make the overhead measurable, not to gate.
+    let circuit = tiled_workload(10_000);
+    let mut best: [Option<Row>; 2] = [None, None];
+    for _ in 0..3 {
+        for (i, (enabled, name)) in [
+            (false, "incremental-notrace"),
+            (true, "incremental-telemetry"),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            qtrace::set_enabled(enabled);
+            let row = run(&circuit, Engine::Incremental, budget, name);
+            if best[i]
+                .as_ref()
+                .is_none_or(|b| row.iters_per_sec > b.iters_per_sec)
+            {
+                best[i] = Some(row);
+            }
+        }
+    }
+    qtrace::set_enabled(true);
+    for row in best.into_iter().flatten() {
+        println!(
+            "guoq_iter size={:<6} engine={:<14} {:>12.0} iters/s  ({} iters, {} accepted, cost {})",
+            row.size, row.engine, row.iters_per_sec, row.iterations, row.accepted, row.final_cost
+        );
+        rows.push(row);
     }
 
     // Headline ratios for the acceptance criteria.
@@ -86,11 +120,19 @@ fn main() {
     // Near-flat scaling criterion: 50k-gate throughput stays within 2x of
     // 1k-gate throughput for the incremental engine (ratio ≥ 0.5).
     let ratio_1k_to_50k = rate(50_000, "incremental") / rate(1_000, "incremental");
+    // Fraction of iters/sec lost to telemetry at 10k gates (negative =
+    // within noise); the observability acceptance bound is ≤ 0.02.
+    let telemetry_overhead_10k =
+        1.0 - rate(10_000, "incremental-telemetry") / rate(10_000, "incremental-notrace");
     println!("speedup @1k gates: {speedup_1k:.1}x (incremental vs clone-rebuild)");
     println!(
         "incremental scaling 100→10k gates: {scaling_ratio:.2}x slowdown (constant-span edits)"
     );
     println!("incremental iters/sec ratio 1k→50k gates: {ratio_1k_to_50k:.3} (≥0.5 = near-flat)");
+    println!(
+        "telemetry overhead @10k gates: {:.2}% iters/sec (budget ≤ 2%)",
+        telemetry_overhead_10k * 100.0
+    );
 
     let mut json = String::from("{\n  \"benchmark\": \"guoq_iter\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -122,7 +164,7 @@ fn main() {
     scaling.push('}');
     let _ = write!(
         json,
-        "  ],\n  \"speedup_1k\": {speedup_1k:.2},\n  \"scaling_100_to_10k\": {scaling_ratio:.3},\n  \"ratio_1k_to_50k\": {ratio_1k_to_50k:.3},\n  \"incremental_iters_per_sec_by_size\": {scaling}\n}}\n"
+        "  ],\n  \"speedup_1k\": {speedup_1k:.2},\n  \"scaling_100_to_10k\": {scaling_ratio:.3},\n  \"ratio_1k_to_50k\": {ratio_1k_to_50k:.3},\n  \"telemetry_overhead_10k\": {telemetry_overhead_10k:.4},\n  \"incremental_iters_per_sec_by_size\": {scaling}\n}}\n"
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_guoq_iter.json");
     std::fs::write(path, &json).expect("write BENCH_guoq_iter.json");

@@ -529,6 +529,7 @@ pub fn sequential_guoq(
     fin.resynth_hits += mid.resynth_hits;
     fin.cache_hits += mid.cache_hits;
     fin.cache_misses += mid.cache_misses;
+    fin.profile.merge(&mid.profile);
     if mid.cost < fin.cost {
         // The second phase may not improve on the first's best.
         fin.circuit = mid.circuit;

@@ -25,6 +25,7 @@ use qcir::delta::CircuitDelta;
 use qcir::edit::Patch;
 use qcir::Circuit;
 use qrewrite::MatchScratch;
+use qtrace::{Family, FamilyStats, Profile, FAMILY_COUNT};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::time::Instant;
@@ -44,6 +45,13 @@ const PENDING_OPS_CAP: usize = 4096;
 /// journal without bound while still amortizing snapshots to at most
 /// one per `BEST_JOURNAL_CAP` accepts.
 const BEST_JOURNAL_CAP: usize = 65536;
+
+/// Iteration period of the [`OptEvent::Stats`] heartbeat in observer
+/// mode. A power of two so the check is one mask per iteration; at the
+/// incremental engine's ~800k iters/sec this is a stats frame every
+/// ~0.3s — frequent enough to watch a fast/slow split move, rare enough
+/// to be free.
+const STATS_EVERY_ITERS: u64 = 1 << 18;
 
 /// How the driver remembers its best-so-far circuit.
 ///
@@ -160,6 +168,23 @@ pub struct ShardDriver<'c> {
     /// True once `pending` overflowed [`PENDING_OPS_CAP`]; the next
     /// improvement diffs before/after circuits instead.
     pending_overflow: bool,
+    /// Whether telemetry clock reads are live ([`qtrace::enabled`],
+    /// sampled once at construction so the hot loop branches on a local
+    /// bool, not a global atomic).
+    instrument: bool,
+    /// This driver's own construction instant — the denominator of the
+    /// fast/slow time split (`started` can be a global anchor shared
+    /// across shards, so it cannot serve as per-driver busy time).
+    t_init: Instant,
+    /// Nanoseconds spent inside slow (resynthesis) moves. Fast time is
+    /// derived at finish as `total − slow`: slow moves are rare and
+    /// expensive, so only they pay the two clock reads — the fast path
+    /// at ~1.2µs/iter could not afford per-iteration timing.
+    slow_ns: u64,
+    /// Per-family accept/reject/accepted-cost-delta tallies. Plain
+    /// (non-atomic) adds, tallied unconditionally — only clock reads
+    /// are gated on `instrument`.
+    fam: [FamilyStats; FAMILY_COUNT],
 }
 
 impl<'c> ShardDriver<'c> {
@@ -218,6 +243,10 @@ impl<'c> ShardDriver<'c> {
             on_event: None,
             pending: Vec::new(),
             pending_overflow: false,
+            instrument: qtrace::enabled(),
+            t_init: Instant::now(),
+            slow_ns: 0,
+            fam: [FamilyStats::default(); FAMILY_COUNT],
         }
     }
 
@@ -350,14 +379,21 @@ impl<'c> ShardDriver<'c> {
             if !self.can_afford(Transformation::epsilon(t)) {
                 return true;
             }
+            // Slow moves are rare and expensive, so the span's two
+            // clock reads are amortized to nothing; the fast path
+            // carries no per-iteration timing at all.
+            let t0 = self.instrument.then(Instant::now);
             if self.use_patches {
                 if let Some(pa) = Transformation::apply_patch(t, &mut self.ctx, rng) {
                     self.resynth_hits += 1;
-                    self.consider_patch(pa, rng);
+                    self.consider_patch(pa, Family::Resynth, rng);
                 }
             } else if let Some(applied) = t.apply(self.ctx.circuit(), rng) {
                 self.resynth_hits += 1;
-                self.consider_full(applied, rng);
+                self.consider_full(applied, Family::Resynth, rng);
+            }
+            if let Some(t0) = t0 {
+                self.slow_ns += t0.elapsed().as_nanos() as u64;
             }
         } else {
             self.fast_move(fast, rng);
@@ -371,12 +407,14 @@ impl<'c> ShardDriver<'c> {
         let t = &fast[rng.random_range(0..fast.len())];
         if self.use_patches && t.supports_patches() {
             if let Some(pa) = t.apply_patch(&mut self.ctx, rng) {
-                self.consider_patch(pa, rng);
+                let fam = t.family();
+                self.consider_patch(pa, fam, rng);
             }
         } else if let Some(applied) = t.apply(self.ctx.circuit(), rng) {
             // Patch-less transformation (or the clone–rebuild baseline):
             // fall back to the materializing API for this move.
-            self.consider_full(applied, rng);
+            let fam = t.family();
+            self.consider_full(applied, fam, rng);
         }
     }
 
@@ -386,7 +424,7 @@ impl<'c> ShardDriver<'c> {
     /// prescribes).
     pub fn offer_resynth(&mut self, applied: Applied, rng: &mut SmallRng) {
         self.resynth_hits += 1;
-        self.consider_full(applied, rng);
+        self.consider_full(applied, Family::Resynth, rng);
     }
 
     /// The plain budget loop: [`Self::step`] until `budget` is
@@ -408,6 +446,40 @@ impl<'c> ShardDriver<'c> {
             if !self.step(fast, slow, rng) {
                 break;
             }
+            if self.iterations & (STATS_EVERY_ITERS - 1) == 0 && self.on_event.is_some() {
+                self.emit_stats();
+            }
+        }
+    }
+
+    /// Emits an [`OptEvent::Stats`] heartbeat carrying the current
+    /// profile snapshot (observer mode only). Side-channel only: it
+    /// never touches the RNG, the cost tallies, or the delta stream.
+    fn emit_stats(&mut self) {
+        let event = OptEvent::Stats {
+            profile: self.profile_snapshot(),
+        };
+        if let Some(obs) = self.on_event.as_mut() {
+            obs(&event, self.ctx.circuit());
+        }
+    }
+
+    /// The fast/slow time split and per-family tallies so far. Fast
+    /// time is everything the driver has been alive minus the measured
+    /// slow spans; with instrumentation off, all times are zero (the
+    /// tallies still count).
+    fn profile_snapshot(&self) -> Profile {
+        let total_ns = if self.instrument {
+            self.t_init.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let slow_ns = self.slow_ns.min(total_ns);
+        Profile {
+            fast_ns: total_ns - slow_ns,
+            slow_ns,
+            total_ns,
+            families: self.fam,
         }
     }
 
@@ -415,9 +487,10 @@ impl<'c> ShardDriver<'c> {
     /// comes from [`CostFn::delta`] (O(edit span)), and only an accepted
     /// edit is committed — a rejected candidate is simply dropped, no
     /// clone, apply, or revert required.
-    fn consider_patch(&mut self, pa: PatchApplied, rng: &mut SmallRng) {
+    fn consider_patch(&mut self, pa: PatchApplied, fam: Family, rng: &mut SmallRng) {
         let cost_new = self.cost_curr + self.cost.delta(self.ctx.circuit(), &pa.patch);
         if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
+            self.fam[fam.index()].rejects += 1;
             return;
         }
         // The accepted patch *is* the event-stream / best-journal op —
@@ -425,7 +498,7 @@ impl<'c> ShardDriver<'c> {
         // (an O(edit span) copy, never O(circuit)).
         let op = (self.on_event.is_some() || self.journal_live()).then(|| pa.patch.clone());
         self.ctx.commit(&pa.patch);
-        self.record_accept(cost_new, pa.epsilon, op);
+        self.record_accept(cost_new, pa.epsilon, fam, op);
     }
 
     /// Acceptance for a fully materialized candidate (patch-less
@@ -436,9 +509,10 @@ impl<'c> ShardDriver<'c> {
     /// O(accepts × circuit) — so the op trail is abandoned and the
     /// next `Improved` packages a single before/after diff instead
     /// (one op, never larger than a full snapshot).
-    fn consider_full(&mut self, applied: Applied, rng: &mut SmallRng) {
+    fn consider_full(&mut self, applied: Applied, fam: Family, rng: &mut SmallRng) {
         let cost_new = self.cost.cost(&applied.circuit);
         if !metropolis_accepts(cost_new, self.cost_curr, self.temperature, rng) {
+            self.fam[fam.index()].rejects += 1;
             return;
         }
         if self.on_event.is_some() {
@@ -450,11 +524,15 @@ impl<'c> ShardDriver<'c> {
             self.invalidate_journal();
         }
         self.ctx.replace_circuit(applied.circuit);
-        self.record_accept(cost_new, applied.epsilon, None);
+        self.record_accept(cost_new, applied.epsilon, fam, None);
     }
 
-    fn record_accept(&mut self, cost_new: f64, epsilon: f64, op: Option<Patch>) {
+    fn record_accept(&mut self, cost_new: f64, epsilon: f64, fam: Family, op: Option<Patch>) {
         self.accepted += 1;
+        let fs = &mut self.fam[fam.index()];
+        fs.accepts += 1;
+        // Positive delta = improvement (cost went down by this much).
+        fs.accepted_cost_delta += self.cost_curr - cost_new;
         self.cost_curr = cost_new;
         self.err_curr += epsilon;
         if let Some(op) = op {
@@ -558,6 +636,13 @@ impl<'c> ShardDriver<'c> {
         }
     }
 
+    /// Credits externally measured slow-span nanoseconds (the async
+    /// engine's resynthesis runs on a worker thread, outside
+    /// [`step`](Self::step)'s span).
+    pub(crate) fn add_slow_ns(&mut self, ns: u64) {
+        self.slow_ns += ns;
+    }
+
     /// Finalizes the search: the best circuit found with its cost, ε,
     /// and counters.
     pub fn finish(self) -> GuoqResult {
@@ -567,6 +652,11 @@ impl<'c> ShardDriver<'c> {
     /// [`Self::finish`], also yielding the matcher scratch so the
     /// caller can feed it to the next driver.
     pub fn finish_recycling(self) -> (GuoqResult, MatchScratch) {
+        let profile = self.profile_snapshot();
+        // One registry flush per driver lifetime — the global
+        // `guoq_*_total` series accumulate across jobs/shards while the
+        // per-result `Profile` stays a per-run delta.
+        profile.flush_to_registry();
         let result = GuoqResult {
             // Journal mode materializes the best exactly once, here:
             // the base snapshot replayed through the best-prefix ops.
@@ -582,6 +672,7 @@ impl<'c> ShardDriver<'c> {
             cache_misses: 0,
             history: self.history,
             worker_stats: Vec::new(),
+            profile,
         };
         (result, self.ctx.into_scratch())
     }

@@ -249,6 +249,12 @@ pub struct GuoqResult {
     /// Per-worker scheduling statistics (empty unless the run used
     /// [`Engine::Sharded`]).
     pub worker_stats: Vec<qpar::WorkerStats>,
+    /// The run's fast/slow time split and per-family accept tallies
+    /// (see [`qtrace::Profile`]). Sharded runs merge every shard
+    /// driver's profile, so `total_ns` is busy time, not wall time.
+    /// Times are zero when [`qtrace::enabled`] was off at run start;
+    /// the tallies always count.
+    pub profile: qtrace::Profile,
 }
 
 /// The GUOQ optimizer: an instantiation of the transformation framework
@@ -508,10 +514,22 @@ impl Guoq {
         let (req_tx, req_rx) = bounded::<Req>(1);
         let (resp_tx, resp_rx) = bounded::<Resp>(1);
         let worker_pass = self.slow[0].clone();
+        // The slow span runs on the worker thread, outside the driver's
+        // `step` timing — measure it there and credit the driver after
+        // the join. It overlaps the interleaved rewrites by design, so
+        // the derived fast time is "main-thread time not accounted to
+        // resynthesis" (clamped at zero in the profile).
+        let slow_ns = Arc::new(qtrace::Counter::new());
+        let worker_slow_ns = Arc::clone(&slow_ns);
+        let instrument = qtrace::enabled();
         let worker = std::thread::spawn(move || {
             while let Ok((id, snapshot, region, seed)) = req_rx.recv() {
                 let mut wrng = SmallRng::seed_from_u64(seed);
+                let t0 = instrument.then(Instant::now);
                 let applied = worker_pass.resynthesize_region(&snapshot, &region, &mut wrng);
+                if let Some(t0) = t0 {
+                    worker_slow_ns.add(t0.elapsed().as_nanos() as u64);
+                }
                 if resp_tx.send((id, applied)).is_err() {
                     break;
                 }
@@ -563,6 +581,7 @@ impl Guoq {
         }
         drop(resp_rx);
         let _ = worker.join();
+        driver.add_slow_ns(slow_ns.get());
         driver.finish()
     }
 }

@@ -52,4 +52,5 @@ pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
 pub use observe::{BestSnapshot, CancelToken, OptEvent, OptRun};
 pub use qcache::{CacheStats, QCache, QCacheOpts};
 pub use qpar::WorkerStats;
+pub use qtrace::{Family, FamilyStats, Profile};
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

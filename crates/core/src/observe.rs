@@ -15,6 +15,9 @@
 //!   commit heartbeat (serial engines never emit it).
 //! * [`OptEvent::CacheStats`] — the run's final resynthesis memo-cache
 //!   traffic, just before the stream ends.
+//! * [`OptEvent::Stats`] — periodic telemetry heartbeat with the run's
+//!   cumulative fast/slow [`qtrace::Profile`] (side-channel only —
+//!   replay consumers must skip it).
 //! * [`OptEvent::Finished`] — once, with the complete [`GuoqResult`].
 //!
 //! Replaying the deltas of the `Improved` events onto the input circuit
@@ -105,6 +108,14 @@ pub enum OptEvent {
         /// Resynthesis calls that consulted the cache and missed.
         misses: u64,
     },
+    /// Periodic telemetry heartbeat: the run's fast/slow time split and
+    /// per-family accept tallies so far (a cumulative snapshot, not a
+    /// delta). Purely observational — it carries no cost and consumers
+    /// replaying the improvement stream must ignore it.
+    Stats {
+        /// Cumulative [`qtrace::Profile`] since the run started.
+        profile: qtrace::Profile,
+    },
     /// The run ended; the final result in full.
     Finished(GuoqResult),
 }
@@ -117,7 +128,7 @@ impl OptEvent {
             | OptEvent::Improved { cost, .. }
             | OptEvent::EpochCommitted { cost, .. } => Some(*cost),
             OptEvent::Finished(r) => Some(r.cost),
-            OptEvent::CacheStats { .. } => None,
+            OptEvent::CacheStats { .. } | OptEvent::Stats { .. } => None,
         }
     }
 }

@@ -127,6 +127,7 @@ impl ShardOptimizer for ShardWorker<'_> {
             accepted: r.accepted,
             resynth_hits: r.resynth_hits,
             epsilon: r.epsilon,
+            profile: r.profile,
         }
     }
 }
@@ -256,6 +257,8 @@ impl Guoq {
             cache_misses: 0, // counters (shared with every worker)
             history,
             worker_stats: outcome.worker_stats,
+            // Busy time summed over all shard drivers (not wall time).
+            profile: outcome.profile,
         }
     }
 }

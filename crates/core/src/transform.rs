@@ -11,10 +11,10 @@ use qcir::edit::Patch;
 use qcir::{Circuit, GateSet, Region};
 use qrewrite::{apply_rule_pass, fusion, MatchScratch, Rule};
 use qsynth::{CacheOutcome, Resynthesizer};
+use qtrace::{Counter, Family};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The result of a successful transformation application.
@@ -228,6 +228,14 @@ pub trait Transformation: Send + Sync {
     /// Declared worst-case error per application (`ε` of `τ_ε`).
     fn epsilon(&self) -> f64;
 
+    /// The transformation's rule family for telemetry tallies
+    /// ([`qtrace::Family`]). Rule names are dynamic (one per corpus
+    /// rule) but families are static, so per-family counters stay
+    /// fixed-arity and allocation-free.
+    fn family(&self) -> Family {
+        Family::Rule
+    }
+
     /// Attempts to apply the transformation at a random location.
     ///
     /// Returns `None` when the transformation does not fire (no match, or
@@ -342,6 +350,10 @@ impl Transformation for FusionPass {
         0.0
     }
 
+    fn family(&self) -> Family {
+        Family::Fusion
+    }
+
     fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
         let out = fusion::fuse_1q_runs(circuit, self.set)?;
         Some(Applied {
@@ -388,6 +400,10 @@ impl Transformation for CleanupPass {
 
     fn epsilon(&self) -> f64 {
         0.0
+    }
+
+    fn family(&self) -> Family {
+        Family::Cleanup
     }
 
     fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
@@ -438,6 +454,10 @@ impl Transformation for CommutationPass {
         0.0
     }
 
+    fn family(&self) -> Family {
+        Family::Commutation
+    }
+
     fn apply(&self, circuit: &Circuit, _rng: &mut SmallRng) -> Option<Applied> {
         let out = qrewrite::commutation::commutative_cancellation(circuit)?;
         Some(Applied {
@@ -475,16 +495,16 @@ impl Transformation for CommutationPass {
 /// per-gate-set setup (including the Clifford+T BFS database) is never
 /// duplicated. An optional [`QCache`] handle memoizes synthesis
 /// results by window unitary ([`Resynthesizer::resynthesize_cached`]);
-/// the per-pass hit/miss counters are shared across clones so a run's
-/// totals survive the async driver's worker-thread pass clone.
+/// the per-pass hit/miss counters ([`qtrace::Counter`]s, shared across
+/// clones) survive the async driver's worker-thread pass clone.
 #[derive(Debug, Clone)]
 pub struct ResynthPass {
     rs: Arc<Resynthesizer>,
     max_qubits: usize,
     eps: f64,
     cache: Option<Arc<QCache>>,
-    cache_hits: Arc<AtomicU64>,
-    cache_misses: Arc<AtomicU64>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
 }
 
 impl ResynthPass {
@@ -496,8 +516,8 @@ impl ResynthPass {
             max_qubits: max_qubits.min(qsynth::MAX_RESYNTH_QUBITS),
             eps,
             cache: None,
-            cache_hits: Arc::new(AtomicU64::new(0)),
-            cache_misses: Arc::new(AtomicU64::new(0)),
+            cache_hits: Arc::new(Counter::new()),
+            cache_misses: Arc::new(Counter::new()),
         }
     }
 
@@ -515,20 +535,13 @@ impl ResynthPass {
     /// instantiation, successful or not. Hits + misses therefore equals
     /// the cache-consulting call count, not the replacement count.
     pub fn cache_counters(&self) -> (u64, u64) {
-        (
-            self.cache_hits.load(Ordering::Relaxed),
-            self.cache_misses.load(Ordering::Relaxed),
-        )
+        (self.cache_hits.get(), self.cache_misses.get())
     }
 
     fn record_outcome(&self, outcome: CacheOutcome) {
         match outcome {
-            CacheOutcome::Hit | CacheOutcome::NegativeHit => {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            }
-            CacheOutcome::Miss => {
-                self.cache_misses.fetch_add(1, Ordering::Relaxed);
-            }
+            CacheOutcome::Hit | CacheOutcome::NegativeHit => self.cache_hits.inc(),
+            CacheOutcome::Miss => self.cache_misses.inc(),
             CacheOutcome::Bypass => {}
         }
     }
@@ -624,6 +637,10 @@ impl Transformation for ResynthPass {
 
     fn epsilon(&self) -> f64 {
         self.eps
+    }
+
+    fn family(&self) -> Family {
+        Family::Resynth
     }
 
     fn apply(&self, circuit: &Circuit, rng: &mut SmallRng) -> Option<Applied> {

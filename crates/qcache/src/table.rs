@@ -175,6 +175,34 @@ struct Stripe {
     clock: u64,
 }
 
+/// One tallied cache event: a per-instance [`qtrace::Counter`] (so
+/// [`QCache::stats`] stays an exact per-cache delta, which the engine
+/// tests and `GuoqResult`'s per-run cache fields depend on) mirrored
+/// into the process-wide registry series of the same event (so a
+/// Prometheus scrape sees all caches' traffic without bespoke atomics).
+struct Tally {
+    local: qtrace::Counter,
+    global: &'static qtrace::Counter,
+}
+
+impl Tally {
+    fn new(global_name: &'static str) -> Self {
+        Tally {
+            local: qtrace::Counter::new(),
+            global: qtrace::counter(global_name),
+        }
+    }
+
+    fn inc(&self) {
+        self.local.inc();
+        self.global.inc();
+    }
+
+    fn get(&self) -> u64 {
+        self.local.get()
+    }
+}
+
 /// The concurrent memo table mapping [`Fingerprint`] → synthesized
 /// replacement circuit. See the [crate docs](crate) for the design;
 /// the essentials:
@@ -196,12 +224,12 @@ struct Stripe {
 pub struct QCache {
     stripes: Vec<Mutex<Stripe>>,
     stripe_budget: usize,
-    hits: AtomicU64,
-    negative_hits: AtomicU64,
-    misses: AtomicU64,
-    verify_rejects: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
+    hits: Tally,
+    negative_hits: Tally,
+    misses: Tally,
+    verify_rejects: Tally,
+    inserts: Tally,
+    evictions: Tally,
     /// Current negative-entry epoch: entries stamped with an older
     /// epoch are stale (recorded under a different synthesis-budget
     /// profile) and read as misses.
@@ -219,12 +247,12 @@ impl QCache {
         QCache {
             stripes: (0..n).map(|_| Mutex::new(Stripe::default())).collect(),
             stripe_budget: opts.gate_budget / n,
-            hits: AtomicU64::new(0),
-            negative_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            verify_rejects: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Tally::new("qcache_hits_total"),
+            negative_hits: Tally::new("qcache_negative_hits_total"),
+            misses: Tally::new("qcache_misses_total"),
+            verify_rejects: Tally::new("qcache_verify_rejects_total"),
+            inserts: Tally::new("qcache_inserts_total"),
+            evictions: Tally::new("qcache_evictions_total"),
             negative_epoch: AtomicU64::new(0),
             profile_stamp: AtomicU64::new(0),
         }
@@ -284,7 +312,7 @@ impl QCache {
         let mut stripe = self.stripe(fp).lock().expect("qcache stripe poisoned");
         let stripe = &mut *stripe;
         let Some(entry) = stripe.map.get_mut(fp) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return Lookup::Miss;
         };
         match &entry.stored {
@@ -297,18 +325,18 @@ impl QCache {
                     // Stale: recorded under a previous budget profile.
                     // The grown (or otherwise changed) budget deserves
                     // a fresh attempt.
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     Lookup::Miss
                 } else if eps <= *failed_at && max_len <= *failed_len {
                     stripe.clock += 1;
                     entry.stamp = stripe.clock;
-                    self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                    self.negative_hits.inc();
                     Lookup::KnownFailure
                 } else {
                     // A looser request (in ε or in length budget) might
                     // succeed where the tighter one failed; let the
                     // caller try.
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     Lookup::Miss
                 }
             }
@@ -318,19 +346,19 @@ impl QCache {
                     // (synthesized under some other window's budget) is
                     // longer than this caller's own synthesis could
                     // return; let it synthesize within its budget.
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     return Lookup::Miss;
                 }
                 if unitary.rows() != target.rows() {
                     // Cannot happen through `fingerprint` (the dim is
                     // part of the key), but a defensive reject beats a
                     // panic.
-                    self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.verify_rejects.inc();
                     return Lookup::Miss;
                 }
                 let measured = accurate_hs_distance(target, unitary);
                 if measured > eps {
-                    self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.verify_rejects.inc();
                     return Lookup::Miss;
                 }
                 let hit = CacheHit {
@@ -339,7 +367,7 @@ impl QCache {
                 };
                 stripe.clock += 1;
                 entry.stamp = stripe.clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Lookup::Hit(hit)
             }
         }
@@ -518,7 +546,7 @@ impl QCache {
         if let Some(old) = old {
             stripe.gates -= old.weight;
         }
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
 
         while stripe.gates > self.stripe_budget && stripe.map.len() > 1 {
             // LRU scan: stripes stay small (a few hundred entries at
@@ -532,7 +560,7 @@ impl QCache {
                 .expect("non-empty stripe");
             let evicted = stripe.map.remove(&lru).expect("lru key present");
             stripe.gates -= evicted.weight;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
     }
 
@@ -548,12 +576,12 @@ impl QCache {
             gates += s.gates;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            negative_hits: self.negative_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            negative_hits: self.negative_hits.get(),
+            misses: self.misses.get(),
+            verify_rejects: self.verify_rejects.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
             entries,
             gates,
         }

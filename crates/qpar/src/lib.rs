@@ -138,6 +138,10 @@ pub struct ShardOutcome {
     pub resynth_hits: u64,
     /// Approximation error introduced (≤ the task's allowance).
     pub epsilon: f64,
+    /// The shard driver's telemetry profile ([`qtrace::Profile`]):
+    /// fast/slow time split and per-family accept tallies for this
+    /// slice. Default (all-zero) for optimizers that don't measure.
+    pub profile: qtrace::Profile,
 }
 
 /// A per-worker shard optimizer: the strategy the pool runs on each
@@ -236,6 +240,9 @@ pub struct ParallelOutcome {
     pub epsilon: f64,
     /// Per-worker scheduling statistics.
     pub worker_stats: Vec<WorkerStats>,
+    /// Merge of every shard outcome's [`qtrace::Profile`] — the run's
+    /// total busy-time split and per-family tallies across all workers.
+    pub profile: qtrace::Profile,
 }
 
 /// A commit notification passed to the epoch observer — the
@@ -257,12 +264,16 @@ pub struct CommitInfo<'a> {
     pub previous: Circuit,
     /// Total iterations so far.
     pub iterations: u64,
-    /// Total accepted moves so far.
+    /// Total accepted moves so far (a read of the coordinator's
+    /// [`qtrace::Counter`] tally at commit time).
     pub accepted: u64,
-    /// Total resynthesis hits so far.
+    /// Total resynthesis hits so far (same registry-backed tally).
     pub resynth_hits: u64,
     /// Accumulated ε so far.
     pub epsilon: f64,
+    /// Merge of every shard profile committed so far — the cumulative
+    /// busy-time split the commit observer can stream as telemetry.
+    pub profile: qtrace::Profile,
 }
 
 /// SplitMix64: the per-task seed derivation.
@@ -353,9 +364,14 @@ where
         let mut master = circuit.clone();
         let mut epochs = 0u64;
         let mut iterations = 0u64;
-        let mut accepted = 0u64;
-        let mut resynth_hits = 0u64;
+        // The accepted/resynth tallies are qtrace counters so CommitInfo
+        // and ParallelOutcome report views of the same registry-typed
+        // accumulators the shard drivers feed (one vocabulary, no
+        // bespoke duplicates).
+        let accepted = qtrace::Counter::new();
+        let resynth_hits = qtrace::Counter::new();
         let mut epsilon = 0f64;
+        let mut profile = qtrace::Profile::default();
 
         loop {
             if master.is_empty() {
@@ -437,8 +453,9 @@ where
                     }
                 };
                 epoch_iterations += out.iterations;
-                accepted += out.accepted;
-                resynth_hits += out.resynth_hits;
+                accepted.add(out.accepted);
+                resynth_hits.add(out.resynth_hits);
+                profile.merge(&out.profile);
                 parts[shard_index] = Some((out.circuit, out.epsilon));
             }
             iterations += epoch_iterations;
@@ -458,9 +475,10 @@ where
                 circuit: &master,
                 previous,
                 iterations,
-                accepted,
-                resynth_hits,
+                accepted: accepted.get(),
+                resynth_hits: resynth_hits.get(),
                 epsilon,
+                profile,
             });
             if epoch_iterations == 0 {
                 // Optimizer made no progress (declined every task, or the
@@ -479,10 +497,11 @@ where
             circuit: master,
             epochs,
             iterations,
-            accepted,
-            resynth_hits,
+            accepted: accepted.get(),
+            resynth_hits: resynth_hits.get(),
             epsilon,
             worker_stats,
+            profile,
         }
     })
 }
@@ -524,6 +543,7 @@ mod tests {
                 accepted,
                 resynth_hits: 0,
                 epsilon: 0.0,
+                profile: qtrace::Profile::default(),
             }
         }
     }
@@ -596,6 +616,7 @@ mod tests {
                     accepted: 0,
                     resynth_hits: 0,
                     epsilon: 0.0,
+                    profile: qtrace::Profile::default(),
                 }
             }
         }

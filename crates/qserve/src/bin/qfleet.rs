@@ -18,6 +18,9 @@
 //!                        (default 1000)
 //!   --worker-bin PATH    qserve binary (default: QFLEET_WORKER_BIN,
 //!                        then a sibling of this executable, then PATH)
+//!   --trace-out FILE     flight recorder: append the router's last
+//!                        256 events (JSON lines) to FILE whenever a
+//!                        worker dies (default: off)
 //!   -- ...               everything after -- goes to every worker
 //!                        verbatim (e.g. --gateset ionq)
 //! ```
@@ -90,6 +93,7 @@ fn main() -> ExitCode {
                     .map_err(|_| "bad --snapshot-flush-ms value".into())
             }),
             "--worker-bin" => value("--worker-bin").map(|v| opts.worker_binary = Some(v.into())),
+            "--trace-out" => value("--trace-out").map(|v| opts.trace_out = Some(v.into())),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = parsed {

@@ -96,6 +96,12 @@ pub struct FleetOpts {
     pub chaos: Option<LinkChaos>,
     /// Seed for the router's own jitter.
     pub seed: u64,
+    /// Flight-recorder output (`--trace-out`): the router keeps a
+    /// bounded in-memory ring of its recent events as JSON lines, and
+    /// whenever a worker is declared dead it appends the ring to this
+    /// file — a post-mortem of the last N routing decisions leading up
+    /// to every death. `None` (the default) disables recording.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for FleetOpts {
@@ -115,8 +121,74 @@ impl Default for FleetOpts {
             snapshot_flush_ms: 1_000,
             chaos: None,
             seed: 0,
+            trace_out: None,
         }
     }
+}
+
+/// Capacity of the flight recorder's event ring.
+const TRACE_RING: usize = 256;
+
+/// The router's flight recorder: a bounded ring of recent events,
+/// pre-formatted as JSON lines (`{"t_ms":…,"ev":"…",…}`), dumped to
+/// [`FleetOpts::trace_out`] when a worker dies. Recording is a no-op
+/// without an output path, so service fleets pay nothing.
+struct FlightRecorder {
+    t0: Instant,
+    ring: VecDeque<String>,
+    out: Option<PathBuf>,
+}
+
+impl FlightRecorder {
+    fn new(out: Option<PathBuf>) -> FlightRecorder {
+        FlightRecorder {
+            t0: Instant::now(),
+            ring: VecDeque::new(),
+            out,
+        }
+    }
+
+    /// Appends one event; `fields` is the pre-rendered JSON tail after
+    /// the timestamp and event name (e.g. `"job":7,"slot":0`).
+    fn event(&mut self, ev: &str, fields: std::fmt::Arguments<'_>) {
+        if self.out.is_none() {
+            return;
+        }
+        if self.ring.len() == TRACE_RING {
+            self.ring.pop_front();
+        }
+        let t_ms = self.t0.elapsed().as_millis();
+        self.ring
+            .push_back(format!("{{\"t_ms\":{t_ms},\"ev\":\"{ev}\",{fields}}}"));
+    }
+
+    /// Appends the ring to the trace file (then clears it, so
+    /// consecutive dumps never duplicate events). Called on every
+    /// worker death, after the death itself is recorded.
+    fn dump(&mut self) {
+        let Some(path) = &self.out else { return };
+        use std::io::Write as _;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                for line in &self.ring {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+            Err(e) => eprintln!("qfleet: cannot write trace {}: {e}", path.display()),
+        }
+        self.ring.clear();
+    }
+}
+
+/// Minimal JSON string escaping for the recorder's free-form fields
+/// (worker error codes and death reasons are short ASCII, but a quote
+/// must never tear a trace line).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Router-internal events: worker traffic and client commands share
@@ -291,6 +363,7 @@ struct Router {
     pending: VecDeque<u64>,
     rng: ChaosRng,
     draining: bool,
+    recorder: FlightRecorder,
 }
 
 impl Router {
@@ -314,6 +387,7 @@ impl Router {
             })
             .collect();
         let rng = ChaosRng::new(mix(opts.seed ^ 0xF1EE7));
+        let recorder = FlightRecorder::new(opts.trace_out.clone());
         Router {
             opts,
             binary,
@@ -325,6 +399,7 @@ impl Router {
             pending: VecDeque::new(),
             rng,
             draining: false,
+            recorder,
         }
     }
 
@@ -375,6 +450,7 @@ impl Router {
                     return;
                 }
                 let fp = fingerprint(&req.qasm);
+                self.recorder.event("submit", format_args!("\"job\":{id}"));
                 self.jobs.insert(
                     id,
                     JobState {
@@ -421,6 +497,13 @@ impl Router {
                 let id = summary.id;
                 self.slots[slot].jobs.retain(|&j| j != id);
                 if let Some(job) = self.jobs.remove(&id) {
+                    self.recorder.event(
+                        "done",
+                        format_args!(
+                            "\"job\":{id},\"slot\":{slot},\"cost\":{},\"run_ms\":{}",
+                            summary.cost, summary.run_ms
+                        ),
+                    );
                     let _ = job.ticket.send(Frame::Done(summary));
                 }
             }
@@ -453,6 +536,13 @@ impl Router {
         self.slots[slot].jobs.retain(|&j| j != id);
         job.on = None;
         job.deadline = None;
+        self.recorder.event(
+            "worker_error",
+            format_args!(
+                "\"job\":{id},\"slot\":{slot},\"code\":\"{}\"",
+                json_escape(code)
+            ),
+        );
         match code {
             // The journal could not serve a RESUME (crash before its
             // first checkpoint, damage beyond replay): replay the
@@ -495,6 +585,12 @@ impl Router {
             }
             if self.slots[slot].last_seen.elapsed() >= period {
                 self.slots[slot].missed += 1;
+                qtrace::counter("qfleet_heartbeat_misses_total").inc();
+                let missed = self.slots[slot].missed;
+                self.recorder.event(
+                    "heartbeat_miss",
+                    format_args!("\"slot\":{slot},\"missed\":{missed}"),
+                );
             }
             if self.slots[slot].missed >= stall {
                 self.fail_worker(slot, "stalled (missed heartbeats)");
@@ -593,6 +689,15 @@ impl Router {
         let job = self.jobs.get_mut(&id).expect("checked above");
         job.on = Some(slot);
         job.deadline = Some(deadline);
+        let mode = match job.mode {
+            Mode::Submit => "submit",
+            Mode::Resume => "resume",
+            Mode::SubmitOverwrite => "submit-overwrite",
+        };
+        self.recorder.event(
+            "dispatch",
+            format_args!("\"job\":{id},\"slot\":{slot},\"mode\":\"{mode}\""),
+        );
         true
     }
 
@@ -618,6 +723,19 @@ impl Router {
             backoff.as_millis(),
             orphans.len()
         );
+        qtrace::counter("qfleet_worker_restarts_total").inc();
+        self.recorder.event(
+            "worker_dead",
+            format_args!(
+                "\"slot\":{slot},\"why\":\"{}\",\"backoff_ms\":{},\"orphans\":{}",
+                json_escape(why),
+                backoff.as_millis(),
+                orphans.len()
+            ),
+        );
+        // A death is exactly what the flight recorder exists for: dump
+        // the ring (the decisions leading here) to the trace file now.
+        self.recorder.dump();
         for id in orphans {
             self.requeue_or_fail(id);
         }
@@ -642,8 +760,16 @@ impl Router {
         job.on = None;
         job.deadline = None;
         job.attempts += 1;
-        if job.attempts > self.opts.retry_max {
+        qtrace::counter("qfleet_failovers_total").inc();
+        let attempts = job.attempts;
+        self.recorder.event(
+            "failover",
+            format_args!("\"job\":{id},\"attempts\":{attempts}"),
+        );
+        if attempts > self.opts.retry_max {
             let job = self.jobs.remove(&id).expect("checked above");
+            self.recorder
+                .event("degraded", format_args!("\"job\":{id}"));
             let _ = job.ticket.send(Frame::Error {
                 id,
                 code: codes::DEGRADED.into(),
@@ -672,6 +798,10 @@ impl Router {
             self.opts.chaos,
         ) {
             Ok(proc) => {
+                self.recorder.event(
+                    "respawn",
+                    format_args!("\"slot\":{slot},\"pid\":{}", proc.pid),
+                );
                 self.pids.lock().expect("fleet pids poisoned")[slot] = Some(proc.pid);
                 let s = &mut self.slots[slot];
                 s.proc = Some(proc);

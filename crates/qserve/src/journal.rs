@@ -459,6 +459,10 @@ mod tests {
             resynth_hits: 0,
             cache_hits: 0,
             cache_misses: 0,
+            queue_ms: 0,
+            run_ms: 0,
+            fast_ms: 0,
+            slow_ms: 0,
             cancelled: false,
             qasm: qasm::to_qasm_line(&input),
         }))

@@ -57,7 +57,8 @@ pub mod transport;
 
 pub use fleet::{Fleet, FleetOpts};
 pub use protocol::{
-    EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective, PROTOCOL_VERSION,
+    EngineSel, Frame, FrameDecoder, JobRequest, JobSummary, Objective, StatsSnapshot,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeOpts, Server, ServerHandle};
 pub use transport::{pump_stream, serve_stdio, serve_tcp};

@@ -24,6 +24,10 @@
 //!   --snapshot-flush-ms N
 //!                      also flush the cache snapshot every N ms
 //!                      (default 0 = only at shutdown)
+//!   --metrics-addr ADDR
+//!                      serve the telemetry registry as Prometheus
+//!                      text exposition over HTTP at ADDR
+//!                      (e.g. 127.0.0.1:9184; default: no endpoint)
 //!   --worker-tag TAG   label for this process's stderr diagnostics
 //!                      (fleet workers; protocol output is unchanged)
 //! ```
@@ -109,6 +113,7 @@ fn main() -> ExitCode {
                     .map(|n| opts.snapshot_flush_ms = n)
                     .map_err(|_| "bad --snapshot-flush-ms value".into())
             }),
+            "--metrics-addr" => value("--metrics-addr").map(|v| opts.metrics_addr = Some(v)),
             "--worker-tag" => value("--worker-tag").map(|v| worker_tag = Some(v)),
             other => Err(format!("unknown flag `{other}`")),
         };

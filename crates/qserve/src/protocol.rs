@@ -16,6 +16,7 @@
 //! SUBMIT id=7 engine=sharded:2 iters=4000 time_ms=0 seed=11 eps=1e-8 objective=gates qasm=OPENQASM 2.0; ...
 //! CANCEL id=7
 //! RESUME id=7
+//! STATS
 //! SHUTDOWN
 //! ```
 //!
@@ -26,13 +27,20 @@
 //! ACCEPTED id=7
 //! SNAPSHOT id=7 cost=118 eps=0 iters=0 seconds=0 qasm=OPENQASM 2.0; ...
 //! DELTA id=7 seq=3 cost=104 eps=0 iters=311 seconds=0.2 delta=CD1 b=118 n=104 -4,9@4+ ...
-//! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=3 cache_hits=2 cache_misses=1 cancelled=0 qasm=OPENQASM 2.0; ...
+//! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=3 cache_hits=2 cache_misses=1 queue_ms=4 run_ms=480 fast_ms=450 slow_ms=30 cancelled=0 qasm=OPENQASM 2.0; ...
+//! STATSOK jobs=4 fast_s=1.5 slow_s=0.25 rule=10 fusion=4 commutation=3 cleanup=2 resynth=1 cache_hits=6 cache_misses=2
 //! ERROR id=7 msg=unknown gate `foo`
 //! ```
 //!
 //! (`cache_hits`/`cache_misses` report the job's traffic against the
 //! server's shared resynthesis memo cache; they parse as 0 when absent,
-//! so frames from pre-cache servers remain readable.)
+//! so frames from pre-cache servers remain readable. The same contract
+//! covers the telemetry fields added later: `queue_ms`/`run_ms` are the
+//! job's queue-wait and run wall times, `fast_ms`/`slow_ms` its
+//! fast-rewrite vs slow-resynthesis time split — all parse as 0 when
+//! absent. `STATS` is a v2 out-of-band probe like `HEALTH`: the
+//! `STATSOK` reply is a cumulative [`StatsSnapshot`] of the server's
+//! telemetry registry.)
 //!
 //! # Version negotiation (protocol v2)
 //!
@@ -173,12 +181,48 @@ pub struct JobSummary {
     /// Resynthesis calls that consulted the cache and fell back to
     /// fresh synthesis.
     pub cache_misses: u64,
+    /// Milliseconds the job waited in the admission queue before a
+    /// worker slot picked it up (the head-of-line-blocking signal).
+    /// Parses as 0 from pre-telemetry peers.
+    pub queue_ms: u64,
+    /// Milliseconds the job spent running on its worker slot.
+    pub run_ms: u64,
+    /// Milliseconds of `run_ms` attributed to fast rewrites (the
+    /// remainder of the run outside timed slow-resynthesis spans);
+    /// 0 when the server runs with telemetry disabled.
+    pub fast_ms: u64,
+    /// Milliseconds of `run_ms` spent inside slow numerical
+    /// resynthesis; 0 when telemetry is disabled.
+    pub slow_ms: u64,
     /// True when the job was cancelled (CANCEL frame, client
     /// disconnect, or timeout); the result is still the valid
     /// best-so-far.
     pub cancelled: bool,
     /// The best circuit, as single-line QASM.
     pub qasm: String,
+}
+
+/// A `STATSOK` frame: a point-in-time snapshot of the server's
+/// telemetry registry, answered out of band of any job (like
+/// [`Frame::Healthy`]). Cumulative since server start.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Jobs completed (including cancelled ones, which still produce a
+    /// terminal `DONE`).
+    pub jobs_done: u64,
+    /// Cumulative seconds of fast-rewrite search time across all jobs
+    /// (0.0 when the server runs with telemetry disabled).
+    pub fast_s: f64,
+    /// Cumulative seconds inside slow numerical resynthesis.
+    pub slow_s: f64,
+    /// Accepted moves per transformation family, in
+    /// [`qtrace::Family::ALL`] order (rule, fusion, commutation,
+    /// cleanup, resynth). Tallied even when span timing is disabled.
+    pub accepts: [u64; qtrace::FAMILY_COUNT],
+    /// Hits against the shared resynthesis memo cache.
+    pub cache_hits: u64,
+    /// Misses against the shared resynthesis memo cache.
+    pub cache_misses: u64,
 }
 
 /// One protocol frame (either direction).
@@ -219,6 +263,11 @@ pub enum Frame {
         /// Free worker slots.
         slots: u64,
     },
+    /// Telemetry probe (v2): ask the server for a
+    /// [`StatsSnapshot`]. Answered out of band of any job.
+    Stats,
+    /// Reply to [`Frame::Stats`].
+    StatsReply(StatsSnapshot),
     /// Server: job admitted to the queue.
     Accepted {
         /// Job id.
@@ -403,6 +452,20 @@ impl Frame {
             Frame::Shutdown => "SHUTDOWN\n".to_string(),
             Frame::Health => "HEALTH\n".to_string(),
             Frame::Healthy { live, slots } => format!("HEALTHY live={live} slots={slots}\n"),
+            Frame::Stats => "STATS\n".to_string(),
+            Frame::StatsReply(s) => format!(
+                "STATSOK jobs={} fast_s={} slow_s={} rule={} fusion={} commutation={} cleanup={} resynth={} cache_hits={} cache_misses={}\n",
+                s.jobs_done,
+                s.fast_s,
+                s.slow_s,
+                s.accepts[0],
+                s.accepts[1],
+                s.accepts[2],
+                s.accepts[3],
+                s.accepts[4],
+                s.cache_hits,
+                s.cache_misses,
+            ),
             Frame::Accepted { id, ref_id } => {
                 if *ref_id == 0 {
                     format!("ACCEPTED id={id}\n")
@@ -434,7 +497,7 @@ impl Frame {
                 sanitize(delta),
             ),
             Frame::Done(s) => format!(
-                "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cache_hits={} cache_misses={} cancelled={} qasm={}\n",
+                "DONE id={} cost={} eps={} iters={} accepted={} resynth={} cache_hits={} cache_misses={} queue_ms={} run_ms={} fast_ms={} slow_ms={} cancelled={} qasm={}\n",
                 s.id,
                 s.cost,
                 s.epsilon,
@@ -443,6 +506,10 @@ impl Frame {
                 s.resynth_hits,
                 s.cache_hits,
                 s.cache_misses,
+                s.queue_ms,
+                s.run_ms,
+                s.fast_ms,
+                s.slow_ms,
                 u8::from(s.cancelled),
                 sanitize(&s.qasm),
             ),
@@ -491,6 +558,21 @@ impl Frame {
                 live: kv.u64("live")?,
                 slots: kv.u64("slots")?,
             }),
+            "STATS" => Ok(Frame::Stats),
+            "STATSOK" => Ok(Frame::StatsReply(StatsSnapshot {
+                jobs_done: kv.u64("jobs")?,
+                fast_s: kv.f64_or("fast_s", 0.0)?,
+                slow_s: kv.f64_or("slow_s", 0.0)?,
+                accepts: [
+                    kv.u64_or("rule", 0)?,
+                    kv.u64_or("fusion", 0)?,
+                    kv.u64_or("commutation", 0)?,
+                    kv.u64_or("cleanup", 0)?,
+                    kv.u64_or("resynth", 0)?,
+                ],
+                cache_hits: kv.u64_or("cache_hits", 0)?,
+                cache_misses: kv.u64_or("cache_misses", 0)?,
+            })),
             "ACCEPTED" => Ok(Frame::Accepted {
                 id: kv.u64("id")?,
                 ref_id: kv.u64_or("ref", 0)?,
@@ -522,6 +604,11 @@ impl Frame {
                 // Optional for wire compatibility with pre-cache peers.
                 cache_hits: kv.u64_or("cache_hits", 0)?,
                 cache_misses: kv.u64_or("cache_misses", 0)?,
+                // Optional likewise for pre-telemetry peers.
+                queue_ms: kv.u64_or("queue_ms", 0)?,
+                run_ms: kv.u64_or("run_ms", 0)?,
+                fast_ms: kv.u64_or("fast_ms", 0)?,
+                slow_ms: kv.u64_or("slow_ms", 0)?,
                 cancelled: kv.u64("cancelled")? != 0,
                 qasm: kv.str("qasm")?.to_string(),
             })),
@@ -607,6 +694,16 @@ impl<'a> KvFields<'a> {
         self.str(key)?
             .parse()
             .map_err(|_| perr(format!("bad number in `{key}`")))
+    }
+
+    /// Like [`Self::f64`] but tolerating an absent key (same
+    /// forward-compatibility contract as [`Self::u64_or`]).
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, ProtocolError> {
+        if self.fields.iter().any(|(k, _)| *k == key) {
+            self.f64(key)
+        } else {
+            Ok(default)
+        }
     }
 }
 
@@ -714,6 +811,15 @@ mod tests {
             Frame::Shutdown,
             Frame::Health,
             Frame::Healthy { live: 3, slots: 1 },
+            Frame::Stats,
+            Frame::StatsReply(StatsSnapshot {
+                jobs_done: 4,
+                fast_s: 1.5,
+                slow_s: 0.25,
+                accepts: [10, 4, 3, 2, 1],
+                cache_hits: 6,
+                cache_misses: 2,
+            }),
             Frame::Accepted { id: 7, ref_id: 0 },
             Frame::Accepted { id: 7, ref_id: 41 },
             Frame::Snapshot {
@@ -733,6 +839,10 @@ mod tests {
                 resynth_hits: 2,
                 cache_hits: 1,
                 cache_misses: 1,
+                queue_ms: 12,
+                run_ms: 480,
+                fast_ms: 450,
+                slow_ms: 30,
                 cancelled: true,
                 qasm: "OPENQASM 2.0; qreg q[1]; x q[0];".into(),
             }),
@@ -803,7 +913,23 @@ mod tests {
         match f {
             Frame::Done(s) => {
                 assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+                assert_eq!((s.queue_ms, s.run_ms, s.fast_ms, s.slow_ms), (0, 0, 0, 0));
                 assert_eq!(s.resynth_hits, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn statsok_without_optional_fields_parses_with_zeroes() {
+        // A reply from a build with fewer registry series must stay
+        // readable: everything but `jobs=` defaults.
+        let f = Frame::parse("STATSOK jobs=3").unwrap();
+        match f {
+            Frame::StatsReply(s) => {
+                assert_eq!(s.jobs_done, 3);
+                assert_eq!(s.accepts, [0; 5]);
+                assert_eq!((s.fast_s, s.slow_s), (0.0, 0.0));
             }
             other => panic!("unexpected {other:?}"),
         }

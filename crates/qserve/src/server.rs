@@ -50,7 +50,7 @@
 
 use crate::journal::{self, JobJournal};
 use crate::protocol::{
-    codes, EngineSel, Frame, JobRequest, JobSummary, Objective, PROTOCOL_VERSION,
+    codes, EngineSel, Frame, JobRequest, JobSummary, Objective, StatsSnapshot, PROTOCOL_VERSION,
 };
 use crossbeam_channel::Sender;
 use guoq::cost::{CostFn, GateCount, TwoQubitCount};
@@ -124,6 +124,15 @@ pub struct ServeOpts {
     /// `0` flushes only at shutdown. Ignored without
     /// [`cache_snapshot`](Self::cache_snapshot).
     pub snapshot_flush_ms: u64,
+    /// TCP address of the Prometheus metrics endpoint
+    /// (`--metrics-addr`, e.g. `127.0.0.1:9184`). When set, the server
+    /// binds a minimal HTTP listener there and answers every request
+    /// with the process-wide telemetry registry in Prometheus text
+    /// exposition format ([`qtrace::render_prometheus`]). Port `0`
+    /// binds an ephemeral port — read it back with
+    /// [`Server::metrics_addr`]. `None` (the default) serves no
+    /// metrics endpoint.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -143,6 +152,7 @@ impl Default for ServeOpts {
             queue_wait_ms: 0,
             cache_snapshot: None,
             snapshot_flush_ms: 0,
+            metrics_addr: None,
         }
     }
 }
@@ -208,6 +218,13 @@ pub struct Server {
     /// Background cache-snapshot flusher (only with
     /// [`ServeOpts::cache_snapshot`] and a nonzero flush period).
     flusher: Option<JoinHandle<()>>,
+    /// Prometheus exposition listener (only with
+    /// [`ServeOpts::metrics_addr`]).
+    metrics: Option<JoinHandle<()>>,
+    /// Stop flag for the (nonblocking-accept) metrics listener.
+    metrics_stop: Arc<std::sync::atomic::AtomicBool>,
+    /// The metrics listener's bound address (resolves port `0`).
+    metrics_addr: Option<std::net::SocketAddr>,
 }
 
 /// A submission handle scoped to one connection: job ids are unique
@@ -278,11 +295,34 @@ impl Server {
         } else {
             None
         };
+        let metrics_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (metrics, metrics_addr) = match shared.opts.metrics_addr.as_deref() {
+            Some(addr) => match std::net::TcpListener::bind(addr) {
+                Ok(listener) => {
+                    let bound = listener.local_addr().ok();
+                    let stop = Arc::clone(&metrics_stop);
+                    (
+                        Some(std::thread::spawn(move || metrics_loop(listener, stop))),
+                        bound,
+                    )
+                }
+                Err(e) => {
+                    // Metrics are auxiliary: a bind failure degrades
+                    // observability, never job service.
+                    eprintln!("qserve: cannot bind metrics endpoint {addr}: {e}");
+                    (None, None)
+                }
+            },
+            None => (None, None),
+        };
         Server {
             shared,
             scheduler: Some(scheduler),
             watchdog: Some(watchdog),
             flusher,
+            metrics,
+            metrics_stop,
+            metrics_addr,
         }
     }
 
@@ -297,6 +337,14 @@ impl Server {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             version: Arc::new(AtomicU32::new(1)),
         }
+    }
+
+    /// The bound address of the Prometheus metrics listener — `None`
+    /// unless [`ServeOpts::metrics_addr`] was set and the bind
+    /// succeeded. Binding port `0` and reading the ephemeral port back
+    /// here is the race-free pattern for tests and colocated servers.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_addr
     }
 
     /// Counter snapshot of the process-wide resynthesis memo cache
@@ -356,6 +404,11 @@ impl Drop for Server {
         if let Some(h) = self.flusher.take() {
             let _ = h.join();
         }
+        self.metrics_stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.metrics.take() {
+            let _ = h.join();
+        }
         // Terminal snapshot flush, after every job thread has joined:
         // the file on disk reflects everything this process learned.
         if let (Some(cache), Some(path)) = (&self.shared.cache, &self.shared.opts.cache_snapshot) {
@@ -402,6 +455,12 @@ impl ServerHandle {
                 let slots = st.slots_free as u64;
                 drop(st);
                 let _ = reply.send(Frame::Healthy { live, slots });
+            }
+            Frame::Stats => {
+                // Telemetry probe: answered inline like HEALTH, out of
+                // band of any job and without the state lock (the
+                // registry is lock-free to read).
+                let _ = reply.send(Frame::StatsReply(registry_snapshot()));
             }
             Frame::Shutdown => {} // transport-level; handled by the caller
             other => {
@@ -905,6 +964,62 @@ fn flusher_loop(shared: Arc<Shared>) {
     }
 }
 
+/// Serves the telemetry registry over a minimal HTTP/1.0 responder:
+/// every request — whatever its path — gets one `200` whose body is
+/// the Prometheus text exposition, then the connection closes. The
+/// accept loop is nonblocking so the stop flag (raised by the server's
+/// `Drop`) is honored within one poll interval.
+fn metrics_loop(listener: std::net::TcpListener, stop: Arc<std::sync::atomic::AtomicBool>) {
+    use std::io::{Read as _, Write as _};
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                // Drain (some of) the request; the reply is the same
+                // for every path, so one read suffices and a slow
+                // writer cannot park the loop past the timeout.
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let body = qtrace::render_prometheus();
+                let _ = write!(
+                    conn,
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len(),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Point-in-time [`StatsSnapshot`] from the process-wide telemetry
+/// registry — the `STATS` verb's reply. Reads the same series the
+/// Prometheus endpoint renders, so the two views always agree.
+fn registry_snapshot() -> StatsSnapshot {
+    let read = |name: &str| qtrace::counter_value(name).unwrap_or(0.0);
+    let mut accepts = [0u64; qtrace::FAMILY_COUNT];
+    for fam in qtrace::Family::ALL {
+        let name = format!("guoq_accepts_total{{family=\"{}\"}}", fam.label());
+        accepts[fam.index()] = read(&name) as u64;
+    }
+    StatsSnapshot {
+        jobs_done: read("qserve_jobs_done_total") as u64,
+        fast_s: read("guoq_fast_seconds_total"),
+        slow_s: read("guoq_slow_seconds_total"),
+        accepts,
+        // Negative hits are hits (a cached don't-bother answer), the
+        // same accounting `GuoqResult::cache_hits` uses.
+        cache_hits: (read("qcache_hits_total") + read("qcache_negative_hits_total")) as u64,
+        cache_misses: read("qcache_misses_total") as u64,
+    }
+}
+
 fn cost_fn(objective: Objective) -> Box<dyn CostFn> {
     match objective {
         Objective::GateCount => Box::new(GateCount),
@@ -1094,8 +1209,11 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         proto,
         mut journal,
         eps_base,
-        enqueued_at: _,
+        enqueued_at,
     } = job;
+    // Queue wait ends when the scheduler hands the job to this thread
+    // — the DONE frame's head-of-line-blocking signal.
+    let queue_ms = enqueued_at.map_or(0, |t| t.elapsed().as_millis() as u64);
     let guard = SlotGuard {
         shared: Arc::clone(&shared),
         conn,
@@ -1182,6 +1300,7 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
     let snapshot_reply = reply.clone();
     let snapshot_cancel = cancel.clone();
     let mut journal_slot = journal;
+    let t_run = Instant::now();
     let result = guoq.optimize_events(&circuit, &*cost, &mut |ev, best| {
         if let OptEvent::Improved {
             delta,
@@ -1205,7 +1324,15 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
             );
         }
     });
+    let run_ms = t_run.elapsed().as_millis() as u64;
     let mut journal = journal_slot;
+
+    // Service-level series: queue wait is the head-of-line-blocking
+    // signal, run time the service-time distribution. Cold path —
+    // once per job.
+    qtrace::histogram("qserve_queue_wait_ms").record(queue_ms);
+    qtrace::histogram("qserve_run_ms").record(run_ms);
+    qtrace::counter("qserve_jobs_done_total").inc();
 
     let summary = JobSummary {
         id,
@@ -1218,6 +1345,13 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         resynth_hits: result.resynth_hits,
         cache_hits: result.cache_hits,
         cache_misses: result.cache_misses,
+        queue_ms,
+        run_ms,
+        // The engine-attributed split (sharded engines sum busy time
+        // across shards, so fast+slow can exceed run_ms there; serial
+        // engines sum to ≲ run_ms).
+        fast_ms: result.profile.fast_ms(),
+        slow_ms: result.profile.slow_ms(),
         cancelled: cancel.is_cancelled(), // read BEFORE the guard raises it
         qasm: qasm::to_qasm_line(&result.circuit),
     };

@@ -92,6 +92,10 @@ fn frame() -> impl Strategy<Value = Frame> {
                     // strategies above already nest three deep.
                     cache_hits: resynth_hits / 2,
                     cache_misses: resynth_hits - resynth_hits / 2,
+                    queue_ms: iterations / 3,
+                    run_ms: iterations / 2,
+                    fast_ms: accepted / 2,
+                    slow_ms: accepted / 3,
                     cancelled: cancelled != 0,
                     qasm,
                 })

@@ -2,8 +2,9 @@
 //! against the v2 server must receive a byte-identical frame stream to
 //! the pre-v2 releases. The golden transcript under
 //! `tests/fixtures/v1_session.transcript` pins the v1 wire format — a
-//! deterministic iteration-budgeted serial session, with the one
-//! nondeterministic field (`seconds=`, wall-clock) masked to `#`.
+//! deterministic iteration-budgeted serial session, with the
+//! nondeterministic wall-clock fields (`seconds=`, and the DONE
+//! timings `queue_ms=`/`run_ms=`/`fast_ms=`/`slow_ms=`) masked to `#`.
 //!
 //! Regenerate after an *intentional* v1 format change (which should
 //! never happen — that is the point of this test) with:
@@ -20,22 +21,21 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1_session.transcript")
 }
 
-/// Masks the wall-clock `seconds=` field of a transcript: every other
-/// byte of a deterministic session is reproducible.
-fn mask_seconds(transcript: &str) -> String {
+/// Masks the wall-clock-dependent fields of a transcript (`seconds=`
+/// and the DONE timing fields): every other byte of a deterministic
+/// session is reproducible.
+fn mask_timing(transcript: &str) -> String {
+    const MASKED: [&str; 5] = ["seconds", "queue_ms", "run_ms", "fast_ms", "slow_ms"];
     transcript
         .lines()
         .map(|line| {
-            let mut out = Vec::new();
-            for field in line.split(' ') {
-                if let Some(rest) = field.strip_prefix("seconds=") {
-                    let _ = rest;
-                    out.push("seconds=#".to_string());
-                } else {
-                    out.push(field.to_string());
-                }
-            }
-            out.join(" ")
+            line.split(' ')
+                .map(|field| match field.split_once('=') {
+                    Some((k, _)) if MASKED.contains(&k) => format!("{k}=#"),
+                    _ => field.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
         })
         .collect::<Vec<_>>()
         .join("\n")
@@ -60,7 +60,7 @@ fn run_v1_session() -> String {
 
 #[test]
 fn v1_transcript_matches_golden() {
-    let masked = mask_seconds(&run_v1_session());
+    let masked = mask_timing(&run_v1_session());
     let path = fixture_path();
     if std::env::var("GOLDEN_REGEN").is_ok() {
         std::fs::write(&path, &masked).expect("write golden transcript");

@@ -30,10 +30,22 @@ fn fleet_opts(tag: &str, workers: usize, jobs_per_worker: usize) -> FleetOpts {
             .as_nanos()
     ));
     let _ = std::fs::remove_dir_all(&dir);
+    // Flight recorder: CI points QFLEET_TRACE_DIR at an artifact
+    // directory (the chaos traces get uploaded); locally the trace
+    // lands inside the journal dir and is cleaned up with it.
+    let trace_out = match std::env::var_os("QFLEET_TRACE_DIR") {
+        Some(d) => {
+            let d = PathBuf::from(d);
+            let _ = std::fs::create_dir_all(&d);
+            Some(d.join(format!("qfleet-{tag}.jsonl")))
+        }
+        None => Some(dir.join("trace.jsonl")),
+    };
     FleetOpts {
         workers,
         jobs_per_worker,
         journal_dir: dir,
+        trace_out,
         worker_binary: Some(PathBuf::from(env!("CARGO_BIN_EXE_qserve"))),
         worker_args: vec!["--max-time-ms".into(), "600000".into()],
         heartbeat_ms: 200,
@@ -203,6 +215,16 @@ fn kill_minus_nine_mid_stream_loses_no_jobs() {
         std::thread::sleep(Duration::from_millis(50));
     }
     fleet.shutdown();
+    // The kill was a worker death, so the flight recorder must have
+    // dumped: the trace holds the event ring leading up to it.
+    if std::env::var_os("QFLEET_TRACE_DIR").is_none() {
+        let text = std::fs::read_to_string(journal_dir.join("trace.jsonl"))
+            .expect("flight-recorder trace written on worker death");
+        assert!(
+            text.lines().any(|l| l.contains("\"ev\":\"worker_dead\"")),
+            "trace lacks a worker_dead event:\n{text}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&journal_dir);
 }
 

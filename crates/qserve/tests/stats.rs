@@ -1,0 +1,109 @@
+//! Telemetry end-to-end: a served job's fast/slow time split must be
+//! visible — consistently — on all three surfaces: the `DONE` frame's
+//! timing fields, the `STATS` verb's registry snapshot, and the
+//! Prometheus exposition served at `--metrics-addr`.
+//!
+//! One test function on purpose: the qtrace registry is process-global
+//! and `cargo test` runs test functions concurrently, so a single
+//! function keeps the snapshot arithmetic race-free.
+
+mod util;
+
+use crossbeam_channel::bounded;
+use qserve::{EngineSel, Frame, ServeOpts, Server};
+use std::io::{Read, Write};
+use util::{request, wait_done, workload};
+
+#[test]
+fn stats_and_metrics_expose_the_fast_slow_split() {
+    qtrace::set_enabled(true);
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        cache_gates: 0,
+        max_time_ms: 600_000, // no spurious watchdog cancels on slow CI
+        // High enough that slow-path spans accumulate measurable time
+        // within the iteration budget.
+        resynth_probability: Some(0.05),
+        metrics_addr: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    });
+    let addr = server.metrics_addr().expect("metrics listener bound");
+
+    let input = workload(200);
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+    handle.handle_frame(
+        Frame::Submit(request(1, EngineSel::Serial, 6000, 7, &input)),
+        &tx,
+    );
+    let done = wait_done(&rx, 1);
+
+    // The DONE frame's split: slow time was really spent (resynthesis
+    // ran), and fast + slow ≈ run time. The driver's busy time starts
+    // a hair after run_ms's clock and each ms field truncates, so the
+    // sum is bounded above by run_ms (+1 for truncation) and below by
+    // a loose fraction that survives noisy CI hosts.
+    assert!(done.resynth_hits > 0, "workload produced no resynth moves");
+    assert!(done.slow_ms > 0, "no slow-path time recorded: {done:?}");
+    let split = done.fast_ms + done.slow_ms;
+    assert!(
+        split <= done.run_ms + 2,
+        "split {split} ms exceeds run time {} ms",
+        done.run_ms
+    );
+    assert!(
+        split + 2 >= done.run_ms / 2,
+        "split {split} ms implausibly small for run time {} ms",
+        done.run_ms
+    );
+
+    // The STATS verb agrees with the registry the job flushed into.
+    handle.handle_frame(Frame::Stats, &tx);
+    let stats = loop {
+        match rx.recv().expect("stats reply") {
+            Frame::StatsReply(s) => break s,
+            _ => continue,
+        }
+    };
+    assert!(stats.jobs_done >= 1);
+    assert!(stats.slow_s > 0.0, "registry slow seconds: {stats:?}");
+    assert!(stats.fast_s > 0.0, "registry fast seconds: {stats:?}");
+    let family_accepts: u64 = stats.accepts.iter().sum();
+    assert_eq!(
+        family_accepts, done.accepted,
+        "per-family accepts must sum to the job's accepted moves"
+    );
+
+    // The Prometheus scrape serves the same series.
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut page = String::new();
+    conn.read_to_string(&mut page).expect("read scrape");
+    assert!(page.starts_with("HTTP/1.0 200 OK"), "bad response: {page}");
+    let metric = |name: &str| -> f64 {
+        page.lines()
+            .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+            .unwrap_or_else(|| panic!("metric `{name}` missing from scrape:\n{page}"))
+    };
+    assert!(metric("guoq_slow_seconds_total ") > 0.0);
+    assert!(metric("guoq_fast_seconds_total ") > 0.0);
+    assert!(metric("qserve_jobs_done_total ") >= 1.0);
+    assert!(metric("qserve_run_ms_count ") >= 1.0);
+    assert!(metric("qserve_queue_wait_ms_count ") >= 1.0);
+    // The exposition and the STATS snapshot read the same slots. A
+    // family with zero accepts never registers its series, so absent
+    // lines read as 0 here.
+    let scraped: u64 = qtrace::Family::ALL
+        .iter()
+        .map(|f| {
+            let prefix = format!("guoq_accepts_total{{family=\"{}\"}} ", f.label());
+            page.lines()
+                .find_map(|l| l.strip_prefix(prefix.as_str())?.trim().parse::<f64>().ok())
+                .unwrap_or(0.0) as u64
+        })
+        .sum();
+    assert_eq!(scraped, family_accepts);
+
+    server.shutdown();
+}

@@ -1,0 +1,711 @@
+//! `qtrace` — a lock-free, allocation-frugal telemetry layer for the
+//! GUOQ serving path.
+//!
+//! The optimizer's inner loop runs ~800k iterations/sec, so the
+//! instrumentation contract is strict:
+//!
+//! * **No allocation, ever, on the record path.** Counters and
+//!   histograms are fixed arrays of atomics; the process-global
+//!   registry is a const-initialized static with fixed-capacity slots.
+//!   Recording into a registered metric is a relaxed `fetch_add` —
+//!   nothing the zero-allocation guard (`tests/alloc_guard.rs`) can
+//!   see.
+//! * **No locks on the record path.** The one spinlock guards
+//!   *registration* (cold: once per metric name per process).
+//! * **Cheap to turn off.** [`enabled`] is a relaxed atomic flag;
+//!   callers that pay for a clock read (span timers) consult it once
+//!   and skip the `Instant` entirely when telemetry is off — the
+//!   baseline row of the `guoq_iter` bench honesty check.
+//!
+//! Metrics are keyed by `&'static str` ids. A name may embed a
+//! Prometheus label set verbatim (`guoq_accepts_total{family="rule"}`);
+//! [`render_prometheus`] emits the text exposition format from whatever
+//! is registered.
+//!
+//! The crate also owns the [`Profile`] summary type — the fast/slow
+//! time split and per-rule-family tallies a `ShardDriver` accumulates
+//! locally (plain fields, no atomics on the hot path) and flushes here
+//! once per run — so every crate in the serving path shares one
+//! vocabulary without depending on `guoq`.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global enable flag
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether telemetry is on (default: yes). Record paths that would pay
+/// for a clock read check this once; pure counter bumps are cheap
+/// enough to run unconditionally.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry on or off process-wide. Off suppresses span clock
+/// reads and registry flushes; already-registered values stay readable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotone atomic counter. Const-constructible, so it can live in
+/// statics, registry slots, or per-instance structs (the same type
+/// backs `QCache`'s per-table counters and the global registry).
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A new zeroed counter.
+    pub const fn new() -> Counter {
+        Counter {
+            v: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Adds a float increment to a counter whose unit is
+    /// [`Unit::Float`] (the value is stored as `f64` bits; CAS loop —
+    /// cold paths only).
+    pub fn add_f64(&self, x: f64) {
+        let mut cur = self.v.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self
+                .v
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value of a [`Unit::Float`] counter.
+    pub fn get_f64(&self) -> f64 {
+        f64::from_bits(self.v.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Bucket count of every [`Histogram`]: log₂ buckets, bucket `i`
+/// covering `[2^(i-1), 2^i)` (bucket 0 holds exact zeros; the last
+/// bucket absorbs everything larger).
+pub const HIST_BUCKETS: usize = 32;
+
+/// A log₂-bucketed histogram of `u64` samples (latency in ms, sizes,
+/// …). Recording is three relaxed `fetch_add`s — lock-free and
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; the last bucket is
+/// unbounded and renders as `+Inf`).
+fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A new empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// An upper bound on the `q`-quantile (the inclusive bound of the
+    /// first bucket at which the cumulative count reaches `q·count`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return bucket_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span timer
+// ---------------------------------------------------------------------------
+
+/// A cheap span timer: holds a start `Instant` only when telemetry was
+/// enabled at construction, so a disabled process never pays for the
+/// clock read.
+#[derive(Debug, Clone, Copy)]
+pub struct Span(Option<Instant>);
+
+/// Starts a span (a no-op observer when telemetry is off).
+#[inline]
+pub fn span() -> Span {
+    Span(if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    })
+}
+
+impl Span {
+    /// Nanoseconds since the span started (0 when telemetry was off).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        match self.0 {
+            Some(t) => t.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Ends the span, adding its duration to `into` (registered with
+    /// [`counter_ns`]). Returns the elapsed nanoseconds.
+    #[inline]
+    pub fn finish(self, into: &Counter) -> u64 {
+        let ns = self.elapsed_ns();
+        if ns > 0 {
+            into.add(ns);
+        }
+        ns
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// How a registered counter's raw `u64` renders in the exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// A plain event count.
+    Count,
+    /// Nanoseconds, rendered as seconds (`v / 1e9`).
+    Nanos,
+    /// `f64` bits (use [`Counter::add_f64`]), rendered as the float.
+    Float,
+}
+
+const MAX_COUNTERS: usize = 128;
+const MAX_HISTOGRAMS: usize = 32;
+
+struct CounterSlot {
+    name_ptr: AtomicPtr<u8>,
+    name_len: AtomicUsize,
+    unit: AtomicUsize,
+    value: Counter,
+}
+
+struct HistogramSlot {
+    name_ptr: AtomicPtr<u8>,
+    name_len: AtomicUsize,
+    value: Histogram,
+}
+
+static COUNTER_SLOTS: [CounterSlot; MAX_COUNTERS] = [const {
+    CounterSlot {
+        name_ptr: AtomicPtr::new(std::ptr::null_mut()),
+        name_len: AtomicUsize::new(0),
+        unit: AtomicUsize::new(0),
+        value: Counter::new(),
+    }
+}; MAX_COUNTERS];
+static HISTOGRAM_SLOTS: [HistogramSlot; MAX_HISTOGRAMS] = [const {
+    HistogramSlot {
+        name_ptr: AtomicPtr::new(std::ptr::null_mut()),
+        name_len: AtomicUsize::new(0),
+        value: Histogram::new(),
+    }
+}; MAX_HISTOGRAMS];
+static N_COUNTERS: AtomicUsize = AtomicUsize::new(0);
+static N_HISTOGRAMS: AtomicUsize = AtomicUsize::new(0);
+static REG_LOCK: AtomicBool = AtomicBool::new(false);
+
+fn slot_name(ptr: &AtomicPtr<u8>, len: &AtomicUsize) -> &'static str {
+    let p = ptr.load(Ordering::Acquire);
+    let n = len.load(Ordering::Acquire);
+    if p.is_null() {
+        return "";
+    }
+    // Safety: only ever stored from a `&'static str`, published with
+    // Release after both fields are written (under the registry lock).
+    unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(p, n)) }
+}
+
+struct RegGuard;
+impl RegGuard {
+    fn lock() -> RegGuard {
+        while REG_LOCK
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            std::hint::spin_loop();
+        }
+        RegGuard
+    }
+}
+impl Drop for RegGuard {
+    fn drop(&mut self) {
+        REG_LOCK.store(false, Ordering::Release);
+    }
+}
+
+fn register_counter(name: &'static str, unit: Unit) -> &'static Counter {
+    let find = |n: usize| {
+        COUNTER_SLOTS[..n]
+            .iter()
+            .find(|s| slot_name(&s.name_ptr, &s.name_len) == name)
+            .map(|s| &s.value)
+    };
+    if let Some(c) = find(N_COUNTERS.load(Ordering::Acquire)) {
+        return c;
+    }
+    let _g = RegGuard::lock();
+    let n = N_COUNTERS.load(Ordering::Acquire);
+    if let Some(c) = find(n) {
+        return c;
+    }
+    assert!(n < MAX_COUNTERS, "qtrace counter registry full");
+    let slot = &COUNTER_SLOTS[n];
+    slot.name_len.store(name.len(), Ordering::Release);
+    slot.unit.store(unit as usize, Ordering::Release);
+    slot.name_ptr
+        .store(name.as_ptr() as *mut u8, Ordering::Release);
+    N_COUNTERS.store(n + 1, Ordering::Release);
+    &slot.value
+}
+
+/// Registers (or finds) a global event counter. Cold path; the
+/// returned reference is hot-path safe to bump forever after.
+pub fn counter(name: &'static str) -> &'static Counter {
+    register_counter(name, Unit::Count)
+}
+
+/// Registers (or finds) a global counter holding nanoseconds, rendered
+/// as seconds in the exposition.
+pub fn counter_ns(name: &'static str) -> &'static Counter {
+    register_counter(name, Unit::Nanos)
+}
+
+/// Registers (or finds) a global float counter (stored as `f64` bits;
+/// add with [`Counter::add_f64`]).
+pub fn counter_f64(name: &'static str) -> &'static Counter {
+    register_counter(name, Unit::Float)
+}
+
+/// Registers (or finds) a global histogram.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let find = |n: usize| {
+        HISTOGRAM_SLOTS[..n]
+            .iter()
+            .find(|s| slot_name(&s.name_ptr, &s.name_len) == name)
+            .map(|s| &s.value)
+    };
+    if let Some(h) = find(N_HISTOGRAMS.load(Ordering::Acquire)) {
+        return h;
+    }
+    let _g = RegGuard::lock();
+    let n = N_HISTOGRAMS.load(Ordering::Acquire);
+    if let Some(h) = find(n) {
+        return h;
+    }
+    assert!(n < MAX_HISTOGRAMS, "qtrace histogram registry full");
+    let slot = &HISTOGRAM_SLOTS[n];
+    slot.name_len.store(name.len(), Ordering::Release);
+    slot.name_ptr
+        .store(name.as_ptr() as *mut u8, Ordering::Release);
+    N_HISTOGRAMS.store(n + 1, Ordering::Release);
+    &slot.value
+}
+
+/// Reads a registered counter's rendered value by name (`None` if the
+/// name was never registered). Counts render as the integer value,
+/// nanosecond counters as seconds, float counters as the float.
+pub fn counter_value(name: &str) -> Option<f64> {
+    let n = N_COUNTERS.load(Ordering::Acquire);
+    COUNTER_SLOTS[..n]
+        .iter()
+        .find(|s| slot_name(&s.name_ptr, &s.name_len) == name)
+        .map(|s| match s.unit.load(Ordering::Acquire) {
+            u if u == Unit::Nanos as usize => s.value.get() as f64 / 1e9,
+            u if u == Unit::Float as usize => s.value.get_f64(),
+            _ => s.value.get() as f64,
+        })
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (version 0.0.4). Counter names may embed label sets;
+/// histograms expand to `_bucket{le=…}`/`_sum`/`_count` series.
+pub fn render_prometheus() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let nc = N_COUNTERS.load(Ordering::Acquire);
+    for s in &COUNTER_SLOTS[..nc] {
+        let name = slot_name(&s.name_ptr, &s.name_len);
+        match s.unit.load(Ordering::Acquire) {
+            u if u == Unit::Nanos as usize => {
+                let _ = writeln!(out, "{name} {}", s.value.get() as f64 / 1e9);
+            }
+            u if u == Unit::Float as usize => {
+                let _ = writeln!(out, "{name} {}", s.value.get_f64());
+            }
+            _ => {
+                let _ = writeln!(out, "{name} {}", s.value.get());
+            }
+        }
+    }
+    let nh = N_HISTOGRAMS.load(Ordering::Acquire);
+    for s in &HISTOGRAM_SLOTS[..nh] {
+        let name = slot_name(&s.name_ptr, &s.name_len);
+        let mut cumulative = 0u64;
+        for (i, b) in s.value.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            // Only emit the populated prefix plus the final +Inf: 32
+            // buckets per histogram would dominate the page.
+            if cumulative > 0 && i < HIST_BUCKETS - 1 && bucket_bound(i) != u64::MAX {
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_bound(i)
+                );
+            }
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", s.value.count());
+        let _ = writeln!(out, "{name}_sum {}", s.value.sum());
+        let _ = writeln!(out, "{name}_count {}", s.value.count());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The fast/slow profile vocabulary
+// ---------------------------------------------------------------------------
+
+/// Number of transformation families ([`Family::ALL`]).
+pub const FAMILY_COUNT: usize = 5;
+
+/// The rule-family taxonomy of GUOQ transformations: four fast-path
+/// families and the slow resynthesis path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Circuit-rewrite rules from the rule corpus.
+    Rule,
+    /// Single-qubit run fusion.
+    Fusion,
+    /// Commutative cancellation.
+    Commutation,
+    /// Dead-gate cleanup.
+    Cleanup,
+    /// Numerical resynthesis (the slow path).
+    Resynth,
+}
+
+impl Family {
+    /// Every family, in index order.
+    pub const ALL: [Family; FAMILY_COUNT] = [
+        Family::Rule,
+        Family::Fusion,
+        Family::Commutation,
+        Family::Cleanup,
+        Family::Resynth,
+    ];
+
+    /// Dense index into per-family arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The family's label value in metric names and `STATS` fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Rule => "rule",
+            Family::Fusion => "fusion",
+            Family::Commutation => "commutation",
+            Family::Cleanup => "cleanup",
+            Family::Resynth => "resynth",
+        }
+    }
+}
+
+/// Per-family accept/reject tallies. Accumulated as plain fields on
+/// the search driver (no atomics per iteration) and flushed to the
+/// registry once per run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FamilyStats {
+    /// Proposals from this family the Metropolis rule accepted.
+    pub accepts: u64,
+    /// Proposals considered and rejected.
+    pub rejects: u64,
+    /// Summed cost improvement of the accepted proposals (positive =
+    /// cost went down; uphill accepts subtract).
+    pub accepted_cost_delta: f64,
+}
+
+/// A run's time-split and per-family profile: where the seconds went,
+/// fast rewrites vs slow resynthesis. Attached to `GuoqResult`,
+/// carried by `OptEvent::Stats`, summed across shard workers.
+///
+/// Only slow-path spans are clock-timed (they are rare and expensive);
+/// `fast_ns` is derived as the driver's busy time minus its slow time,
+/// so the split always sums to the driver's wall time — per-iteration
+/// fast-path work is never burdened with a clock read.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Profile {
+    /// Nanoseconds in the fast path (match + rewrite apply + accept
+    /// bookkeeping): busy time minus slow time.
+    pub fast_ns: u64,
+    /// Nanoseconds in slow resynthesis calls (including their
+    /// verification).
+    pub slow_ns: u64,
+    /// Total driver busy nanoseconds (`fast_ns + slow_ns`).
+    pub total_ns: u64,
+    /// Per-family accept/reject tallies, indexed by [`Family::index`].
+    pub families: [FamilyStats; FAMILY_COUNT],
+}
+
+impl Profile {
+    /// Folds another profile in (summing times and tallies) — how the
+    /// sharded coordinator aggregates per-shard profiles. Parallel
+    /// shards sum busy time, which may exceed wall clock.
+    pub fn merge(&mut self, other: &Profile) {
+        self.fast_ns += other.fast_ns;
+        self.slow_ns += other.slow_ns;
+        self.total_ns += other.total_ns;
+        for (a, b) in self.families.iter_mut().zip(other.families.iter()) {
+            a.accepts += b.accepts;
+            a.rejects += b.rejects;
+            a.accepted_cost_delta += b.accepted_cost_delta;
+        }
+    }
+
+    /// Fast-path time in seconds.
+    pub fn fast_seconds(&self) -> f64 {
+        self.fast_ns as f64 / 1e9
+    }
+
+    /// Slow-path time in seconds.
+    pub fn slow_seconds(&self) -> f64 {
+        self.slow_ns as f64 / 1e9
+    }
+
+    /// Fast-path time in whole milliseconds.
+    pub fn fast_ms(&self) -> u64 {
+        self.fast_ns / 1_000_000
+    }
+
+    /// Slow-path time in whole milliseconds.
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ns / 1_000_000
+    }
+
+    /// Total accepts across families.
+    pub fn accepts(&self) -> u64 {
+        self.families.iter().map(|f| f.accepts).sum()
+    }
+
+    /// Adds this profile into the global registry (the
+    /// `guoq_fast_seconds_total` / `guoq_slow_seconds_total` /
+    /// per-family `guoq_accepts_total{family=…}` series). No-op when
+    /// telemetry is disabled. Cold path: once per finished driver.
+    pub fn flush_to_registry(&self) {
+        if !enabled() {
+            return;
+        }
+        counter_ns("guoq_fast_seconds_total").add(self.fast_ns);
+        counter_ns("guoq_slow_seconds_total").add(self.slow_ns);
+        const ACCEPTS: [&str; FAMILY_COUNT] = [
+            "guoq_accepts_total{family=\"rule\"}",
+            "guoq_accepts_total{family=\"fusion\"}",
+            "guoq_accepts_total{family=\"commutation\"}",
+            "guoq_accepts_total{family=\"cleanup\"}",
+            "guoq_accepts_total{family=\"resynth\"}",
+        ];
+        const REJECTS: [&str; FAMILY_COUNT] = [
+            "guoq_rejects_total{family=\"rule\"}",
+            "guoq_rejects_total{family=\"fusion\"}",
+            "guoq_rejects_total{family=\"commutation\"}",
+            "guoq_rejects_total{family=\"cleanup\"}",
+            "guoq_rejects_total{family=\"resynth\"}",
+        ];
+        const COST_DELTA: [&str; FAMILY_COUNT] = [
+            "guoq_accepted_cost_delta_total{family=\"rule\"}",
+            "guoq_accepted_cost_delta_total{family=\"fusion\"}",
+            "guoq_accepted_cost_delta_total{family=\"commutation\"}",
+            "guoq_accepted_cost_delta_total{family=\"cleanup\"}",
+            "guoq_accepted_cost_delta_total{family=\"resynth\"}",
+        ];
+        for fam in Family::ALL {
+            let s = &self.families[fam.index()];
+            if s.accepts > 0 {
+                counter(ACCEPTS[fam.index()]).add(s.accepts);
+            }
+            if s.rejects > 0 {
+                counter(REJECTS[fam.index()]).add(s.rejects);
+            }
+            if s.accepted_cost_delta != 0.0 {
+                counter_f64(COST_DELTA[fam.index()]).add_f64(s.accepted_cost_delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let a = counter("qtrace_test_counter_total");
+        let b = counter("qtrace_test_counter_total");
+        assert!(std::ptr::eq(a, b));
+        let before = a.get();
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), before + 4);
+        assert!(counter_value("qtrace_test_counter_total").unwrap() >= 4.0);
+        assert!(counter_value("qtrace_never_registered").is_none());
+    }
+
+    #[test]
+    fn float_counters_accumulate_floats() {
+        let c = counter_f64("qtrace_test_float_total");
+        c.add_f64(1.5);
+        c.add_f64(2.25);
+        assert!((c.get_f64() - 3.75).abs() < 1e-12 || c.get_f64() > 3.75);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for v in [0u64, 1, 5, 5, 5, 900] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 916);
+        // Median falls in the [4,8) bucket: bound 7.
+        assert_eq!(h.quantile(0.5), 7);
+        assert!(h.quantile(1.0) >= 900);
+    }
+
+    #[test]
+    fn profile_merges_and_flushes() {
+        let mut a = Profile {
+            slow_ns: 2_000_000,
+            total_ns: 10_000_000,
+            fast_ns: 8_000_000,
+            ..Default::default()
+        };
+        a.families[Family::Rule.index()].accepts = 3;
+        a.families[Family::Rule.index()].accepted_cost_delta = 4.0;
+        let mut b = Profile {
+            slow_ns: 1_000_000,
+            total_ns: 1_000_000,
+            ..Default::default()
+        };
+        b.families[Family::Resynth.index()].rejects = 2;
+        a.merge(&b);
+        assert_eq!(a.slow_ns, 3_000_000);
+        assert_eq!(a.families[Family::Resynth.index()].rejects, 2);
+        assert_eq!(a.accepts(), 3);
+        // Flag toggling and the flush share one test so parallel test
+        // threads never race on the process-global enable bit.
+        set_enabled(false);
+        let s = span();
+        assert_eq!(s.elapsed_ns(), 0);
+        set_enabled(true);
+        let s = span();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(s.elapsed_ns() > 0);
+        let before = counter_value("guoq_slow_seconds_total").unwrap_or(0.0);
+        a.flush_to_registry();
+        let after = counter_value("guoq_slow_seconds_total").unwrap();
+        assert!(after >= before + 0.0029);
+    }
+
+    #[test]
+    fn render_emits_registered_series() {
+        counter("qtrace_render_probe_total").add(7);
+        histogram("qtrace_render_probe_ms").record(5);
+        let page = render_prometheus();
+        assert!(page.contains("qtrace_render_probe_total"));
+        assert!(page.contains("qtrace_render_probe_ms_bucket{le=\"+Inf\"}"));
+        assert!(page.contains("qtrace_render_probe_ms_count"));
+    }
+}

@@ -21,6 +21,15 @@
 //! identity, and commutation finds no inverse/mergeable pair. The test
 //! asserts `accepted == 0` so a corpus change that starts matching the
 //! ladder fails loudly rather than silently weakening the guard.
+//!
+//! The guard runs with `qtrace` instrumentation **enabled** (pinned
+//! explicitly, in case the default ever changes): the telemetry layer
+//! promises the hot path stays allocation-free — per-family tallies are
+//! plain field adds, slow spans read a monotonic clock into a local,
+//! and the one registry flush happens at `finish`, outside the
+//! iteration loop. Each run asserts the profile actually measured time
+//! so a regression that silently disables instrumentation cannot turn
+//! the guard into a no-op.
 
 use guoq::cost::GateCount;
 use guoq::{Budget, Engine, Guoq, GuoqOpts};
@@ -81,12 +90,20 @@ fn counted_run(circuit: &Circuit, iterations: u64) -> (u64, u64) {
     let r = g.optimize(circuit, &GateCount);
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(r.iterations, iterations, "budget not honoured");
+    assert!(
+        r.profile.total_ns > 0,
+        "instrumentation was not live during the counted run"
+    );
     (after - before, r.accepted)
 }
 
 #[test]
 fn rejected_iterations_allocate_nothing() {
     const K: u64 = 4096;
+    // The zero-allocation guarantee must hold with telemetry ON: the
+    // counted runs below record tallies and flush a profile into the
+    // global registry, and still may not allocate per iteration.
+    qtrace::set_enabled(true);
     let circuit = cx_ladder(96);
 
     // Warm-up: builds the shared rule corpus and any other one-time
