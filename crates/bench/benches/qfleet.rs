@@ -100,6 +100,7 @@ fn run_batch(
                 eps: 1e-8,
                 objective: Objective::GateCount,
                 overwrite: false,
+                certify: false,
                 qasm: line.to_string(),
             })
         })

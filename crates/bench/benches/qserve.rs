@@ -66,6 +66,7 @@ fn run(workers: usize, mix: &'static str, jobs: usize, iters_per_job: u64) -> Ro
                 eps: 1e-8,
                 objective: Objective::GateCount,
                 overwrite: false,
+                certify: false,
                 qasm: line.clone(),
             }),
             &tx,
@@ -139,6 +140,7 @@ fn run_delta_row(gates: usize, iters: u64) -> DeltaRow {
             eps: 1e-8,
             objective: Objective::GateCount,
             overwrite: false,
+            certify: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
         &tx,

@@ -185,6 +185,28 @@ pub struct ShardDriver<'c> {
     /// (non-atomic) adds, tallied unconditionally — only clock reads
     /// are gated on `instrument`.
     fam: [FamilyStats; FAMILY_COUNT],
+    /// Certification armed ([`Self::with_certification`]): a
+    /// [`qcert::CertMap`] is installed on the context and the run loop
+    /// may sweep, stamp, and terminate early.
+    certifying: bool,
+    /// The sweep covered the circuit: [`Self::finish`] attaches the
+    /// certificate and [`Self::run`] has stopped.
+    certified: bool,
+    /// Gates per certification window ([`GuoqOpts::cert_window`]).
+    cert_window: usize,
+    /// Probe attempts per window ([`GuoqOpts::cert_probes`]).
+    cert_probes: u64,
+    /// Iterations without a strict best-cost improvement before a
+    /// sweep starts ([`GuoqOpts::cert_plateau`]).
+    cert_plateau: u64,
+    /// Stamp coverage fraction that ends the run early
+    /// ([`GuoqOpts::cert_coverage`]).
+    cert_coverage: f64,
+    /// Iteration index of the last strict best-cost improvement — the
+    /// plateau clock. Equal-cost Metropolis accepts are the common case
+    /// on a plateau, so the clock keys on strict improvements, never on
+    /// accepts.
+    last_improve_iter: u64,
 }
 
 impl<'c> ShardDriver<'c> {
@@ -247,6 +269,13 @@ impl<'c> ShardDriver<'c> {
             t_init: Instant::now(),
             slow_ns: 0,
             fam: [FamilyStats::default(); FAMILY_COUNT],
+            certifying: false,
+            certified: false,
+            cert_window: opts.cert_window.max(1),
+            cert_probes: opts.cert_probes.max(1),
+            cert_plateau: opts.cert_plateau.max(1),
+            cert_coverage: opts.cert_coverage,
+            last_improve_iter: 0,
         }
     }
 
@@ -262,6 +291,28 @@ impl<'c> ShardDriver<'c> {
     /// clone–rebuild baseline.
     pub fn with_use_patches(mut self, use_patches: bool) -> Self {
         self.use_patches = use_patches;
+        self
+    }
+
+    /// Arms certification ([`GuoqOpts::certify`]): installs the window
+    /// certificate map — seeded from [`GuoqOpts::cert_prior`] when one
+    /// is present — so the anchor sampler redraws away from certified
+    /// spans and the run loop can sweep and stamp once the search
+    /// plateaus. Requires the incremental patch path (certificates are
+    /// invalidated per accepted patch); a no-op when `opts.certify` is
+    /// unset or the driver materializes candidates. Call after
+    /// [`Self::with_use_patches`].
+    pub fn with_certification(mut self, opts: &GuoqOpts) -> Self {
+        if !(opts.certify && self.use_patches) {
+            return self;
+        }
+        let len = self.ctx.circuit().len();
+        let map = match &opts.cert_prior {
+            Some(prior) => qcert::CertMap::seed(len, prior),
+            None => qcert::CertMap::new(),
+        };
+        self.ctx.set_cert_map(map);
+        self.certifying = true;
         self
     }
 
@@ -431,6 +482,11 @@ impl<'c> ShardDriver<'c> {
     /// exhausted (against the driver's start instant), the optional
     /// wall-clock `deadline` passes (shard workers stop mid-slice when
     /// the global time budget runs out), or no transformation exists.
+    ///
+    /// A certification-armed driver ([`Self::with_certification`]) adds
+    /// a fourth exit: once the best cost plateaus, the loop sweeps the
+    /// circuit window by window and stops early — with a certificate —
+    /// when stamped coverage reaches the target.
     pub fn run(
         &mut self,
         fast: &[Box<dyn Transformation>],
@@ -449,6 +505,182 @@ impl<'c> ShardDriver<'c> {
             if self.iterations & (STATS_EVERY_ITERS - 1) == 0 && self.on_event.is_some() {
                 self.emit_stats();
             }
+            // Certification trigger: a long strict-improvement drought
+            // while the working circuit sits at the best cost (an
+            // equal-cost excursion above it would certify the wrong
+            // circuit — wait for the walk to come back down).
+            if self.certifying
+                && self.iterations - self.last_improve_iter >= self.cert_plateau
+                && self.cost_curr <= self.cost_best
+                && self.certification_sweep(fast, slow, rng, budget, deadline)
+            {
+                break;
+            }
+        }
+    }
+
+    /// One certification sweep: walk the uncertified spans window by
+    /// window, probing each under a focused anchor sampler with fast
+    /// rewrites plus (ε budget permitting) one resynthesis attempt. A
+    /// window with no strictly-improving probe earns its stamp; a
+    /// strict improvement is committed through the normal accept path
+    /// and aborts the sweep — the plateau is over. Returns `true` when
+    /// the whole circuit was swept and stamped coverage reached the
+    /// target, with [`OptEvent::Certified`] emitted: the caller stops
+    /// early.
+    fn certification_sweep(
+        &mut self,
+        fast: &[Box<dyn Transformation>],
+        slow: &[ResynthPass],
+        rng: &mut SmallRng,
+        budget: Budget,
+        deadline: Option<Instant>,
+    ) -> bool {
+        loop {
+            let len = self.ctx.circuit().len();
+            // The probe window is clamped to the uncertified *span*,
+            // not just the circuit: overrunning into a seeded stamp
+            // would double-certify its gates.
+            let Some((lo, span_hi)) = self.ctx.cert_map().and_then(|m| m.uncertified_span(0, len))
+            else {
+                break;
+            };
+            let hi = (lo + self.cert_window).min(span_hi);
+            self.ctx.set_focus(Some((lo, hi)));
+            for probe in 0..self.cert_probes {
+                if budget.exhausted(self.started, self.iterations)
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+                    || self.is_cancelled()
+                {
+                    self.ctx.set_focus(None);
+                    return false;
+                }
+                self.begin_iteration();
+                if self.cert_probe(fast, slow, probe + 1 == self.cert_probes, rng) {
+                    // Not locally optimal after all: the improvement is
+                    // committed and the plateau clock reset — back to
+                    // the ordinary search.
+                    self.ctx.set_focus(None);
+                    return false;
+                }
+            }
+            self.ctx.set_focus(None);
+            if let Some(m) = self.ctx.cert_map_mut() {
+                m.stamp(lo, hi, self.cert_probes);
+            }
+        }
+        let len = self.ctx.circuit().len();
+        let coverage = if len == 0 {
+            1.0
+        } else {
+            self.ctx
+                .cert_map()
+                .map_or(0.0, |m| m.certified_gates() as f64 / len as f64)
+        };
+        if coverage < self.cert_coverage {
+            return false;
+        }
+        // Equal-cost plateau accepts may have drifted the working
+        // circuit away from the recorded best. The certificate describes
+        // the working circuit, so pin it as the best — same cost — via
+        // the one equal-cost publication the stream contract allows.
+        if !self.best_is_current() {
+            self.publish_best();
+        }
+        self.certified = true;
+        if self.on_event.is_some() {
+            let event = OptEvent::Certified {
+                coverage,
+                windows: self.ctx.cert_map().map_or(0, |m| m.windows()),
+                budget: self.cert_probes,
+                iterations: self.iterations,
+                seconds: self.started.elapsed().as_secs_f64(),
+            };
+            let best = match &self.best {
+                BestRepr::Snapshot(c) => c,
+                BestRepr::Journal { .. } => {
+                    unreachable!("observer mode keeps the best materialized")
+                }
+            };
+            if let Some(obs) = self.on_event.as_mut() {
+                obs(&event, best);
+            }
+        }
+        true
+    }
+
+    /// One probe attempt against the focused window. Returns `true`
+    /// when a strictly-improving candidate was found and committed.
+    fn cert_probe(
+        &mut self,
+        fast: &[Box<dyn Transformation>],
+        slow: &[ResynthPass],
+        last: bool,
+        rng: &mut SmallRng,
+    ) -> bool {
+        // Spend the window's final probe on resynthesis when the ε
+        // budget still allows one — rewrites alone would stamp windows
+        // a cheap resynthesis could still shrink.
+        if last && !slow.is_empty() {
+            let t = &slow[rng.random_range(0..slow.len())];
+            if !self.can_afford(Transformation::epsilon(t)) {
+                return false;
+            }
+            let t0 = self.instrument.then(Instant::now);
+            let improved = match Transformation::apply_patch(t, &mut self.ctx, rng) {
+                Some(pa) => {
+                    self.resynth_hits += 1;
+                    self.commit_if_improving(pa, Family::Resynth)
+                }
+                None => false,
+            };
+            if let Some(t0) = t0 {
+                self.slow_ns += t0.elapsed().as_nanos() as u64;
+            }
+            return improved;
+        }
+        if fast.is_empty() {
+            return false;
+        }
+        let t = &fast[rng.random_range(0..fast.len())];
+        if !t.supports_patches() {
+            return false;
+        }
+        match t.apply_patch(&mut self.ctx, rng) {
+            Some(pa) => {
+                let fam = t.family();
+                self.commit_if_improving(pa, fam)
+            }
+            None => false,
+        }
+    }
+
+    /// The certification probe's acceptance rule: strict improvement
+    /// only. Metropolis equal-cost accepts would walk the circuit out
+    /// from under its fresh stamps without ending the plateau.
+    fn commit_if_improving(&mut self, pa: PatchApplied, fam: Family) -> bool {
+        let cost_new = self.cost_curr + self.cost.delta(self.ctx.circuit(), &pa.patch);
+        if cost_new >= self.cost_curr {
+            self.fam[fam.index()].rejects += 1;
+            return false;
+        }
+        let op = (self.on_event.is_some() || self.journal_live()).then(|| pa.patch.clone());
+        self.ctx.commit(&pa.patch);
+        self.record_accept(cost_new, pa.epsilon, fam, op);
+        true
+    }
+
+    /// True when the recorded best-so-far replays to the working
+    /// circuit (no accepts since the last publication).
+    fn best_is_current(&self) -> bool {
+        match &self.best {
+            BestRepr::Snapshot(_) => self.pending.is_empty() && !self.pending_overflow,
+            BestRepr::Journal {
+                ops,
+                ops_at_best,
+                live,
+                ..
+            } => *live && ops.len() == *ops_at_best,
         }
     }
 
@@ -563,73 +795,84 @@ impl<'c> ShardDriver<'c> {
             }
         }
         if self.cost_curr < self.cost_best {
-            self.cost_best = self.cost_curr;
-            self.err_best = self.err_curr;
-            if self.record_history {
-                // The working circuit and the best coincide at every
-                // strict improvement, so its cached counts serve.
-                self.history.push(HistoryPoint {
-                    seconds: self.started.elapsed().as_secs_f64(),
-                    iteration: self.iterations,
-                    best_cost: self.cost_best,
-                    best_two_qubit: self.ctx.circuit().two_qubit_count(),
-                });
-            }
-            if self.on_event.is_some() {
-                // The delta is built against the *previous* best —
-                // exactly the accepted ops since that improvement (the
-                // working circuit and the best coincide at every
-                // improvement, so the op chain replays previous best →
-                // new best).
-                let delta = if self.pending_overflow {
-                    self.pending_overflow = false;
-                    // Ops accepted after the overflow are inside the
-                    // diffed span; drop them with the rest.
-                    self.pending.clear();
-                    CircuitDelta::diff(self.best_snapshot(), self.ctx.circuit())
-                } else {
-                    CircuitDelta::from_ops(
-                        self.best_snapshot().len(),
-                        std::mem::take(&mut self.pending),
-                    )
-                };
-                // Observer mode pays the O(circuit) snapshot: the sink
-                // is handed the materialized best on every improvement.
-                self.best = BestRepr::Snapshot(self.ctx.circuit().clone());
-                let event = OptEvent::Improved {
-                    delta,
-                    cost: self.cost_best,
-                    epsilon: self.err_best,
-                    iterations: self.iterations,
-                    seconds: self.started.elapsed().as_secs_f64(),
-                };
-                let best = match &self.best {
-                    BestRepr::Snapshot(c) => c,
-                    BestRepr::Journal { .. } => unreachable!(),
-                };
-                if let Some(obs) = self.on_event.as_mut() {
-                    obs(&event, best);
-                }
+            self.last_improve_iter = self.iterations;
+            self.publish_best();
+        }
+    }
+
+    /// Re-anchors the best-so-far on the working circuit and publishes
+    /// it — the strict-improvement tail of [`Self::record_accept`],
+    /// also invoked by a completed certification sweep to pin the
+    /// certified working circuit as the result. Requires
+    /// `cost_curr <= cost_best`; the certification path is the one
+    /// caller where equality (an equal-cost `Improved` event) occurs.
+    fn publish_best(&mut self) {
+        self.cost_best = self.cost_curr;
+        self.err_best = self.err_curr;
+        if self.record_history {
+            // The working circuit and the best coincide at every
+            // strict improvement, so its cached counts serve.
+            self.history.push(HistoryPoint {
+                seconds: self.started.elapsed().as_secs_f64(),
+                iteration: self.iterations,
+                best_cost: self.cost_best,
+                best_two_qubit: self.ctx.circuit().two_qubit_count(),
+            });
+        }
+        if self.on_event.is_some() {
+            // The delta is built against the *previous* best —
+            // exactly the accepted ops since that improvement (the
+            // working circuit and the best coincide at every
+            // improvement, so the op chain replays previous best →
+            // new best).
+            let delta = if self.pending_overflow {
+                self.pending_overflow = false;
+                // Ops accepted after the overflow are inside the
+                // diffed span; drop them with the rest.
+                self.pending.clear();
+                CircuitDelta::diff(self.best_snapshot(), self.ctx.circuit())
             } else {
-                match &mut self.best {
-                    // The journal already replays to the working
-                    // circuit: recording the new best is one store.
-                    BestRepr::Journal {
-                        ops,
-                        ops_at_best,
+                CircuitDelta::from_ops(
+                    self.best_snapshot().len(),
+                    std::mem::take(&mut self.pending),
+                )
+            };
+            // Observer mode pays the O(circuit) snapshot: the sink
+            // is handed the materialized best on every improvement.
+            self.best = BestRepr::Snapshot(self.ctx.circuit().clone());
+            let event = OptEvent::Improved {
+                delta,
+                cost: self.cost_best,
+                epsilon: self.err_best,
+                iterations: self.iterations,
+                seconds: self.started.elapsed().as_secs_f64(),
+            };
+            let best = match &self.best {
+                BestRepr::Snapshot(c) => c,
+                BestRepr::Journal { .. } => unreachable!(),
+            };
+            if let Some(obs) = self.on_event.as_mut() {
+                obs(&event, best);
+            }
+        } else {
+            match &mut self.best {
+                // The journal already replays to the working
+                // circuit: recording the new best is one store.
+                BestRepr::Journal {
+                    ops,
+                    ops_at_best,
+                    live: true,
+                    ..
+                } => *ops_at_best = ops.len(),
+                // Dead journal (overflow or wholesale replacement):
+                // re-anchor on the improved circuit — the one
+                // O(circuit) snapshot those paths amortize.
+                _ => {
+                    self.best = BestRepr::Journal {
+                        base: self.ctx.circuit().clone(),
+                        ops: Vec::new(),
+                        ops_at_best: 0,
                         live: true,
-                        ..
-                    } => *ops_at_best = ops.len(),
-                    // Dead journal (overflow or wholesale replacement):
-                    // re-anchor on the improved circuit — the one
-                    // O(circuit) snapshot those paths amortize.
-                    _ => {
-                        self.best = BestRepr::Journal {
-                            base: self.ctx.circuit().clone(),
-                            ops: Vec::new(),
-                            ops_at_best: 0,
-                            live: true,
-                        }
                     }
                 }
             }
@@ -653,6 +896,17 @@ impl<'c> ShardDriver<'c> {
     /// caller can feed it to the next driver.
     pub fn finish_recycling(self) -> (GuoqResult, MatchScratch) {
         let profile = self.profile_snapshot();
+        // A completed sweep pinned best == working, so the stamps index
+        // the result circuit; an incomplete one describes whatever the
+        // working circuit drifted to, which is nothing to hand out.
+        let certificate = self
+            .certified
+            .then(|| {
+                self.ctx
+                    .cert_map()
+                    .map(|m| m.to_certificate(self.ctx.circuit().len(), self.cert_probes))
+            })
+            .flatten();
         // One registry flush per driver lifetime — the global
         // `guoq_*_total` series accumulate across jobs/shards while the
         // per-result `Profile` stays a per-run delta.
@@ -673,6 +927,7 @@ impl<'c> ShardDriver<'c> {
             history: self.history,
             worker_stats: Vec::new(),
             profile,
+            certificate,
         };
         (result, self.ctx.into_scratch())
     }

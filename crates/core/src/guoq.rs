@@ -186,6 +186,37 @@ pub struct GuoqOpts {
     /// bookkeeping; clamped to ≤ 0.9 so uniform exploration survives.
     /// Serial engines ignore it (they have no boundaries).
     pub boundary_bias: f64,
+    /// POPQC-style local-optimality certification (see [`qcert`]): once
+    /// the best cost plateaus for [`cert_plateau`](Self::cert_plateau)
+    /// iterations, the search sweeps the circuit window by window,
+    /// stamping each one that survives
+    /// [`cert_probes`](Self::cert_probes) probe attempts without a
+    /// strict improvement. Stamps are invalidated the moment an
+    /// accepted patch overlaps them, certified spans are skipped by the
+    /// anchor sampler, and when stamped coverage reaches
+    /// [`cert_coverage`](Self::cert_coverage) the run terminates early
+    /// — emitting [`OptEvent`]`::Certified` and attaching the full
+    /// [`qcert::Certificate`] to [`GuoqResult::certificate`]. Off by
+    /// default: certification changes the anchor-sampling trajectory,
+    /// so per-seed reproducibility against uncertified runs does not
+    /// hold. Honored by the serial [`Engine::Incremental`] path only;
+    /// the sharded, async, and clone–rebuild paths ignore it.
+    pub certify: bool,
+    /// Certification window length, in gates.
+    pub cert_window: usize,
+    /// Probe attempts a window must survive to earn its stamp.
+    pub cert_probes: u64,
+    /// Iterations without a strict best-cost improvement before a
+    /// certification sweep starts.
+    pub cert_plateau: u64,
+    /// Fraction of gates that must be covered by stamps for the run to
+    /// terminate early.
+    pub cert_coverage: f64,
+    /// Prior certificate to seed the sweep with. An EDIT
+    /// re-optimization rebases the finished job's certificate over the
+    /// client's delta and passes it here: still-valid windows start
+    /// certified, so the search concentrates on the dirtied spans.
+    pub cert_prior: Option<qcert::Certificate>,
 }
 
 impl Default for GuoqOpts {
@@ -206,6 +237,12 @@ impl Default for GuoqOpts {
             cancel: None,
             cache: None,
             boundary_bias: 0.0,
+            certify: false,
+            cert_window: 24,
+            cert_probes: 96,
+            cert_plateau: 2048,
+            cert_coverage: 0.9,
+            cert_prior: None,
         }
     }
 }
@@ -255,6 +292,12 @@ pub struct GuoqResult {
     /// Times are zero when [`qtrace::enabled`] was off at run start;
     /// the tallies always count.
     pub profile: qtrace::Profile,
+    /// The local-optimality certificate: the surviving window stamps of
+    /// a certification-enabled run ([`GuoqOpts::certify`]) that
+    /// completed its sweep and terminated early. `None` for ordinary
+    /// runs and for certify runs that exhausted their budget before
+    /// covering the circuit.
+    pub certificate: Option<qcert::Certificate>,
 }
 
 /// The GUOQ optimizer: an instantiation of the transformation framework
@@ -481,6 +524,7 @@ impl Guoq {
         let mut rng = SmallRng::seed_from_u64(self.opts.seed);
         let mut driver = ShardDriver::new(circuit.clone(), cost, &self.opts, Instant::now())
             .with_use_patches(use_patches)
+            .with_certification(&self.opts)
             .with_event_sink(obs);
         driver.run(&self.fast, &self.slow, &mut rng, self.opts.budget, None);
         driver.finish()
@@ -962,6 +1006,83 @@ mod tests {
         o.resynth_probability = 0.3;
         let r = Guoq::for_gate_set(GateSet::Nam, o).optimize(&c, &TwoQubitCount);
         assert_eq!((r.cache_hits, r.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn certification_terminates_plateaued_run_early() {
+        let c = redundant_circuit();
+        let mut o = opts(2_000_000);
+        o.certify = true;
+        o.cert_plateau = 500;
+        o.cert_probes = 32;
+        let mut events = Vec::new();
+        let r =
+            Guoq::rewrite_only(GateSet::Nam, o)
+                .optimize_events(&c, &GateCount, &mut |ev, _| events.push(ev.clone()));
+        assert!(
+            r.iterations < 2_000_000,
+            "a plateaued run must stop early, ran {}",
+            r.iterations
+        );
+        let cert = r.certificate.as_ref().expect("certificate attached");
+        assert_eq!(cert.total_gates, r.circuit.len());
+        assert!(cert.coverage() >= 0.9, "coverage {}", cert.coverage());
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, OptEvent::Certified { .. })),
+            "stream must carry the Certified event"
+        );
+        // Replay the deltas (costs non-increasing — the certification
+        // pin may repeat the best cost once): the final best must still
+        // reconstruct bit for bit.
+        let mut current = c.clone();
+        let mut last_cost = f64::INFINITY;
+        for ev in &events {
+            if let OptEvent::Improved { delta, cost, .. } = ev {
+                assert!(*cost <= last_cost, "cost rose in the stream");
+                last_cost = *cost;
+                delta.apply(&mut current).expect("delta applies");
+            }
+        }
+        assert_eq!(current, r.circuit);
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
+    }
+
+    #[test]
+    fn certification_without_observer_matches_and_certifies() {
+        let c = redundant_circuit();
+        let mut o = opts(2_000_000);
+        o.certify = true;
+        o.cert_plateau = 500;
+        o.cert_probes = 32;
+        let r = Guoq::rewrite_only(GateSet::Nam, o).optimize(&c, &GateCount);
+        assert!(r.iterations < 2_000_000);
+        let cert = r.certificate.expect("journal-mode runs certify too");
+        assert_eq!(cert.total_gates, r.circuit.len());
+        assert!(qsim::circuits_equivalent(&c, &r.circuit, 1e-6));
+    }
+
+    #[test]
+    fn certification_prior_seeds_are_honored() {
+        // A full-coverage prior over an already-optimal circuit lets the
+        // run certify at the first plateau check without re-probing.
+        let c = redundant_circuit();
+        let mut o = opts(2_000_000);
+        o.certify = true;
+        o.cert_plateau = 100;
+        let base = Guoq::rewrite_only(GateSet::Nam, o.clone()).optimize(&c, &GateCount);
+        let cert = base.certificate.clone().expect("base run certifies");
+        let mut o2 = o;
+        o2.cert_prior = Some(cert);
+        let again = Guoq::rewrite_only(GateSet::Nam, o2).optimize(&base.circuit, &GateCount);
+        assert!(again.certificate.is_some());
+        assert!(
+            again.iterations <= base.iterations,
+            "a seeded re-run must not probe more than the cold run ({} > {})",
+            again.iterations,
+            base.iterations
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub use fidelity::CalibrationModel;
 pub use guoq::{Budget, Engine, Guoq, GuoqOpts, GuoqResult, HistoryPoint};
 pub use observe::{BestSnapshot, CancelToken, OptEvent, OptRun};
 pub use qcache::{CacheStats, QCache, QCacheOpts};
+pub use qcert::{CertMap, Certificate, Stamp};
 pub use qpar::WorkerStats;
 pub use qtrace::{Family, FamilyStats, Profile};
 pub use transform::{Applied, PatchApplied, SearchCtx, Transformation};

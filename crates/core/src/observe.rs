@@ -18,6 +18,10 @@
 //! * [`OptEvent::Stats`] — periodic telemetry heartbeat with the run's
 //!   cumulative fast/slow [`qtrace::Profile`] (side-channel only —
 //!   replay consumers must skip it).
+//! * [`OptEvent::Certified`] — at most once, just before the stream
+//!   ends: a certification-enabled run reached its coverage target and
+//!   terminated early with a [`qcert::Certificate`] instead of burning
+//!   the rest of its budget (side-channel — no cost, skipped by replay).
 //! * [`OptEvent::Finished`] — once, with the complete [`GuoqResult`].
 //!
 //! Replaying the deltas of the `Improved` events onto the input circuit
@@ -47,7 +51,13 @@
 //!
 //! Strict improvements are bounded by the total cost descent — not the
 //! accept rate — so event traffic is small even for long runs, and the
-//! `Improved` cost sequence any sink sees is strictly decreasing.
+//! `Improved` cost sequence any sink sees is strictly decreasing — with
+//! one exception: a certification-enabled run that completes its sweep
+//! may emit a final *equal*-cost `Improved` pinning the certified
+//! working circuit as the best (equal-cost plateau accepts can drift
+//! the working circuit away from the recorded best; the certificate
+//! describes the former). Replay still reconstructs the final best
+//! exactly.
 
 use crate::guoq::GuoqResult;
 use crossbeam_channel::Receiver;
@@ -116,6 +126,24 @@ pub enum OptEvent {
         /// Cumulative [`qtrace::Profile`] since the run started.
         profile: qtrace::Profile,
     },
+    /// A certification-enabled run hit its coverage target: enough of
+    /// the circuit is stamped locally optimal that the search stops
+    /// early with a proof instead of spending the rest of its budget.
+    /// Fires at most once, right before [`OptEvent::Finished`]; the
+    /// full per-window certificate rides on
+    /// [`GuoqResult::certificate`].
+    Certified {
+        /// Fraction of gates covered by surviving stamps.
+        coverage: f64,
+        /// Number of surviving stamped windows.
+        windows: usize,
+        /// Probe attempts each window survived.
+        budget: u64,
+        /// Iterations performed when certification completed.
+        iterations: u64,
+        /// Seconds since the search started.
+        seconds: f64,
+    },
     /// The run ended; the final result in full.
     Finished(GuoqResult),
 }
@@ -128,7 +156,9 @@ impl OptEvent {
             | OptEvent::Improved { cost, .. }
             | OptEvent::EpochCommitted { cost, .. } => Some(*cost),
             OptEvent::Finished(r) => Some(r.cost),
-            OptEvent::CacheStats { .. } | OptEvent::Stats { .. } => None,
+            OptEvent::CacheStats { .. } | OptEvent::Stats { .. } | OptEvent::Certified { .. } => {
+                None
+            }
         }
     }
 }

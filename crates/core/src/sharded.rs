@@ -259,6 +259,9 @@ impl Guoq {
             worker_stats: outcome.worker_stats,
             // Busy time summed over all shard drivers (not wall time).
             profile: outcome.profile,
+            // Only the serial incremental path certifies (shard workers
+            // never arm certification on their drivers).
+            certificate: None,
         }
     }
 }

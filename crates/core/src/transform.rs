@@ -63,6 +63,13 @@ const DIRTY_PAD: usize = 2;
 /// no further opportunities.
 const MAX_ANCHOR_BIAS: f64 = 0.9;
 
+/// Redraws a uniform anchor landing in a certified window gets before
+/// the sampler gives up and keeps the certified draw. Bounded so a
+/// nearly-fully-certified circuit cannot stall an iteration in redraw
+/// loops; the certification sweep, not the sampler, is what retires the
+/// remaining budget on such circuits.
+const CERT_SKIP_TRIES: usize = 4;
+
 /// The mutable state the incremental engine carries across iterations:
 /// one working circuit plus the matcher scratch buffers. Wire adjacency
 /// comes straight from the circuit's arena links
@@ -93,6 +100,14 @@ pub struct SearchCtx {
     /// sampling time.
     pinned: Vec<(usize, usize)>,
     pinned_bias: f64,
+    /// Live local-optimality stamps (certification-enabled runs only).
+    /// [`Self::commit`] folds every accepted patch into the map so
+    /// stamps can never go stale; [`Self::sample_anchor`] redraws
+    /// uniform anchors that land in a certified window.
+    certs: Option<qcert::CertMap>,
+    /// When set, every anchor draw lands inside this window — the
+    /// certification sweep pins probes to the window under test.
+    focus: Option<(usize, usize)>,
 }
 
 impl SearchCtx {
@@ -121,7 +136,35 @@ impl SearchCtx {
             anchor_bias: anchor_bias.clamp(0.0, MAX_ANCHOR_BIAS),
             pinned: Vec::new(),
             pinned_bias: 0.0,
+            certs: None,
+            focus: None,
         }
+    }
+
+    /// Installs a certificate map: accepted patches invalidate
+    /// overlapping stamps on [`Self::commit`], and uniform anchor draws
+    /// skip certified windows. Installing a map changes the sampler's
+    /// RNG consumption, so certification-free runs (the default) keep
+    /// their exact trajectories.
+    pub fn set_cert_map(&mut self, certs: qcert::CertMap) {
+        self.certs = Some(certs);
+    }
+
+    /// The installed certificate map, if any.
+    pub fn cert_map(&self) -> Option<&qcert::CertMap> {
+        self.certs.as_ref()
+    }
+
+    /// Mutable access to the installed certificate map.
+    pub fn cert_map_mut(&mut self) -> Option<&mut qcert::CertMap> {
+        self.certs.as_mut()
+    }
+
+    /// Restricts every anchor draw to `window` (`None` restores normal
+    /// sampling). The certification sweep pins probes to the window
+    /// under test with this.
+    pub fn set_focus(&mut self, window: Option<(usize, usize)>) {
+        self.focus = window;
     }
 
     /// Pins a set of index windows that [`Self::sample_anchor`] probes
@@ -150,6 +193,11 @@ impl SearchCtx {
     pub fn sample_anchor(&self, rng: &mut SmallRng) -> usize {
         let n = self.circuit.len();
         assert!(n > 0, "cannot sample an anchor in an empty circuit");
+        if let Some((lo, hi)) = self.focus {
+            let lo = lo.min(n - 1);
+            let hi = hi.clamp(lo + 1, n);
+            return rng.random_range(lo..hi);
+        }
         if !self.pinned.is_empty()
             && self.pinned_bias > 0.0
             && rng.random::<f64>() < self.pinned_bias
@@ -168,7 +216,21 @@ impl SearchCtx {
             let hi = hi.clamp(lo + 1, n);
             return rng.random_range(lo..hi);
         }
-        rng.random_range(0..n)
+        let mut anchor = rng.random_range(0..n);
+        if let Some(certs) = self.certs.as_ref().filter(|c| !c.is_empty()) {
+            // Certified windows hold no improvement at the current
+            // budget — redraw rather than waste the probe (bounded, so
+            // saturated coverage degrades to uniform instead of
+            // spinning).
+            for _ in 0..CERT_SKIP_TRIES {
+                if !certs.contains(anchor) {
+                    break;
+                }
+                qcert::anchor_skips_counter().inc();
+                anchor = rng.random_range(0..n);
+            }
+        }
+        anchor
     }
 
     /// The recently-edited windows currently biasing anchor selection.
@@ -193,6 +255,11 @@ impl SearchCtx {
     pub fn commit(&mut self, patch: &Patch) {
         let (wlo, whi) = patch.window();
         let new_whi = (whi as isize + patch.len_delta()).max(wlo as isize) as usize;
+        if let Some(certs) = &mut self.certs {
+            // Every stamp overlapping the edit's padded window is now
+            // unproven — clear it before anything samples again.
+            certs.commit_patch(patch, qcert::CERT_PAD);
+        }
         self.circuit.apply_patch(patch);
         self.note_dirty(wlo, new_whi);
     }
@@ -205,6 +272,11 @@ impl SearchCtx {
         self.dirty.clear();
         // Pinned windows described the discarded circuit too.
         self.pinned.clear();
+        // No patch describes a wholesale replacement, so no stamp can
+        // be proven to survive it.
+        if let Some(certs) = &mut self.certs {
+            certs.clear();
+        }
     }
 
     fn note_dirty(&mut self, lo: usize, hi: usize) {

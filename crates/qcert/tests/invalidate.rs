@@ -1,0 +1,159 @@
+//! Invalidation soundness under random edit scripts.
+//!
+//! A reference model tracks each stamp by hand — dead once any applied
+//! patch's padded window overlaps it, shifted when an edit lands before
+//! it — and the live [`CertMap`] plus the serialized
+//! [`Certificate::rebase`] path must both agree with it exactly: every
+//! overlapped stamp cleared, every non-overlapping stamp surviving at
+//! its shifted position. The patches are also applied to a real circuit
+//! so the scripts are exactly what a search would commit.
+
+use proptest::prelude::*;
+use qcert::{CertMap, Certificate, Stamp, CERT_PAD};
+use qcir::edit::Patch;
+use qcir::{Circuit, Gate, Instruction};
+
+const BUDGET: u64 = 8;
+
+fn line(n: usize) -> Circuit {
+    let mut c = Circuit::new(4);
+    for i in 0..n {
+        c.push(Gate::X, &[(i % 4) as qcir::Qubit]);
+    }
+    c
+}
+
+/// Disjoint stamps of width `w` separated by gaps of `gap`.
+fn initial_stamps(n: usize, w: usize, gap: usize) -> Vec<Stamp> {
+    let mut stamps = Vec::new();
+    let mut lo = 0;
+    while lo + w <= n {
+        stamps.push(Stamp {
+            lo,
+            hi: lo + w,
+            budget: BUDGET,
+        });
+        lo += w + gap;
+    }
+    stamps
+}
+
+/// Materializes one scripted op against the current circuit length, or
+/// `None` when the circuit is too short for it.
+fn build_patch(kind: u8, frac: f64, len: usize) -> Option<Patch> {
+    let x = |q: qcir::Qubit| Instruction::new(Gate::X, &[q]);
+    match kind {
+        // Remove the gate at p.
+        0 => {
+            if len == 0 {
+                return None;
+            }
+            let p = ((frac * len as f64) as usize).min(len - 1);
+            Some(Patch::new(vec![p], Vec::new(), p))
+        }
+        // Insert one gate before p (p == len appends).
+        1 => {
+            let p = ((frac * (len + 1) as f64) as usize).min(len);
+            Some(Patch::new(Vec::new(), vec![x(1)], p))
+        }
+        // Replace the pair at p, p+1 with one gate.
+        _ => {
+            if len < 2 {
+                return None;
+            }
+            let p = ((frac * len as f64) as usize).min(len - 2);
+            Some(Patch::new(vec![p, p + 1], vec![x(2)], p))
+        }
+    }
+}
+
+/// The hand-rolled reference: `None` once invalidated.
+fn model_step(stamps: &mut [Option<Stamp>], patch: &Patch) {
+    let (wlo, whi) = patch.window();
+    let (plo, phi) = (wlo.saturating_sub(CERT_PAD), whi + CERT_PAD);
+    let shift = patch.len_delta();
+    for slot in stamps.iter_mut() {
+        let Some(s) = slot else { continue };
+        if s.lo < phi && plo < s.hi {
+            *slot = None;
+        } else if s.lo >= phi {
+            s.lo = (s.lo as isize + shift) as usize;
+            s.hi = (s.hi as isize + shift) as usize;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_edit_scripts_invalidate_exactly_the_overlapped_stamps(
+        n in 20..80usize,
+        w in 2..6usize,
+        gap in 1..4usize,
+        script in proptest::collection::vec((0..3u8, 0.0..1.0f64), 0..12),
+    ) {
+        let mut circuit = line(n);
+        let stamps = initial_stamps(n, w, gap);
+        let prior = Certificate {
+            budget: BUDGET,
+            total_gates: n,
+            stamps: stamps.clone(),
+        };
+        let mut map = CertMap::seed(circuit.len(), &prior);
+        prop_assert_eq!(map.windows(), stamps.len());
+
+        let mut model: Vec<Option<Stamp>> = stamps.into_iter().map(Some).collect();
+        let mut ops: Vec<Patch> = Vec::new();
+        for &(kind, frac) in &script {
+            let Some(patch) = build_patch(kind, frac, circuit.len()) else {
+                continue;
+            };
+            model_step(&mut model, &patch);
+            map.commit_patch(&patch, CERT_PAD);
+            circuit.apply_patch(&patch);
+            ops.push(patch);
+        }
+
+        let expected: Vec<Stamp> = model.iter().filter_map(|s| *s).collect();
+
+        // The live map cleared exactly the overlapped stamps…
+        prop_assert_eq!(map.windows(), expected.len());
+        prop_assert_eq!(
+            map.certified_gates(),
+            expected.iter().map(Stamp::len).sum::<usize>()
+        );
+        // …and the survivors sit at their shifted positions.
+        for s in &expected {
+            for p in s.lo..s.hi {
+                prop_assert!(map.contains(p));
+            }
+            prop_assert!(s.hi <= circuit.len());
+        }
+        let live = map.to_certificate(circuit.len(), BUDGET);
+        prop_assert_eq!(&live.stamps, &expected);
+
+        // The serialized-certificate path agrees with the live map.
+        let rebased = prior.rebase(&ops, CERT_PAD);
+        prop_assert_eq!(&rebased.stamps, &expected);
+        prop_assert_eq!(rebased.total_gates, circuit.len());
+
+        // And the wire round-trip preserves it all.
+        let decoded = Certificate::decode(&rebased.encode()).unwrap();
+        prop_assert_eq!(decoded, rebased);
+    }
+
+    #[test]
+    fn untouched_certificates_survive_rebase_unchanged(
+        n in 10..40usize,
+        w in 2..5usize,
+    ) {
+        let prior = Certificate {
+            budget: BUDGET,
+            total_gates: n,
+            stamps: initial_stamps(n, w, 2),
+        };
+        let rebased = prior.rebase(&[], CERT_PAD);
+        prop_assert_eq!(rebased, prior);
+    }
+}

@@ -37,6 +37,14 @@ pub fn journal_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("job-{id}.journal"))
 }
 
+/// The certificate side file for job `id` under `dir`. Certificates
+/// live *beside* the journal, not in it: [`replay`] rejects unknown
+/// frame kinds, so the journal grammar stays closed while the `EDIT`
+/// flow reads the finished run's stamps from here.
+pub fn cert_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("job-{id}.cert"))
+}
+
 /// Whether `path` holds a journal for an **unfinished** job: the file
 /// exists and its last complete line is not a `DONE` record. A missing
 /// file, an empty file, or a file holding only a torn partial line
@@ -330,6 +338,7 @@ mod tests {
             eps: 1e-6,
             objective: Objective::GateCount,
             overwrite: false,
+            certify: false,
             qasm: qasm::to_qasm_line(circuit),
         }
     }

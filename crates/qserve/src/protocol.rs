@@ -16,6 +16,7 @@
 //! SUBMIT id=7 engine=sharded:2 iters=4000 time_ms=0 seed=11 eps=1e-8 objective=gates qasm=OPENQASM 2.0; ...
 //! CANCEL id=7
 //! RESUME id=7
+//! EDIT id=7 delta=CD1 b=92 n=93 -@14+h:2 ...
 //! STATS
 //! SHUTDOWN
 //! ```
@@ -27,8 +28,9 @@
 //! ACCEPTED id=7
 //! SNAPSHOT id=7 cost=118 eps=0 iters=0 seconds=0 qasm=OPENQASM 2.0; ...
 //! DELTA id=7 seq=3 cost=104 eps=0 iters=311 seconds=0.2 delta=CD1 b=118 n=104 -4,9@4+ ...
+//! CERTIFIED id=7 coverage=0.96 windows=12 budget=96
 //! DONE id=7 cost=92 eps=0 iters=4000 accepted=31 resynth=3 cache_hits=2 cache_misses=1 queue_ms=4 run_ms=480 fast_ms=450 slow_ms=30 cancelled=0 qasm=OPENQASM 2.0; ...
-//! STATSOK jobs=4 fast_s=1.5 slow_s=0.25 rule=10 fusion=4 commutation=3 cleanup=2 resynth=1 cache_hits=6 cache_misses=2
+//! STATSOK jobs=4 fast_s=1.5 slow_s=0.25 rule=10 fusion=4 commutation=3 cleanup=2 resynth=1 cache_hits=6 cache_misses=2 cert_windows=12 cert_invalidated=3 cert_skips=40
 //! ERROR id=7 msg=unknown gate `foo`
 //! ```
 //!
@@ -74,6 +76,18 @@
 //! budget: the reply is a normal `ACCEPTED` + stream + `DONE` whose
 //! final cost is never worse than the journaled best. Resuming an
 //! already-finished job just replays its terminal `DONE`.
+//!
+//! `SUBMIT ... cert=1` (v2) asks for a local-optimality certificate:
+//! the job runs with [`guoq::GuoqOpts::certify`] and may terminate
+//! early once certified, emitting one `CERTIFIED` frame (coverage,
+//! window count, probe budget) right before its `DONE`. `EDIT id=N
+//! delta=...` (v2, journaled servers, finished jobs only) applies a
+//! client-supplied [`qcir::delta::CircuitDelta`] to job `N`'s finished
+//! best, invalidates only the certificate windows the edit dirties,
+//! and re-optimizes as a certified continuation job — the stream is
+//! the usual `ACCEPTED` + deltas, ending in a fresh `CERTIFIED` +
+//! `DONE`. Both verbs are v2-only; v1 sessions never see them (pinned
+//! by the golden transcript).
 //!
 //! Semantics: one `ACCEPTED` per admitted job, then the improvement
 //! stream — the first `SNAPSHOT` carries the input circuit
@@ -156,6 +170,11 @@ pub struct JobRequest {
     /// [`crate::journal::JobJournal::create`]). Encoded as
     /// `overwrite=1` only when set, so v1 frames are unchanged.
     pub overwrite: bool,
+    /// Run with local-optimality certification
+    /// ([`guoq::GuoqOpts::certify`]): the job may terminate early once
+    /// certified and emits a [`Frame::Certified`] before its `DONE`.
+    /// Encoded as `cert=1` only when set, so v1 frames are unchanged.
+    pub certify: bool,
     /// The circuit, as (single-line) OpenQASM 2.0.
     pub qasm: String,
 }
@@ -223,6 +242,15 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Misses against the shared resynthesis memo cache.
     pub cache_misses: u64,
+    /// Windows stamped locally optimal across all certified jobs
+    /// (`qcert_windows_certified_total`).
+    pub cert_windows: u64,
+    /// Certificate stamps cleared by overlapping edits
+    /// (`qcert_windows_invalidated_total`).
+    pub cert_invalidated: u64,
+    /// Anchor draws redrawn away from certified windows
+    /// (`qcert_anchor_skips_total`).
+    pub cert_skips: u64,
 }
 
 /// One protocol frame (either direction).
@@ -249,6 +277,18 @@ pub enum Frame {
     Resume {
         /// Journaled job id to resume.
         id: u64,
+    },
+    /// Client (v2, journaled servers): apply an edit script to job
+    /// `id`'s **finished** best and re-optimize only what the edit
+    /// dirties, seeding the continuation with the job's certificate
+    /// rebased over the script.
+    Edit {
+        /// Finished journaled job id to edit.
+        id: u64,
+        /// The encoded [`qcir::delta::CircuitDelta`] from the job's
+        /// final best to the client's edited circuit (free-form tail
+        /// field).
+        delta: String,
     },
     /// Client: drain and stop (stdio transport; over TCP, closing the
     /// connection has the same per-client effect).
@@ -315,6 +355,21 @@ pub enum Frame {
         /// The encoded [`qcir::delta::CircuitDelta`] (free-form tail
         /// field; apply to the previously reconstructed circuit).
         delta: String,
+    },
+    /// Server (v2): a certification-enabled job completed its sweep —
+    /// the run terminated early with a local-optimality certificate.
+    /// Sent at most once, right before the job's `DONE`; the full
+    /// certificate stays on the server (`job-<id>.cert`) for future
+    /// `EDIT`s.
+    Certified {
+        /// Job id.
+        id: u64,
+        /// Fraction of gates covered by surviving stamps.
+        coverage: f64,
+        /// Surviving stamped windows.
+        windows: u64,
+        /// Probe attempts each window survived.
+        budget: u64,
     },
     /// Server: terminal job result.
     Done(JobSummary),
@@ -435,7 +490,7 @@ impl Frame {
     pub fn encode(&self) -> String {
         match self {
             Frame::Submit(r) => format!(
-                "SUBMIT id={} engine={} iters={} time_ms={} seed={} eps={} objective={}{} qasm={}\n",
+                "SUBMIT id={} engine={} iters={} time_ms={} seed={} eps={} objective={}{}{} qasm={}\n",
                 r.id,
                 r.engine.encode(),
                 r.iters,
@@ -444,17 +499,27 @@ impl Frame {
                 r.eps,
                 r.objective.encode(),
                 if r.overwrite { " overwrite=1" } else { "" },
+                if r.certify { " cert=1" } else { "" },
                 sanitize(&r.qasm),
             ),
             Frame::Hello { version } => format!("HELLO version={version}\n"),
             Frame::Cancel { id } => format!("CANCEL id={id}\n"),
             Frame::Resume { id } => format!("RESUME id={id}\n"),
+            Frame::Edit { id, delta } => {
+                format!("EDIT id={id} delta={}\n", sanitize(delta))
+            }
+            Frame::Certified {
+                id,
+                coverage,
+                windows,
+                budget,
+            } => format!("CERTIFIED id={id} coverage={coverage} windows={windows} budget={budget}\n"),
             Frame::Shutdown => "SHUTDOWN\n".to_string(),
             Frame::Health => "HEALTH\n".to_string(),
             Frame::Healthy { live, slots } => format!("HEALTHY live={live} slots={slots}\n"),
             Frame::Stats => "STATS\n".to_string(),
             Frame::StatsReply(s) => format!(
-                "STATSOK jobs={} fast_s={} slow_s={} rule={} fusion={} commutation={} cleanup={} resynth={} cache_hits={} cache_misses={}\n",
+                "STATSOK jobs={} fast_s={} slow_s={} rule={} fusion={} commutation={} cleanup={} resynth={} cache_hits={} cache_misses={} cert_windows={} cert_invalidated={} cert_skips={}\n",
                 s.jobs_done,
                 s.fast_s,
                 s.slow_s,
@@ -465,6 +530,9 @@ impl Frame {
                 s.accepts[4],
                 s.cache_hits,
                 s.cache_misses,
+                s.cert_windows,
+                s.cert_invalidated,
+                s.cert_skips,
             ),
             Frame::Accepted { id, ref_id } => {
                 if *ref_id == 0 {
@@ -545,6 +613,7 @@ impl Frame {
                 eps: kv.f64("eps")?,
                 objective: Objective::parse(kv.str("objective")?)?,
                 overwrite: kv.u64_or("overwrite", 0)? != 0,
+                certify: kv.u64_or("cert", 0)? != 0,
                 qasm: kv.str("qasm")?.to_string(),
             })),
             "HELLO" => Ok(Frame::Hello {
@@ -552,6 +621,16 @@ impl Frame {
             }),
             "CANCEL" => Ok(Frame::Cancel { id: kv.u64("id")? }),
             "RESUME" => Ok(Frame::Resume { id: kv.u64("id")? }),
+            "EDIT" => Ok(Frame::Edit {
+                id: kv.u64("id")?,
+                delta: kv.str("delta")?.to_string(),
+            }),
+            "CERTIFIED" => Ok(Frame::Certified {
+                id: kv.u64("id")?,
+                coverage: kv.f64("coverage")?,
+                windows: kv.u64("windows")?,
+                budget: kv.u64("budget")?,
+            }),
             "SHUTDOWN" => Ok(Frame::Shutdown),
             "HEALTH" => Ok(Frame::Health),
             "HEALTHY" => Ok(Frame::Healthy {
@@ -572,6 +651,9 @@ impl Frame {
                 ],
                 cache_hits: kv.u64_or("cache_hits", 0)?,
                 cache_misses: kv.u64_or("cache_misses", 0)?,
+                cert_windows: kv.u64_or("cert_windows", 0)?,
+                cert_invalidated: kv.u64_or("cert_invalidated", 0)?,
+                cert_skips: kv.u64_or("cert_skips", 0)?,
             })),
             "ACCEPTED" => Ok(Frame::Accepted {
                 id: kv.u64("id")?,
@@ -786,6 +868,16 @@ mod tests {
         vec![
             Frame::Hello { version: 2 },
             Frame::Resume { id: 7 },
+            Frame::Edit {
+                id: 7,
+                delta: "CD1 b=92 n=93 -@14+h:2".into(),
+            },
+            Frame::Certified {
+                id: 7,
+                coverage: 0.96,
+                windows: 12,
+                budget: 96,
+            },
             Frame::Delta {
                 id: 7,
                 seq: 3,
@@ -804,8 +896,21 @@ mod tests {
                 eps: 1e-8,
                 objective: Objective::GateCount,
                 overwrite: false,
+                certify: false,
                 qasm: "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[0]; cx q[0],q[1];"
                     .into(),
+            }),
+            Frame::Submit(JobRequest {
+                id: 8,
+                engine: EngineSel::Serial,
+                iters: 100_000,
+                time_ms: 0,
+                seed: 3,
+                eps: 1e-8,
+                objective: Objective::TwoQubitCount,
+                overwrite: true,
+                certify: true,
+                qasm: "OPENQASM 2.0; qreg q[1]; x q[0];".into(),
             }),
             Frame::Cancel { id: 7 },
             Frame::Shutdown,
@@ -819,6 +924,9 @@ mod tests {
                 accepts: [10, 4, 3, 2, 1],
                 cache_hits: 6,
                 cache_misses: 2,
+                cert_windows: 12,
+                cert_invalidated: 3,
+                cert_skips: 40,
             }),
             Frame::Accepted { id: 7, ref_id: 0 },
             Frame::Accepted { id: 7, ref_id: 41 },
@@ -930,9 +1038,40 @@ mod tests {
                 assert_eq!(s.jobs_done, 3);
                 assert_eq!(s.accepts, [0; 5]);
                 assert_eq!((s.fast_s, s.slow_s), (0.0, 0.0));
+                assert_eq!(
+                    (s.cert_windows, s.cert_invalidated, s.cert_skips),
+                    (0, 0, 0)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn submit_without_cert_field_parses_uncertified() {
+        // A pre-certification client's SUBMIT must stay readable, and
+        // the cert flag must not appear unless set (v1 byte stability).
+        let f = Frame::parse(
+            "SUBMIT id=1 engine=serial iters=10 time_ms=0 seed=0 eps=0 objective=gates qasm=OPENQASM 2.0; qreg q[1];",
+        )
+        .unwrap();
+        match f {
+            Frame::Submit(r) => assert!(!r.certify),
+            other => panic!("unexpected {other:?}"),
+        }
+        let plain = Frame::Submit(JobRequest {
+            id: 1,
+            engine: EngineSel::Serial,
+            iters: 10,
+            time_ms: 0,
+            seed: 0,
+            eps: 0.0,
+            objective: Objective::GateCount,
+            overwrite: false,
+            certify: false,
+            qasm: "OPENQASM 2.0; qreg q[1];".into(),
+        });
+        assert!(!plain.encode().contains("cert="));
     }
 
     #[test]

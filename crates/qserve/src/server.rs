@@ -184,6 +184,11 @@ struct QueuedJob {
     /// clock ([`ServeOpts::queue_wait_ms`]). `None` until phase 2
     /// actually enqueues it.
     enqueued_at: Option<Instant>,
+    /// Stamps surviving a client edit (`EDIT`'s rebased prior
+    /// certificate), seeded into a certifying continuation's search so
+    /// it re-probes only the windows the edit dirtied. `None` for
+    /// fresh submissions and resumes (cold certification).
+    cert_prior: Option<qcert::Certificate>,
 }
 
 #[derive(Default)]
@@ -446,6 +451,7 @@ impl ServerHandle {
                 }
             }
             Frame::Resume { id } => self.resume(id, reply),
+            Frame::Edit { id, delta } => self.edit(id, &delta, reply),
             Frame::Health => {
                 // Liveness + capacity probe (the fleet router's
                 // heartbeat): answered inline from the state lock, so a
@@ -467,7 +473,8 @@ impl ServerHandle {
                 let id = match &other {
                     Frame::Accepted { id, .. }
                     | Frame::Snapshot { id, .. }
-                    | Frame::Delta { id, .. } => *id,
+                    | Frame::Delta { id, .. }
+                    | Frame::Certified { id, .. } => *id,
                     Frame::Done(s) => s.id,
                     _ => 0,
                 };
@@ -494,18 +501,27 @@ impl ServerHandle {
     /// enqueued first, the scheduler could start it and emit its
     /// initial `SNAPSHOT` before this thread sent `ACCEPTED`.
     pub fn submit(&self, req: JobRequest, reply: &Sender<Frame>) {
-        self.submit_inner(req, reply, None)
+        self.submit_inner(req, reply, None, None)
     }
 
     /// `resume_base`: `None` for a fresh submission; for a resume
     /// segment, the ε the journaled job had already accumulated (the
     /// continuation's `req.eps` holds only the remaining allowance).
-    fn submit_inner(&self, req: JobRequest, reply: &Sender<Frame>, resume_base: Option<f64>) {
+    /// `cert_prior`: the rebased prior certificate of an `EDIT`
+    /// continuation, when one survived the edit.
+    fn submit_inner(
+        &self,
+        req: JobRequest,
+        reply: &Sender<Frame>,
+        resume_base: Option<f64>,
+        cert_prior: Option<qcert::Certificate>,
+    ) {
         let id = req.id;
         let resuming = resume_base.is_some();
         match self.try_reserve(req, reply) {
             Ok(mut job) => {
                 job.eps_base = resume_base.unwrap_or(0.0);
+                job.cert_prior = cert_prior;
                 // Durability before acknowledgement: open the journal
                 // (fresh, or appended for a resume segment) before the
                 // client ever sees ACCEPTED.
@@ -651,6 +667,7 @@ impl ServerHandle {
             journal: None,
             eps_base: 0.0,
             enqueued_at: None,
+            cert_prior: None,
         })
     }
 
@@ -714,9 +731,102 @@ impl ServerHandle {
             // A resume segment *appends* to the existing journal; the
             // overwrite consent applies only to fresh SUBMITs.
             overwrite: false,
+            certify: prior.certify,
             qasm: qasm::to_qasm_line(&replayed.best),
         };
-        self.submit_inner(continuation, reply, Some(replayed.epsilon));
+        self.submit_inner(continuation, reply, Some(replayed.epsilon), None);
+    }
+
+    /// Handles an `EDIT id= delta=` frame (v2 only): applies a client
+    /// [`qcir::delta::CircuitDelta`] to a **finished** journaled job's
+    /// best circuit, rebases the job's certificate across the edit
+    /// script — dropping only the stamps the edit dirties — and
+    /// restarts the search as a certifying continuation seeded with
+    /// the surviving stamps. The continuation re-probes O(edit) of the
+    /// circuit instead of O(circuit), terminates early once coverage
+    /// is restored, and finishes with a fresh certificate.
+    pub fn edit(&self, id: u64, delta: &str, reply: &Sender<Frame>) {
+        let bad = |message: String| {
+            let _ = reply.send(Frame::Error {
+                id,
+                code: codes::BAD_REQUEST.into(),
+                message,
+            });
+        };
+        if self.protocol_version() < 2 {
+            bad("EDIT is a v2 verb; negotiate HELLO version=2 first".into());
+            return;
+        }
+        let Some(dir) = self.shared.opts.journal_dir.clone() else {
+            bad("EDIT requires a journaled server (--journal-dir)".into());
+            return;
+        };
+        let replayed = match journal::replay(&dir, id) {
+            Ok(r) => r,
+            Err(message) => {
+                let _ = reply.send(Frame::Error {
+                    id,
+                    code: codes::JOURNAL.into(),
+                    message,
+                });
+                return;
+            }
+        };
+        let Some(done) = replayed.finished else {
+            let _ = reply.send(Frame::Error {
+                id,
+                code: codes::JOURNAL.into(),
+                message: "job has not finished; EDIT re-optimizes a completed job \
+                          (RESUME continues an interrupted one)"
+                    .into(),
+            });
+            return;
+        };
+        let script = match qcir::delta::CircuitDelta::decode(delta) {
+            Ok(d) => d,
+            Err(e) => {
+                bad(format!("bad delta payload: {e}"));
+                return;
+            }
+        };
+        let mut edited = replayed.best.clone();
+        if let Err(e) = script.apply(&mut edited) {
+            bad(format!("delta does not apply to job {id}'s best: {e}"));
+            return;
+        }
+        // The finished run's certificate, re-expressed across the edit
+        // script. A missing or unreadable side file just means a cold
+        // (full) certification sweep — correct, only slower.
+        let cert_prior = std::fs::read_to_string(journal::cert_path(&dir, id))
+            .ok()
+            .and_then(|text| qcert::Certificate::decode(&text).ok())
+            .map(|cert| cert.rebase(script.ops(), qcert::CERT_PAD));
+        let prior = replayed.request;
+        // What the finished segment spent of its own ε allowance; the
+        // cumulative total (`replayed.epsilon`) becomes the
+        // continuation's reporting base, exactly as in RESUME.
+        let segment_eps = (replayed.epsilon - replayed.epsilon_at_segment_start).max(0.0);
+        let continuation = JobRequest {
+            id,
+            // Certification — the seeded skip map and the early-exit
+            // sweep — is the serial incremental engine's; the edit
+            // segment always runs there regardless of how the original
+            // job was submitted.
+            engine: EngineSel::Serial,
+            // The original budget again, in full: the seeded stamps,
+            // the anchor skips, and early termination are what make
+            // the edit segment cheap — not a trimmed allowance.
+            iters: prior.iters,
+            time_ms: prior.time_ms,
+            seed: resume_seed(prior.seed, done.iterations.wrapping_add(1)),
+            eps: (prior.eps - segment_eps).max(0.0),
+            objective: prior.objective,
+            // An edit segment *appends* to the existing journal.
+            overwrite: false,
+            certify: true,
+            qasm: qasm::to_qasm_line(&edited),
+        };
+        self.submit_inner(continuation, reply, Some(replayed.epsilon), cert_prior);
     }
 
     /// Cancels a queued or running job submitted through this handle's
@@ -1017,6 +1127,9 @@ fn registry_snapshot() -> StatsSnapshot {
         // same accounting `GuoqResult::cache_hits` uses.
         cache_hits: (read("qcache_hits_total") + read("qcache_negative_hits_total")) as u64,
         cache_misses: read("qcache_misses_total") as u64,
+        cert_windows: read(qcert::CERTIFIED_COUNTER) as u64,
+        cert_invalidated: read(qcert::INVALIDATED_COUNTER) as u64,
+        cert_skips: read(qcert::ANCHOR_SKIPS_COUNTER) as u64,
     }
 }
 
@@ -1210,6 +1323,7 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         mut journal,
         eps_base,
         enqueued_at,
+        cert_prior,
     } = job;
     // Queue wait ends when the scheduler hands the job to this thread
     // — the DONE frame's head-of-line-blocking signal.
@@ -1257,6 +1371,11 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
         eps_total: req.eps,
         seed: req.seed,
         engine,
+        // Certification on request (`SUBMIT cert=1` or an EDIT
+        // continuation): the serial engine probes plateaus into
+        // stamped windows and may finish early with a certificate.
+        certify: req.certify,
+        cert_prior,
         cancel: Some(cancel.clone()),
         // Every job shares the server's memo cache: repeated and
         // similar submissions are served from amortized synthesis.
@@ -1361,6 +1480,30 @@ fn run_job(job: QueuedJob, shared: Arc<Shared>) {
     if let Some(j) = journal.as_mut() {
         if let Err(e) = j.append_synced(&Frame::Done(summary.clone())) {
             eprintln!("qserve: journal write failed for job {id}: {e}");
+        }
+    }
+    // Certification artifacts. The certificate is persisted *beside*
+    // the journal (replay rejects unknown frame kinds, so it must not
+    // ride inside it) where the EDIT flow picks it up; v2 peers also
+    // get a CERTIFIED frame ahead of DONE. Both are best-effort — the
+    // job result does not depend on either landing.
+    if let Some(cert) = &result.certificate {
+        if let Some(dir) = &shared.opts.journal_dir {
+            if let Err(e) = std::fs::write(journal::cert_path(dir, id), cert.encode()) {
+                eprintln!("qserve: certificate write failed for job {id}: {e}");
+            }
+        }
+        if proto >= 2 {
+            let _ = send_snapshot(
+                &reply,
+                &cancel,
+                Frame::Certified {
+                    id,
+                    coverage: cert.coverage(),
+                    windows: cert.stamps.len() as u64,
+                    budget: cert.budget,
+                },
+            );
         }
     }
     // Release the accounting (slots, token entry, scheduler wakeup)

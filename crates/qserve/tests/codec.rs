@@ -56,6 +56,7 @@ fn frame() -> impl Strategy<Value = Frame> {
                     objective,
                     // Derived rather than a fresh draw (tuple arity).
                     overwrite: seed % 2 == 1,
+                    certify: seed % 3 == 1,
                     qasm,
                 })
             },

@@ -86,7 +86,7 @@ fn v1_session_shape_is_legacy() {
     for line in transcript.lines() {
         let verb = line.split(' ').next().unwrap_or("");
         assert!(
-            !matches!(verb, "DELTA" | "HELLO"),
+            !matches!(verb, "DELTA" | "HELLO" | "EDIT" | "CERTIFIED"),
             "v2 verb `{verb}` leaked into a v1 session"
         );
         match verb {

@@ -414,6 +414,129 @@ fn concurrent_jobs_are_isolated() {
     }
 }
 
+/// The EDIT verb's differential property: submit a certifying job to a
+/// journaled server, let it finish with a certificate, apply a small
+/// client-side [`qcir::CircuitDelta`] through `EDIT`, and compare the
+/// incremental re-optimization against a **cold** full re-run of the
+/// edited circuit at the same budget. The served result must be
+/// unitary-equivalent to the edited circuit and its cost no worse than
+/// the cold run's — the certificate prunes work, never quality.
+#[test]
+fn edit_reoptimization_matches_cold_run_quality() {
+    use qcir::edit::Patch;
+    use qcir::Gate;
+
+    let dir = std::env::temp_dir().join(format!("qserve-edit-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let input = workload(240);
+    let (iters, seed) = (30_000u64, 11u64);
+
+    let server = Server::start(ServeOpts {
+        worker_budget: 1,
+        cache_gates: 0,
+        max_time_ms: 600_000,
+        journal_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let handle = server.handle();
+    let (tx, rx) = bounded(4096);
+    handle.handle_frame(Frame::Hello { version: 2 }, &tx);
+    match rx.recv_timeout(Duration::from_secs(5)).expect("hello") {
+        Frame::Hello { version } => assert_eq!(version, 2),
+        other => panic!("expected HELLO, got {other:?}"),
+    }
+
+    let mut req = request(
+        41,
+        EngineSel::Serial,
+        iters,
+        seed,
+        qasm::to_qasm_line(&input),
+    );
+    req.certify = true;
+    handle.handle_frame(Frame::Submit(req), &tx);
+    let frames = collect_until_done(&rx);
+    let done = match frames.last() {
+        Some(Frame::Done(s)) => s.clone(),
+        other => panic!("expected DONE, got {other:?}"),
+    };
+    let first_cert = frames
+        .iter()
+        .find_map(|f| match f {
+            Frame::Certified {
+                coverage, windows, ..
+            } => Some((*coverage, *windows)),
+            _ => None,
+        })
+        .expect("the certifying job must finish with a CERTIFIED frame");
+    assert!(
+        first_cert.0 >= 0.9 && first_cert.1 >= 1,
+        "implausible certificate: {first_cert:?}"
+    );
+    let best = qasm::from_qasm(&done.qasm).expect("DONE qasm");
+
+    // The client edit: splice a redundancy-rich tile into the middle of
+    // the served best (changing the unitary — EDIT's contract is
+    // equivalence to the *edited* circuit, not the original input).
+    let mut donor = Circuit::new(6);
+    donor.push(Gate::Cx, &[0, 1]);
+    donor.push(Gate::H, &[1]);
+    donor.push(Gate::H, &[1]);
+    donor.push(Gate::Cx, &[0, 1]);
+    donor.push(Gate::T, &[2]);
+    let at = best.len() / 2;
+    let delta = qcir::CircuitDelta::from_ops(
+        best.len(),
+        vec![Patch::new(
+            Vec::new(),
+            (0..donor.len()).map(|i| donor.instruction(i)).collect(),
+            at,
+        )],
+    );
+    let mut edited = best.clone();
+    delta.apply(&mut edited).expect("edit applies to the best");
+
+    handle.handle_frame(
+        Frame::Edit {
+            id: 41,
+            delta: delta.encode(),
+        },
+        &tx,
+    );
+    let frames2 = collect_until_done(&rx);
+    server.shutdown();
+    let done2 = match frames2.last() {
+        Some(Frame::Done(s)) => s.clone(),
+        other => panic!("expected DONE, got {other:?}"),
+    };
+    assert!(
+        frames2.iter().any(|f| matches!(f, Frame::Certified { .. })),
+        "the EDIT continuation must finish with a fresh certificate"
+    );
+
+    // Cold baseline: a full from-scratch optimization of the edited
+    // circuit with the same engine and budget.
+    let cold = direct_optimize(
+        &qasm::to_qasm_line(&edited),
+        Engine::Incremental,
+        iters,
+        seed,
+    );
+
+    let served2 = qasm::from_qasm(&done2.qasm).expect("EDIT DONE qasm");
+    assert!(
+        circuits_equivalent(&edited, &served2, 1e-4),
+        "EDIT re-optimization is not equivalent to the edited circuit"
+    );
+    assert!(
+        done2.cost <= cold.cost,
+        "EDIT re-optimization ({}) worse than a cold full re-run ({})",
+        done2.cost,
+        cold.cost
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn invalid_submissions_are_rejected_with_error_frames() {
     let server = Server::start(ServeOpts {

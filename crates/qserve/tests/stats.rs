@@ -105,5 +105,54 @@ fn stats_and_metrics_expose_the_fast_slow_split() {
         .sum();
     assert_eq!(scraped, family_accepts);
 
+    // Certification telemetry: a certifying job bumps the qcert
+    // counters, and they surface on both STATS and the Prometheus
+    // scrape (zero before any certifying job ran in this process —
+    // asserted implicitly by the fresh run below moving them).
+    let mut cert_req = request(2, EngineSel::Serial, 40_000, 9, &workload(120));
+    cert_req.certify = true;
+    handle.handle_frame(Frame::Submit(cert_req), &tx);
+    let cert_done = wait_done(&rx, 2);
+    assert!(!cert_done.cancelled);
+    handle.handle_frame(Frame::Stats, &tx);
+    let stats2 = loop {
+        match rx.recv().expect("stats reply") {
+            Frame::StatsReply(s) => break s,
+            _ => continue,
+        }
+    };
+    assert!(
+        stats2.cert_windows > 0,
+        "certifying job stamped no windows: {stats2:?}"
+    );
+    // Improvements accepted before the plateau invalidate in-progress
+    // stamps; skips require an anchor draw landing in a certified
+    // window mid-search. Neither is guaranteed per run, but both must
+    // at least be *wired*: the STATS snapshot and the scrape read the
+    // same registry slots for all three series.
+    let mut conn = std::net::TcpStream::connect(addr).expect("reconnect metrics");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("send scrape");
+    let mut page2 = String::new();
+    conn.read_to_string(&mut page2).expect("read scrape");
+    let scrape_of = |name: &str| -> u64 {
+        page2
+            .lines()
+            .find_map(|l| {
+                let rest = l.strip_prefix(name)?;
+                rest.trim().parse::<f64>().ok()
+            })
+            .unwrap_or(0.0) as u64
+    };
+    assert_eq!(
+        scrape_of("qcert_windows_certified_total "),
+        stats2.cert_windows
+    );
+    assert_eq!(
+        scrape_of("qcert_windows_invalidated_total "),
+        stats2.cert_invalidated
+    );
+    assert_eq!(scrape_of("qcert_anchor_skips_total "), stats2.cert_skips);
+
     server.shutdown();
 }

@@ -44,6 +44,7 @@ pub fn request(id: u64, engine: EngineSel, iters: u64, seed: u64, circuit: &Circ
         eps: 1e-6,
         objective: Objective::GateCount,
         overwrite: false,
+        certify: false,
         qasm: qasm::to_qasm_line(circuit),
     }
 }

@@ -164,6 +164,7 @@ fn main() {
             eps: 1e-6,
             objective: qserve::Objective::GateCount,
             overwrite: false,
+            certify: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
     );
@@ -206,6 +207,7 @@ fn main() {
             eps: 1e-6,
             objective: qserve::Objective::GateCount,
             overwrite: false,
+            certify: false,
             qasm: qasm::to_qasm_line(&circuit),
         }),
     );

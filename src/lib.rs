@@ -14,6 +14,9 @@
 //! * [`qfold`] — phase-polynomial rotation folding (PyZX stand-in)
 //! * [`qcache`] — shared per-gate-set setup registry and the
 //!   memoized-resynthesis cache (fingerprint + verified memo table)
+//! * [`qcert`] — local-optimality window certificates: stamp maps the
+//!   serial driver folds accepted patches into, rebased across
+//!   `CircuitDelta`s for incremental re-optimization
 //! * [`guoq`] — the GUOQ optimizer and all baseline optimizers
 //! * [`workloads`] — benchmark circuit generators
 //!
@@ -45,6 +48,7 @@
 
 pub use guoq;
 pub use qcache;
+pub use qcert;
 pub use qcir;
 pub use qfold;
 pub use qmath;
